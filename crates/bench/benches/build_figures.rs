@@ -1,0 +1,76 @@
+//! Bench F1a/F1b/F2: end-to-end build time for each figure under every
+//! relevant mode. The paper publishes no timings (perf testing is future
+//! work 3); the reproduced *shape* is which builds complete and the
+//! relative cost of the emulation modes on the same workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use zeroroot_core::Mode;
+use zr_bench::{build_once, APT, FIG1A, FIG1B};
+
+fn bench_fig1a(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1a_alpine_apk");
+    g.sample_size(20);
+    for (name, mode) in [("none", Mode::None), ("seccomp", Mode::Seccomp)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let (r, _) = build_once(black_box(FIG1A), mode);
+                assert!(r.success);
+                r
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig1b_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1b_fig2_centos_yum");
+    g.sample_size(20);
+    // Figure 1b: fails under none (measure the failure path too — it is
+    // what users hit first).
+    g.bench_function("none_fails", |b| {
+        b.iter(|| {
+            let (r, _) = build_once(black_box(FIG1B), Mode::None);
+            assert!(!r.success);
+            r
+        })
+    });
+    // Figure 2 and the comparison strategies on the same Dockerfile.
+    for (name, mode) in [
+        ("seccomp", Mode::Seccomp),
+        ("fakeroot", Mode::Fakeroot),
+        ("proot", Mode::Proot),
+        ("proot_accel", Mode::ProotAccelerated),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let (r, _) = build_once(black_box(FIG1B), mode);
+                assert!(r.success, "{name}");
+                r
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_apt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apt_debian");
+    g.sample_size(20);
+    for (name, mode) in [
+        ("none_softfail", Mode::None),
+        ("seccomp_injected", Mode::Seccomp),
+        ("seccomp_ids", Mode::SeccompIdConsistent),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let (r, _) = build_once(black_box(APT), mode);
+                assert!(r.success, "{name}");
+                r
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig1a, bench_fig1b_fig2, bench_apt);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Bench E-consist at scale: the state-maintenance cost of *consistent*
+//! emulation versus the statelessness of zero consistency, driven by a
+//! synthetic package workload (the knob the paper's discussion turns:
+//! "state maintenance using a daemon process", §6 item 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use zeroroot_core::Mode;
+use zr_bench::armed;
+use zr_kernel::SysExt;
+use zr_pkg::install::{extract_package, ChownBehavior};
+use zr_pkg::synthetic_repo;
+
+/// Install `npkgs` synthetic packages (3 files each, 1 KiB, 30% foreign-
+/// owned) under `mode`, rpm-style.
+fn install_workload(mode: Mode, npkgs: usize) {
+    let repo = synthetic_repo(npkgs, 3, 1, 30, 7);
+    let (mut kernel, pid, strategy) = armed(mode);
+    let last = format!("pkg{:04}", npkgs - 1);
+    let order = repo.resolve(&[last.as_str()]).expect("resolves");
+    let mut ctx = kernel.ctx(pid);
+    for pkg in order {
+        extract_package(&mut ctx, pkg, ChownBehavior::Always).expect("install");
+    }
+    strategy.teardown(&mut kernel);
+}
+
+fn bench_package_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synthetic_install");
+    g.sample_size(10);
+    for npkgs in [2usize, 8, 24] {
+        for (name, mode) in [
+            ("seccomp", Mode::Seccomp),
+            ("fakeroot", Mode::Fakeroot),
+            ("proot", Mode::Proot),
+            ("proot_accel", Mode::ProotAccelerated),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(name, npkgs),
+                &npkgs,
+                |b, &npkgs| b.iter(|| install_workload(mode, npkgs)),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_chown_stat_roundtrip(c: &mut Criterion) {
+    // The consistency probe itself: chown then stat, repeatedly.
+    let mut g = c.benchmark_group("chown_stat_roundtrip");
+    for (name, mode) in [
+        ("seccomp", Mode::Seccomp),
+        ("fakeroot", Mode::Fakeroot),
+        ("proot", Mode::Proot),
+    ] {
+        let (mut kernel, pid, _strategy) = armed(mode);
+        {
+            let mut ctx = kernel.ctx(pid);
+            ctx.write_file("/probe", 0o644, b"x".to_vec()).expect("probe");
+        }
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut ctx = kernel.ctx(pid);
+                ctx.chown("/probe", 42, 42).expect("lie");
+                ctx.stat("/probe").expect("truth or replay")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_package_sweep, bench_chown_stat_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Bench for the filter toolchain itself: spec→cBPF compilation,
+//! kernel-style validation, and serialization — the "~150 lines of C"
+//! whose Rust analogue should remain trivially cheap ("'emulation' is
+//! complete once the filter is installed", §6 item 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use zr_seccomp::spec::{zero_consistency, zero_consistency_with_xattr};
+use zr_syscalls::Arch;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile");
+    for n in 1..=Arch::ALL.len() {
+        g.bench_with_input(BenchmarkId::new("arches", n), &n, |b, &n| {
+            let spec = zero_consistency(&Arch::ALL[..n]);
+            b.iter(|| zr_seccomp::compile(black_box(&spec)).expect("compiles"))
+        });
+    }
+    g.bench_function("xattr_variant", |b| {
+        let spec = zero_consistency_with_xattr(&Arch::ALL);
+        b.iter(|| zr_seccomp::compile(black_box(&spec)).expect("compiles"))
+    });
+    g.finish();
+}
+
+fn bench_validate(c: &mut Criterion) {
+    let prog = zr_seccomp::compile(&zero_consistency(&Arch::ALL)).expect("compiles");
+    let mut g = c.benchmark_group("validate");
+    g.bench_function("sk_chk_filter", |b| {
+        b.iter(|| zr_bpf::validate(black_box(&prog)).expect("valid"))
+    });
+    g.bench_function("seccomp_check_filter", |b| {
+        b.iter(|| zr_seccomp::check::check_seccomp(black_box(&prog)).expect("valid"))
+    });
+    g.finish();
+}
+
+fn bench_serialize(c: &mut Criterion) {
+    let prog = zr_seccomp::compile(&zero_consistency(&Arch::ALL)).expect("compiles");
+    c.bench_function("serialize_sock_fprog", |b| {
+        b.iter(|| {
+            let bytes = black_box(&prog).to_bytes();
+            black_box(bytes)
+        })
+    });
+}
+
+criterion_group!(benches, bench_compile, bench_validate, bench_serialize);
+criterion_main!(benches);

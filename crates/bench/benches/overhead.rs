@@ -1,0 +1,105 @@
+//! Bench E-ovh — §6 item 1 and future work 3: per-syscall overhead.
+//!
+//! * `unfiltered_syscall/*`: the tax each mode puts on a syscall that
+//!   needs **no** emulation (`getpid`) — the filter runs anyway; classic
+//!   ptrace stops anyway; the preload shim at least gets consulted.
+//! * `emulated_chown/*`: the cost of one faked chown per mode (daemon
+//!   round trips vs BPF instructions vs ptrace stops).
+//! * `filter_width/*`: filter evaluation cost as the number of
+//!   architectures carried grows — the "every syscall pays" curve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use zeroroot_core::Mode;
+use zr_bench::armed;
+use zr_kernel::SysExt;
+use zr_seccomp::spec::zero_consistency;
+use zr_seccomp::SeccompData;
+use zr_syscalls::{Arch, Sysno};
+
+const MODES: [(&str, Mode); 6] = [
+    ("none", Mode::None),
+    ("seccomp", Mode::Seccomp),
+    ("seccomp_ids", Mode::SeccompIdConsistent),
+    ("fakeroot", Mode::Fakeroot),
+    ("proot", Mode::Proot),
+    ("proot_accel", Mode::ProotAccelerated),
+];
+
+fn bench_unfiltered_syscall(c: &mut Criterion) {
+    let mut g = c.benchmark_group("unfiltered_syscall");
+    for (name, mode) in MODES {
+        let (mut kernel, pid, _strategy) = armed(mode);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut ctx = kernel.ctx(pid);
+                black_box(ctx.getpid())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_emulated_chown(c: &mut Criterion) {
+    let mut g = c.benchmark_group("emulated_chown");
+    for (name, mode) in MODES {
+        if mode == Mode::None {
+            continue; // chown just fails there; nothing comparable
+        }
+        let (mut kernel, pid, _strategy) = armed(mode);
+        {
+            let mut ctx = kernel.ctx(pid);
+            ctx.write_file("/probe", 0o644, b"x".to_vec()).expect("probe");
+        }
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut ctx = kernel.ctx(pid);
+                ctx.chown("/probe", 42, 42).expect("emulated");
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_filter_width(c: &mut Criterion) {
+    let mut g = c.benchmark_group("filter_width");
+    let getpid_nr = Sysno::Getpid.number(Arch::X8664).expect("exists");
+    for n in 1..=Arch::ALL.len() {
+        let prog = zr_seccomp::compile(&zero_consistency(&Arch::ALL[..n])).expect("compiles");
+        let data = SeccompData::new(Arch::X8664, getpid_nr, [0; 6]);
+        g.bench_with_input(BenchmarkId::new("arches", n), &n, |b, _| {
+            b.iter(|| black_box(zr_seccomp::stack::evaluate(&prog, &data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_stacked_filters(c: &mut Criterion) {
+    // §4: filters accumulate; each one runs on every syscall.
+    let mut g = c.benchmark_group("stacked_filters");
+    for stack_depth in [1usize, 2, 4, 8] {
+        let (mut kernel, pid, _strategy) = armed(Mode::Seccomp);
+        let prog =
+            zr_seccomp::compile(&zero_consistency(&[Arch::X8664])).expect("compiles");
+        for _ in 1..stack_depth {
+            let mut ctx = kernel.ctx(pid);
+            ctx.seccomp_install(prog.clone()).expect("stack grows");
+        }
+        g.bench_with_input(BenchmarkId::new("depth", stack_depth), &stack_depth, |b, _| {
+            b.iter(|| {
+                let mut ctx = kernel.ctx(pid);
+                black_box(ctx.getpid())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_unfiltered_syscall,
+    bench_emulated_chown,
+    bench_filter_width,
+    bench_stacked_filters
+);
+criterion_main!(benches);

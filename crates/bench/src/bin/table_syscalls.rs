@@ -1,0 +1,52 @@
+//! Regenerate T1: the paper's §5 filter table — 29 syscalls in four
+//! classes, with per-architecture numbers (Charliecloud's source-code
+//! table, which the paper describes in prose).
+//!
+//! ```sh
+//! cargo run -p zr-bench --bin table-syscalls
+//! ```
+
+use zr_syscalls::filtered::{filtered_on, FilterClass, FILTERED};
+use zr_syscalls::Arch;
+
+fn main() {
+    println!("T1 — the 29 filtered system calls (§5)\n");
+
+    let classes = [
+        (FilterClass::FileOwnership, "Class 1: file ownership"),
+        (FilterClass::IdentityCaps, "Class 2: user/group/capability manipulation"),
+        (FilterClass::MknodDevice, "Class 3: mknod/mknodat (device files only)"),
+        (FilterClass::SelfTest, "Class 4: self-test"),
+    ];
+
+    for (class, title) in classes {
+        let members: Vec<_> = FILTERED.iter().filter(|f| f.class == class).collect();
+        println!("{title} ({} syscalls)", members.len());
+        print!("  {:<14}", "syscall");
+        for arch in Arch::ALL {
+            print!(" {:>8}", arch.name());
+        }
+        println!();
+        for f in members {
+            print!("  {:<14}", f.sysno.name());
+            for arch in Arch::ALL {
+                match f.sysno.number(arch) {
+                    Some(nr) => print!(" {nr:>8}"),
+                    None => print!(" {:>8}", "-"),
+                }
+            }
+            println!();
+        }
+        println!();
+    }
+
+    println!("Per-architecture coverage (footnote 7: not all syscalls exist everywhere):");
+    for arch in Arch::ALL {
+        let present = filtered_on(arch);
+        println!("  {:<8} {:>2} of {} filtered syscalls", arch.name(), present.len(), FILTERED.len());
+    }
+
+    let total = FILTERED.len();
+    assert_eq!(total, 29, "the paper's count");
+    println!("\ntotal filtered syscalls: {total} (7 + 19 + 2 + 1, as published)");
+}

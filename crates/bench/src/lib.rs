@@ -1,0 +1,77 @@
+//! # zr-bench — shared helpers for the benchmark harness
+//!
+//! Each Criterion bench regenerates one of the paper's artifacts (see
+//! `EXPERIMENTS.md`). The helpers here keep workload construction out of
+//! the bench bodies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use zeroroot_core::{make, Mode, PrepareEnv, RootEmulation};
+use zr_build::{BuildOptions, BuildResult, Builder};
+use zr_kernel::{ContainerConfig, ContainerType, Kernel, Pid};
+use zr_vfs::fs::Fs;
+
+/// Figure 1a's Dockerfile.
+pub const FIG1A: &str = "FROM alpine:3.19\nRUN apk add sl\n";
+/// Figure 1b / Figure 2's Dockerfile.
+pub const FIG1B: &str = "FROM centos:7\nRUN yum install -y openssh\n";
+/// The §5 apt build (shell form: injection applies).
+pub const APT: &str = "FROM debian:12\nRUN apt-get install -y hello\n";
+
+/// Build `dockerfile` under `mode` on a fresh kernel; returns the result
+/// and the kernel for counter inspection.
+pub fn build_once(dockerfile: &str, mode: Mode) -> (BuildResult, Kernel) {
+    let mut kernel = Kernel::default_kernel();
+    let mut builder = Builder::new();
+    let result = builder.build(&mut kernel, dockerfile, &BuildOptions::new("bench", mode));
+    (result, kernel)
+}
+
+/// A minimal armed container for microbenchmarks: returns kernel, pid and
+/// the strategy (so teardown can run).
+pub fn armed(mode: Mode) -> (Kernel, Pid, Box<dyn RootEmulation>) {
+    let mut kernel = Kernel::default_kernel();
+    let mut image = Fs::new();
+    image.mkdir_p("/usr/bin", 0o755).expect("dir");
+    let root = zr_vfs::Access::root();
+    image
+        .write_file("/usr/bin/fakeroot", 0o755, b"\x7fELF".to_vec(), &root)
+        .expect("fakeroot marker");
+    for ino in 1..=image.inode_count() as u64 {
+        image.set_owner(ino, 1000, 1000).expect("chown");
+    }
+    let c = kernel
+        .container_create(
+            Kernel::HOST_USER_PID,
+            ContainerConfig { ctype: ContainerType::TypeIII, image },
+        )
+        .expect("container");
+    let strategy = make(mode);
+    let env = PrepareEnv {
+        fakeroot_in_image: true,
+        image_libc: "glibc-2.36".into(),
+        host_libc: "glibc-2.36".into(),
+    };
+    strategy.prepare(&mut kernel, c.init_pid, &env).expect("arm");
+    (kernel, c.init_pid, strategy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_build() {
+        let (r, k) = build_once(FIG1A, Mode::None);
+        assert!(r.success);
+        assert!(k.counters.syscalls > 0);
+    }
+
+    #[test]
+    fn helpers_arm() {
+        let (mut k, pid, strategy) = armed(Mode::Seccomp);
+        assert_eq!(k.process(pid).seccomp.len(), 1);
+        strategy.teardown(&mut k);
+    }
+}

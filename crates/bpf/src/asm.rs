@@ -1,0 +1,304 @@
+//! A structured assembler for cBPF with symbolic labels.
+//!
+//! cBPF conditional jumps carry 8-bit forward offsets; hand-maintaining
+//! them is how real-world filters grow bugs. The assembler lets the
+//! seccomp compiler emit `jeq k, label_a, label_b` and resolves offsets at
+//! [`Assembler::assemble`] time, failing loudly on backward references or
+//! offsets that exceed 255 (long filters should be restructured, exactly as
+//! Charliecloud's C generator does by grouping per architecture).
+
+use crate::insn::*;
+
+/// A forward-reference label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Jump target: an explicit label or "the very next instruction".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// Fall through to the next instruction (offset 0).
+    Next,
+    /// Jump to a label bound later.
+    To(Label),
+}
+
+/// Assembly-time failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was used in a jump but never bound.
+    UnboundLabel(usize),
+    /// A jump would have to go backwards (cBPF cannot).
+    BackwardJump {
+        /// Instruction index of the jump.
+        pc: usize,
+    },
+    /// The required offset exceeds the 8-bit field.
+    OffsetTooFar {
+        /// Instruction index of the jump.
+        pc: usize,
+        /// Offset that did not fit.
+        offset: usize,
+    },
+    /// `JA` offset exceeds 32 bits (cannot happen in practice).
+    JaTooFar {
+        /// Instruction index of the jump.
+        pc: usize,
+    },
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AsmError::UnboundLabel(id) => write!(f, "label {id} never bound"),
+            AsmError::BackwardJump { pc } => write!(f, "backward jump at {pc}"),
+            AsmError::OffsetTooFar { pc, offset } => {
+                write!(f, "jump offset {offset} at {pc} exceeds 255")
+            }
+            AsmError::JaTooFar { pc } => write!(f, "JA offset at {pc} exceeds u32"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+enum Pending {
+    /// Fully resolved instruction.
+    Ready(Insn),
+    /// Conditional jump awaiting label resolution.
+    CondJump {
+        code: u16,
+        k: u32,
+        jt: Target,
+        jf: Target,
+    },
+    /// Unconditional jump awaiting label resolution.
+    Jump(Target),
+}
+
+/// Builder for cBPF programs; see module docs.
+#[derive(Default)]
+pub struct Assembler {
+    insns: Vec<Pending>,
+    labels: Vec<Option<usize>>, // label id -> instruction index
+}
+
+impl Assembler {
+    /// Fresh assembler.
+    pub fn new() -> Assembler {
+        Assembler::default()
+    }
+
+    /// Create a label to be bound later with [`Assembler::bind`].
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Bind `label` to the *next* emitted instruction.
+    pub fn bind(&mut self, label: Label) {
+        self.labels[label.0] = Some(self.insns.len());
+    }
+
+    /// Emit a non-jump instruction.
+    pub fn stmt(&mut self, code: u16, k: u32) -> &mut Self {
+        self.insns.push(Pending::Ready(Insn::stmt(code, k)));
+        self
+    }
+
+    /// Emit a conditional jump with symbolic targets.
+    pub fn jcond(&mut self, code: u16, k: u32, jt: Target, jf: Target) -> &mut Self {
+        self.insns.push(Pending::CondJump { code, k, jt, jf });
+        self
+    }
+
+    /// Emit `jeq k, jt, jf` (the workhorse of syscall matching).
+    pub fn jeq(&mut self, k: u32, jt: Target, jf: Target) -> &mut Self {
+        self.jcond(BPF_JMP | BPF_JEQ | BPF_K, k, jt, jf)
+    }
+
+    /// Emit `jset k, jt, jf` (bit test, used for the mknod mode check).
+    pub fn jset(&mut self, k: u32, jt: Target, jf: Target) -> &mut Self {
+        self.jcond(BPF_JMP | BPF_JSET | BPF_K, k, jt, jf)
+    }
+
+    /// Emit an unconditional jump to `target`.
+    pub fn ja(&mut self, target: Target) -> &mut Self {
+        self.insns.push(Pending::Jump(target));
+        self
+    }
+
+    /// Emit `ld [k]` (32-bit absolute load — how filters read
+    /// `seccomp_data` fields).
+    pub fn ld_abs_w(&mut self, k: u32) -> &mut Self {
+        self.stmt(BPF_LD | BPF_W | BPF_ABS, k)
+    }
+
+    /// Emit `ret k`.
+    pub fn ret(&mut self, k: u32) -> &mut Self {
+        self.stmt(BPF_RET | BPF_K, k)
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// True before anything was emitted.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    fn resolve(&self, pc: usize, t: Target) -> Result<usize, AsmError> {
+        match t {
+            Target::Next => Ok(0),
+            Target::To(Label(id)) => {
+                let dest = self.labels[id].ok_or(AsmError::UnboundLabel(id))?;
+                let next = pc + 1;
+                if dest < next {
+                    return Err(AsmError::BackwardJump { pc });
+                }
+                Ok(dest - next)
+            }
+        }
+    }
+
+    /// Resolve all labels and produce the program.
+    pub fn assemble(self) -> Result<Program, AsmError> {
+        let mut out = Vec::with_capacity(self.insns.len());
+        for (pc, pending) in self.insns.iter().enumerate() {
+            let insn = match pending {
+                Pending::Ready(i) => *i,
+                Pending::CondJump { code, k, jt, jf } => {
+                    let jt = self.resolve(pc, *jt)?;
+                    let jf = self.resolve(pc, *jf)?;
+                    let jt = u8::try_from(jt)
+                        .map_err(|_| AsmError::OffsetTooFar { pc, offset: jt })?;
+                    let jf = u8::try_from(jf)
+                        .map_err(|_| AsmError::OffsetTooFar { pc, offset: jf })?;
+                    Insn::jump(*code, *k, jt, jf)
+                }
+                Pending::Jump(target) => {
+                    let off = self.resolve(pc, *target)?;
+                    let k =
+                        u32::try_from(off).map_err(|_| AsmError::JaTooFar { pc })?;
+                    Insn::stmt(BPF_JMP | BPF_JA, k)
+                }
+            };
+            out.push(insn);
+        }
+        Ok(Program::new(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::run;
+    use crate::validate::validate;
+
+    #[test]
+    fn simple_match_program() {
+        // if data[0] == 5 ret 1 else ret 0
+        let mut a = Assembler::new();
+        let hit = a.label();
+        let miss = a.label();
+        a.ld_abs_w(0);
+        a.jeq(5, Target::To(hit), Target::To(miss));
+        a.bind(hit);
+        a.ret(1);
+        a.bind(miss);
+        a.ret(0);
+        let p = a.assemble().expect("assembles");
+        validate(&p).expect("validates");
+        assert_eq!(run(&p, &5u32.to_le_bytes()), Ok(1));
+        assert_eq!(run(&p, &6u32.to_le_bytes()), Ok(0));
+    }
+
+    #[test]
+    fn fallthrough_target() {
+        let mut a = Assembler::new();
+        let done = a.label();
+        a.ld_abs_w(0);
+        a.jeq(1, Target::To(done), Target::Next);
+        a.ret(7); // not equal
+        a.bind(done);
+        a.ret(9); // equal
+        let p = a.assemble().unwrap();
+        validate(&p).unwrap();
+        assert_eq!(run(&p, &1u32.to_le_bytes()), Ok(9));
+        assert_eq!(run(&p, &2u32.to_le_bytes()), Ok(7));
+    }
+
+    #[test]
+    fn unbound_label_fails() {
+        let mut a = Assembler::new();
+        let l = a.label();
+        a.ja(Target::To(l));
+        a.ret(0);
+        assert!(matches!(a.assemble(), Err(AsmError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn backward_jump_fails() {
+        let mut a = Assembler::new();
+        let start = a.label();
+        a.bind(start);
+        a.ret(0);
+        a.ja(Target::To(start));
+        a.ret(0);
+        assert!(matches!(a.assemble(), Err(AsmError::BackwardJump { .. })));
+    }
+
+    #[test]
+    fn offset_too_far_detected() {
+        let mut a = Assembler::new();
+        let far = a.label();
+        a.jeq(0, Target::To(far), Target::Next);
+        for _ in 0..300 {
+            a.stmt(BPF_LD | BPF_IMM, 0);
+        }
+        a.bind(far);
+        a.ret(0);
+        assert!(matches!(a.assemble(), Err(AsmError::OffsetTooFar { .. })));
+    }
+
+    #[test]
+    fn ja_reaches_far_targets() {
+        let mut a = Assembler::new();
+        let far = a.label();
+        a.ja(Target::To(far));
+        for _ in 0..300 {
+            a.stmt(BPF_LD | BPF_IMM, 0);
+        }
+        a.bind(far);
+        a.ret(3);
+        let p = a.assemble().unwrap();
+        validate(&p).unwrap();
+        assert_eq!(run(&p, &[]), Ok(3));
+    }
+
+    #[test]
+    fn unbound_jset_target_fails() {
+        let mut a = Assembler::new();
+        let never_bound = a.label();
+        a.ld_abs_w(0);
+        a.jset(0b100, Target::Next, Target::To(never_bound));
+        a.ret(1);
+        assert!(matches!(a.assemble(), Err(AsmError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn jset_runs() {
+        let mut a = Assembler::new();
+        let set = a.label();
+        a.ld_abs_w(0);
+        a.jset(0b100, Target::To(set), Target::Next);
+        a.ret(0);
+        a.bind(set);
+        a.ret(1);
+        let p = a.assemble().unwrap();
+        validate(&p).unwrap();
+        assert_eq!(run(&p, &0b101u32.to_le_bytes()), Ok(1));
+        assert_eq!(run(&p, &0b010u32.to_le_bytes()), Ok(0));
+    }
+}

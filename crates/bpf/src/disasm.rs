@@ -1,0 +1,119 @@
+//! Textual disassembly of cBPF programs, in the style of `bpf_dbg` /
+//! libseccomp's PFC output. Used for documentation, debugging, and the
+//! paper-report binary.
+
+use crate::insn::*;
+
+/// Render one instruction at `pc`.
+pub fn disasm_insn(pc: usize, insn: Insn) -> String {
+    let k = insn.k;
+    let code = insn.code;
+    let jt = pc + 1 + insn.jt as usize;
+    let jf = pc + 1 + insn.jf as usize;
+    match code {
+        c if c == BPF_LD | BPF_W | BPF_ABS => format!("ld  [{k}]"),
+        c if c == BPF_LD | BPF_H | BPF_ABS => format!("ldh [{k}]"),
+        c if c == BPF_LD | BPF_B | BPF_ABS => format!("ldb [{k}]"),
+        c if c == BPF_LD | BPF_W | BPF_IND => format!("ld  [x+{k}]"),
+        c if c == BPF_LD | BPF_H | BPF_IND => format!("ldh [x+{k}]"),
+        c if c == BPF_LD | BPF_B | BPF_IND => format!("ldb [x+{k}]"),
+        c if c == BPF_LD | BPF_IMM => format!("ld  #{k:#x}"),
+        c if c == BPF_LD | BPF_MEM => format!("ld  M[{k}]"),
+        c if c == BPF_LD | BPF_W | BPF_LEN => "ld  len".to_string(),
+        c if c == BPF_LDX | BPF_IMM => format!("ldx #{k:#x}"),
+        c if c == BPF_LDX | BPF_MEM => format!("ldx M[{k}]"),
+        c if c == BPF_LDX | BPF_W | BPF_LEN => "ldx len".to_string(),
+        c if c == BPF_LDX | BPF_B | BPF_MSH => format!("ldx 4*([{k}]&0xf)"),
+        c if c == BPF_ST => format!("st  M[{k}]"),
+        c if c == BPF_STX => format!("stx M[{k}]"),
+        c if c == BPF_RET | BPF_K => format!("ret #{k:#010x}"),
+        c if c == BPF_RET | BPF_A => "ret a".to_string(),
+        c if c == BPF_MISC | BPF_TAX => "tax".to_string(),
+        c if c == BPF_MISC | BPF_TXA => "txa".to_string(),
+        c if c == BPF_JMP | BPF_JA => format!("ja  {}", pc + 1 + k as usize),
+        c if c & 0x07 == BPF_JMP => {
+            let op = match c & 0xf0 {
+                BPF_JEQ => "jeq",
+                BPF_JGT => "jgt",
+                BPF_JGE => "jge",
+                BPF_JSET => "jset",
+                _ => "j??",
+            };
+            let src = if c & BPF_X != 0 {
+                "x".to_string()
+            } else {
+                format!("#{k:#x}")
+            };
+            format!("{op} {src}, {jt}, {jf}")
+        }
+        c if c & 0x07 == BPF_ALU => {
+            let op = match c & 0xf0 {
+                BPF_ADD => "add",
+                BPF_SUB => "sub",
+                BPF_MUL => "mul",
+                BPF_DIV => "div",
+                BPF_MOD => "mod",
+                BPF_AND => "and",
+                BPF_OR => "or",
+                BPF_XOR => "xor",
+                BPF_LSH => "lsh",
+                BPF_RSH => "rsh",
+                BPF_NEG => return "neg".to_string(),
+                _ => "a??",
+            };
+            let src = if c & BPF_X != 0 {
+                "x".to_string()
+            } else {
+                format!("#{k:#x}")
+            };
+            format!("{op} {src}")
+        }
+        c => format!(".insn {c:#06x}, {}, {}, {k:#x}", insn.jt, insn.jf),
+    }
+}
+
+/// Render a whole program, one line per instruction, with pc labels.
+pub fn disasm(prog: &Program) -> String {
+    let mut out = String::new();
+    for (pc, insn) in prog.insns().iter().enumerate() {
+        out.push_str(&format!("{pc:4}: {}\n", disasm_insn(pc, *insn)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_core_forms() {
+        assert_eq!(disasm_insn(0, Insn::stmt(BPF_LD | BPF_W | BPF_ABS, 4)), "ld  [4]");
+        assert_eq!(
+            disasm_insn(0, Insn::stmt(BPF_RET | BPF_K, 0x7fff0000)),
+            "ret #0x7fff0000"
+        );
+        assert_eq!(
+            disasm_insn(3, Insn::jump(BPF_JMP | BPF_JEQ | BPF_K, 92, 1, 0)),
+            "jeq #0x5c, 5, 4"
+        );
+        assert_eq!(disasm_insn(0, Insn::stmt(BPF_MISC | BPF_TAX, 0)), "tax");
+        assert_eq!(disasm_insn(2, Insn::stmt(BPF_JMP | BPF_JA, 3)), "ja  6");
+    }
+
+    #[test]
+    fn whole_program_lines() {
+        let p = Program::new(vec![
+            Insn::stmt(BPF_LD | BPF_W | BPF_ABS, 0),
+            Insn::stmt(BPF_RET | BPF_A, 0),
+        ]);
+        let text = disasm(&p);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("ret a"));
+    }
+
+    #[test]
+    fn unknown_opcode_rendered_raw() {
+        let line = disasm_insn(0, Insn::stmt(0x0fff, 1));
+        assert!(line.starts_with(".insn"));
+    }
+}

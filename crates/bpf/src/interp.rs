@@ -1,0 +1,387 @@
+//! The cBPF evaluator — what the kernel runs on every system call once a
+//! filter is installed.
+//!
+//! Faithful to kernel semantics: wrapping 32-bit arithmetic, unsigned
+//! comparisons, out-of-bounds data loads terminate the program with a
+//! return value of 0 (network BPF "drop"; seccomp never triggers this
+//! because its checker bounds offsets statically), division by a runtime
+//! zero likewise returns 0.
+//!
+//! [`run_counted`] also reports how many instructions executed, feeding the
+//! overhead experiments (paper §6 item 1: the filter taxes *every* system
+//! call, not just the filtered ones).
+
+use crate::insn::*;
+
+/// Execution failures. With a validated program these are unreachable; the
+/// interpreter still guards against them so it is safe on *unvalidated*
+/// programs too (used by property tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunError {
+    /// Program counter ran past the end without hitting `RET`.
+    FellOffEnd,
+    /// An opcode the evaluator does not implement.
+    BadOpcode {
+        /// Offending program counter.
+        pc: usize,
+        /// Offending opcode.
+        code: u16,
+    },
+    /// Scratch-slot index ≥ 16.
+    BadMemSlot {
+        /// Offending program counter.
+        pc: usize,
+    },
+    /// More instructions executed than the program has — impossible for
+    /// forward-only jumps, kept as a belt-and-braces fuel check.
+    OutOfFuel,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::FellOffEnd => write!(f, "execution fell off program end"),
+            RunError::BadOpcode { pc, code } => {
+                write!(f, "unimplemented opcode {code:#06x} at pc {pc}")
+            }
+            RunError::BadMemSlot { pc } => write!(f, "bad scratch slot at pc {pc}"),
+            RunError::OutOfFuel => write!(f, "instruction budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Machine state, exposed for tests and single-stepping.
+#[derive(Debug, Clone, Default)]
+pub struct Machine {
+    /// Accumulator.
+    pub a: u32,
+    /// Index register.
+    pub x: u32,
+    /// Sixteen scratch slots.
+    pub mem: [u32; 16],
+}
+
+/// Load a 32-bit word at `off` from `data`, little-endian.
+///
+/// Seccomp presents `struct seccomp_data` in native byte order; the
+/// simulated hosts in this workspace are little-endian (see DESIGN.md §6).
+fn load_w(data: &[u8], off: usize) -> Option<u32> {
+    let end = off.checked_add(4)?;
+    let bytes = data.get(off..end)?;
+    Some(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+}
+
+fn load_h(data: &[u8], off: usize) -> Option<u32> {
+    let end = off.checked_add(2)?;
+    let bytes = data.get(off..end)?;
+    Some(u32::from(u16::from_le_bytes(bytes.try_into().expect("2 bytes"))))
+}
+
+fn load_b(data: &[u8], off: usize) -> Option<u32> {
+    data.get(off).map(|&b| u32::from(b))
+}
+
+/// Evaluate `prog` over `data`; returns the program's return value.
+pub fn run(prog: &Program, data: &[u8]) -> Result<u32, RunError> {
+    run_counted(prog, data).map(|(ret, _)| ret)
+}
+
+/// Like [`run`], additionally reporting the number of instructions
+/// executed (the per-syscall cost the paper's §6 refers to).
+pub fn run_counted(prog: &Program, data: &[u8]) -> Result<(u32, u64), RunError> {
+    let insns = prog.insns();
+    let mut m = Machine::default();
+    let mut pc: usize = 0;
+    let mut steps: u64 = 0;
+    // Forward-only jumps mean each instruction runs at most once.
+    let fuel = insns.len() as u64 + 1;
+
+    loop {
+        let insn = *insns.get(pc).ok_or(RunError::FellOffEnd)?;
+        steps += 1;
+        if steps > fuel {
+            return Err(RunError::OutOfFuel);
+        }
+
+        let k = insn.k;
+        match insn.code {
+            // -- loads into A -------------------------------------------------
+            c if c == BPF_LD | BPF_W | BPF_ABS => {
+                match load_w(data, k as usize) {
+                    Some(v) => m.a = v,
+                    None => return Ok((0, steps)),
+                }
+            }
+            c if c == BPF_LD | BPF_H | BPF_ABS => match load_h(data, k as usize) {
+                Some(v) => m.a = v,
+                None => return Ok((0, steps)),
+            },
+            c if c == BPF_LD | BPF_B | BPF_ABS => match load_b(data, k as usize) {
+                Some(v) => m.a = v,
+                None => return Ok((0, steps)),
+            },
+            c if c == BPF_LD | BPF_W | BPF_IND => {
+                match load_w(data, m.x.wrapping_add(k) as usize) {
+                    Some(v) => m.a = v,
+                    None => return Ok((0, steps)),
+                }
+            }
+            c if c == BPF_LD | BPF_H | BPF_IND => {
+                match load_h(data, m.x.wrapping_add(k) as usize) {
+                    Some(v) => m.a = v,
+                    None => return Ok((0, steps)),
+                }
+            }
+            c if c == BPF_LD | BPF_B | BPF_IND => {
+                match load_b(data, m.x.wrapping_add(k) as usize) {
+                    Some(v) => m.a = v,
+                    None => return Ok((0, steps)),
+                }
+            }
+            c if c == BPF_LD | BPF_IMM => m.a = k,
+            c if c == BPF_LD | BPF_MEM => {
+                m.a = *m.mem.get(k as usize).ok_or(RunError::BadMemSlot { pc })?;
+            }
+            c if c == BPF_LD | BPF_W | BPF_LEN => m.a = data.len() as u32,
+
+            // -- loads into X -------------------------------------------------
+            c if c == BPF_LDX | BPF_IMM => m.x = k,
+            c if c == BPF_LDX | BPF_MEM => {
+                m.x = *m.mem.get(k as usize).ok_or(RunError::BadMemSlot { pc })?;
+            }
+            c if c == BPF_LDX | BPF_W | BPF_LEN => m.x = data.len() as u32,
+            c if c == BPF_LDX | BPF_B | BPF_MSH => match load_b(data, k as usize) {
+                Some(v) => m.x = (v & 0xf) * 4,
+                None => return Ok((0, steps)),
+            },
+
+            // -- stores --------------------------------------------------------
+            c if c == BPF_ST => {
+                *m.mem.get_mut(k as usize).ok_or(RunError::BadMemSlot { pc })? = m.a;
+            }
+            c if c == BPF_STX => {
+                *m.mem.get_mut(k as usize).ok_or(RunError::BadMemSlot { pc })? = m.x;
+            }
+
+            // -- returns --------------------------------------------------------
+            c if c == BPF_RET | BPF_K => return Ok((k, steps)),
+            c if c == BPF_RET | BPF_A => return Ok((m.a, steps)),
+
+            // -- register transfers --------------------------------------------
+            c if c == BPF_MISC | BPF_TAX => m.x = m.a,
+            c if c == BPF_MISC | BPF_TXA => m.a = m.x,
+
+            // -- unconditional jump --------------------------------------------
+            c if c == BPF_JMP | BPF_JA => {
+                pc = pc
+                    .checked_add(1 + k as usize)
+                    .ok_or(RunError::FellOffEnd)?;
+                continue;
+            }
+
+            // -- everything else decodes by class ------------------------------
+            c if c & 0x07 == BPF_ALU => {
+                let src = if c & BPF_X != 0 { m.x } else { k };
+                m.a = match c & 0xf0 {
+                    BPF_ADD => m.a.wrapping_add(src),
+                    BPF_SUB => m.a.wrapping_sub(src),
+                    BPF_MUL => m.a.wrapping_mul(src),
+                    BPF_DIV => match src {
+                        0 => return Ok((0, steps)),
+                        s => m.a / s,
+                    },
+                    BPF_MOD => match src {
+                        0 => return Ok((0, steps)),
+                        s => m.a % s,
+                    },
+                    BPF_AND => m.a & src,
+                    BPF_OR => m.a | src,
+                    BPF_XOR => m.a ^ src,
+                    BPF_LSH => m.a.wrapping_shl(src),
+                    BPF_RSH => m.a.wrapping_shr(src),
+                    BPF_NEG => m.a.wrapping_neg(),
+                    _ => return Err(RunError::BadOpcode { pc, code: c }),
+                };
+            }
+            c if c & 0x07 == BPF_JMP => {
+                let src = if c & BPF_X != 0 { m.x } else { k };
+                let taken = match c & 0xf0 {
+                    BPF_JEQ => m.a == src,
+                    BPF_JGT => m.a > src,
+                    BPF_JGE => m.a >= src,
+                    BPF_JSET => m.a & src != 0,
+                    _ => return Err(RunError::BadOpcode { pc, code: c }),
+                };
+                let off = if taken { insn.jt } else { insn.jf };
+                pc += 1 + off as usize;
+                continue;
+            }
+
+            c => return Err(RunError::BadOpcode { pc, code: c }),
+        }
+        pc += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    fn le_data(words: &[u32]) -> Vec<u8> {
+        words.iter().flat_map(|w| w.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn ret_k() {
+        let p = Program::new(vec![Insn::stmt(BPF_RET | BPF_K, 1234)]);
+        assert_eq!(run(&p, &[]), Ok(1234));
+    }
+
+    #[test]
+    fn ret_a_after_load() {
+        let p = Program::new(vec![
+            Insn::stmt(BPF_LD | BPF_W | BPF_ABS, 4),
+            Insn::stmt(BPF_RET | BPF_A, 0),
+        ]);
+        assert_eq!(run(&p, &le_data(&[10, 20, 30])), Ok(20));
+    }
+
+    #[test]
+    fn out_of_bounds_load_returns_zero() {
+        let p = Program::new(vec![
+            Insn::stmt(BPF_LD | BPF_W | BPF_ABS, 100),
+            Insn::stmt(BPF_RET | BPF_K, 777),
+        ]);
+        assert_eq!(run(&p, &le_data(&[1])), Ok(0));
+    }
+
+    #[test]
+    fn conditional_jump_taken_and_not() {
+        let mk = |needle: u32| {
+            Program::new(vec![
+                Insn::stmt(BPF_LD | BPF_W | BPF_ABS, 0),
+                Insn::jump(BPF_JMP | BPF_JEQ | BPF_K, needle, 0, 1),
+                Insn::stmt(BPF_RET | BPF_K, 1), // matched
+                Insn::stmt(BPF_RET | BPF_K, 2), // not matched
+            ])
+        };
+        assert_eq!(run(&mk(42), &le_data(&[42])), Ok(1));
+        assert_eq!(run(&mk(43), &le_data(&[42])), Ok(2));
+    }
+
+    #[test]
+    fn unsigned_comparisons() {
+        // JGT on values that would flip sign if treated as i32.
+        let p = Program::new(vec![
+            Insn::stmt(BPF_LD | BPF_IMM, 0x8000_0000),
+            Insn::jump(BPF_JMP | BPF_JGT | BPF_K, 1, 0, 1),
+            Insn::stmt(BPF_RET | BPF_K, 1),
+            Insn::stmt(BPF_RET | BPF_K, 0),
+        ]);
+        assert_eq!(run(&p, &[]), Ok(1));
+    }
+
+    #[test]
+    fn alu_wrapping() {
+        let p = Program::new(vec![
+            Insn::stmt(BPF_LD | BPF_IMM, u32::MAX),
+            Insn::stmt(BPF_ALU | BPF_ADD | BPF_K, 2),
+            Insn::stmt(BPF_RET | BPF_A, 0),
+        ]);
+        assert_eq!(run(&p, &[]), Ok(1));
+    }
+
+    #[test]
+    fn div_by_runtime_zero_returns_zero() {
+        let p = Program::new(vec![
+            Insn::stmt(BPF_LD | BPF_IMM, 9),
+            Insn::stmt(BPF_LDX | BPF_IMM, 0),
+            Insn::stmt(BPF_ALU | BPF_DIV | BPF_X, 0),
+            Insn::stmt(BPF_RET | BPF_K, 5),
+        ]);
+        assert_eq!(run(&p, &[]), Ok(0));
+    }
+
+    #[test]
+    fn scratch_memory_and_transfers() {
+        let p = Program::new(vec![
+            Insn::stmt(BPF_LD | BPF_IMM, 7),
+            Insn::stmt(BPF_ST, 3),
+            Insn::stmt(BPF_LD | BPF_IMM, 0),
+            Insn::stmt(BPF_LDX | BPF_MEM, 3),
+            Insn::stmt(BPF_MISC | BPF_TXA, 0),
+            Insn::stmt(BPF_ALU | BPF_MUL | BPF_K, 6),
+            Insn::stmt(BPF_RET | BPF_A, 0),
+        ]);
+        assert_eq!(run(&p, &[]), Ok(42));
+    }
+
+    #[test]
+    fn len_loads() {
+        let p = Program::new(vec![
+            Insn::stmt(BPF_LD | BPF_W | BPF_LEN, 0),
+            Insn::stmt(BPF_RET | BPF_A, 0),
+        ]);
+        assert_eq!(run(&p, &[0; 64]), Ok(64));
+    }
+
+    #[test]
+    fn step_count_reported() {
+        let p = Program::new(vec![
+            Insn::stmt(BPF_LD | BPF_IMM, 1),
+            Insn::stmt(BPF_ALU | BPF_ADD | BPF_K, 1),
+            Insn::stmt(BPF_RET | BPF_A, 0),
+        ]);
+        assert_eq!(run_counted(&p, &[]), Ok((2, 3)));
+    }
+
+    #[test]
+    fn ja_skips() {
+        let p = Program::new(vec![
+            Insn::stmt(BPF_JMP | BPF_JA, 1),
+            Insn::stmt(BPF_RET | BPF_K, 1),
+            Insn::stmt(BPF_RET | BPF_K, 2),
+        ]);
+        assert_eq!(run(&p, &[]), Ok(2));
+    }
+
+    #[test]
+    fn fell_off_end_detected_on_unvalidated_program() {
+        let p = Program::new(vec![Insn::stmt(BPF_LD | BPF_IMM, 1)]);
+        assert_eq!(run(&p, &[]), Err(RunError::FellOffEnd));
+        // ...and the validator would have rejected it anyway.
+        assert!(validate(&p).is_err());
+    }
+
+    #[test]
+    fn jset_bit_test() {
+        let mk = |mask: u32| {
+            Program::new(vec![
+                Insn::stmt(BPF_LD | BPF_W | BPF_ABS, 0),
+                Insn::jump(BPF_JMP | BPF_JSET | BPF_K, mask, 0, 1),
+                Insn::stmt(BPF_RET | BPF_K, 1),
+                Insn::stmt(BPF_RET | BPF_K, 0),
+            ])
+        };
+        assert_eq!(run(&mk(0o060000), &le_data(&[0o020000])), Ok(1));
+        assert_eq!(run(&mk(0o060000), &le_data(&[0o100000])), Ok(0));
+    }
+
+    #[test]
+    fn halfword_and_byte_loads() {
+        let data = [0xCD, 0xAB, 0x12, 0x34];
+        let ph = Program::new(vec![
+            Insn::stmt(BPF_LD | BPF_H | BPF_ABS, 0),
+            Insn::stmt(BPF_RET | BPF_A, 0),
+        ]);
+        assert_eq!(run(&ph, &data), Ok(0xABCD));
+        let pb = Program::new(vec![
+            Insn::stmt(BPF_LD | BPF_B | BPF_ABS, 3),
+            Insn::stmt(BPF_RET | BPF_A, 0),
+        ]);
+        assert_eq!(run(&pb, &data), Ok(0x34));
+    }
+}

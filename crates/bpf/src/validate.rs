@@ -1,0 +1,280 @@
+//! Kernel-style program admission: a port of `sk_chk_filter`.
+//!
+//! The rules guarantee termination (jumps are strictly forward) and memory
+//! safety (scratch slots bounded, division by a constant zero rejected),
+//! which is why the kernel can run untrusted filters on every system call.
+//! The paper leans on exactly this property: "BPF does not have loops, so
+//! it can be verified for completion by the kernel" (§4).
+
+use crate::insn::*;
+
+/// Why a program was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// Zero instructions, or more than [`BPF_MAXINSNS`].
+    BadLength(usize),
+    /// Unknown or unsupported opcode at `pc`.
+    BadOpcode {
+        /// Offending program counter.
+        pc: usize,
+        /// Offending opcode.
+        code: u16,
+    },
+    /// A jump target falls outside the program.
+    JumpOutOfRange {
+        /// Offending program counter.
+        pc: usize,
+    },
+    /// Scratch-memory access with slot index ≥ 16.
+    BadMemSlot {
+        /// Offending program counter.
+        pc: usize,
+        /// Requested slot.
+        slot: u32,
+    },
+    /// `DIV`/`MOD` by a constant zero.
+    DivisionByZero {
+        /// Offending program counter.
+        pc: usize,
+    },
+    /// The final instruction is not a `RET`.
+    NoTrailingRet,
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidateError::BadLength(n) => write!(f, "bad program length {n}"),
+            ValidateError::BadOpcode { pc, code } => {
+                write!(f, "invalid opcode {code:#06x} at pc {pc}")
+            }
+            ValidateError::JumpOutOfRange { pc } => {
+                write!(f, "jump out of range at pc {pc}")
+            }
+            ValidateError::BadMemSlot { pc, slot } => {
+                write!(f, "scratch slot {slot} out of range at pc {pc}")
+            }
+            ValidateError::DivisionByZero { pc } => {
+                write!(f, "division by constant zero at pc {pc}")
+            }
+            ValidateError::NoTrailingRet => write!(f, "last instruction is not RET"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// The set of opcodes `sk_chk_filter` accepts (ancillary loads excluded —
+/// they are network-only).
+#[rustfmt::skip]
+const VALID_CODES: &[u16] = &[
+    // loads into A
+    BPF_LD | BPF_W | BPF_ABS, BPF_LD | BPF_H | BPF_ABS, BPF_LD | BPF_B | BPF_ABS,
+    BPF_LD | BPF_W | BPF_IND, BPF_LD | BPF_H | BPF_IND, BPF_LD | BPF_B | BPF_IND,
+    BPF_LD | BPF_IMM, BPF_LD | BPF_MEM, BPF_LD | BPF_W | BPF_LEN,
+    // loads into X
+    BPF_LDX | BPF_IMM, BPF_LDX | BPF_MEM, BPF_LDX | BPF_W | BPF_LEN,
+    BPF_LDX | BPF_B | BPF_MSH,
+    // stores
+    BPF_ST, BPF_STX,
+    // ALU
+    BPF_ALU | BPF_ADD | BPF_K, BPF_ALU | BPF_ADD | BPF_X,
+    BPF_ALU | BPF_SUB | BPF_K, BPF_ALU | BPF_SUB | BPF_X,
+    BPF_ALU | BPF_MUL | BPF_K, BPF_ALU | BPF_MUL | BPF_X,
+    BPF_ALU | BPF_DIV | BPF_K, BPF_ALU | BPF_DIV | BPF_X,
+    BPF_ALU | BPF_MOD | BPF_K, BPF_ALU | BPF_MOD | BPF_X,
+    BPF_ALU | BPF_AND | BPF_K, BPF_ALU | BPF_AND | BPF_X,
+    BPF_ALU | BPF_OR | BPF_K, BPF_ALU | BPF_OR | BPF_X,
+    BPF_ALU | BPF_XOR | BPF_K, BPF_ALU | BPF_XOR | BPF_X,
+    BPF_ALU | BPF_LSH | BPF_K, BPF_ALU | BPF_LSH | BPF_X,
+    BPF_ALU | BPF_RSH | BPF_K, BPF_ALU | BPF_RSH | BPF_X,
+    BPF_ALU | BPF_NEG,
+    // jumps
+    BPF_JMP | BPF_JA,
+    BPF_JMP | BPF_JEQ | BPF_K, BPF_JMP | BPF_JEQ | BPF_X,
+    BPF_JMP | BPF_JGT | BPF_K, BPF_JMP | BPF_JGT | BPF_X,
+    BPF_JMP | BPF_JGE | BPF_K, BPF_JMP | BPF_JGE | BPF_X,
+    BPF_JMP | BPF_JSET | BPF_K, BPF_JMP | BPF_JSET | BPF_X,
+    // returns
+    BPF_RET | BPF_K, BPF_RET | BPF_A,
+    // register transfers
+    BPF_MISC | BPF_TAX, BPF_MISC | BPF_TXA,
+];
+
+fn opcode_ok(code: u16) -> bool {
+    VALID_CODES.contains(&code)
+}
+
+/// Check `prog` the way the kernel checks a filter at install time.
+pub fn validate(prog: &Program) -> Result<(), ValidateError> {
+    let insns = prog.insns();
+    let len = insns.len();
+    if len == 0 || len > BPF_MAXINSNS {
+        return Err(ValidateError::BadLength(len));
+    }
+
+    for (pc, insn) in insns.iter().enumerate() {
+        if !opcode_ok(insn.code) {
+            return Err(ValidateError::BadOpcode { pc, code: insn.code });
+        }
+
+        match insn.code & 0x07 {
+            BPF_JMP => {
+                if insn.code == BPF_JMP | BPF_JA {
+                    // pc + 1 + k must stay in range (k is unsigned: cBPF
+                    // jumps are forward-only, which is what rules out
+                    // loops).
+                    let target = pc as u64 + 1 + u64::from(insn.k);
+                    if target >= len as u64 {
+                        return Err(ValidateError::JumpOutOfRange { pc });
+                    }
+                } else {
+                    let t = pc + 1 + insn.jt as usize;
+                    let f = pc + 1 + insn.jf as usize;
+                    if t >= len || f >= len {
+                        return Err(ValidateError::JumpOutOfRange { pc });
+                    }
+                }
+            }
+            BPF_ST | BPF_STX if insn.k >= BPF_MEMWORDS => {
+                return Err(ValidateError::BadMemSlot { pc, slot: insn.k });
+            }
+            BPF_LD | BPF_LDX => {
+                let mode = insn.code & 0xe0;
+                if mode == BPF_MEM && insn.k >= BPF_MEMWORDS {
+                    return Err(ValidateError::BadMemSlot { pc, slot: insn.k });
+                }
+            }
+            BPF_ALU => {
+                let op = insn.code & 0xf0;
+                if (op == BPF_DIV || op == BPF_MOD)
+                    && insn.code & BPF_X == 0
+                    && insn.k == 0
+                {
+                    return Err(ValidateError::DivisionByZero { pc });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if insns[len - 1].class() != BPF_RET {
+        return Err(ValidateError::NoTrailingRet);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ret(k: u32) -> Insn {
+        Insn::stmt(BPF_RET | BPF_K, k)
+    }
+
+    #[test]
+    fn minimal_program_ok() {
+        assert_eq!(validate(&Program::new(vec![ret(0)])), Ok(()));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(
+            validate(&Program::new(vec![])),
+            Err(ValidateError::BadLength(0))
+        );
+    }
+
+    #[test]
+    fn oversized_rejected() {
+        let prog = Program::new(vec![ret(0); BPF_MAXINSNS + 1]);
+        assert!(matches!(
+            validate(&prog),
+            Err(ValidateError::BadLength(_))
+        ));
+    }
+
+    #[test]
+    fn max_size_accepted() {
+        let prog = Program::new(vec![ret(0); BPF_MAXINSNS]);
+        assert_eq!(validate(&prog), Ok(()));
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        let prog = Program::new(vec![Insn::stmt(0xffff, 0), ret(0)]);
+        assert!(matches!(
+            validate(&prog),
+            Err(ValidateError::BadOpcode { pc: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn jump_past_end_rejected() {
+        let prog = Program::new(vec![
+            Insn::jump(BPF_JMP | BPF_JEQ | BPF_K, 0, 5, 0),
+            ret(0),
+        ]);
+        assert_eq!(
+            validate(&prog),
+            Err(ValidateError::JumpOutOfRange { pc: 0 })
+        );
+    }
+
+    #[test]
+    fn ja_past_end_rejected() {
+        let prog = Program::new(vec![Insn::stmt(BPF_JMP | BPF_JA, 1), ret(0)]);
+        assert_eq!(
+            validate(&prog),
+            Err(ValidateError::JumpOutOfRange { pc: 0 })
+        );
+    }
+
+    #[test]
+    fn ja_in_range_ok() {
+        let prog = Program::new(vec![
+            Insn::stmt(BPF_JMP | BPF_JA, 1),
+            ret(1), // skipped
+            ret(0),
+        ]);
+        assert_eq!(validate(&prog), Ok(()));
+    }
+
+    #[test]
+    fn bad_mem_slot_rejected() {
+        let prog = Program::new(vec![Insn::stmt(BPF_ST, 16), ret(0)]);
+        assert_eq!(
+            validate(&prog),
+            Err(ValidateError::BadMemSlot { pc: 0, slot: 16 })
+        );
+        let prog = Program::new(vec![Insn::stmt(BPF_LD | BPF_MEM, 99), ret(0)]);
+        assert!(matches!(
+            validate(&prog),
+            Err(ValidateError::BadMemSlot { pc: 0, slot: 99 })
+        ));
+    }
+
+    #[test]
+    fn div_by_const_zero_rejected() {
+        let prog = Program::new(vec![Insn::stmt(BPF_ALU | BPF_DIV | BPF_K, 0), ret(0)]);
+        assert_eq!(
+            validate(&prog),
+            Err(ValidateError::DivisionByZero { pc: 0 })
+        );
+        // By X is fine statically (checked at runtime).
+        let prog = Program::new(vec![Insn::stmt(BPF_ALU | BPF_DIV | BPF_X, 0), ret(0)]);
+        assert_eq!(validate(&prog), Ok(()));
+    }
+
+    #[test]
+    fn missing_trailing_ret_rejected() {
+        let prog = Program::new(vec![Insn::stmt(BPF_LD | BPF_IMM, 1)]);
+        assert_eq!(validate(&prog), Err(ValidateError::NoTrailingRet));
+    }
+
+    #[test]
+    fn mem_slot_15_ok() {
+        let prog = Program::new(vec![Insn::stmt(BPF_ST, 15), ret(0)]);
+        assert_eq!(validate(&prog), Ok(()));
+    }
+}

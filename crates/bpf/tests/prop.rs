@@ -1,0 +1,78 @@
+//! Property tests: the validator admits only programs the interpreter can
+//! run to completion, and the interpreter is total (never panics, never
+//! loops) on arbitrary instruction soup.
+
+use proptest::prelude::*;
+use zr_bpf::insn::*;
+use zr_bpf::{run_counted, validate, Insn, Program};
+
+/// Arbitrary-but-plausible instruction generator.
+fn arb_insn(len: usize) -> impl Strategy<Value = Insn> {
+    let codes = prop_oneof![
+        Just(BPF_LD | BPF_W | BPF_ABS),
+        Just(BPF_LD | BPF_IMM),
+        Just(BPF_LD | BPF_MEM),
+        Just(BPF_LDX | BPF_IMM),
+        Just(BPF_LDX | BPF_MEM),
+        Just(BPF_ST),
+        Just(BPF_STX),
+        Just(BPF_ALU | BPF_ADD | BPF_K),
+        Just(BPF_ALU | BPF_SUB | BPF_X),
+        Just(BPF_ALU | BPF_AND | BPF_K),
+        Just(BPF_ALU | BPF_DIV | BPF_K),
+        Just(BPF_ALU | BPF_DIV | BPF_X),
+        Just(BPF_ALU | BPF_NEG),
+        Just(BPF_JMP | BPF_JA),
+        Just(BPF_JMP | BPF_JEQ | BPF_K),
+        Just(BPF_JMP | BPF_JGT | BPF_K),
+        Just(BPF_JMP | BPF_JGE | BPF_X),
+        Just(BPF_JMP | BPF_JSET | BPF_K),
+        Just(BPF_RET | BPF_K),
+        Just(BPF_RET | BPF_A),
+        Just(BPF_MISC | BPF_TAX),
+        Just(BPF_MISC | BPF_TXA),
+        any::<u16>(), // garbage opcodes too
+    ];
+    (codes, 0..=(len as u32 + 4), any::<u8>(), any::<u8>()).prop_map(
+        |(code, k, jt, jf)| Insn {
+            code,
+            jt,
+            jf,
+            k: k % 64, // keep jumps/slots plausible so some programs validate
+        },
+    )
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    prop::collection::vec(arb_insn(32), 1..48).prop_map(|mut v| {
+        // Give programs a fighting chance of validating.
+        v.push(Insn::stmt(BPF_RET | BPF_K, 0));
+        Program::new(v)
+    })
+}
+
+proptest! {
+    /// Validated programs always terminate with a value, within the
+    /// instruction budget implied by forward-only jumps.
+    #[test]
+    fn validated_programs_terminate(prog in arb_program(), data in prop::collection::vec(any::<u8>(), 0..80)) {
+        if validate(&prog).is_ok() {
+            let (_, steps) = run_counted(&prog, &data).expect("validated program must run");
+            prop_assert!(steps <= prog.len() as u64);
+        }
+    }
+
+    /// The interpreter is total even on unvalidated soup: it returns
+    /// Ok or Err, never hangs (fuel bound) and never panics.
+    #[test]
+    fn interpreter_total(prog in arb_program(), data in prop::collection::vec(any::<u8>(), 0..80)) {
+        let _ = run_counted(&prog, &data);
+    }
+
+    /// Serialization round-trips.
+    #[test]
+    fn bytes_roundtrip(prog in arb_program()) {
+        let bytes = prog.to_bytes();
+        prop_assert_eq!(Program::from_bytes(&bytes), Some(prog));
+    }
+}

@@ -1,0 +1,202 @@
+//! `zr-image` — a ch-image-flavoured CLI over the simulated build stack.
+//!
+//! ```text
+//! zr-image build -t TAG [--force=MODE] [-f DOCKERFILE] [CONTEXT_DIR]
+//! zr-image filter [ARCH…]       # compiled seccomp filter, disassembled
+//! zr-image table                # the 29 filtered syscalls × 6 arches
+//! zr-image list                 # known base images
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use zeroroot_core::Mode;
+use zr_build::{BuildOptions, Builder};
+use zr_kernel::Kernel;
+use zr_syscalls::filtered::{filtered_on, FILTERED};
+use zr_syscalls::Arch;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: zr-image build -t TAG [--force=MODE] [-f DOCKERFILE] [CONTEXT_DIR]");
+    eprintln!("       zr-image filter [ARCH…]");
+    eprintln!("       zr-image table");
+    eprintln!("       zr-image list");
+    eprintln!();
+    eprintln!("modes: none seccomp seccomp+xattr seccomp+ids fakeroot fakeroot-bind proot proot-accel");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("build") => cmd_build(&args[1..]),
+        Some("filter") => cmd_filter(&args[1..]),
+        Some("table") => cmd_table(),
+        Some("list") => {
+            for r in zr_image::Registry::catalog() {
+                println!("{r}");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+fn cmd_build(args: &[String]) -> ExitCode {
+    let mut tag = "img".to_string();
+    let mut force = Mode::Seccomp;
+    let mut file: Option<String> = None;
+    let mut context_dir: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-t" => match it.next() {
+                Some(t) => tag = t.clone(),
+                None => return usage(),
+            },
+            "-f" => match it.next() {
+                Some(f) => file = Some(f.clone()),
+                None => return usage(),
+            },
+            _ if a.starts_with("--force=") => {
+                let value = &a["--force=".len()..];
+                match Mode::from_flag(value) {
+                    Some(m) => force = m,
+                    None => {
+                        eprintln!("error: unknown --force mode '{value}'");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            _ if !a.starts_with('-') => context_dir = Some(a.clone()),
+            _ => return usage(),
+        }
+    }
+
+    let dockerfile = match file.as_deref() {
+        Some("-") => {
+            let mut buf = String::new();
+            if std::io::stdin().read_to_string(&mut buf).is_err() || buf.is_empty() {
+                eprintln!("error: no Dockerfile on stdin");
+                return ExitCode::FAILURE;
+            }
+            buf
+        }
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            // Like ch-image: default ./Dockerfile, else read stdin.
+            match std::fs::read_to_string("Dockerfile") {
+                Ok(text) => text,
+                Err(_) => {
+                    let mut buf = String::new();
+                    if std::io::stdin().read_to_string(&mut buf).is_err() || buf.is_empty() {
+                        eprintln!("error: no Dockerfile (use -f PATH or pipe one in)");
+                        return ExitCode::FAILURE;
+                    }
+                    buf
+                }
+            }
+        }
+    };
+
+    // Load the build context (flat: regular files in the directory).
+    let mut context = Vec::new();
+    if let Some(dir) = context_dir {
+        if let Ok(entries) = std::fs::read_dir(&dir) {
+            for entry in entries.flatten() {
+                if entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
+                    if let Ok(data) = std::fs::read(entry.path()) {
+                        context.push((entry.file_name().to_string_lossy().into_owned(), data));
+                    }
+                }
+            }
+        }
+    }
+
+    let mut kernel = Kernel::default_kernel();
+    let mut builder = Builder::new();
+    let opts = BuildOptions { tag, force, context, ..BuildOptions::default() };
+    let result = builder.build(&mut kernel, &dockerfile, &opts);
+    for line in &result.log {
+        println!("{line}");
+    }
+    let stats = kernel.trace.stats();
+    eprintln!(
+        "[trace] syscalls={} privileged={} faked={} failed={} bpf-instructions={}",
+        stats.total, stats.privileged, stats.faked, stats.failed, stats.filter_steps
+    );
+    if result.success {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_filter(args: &[String]) -> ExitCode {
+    let arches: Vec<Arch> = if args.is_empty() {
+        Arch::ALL.to_vec()
+    } else {
+        let mut v = Vec::new();
+        for a in args {
+            match Arch::ALL.iter().find(|x| x.name() == a) {
+                Some(x) => v.push(*x),
+                None => {
+                    eprintln!("error: unknown arch '{a}'");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        v
+    };
+    let spec = zr_seccomp::spec::zero_consistency(&arches);
+    match zr_seccomp::compile(&spec) {
+        Ok(prog) => {
+            println!(
+                "; zero-consistency filter: {} arches, {} instructions",
+                arches.len(),
+                prog.len()
+            );
+            print!("{}", zr_bpf::disasm::disasm(&prog));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_table() -> ExitCode {
+    println!("The 29 filtered system calls (paper §5), by class and architecture:\n");
+    print!("{:<14} {:<36}", "syscall", "class");
+    for arch in Arch::ALL {
+        print!(" {:>8}", arch.name());
+    }
+    println!();
+    for f in FILTERED {
+        print!("{:<14} {:<36}", f.sysno.name(), f.class.describe());
+        for arch in Arch::ALL {
+            match f.sysno.number(arch) {
+                Some(nr) => print!(" {nr:>8}"),
+                None => print!(" {:>8}", "-"),
+            }
+        }
+        println!();
+    }
+    println!();
+    for arch in Arch::ALL {
+        println!(
+            "{}: {} of 29 filtered syscalls exist",
+            arch.name(),
+            filtered_on(arch).len()
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,297 @@
+//! Emulation logic shared by the consistent emulators.
+//!
+//! fakeroot (preload) and PRoot (ptrace) intercept at different layers
+//! but *emulate the same calls the same way*: pretend to be root, record
+//! metadata changes in a state store, and overlay that state onto reads.
+//! This module holds the one implementation both wrap around their
+//! respective stores.
+
+use zr_kernel::{Kernel, Pid, SysCall, SysResult, SysRet};
+use zr_syscalls::{mode, Errno};
+use zr_vfs::inode::Stat;
+
+/// The pretended identity of processes under consistent emulation.
+///
+/// This is the state that makes apt work under fakeroot/PRoot (§6:
+/// "a process under emulation can make changes to identity … and have the
+/// emulated changes reflected back later … sometimes it does matter,
+/// e.g., apt"): set\*id calls update it, get\*id calls report it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FakeIds {
+    /// (ruid, euid, suid) the process believes it has.
+    pub uids: (u32, u32, u32),
+    /// (rgid, egid, sgid).
+    pub gids: (u32, u32, u32),
+    /// Supplementary groups.
+    pub groups: Vec<u32>,
+}
+
+/// Access to wherever the emulator keeps its pretended metadata (a local
+/// map for PRoot, a daemon process for fakeroot).
+pub trait OverlayStore {
+    /// Record a faked ownership change.
+    fn set_owner(&mut self, ino: u64, uid: Option<u32>, gid: Option<u32>);
+    /// Record a faked permission change.
+    fn set_perm(&mut self, ino: u64, perm: u32);
+    /// Record a faked device node whose real backing is `ino`.
+    fn set_device(&mut self, ino: u64, type_bits: u32, dev: u64);
+    /// Record a faked xattr.
+    fn set_xattr(&mut self, ino: u64, name: &str, value: Vec<u8>);
+    /// Read a faked xattr.
+    fn get_xattr(&mut self, ino: u64, name: &str) -> Option<Vec<u8>>;
+    /// Remove a faked xattr; true if one existed.
+    fn remove_xattr(&mut self, ino: u64, name: &str) -> bool;
+    /// Overlay pretended metadata onto a stat result.
+    fn overlay_stat(&mut self, st: Stat) -> Stat;
+    /// Drop all state for an inode (unlinked).
+    fn forget(&mut self, ino: u64);
+}
+
+fn real(k: &mut Kernel, pid: Pid, call: SysCall) -> SysResult<SysRet> {
+    k.syscall_nohook(pid, call)
+}
+
+fn real_stat(k: &mut Kernel, pid: Pid, path: &str, follow: bool) -> SysResult<Stat> {
+    let call = if follow {
+        SysCall::Stat { path: path.into() }
+    } else {
+        SysCall::Lstat { path: path.into() }
+    };
+    match real(k, pid, call)? {
+        SysRet::Stat(st) => Ok(st),
+        _ => Err(Errno::EINVAL.into()),
+    }
+}
+
+/// Emulate `call` if it is one the consistent emulators handle.
+/// `None` means "not ours — let it through".
+pub fn emulate_call(
+    k: &mut Kernel,
+    pid: Pid,
+    call: &SysCall,
+    store: &mut dyn OverlayStore,
+    ids: &mut FakeIds,
+) -> Option<SysResult<SysRet>> {
+    match call {
+        // ---- consistent identity: reads report what writes pretended ----
+        SysCall::Getuid => Some(Ok(SysRet::Id(ids.uids.0))),
+        SysCall::Geteuid => Some(Ok(SysRet::Id(ids.uids.1))),
+        SysCall::Getgid => Some(Ok(SysRet::Id(ids.gids.0))),
+        SysCall::Getegid => Some(Ok(SysRet::Id(ids.gids.1))),
+        SysCall::Getresuid => Some(Ok(SysRet::Triple(ids.uids.0, ids.uids.1, ids.uids.2))),
+        SysCall::Getresgid => Some(Ok(SysRet::Triple(ids.gids.0, ids.gids.1, ids.gids.2))),
+        SysCall::Getgroups => Some(Ok(SysRet::Groups(ids.groups.clone()))),
+
+        SysCall::Setuid { uid } => {
+            ids.uids = (*uid, *uid, *uid);
+            Some(Ok(SysRet::Unit))
+        }
+        SysCall::Setgid { gid } => {
+            ids.gids = (*gid, *gid, *gid);
+            Some(Ok(SysRet::Unit))
+        }
+        SysCall::Setreuid { r, e } => {
+            if let Some(r) = r {
+                ids.uids.0 = *r;
+            }
+            if let Some(e) = e {
+                ids.uids.1 = *e;
+            }
+            Some(Ok(SysRet::Unit))
+        }
+        SysCall::Setregid { r, e } => {
+            if let Some(r) = r {
+                ids.gids.0 = *r;
+            }
+            if let Some(e) = e {
+                ids.gids.1 = *e;
+            }
+            Some(Ok(SysRet::Unit))
+        }
+        SysCall::Setresuid { r, e, s } => {
+            if let Some(r) = r {
+                ids.uids.0 = *r;
+            }
+            if let Some(e) = e {
+                ids.uids.1 = *e;
+            }
+            if let Some(s) = s {
+                ids.uids.2 = *s;
+            }
+            Some(Ok(SysRet::Unit))
+        }
+        SysCall::Setresgid { r, e, s } => {
+            if let Some(r) = r {
+                ids.gids.0 = *r;
+            }
+            if let Some(e) = e {
+                ids.gids.1 = *e;
+            }
+            if let Some(s) = s {
+                ids.gids.2 = *s;
+            }
+            Some(Ok(SysRet::Unit))
+        }
+        SysCall::Setgroups { groups } => {
+            ids.groups = groups.clone();
+            Some(Ok(SysRet::Unit))
+        }
+        SysCall::Capset { .. } => Some(Ok(SysRet::Unit)),
+
+        // ---- metadata writes: record the lie ----------------------------
+        SysCall::Chown { path, uid, gid } => {
+            Some(emulate_chown(k, pid, store, path, *uid, *gid, true))
+        }
+        SysCall::Lchown { path, uid, gid } => {
+            Some(emulate_chown(k, pid, store, path, *uid, *gid, false))
+        }
+        SysCall::Fchownat { path, uid, gid, nofollow } => {
+            Some(emulate_chown(k, pid, store, path, *uid, *gid, !nofollow))
+        }
+        SysCall::Chmod { path, perm } => Some(emulate_chmod(k, pid, store, path, *perm)),
+        SysCall::Mknod { path, mode: m, dev } | SysCall::Mknodat { path, mode: m, dev } => {
+            if mode::is_device(*m) {
+                Some(emulate_mknod_device(k, pid, store, path, *m, *dev))
+            } else {
+                None // non-device mknod works unprivileged; pass through
+            }
+        }
+        SysCall::Setxattr { path, name, value } => {
+            Some(match real_stat(k, pid, path, true) {
+                Ok(st) => {
+                    store.set_xattr(st.ino, name, value.clone());
+                    Ok(SysRet::Unit)
+                }
+                Err(e) => Err(e),
+            })
+        }
+        SysCall::Getxattr { path, name } => match real_stat(k, pid, path, true) {
+            Ok(st) => store.get_xattr(st.ino, name).map(|v| Ok(SysRet::Bytes(v))),
+            Err(e) => Some(Err(e)),
+        },
+        SysCall::Removexattr { path, name } => match real_stat(k, pid, path, true) {
+            Ok(st) => {
+                if store.remove_xattr(st.ino, name) {
+                    Some(Ok(SysRet::Unit))
+                } else {
+                    None // fall through to the real (probably ENODATA)
+                }
+            }
+            Err(e) => Some(Err(e)),
+        },
+
+        // ---- metadata reads: overlay the lie ------------------------------
+        SysCall::Stat { path } => Some(match real_stat(k, pid, path, true) {
+            Ok(st) => Ok(SysRet::Stat(store.overlay_stat(st))),
+            Err(e) => Err(e),
+        }),
+        SysCall::Lstat { path } => Some(match real_stat(k, pid, path, false) {
+            Ok(st) => Ok(SysRet::Stat(store.overlay_stat(st))),
+            Err(e) => Err(e),
+        }),
+
+        // ---- state hygiene ---------------------------------------------------
+        SysCall::Unlink { path } => {
+            let before = real_stat(k, pid, path, false);
+            let result = real(k, pid, call.clone());
+            if result.is_ok() {
+                if let Ok(st) = before {
+                    if st.nlink <= 1 {
+                        store.forget(st.ino);
+                    }
+                }
+            }
+            Some(result)
+        }
+
+        _ => None,
+    }
+}
+
+fn emulate_chown(
+    k: &mut Kernel,
+    pid: Pid,
+    store: &mut dyn OverlayStore,
+    path: &str,
+    uid: Option<u32>,
+    gid: Option<u32>,
+    follow: bool,
+) -> SysResult<SysRet> {
+    let st = real_stat(k, pid, path, follow)?; // ENOENT etc. stay honest
+    store.set_owner(st.ino, uid, gid);
+    Ok(SysRet::Unit)
+}
+
+fn emulate_chmod(
+    k: &mut Kernel,
+    pid: Pid,
+    store: &mut dyn OverlayStore,
+    path: &str,
+    perm: u32,
+) -> SysResult<SysRet> {
+    let st = real_stat(k, pid, path, true)?;
+    // Apply for real where possible (the container user usually owns the
+    // file, and real execute bits matter), and remember the full request
+    // (including setuid bits an unprivileged chmod may not keep).
+    let _ = real(k, pid, SysCall::Chmod { path: path.into(), perm });
+    store.set_perm(st.ino, perm);
+    Ok(SysRet::Unit)
+}
+
+fn emulate_mknod_device(
+    k: &mut Kernel,
+    pid: Pid,
+    store: &mut dyn OverlayStore,
+    path: &str,
+    m: u32,
+    dev: u64,
+) -> SysResult<SysRet> {
+    // Placeholder regular file stands in for the device node.
+    match real(
+        k,
+        pid,
+        SysCall::WriteFile { path: path.into(), perm: m & 0o7777, data: Vec::new() },
+    ) {
+        Ok(_) => {}
+        Err(e) => return Err(e),
+    }
+    let st = real_stat(k, pid, path, false)?;
+    store.set_device(st.ino, mode::file_type(m), dev);
+    Ok(SysRet::Unit)
+}
+
+/// Is `call` one the consistent emulators would intercept? (Used by the
+/// accelerated-PRoot cost model: these are the calls its helper filter
+/// marks for tracing.)
+pub fn is_interesting(call: &SysCall) -> bool {
+    matches!(
+        call,
+        SysCall::Getuid
+            | SysCall::Geteuid
+            | SysCall::Getgid
+            | SysCall::Getegid
+            | SysCall::Getresuid
+            | SysCall::Getresgid
+            | SysCall::Getgroups
+            | SysCall::Setuid { .. }
+            | SysCall::Setgid { .. }
+            | SysCall::Setreuid { .. }
+            | SysCall::Setregid { .. }
+            | SysCall::Setresuid { .. }
+            | SysCall::Setresgid { .. }
+            | SysCall::Setgroups { .. }
+            | SysCall::Capset { .. }
+            | SysCall::Chown { .. }
+            | SysCall::Lchown { .. }
+            | SysCall::Fchownat { .. }
+            | SysCall::Chmod { .. }
+            | SysCall::Mknod { .. }
+            | SysCall::Mknodat { .. }
+            | SysCall::Setxattr { .. }
+            | SysCall::Getxattr { .. }
+            | SysCall::Removexattr { .. }
+            | SysCall::Stat { .. }
+            | SysCall::Lstat { .. }
+            | SysCall::Unlink { .. }
+    )
+}

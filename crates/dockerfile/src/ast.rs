@@ -1,0 +1,137 @@
+//! The parsed representation.
+
+/// `COPY`/`ADD` arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CopySpec {
+    /// Sources (context-relative).
+    pub sources: Vec<String>,
+    /// Destination (image path; trailing `/` means directory).
+    pub dest: String,
+    /// `--chown=user[:group]`, verbatim.
+    pub chown: Option<String>,
+    /// `--from=stage` for multi-stage copies.
+    pub from: Option<String>,
+}
+
+/// One Dockerfile instruction, with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instruction {
+    /// `FROM image[:tag] [AS name]`.
+    From {
+        /// Image reference text.
+        image: String,
+        /// Optional stage alias.
+        alias: Option<String>,
+    },
+    /// `RUN` in shell form (a command line for `/bin/sh -c`).
+    RunShell(String),
+    /// `RUN` in exec form (`["prog", "arg", …]`).
+    RunExec(Vec<String>),
+    /// `ENV` assignments.
+    Env(Vec<(String, String)>),
+    /// `ARG name[=default]`.
+    Arg {
+        /// Variable name.
+        name: String,
+        /// Optional default.
+        default: Option<String>,
+    },
+    /// `WORKDIR path`.
+    Workdir(String),
+    /// `USER spec`.
+    User(String),
+    /// `LABEL` pairs.
+    Label(Vec<(String, String)>),
+    /// `COPY`.
+    Copy(CopySpec),
+    /// `ADD` (treated as COPY; URL/tar semantics out of scope).
+    Add(CopySpec),
+    /// `ENTRYPOINT` (exec or shell form normalized to argv).
+    Entrypoint(Vec<String>),
+    /// `CMD` (same normalization).
+    Cmd(Vec<String>),
+    /// `SHELL ["sh", "-c"]`.
+    Shell(Vec<String>),
+    /// `EXPOSE`/`VOLUME`/`STOPSIGNAL`/… recorded but inert at build time.
+    NoOp {
+        /// Instruction keyword.
+        keyword: String,
+        /// Raw arguments.
+        args: String,
+    },
+}
+
+impl Instruction {
+    /// The Dockerfile keyword.
+    pub fn keyword(&self) -> &str {
+        match self {
+            Instruction::From { .. } => "FROM",
+            Instruction::RunShell(_) | Instruction::RunExec(_) => "RUN",
+            Instruction::Env(_) => "ENV",
+            Instruction::Arg { .. } => "ARG",
+            Instruction::Workdir(_) => "WORKDIR",
+            Instruction::User(_) => "USER",
+            Instruction::Label(_) => "LABEL",
+            Instruction::Copy(_) => "COPY",
+            Instruction::Add(_) => "ADD",
+            Instruction::Entrypoint(_) => "ENTRYPOINT",
+            Instruction::Cmd(_) => "CMD",
+            Instruction::Shell(_) => "SHELL",
+            Instruction::NoOp { .. } => "NOOP",
+        }
+    }
+}
+
+/// A parsed Dockerfile.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Dockerfile {
+    /// Instructions with their source line numbers.
+    pub instructions: Vec<(u32, Instruction)>,
+}
+
+impl Dockerfile {
+    /// Count of instructions ("grown in N instructions" uses this).
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Empty file?
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// The first FROM's image reference, if any.
+    pub fn base_image(&self) -> Option<&str> {
+        self.instructions.iter().find_map(|(_, i)| match i {
+            Instruction::From { image, .. } => Some(image.as_str()),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords() {
+        assert_eq!(
+            Instruction::From { image: "x".into(), alias: None }.keyword(),
+            "FROM"
+        );
+        assert_eq!(Instruction::RunShell("ls".into()).keyword(), "RUN");
+        assert_eq!(Instruction::RunExec(vec![]).keyword(), "RUN");
+    }
+
+    #[test]
+    fn base_image_finds_first_from() {
+        let df = Dockerfile {
+            instructions: vec![
+                (1, Instruction::Arg { name: "V".into(), default: None }),
+                (2, Instruction::From { image: "alpine:3.19".into(), alias: None }),
+            ],
+        };
+        assert_eq!(df.base_image(), Some("alpine:3.19"));
+        assert_eq!(df.len(), 2);
+    }
+}

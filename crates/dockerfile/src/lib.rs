@@ -1,0 +1,20 @@
+//! # zr-dockerfile — Dockerfile lexer, parser, and AST
+//!
+//! ch-image consumes "the de facto standard Dockerfile" (§3.1); so does
+//! this builder. The dialect covers what HPC image builds use:
+//! `FROM` (with `AS`), `RUN` (shell and exec forms), `COPY`/`ADD` (with
+//! `--chown`), `ENV`, `ARG`, `WORKDIR`, `USER`, `LABEL`, `ENTRYPOINT`,
+//! `CMD`, `SHELL`, `EXPOSE`/`VOLUME`/`STOPSIGNAL` (recorded, no-op),
+//! comments, and backslash line continuations. [`substitute`] implements
+//! `$VAR` / `${VAR}` / `${VAR:-default}` expansion.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod parse;
+pub mod subst;
+
+pub use ast::{CopySpec, Dockerfile, Instruction};
+pub use parse::{parse, ParseError};
+pub use subst::substitute;

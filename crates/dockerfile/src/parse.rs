@@ -1,0 +1,443 @@
+//! The parser: physical lines → logical lines → instructions.
+
+use crate::ast::{CopySpec, Dockerfile, Instruction};
+
+/// Parse failures, with the 1-based line number of the offending logical
+/// line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line number.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Dockerfile line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: u32, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { line, message: message.into() })
+}
+
+/// Join backslash continuations into logical lines, tracking the starting
+/// physical line of each.
+fn logical_lines(text: &str) -> Vec<(u32, String)> {
+    let mut out: Vec<(u32, String)> = Vec::new();
+    let mut pending: Option<(u32, String)> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let (start, mut acc) = match pending.take() {
+            Some((s, a)) => (s, a),
+            None => (lineno, String::new()),
+        };
+        // Comment lines inside a continuation are dropped (Docker
+        // behaviour).
+        let trimmed_lead = raw.trim_start();
+        if acc.is_empty() && trimmed_lead.starts_with('#') {
+            continue;
+        }
+        if !acc.is_empty() && trimmed_lead.starts_with('#') {
+            pending = Some((start, acc));
+            continue;
+        }
+        let trimmed_end = raw.trim_end();
+        if let Some(stripped) = trimmed_end.strip_suffix('\\') {
+            acc.push_str(stripped);
+            acc.push(' ');
+            pending = Some((start, acc));
+        } else {
+            acc.push_str(trimmed_end);
+            let logical = acc.trim().to_string();
+            if !logical.is_empty() {
+                out.push((start, logical));
+            }
+        }
+    }
+    if let Some((start, acc)) = pending {
+        let logical = acc.trim().to_string();
+        if !logical.is_empty() {
+            out.push((start, logical));
+        }
+    }
+    out
+}
+
+/// Parse a JSON-ish exec-form array: `["a", "b c", "d\"e"]`.
+fn parse_exec_array(line: u32, s: &str) -> Result<Vec<String>, ParseError> {
+    let s = s.trim();
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|r| r.strip_suffix(']'))
+        .ok_or(ParseError { line, message: "malformed exec-form array".into() })?;
+    let mut items = Vec::new();
+    let mut chars = inner.chars().peekable();
+    loop {
+        while matches!(chars.peek(), Some(c) if c.is_whitespace() || *c == ',') {
+            chars.next();
+        }
+        match chars.peek() {
+            None => break,
+            Some('"') => {
+                chars.next();
+                let mut item = String::new();
+                loop {
+                    match chars.next() {
+                        None => return err(line, "unterminated string in exec form"),
+                        Some('\\') => match chars.next() {
+                            Some('n') => item.push('\n'),
+                            Some('t') => item.push('\t'),
+                            Some(c) => item.push(c),
+                            None => return err(line, "dangling escape in exec form"),
+                        },
+                        Some('"') => break,
+                        Some(c) => item.push(c),
+                    }
+                }
+                items.push(item);
+            }
+            Some(c) => return err(line, format!("unexpected '{c}' in exec form")),
+        }
+    }
+    Ok(items)
+}
+
+/// Parse `KEY=value` pairs where values may be double-quoted.
+fn parse_pairs(line: u32, s: &str) -> Result<Vec<(String, String)>, ParseError> {
+    let mut pairs = Vec::new();
+    let mut rest = s.trim();
+    while !rest.is_empty() {
+        let eq = match rest.find('=') {
+            Some(i) => i,
+            None => return err(line, format!("expected KEY=value, got '{rest}'")),
+        };
+        let key = rest[..eq].trim().to_string();
+        if key.is_empty() || key.contains(char::is_whitespace) {
+            return err(line, format!("bad key '{key}'"));
+        }
+        rest = &rest[eq + 1..];
+        let value;
+        if let Some(r) = rest.strip_prefix('"') {
+            let close = match r.find('"') {
+                Some(i) => i,
+                None => return err(line, "unterminated quoted value"),
+            };
+            value = r[..close].to_string();
+            rest = r[close + 1..].trim_start();
+        } else {
+            let end = rest.find(char::is_whitespace).unwrap_or(rest.len());
+            value = rest[..end].to_string();
+            rest = rest[end..].trim_start();
+        }
+        pairs.push((key, value));
+    }
+    if pairs.is_empty() {
+        return err(line, "no assignments");
+    }
+    Ok(pairs)
+}
+
+fn parse_copy(line: u32, args: &str) -> Result<CopySpec, ParseError> {
+    let mut chown = None;
+    let mut from = None;
+    let mut words: Vec<String> = Vec::new();
+    for w in args.split_whitespace() {
+        if let Some(v) = w.strip_prefix("--chown=") {
+            chown = Some(v.to_string());
+        } else if let Some(v) = w.strip_prefix("--from=") {
+            from = Some(v.to_string());
+        } else if w.starts_with("--") {
+            return err(line, format!("unsupported flag '{w}'"));
+        } else {
+            words.push(w.to_string());
+        }
+    }
+    if words.len() < 2 {
+        return err(line, "COPY needs at least source and dest");
+    }
+    let dest = words.pop().expect("checked length");
+    Ok(CopySpec { sources: words, dest, chown, from })
+}
+
+/// Parse a whole Dockerfile.
+pub fn parse(text: &str) -> Result<Dockerfile, ParseError> {
+    let mut out = Dockerfile::default();
+    for (line, logical) in logical_lines(text) {
+        let (kw, args) = match logical.split_once(char::is_whitespace) {
+            Some((k, a)) => (k.to_ascii_uppercase(), a.trim().to_string()),
+            None => (logical.to_ascii_uppercase(), String::new()),
+        };
+        let insn = match kw.as_str() {
+            "FROM" => {
+                let mut parts = args.split_whitespace();
+                let image = match parts.next() {
+                    Some(i) => i.to_string(),
+                    None => return err(line, "FROM needs an image"),
+                };
+                let alias = match (parts.next(), parts.next()) {
+                    (None, _) => None,
+                    (Some(askw), Some(name)) if askw.eq_ignore_ascii_case("as") => {
+                        Some(name.to_string())
+                    }
+                    _ => return err(line, "expected 'FROM image [AS name]'"),
+                };
+                Instruction::From { image, alias }
+            }
+            "RUN" => {
+                if args.trim_start().starts_with('[') {
+                    Instruction::RunExec(parse_exec_array(line, &args)?)
+                } else if args.is_empty() {
+                    return err(line, "RUN needs a command");
+                } else {
+                    Instruction::RunShell(args)
+                }
+            }
+            "ENV" => {
+                if args.contains('=') {
+                    Instruction::Env(parse_pairs(line, &args)?)
+                } else {
+                    // Legacy `ENV key value` form.
+                    match args.split_once(char::is_whitespace) {
+                        Some((k, v)) => {
+                            Instruction::Env(vec![(k.to_string(), v.trim().to_string())])
+                        }
+                        None => return err(line, "ENV needs key and value"),
+                    }
+                }
+            }
+            "ARG" => {
+                let arg = args.trim();
+                if arg.is_empty() {
+                    return err(line, "ARG needs a name");
+                }
+                match arg.split_once('=') {
+                    Some((n, d)) => Instruction::Arg {
+                        name: n.trim().to_string(),
+                        default: Some(d.trim().trim_matches('"').to_string()),
+                    },
+                    None => Instruction::Arg { name: arg.to_string(), default: None },
+                }
+            }
+            "WORKDIR" => {
+                if args.is_empty() {
+                    return err(line, "WORKDIR needs a path");
+                }
+                Instruction::Workdir(args)
+            }
+            "USER" => {
+                if args.is_empty() {
+                    return err(line, "USER needs a spec");
+                }
+                Instruction::User(args)
+            }
+            "LABEL" => Instruction::Label(parse_pairs(line, &args)?),
+            "COPY" => Instruction::Copy(parse_copy(line, &args)?),
+            "ADD" => Instruction::Add(parse_copy(line, &args)?),
+            "ENTRYPOINT" => {
+                if args.trim_start().starts_with('[') {
+                    Instruction::Entrypoint(parse_exec_array(line, &args)?)
+                } else {
+                    Instruction::Entrypoint(vec![
+                        "/bin/sh".into(),
+                        "-c".into(),
+                        args,
+                    ])
+                }
+            }
+            "CMD" => {
+                if args.trim_start().starts_with('[') {
+                    Instruction::Cmd(parse_exec_array(line, &args)?)
+                } else {
+                    Instruction::Cmd(vec!["/bin/sh".into(), "-c".into(), args])
+                }
+            }
+            "SHELL" => Instruction::Shell(parse_exec_array(line, &args)?),
+            "EXPOSE" | "VOLUME" | "STOPSIGNAL" | "HEALTHCHECK" | "ONBUILD" | "MAINTAINER" => {
+                Instruction::NoOp { keyword: kw.clone(), args }
+            }
+            other => return err(line, format!("unknown instruction '{other}'")),
+        };
+        out.instructions.push((line, insn));
+    }
+
+    // Structural rule: something other than ARG before the first FROM is
+    // an error; a file with RUN and no FROM at all is, too.
+    let mut seen_from = false;
+    for (line, insn) in &out.instructions {
+        match insn {
+            Instruction::From { .. } => seen_from = true,
+            Instruction::Arg { .. } => {}
+            _ if !seen_from => {
+                return err(*line, format!("{} before FROM", insn.keyword()));
+            }
+            _ => {}
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_figure_1a() {
+        let df = parse("FROM alpine:3.19\nRUN apk add sl\n").unwrap();
+        assert_eq!(df.len(), 2);
+        assert_eq!(df.base_image(), Some("alpine:3.19"));
+        assert_eq!(
+            df.instructions[1].1,
+            Instruction::RunShell("apk add sl".into())
+        );
+    }
+
+    #[test]
+    fn paper_figure_1b() {
+        let df = parse("FROM centos:7\nRUN yum install -y openssh\n").unwrap();
+        assert_eq!(
+            df.instructions[1].1,
+            Instruction::RunShell("yum install -y openssh".into())
+        );
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let df = parse("# header\n\nFROM scratch\n  # indented comment\nRUN true\n").unwrap();
+        assert_eq!(df.len(), 2);
+        assert_eq!(df.instructions[0].0, 3, "line numbers preserved");
+    }
+
+    #[test]
+    fn continuations_join() {
+        let df = parse("FROM scratch\nRUN echo a \\\n    && echo b \\\n    && echo c\n").unwrap();
+        match &df.instructions[1].1 {
+            Instruction::RunShell(cmd) => {
+                assert!(cmd.contains("echo a"));
+                assert!(cmd.contains("&& echo c"));
+            }
+            other => panic!("expected shell RUN, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comment_inside_continuation() {
+        let df = parse("FROM scratch\nRUN echo a \\\n# interruption\n    && echo b\n").unwrap();
+        match &df.instructions[1].1 {
+            Instruction::RunShell(cmd) => assert!(cmd.contains("&& echo b")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn exec_form_run() {
+        let df = parse("FROM scratch\nRUN [\"/bin/ls\", \"-l\", \"a b\"]\n").unwrap();
+        assert_eq!(
+            df.instructions[1].1,
+            Instruction::RunExec(vec!["/bin/ls".into(), "-l".into(), "a b".into()])
+        );
+    }
+
+    #[test]
+    fn exec_form_escapes() {
+        let df = parse("FROM scratch\nRUN [\"echo\", \"a\\\"b\\n\"]\n").unwrap();
+        assert_eq!(
+            df.instructions[1].1,
+            Instruction::RunExec(vec!["echo".into(), "a\"b\n".into()])
+        );
+    }
+
+    #[test]
+    fn env_forms() {
+        let df = parse("FROM scratch\nENV A=1 B=\"two words\"\nENV LEGACY old style\n").unwrap();
+        assert_eq!(
+            df.instructions[1].1,
+            Instruction::Env(vec![("A".into(), "1".into()), ("B".into(), "two words".into())])
+        );
+        assert_eq!(
+            df.instructions[2].1,
+            Instruction::Env(vec![("LEGACY".into(), "old style".into())])
+        );
+    }
+
+    #[test]
+    fn from_with_alias() {
+        let df = parse("FROM alpine:3.19 AS builder\n").unwrap();
+        assert_eq!(
+            df.instructions[0].1,
+            Instruction::From { image: "alpine:3.19".into(), alias: Some("builder".into()) }
+        );
+    }
+
+    #[test]
+    fn arg_before_from_ok_run_before_from_not() {
+        assert!(parse("ARG VER=3.19\nFROM alpine:${VER}\n").is_ok());
+        let e = parse("RUN ls\nFROM scratch\n").unwrap_err();
+        assert!(e.message.contains("before FROM"), "{e}");
+    }
+
+    #[test]
+    fn copy_flags() {
+        let df = parse("FROM scratch\nCOPY --chown=55:55 a.txt b.txt /dst/\n").unwrap();
+        match &df.instructions[1].1 {
+            Instruction::Copy(c) => {
+                assert_eq!(c.sources, vec!["a.txt".to_string(), "b.txt".to_string()]);
+                assert_eq!(c.dest, "/dst/");
+                assert_eq!(c.chown.as_deref(), Some("55:55"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn copy_needs_two_args() {
+        assert!(parse("FROM scratch\nCOPY onlyone\n").is_err());
+    }
+
+    #[test]
+    fn unknown_instruction_rejected() {
+        let e = parse("FROM scratch\nFLY to the moon\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("FLY"));
+    }
+
+    #[test]
+    fn noop_instructions_recorded() {
+        let df = parse("FROM scratch\nEXPOSE 8080\nVOLUME /data\n").unwrap();
+        assert_eq!(df.len(), 3);
+        assert!(matches!(
+            &df.instructions[1].1,
+            Instruction::NoOp { keyword, .. } if keyword == "EXPOSE"
+        ));
+    }
+
+    #[test]
+    fn entrypoint_shell_form_wraps() {
+        let df = parse("FROM scratch\nENTRYPOINT top -b\n").unwrap();
+        assert_eq!(
+            df.instructions[1].1,
+            Instruction::Entrypoint(vec!["/bin/sh".into(), "-c".into(), "top -b".into()])
+        );
+    }
+
+    #[test]
+    fn bad_exec_array_is_error() {
+        assert!(parse("FROM scratch\nRUN [\"unterminated\n").is_err());
+        assert!(parse("FROM scratch\nSHELL [bare]\n").is_err());
+    }
+
+    #[test]
+    fn label_pairs() {
+        let df = parse("FROM scratch\nLABEL version=\"1.0\" maintainer=hpc\n").unwrap();
+        assert_eq!(
+            df.instructions[1].1,
+            Instruction::Label(vec![
+                ("version".into(), "1.0".into()),
+                ("maintainer".into(), "hpc".into())
+            ])
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! `$VAR` / `${VAR}` / `${VAR:-default}` substitution for ENV/ARG values.
+
+/// Expand variables in `s` using `lookup`. Unknown `$VAR` expands to the
+/// empty string (Docker behaviour); `\$` escapes a literal dollar.
+pub fn substitute(s: &str, lookup: &dyn Fn(&str) -> Option<String>) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' if chars.peek() == Some(&'$') => {
+                chars.next();
+                out.push('$');
+            }
+            '$' => match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut inner = String::new();
+                    let mut closed = false;
+                    for c in chars.by_ref() {
+                        if c == '}' {
+                            closed = true;
+                            break;
+                        }
+                        inner.push(c);
+                    }
+                    if !closed {
+                        out.push_str("${");
+                        out.push_str(&inner);
+                        continue;
+                    }
+                    if let Some((name, default)) = inner.split_once(":-") {
+                        match lookup(name) {
+                            Some(v) if !v.is_empty() => out.push_str(&v),
+                            _ => out.push_str(default),
+                        }
+                    } else if let Some((name, alt)) = inner.split_once(":+") {
+                        if lookup(name).is_some_and(|v| !v.is_empty()) {
+                            out.push_str(alt);
+                        }
+                    } else if let Some(v) = lookup(&inner) {
+                        out.push_str(&v);
+                    }
+                }
+                Some(c) if c.is_ascii_alphabetic() || *c == '_' => {
+                    let mut name = String::new();
+                    while let Some(&c) = chars.peek() {
+                        if c.is_ascii_alphanumeric() || c == '_' {
+                            name.push(c);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    if let Some(v) = lookup(&name) {
+                        out.push_str(&v);
+                    }
+                }
+                _ => out.push('$'),
+            },
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env<'a>(
+        pairs: &'a [(&'a str, &'a str)],
+    ) -> impl Fn(&str) -> Option<String> + 'a {
+        move |k| pairs.iter().find(|(n, _)| *n == k).map(|(_, v)| v.to_string())
+    }
+
+    #[test]
+    fn plain_vars() {
+        let l = env(&[("FOO", "bar")]);
+        assert_eq!(substitute("x $FOO y", &l), "x bar y");
+        assert_eq!(substitute("${FOO}", &l), "bar");
+        assert_eq!(substitute("$FOO$FOO", &l), "barbar");
+    }
+
+    #[test]
+    fn unknown_is_empty() {
+        let l = env(&[]);
+        assert_eq!(substitute("a $NOPE b", &l), "a  b");
+        assert_eq!(substitute("${NOPE}", &l), "");
+    }
+
+    #[test]
+    fn defaults() {
+        let l = env(&[("SET", "v")]);
+        assert_eq!(substitute("${SET:-dflt}", &l), "v");
+        assert_eq!(substitute("${UNSET:-dflt}", &l), "dflt");
+        assert_eq!(substitute("${SET:+alt}", &l), "alt");
+        assert_eq!(substitute("${UNSET:+alt}", &l), "");
+    }
+
+    #[test]
+    fn escapes_and_literals() {
+        let l = env(&[("X", "v")]);
+        assert_eq!(substitute("\\$X", &l), "$X");
+        assert_eq!(substitute("100$", &l), "100$");
+        assert_eq!(substitute("a$1", &l), "a$1", "digits don't start names");
+    }
+
+    #[test]
+    fn no_dollar_is_identity() {
+        let l = env(&[]);
+        for s in ["", "plain", "with spaces", "punct!@#%"] {
+            assert_eq!(substitute(s, &l), s);
+        }
+    }
+
+    #[test]
+    fn unterminated_brace_left_alone() {
+        let l = env(&[("A", "x")]);
+        assert_eq!(substitute("${A", &l), "${A");
+    }
+
+    #[test]
+    fn underscore_names() {
+        let l = env(&[("MY_VAR_2", "ok")]);
+        assert_eq!(substitute("$MY_VAR_2!", &l), "ok!");
+    }
+}

@@ -1,0 +1,337 @@
+//! The registry simulator: fabricates the paper's base images.
+//!
+//! Each base carries the filesystem skeleton, `/etc/os-release`, shells
+//! and package-manager binaries (as real inodes with permission bits —
+//! their behaviour is registered separately from `zr-pkg`), and the libc
+//! identity used by the bind-mount compatibility experiment.
+
+use crate::image::{BinKind, BinarySpec, Distro, Image, ImageMeta, ImageRef, Linkage};
+use zr_syscalls::Errno;
+use zr_vfs::access::Access;
+use zr_vfs::fs::Fs;
+
+/// A fake ELF payload so executables have plausible bytes.
+fn elf(name: &str) -> Vec<u8> {
+    let mut v = b"\x7fELF".to_vec();
+    v.extend_from_slice(name.as_bytes());
+    v
+}
+
+fn base_skeleton(fs: &mut Fs) {
+    for dir in [
+        "/bin", "/sbin", "/usr/bin", "/usr/sbin", "/usr/lib", "/etc", "/var/lib",
+        "/var/cache", "/var/log", "/tmp", "/root", "/home", "/dev", "/proc", "/sys",
+        "/run",
+    ] {
+        fs.mkdir_p(dir, 0o755).expect("skeleton dir");
+    }
+    let root = Access::root();
+    fs.set_perm(
+        fs.resolve("/tmp", &root, zr_vfs::FollowMode::Follow).expect("tmp"),
+        0o1777,
+    )
+    .expect("tmp sticky");
+}
+
+fn add_binaries(fs: &mut Fs, meta: &ImageMeta) {
+    let root = Access::root();
+    for b in &meta.binaries {
+        if let Some((parent, _)) = zr_vfs::path::split_parent(&b.path) {
+            fs.mkdir_p(&parent, 0o755).expect("bin dir");
+        }
+        fs.write_file(&b.path, 0o755, elf(&b.path), &root).expect("binary");
+    }
+}
+
+fn write_etc(fs: &mut Fs, distro: Distro, version: &str, pretty: &str) {
+    let root = Access::root();
+    let os_release = format!(
+        "ID={}\nVERSION_ID={}\nPRETTY_NAME=\"{}\"\n",
+        distro.id(),
+        version,
+        pretty
+    );
+    fs.write_file("/etc/os-release", 0o644, os_release.into_bytes(), &root)
+        .expect("os-release");
+    fs.write_file(
+        "/etc/passwd",
+        0o644,
+        b"root:x:0:0:root:/root:/bin/sh\nnobody:x:65534:65534::/:/sbin/nologin\n".to_vec(),
+        &root,
+    )
+    .expect("passwd");
+    fs.write_file(
+        "/etc/group",
+        0o644,
+        b"root:x:0:\nnogroup:x:65534:\n".to_vec(),
+        &root,
+    )
+    .expect("group");
+}
+
+fn alpine_3_19() -> Image {
+    let meta = ImageMeta {
+        name: "alpine".into(),
+        tag: "3.19".into(),
+        distro: Distro::Alpine,
+        libc: "musl-1.2.4".into(),
+        env: vec![("PATH".into(), "/usr/bin:/bin:/usr/sbin:/sbin".into())],
+        binaries: vec![
+            // busybox provides the shell; it is statically linked — the
+            // §6 compatibility case against LD_PRELOAD.
+            BinarySpec::new("/bin/busybox", BinKind::Busybox, Linkage::Static),
+            BinarySpec::new("/sbin/apk", BinKind::Apk, Linkage::Dynamic),
+            BinarySpec::new("/usr/bin/id", BinKind::Id, Linkage::Static),
+            BinarySpec::new("/usr/bin/true", BinKind::True, Linkage::Static),
+            BinarySpec::new("/bin/chown", BinKind::ChownTool, Linkage::Static),
+            BinarySpec::new("/bin/mknod", BinKind::MknodTool, Linkage::Static),
+        ],
+    };
+    let mut fs = Fs::new();
+    base_skeleton(&mut fs);
+    write_etc(&mut fs, Distro::Alpine, "3.19.1", "Alpine Linux v3.19");
+    add_binaries(&mut fs, &meta);
+    let root = Access::root();
+    // /bin/sh is a symlink to busybox, as on real Alpine.
+    fs.symlink("/bin/busybox", "/bin/sh", &root).expect("sh link");
+    fs.mkdir_p("/etc/apk", 0o755).expect("apk dir");
+    fs.write_file("/etc/apk/world", 0o644, b"busybox\n".to_vec(), &root)
+        .expect("world");
+    fs.mkdir_p("/lib/apk/db", 0o755).expect("apk db");
+    fs.write_file(
+        "/lib/apk/db/installed",
+        0o644,
+        b"P:busybox\nV:1.36.1-r15\n\n".to_vec(),
+        &root,
+    )
+    .expect("apk installed db");
+    Image { meta, fs }
+}
+
+fn centos_7() -> Image {
+    let meta = ImageMeta {
+        name: "centos".into(),
+        tag: "7".into(),
+        distro: Distro::Centos,
+        libc: "glibc-2.17".into(),
+        env: vec![("PATH".into(), "/usr/bin:/bin:/usr/sbin:/sbin".into())],
+        binaries: vec![
+            BinarySpec::new("/bin/bash", BinKind::Shell, Linkage::Dynamic),
+            BinarySpec::new("/usr/bin/rpm", BinKind::Rpm, Linkage::Dynamic),
+            BinarySpec::new("/usr/bin/yum", BinKind::Yum, Linkage::Dynamic),
+            BinarySpec::new("/usr/bin/id", BinKind::Id, Linkage::Dynamic),
+            BinarySpec::new("/usr/bin/true", BinKind::True, Linkage::Dynamic),
+            BinarySpec::new("/usr/bin/chown", BinKind::ChownTool, Linkage::Dynamic),
+            BinarySpec::new("/usr/bin/mknod", BinKind::MknodTool, Linkage::Dynamic),
+        ],
+    };
+    let mut fs = Fs::new();
+    base_skeleton(&mut fs);
+    write_etc(&mut fs, Distro::Centos, "7", "CentOS Linux 7 (Core)");
+    add_binaries(&mut fs, &meta);
+    let root = Access::root();
+    fs.write_file(
+        "/etc/redhat-release",
+        0o644,
+        b"CentOS Linux release 7.9.2009 (Core)\n".to_vec(),
+        &root,
+    )
+    .expect("redhat-release");
+    fs.symlink("/bin/bash", "/bin/sh", &root).expect("sh link");
+    fs.mkdir_p("/var/lib/rpm", 0o755).expect("rpmdb dir");
+    fs.write_file("/var/lib/rpm/Packages", 0o644, b"rpmdb\n".to_vec(), &root)
+        .expect("rpmdb");
+    fs.mkdir_p("/var/cache/yum", 0o755).expect("yum cache");
+    Image { meta, fs }
+}
+
+fn debian_12() -> Image {
+    let meta = ImageMeta {
+        name: "debian".into(),
+        tag: "12".into(),
+        distro: Distro::Debian,
+        libc: "glibc-2.36".into(),
+        env: vec![("PATH".into(), "/usr/bin:/bin:/usr/sbin:/sbin".into())],
+        binaries: vec![
+            BinarySpec::new("/usr/bin/dash", BinKind::Shell, Linkage::Dynamic),
+            BinarySpec::new("/usr/bin/dpkg", BinKind::Dpkg, Linkage::Dynamic),
+            BinarySpec::new("/usr/bin/apt", BinKind::Apt, Linkage::Dynamic),
+            BinarySpec::new("/usr/bin/apt-get", BinKind::AptGet, Linkage::Dynamic),
+            BinarySpec::new("/usr/bin/id", BinKind::Id, Linkage::Dynamic),
+            BinarySpec::new("/usr/bin/true", BinKind::True, Linkage::Dynamic),
+            BinarySpec::new("/usr/bin/chown", BinKind::ChownTool, Linkage::Dynamic),
+            BinarySpec::new("/usr/bin/mknod", BinKind::MknodTool, Linkage::Dynamic),
+            BinarySpec::new("/usr/sbin/unminimize", BinKind::Unminimize, Linkage::Dynamic),
+        ],
+    };
+    let mut fs = Fs::new();
+    base_skeleton(&mut fs);
+    write_etc(&mut fs, Distro::Debian, "12", "Debian GNU/Linux 12 (bookworm)");
+    add_binaries(&mut fs, &meta);
+    let root = Access::root();
+    fs.write_file("/etc/debian_version", 0o644, b"12.5\n".to_vec(), &root)
+        .expect("debian_version");
+    fs.symlink("/usr/bin/dash", "/bin/sh", &root).expect("sh link");
+    fs.mkdir_p("/var/lib/dpkg", 0o755).expect("dpkg dir");
+    fs.write_file("/var/lib/dpkg/status", 0o644, Vec::new(), &root)
+        .expect("dpkg status");
+    // The _apt user exists for apt's privilege-dropping sandbox.
+    fs.append_file("/etc/passwd", b"_apt:x:100:65534::/nonexistent:/usr/sbin/nologin\n", &root)
+        .expect("passwd _apt");
+    Image { meta, fs }
+}
+
+fn fedora_40() -> Image {
+    let mut img = centos_7();
+    img.meta.name = "fedora".into();
+    img.meta.tag = "40".into();
+    img.meta.distro = Distro::Fedora;
+    img.meta.libc = "glibc-2.39".into();
+    img.meta
+        .binaries
+        .push(BinarySpec::new("/usr/bin/dnf", BinKind::Dnf, Linkage::Dynamic));
+    let root = Access::root();
+    img.fs
+        .write_file("/usr/bin/dnf", 0o755, elf("/usr/bin/dnf"), &root)
+        .expect("dnf binary");
+    img.fs
+        .write_file(
+            "/etc/os-release",
+            0o644,
+            b"ID=fedora\nVERSION_ID=40\nPRETTY_NAME=\"Fedora Linux 40\"\n".to_vec(),
+            &root,
+        )
+        .expect("os-release");
+    img
+}
+
+fn scratch() -> Image {
+    let mut fs = Fs::new();
+    base_skeleton(&mut fs);
+    Image {
+        meta: ImageMeta {
+            name: "scratch".into(),
+            tag: "latest".into(),
+            distro: Distro::Scratch,
+            libc: String::new(),
+            env: vec![],
+            binaries: vec![],
+        },
+        fs,
+    }
+}
+
+/// The registry simulator.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    /// Pulls performed (for "fetch …" log lines and cache statistics).
+    pub pulls: u32,
+}
+
+impl Registry {
+    /// A fresh registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Known references.
+    pub fn catalog() -> Vec<&'static str> {
+        vec!["alpine:3.19", "centos:7", "debian:12", "fedora:40", "scratch:latest"]
+    }
+
+    /// Pull an image. Ownership is left as materialized-by-root; callers
+    /// (the builder) re-own to the unpacking user via
+    /// [`Image::chown_all`].
+    pub fn pull(&mut self, reference: &ImageRef) -> Result<Image, Errno> {
+        self.pulls += 1;
+        match (reference.name.as_str(), reference.tag.as_str()) {
+            ("alpine", "3.19") => Ok(alpine_3_19()),
+            ("centos", "7") => Ok(centos_7()),
+            ("debian", "12") => Ok(debian_12()),
+            ("fedora", "40") => Ok(fedora_40()),
+            ("scratch", _) => Ok(scratch()),
+            _ => Err(Errno::ENOENT),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zr_vfs::FollowMode;
+
+    fn pull(r: &str) -> Image {
+        Registry::new().pull(&ImageRef::parse(r).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn catalog_pulls() {
+        for reference in Registry::catalog() {
+            let img = pull(reference);
+            assert!(
+                img.fs.inode_count() > 10,
+                "{reference} should have a skeleton"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_image_enoent() {
+        let mut r = Registry::new();
+        assert_eq!(
+            r.pull(&ImageRef::parse("nosuch:1").unwrap()).err(),
+            Some(Errno::ENOENT)
+        );
+    }
+
+    #[test]
+    fn alpine_has_static_busybox_sh() {
+        let img = pull("alpine:3.19");
+        let access = Access::root();
+        let target = img.fs.readlink("/bin/sh", &access).unwrap();
+        assert_eq!(target, "/bin/busybox");
+        let spec = img.meta.binary_at("/bin/busybox").unwrap();
+        assert_eq!(spec.linkage, Linkage::Static);
+        assert_eq!(img.meta.libc, "musl-1.2.4");
+    }
+
+    #[test]
+    fn centos_has_rpm_and_yum() {
+        let img = pull("centos:7");
+        assert!(img.meta.binary_at("/usr/bin/rpm").is_some());
+        assert!(img.meta.binary_at("/usr/bin/yum").is_some());
+        let access = Access::root();
+        assert!(img
+            .fs
+            .stat("/var/lib/rpm/Packages", &access, FollowMode::Follow)
+            .is_ok());
+        assert_eq!(img.meta.libc, "glibc-2.17");
+    }
+
+    #[test]
+    fn debian_has_apt_and_apt_user() {
+        let img = pull("debian:12");
+        assert!(img.meta.binary_at("/usr/bin/apt-get").is_some());
+        let access = Access::root();
+        let passwd = img.fs.read_file("/etc/passwd", &access).unwrap();
+        assert!(String::from_utf8(passwd).unwrap().contains("_apt:x:100:"));
+    }
+
+    #[test]
+    fn binaries_are_executable_inodes() {
+        let img = pull("centos:7");
+        let access = Access::root();
+        let st = img.fs.stat("/usr/bin/yum", &access, FollowMode::Follow).unwrap();
+        assert_eq!(st.mode & 0o111, 0o111);
+        let bytes = img.fs.read_file("/usr/bin/yum", &access).unwrap();
+        assert!(bytes.starts_with(b"\x7fELF"));
+    }
+
+    #[test]
+    fn pull_counts() {
+        let mut r = Registry::new();
+        let _ = r.pull(&ImageRef::parse("alpine:3.19").unwrap());
+        let _ = r.pull(&ImageRef::parse("alpine:3.19").unwrap());
+        assert_eq!(r.pulls, 2);
+    }
+}

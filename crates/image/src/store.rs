@@ -1,0 +1,98 @@
+//! The builder-side image store (ch-image's storage directory).
+
+use std::collections::BTreeMap;
+
+use crate::image::Image;
+
+/// Local storage for built and pulled images, keyed by reference or tag.
+#[derive(Debug, Clone, Default)]
+pub struct ImageStore {
+    images: BTreeMap<String, Image>,
+}
+
+impl ImageStore {
+    /// Empty store.
+    pub fn new() -> ImageStore {
+        ImageStore::default()
+    }
+
+    /// Save (or replace) an image under `tag`.
+    pub fn save(&mut self, tag: &str, image: Image) {
+        self.images.insert(tag.to_string(), image);
+    }
+
+    /// Fetch an image by tag.
+    pub fn get(&self, tag: &str) -> Option<&Image> {
+        self.images.get(tag)
+    }
+
+    /// Does the tag exist? (Drives the builder's "updating existing
+    /// image" message.)
+    pub fn contains(&self, tag: &str) -> bool {
+        self.images.contains_key(tag)
+    }
+
+    /// Remove an image.
+    pub fn remove(&mut self, tag: &str) -> Option<Image> {
+        self.images.remove(tag)
+    }
+
+    /// All stored tags, sorted.
+    pub fn tags(&self) -> Vec<&str> {
+        self.images.keys().map(String::as_str).collect()
+    }
+
+    /// Number of images stored.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::ImageRef;
+    use crate::registry::Registry;
+
+    fn sample() -> Image {
+        Registry::new()
+            .pull(&ImageRef::parse("alpine:3.19").unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn save_get_roundtrip() {
+        let mut s = ImageStore::new();
+        assert!(s.is_empty());
+        s.save("win", sample());
+        assert!(s.contains("win"));
+        assert_eq!(s.get("win").unwrap().meta.name, "alpine");
+        assert_eq!(s.tags(), vec!["win"]);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn replace_overwrites() {
+        let mut s = ImageStore::new();
+        s.save("t", sample());
+        let mut other = sample();
+        other.meta.tag = "other".into();
+        s.save("t", other);
+        assert_eq!(s.get("t").unwrap().meta.tag, "other");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut s = ImageStore::new();
+        s.save("t", sample());
+        assert!(s.remove("t").is_some());
+        assert!(s.remove("t").is_none());
+        assert!(!s.contains("t"));
+    }
+}

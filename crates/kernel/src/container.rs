@@ -1,0 +1,372 @@
+//! The paper's tripartite container classification (§2) and setup rules.
+//!
+//! * **Type I** — mount namespace only. Setup needs real privilege
+//!   (`CAP_SYS_ADMIN` in the initial namespace). Container processes keep
+//!   the caller's identity.
+//! * **Type II** — mount + *privileged* user namespace: setuid helper
+//!   programs (`newuidmap(1)`/`newgidmap(1)`) write a many-id map, so the
+//!   container has a full complement of users and groups ("greater
+//!   flexibility", §2). Often miscalled "rootless".
+//! * **Type III** — mount + *unprivileged* user namespace: fully
+//!   unprivileged setup, single-id map (container root ↔ the invoking
+//!   user), `setgroups` denied. The only type acceptable at centers that
+//!   forbid any elevated access — and the setting where package managers'
+//!   privileged syscalls fail, motivating root emulation.
+//!
+//! The container's image filesystem keeps the *initial* namespace as its
+//! superblock owner for Types I and III (it is just a host directory, as
+//! in Charliecloud); Type II's helper-mounted storage is owned by the new
+//! namespace, which is exactly why chown to mapped ids works there.
+
+use crate::cred::Cred;
+use crate::ids::IdMap;
+use crate::kernel::Kernel;
+use crate::process::{Pid, Process};
+use zr_syscalls::caps::{Cap, CapSet};
+use zr_syscalls::Errno;
+use zr_vfs::fs::Fs;
+
+/// The classification from §2 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ContainerType {
+    /// Mount namespace only; privileged setup.
+    TypeI,
+    /// Privileged user namespace (setuid helpers); many-id map.
+    TypeII,
+    /// Unprivileged user namespace; single-id map. Fully unprivileged.
+    TypeIII,
+}
+
+impl std::fmt::Display for ContainerType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContainerType::TypeI => write!(f, "Type I"),
+            ContainerType::TypeII => write!(f, "Type II"),
+            ContainerType::TypeIII => write!(f, "Type III"),
+        }
+    }
+}
+
+/// What to build a container from.
+#[derive(Debug, Clone)]
+pub struct ContainerConfig {
+    /// Which of the three types to set up.
+    pub ctype: ContainerType,
+    /// The image root filesystem (materialized by `zr-image`).
+    pub image: Fs,
+}
+
+/// A running container: the namespace, filesystem, and its init process.
+#[derive(Debug, Clone, Copy)]
+pub struct Container {
+    /// Pid of the container's init (the process RUN instructions exec in).
+    pub init_pid: Pid,
+    /// The container's user namespace (0 for Type I).
+    pub userns: usize,
+    /// The container's root filesystem id.
+    pub fs: usize,
+}
+
+impl Kernel {
+    /// Set up a container on behalf of `builder` (the host-side process
+    /// invoking the image builder). Fails with `EPERM` when the builder
+    /// lacks the privilege the container type requires — the §2 rules.
+    pub fn container_create(
+        &mut self,
+        builder: Pid,
+        cfg: ContainerConfig,
+    ) -> Result<Container, Errno> {
+        let bcred = self.process(builder).cred.clone();
+        match cfg.ctype {
+            ContainerType::TypeI => {
+                // Privileged setup: CAP_SYS_ADMIN in the initial ns.
+                if !self.capable(builder, Cap::SysAdmin, 0) {
+                    return Err(Errno::EPERM);
+                }
+                let fs = self.add_fs(cfg.image, 0);
+                let proc = self.container_process(builder, bcred, 0, fs);
+                let init_pid = self.add_process(proc);
+                Ok(Container { init_pid, userns: 0, fs })
+            }
+            ContainerType::TypeII => {
+                // Needs the setuid helpers; without them setup fails even
+                // though the main container process would be unprivileged.
+                if !self.config.setuid_helpers {
+                    return Err(Errno::EPERM);
+                }
+                let ns = self.namespaces.create_child(0, bcred.euid);
+                {
+                    let nsr = self.namespaces.get_mut(ns);
+                    // Helper-written subordinate ranges: 65536 ids.
+                    nsr.uid_map.push(IdMap {
+                        inside_first: 0,
+                        outside_first: 100_000,
+                        count: 65_536,
+                    });
+                    nsr.gid_map.push(IdMap {
+                        inside_first: 0,
+                        outside_first: 100_000,
+                        count: 65_536,
+                    });
+                    nsr.setgroups_allowed = true;
+                }
+                // Helper-mounted storage: superblock owned by the new ns.
+                let fs = self.add_fs(cfg.image, ns);
+                let root_kuid = 100_000;
+                let cred = Cred::new(root_kuid, root_kuid, CapSet::full(), ns);
+                let proc = self.container_process(builder, cred, ns, fs);
+                let init_pid = self.add_process(proc);
+                Ok(Container { init_pid, userns: ns, fs })
+            }
+            ContainerType::TypeIII => {
+                // Fully unprivileged: always possible.
+                let ns = self.namespaces.create_child(0, bcred.euid);
+                {
+                    let nsr = self.namespaces.get_mut(ns);
+                    nsr.uid_map.push(IdMap {
+                        inside_first: 0,
+                        outside_first: bcred.euid,
+                        count: 1,
+                    });
+                    // user_namespaces(7): an unprivileged gid_map write
+                    // requires setgroups denial first.
+                    nsr.setgroups_allowed = false;
+                    nsr.gid_map.push(IdMap {
+                        inside_first: 0,
+                        outside_first: bcred.egid,
+                        count: 1,
+                    });
+                }
+                // The image is a plain host directory: superblock stays
+                // with the initial namespace (the Charliecloud model).
+                let fs = self.add_fs(cfg.image, 0);
+                let cred = Cred::new(bcred.euid, bcred.egid, CapSet::full(), ns);
+                let proc = self.container_process(builder, cred, ns, fs);
+                let init_pid = self.add_process(proc);
+                Ok(Container { init_pid, userns: ns, fs })
+            }
+        }
+    }
+
+    fn container_process(&self, builder: Pid, cred: Cred, _ns: usize, fs: usize) -> Process {
+        let b = self.process(builder);
+        Process {
+            pid: 0,
+            ppid: builder,
+            cred,
+            fs,
+            cwd: "/".into(),
+            umask: 0o022,
+            arch: b.arch,
+            seccomp: b.seccomp.clone(),
+            no_new_privs: b.no_new_privs,
+            dynamic: true,
+            preload_active: false,
+            traced: false,
+            alive: true,
+        }
+    }
+
+    /// Run a registered program inside an existing process (exec
+    /// semantics: same pid, new program image). Returns the exit status.
+    pub fn exec_in(
+        &mut self,
+        pid: Pid,
+        path: &str,
+        argv: Vec<String>,
+        env: Vec<(String, String)>,
+    ) -> Result<i32, Errno> {
+        // Delegate to the spawn machinery from the target process itself;
+        // fork+exec of `path` from `pid` is observably equivalent for our
+        // purposes and reuses the permission checks.
+        match self.syscall(pid, crate::sys::SysCall::Spawn { path: path.into(), argv, env }) {
+            Ok(crate::sys::SysRet::Exit(code)) => Ok(code),
+            Ok(_) => Err(Errno::EINVAL),
+            Err(crate::sys::SysError::Errno(e)) => Err(e),
+            Err(crate::sys::SysError::Killed) => Ok(159),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sys::{SysError, SysExt};
+
+    fn image() -> Fs {
+        let mut fs = Fs::new();
+        fs.mkdir_p("/etc", 0o755).unwrap();
+        fs.mkdir_p("/usr/bin", 0o755).unwrap();
+        // Image files are extracted by the (unprivileged) builder, so the
+        // host user owns them — the Charliecloud storage model.
+        let root = zr_vfs::Access::root();
+        fs.write_file("/etc/os-release", 0o644, b"ID=test".to_vec(), &root).unwrap();
+        let count = fs.inode_count();
+        for ino in 1..=count as u64 {
+            if fs.inode(ino).is_ok() {
+                fs.set_owner(ino, 1000, 1000).unwrap();
+            }
+        }
+        fs
+    }
+
+    #[test]
+    fn type_iii_sets_up_unprivileged() {
+        let mut k = Kernel::default_kernel();
+        let c = k
+            .container_create(
+                Kernel::HOST_USER_PID,
+                ContainerConfig { ctype: ContainerType::TypeIII, image: image() },
+            )
+            .expect("Type III must not need privilege");
+        // Container root sees itself as uid 0 ...
+        let mut ctx = k.ctx(c.init_pid);
+        assert_eq!(ctx.geteuid(), 0);
+        assert_eq!(ctx.getuid(), 0);
+        // ... and image files as root-owned (kuid 1000 maps to 0).
+        let st = ctx.stat("/etc/os-release").unwrap();
+        assert_eq!((st.uid, st.gid), (0, 0));
+    }
+
+    #[test]
+    fn type_i_requires_root() {
+        let mut k = Kernel::default_kernel();
+        assert_eq!(
+            k.container_create(
+                Kernel::HOST_USER_PID,
+                ContainerConfig { ctype: ContainerType::TypeI, image: image() },
+            )
+            .err(),
+            Some(Errno::EPERM),
+            "unprivileged user cannot set up Type I"
+        );
+        assert!(k
+            .container_create(
+                Kernel::INIT_PID,
+                ContainerConfig { ctype: ContainerType::TypeI, image: image() },
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn type_ii_requires_helpers() {
+        let mut k = Kernel::default_kernel();
+        assert_eq!(
+            k.container_create(
+                Kernel::HOST_USER_PID,
+                ContainerConfig { ctype: ContainerType::TypeII, image: image() },
+            )
+            .err(),
+            Some(Errno::EPERM),
+            "no newuidmap/newgidmap installed"
+        );
+        k.config.setuid_helpers = true;
+        let c = k
+            .container_create(
+                Kernel::HOST_USER_PID,
+                ContainerConfig { ctype: ContainerType::TypeII, image: image() },
+            )
+            .unwrap();
+        let mut ctx = k.ctx(c.init_pid);
+        assert_eq!(ctx.geteuid(), 0);
+    }
+
+    #[test]
+    fn type_iii_chown_to_unmapped_id_fails_einval() {
+        // The Figure 1b mechanism: rpm chowns to a package-owned id
+        // (ssh_keys, gid 998) which has no mapping.
+        let mut k = Kernel::default_kernel();
+        let c = k
+            .container_create(
+                Kernel::HOST_USER_PID,
+                ContainerConfig { ctype: ContainerType::TypeIII, image: image() },
+            )
+            .unwrap();
+        let mut ctx = k.ctx(c.init_pid);
+        ctx.write_file("/etc/ssh_host_key", 0o640, b"k".to_vec()).unwrap();
+        assert_eq!(
+            ctx.chown("/etc/ssh_host_key", 0, 998),
+            Err(SysError::Errno(Errno::EINVAL))
+        );
+        // Even mapped-but-different real changes fail: there is only one
+        // mapped id, so this can't be constructed; the EPERM path needs
+        // a real ownership change, exercised via mknod instead:
+        assert_eq!(
+            ctx.mknod("/dev-null", zr_syscalls::mode::S_IFCHR | 0o666, 0x103),
+            Err(SysError::Errno(Errno::EPERM))
+        );
+    }
+
+    #[test]
+    fn type_iii_chown_noop_succeeds() {
+        let mut k = Kernel::default_kernel();
+        let c = k
+            .container_create(
+                Kernel::HOST_USER_PID,
+                ContainerConfig { ctype: ContainerType::TypeIII, image: image() },
+            )
+            .unwrap();
+        let mut ctx = k.ctx(c.init_pid);
+        ctx.write_file("/newfile", 0o644, vec![]).unwrap();
+        // chown 0:0 — ids already match (kuid 1000 == mapped 0): allowed.
+        ctx.chown("/newfile", 0, 0).unwrap();
+    }
+
+    #[test]
+    fn type_ii_chown_to_mapped_ids_works() {
+        // §2: Type II's many-id map gives in-container chown real effect.
+        let mut k = Kernel::default_kernel();
+        k.config.setuid_helpers = true;
+        let c = k
+            .container_create(
+                Kernel::HOST_USER_PID,
+                ContainerConfig { ctype: ContainerType::TypeII, image: image() },
+            )
+            .unwrap();
+        let mut ctx = k.ctx(c.init_pid);
+        ctx.write_file("/f", 0o644, vec![]).unwrap();
+        ctx.chown("/f", 998, 998).expect("mapped id, sb owned by the ns");
+        let st = ctx.stat("/f").unwrap();
+        assert_eq!((st.uid, st.gid), (998, 998));
+        // Unmapped ids still fail.
+        assert_eq!(
+            ctx.chown("/f", 70_000, 0),
+            Err(SysError::Errno(Errno::EINVAL))
+        );
+    }
+
+    #[test]
+    fn type_iii_setgroups_denied() {
+        let mut k = Kernel::default_kernel();
+        let c = k
+            .container_create(
+                Kernel::HOST_USER_PID,
+                ContainerConfig { ctype: ContainerType::TypeIII, image: image() },
+            )
+            .unwrap();
+        let mut ctx = k.ctx(c.init_pid);
+        // Even container "root" cannot setgroups: denied at ns creation.
+        assert_eq!(ctx.setgroups(&[]), Err(SysError::Errno(Errno::EPERM)));
+    }
+
+    #[test]
+    fn host_root_reads_as_overflow_in_container() {
+        let mut k = Kernel::default_kernel();
+        let c = k
+            .container_create(
+                Kernel::HOST_USER_PID,
+                ContainerConfig { ctype: ContainerType::TypeIII, image: image() },
+            )
+            .unwrap();
+        // A file owned by real root (materialized by init before setup).
+        let fsid = c.fs;
+        let ino = k
+            .fs(fsid)
+            .resolve("/etc", &zr_vfs::Access::root(), zr_vfs::FollowMode::Follow)
+            .unwrap();
+        k.fs_mut(fsid).set_owner(ino, 0, 0).unwrap();
+        let mut ctx = k.ctx(c.init_pid);
+        let st = ctx.stat("/etc").unwrap();
+        assert_eq!(st.uid, crate::ids::OVERFLOW_ID, "host root is unmapped");
+    }
+}

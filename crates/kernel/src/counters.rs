@@ -1,0 +1,75 @@
+//! Cost accounting for the overhead experiments (§6 item 1 and future
+//! work item 3).
+//!
+//! The simulated kernel cannot measure real nanoseconds, so it counts the
+//! *mechanistic* cost drivers each emulation strategy incurs. Criterion
+//! benches report both these counters and wall-clock time of the
+//! simulation itself.
+
+/// Monotonic cost counters, reset per experiment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Syscalls dispatched.
+    pub syscalls: u64,
+    /// BPF instructions executed across all filter evaluations.
+    pub bpf_instructions: u64,
+    /// Individual filter evaluations (stack depth × syscalls).
+    pub filter_evaluations: u64,
+    /// Syscalls whose result was faked by a filter.
+    pub faked: u64,
+    /// Syscalls denied (filter or kernel policy).
+    pub denied: u64,
+    /// ptrace stops (2 context switches each: into tracer and back).
+    pub ptrace_stops: u64,
+    /// LD_PRELOAD interceptions (one extra userspace hop each).
+    pub preload_hops: u64,
+    /// fakeroot-daemon round trips (IPC; the consistent emulators'
+    /// state-maintenance cost).
+    pub daemon_round_trips: u64,
+    /// Processes spawned.
+    pub spawns: u64,
+}
+
+impl Counters {
+    /// Difference since `earlier` (for scoped measurements).
+    pub fn since(&self, earlier: &Counters) -> Counters {
+        Counters {
+            syscalls: self.syscalls - earlier.syscalls,
+            bpf_instructions: self.bpf_instructions - earlier.bpf_instructions,
+            filter_evaluations: self.filter_evaluations - earlier.filter_evaluations,
+            faked: self.faked - earlier.faked,
+            denied: self.denied - earlier.denied,
+            ptrace_stops: self.ptrace_stops - earlier.ptrace_stops,
+            preload_hops: self.preload_hops - earlier.preload_hops,
+            daemon_round_trips: self.daemon_round_trips - earlier.daemon_round_trips,
+            spawns: self.spawns - earlier.spawns,
+        }
+    }
+
+    /// A scalar "context switch equivalents" figure used by the overhead
+    /// tables: ptrace stops count double (enter + resume), daemon round
+    /// trips double (send + receive).
+    pub fn context_switch_equivalents(&self) -> u64 {
+        2 * self.ptrace_stops + 2 * self.daemon_round_trips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts() {
+        let a = Counters { syscalls: 10, bpf_instructions: 100, ..Default::default() };
+        let b = Counters { syscalls: 25, bpf_instructions: 180, ..Default::default() };
+        let d = b.since(&a);
+        assert_eq!(d.syscalls, 15);
+        assert_eq!(d.bpf_instructions, 80);
+    }
+
+    #[test]
+    fn context_switch_equivalents() {
+        let c = Counters { ptrace_stops: 3, daemon_round_trips: 2, ..Default::default() };
+        assert_eq!(c.context_switch_equivalents(), 10);
+    }
+}

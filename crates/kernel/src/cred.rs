@@ -1,0 +1,124 @@
+//! Process credentials: uids, gids, groups, capability sets.
+//!
+//! All ids stored here are **kernel ids**; translation to and from the
+//! process's user namespace happens at the syscall boundary in
+//! `kernel.rs`, mirroring `struct cred` in Linux.
+
+use crate::ids::NsId;
+use zr_syscalls::caps::CapSet;
+
+/// A process's security context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cred {
+    /// Real uid (kernel id).
+    pub ruid: u32,
+    /// Effective uid.
+    pub euid: u32,
+    /// Saved uid.
+    pub suid: u32,
+    /// Filesystem uid (tracks euid unless set explicitly).
+    pub fsuid: u32,
+    /// Real gid.
+    pub rgid: u32,
+    /// Effective gid.
+    pub egid: u32,
+    /// Saved gid.
+    pub sgid: u32,
+    /// Filesystem gid.
+    pub fsgid: u32,
+    /// Supplementary groups (kernel gids).
+    pub groups: Vec<u32>,
+    /// Effective capability set (relative to `userns`).
+    pub effective: CapSet,
+    /// Permitted capability set.
+    pub permitted: CapSet,
+    /// The user namespace the capabilities are relative to.
+    pub userns: NsId,
+}
+
+impl Cred {
+    /// Credentials for a process whose every id is `uid`/`gid`, with the
+    /// given capability sets, in `userns`.
+    pub fn new(uid: u32, gid: u32, caps: CapSet, userns: NsId) -> Cred {
+        Cred {
+            ruid: uid,
+            euid: uid,
+            suid: uid,
+            fsuid: uid,
+            rgid: gid,
+            egid: gid,
+            sgid: gid,
+            fsgid: gid,
+            groups: Vec::new(),
+            effective: caps,
+            permitted: caps,
+            userns,
+        }
+    }
+
+    /// True root in the initial namespace.
+    pub fn init_root() -> Cred {
+        Cred::new(0, 0, CapSet::full(), 0)
+    }
+
+    /// An unprivileged user in the initial namespace.
+    pub fn init_user(uid: u32, gid: u32) -> Cred {
+        Cred::new(uid, gid, CapSet::EMPTY, 0)
+    }
+
+    /// Is any of the three uids equal to `kuid`? (setuid eligibility.)
+    pub fn any_uid_is(&self, kuid: u32) -> bool {
+        self.ruid == kuid || self.euid == kuid || self.suid == kuid
+    }
+
+    /// Is any of the three gids equal to `kgid`?
+    pub fn any_gid_is(&self, kgid: u32) -> bool {
+        self.rgid == kgid || self.egid == kgid || self.sgid == kgid
+    }
+
+    /// Group membership including the effective/filesystem gid.
+    pub fn in_group(&self, kgid: u32) -> bool {
+        self.fsgid == kgid || self.egid == kgid || self.groups.contains(&kgid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zr_syscalls::caps::Cap;
+
+    #[test]
+    fn new_sets_all_ids() {
+        let c = Cred::new(7, 8, CapSet::EMPTY, 3);
+        assert_eq!((c.ruid, c.euid, c.suid, c.fsuid), (7, 7, 7, 7));
+        assert_eq!((c.rgid, c.egid, c.sgid, c.fsgid), (8, 8, 8, 8));
+        assert_eq!(c.userns, 3);
+    }
+
+    #[test]
+    fn init_root_has_all_caps() {
+        let c = Cred::init_root();
+        assert!(c.effective.has(Cap::Chown));
+        assert!(c.effective.has(Cap::SysAdmin));
+    }
+
+    #[test]
+    fn init_user_has_none() {
+        let c = Cred::init_user(1000, 1000);
+        assert!(c.effective.is_empty());
+        assert!(c.permitted.is_empty());
+    }
+
+    #[test]
+    fn membership_helpers() {
+        let mut c = Cred::init_user(1000, 1000);
+        assert!(c.any_uid_is(1000));
+        assert!(!c.any_uid_is(0));
+        c.suid = 0;
+        assert!(c.any_uid_is(0));
+        assert!(c.in_group(1000));
+        c.groups.push(44);
+        assert!(c.in_group(44));
+        assert!(!c.in_group(45));
+    }
+}

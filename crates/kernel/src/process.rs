@@ -1,0 +1,105 @@
+//! The process table entry.
+
+use crate::cred::Cred;
+use zr_seccomp::FilterStack;
+use zr_syscalls::Arch;
+
+/// Process id.
+pub type Pid = u32;
+
+/// Index of a filesystem in the kernel's table (a process's root — each
+/// container has its own).
+pub type FsId = usize;
+
+/// One simulated process.
+#[derive(Debug, Clone)]
+pub struct Process {
+    /// Its pid.
+    pub pid: Pid,
+    /// Parent pid (0 for the initial process).
+    pub ppid: Pid,
+    /// Credentials (kernel ids).
+    pub cred: Cred,
+    /// Which filesystem is its root.
+    pub fs: FsId,
+    /// Current working directory (absolute, within `fs`).
+    pub cwd: String,
+    /// File-creation mask.
+    pub umask: u32,
+    /// The architecture its syscalls use (decides syscall numbers and
+    /// which legacy calls exist — paper footnote 7).
+    pub arch: Arch,
+    /// Installed seccomp filters. Inherited on fork, kept on exec,
+    /// never removable (§4).
+    pub seccomp: FilterStack,
+    /// `PR_SET_NO_NEW_PRIVS` latch.
+    pub no_new_privs: bool,
+    /// Is the current program image dynamically linked? (Gates
+    /// LD_PRELOAD interposition.)
+    pub dynamic: bool,
+    /// Does the environment carry an active LD_PRELOAD shim?
+    pub preload_active: bool,
+    /// Is a ptrace-style tracer attached?
+    pub traced: bool,
+    /// Still runnable? (false once killed by a filter).
+    pub alive: bool,
+}
+
+impl Process {
+    /// Child inherits everything fork(2) copies.
+    pub fn fork_from(&self, pid: Pid) -> Process {
+        Process {
+            pid,
+            ppid: self.pid,
+            cred: self.cred.clone(),
+            fs: self.fs,
+            cwd: self.cwd.clone(),
+            umask: self.umask,
+            arch: self.arch,
+            seccomp: self.seccomp.clone(),
+            no_new_privs: self.no_new_privs,
+            dynamic: self.dynamic,
+            preload_active: self.preload_active,
+            traced: self.traced,
+            alive: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cred::Cred;
+
+    fn proto() -> Process {
+        Process {
+            pid: 10,
+            ppid: 1,
+            cred: Cred::init_user(1000, 1000),
+            fs: 0,
+            cwd: "/home".into(),
+            umask: 0o022,
+            arch: Arch::X8664,
+            seccomp: FilterStack::new(),
+            no_new_privs: true,
+            dynamic: true,
+            preload_active: true,
+            traced: true,
+            alive: true,
+        }
+    }
+
+    #[test]
+    fn fork_copies_inheritable_state() {
+        let parent = proto();
+        let child = parent.fork_from(11);
+        assert_eq!(child.pid, 11);
+        assert_eq!(child.ppid, 10);
+        assert_eq!(child.cwd, parent.cwd);
+        assert_eq!(child.umask, parent.umask);
+        assert!(child.no_new_privs, "NNP is inherited");
+        assert!(child.preload_active, "LD_PRELOAD env survives fork");
+        assert!(child.traced, "ptrace follows forks (PTRACE_O_TRACEFORK)");
+        assert!(child.alive);
+    }
+}

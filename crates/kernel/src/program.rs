@@ -1,0 +1,183 @@
+//! Simulated binaries: the program registry.
+//!
+//! An executable in the image filesystem is a real inode (so permission
+//! bits, ownership, and symlinks behave normally); its *behaviour* is a
+//! Rust [`Program`] registered under the canonical path. `execve` resolves
+//! the path through the VFS, checks execute permission, then instantiates
+//! the program.
+//!
+//! Each registration declares **linkage**: `LD_PRELOAD`-style emulators
+//! only interpose on dynamically linked programs (§3.1 — "LD_PRELOAD …
+//! cannot wrap statically linked executables"); busybox-style static
+//! binaries bypass them, which the compatibility experiment (E-compat)
+//! demonstrates.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::sys::Sys;
+
+/// What `execve` passes to a program.
+#[derive(Debug, Clone, Default)]
+pub struct ExecEnv {
+    /// argv, `argv[0]` first.
+    pub argv: Vec<String>,
+    /// Environment variables.
+    pub env: Vec<(String, String)>,
+    /// Collected stdout/stderr lines (the program appends; the spawner
+    /// harvests). Shared output sink, like an inherited fd 1.
+    pub output: Vec<String>,
+}
+
+impl ExecEnv {
+    /// Look up an environment variable.
+    pub fn getenv(&self, key: &str) -> Option<&str> {
+        self.env
+            .iter()
+            .rev() // later assignments win
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// argv[1..] as &str.
+    pub fn args(&self) -> Vec<&str> {
+        self.argv.iter().skip(1).map(String::as_str).collect()
+    }
+
+    /// Append an output line.
+    pub fn say(&mut self, line: impl Into<String>) {
+        self.output.push(line.into());
+    }
+}
+
+/// A simulated program: runs to completion against the libc boundary.
+pub trait Program: Send {
+    /// Run; return the exit status (0 = success).
+    fn run(&mut self, sys: &mut dyn Sys, env: &mut ExecEnv) -> i32;
+}
+
+/// Linkage of a registered binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Dynamically linked: LD_PRELOAD shims see its libc calls.
+    Dynamic,
+    /// Statically linked: immune to LD_PRELOAD.
+    Static,
+}
+
+/// Factory producing fresh program instances per exec.
+pub type ProgramFactory = Arc<dyn Fn() -> Box<dyn Program> + Send + Sync>;
+
+/// Registry entry.
+#[derive(Clone)]
+pub struct ProgramEntry {
+    /// Builds an instance per exec.
+    pub factory: ProgramFactory,
+    /// Static or dynamic.
+    pub linkage: Linkage,
+}
+
+impl std::fmt::Debug for ProgramEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgramEntry")
+            .field("linkage", &self.linkage)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Canonical path → behaviour.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramRegistry {
+    map: HashMap<String, ProgramEntry>,
+}
+
+impl ProgramRegistry {
+    /// Empty registry.
+    pub fn new() -> ProgramRegistry {
+        ProgramRegistry::default()
+    }
+
+    /// Register `factory` at `path` with the given linkage.
+    pub fn register<F>(&mut self, path: &str, linkage: Linkage, factory: F)
+    where
+        F: Fn() -> Box<dyn Program> + Send + Sync + 'static,
+    {
+        self.map.insert(
+            path.to_string(),
+            ProgramEntry { factory: Arc::new(factory), linkage },
+        );
+    }
+
+    /// Look up by canonical path.
+    pub fn get(&self, path: &str) -> Option<&ProgramEntry> {
+        self.map.get(path)
+    }
+
+    /// Registered paths (sorted, for diagnostics).
+    pub fn paths(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.map.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sys::{SysCall, SysResult, SysRet};
+
+    struct NullSys;
+    impl Sys for NullSys {
+        fn call(&mut self, _call: SysCall) -> SysResult<SysRet> {
+            Ok(SysRet::Unit)
+        }
+    }
+
+    struct Hello;
+    impl Program for Hello {
+        fn run(&mut self, _sys: &mut dyn Sys, env: &mut ExecEnv) -> i32 {
+            env.say("hello");
+            0
+        }
+    }
+
+    #[test]
+    fn registry_roundtrip() {
+        let mut reg = ProgramRegistry::new();
+        reg.register("/bin/hello", Linkage::Static, || Box::new(Hello));
+        let entry = reg.get("/bin/hello").expect("registered");
+        assert_eq!(entry.linkage, Linkage::Static);
+        let mut prog = (entry.factory)();
+        let mut env = ExecEnv {
+            argv: vec!["hello".into()],
+            ..Default::default()
+        };
+        assert_eq!(prog.run(&mut NullSys, &mut env), 0);
+        assert_eq!(env.output, vec!["hello".to_string()]);
+        assert!(reg.get("/bin/missing").is_none());
+        assert_eq!(reg.paths(), vec!["/bin/hello"]);
+    }
+
+    #[test]
+    fn env_lookup_later_wins() {
+        let env = ExecEnv {
+            argv: vec![],
+            env: vec![
+                ("PATH".into(), "/bin".into()),
+                ("PATH".into(), "/usr/bin".into()),
+            ],
+            output: vec![],
+        };
+        assert_eq!(env.getenv("PATH"), Some("/usr/bin"));
+        assert_eq!(env.getenv("HOME"), None);
+    }
+
+    #[test]
+    fn args_skips_argv0() {
+        let env = ExecEnv {
+            argv: vec!["apk".into(), "add".into(), "sl".into()],
+            ..Default::default()
+        };
+        assert_eq!(env.args(), vec!["add", "sl"]);
+    }
+}

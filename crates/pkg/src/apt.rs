@@ -1,0 +1,312 @@
+//! apt(8)/apt-get(8) — the §5 exception.
+//!
+//! "Debian's apt(8) … by default drops privileges for downloading
+//! packages over HTTP(S) and also verifies that they were dropped
+//! correctly. This validation fails under our seccomp filter."
+//!
+//! The drop sequence is `setgroups([])`, `setresgid(nogroup)`,
+//! `setresuid(_apt)`, then a **verification** via `getresuid`/
+//! `getresgid`. Three outcomes matter to the experiments:
+//!
+//! * the syscalls *fail honestly* (plain Type III): apt warns and
+//!   continues unsandboxed — builds of root-owned packages still work;
+//! * the syscalls *lie without memory* (zero-consistency seccomp): the
+//!   verification catches the mismatch and apt aborts — unless the
+//!   paper's `-o APT::Sandbox::User=root` injection skips the drop;
+//! * the syscalls *lie with memory* (fakeroot, PRoot, or the §6
+//!   uid/gid-consistent filter): verification passes, no workaround
+//!   needed.
+
+use std::sync::Arc;
+
+use crate::dpkg::{dpkg_configure, dpkg_unpack};
+use crate::repo::Repo;
+use zr_kernel::{ExecEnv, Program, Sys, SysError, SysExt};
+use zr_syscalls::Errno;
+
+/// The uid of `_apt` in our Debian image's /etc/passwd.
+const APT_UID: u32 = 100;
+/// Debian's `nogroup`.
+const NOGROUP_GID: u32 = 65534;
+
+/// Outcome of the privilege-drop attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum DropOutcome {
+    /// Sandbox user is root: drop skipped entirely (the workaround path).
+    Skipped,
+    /// Drop appears done and verified.
+    Dropped,
+    /// Kernel refused honestly; continue unsandboxed with a warning.
+    SoftFailed(Errno),
+    /// Calls "succeeded" but verification failed — abort (the §5 trap).
+    VerificationFailed,
+}
+
+fn attempt_drop(sys: &mut dyn Sys, sandbox_user: &str) -> DropOutcome {
+    if sandbox_user == "root" {
+        return DropOutcome::Skipped;
+    }
+    // setgroups first (must happen while still "privileged").
+    if let Err(SysError::Errno(e)) = sys.setgroups(&[]) {
+        return DropOutcome::SoftFailed(e);
+    }
+    if let Err(SysError::Errno(e)) =
+        sys.setresgid(Some(NOGROUP_GID), Some(NOGROUP_GID), Some(NOGROUP_GID))
+    {
+        return DropOutcome::SoftFailed(e);
+    }
+    if let Err(SysError::Errno(e)) = sys.setresuid(Some(APT_UID), Some(APT_UID), Some(APT_UID))
+    {
+        return DropOutcome::SoftFailed(e);
+    }
+    // The verification the paper calls out.
+    let (ruid, euid, suid) = sys.getresuid();
+    let (rgid, egid, sgid) = sys.getresgid();
+    if (ruid, euid, suid) == (APT_UID, APT_UID, APT_UID)
+        && (rgid, egid, sgid) == (NOGROUP_GID, NOGROUP_GID, NOGROUP_GID)
+    {
+        DropOutcome::Dropped
+    } else {
+        DropOutcome::VerificationFailed
+    }
+}
+
+fn restore_privileges(sys: &mut dyn Sys) {
+    let _ = sys.setresuid(Some(0), Some(0), Some(0));
+    let _ = sys.setresgid(Some(0), Some(0), Some(0));
+    let _ = sys.setgroups(&[]);
+}
+
+/// The apt/apt-get program.
+pub struct Apt {
+    repo: Arc<Repo>,
+    /// "apt" or "apt-get" (log cosmetics only).
+    pub brand: &'static str,
+}
+
+impl Apt {
+    /// apt backed by `repo`.
+    pub fn new(repo: Arc<Repo>, brand: &'static str) -> Apt {
+        Apt { repo, brand }
+    }
+
+    /// Run the download phase under the sandbox rules. Returns false on
+    /// hard failure.
+    fn download(&self, sys: &mut dyn Sys, sandbox_user: &str, names: &[&str]) -> bool {
+        match attempt_drop(sys, sandbox_user) {
+            DropOutcome::Skipped => {
+                sys.println(
+                    "W: Download is performed unsandboxed as root (APT::Sandbox::User=root)"
+                        .to_string(),
+                );
+            }
+            DropOutcome::SoftFailed(e) => {
+                sys.println(format!(
+                    "W: Can't drop privileges for downloading ({e}); continuing unsandboxed"
+                ));
+            }
+            DropOutcome::Dropped => {}
+            DropOutcome::VerificationFailed => {
+                sys.println(
+                    "E: setgroups/setresuid reported success but ids are unchanged".to_string(),
+                );
+                sys.println("E: Could not switch the sandbox user '_apt'".to_string());
+                return false;
+            }
+        }
+        for (i, name) in names.iter().enumerate() {
+            if let Some(pkg) = self.repo.get(name) {
+                sys.println(format!(
+                    "Get:{} {} bookworm/main amd64 {} {} [{} kB]",
+                    i + 1,
+                    self.repo.url,
+                    pkg.name,
+                    pkg.version,
+                    pkg.size_kib
+                ));
+            }
+        }
+        restore_privileges(sys);
+        sys.println("Fetched 1 kB in 0s (12.3 kB/s)".to_string());
+        true
+    }
+
+    fn install(&self, sys: &mut dyn Sys, env: &ExecEnv, sandbox_user: &str, names: &[&str]) -> i32 {
+        sys.println("Reading package lists... Done".to_string());
+        sys.println("Building dependency tree... Done".to_string());
+        let order = match self.repo.resolve(names) {
+            Ok(o) => o,
+            Err(e) => {
+                sys.println(format!("E: Unable to locate package: {e}"));
+                return 100;
+            }
+        };
+        sys.println("The following NEW packages will be installed:".to_string());
+        sys.println(format!(
+            "  {}",
+            order.iter().map(|p| p.name.as_str()).collect::<Vec<_>>().join(" ")
+        ));
+
+        let all: Vec<&str> = order.iter().map(|p| p.name.as_str()).collect();
+        if !self.download(sys, sandbox_user, &all) {
+            return 100;
+        }
+
+        for pkg in &order {
+            if dpkg_unpack(sys, pkg).is_err() {
+                sys.println(
+                    "E: Sub-process /usr/bin/dpkg returned an error code (1)".to_string(),
+                );
+                return 100;
+            }
+        }
+        for pkg in &order {
+            if dpkg_configure(sys, pkg, &env.env).is_err() {
+                sys.println(
+                    "E: Sub-process /usr/bin/dpkg returned an error code (1)".to_string(),
+                );
+                return 100;
+            }
+        }
+        0
+    }
+
+    fn update(&self, sys: &mut dyn Sys, sandbox_user: &str) -> i32 {
+        match attempt_drop(sys, sandbox_user) {
+            DropOutcome::VerificationFailed => {
+                sys.println("E: Could not switch the sandbox user '_apt'".to_string());
+                return 100;
+            }
+            DropOutcome::SoftFailed(e) => {
+                sys.println(format!(
+                    "W: Can't drop privileges for downloading ({e}); continuing unsandboxed"
+                ));
+            }
+            _ => {}
+        }
+        sys.println(format!("Get:1 {} bookworm InRelease [151 kB]", self.repo.url));
+        restore_privileges(sys);
+        sys.println("Reading package lists... Done".to_string());
+        0
+    }
+}
+
+impl Program for Apt {
+    fn run(&mut self, sys: &mut dyn Sys, env: &mut ExecEnv) -> i32 {
+        // Parse -o options (the injection target) and the subcommand.
+        let mut sandbox_user = "_apt".to_string();
+        let mut words: Vec<&str> = Vec::new();
+        let args = env.args();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            if *a == "-o" {
+                if let Some(opt) = it.next() {
+                    if let Some(v) = opt.strip_prefix("APT::Sandbox::User=") {
+                        sandbox_user = v.to_string();
+                    }
+                }
+            } else if let Some(v) = a.strip_prefix("-oAPT::Sandbox::User=") {
+                sandbox_user = v.to_string();
+            } else if a.starts_with('-') {
+                // -y, -q, … ignored
+            } else {
+                words.push(a);
+            }
+        }
+        let env_clone = env.clone();
+        match words.split_first() {
+            Some((&"install", names)) if !names.is_empty() => {
+                self.install(sys, &env_clone, &sandbox_user, names)
+            }
+            Some((&"update", _)) => self.update(sys, &sandbox_user),
+            _ => {
+                sys.println(format!("{}: usage: {} install -y PKG…", self.brand, self.brand));
+                100
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repo::debian_repo;
+    use zr_image::{ImageRef, Registry};
+    use zr_kernel::{ContainerConfig, ContainerType, Kernel};
+
+    fn debian_container() -> (Kernel, u32) {
+        let mut k = Kernel::default_kernel();
+        let mut img = Registry::new().pull(&ImageRef::parse("debian:12").unwrap()).unwrap();
+        img.chown_all(1000, 1000);
+        let c = k
+            .container_create(
+                Kernel::HOST_USER_PID,
+                ContainerConfig { ctype: ContainerType::TypeIII, image: img.fs },
+            )
+            .unwrap();
+        crate::register::register_image_binaries(&mut k, &img.meta);
+        (k, c.init_pid)
+    }
+
+    fn run_apt(k: &mut Kernel, pid: u32, args: &[&str]) -> i32 {
+        let mut apt = Apt::new(Arc::new(debian_repo()), "apt-get");
+        let mut argv = vec!["apt-get".to_string()];
+        argv.extend(args.iter().map(|s| s.to_string()));
+        let mut env = ExecEnv { argv, ..Default::default() };
+        let mut ctx = k.ctx(pid);
+        apt.run(&mut ctx, &mut env)
+    }
+
+    #[test]
+    fn plain_type_iii_soft_fails_and_succeeds() {
+        // Without any filter the drop fails honestly (setgroups EPERM):
+        // apt warns and installs hello fine.
+        let (mut k, pid) = debian_container();
+        let code = run_apt(&mut k, pid, &["install", "-y", "hello"]);
+        assert_eq!(code, 0, "{:?}", k.take_console());
+        let console = k.take_console().join("\n");
+        assert!(console.contains("W: Can't drop privileges"), "{console}");
+        assert!(console.contains("Setting up hello"), "{console}");
+    }
+
+    #[test]
+    fn under_seccomp_verification_fails_without_workaround() {
+        let (mut k, pid) = debian_container();
+        // Install the paper's filter on the container process.
+        let prog = zr_seccomp::compile(&zr_seccomp::spec::zero_consistency(
+            &[zr_syscalls::Arch::X8664],
+        ))
+        .unwrap();
+        {
+            let mut ctx = k.ctx(pid);
+            ctx.set_no_new_privs().unwrap();
+            ctx.seccomp_install(prog).unwrap();
+        }
+        let code = run_apt(&mut k, pid, &["install", "-y", "hello"]);
+        assert_eq!(code, 100, "the §5 exception");
+        let console = k.take_console().join("\n");
+        assert!(console.contains("Could not switch the sandbox user"), "{console}");
+    }
+
+    #[test]
+    fn workaround_option_skips_the_drop() {
+        let (mut k, pid) = debian_container();
+        let prog = zr_seccomp::compile(&zr_seccomp::spec::zero_consistency(
+            &[zr_syscalls::Arch::X8664],
+        ))
+        .unwrap();
+        {
+            let mut ctx = k.ctx(pid);
+            ctx.set_no_new_privs().unwrap();
+            ctx.seccomp_install(prog).unwrap();
+        }
+        let code = run_apt(
+            &mut k,
+            pid,
+            &["-o", "APT::Sandbox::User=root", "install", "-y", "hello"],
+        );
+        assert_eq!(code, 0, "{:?}", k.take_console());
+        let console = k.take_console().join("\n");
+        assert!(console.contains("unsandboxed as root"), "{console}");
+    }
+}

@@ -1,0 +1,165 @@
+//! dpkg(8) — Debian's low-level installer. Same tar-as-root ownership
+//! discipline as rpm's cpio: chown every entry, abort on failure.
+
+use std::sync::Arc;
+
+use crate::install::{extract_package, run_post_install, ChownBehavior, InstallError};
+use crate::repo::{Package, Repo};
+use zr_kernel::{ExecEnv, Program, Sys, SysExt};
+
+/// Unpack one package dpkg-style (called by apt and by `dpkg -i`).
+pub fn dpkg_unpack(sys: &mut dyn Sys, pkg: &Package) -> Result<(), InstallError> {
+    sys.println(format!("Selecting previously unselected package {}.", pkg.name));
+    sys.println(format!("Unpacking {} ({}) ...", pkg.name, pkg.version));
+    match extract_package(sys, pkg, ChownBehavior::Always) {
+        Ok(()) => {
+            let _ = sys.append_file(
+                "/var/lib/dpkg/status",
+                format!("Package: {}\nVersion: {}\nStatus: install ok unpacked\n\n",
+                    pkg.name, pkg.version)
+                .as_bytes(),
+            );
+            Ok(())
+        }
+        Err(e) => {
+            sys.println(format!(
+                "dpkg: error processing archive /var/cache/apt/archives/{}_{}.deb (--unpack):",
+                pkg.name, pkg.version
+            ));
+            let detail = match &e {
+                InstallError::Chown { path, .. } => {
+                    format!(" error setting ownership of '.{path}': Operation not permitted")
+                }
+                other => format!(" {other}"),
+            };
+            sys.println(detail);
+            Err(e)
+        }
+    }
+}
+
+/// Configure (postinst) one unpacked package.
+pub fn dpkg_configure(
+    sys: &mut dyn Sys,
+    pkg: &Package,
+    env: &[(String, String)],
+) -> Result<(), InstallError> {
+    sys.println(format!("Setting up {} ({}) ...", pkg.name, pkg.version));
+    match run_post_install(sys, pkg, env) {
+        Ok(0) => Ok(()),
+        Ok(code) => {
+            sys.println(format!(
+                "dpkg: error processing package {} (--configure):",
+                pkg.name
+            ));
+            sys.println(format!(
+                " installed {} package post-installation script subprocess returned error exit status {code}",
+                pkg.name
+            ));
+            Err(InstallError::Fs {
+                path: pkg.name.clone(),
+                errno: zr_syscalls::Errno::EIO,
+            })
+        }
+        Err(_) => Err(InstallError::Killed),
+    }
+}
+
+/// The `/usr/bin/dpkg` binary.
+pub struct Dpkg {
+    repo: Arc<Repo>,
+}
+
+impl Dpkg {
+    /// dpkg backed by `repo`.
+    pub fn new(repo: Arc<Repo>) -> Dpkg {
+        Dpkg { repo }
+    }
+}
+
+impl Program for Dpkg {
+    fn run(&mut self, sys: &mut dyn Sys, env: &mut ExecEnv) -> i32 {
+        let args = env.args();
+        let names: Vec<&str> = args.iter().filter(|a| !a.starts_with('-')).copied().collect();
+        if names.is_empty() || !args.contains(&"-i") {
+            sys.println("dpkg: usage: dpkg -i PACKAGE…".to_string());
+            return 2;
+        }
+        let order = match self.repo.resolve(&names) {
+            Ok(o) => o,
+            Err(e) => {
+                sys.println(format!("dpkg: error: {e}"));
+                return 1;
+            }
+        };
+        let envs = env.env.clone();
+        for pkg in &order {
+            if dpkg_unpack(sys, pkg).is_err() {
+                return 1;
+            }
+        }
+        for pkg in &order {
+            if dpkg_configure(sys, pkg, &envs).is_err() {
+                return 1;
+            }
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repo::debian_repo;
+    use zr_image::{ImageRef, Registry};
+    use zr_kernel::{ContainerConfig, ContainerType, Kernel};
+
+    fn debian_container() -> (Kernel, u32) {
+        let mut k = Kernel::default_kernel();
+        let mut img = Registry::new().pull(&ImageRef::parse("debian:12").unwrap()).unwrap();
+        img.chown_all(1000, 1000);
+        let c = k
+            .container_create(
+                Kernel::HOST_USER_PID,
+                ContainerConfig { ctype: ContainerType::TypeIII, image: img.fs },
+            )
+            .unwrap();
+        crate::register::register_image_binaries(&mut k, &img.meta);
+        (k, c.init_pid)
+    }
+
+    #[test]
+    fn dpkg_hello_succeeds() {
+        let (mut k, pid) = debian_container();
+        let mut dpkg = Dpkg::new(Arc::new(debian_repo()));
+        let mut env = ExecEnv {
+            argv: vec!["dpkg".into(), "-i".into(), "hello".into()],
+            ..Default::default()
+        };
+        let code = {
+            let mut ctx = k.ctx(pid);
+            dpkg.run(&mut ctx, &mut env)
+        };
+        assert_eq!(code, 0, "{:?}", k.take_console());
+        let console = k.take_console().join("\n");
+        assert!(console.contains("Unpacking hello"), "{console}");
+        assert!(console.contains("Setting up hello"), "{console}");
+    }
+
+    #[test]
+    fn dpkg_openssh_server_fails_on_ownership() {
+        let (mut k, pid) = debian_container();
+        let mut dpkg = Dpkg::new(Arc::new(debian_repo()));
+        let mut env = ExecEnv {
+            argv: vec!["dpkg".into(), "-i".into(), "openssh-server".into()],
+            ..Default::default()
+        };
+        let code = {
+            let mut ctx = k.ctx(pid);
+            dpkg.run(&mut ctx, &mut env)
+        };
+        assert_eq!(code, 1);
+        let console = k.take_console().join("\n");
+        assert!(console.contains("error setting ownership"), "{console}");
+    }
+}

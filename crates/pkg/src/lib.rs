@@ -1,0 +1,39 @@
+//! # zr-pkg — package-manager simulators
+//!
+//! The paper's argument is entirely about *which system calls package
+//! managers issue* and whether they check the results. These simulators
+//! reproduce exactly those sequences:
+//!
+//! * [`apk`] (Alpine) installs by writing files as the calling user and
+//!   skips `chown` when ownership already matches — no privileged
+//!   syscalls, which is why Figure 1a builds with `--force=none`.
+//! * [`rpm`]/[`yum`] (CentOS) unpack cpio archives and **chown every
+//!   entry** to the header's owner. openssh ships `ssh_keys`-group files,
+//!   unmappable in a single-id Type III namespace — the `cpio: chown`
+//!   failure of Figure 1b.
+//! * [`dpkg`]/[`apt`] (Debian): apt drops privileges to `_apt` for
+//!   downloads *and verifies the drop took effect* — the §5 exception
+//!   that zero-consistency lying breaks, fixed by the
+//!   `-o APT::Sandbox::User=root` injection.
+//! * [`misc`] carries the supporting cast: the `sl` train, `fakeroot`
+//!   when installed in an image, and `unminimize`, the known-failure case
+//!   of §6 (it verifies its chowns, so simple lies are caught).
+//!
+//! [`register::register_image_binaries`] wires these behaviours to the
+//! binaries an image ships (`zr-image`'s [`zr_image::BinKind`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apk;
+pub mod apt;
+pub mod dpkg;
+pub mod install;
+pub mod misc;
+pub mod register;
+pub mod repo;
+pub mod rpm;
+pub mod yum;
+
+pub use register::register_image_binaries;
+pub use repo::{synthetic_repo, PkgFile, Package, PayloadKind, Repo};

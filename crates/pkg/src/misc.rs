@@ -1,0 +1,163 @@
+//! The supporting cast: small binaries images ship or install.
+
+use zr_kernel::{ExecEnv, Program, Sys, SysExt};
+use zr_shell::exec::run_applet;
+
+/// `/usr/bin/true` (also stands in for inert payload binaries).
+pub struct TrueBin;
+
+impl Program for TrueBin {
+    fn run(&mut self, _sys: &mut dyn Sys, _env: &mut ExecEnv) -> i32 {
+        0
+    }
+}
+
+/// `sl(1)` — the Figure 1a payload. All aboard.
+pub struct Sl;
+
+impl Program for Sl {
+    fn run(&mut self, sys: &mut dyn Sys, _env: &mut ExecEnv) -> i32 {
+        sys.println("      ====        ________                ___________".to_string());
+        sys.println("  _D _|  |_______/        \\__I_I_____===__|_________|".to_string());
+        sys.println("   |(_)---  |   H\\________/ |   |        =|___ ___|  ".to_string());
+        0
+    }
+}
+
+/// Coreutils-style applet binaries (`chown`, `mknod`, `id`, …): delegate
+/// to the shell's applet implementations so the syscall behaviour is
+/// identical whether invoked as a builtin or a binary.
+pub struct Applet;
+
+impl Program for Applet {
+    fn run(&mut self, sys: &mut dyn Sys, env: &mut ExecEnv) -> i32 {
+        match run_applet(sys, &env.argv) {
+            Some(code) => code,
+            None => {
+                let name = env.argv.first().cloned().unwrap_or_default();
+                sys.println(format!("{name}: applet not supported"));
+                127
+            }
+        }
+    }
+}
+
+/// `fakeroot(1)` as an in-image binary: wraps a command with the preload
+/// environment (the Charliecloud injection approach launches commands as
+/// `fakeroot -- cmd…`).
+pub struct FakerootBin;
+
+impl Program for FakerootBin {
+    fn run(&mut self, sys: &mut dyn Sys, env: &mut ExecEnv) -> i32 {
+        let args: Vec<String> =
+            env.argv.iter().skip(1).filter(|a| *a != "--").cloned().collect();
+        if args.is_empty() {
+            sys.println("fakeroot version 1.31 (zeroroot simulation)".to_string());
+            return 0;
+        }
+        let mut child_env = env.env.clone();
+        child_env.push(("LD_PRELOAD".into(), "libfakeroot.so".into()));
+        match sys.spawn_owned(&args[0], args.clone(), child_env) {
+            Ok(code) => code,
+            Err(e) => {
+                sys.println(format!("fakeroot: {}: {e}", args[0]));
+                127
+            }
+        }
+    }
+}
+
+/// `unminimize(8)` — the §6 known-failure case: it *verifies* its chowns,
+/// so a zero-consistency lie is caught. Consistent emulators pass.
+pub struct Unminimize;
+
+impl Program for Unminimize {
+    fn run(&mut self, sys: &mut dyn Sys, _env: &mut ExecEnv) -> i32 {
+        sys.println("This system has been minimized by removing packages and content.".to_string());
+        sys.println("Restoring system documentation...".to_string());
+        let _ = sys.mkdir_p("/usr/share/man/man1", 0o755);
+        let _ = sys.write_file("/usr/share/man/man1/ls.1.gz", 0o644, b"man".to_vec());
+        // Documentation is owned by man:man (6:12) on Ubuntu.
+        if let Err(e) = sys.chown("/usr/share/man", 6, 12) {
+            sys.println(format!("unminimize: chown /usr/share/man: {e}"));
+            return 1;
+        }
+        // ... and unminimize's restore path checks its work.
+        match sys.stat("/usr/share/man") {
+            Ok(st) if st.uid == 6 && st.gid == 12 => {
+                sys.println("Documentation restored.".to_string());
+                0
+            }
+            Ok(st) => {
+                sys.println(format!(
+                    "unminimize: verification failed: /usr/share/man owned by {}:{}, expected 6:12",
+                    st.uid, st.gid
+                ));
+                1
+            }
+            Err(e) => {
+                sys.println(format!("unminimize: stat: {e}"));
+                1
+            }
+        }
+    }
+}
+
+/// `/usr/bin/hello` (GNU hello).
+pub struct Hello;
+
+impl Program for Hello {
+    fn run(&mut self, sys: &mut dyn Sys, _env: &mut ExecEnv) -> i32 {
+        sys.println("Hello, world!".to_string());
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zr_kernel::Kernel;
+
+    #[test]
+    fn true_is_quiet_success() {
+        let mut k = Kernel::default_kernel();
+        let mut env = ExecEnv::default();
+        let mut ctx = k.ctx(Kernel::HOST_USER_PID);
+        assert_eq!(TrueBin.run(&mut ctx, &mut env), 0);
+        assert!(k.take_console().is_empty());
+    }
+
+    #[test]
+    fn sl_prints_a_train() {
+        let mut k = Kernel::default_kernel();
+        let mut env = ExecEnv::default();
+        let code = {
+            let mut ctx = k.ctx(Kernel::HOST_USER_PID);
+            Sl.run(&mut ctx, &mut env)
+        };
+        assert_eq!(code, 0);
+        assert_eq!(k.take_console().len(), 3);
+    }
+
+    #[test]
+    fn unminimize_fails_without_real_chown() {
+        let mut k = Kernel::default_kernel();
+        let mut env = ExecEnv::default();
+        let code = {
+            let mut ctx = k.ctx(Kernel::HOST_USER_PID);
+            Unminimize.run(&mut ctx, &mut env)
+        };
+        assert_eq!(code, 1, "host user cannot chown to man:man");
+    }
+
+    #[test]
+    fn unminimize_succeeds_as_real_root() {
+        let mut k = Kernel::default_kernel();
+        let mut env = ExecEnv::default();
+        let code = {
+            let mut ctx = k.ctx(Kernel::INIT_PID);
+            Unminimize.run(&mut ctx, &mut env)
+        };
+        assert_eq!(code, 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Wire image binaries to simulated behaviours.
+
+use std::sync::Arc;
+
+use crate::apk::Apk;
+use crate::apt::Apt;
+use crate::dpkg::Dpkg;
+use crate::misc::{Applet, FakerootBin, Hello, Sl, TrueBin, Unminimize};
+use crate::repo::{alpine_repo, centos_repo, debian_repo, Repo};
+use crate::rpm::Rpm;
+use crate::yum::Yum;
+use zr_image::{BinKind, Distro, ImageMeta};
+use zr_kernel::program::Linkage;
+use zr_kernel::Kernel;
+use zr_shell::ShellProgram;
+
+/// The repository a distro's package manager talks to.
+pub fn repo_for(distro: Distro) -> Repo {
+    match distro {
+        Distro::Alpine => alpine_repo(),
+        Distro::Centos | Distro::Fedora => centos_repo(),
+        Distro::Debian => debian_repo(),
+        Distro::Scratch => Repo::new("none"),
+    }
+}
+
+fn linkage(l: zr_image::Linkage) -> Linkage {
+    match l {
+        zr_image::Linkage::Dynamic => Linkage::Dynamic,
+        zr_image::Linkage::Static => Linkage::Static,
+    }
+}
+
+/// Register the behaviour of every binary `meta` declares, plus the
+/// binaries its repo packages can install (so `RUN sl` works after
+/// `RUN apk add sl`).
+pub fn register_image_binaries(kernel: &mut Kernel, meta: &ImageMeta) {
+    let repo = Arc::new(repo_for(meta.distro));
+
+    for bin in &meta.binaries {
+        let link = linkage(bin.linkage);
+        let path = bin.path.as_str();
+        match bin.kind {
+            BinKind::Shell | BinKind::Busybox => {
+                kernel.registry.register(path, link, || Box::new(ShellProgram));
+            }
+            BinKind::Apk => {
+                let repo = repo.clone();
+                kernel
+                    .registry
+                    .register(path, link, move || Box::new(Apk::new(repo.clone())));
+            }
+            BinKind::Rpm => {
+                let repo = repo.clone();
+                kernel
+                    .registry
+                    .register(path, link, move || Box::new(Rpm::new(repo.clone())));
+            }
+            BinKind::Yum => {
+                let repo = repo.clone();
+                kernel
+                    .registry
+                    .register(path, link, move || Box::new(Yum::new(repo.clone())));
+            }
+            BinKind::Dnf => {
+                let repo = repo.clone();
+                kernel
+                    .registry
+                    .register(path, link, move || Box::new(Yum::dnf(repo.clone())));
+            }
+            BinKind::Dpkg => {
+                let repo = repo.clone();
+                kernel
+                    .registry
+                    .register(path, link, move || Box::new(Dpkg::new(repo.clone())));
+            }
+            BinKind::Apt => {
+                let repo = repo.clone();
+                kernel
+                    .registry
+                    .register(path, link, move || Box::new(Apt::new(repo.clone(), "apt")));
+            }
+            BinKind::AptGet => {
+                let repo = repo.clone();
+                kernel.registry.register(path, link, move || {
+                    Box::new(Apt::new(repo.clone(), "apt-get"))
+                });
+            }
+            BinKind::Fakeroot => {
+                kernel.registry.register(path, link, || Box::new(FakerootBin));
+            }
+            BinKind::Unminimize => {
+                kernel.registry.register(path, link, || Box::new(Unminimize));
+            }
+            BinKind::True => {
+                kernel.registry.register(path, link, || Box::new(TrueBin));
+            }
+            BinKind::Id | BinKind::ChownTool | BinKind::MknodTool => {
+                kernel.registry.register(path, link, || Box::new(Applet));
+            }
+            BinKind::Sl => {
+                kernel.registry.register(path, link, || Box::new(Sl));
+            }
+        }
+    }
+
+    // Binaries that packages may install later. Registering behaviour up
+    // front is harmless: exec still requires the file to exist.
+    kernel
+        .registry
+        .register("/usr/bin/sl", Linkage::Dynamic, || Box::new(Sl));
+    kernel
+        .registry
+        .register("/usr/bin/hello", Linkage::Dynamic, || Box::new(Hello));
+    kernel
+        .registry
+        .register("/usr/bin/fakeroot", Linkage::Dynamic, || Box::new(FakerootBin));
+    kernel
+        .registry
+        .register("/usr/bin/fipscheck", Linkage::Dynamic, || Box::new(TrueBin));
+    kernel
+        .registry
+        .register("/usr/sbin/sshd", Linkage::Dynamic, || Box::new(TrueBin));
+    kernel
+        .registry
+        .register("/usr/lib/systemd/systemd", Linkage::Dynamic, || Box::new(TrueBin));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zr_image::{ImageRef, Registry};
+    use zr_kernel::{ContainerConfig, ContainerType, SysExt};
+
+    #[test]
+    fn alpine_binaries_registered_and_runnable() {
+        let mut k = Kernel::default_kernel();
+        let mut img = Registry::new().pull(&ImageRef::parse("alpine:3.19").unwrap()).unwrap();
+        img.chown_all(1000, 1000);
+        register_image_binaries(&mut k, &img.meta);
+        let c = k
+            .container_create(
+                Kernel::HOST_USER_PID,
+                ContainerConfig { ctype: ContainerType::TypeIII, image: img.fs },
+            )
+            .unwrap();
+        let mut ctx = k.ctx(c.init_pid);
+        // /bin/sh resolves through the busybox symlink to the shell.
+        let code = ctx
+            .spawn("/bin/sh", &["sh", "-c", "echo from-shell"], &[])
+            .unwrap();
+        assert_eq!(code, 0);
+        assert_eq!(k.take_console(), vec!["from-shell".to_string()]);
+    }
+
+    #[test]
+    fn repo_selection() {
+        assert!(repo_for(Distro::Alpine).get("sl").is_some());
+        assert!(repo_for(Distro::Centos).get("openssh").is_some());
+        assert!(repo_for(Distro::Debian).get("hello").is_some());
+        assert!(repo_for(Distro::Scratch).is_empty());
+    }
+}

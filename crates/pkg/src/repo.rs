@@ -1,0 +1,483 @@
+//! Synthetic package repositories.
+//!
+//! Deterministic stand-ins for distribution repos: each [`Package`] lists
+//! dependencies, payload files *with the ownership the real package
+//! declares* (this is the load-bearing part — `ssh_keys:998` is what
+//! breaks Figure 1b), and maintainer scripts run through `/bin/sh`.
+
+use std::collections::{BTreeMap, HashMap};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use zr_syscalls::mode;
+
+/// What a payload file is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PayloadKind {
+    /// Regular file with content.
+    File(Vec<u8>),
+    /// Directory.
+    Dir,
+    /// Symlink to target.
+    Symlink(String),
+    /// Character device (major, minor) — requires privilege (or a lie).
+    CharDev(u32, u32),
+}
+
+/// One entry of a package's payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PkgFile {
+    /// Install path.
+    pub path: String,
+    /// Permission bits (may include setuid).
+    pub perm: u32,
+    /// Owner uid the archive header declares.
+    pub uid: u32,
+    /// Group gid the archive header declares.
+    pub gid: u32,
+    /// Payload.
+    pub kind: PayloadKind,
+}
+
+impl PkgFile {
+    /// Regular root-owned file.
+    pub fn file(path: &str, perm: u32, content: &[u8]) -> PkgFile {
+        PkgFile {
+            path: path.into(),
+            perm,
+            uid: 0,
+            gid: 0,
+            kind: PayloadKind::File(content.to_vec()),
+        }
+    }
+
+    /// Root-owned directory.
+    pub fn dir(path: &str, perm: u32) -> PkgFile {
+        PkgFile { path: path.into(), perm, uid: 0, gid: 0, kind: PayloadKind::Dir }
+    }
+
+    /// With different ownership (the chown trigger).
+    pub fn owned(mut self, uid: u32, gid: u32) -> PkgFile {
+        self.uid = uid;
+        self.gid = gid;
+        self
+    }
+
+    /// The full mknod-style mode for the payload (type | perm).
+    pub fn st_mode(&self) -> u32 {
+        let ty = match self.kind {
+            PayloadKind::File(_) => mode::S_IFREG,
+            PayloadKind::Dir => mode::S_IFDIR,
+            PayloadKind::Symlink(_) => mode::S_IFLNK,
+            PayloadKind::CharDev(..) => mode::S_IFCHR,
+        };
+        ty | self.perm
+    }
+}
+
+/// A package.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Package {
+    /// Name.
+    pub name: String,
+    /// Version string (printed in install logs).
+    pub version: String,
+    /// Dependency names (must exist in the same repo).
+    pub deps: Vec<String>,
+    /// Payload entries, in archive order.
+    pub files: Vec<PkgFile>,
+    /// Post-install script (a `/bin/sh -c` line), if any.
+    pub post_install: Option<String>,
+    /// Approximate size in KiB (for "OK: N MiB" style output).
+    pub size_kib: u32,
+}
+
+/// A repository: name → package.
+#[derive(Debug, Clone, Default)]
+pub struct Repo {
+    packages: BTreeMap<String, Package>,
+    /// Base URL printed in fetch lines.
+    pub url: String,
+}
+
+/// Resolution failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// No such package.
+    Unknown(String),
+    /// Dependency cycle involving this package.
+    Cycle(String),
+}
+
+impl std::fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResolveError::Unknown(p) => write!(f, "unable to select packages: {p} (no such package)"),
+            ResolveError::Cycle(p) => write!(f, "dependency cycle at {p}"),
+        }
+    }
+}
+
+impl Repo {
+    /// Empty repo with a URL.
+    pub fn new(url: &str) -> Repo {
+        Repo { packages: BTreeMap::new(), url: url.into() }
+    }
+
+    /// Add a package.
+    pub fn add(&mut self, pkg: Package) {
+        self.packages.insert(pkg.name.clone(), pkg);
+    }
+
+    /// Look up one package.
+    pub fn get(&self, name: &str) -> Option<&Package> {
+        self.packages.get(name)
+    }
+
+    /// Number of packages.
+    pub fn len(&self) -> usize {
+        self.packages.len()
+    }
+
+    /// Empty?
+    pub fn is_empty(&self) -> bool {
+        self.packages.is_empty()
+    }
+
+    /// Resolve `wanted` and all dependencies into install order
+    /// (dependencies first), depth-first, deduplicated.
+    pub fn resolve(&self, wanted: &[&str]) -> Result<Vec<&Package>, ResolveError> {
+        let mut order: Vec<&Package> = Vec::new();
+        let mut state: HashMap<&str, u8> = HashMap::new(); // 1=visiting, 2=done
+        fn visit<'r>(
+            repo: &'r Repo,
+            name: &str,
+            state: &mut HashMap<&'r str, u8>,
+            order: &mut Vec<&'r Package>,
+        ) -> Result<(), ResolveError> {
+            let pkg = repo
+                .get(name)
+                .ok_or_else(|| ResolveError::Unknown(name.to_string()))?;
+            match state.get(pkg.name.as_str()) {
+                Some(2) => return Ok(()),
+                Some(1) => return Err(ResolveError::Cycle(name.to_string())),
+                _ => {}
+            }
+            state.insert(&pkg.name, 1);
+            for dep in &pkg.deps {
+                visit(repo, dep, state, order)?;
+            }
+            state.insert(&pkg.name, 2);
+            order.push(pkg);
+            Ok(())
+        }
+        for name in wanted {
+            visit(self, name, &mut state, &mut order)?;
+        }
+        Ok(order)
+    }
+}
+
+// =====================================================================
+// the distro repos the paper's figures need
+// =====================================================================
+
+/// Alpine main repository. Everything root-owned: apk will not need a
+/// single privileged call (Figure 1a).
+pub fn alpine_repo() -> Repo {
+    let mut r = Repo::new("https://dl-cdn.alpinelinux.org/alpine/v3.19");
+    r.add(Package {
+        name: "ncurses-terminfo-base".into(),
+        version: "6.4_p20231125-r0".into(),
+        deps: vec![],
+        files: vec![
+            PkgFile::dir("/usr/share/terminfo", 0o755),
+            PkgFile::file("/usr/share/terminfo/x/xterm", 0o644, b"terminfo"),
+        ],
+        post_install: None,
+        size_kib: 280,
+    });
+    r.add(Package {
+        name: "libncursesw".into(),
+        version: "6.4_p20231125-r0".into(),
+        deps: vec!["ncurses-terminfo-base".into()],
+        files: vec![PkgFile::file(
+            "/usr/lib/libncursesw.so.6",
+            0o755,
+            b"\x7fELFlibncursesw",
+        )],
+        post_install: None,
+        size_kib: 620,
+    });
+    r.add(Package {
+        name: "sl".into(),
+        version: "5.02-r1".into(),
+        deps: vec!["libncursesw".into()],
+        files: vec![PkgFile::file("/usr/bin/sl", 0o755, b"\x7fELF/usr/bin/sl")],
+        post_install: None,
+        size_kib: 28,
+    });
+    r.add(Package {
+        name: "fakeroot".into(),
+        version: "1.32.1-r0".into(),
+        deps: vec![],
+        files: vec![
+            PkgFile::file("/usr/bin/fakeroot", 0o755, b"\x7fELF/usr/bin/fakeroot"),
+            PkgFile::file("/usr/lib/libfakeroot.so", 0o755, b"\x7fELFlibfakeroot"),
+        ],
+        post_install: None,
+        size_kib: 180,
+    });
+    r
+}
+
+/// CentOS 7 base repository. openssh carries the `ssh_keys` group (gid
+/// 998) files that make rpm's cpio chown fail in a Type III container.
+pub fn centos_repo() -> Repo {
+    let mut r = Repo::new("http://mirror.centos.org/centos/7/os/x86_64");
+    r.add(Package {
+        name: "fipscheck-lib".into(),
+        version: "1.4.1-6.el7".into(),
+        deps: vec![],
+        files: vec![PkgFile::file(
+            "/usr/lib64/libfipscheck.so.1",
+            0o755,
+            b"\x7fELFlibfipscheck",
+        )],
+        post_install: None,
+        size_kib: 30,
+    });
+    r.add(Package {
+        name: "fipscheck".into(),
+        version: "1.4.1-6.el7".into(),
+        deps: vec!["fipscheck-lib".into()],
+        files: vec![PkgFile::file("/usr/bin/fipscheck", 0o755, b"\x7fELFfipscheck")],
+        post_install: None,
+        size_kib: 21,
+    });
+    r.add(Package {
+        name: "openssh".into(),
+        version: "7.4p1-23.el7_9".into(),
+        deps: vec!["fipscheck".into()],
+        files: vec![
+            PkgFile::dir("/etc/ssh", 0o755),
+            PkgFile::file("/usr/sbin/sshd", 0o755, b"\x7fELFsshd"),
+            // THE failing entry: group ssh_keys (gid 998) — unmapped in a
+            // single-id user namespace, so fchownat returns EINVAL and
+            // rpm aborts with "cpio: chown".
+            PkgFile::file("/usr/libexec/openssh/ssh-keysign", 0o4755, b"\x7fELFkeysign")
+                .owned(0, 998),
+            PkgFile::dir("/var/empty/sshd", 0o711),
+        ],
+        post_install: Some("mkdir -p /var/empty/sshd && chmod 711 /var/empty/sshd".into()),
+        size_kib: 1100,
+    });
+    r.add(Package {
+        name: "sl".into(),
+        version: "5.02-1.el7".into(),
+        deps: vec![],
+        files: vec![PkgFile::file("/usr/bin/sl", 0o755, b"\x7fELF/usr/bin/sl")],
+        post_install: None,
+        size_kib: 28,
+    });
+    r.add(Package {
+        name: "fakeroot".into(),
+        version: "1.26-1.el7".into(),
+        deps: vec![],
+        files: vec![
+            PkgFile::file("/usr/bin/fakeroot", 0o755, b"\x7fELF/usr/bin/fakeroot"),
+            PkgFile::file("/usr/lib64/libfakeroot.so", 0o755, b"\x7fELFlibfakeroot"),
+        ],
+        post_install: None,
+        size_kib: 200,
+    });
+    r
+}
+
+/// Debian bookworm repository: hello (harmless), openssh-server (chown
+/// needs), systemd (setxattr + device nodes — §6 future work 1), and
+/// fakeroot for `--force=fakeroot` provisioning.
+pub fn debian_repo() -> Repo {
+    let mut r = Repo::new("http://deb.debian.org/debian/bookworm");
+    r.add(Package {
+        name: "hello".into(),
+        version: "2.10-3".into(),
+        deps: vec![],
+        files: vec![PkgFile::file("/usr/bin/hello", 0o755, b"\x7fELFhello")],
+        post_install: None,
+        size_kib: 56,
+    });
+    r.add(Package {
+        name: "libssl3".into(),
+        version: "3.0.11-1".into(),
+        deps: vec![],
+        files: vec![PkgFile::file("/usr/lib/libssl.so.3", 0o755, b"\x7fELFlibssl")],
+        post_install: None,
+        size_kib: 2100,
+    });
+    r.add(Package {
+        name: "openssh-server".into(),
+        version: "9.2p1-2".into(),
+        deps: vec!["libssl3".into()],
+        files: vec![
+            PkgFile::dir("/etc/ssh", 0o755),
+            PkgFile::file("/usr/sbin/sshd", 0o755, b"\x7fELFsshd"),
+            PkgFile::dir("/run/sshd", 0o755).owned(0, 0),
+            // Debian uses a dedicated uid for the privilege-separated dir.
+            PkgFile::file("/etc/ssh/ssh_host_ed25519_key", 0o600, b"PRIVATE").owned(0, 998),
+        ],
+        post_install: Some("mkdir -p /run/sshd".into()),
+        size_kib: 1500,
+    });
+    r.add(Package {
+        name: "systemd".into(),
+        version: "252.22-1".into(),
+        deps: vec![],
+        files: vec![
+            PkgFile::file("/usr/lib/systemd/systemd", 0o755, b"\x7fELFsystemd"),
+            PkgFile::dir("/etc/systemd", 0o755),
+        ],
+        // systemd's postinst needs privileged xattrs and device nodes —
+        // the §6 future-work case.
+        post_install: Some(
+            "mknod /dev/null-sd c 1 3 && echo done-with-devices".into(),
+        ),
+        size_kib: 9800,
+    });
+    r.add(Package {
+        name: "fakeroot".into(),
+        version: "1.31-1.2".into(),
+        deps: vec![],
+        files: vec![
+            PkgFile::file("/usr/bin/fakeroot", 0o755, b"\x7fELF/usr/bin/fakeroot"),
+            PkgFile::file("/usr/lib/libfakeroot-0.so", 0o755, b"\x7fELFlibfakeroot"),
+        ],
+        post_install: None,
+        size_kib: 350,
+    });
+    r
+}
+
+/// A deterministic synthetic repo for benchmark sweeps: `npkgs` packages
+/// in a dependency chain, each with `files_per_pkg` root-owned files of
+/// `file_kib` KiB, plus a fraction of differently-owned files to trigger
+/// chown paths.
+pub fn synthetic_repo(
+    npkgs: usize,
+    files_per_pkg: usize,
+    file_kib: usize,
+    owned_fraction_percent: u32,
+    seed: u64,
+) -> Repo {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut r = Repo::new("https://bench.invalid/repo");
+    for i in 0..npkgs {
+        let name = format!("pkg{i:04}");
+        let deps = if i == 0 { vec![] } else { vec![format!("pkg{:04}", i - 1)] };
+        let mut files = vec![PkgFile::dir(&format!("/opt/{name}"), 0o755)];
+        for f in 0..files_per_pkg {
+            let mut content = vec![0u8; file_kib * 1024];
+            rng.fill(&mut content[..]);
+            let mut file =
+                PkgFile::file(&format!("/opt/{name}/file{f:03}"), 0o644, &content);
+            if rng.gen_range(0..100) < owned_fraction_percent {
+                file = file.owned(rng.gen_range(1..1000), rng.gen_range(1..1000));
+            }
+            files.push(file);
+        }
+        r.add(Package {
+            name,
+            version: "1.0".into(),
+            deps,
+            files,
+            post_install: None,
+            size_kib: (files_per_pkg * file_kib) as u32,
+        });
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_orders_dependencies_first() {
+        let repo = alpine_repo();
+        let order = repo.resolve(&["sl"]).unwrap();
+        let names: Vec<&str> = order.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["ncurses-terminfo-base", "libncursesw", "sl"]);
+    }
+
+    #[test]
+    fn resolve_dedupes() {
+        let repo = alpine_repo();
+        let order = repo.resolve(&["sl", "libncursesw"]).unwrap();
+        assert_eq!(order.len(), 3, "shared deps appear once");
+    }
+
+    #[test]
+    fn unknown_package() {
+        let repo = alpine_repo();
+        assert_eq!(
+            repo.resolve(&["doom"]).err(),
+            Some(ResolveError::Unknown("doom".into()))
+        );
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut repo = Repo::new("x");
+        repo.add(Package { name: "a".into(), deps: vec!["b".into()], ..Default::default() });
+        repo.add(Package { name: "b".into(), deps: vec!["a".into()], ..Default::default() });
+        assert!(matches!(repo.resolve(&["a"]), Err(ResolveError::Cycle(_))));
+    }
+
+    #[test]
+    fn openssh_carries_the_poison_file() {
+        let repo = centos_repo();
+        let openssh = repo.get("openssh").unwrap();
+        assert!(
+            openssh.files.iter().any(|f| f.gid == 998),
+            "ssh_keys-owned file is the Figure 1b trigger"
+        );
+        // And it resolves to exactly 3 packages like the paper's output
+        // ("Installing : openssh-7.4p1-23.el7_9.x86_64 3/3").
+        assert_eq!(repo.resolve(&["openssh"]).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn alpine_sl_is_all_root_owned() {
+        let repo = alpine_repo();
+        for pkg in repo.resolve(&["sl"]).unwrap() {
+            for f in &pkg.files {
+                assert_eq!((f.uid, f.gid), (0, 0), "{}", f.path);
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_repo_is_deterministic() {
+        let a = synthetic_repo(5, 3, 1, 20, 42);
+        let b = synthetic_repo(5, 3, 1, 20, 42);
+        assert_eq!(a.len(), b.len());
+        let pa = a.get("pkg0002").unwrap();
+        let pb = b.get("pkg0002").unwrap();
+        assert_eq!(pa.files, pb.files);
+        // Chain dependency shape.
+        assert_eq!(pa.deps, vec!["pkg0001".to_string()]);
+        assert_eq!(a.resolve(&["pkg0004"]).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn st_mode_types() {
+        assert_eq!(
+            PkgFile::dir("/d", 0o755).st_mode() & mode::S_IFMT,
+            mode::S_IFDIR
+        );
+        assert_eq!(
+            PkgFile::file("/f", 0o644, b"").st_mode() & mode::S_IFMT,
+            mode::S_IFREG
+        );
+    }
+}

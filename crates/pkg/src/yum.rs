@@ -1,0 +1,150 @@
+//! yum(8) — depsolver over rpm, with the transaction/rollback theater
+//! Figure 1b and Figure 2 show.
+
+use std::sync::Arc;
+
+use crate::install::rollback_is_needed;
+use crate::repo::Repo;
+use crate::rpm::rpm_install_one;
+use zr_kernel::{ExecEnv, Program, Sys, SysExt};
+
+/// The yum/dnf program (dnf shares the engine).
+pub struct Yum {
+    repo: Arc<Repo>,
+    /// "yum" or "dnf" — changes only the log header.
+    pub brand: &'static str,
+}
+
+impl Yum {
+    /// yum backed by `repo`.
+    pub fn new(repo: Arc<Repo>) -> Yum {
+        Yum { repo, brand: "yum" }
+    }
+
+    /// dnf variant.
+    pub fn dnf(repo: Arc<Repo>) -> Yum {
+        Yum { repo, brand: "dnf" }
+    }
+
+    fn install(&self, sys: &mut dyn Sys, env: &ExecEnv, names: &[&str]) -> i32 {
+        sys.println(format!("Loaded plugins: fastestmirror ({})", self.brand));
+        sys.println("Resolving Dependencies".to_string());
+        let order = match self.repo.resolve(names) {
+            Ok(o) => o,
+            Err(e) => {
+                sys.println(format!("No package available: {e}"));
+                return 1;
+            }
+        };
+        sys.println("Dependencies Resolved".to_string());
+        sys.println(String::new());
+        sys.println("Installing:".to_string());
+        for pkg in &order {
+            sys.println(format!("  {:<24} x86_64  {}", pkg.name, pkg.version));
+        }
+        sys.println(String::new());
+        sys.println("Running transaction".to_string());
+
+        let total = order.len();
+        let mut installed: Vec<usize> = Vec::new();
+        for (i, pkg) in order.iter().enumerate() {
+            match rpm_install_one(sys, pkg, i + 1, total, &env.env) {
+                Ok(()) => installed.push(i),
+                Err(e) => {
+                    sys.println(format!(
+                        "error: {}-{}.x86_64: install failed",
+                        pkg.name, pkg.version
+                    ));
+                    if rollback_is_needed(&e) {
+                        sys.println("something went wrong, rolling back ...".to_string());
+                        for &j in installed.iter().rev() {
+                            crate::install::rollback_package(sys, order[j]);
+                            sys.println(format!(
+                                "  Erasing    : {}-{}.x86_64",
+                                order[j].name, order[j].version
+                            ));
+                        }
+                    }
+                    return 1;
+                }
+            }
+        }
+        sys.println(String::new());
+        sys.println("Complete!".to_string());
+        0
+    }
+}
+
+impl Program for Yum {
+    fn run(&mut self, sys: &mut dyn Sys, env: &mut ExecEnv) -> i32 {
+        let args = env.args();
+        let args: Vec<&str> = args.iter().filter(|a| !a.starts_with('-')).copied().collect();
+        match args.split_first() {
+            Some((&"install", names)) if !names.is_empty() => {
+                let env_clone = env.clone();
+                self.install(sys, &env_clone, names)
+            }
+            Some((&"makecache", _)) | Some((&"update", _)) => {
+                sys.println("Metadata Cache Created".to_string());
+                0
+            }
+            _ => {
+                sys.println(format!("{}: usage: {} install -y PKG…", self.brand, self.brand));
+                1
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repo::centos_repo;
+    use zr_image::{ImageRef, Registry};
+    use zr_kernel::{ContainerConfig, ContainerType, Kernel};
+
+    fn centos_container() -> (Kernel, u32) {
+        let mut k = Kernel::default_kernel();
+        let mut img = Registry::new().pull(&ImageRef::parse("centos:7").unwrap()).unwrap();
+        img.chown_all(1000, 1000);
+        let c = k
+            .container_create(
+                Kernel::HOST_USER_PID,
+                ContainerConfig { ctype: ContainerType::TypeIII, image: img.fs },
+            )
+            .unwrap();
+        (k, c.init_pid)
+    }
+
+    fn run_yum(k: &mut Kernel, pid: u32, names: &[&str]) -> i32 {
+        let mut yum = Yum::new(Arc::new(centos_repo()));
+        let mut argv = vec!["yum".to_string(), "install".to_string(), "-y".to_string()];
+        argv.extend(names.iter().map(|s| s.to_string()));
+        let mut env = ExecEnv { argv, ..Default::default() };
+        let mut ctx = k.ctx(pid);
+        yum.run(&mut ctx, &mut env)
+    }
+
+    #[test]
+    fn figure_1b_yum_openssh_fails_and_rolls_back() {
+        let (mut k, pid) = centos_container();
+        let code = run_yum(&mut k, pid, &["openssh"]);
+        assert_eq!(code, 1);
+        let console = k.take_console().join("\n");
+        assert!(console.contains("Installing : openssh-7.4p1-23.el7_9.x86_64"), "{console}");
+        assert!(console.contains("cpio: chown"), "{console}");
+        assert!(console.contains("something went wrong, rolling back"), "{console}");
+        // Rollback removed the dependencies that had installed.
+        let mut ctx = k.ctx(pid);
+        assert!(!ctx.exists("/usr/bin/fipscheck"));
+    }
+
+    #[test]
+    fn yum_sl_succeeds() {
+        let (mut k, pid) = centos_container();
+        let code = run_yum(&mut k, pid, &["sl"]);
+        assert_eq!(code, 0);
+        let console = k.take_console().join("\n");
+        assert!(console.contains("Complete!"), "{console}");
+    }
+}

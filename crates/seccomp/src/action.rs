@@ -1,0 +1,187 @@
+//! Filter dispositions (`SECCOMP_RET_*`) and their stacking precedence.
+//!
+//! The paper (§4) groups dispositions into three classes: don't execute
+//! (kill thread/process, SIGSYS, errno), execute (with or without logging),
+//! and defer to userspace (ptrace or fd). Zero-consistency emulation only
+//! needs two of them: `Errno(0)` — the lie — and `Allow`.
+
+/// High half of a filter return value selects the action.
+pub const SECCOMP_RET_KILL_PROCESS: u32 = 0x8000_0000;
+/// Kill just the calling thread (the historic default kill).
+pub const SECCOMP_RET_KILL_THREAD: u32 = 0x0000_0000;
+/// Deliver `SIGSYS`.
+pub const SECCOMP_RET_TRAP: u32 = 0x0003_0000;
+/// Skip the syscall, return `-data` as errno (0 ⇒ fake success).
+pub const SECCOMP_RET_ERRNO: u32 = 0x0005_0000;
+/// Defer to a userspace notifier fd (Linux 5.0).
+pub const SECCOMP_RET_USER_NOTIF: u32 = 0x7fc0_0000;
+/// Defer to a ptrace tracer.
+pub const SECCOMP_RET_TRACE: u32 = 0x7ff0_0000;
+/// Execute but log.
+pub const SECCOMP_RET_LOG: u32 = 0x7ffc_0000;
+/// Execute normally.
+pub const SECCOMP_RET_ALLOW: u32 = 0x7fff_0000;
+/// Mask selecting the action half.
+pub const SECCOMP_RET_ACTION_FULL: u32 = 0xffff_0000;
+/// Mask selecting the data half.
+pub const SECCOMP_RET_DATA: u32 = 0x0000_ffff;
+
+/// A decoded filter disposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Kill the whole process (Linux 4.14).
+    KillProcess,
+    /// Kill the calling thread (Linux 3.5).
+    KillThread,
+    /// Deliver `SIGSYS` to the thread.
+    Trap(u16),
+    /// Do not execute; return this errno. **`Errno(0)` is the paper's
+    /// entire mechanism**: do nothing, report success.
+    Errno(u16),
+    /// Defer to a userspace notifier.
+    UserNotif,
+    /// Defer to a ptrace tracer.
+    Trace(u16),
+    /// Execute and log.
+    Log,
+    /// Execute normally.
+    Allow,
+}
+
+impl Action {
+    /// Encode to the 32-bit BPF return value.
+    pub const fn raw(self) -> u32 {
+        match self {
+            Action::KillProcess => SECCOMP_RET_KILL_PROCESS,
+            Action::KillThread => SECCOMP_RET_KILL_THREAD,
+            Action::Trap(d) => SECCOMP_RET_TRAP | d as u32,
+            Action::Errno(e) => SECCOMP_RET_ERRNO | e as u32,
+            Action::UserNotif => SECCOMP_RET_USER_NOTIF,
+            Action::Trace(d) => SECCOMP_RET_TRACE | d as u32,
+            Action::Log => SECCOMP_RET_LOG,
+            Action::Allow => SECCOMP_RET_ALLOW,
+        }
+    }
+
+    /// Decode a BPF return value. Unknown action halves collapse to
+    /// `KillProcess`, matching the kernel's "unknown returns are fatal"
+    /// posture for modern kernels.
+    pub const fn from_raw(v: u32) -> Action {
+        let data = (v & SECCOMP_RET_DATA) as u16;
+        match v & SECCOMP_RET_ACTION_FULL {
+            SECCOMP_RET_KILL_PROCESS => Action::KillProcess,
+            SECCOMP_RET_KILL_THREAD => Action::KillThread,
+            SECCOMP_RET_TRAP => Action::Trap(data),
+            SECCOMP_RET_ERRNO => Action::Errno(data),
+            SECCOMP_RET_USER_NOTIF => Action::UserNotif,
+            SECCOMP_RET_TRACE => Action::Trace(data),
+            SECCOMP_RET_LOG => Action::Log,
+            SECCOMP_RET_ALLOW => Action::Allow,
+            _ => Action::KillProcess,
+        }
+    }
+
+    /// Stacking precedence: when several filters are installed the kernel
+    /// runs them all and acts on the **most restrictive** result. Lower
+    /// rank wins.
+    pub const fn precedence(self) -> u8 {
+        match self {
+            Action::KillProcess => 0,
+            Action::KillThread => 1,
+            Action::Trap(_) => 2,
+            Action::Errno(_) => 3,
+            Action::UserNotif => 4,
+            Action::Trace(_) => 5,
+            Action::Log => 6,
+            Action::Allow => 7,
+        }
+    }
+
+    /// The more restrictive of two actions (kernel stacking rule).
+    pub fn most_restrictive(self, other: Action) -> Action {
+        if self.precedence() <= other.precedence() {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl std::fmt::Display for Action {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Action::KillProcess => write!(f, "KILL_PROCESS"),
+            Action::KillThread => write!(f, "KILL_THREAD"),
+            Action::Trap(d) => write!(f, "TRAP({d})"),
+            Action::Errno(0) => write!(f, "ERRNO(0)=fake-success"),
+            Action::Errno(e) => write!(f, "ERRNO({e})"),
+            Action::UserNotif => write!(f, "USER_NOTIF"),
+            Action::Trace(d) => write!(f, "TRACE({d})"),
+            Action::Log => write!(f, "LOG"),
+            Action::Allow => write!(f, "ALLOW"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_roundtrip() {
+        for a in [
+            Action::KillProcess,
+            Action::KillThread,
+            Action::Trap(3),
+            Action::Errno(0),
+            Action::Errno(1),
+            Action::UserNotif,
+            Action::Trace(9),
+            Action::Log,
+            Action::Allow,
+        ] {
+            assert_eq!(Action::from_raw(a.raw()), a, "{a}");
+        }
+    }
+
+    #[test]
+    fn fake_success_encoding() {
+        // The paper's one weird trick: ERRNO with errno 0.
+        assert_eq!(Action::Errno(0).raw(), 0x0005_0000);
+    }
+
+    #[test]
+    fn precedence_order_matches_kernel() {
+        let order = [
+            Action::KillProcess,
+            Action::KillThread,
+            Action::Trap(0),
+            Action::Errno(0),
+            Action::UserNotif,
+            Action::Trace(0),
+            Action::Log,
+            Action::Allow,
+        ];
+        for w in order.windows(2) {
+            assert!(w[0].precedence() < w[1].precedence());
+        }
+    }
+
+    #[test]
+    fn most_restrictive_wins() {
+        assert_eq!(
+            Action::Allow.most_restrictive(Action::Errno(1)),
+            Action::Errno(1)
+        );
+        assert_eq!(
+            Action::Errno(1).most_restrictive(Action::KillProcess),
+            Action::KillProcess
+        );
+        assert_eq!(Action::Allow.most_restrictive(Action::Allow), Action::Allow);
+    }
+
+    #[test]
+    fn unknown_action_is_fatal() {
+        assert_eq!(Action::from_raw(0x1234_0000), Action::KillProcess);
+    }
+}

@@ -1,0 +1,140 @@
+//! `seccomp_check_filter` — the *additional* validation seccomp applies on
+//! top of `sk_chk_filter`: data loads must be 32-bit, word-aligned, and
+//! inside `struct seccomp_data`; the network-only addressing modes are
+//! rejected outright.
+
+use crate::data::SIZE;
+use zr_bpf::insn::*;
+use zr_bpf::Program;
+
+/// Why seccomp refused a program that plain BPF validation accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckError {
+    /// A data load other than `LD|W|ABS` (halfword/byte/indirect/len/msh).
+    BadLoadMode {
+        /// Offending program counter.
+        pc: usize,
+    },
+    /// An absolute load outside (or misaligned within) `seccomp_data`.
+    BadOffset {
+        /// Offending program counter.
+        pc: usize,
+        /// The offset requested.
+        offset: u32,
+    },
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::BadLoadMode { pc } => {
+                write!(f, "non-word or non-absolute data load at pc {pc}")
+            }
+            CheckError::BadOffset { pc, offset } => {
+                write!(f, "load offset {offset} invalid for seccomp_data at pc {pc}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Validate the seccomp-specific constraints.
+pub fn check_seccomp(prog: &Program) -> Result<(), CheckError> {
+    for (pc, insn) in prog.insns().iter().enumerate() {
+        let class = insn.code & 0x07;
+        if class != BPF_LD && class != BPF_LDX {
+            continue;
+        }
+        let mode = insn.code & 0xe0;
+        match mode {
+            BPF_IMM | BPF_MEM => {} // register/scratch loads: fine
+            BPF_ABS => {
+                let size = insn.code & 0x18;
+                if size != BPF_W {
+                    return Err(CheckError::BadLoadMode { pc });
+                }
+                if insn.k % 4 != 0 || insn.k as usize + 4 > SIZE {
+                    return Err(CheckError::BadOffset { pc, offset: insn.k });
+                }
+            }
+            // IND, LEN, MSH: packet-oriented, meaningless for seccomp.
+            _ => return Err(CheckError::BadLoadMode { pc }),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ret0() -> Insn {
+        Insn::stmt(BPF_RET | BPF_K, 0)
+    }
+
+    #[test]
+    fn word_aligned_abs_loads_ok() {
+        for k in (0..64).step_by(4) {
+            let p = Program::new(vec![Insn::stmt(BPF_LD | BPF_W | BPF_ABS, k), ret0()]);
+            assert_eq!(check_seccomp(&p), Ok(()), "offset {k}");
+        }
+    }
+
+    #[test]
+    fn misaligned_offset_rejected() {
+        let p = Program::new(vec![Insn::stmt(BPF_LD | BPF_W | BPF_ABS, 2), ret0()]);
+        assert_eq!(
+            check_seccomp(&p),
+            Err(CheckError::BadOffset { pc: 0, offset: 2 })
+        );
+    }
+
+    #[test]
+    fn out_of_struct_offset_rejected() {
+        let p = Program::new(vec![Insn::stmt(BPF_LD | BPF_W | BPF_ABS, 64), ret0()]);
+        assert_eq!(
+            check_seccomp(&p),
+            Err(CheckError::BadOffset { pc: 0, offset: 64 })
+        );
+    }
+
+    #[test]
+    fn halfword_load_rejected() {
+        let p = Program::new(vec![Insn::stmt(BPF_LD | BPF_H | BPF_ABS, 0), ret0()]);
+        assert_eq!(check_seccomp(&p), Err(CheckError::BadLoadMode { pc: 0 }));
+    }
+
+    #[test]
+    fn indirect_and_len_loads_rejected() {
+        for code in [
+            BPF_LD | BPF_W | BPF_IND,
+            BPF_LD | BPF_W | BPF_LEN,
+            BPF_LDX | BPF_B | BPF_MSH,
+        ] {
+            let p = Program::new(vec![Insn::stmt(code, 0), ret0()]);
+            assert!(check_seccomp(&p).is_err(), "code {code:#x}");
+        }
+    }
+
+    #[test]
+    fn imm_and_mem_loads_ok() {
+        let p = Program::new(vec![
+            Insn::stmt(BPF_LD | BPF_IMM, 123),
+            Insn::stmt(BPF_ST, 0),
+            Insn::stmt(BPF_LDX | BPF_MEM, 0),
+            ret0(),
+        ]);
+        assert_eq!(check_seccomp(&p), Ok(()));
+    }
+
+    #[test]
+    fn alu_and_jumps_ignored() {
+        let p = Program::new(vec![
+            Insn::stmt(BPF_ALU | BPF_AND | BPF_K, 0xffff),
+            Insn::jump(BPF_JMP | BPF_JEQ | BPF_K, 1, 0, 0),
+            ret0(),
+        ]);
+        assert_eq!(check_seccomp(&p), Ok(()));
+    }
+}

@@ -1,0 +1,319 @@
+//! The spec→cBPF compiler — the Rust analogue of Charliecloud's two C
+//! functions (~150 lines) that translate its syscall table into a BPF
+//! program.
+//!
+//! Program shape (same as the C original):
+//!
+//! ```text
+//!     ld  [4]                        ; arch word
+//!     jeq AUDIT_ARCH_A, <section A>, <next arch>
+//!     ... per-arch section ...
+//!     jeq AUDIT_ARCH_B, <section B>, <next arch>
+//!     ... per-arch section ...
+//!     ret <unknown-arch action>
+//! ```
+//!
+//! Each per-arch section loads the syscall number and matches the resolved
+//! numbers of every rule that exists on that architecture. The mknod pair
+//! jumps into a check block that loads the low word of the mode argument,
+//! masks `S_IFMT`, and compares against `S_IFCHR`/`S_IFBLK` — the
+//! "examine the file type argument" logic of §5 class 3.
+
+use crate::action::Action;
+use crate::check::{check_seccomp, CheckError};
+use crate::data::{off_arg_lo, OFF_ARCH, OFF_NR};
+use crate::spec::{FilterSpec, Rule};
+use zr_bpf::asm::{AsmError, Assembler, Label, Target};
+use zr_bpf::insn::{BPF_ALU, BPF_AND, BPF_K};
+use zr_bpf::validate::ValidateError;
+use zr_bpf::Program;
+use zr_syscalls::mode::{S_IFBLK, S_IFCHR, S_IFMT};
+
+/// Compilation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The spec listed no architectures.
+    NoArches,
+    /// Assembly failed (offset overflow etc.).
+    Asm(AsmError),
+    /// The produced program failed kernel-style validation — a compiler
+    /// bug, surfaced rather than hidden.
+    Validate(ValidateError),
+    /// The produced program failed the seccomp-specific check.
+    Seccomp(CheckError),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::NoArches => write!(f, "filter spec has no architectures"),
+            CompileError::Asm(e) => write!(f, "assembly failed: {e}"),
+            CompileError::Validate(e) => write!(f, "validation failed: {e}"),
+            CompileError::Seccomp(e) => write!(f, "seccomp check failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<AsmError> for CompileError {
+    fn from(e: AsmError) -> CompileError {
+        CompileError::Asm(e)
+    }
+}
+
+/// A ret-island allocator: one `ret` per distinct action per arch section,
+/// shared by every rule that needs it.
+struct RetIslands {
+    entries: Vec<(Action, Label)>,
+}
+
+impl RetIslands {
+    fn new() -> RetIslands {
+        RetIslands { entries: Vec::new() }
+    }
+
+    fn label_for(&mut self, asm: &mut Assembler, action: Action) -> Label {
+        if let Some((_, l)) = self.entries.iter().find(|(a, _)| *a == action) {
+            return *l;
+        }
+        let l = asm.label();
+        self.entries.push((action, l));
+        l
+    }
+
+    fn emit(self, asm: &mut Assembler) {
+        for (action, label) in self.entries {
+            asm.bind(label);
+            asm.ret(action.raw());
+        }
+    }
+}
+
+/// Compile `spec` into a validated cBPF program.
+pub fn compile(spec: &FilterSpec) -> Result<Program, CompileError> {
+    if spec.arches.is_empty() {
+        return Err(CompileError::NoArches);
+    }
+
+    let mut asm = Assembler::new();
+    // Prologue: fetch the architecture word once.
+    asm.ld_abs_w(OFF_ARCH);
+
+    for &arch in &spec.arches {
+        let skip = asm.label();
+        asm.jeq(arch.audit(), Target::Next, Target::To(skip));
+
+        // --- per-arch section -------------------------------------------
+        let mut islands = RetIslands::new();
+        // Conditional (mknod-style) check blocks to emit after the match
+        // list: (label, mode_arg, device_action, other_action).
+        let mut checks: Vec<(Label, usize, Action, Action)> = Vec::new();
+
+        asm.ld_abs_w(OFF_NR);
+        for rule in &spec.rules {
+            let Some(nr) = rule.sysno.number(arch) else {
+                continue; // syscall absent on this architecture
+            };
+            match rule.rule {
+                Rule::Always(action) => {
+                    let l = islands.label_for(&mut asm, action);
+                    asm.jeq(nr, Target::To(l), Target::Next);
+                }
+                Rule::DeviceConditional {
+                    mode_arg,
+                    device_action,
+                    other_action,
+                } => {
+                    let l = asm.label();
+                    checks.push((l, mode_arg, device_action, other_action));
+                    asm.jeq(nr, Target::To(l), Target::Next);
+                }
+            }
+        }
+        // No rule matched on this arch.
+        asm.ret(spec.default_action.raw());
+
+        // Mknod-style check blocks. A is clobbered (mode replaces nr) but
+        // every path out of a block is a ret, so that is fine.
+        for (label, mode_arg, device_action, other_action) in checks {
+            asm.bind(label);
+            asm.ld_abs_w(off_arg_lo(mode_arg));
+            asm.stmt(BPF_ALU | BPF_AND | BPF_K, S_IFMT);
+            let dev = islands.label_for(&mut asm, device_action);
+            asm.jeq(S_IFCHR, Target::To(dev), Target::Next);
+            asm.jeq(S_IFBLK, Target::To(dev), Target::Next);
+            asm.ret(other_action.raw());
+        }
+
+        islands.emit(&mut asm);
+        asm.bind(skip);
+    }
+
+    // Architecture word matched nothing we know.
+    asm.ret(spec.unknown_arch_action.raw());
+
+    let prog = asm.assemble()?;
+    zr_bpf::validate(&prog).map_err(CompileError::Validate)?;
+    check_seccomp(&prog).map_err(CompileError::Seccomp)?;
+    Ok(prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::SeccompData;
+    use crate::spec::{self, zero_consistency};
+    use crate::stack::evaluate;
+    use zr_syscalls::filtered::{filtered_on, FilterClass};
+    use zr_syscalls::mode::{S_IFCHR, S_IFIFO, S_IFREG};
+    use zr_syscalls::{Arch, Sysno};
+
+    fn eval(prog: &Program, data: &SeccompData) -> Action {
+        evaluate(prog, data).0
+    }
+
+    #[test]
+    fn all_plain_filtered_syscalls_fake_success_on_every_arch() {
+        let prog = compile(&zero_consistency(&Arch::ALL)).expect("compiles");
+        for arch in Arch::ALL {
+            for (f, nr) in filtered_on(arch) {
+                if f.class == FilterClass::MknodDevice {
+                    continue;
+                }
+                let data = SeccompData::new(arch, nr, [0; 6]);
+                assert_eq!(
+                    eval(&prog, &data),
+                    Action::Errno(0),
+                    "{} on {}",
+                    f.sysno,
+                    arch
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unfiltered_syscalls_allowed() {
+        let prog = compile(&zero_consistency(&Arch::ALL)).expect("compiles");
+        for arch in Arch::ALL {
+            for sy in [Sysno::Read, Sysno::Getuid, Sysno::Stat, Sysno::Open] {
+                if let Some(nr) = sy.number(arch) {
+                    let data = SeccompData::new(arch, nr, [0; 6]);
+                    assert_eq!(eval(&prog, &data), Action::Allow, "{sy} on {arch}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mknod_device_faked_other_types_allowed() {
+        let prog = compile(&zero_consistency(&[Arch::X8664])).expect("compiles");
+        let nr = Sysno::Mknod.number(Arch::X8664).unwrap();
+        // mknod(path, mode, dev): mode is arg 1.
+        let dev = SeccompData::new(Arch::X8664, nr, [0, (S_IFCHR | 0o666) as u64, 0, 0, 0, 0]);
+        assert_eq!(eval(&prog, &dev), Action::Errno(0));
+        let blk = SeccompData::new(Arch::X8664, nr, [0, (S_IFBLK | 0o660) as u64, 0, 0, 0, 0]);
+        assert_eq!(eval(&prog, &blk), Action::Errno(0));
+        let fifo = SeccompData::new(Arch::X8664, nr, [0, (S_IFIFO | 0o644) as u64, 0, 0, 0, 0]);
+        assert_eq!(eval(&prog, &fifo), Action::Allow);
+        let reg = SeccompData::new(Arch::X8664, nr, [0, (S_IFREG | 0o644) as u64, 0, 0, 0, 0]);
+        assert_eq!(eval(&prog, &reg), Action::Allow);
+    }
+
+    #[test]
+    fn mknodat_uses_third_argument() {
+        let prog = compile(&zero_consistency(&[Arch::Aarch64])).expect("compiles");
+        let nr = Sysno::Mknodat.number(Arch::Aarch64).unwrap();
+        // mknodat(dirfd, path, mode, dev): mode is arg 2.
+        let dev =
+            SeccompData::new(Arch::Aarch64, nr, [0, 0, (S_IFCHR | 0o666) as u64, 0, 0, 0]);
+        assert_eq!(eval(&prog, &dev), Action::Errno(0));
+        // Same value in arg 1 (the mknod position) must NOT trigger.
+        let wrong =
+            SeccompData::new(Arch::Aarch64, nr, [0, (S_IFCHR | 0o666) as u64, 0, 0, 0, 0]);
+        assert_eq!(eval(&prog, &wrong), Action::Allow);
+    }
+
+    #[test]
+    fn unknown_arch_falls_through() {
+        let prog = compile(&zero_consistency(&[Arch::X8664])).expect("compiles");
+        // aarch64 not in the spec: allowed through.
+        let nr = Sysno::Fchownat.number(Arch::Aarch64).unwrap();
+        let data = SeccompData::new(Arch::Aarch64, nr, [0; 6]);
+        assert_eq!(eval(&prog, &data), Action::Allow);
+    }
+
+    #[test]
+    fn same_number_means_different_things_per_arch() {
+        // 212 = chown32 (filtered) on i386, but chown (filtered) on s390x,
+        // and — crucially — unfiltered things elsewhere. The arch dispatch
+        // must keep these straight.
+        let prog = compile(&zero_consistency(&Arch::ALL)).expect("compiles");
+        let i386 = SeccompData::new(Arch::I386, 212, [0; 6]);
+        assert_eq!(eval(&prog, &i386), Action::Errno(0));
+        let s390x = SeccompData::new(Arch::S390x, 212, [0; 6]);
+        assert_eq!(eval(&prog, &s390x), Action::Errno(0));
+        // On x86_64, 212 is not a filtered call (lookup says nothing we
+        // model: must be allowed).
+        let x = SeccompData::new(Arch::X8664, 212, [0; 6]);
+        assert_eq!(eval(&prog, &x), Action::Allow);
+    }
+
+    #[test]
+    fn kexec_load_self_test_succeeds() {
+        // §5 class 4: after install, calling kexec_load validates the
+        // filter — fake success instead of EPERM.
+        let prog = compile(&zero_consistency(&Arch::ALL)).expect("compiles");
+        for arch in Arch::ALL {
+            let nr = Sysno::KexecLoad.number(arch).unwrap();
+            let data = SeccompData::new(arch, nr, [0; 6]);
+            assert_eq!(eval(&prog, &data), Action::Errno(0), "on {arch}");
+        }
+    }
+
+    #[test]
+    fn empty_arch_list_rejected() {
+        let spec = zero_consistency(&[]);
+        assert_eq!(compile(&spec), Err(CompileError::NoArches));
+    }
+
+    #[test]
+    fn program_size_is_modest() {
+        // The paper touts simplicity; the whole six-arch filter should be
+        // a few hundred instructions, far under BPF_MAXINSNS.
+        let prog = compile(&zero_consistency(&Arch::ALL)).expect("compiles");
+        assert!(prog.len() < 512, "filter unexpectedly large: {}", prog.len());
+        let single = compile(&zero_consistency(&[Arch::X8664])).expect("compiles");
+        assert!(single.len() < 64, "single-arch filter large: {}", single.len());
+    }
+
+    #[test]
+    fn eperm_variant_denies_instead_of_faking() {
+        let prog = compile(&spec::deny_with_eperm(&[Arch::X8664])).expect("compiles");
+        let nr = Sysno::Chown.number(Arch::X8664).unwrap();
+        let data = SeccompData::new(Arch::X8664, nr, [0; 6]);
+        assert_eq!(eval(&prog, &data), Action::Errno(1));
+    }
+
+    #[test]
+    fn xattr_extension_filters_setxattr() {
+        let base = compile(&zero_consistency(&[Arch::X8664])).unwrap();
+        let wide = compile(&spec::zero_consistency_with_xattr(&[Arch::X8664])).unwrap();
+        let nr = Sysno::Setxattr.number(Arch::X8664).unwrap();
+        let data = SeccompData::new(Arch::X8664, nr, [0; 6]);
+        assert_eq!(eval(&base, &data), Action::Allow);
+        assert_eq!(eval(&wide, &data), Action::Errno(0));
+    }
+
+    #[test]
+    fn filtered_call_below_32bit_boundary_differs_from_arg_words() {
+        // Argument words beyond the low 32 bits must not confuse the mknod
+        // check (filter only reads the low word, like Charliecloud).
+        let prog = compile(&zero_consistency(&[Arch::X8664])).unwrap();
+        let nr = Sysno::Mknod.number(Arch::X8664).unwrap();
+        let mode_hi_garbage = ((S_IFCHR | 0o666) as u64) | (0xDEAD_BEEF_u64 << 32);
+        let data = SeccompData::new(Arch::X8664, nr, [0, mode_hi_garbage, 0, 0, 0, 0]);
+        assert_eq!(eval(&prog, &data), Action::Errno(0));
+    }
+}

@@ -1,0 +1,125 @@
+//! `struct seccomp_data` — the filter's entire view of a system call.
+//!
+//! ```c
+//! struct seccomp_data {
+//!     int   nr;                    /* offset  0 */
+//!     __u32 arch;                  /* offset  4 */
+//!     __u64 instruction_pointer;   /* offset  8 */
+//!     __u64 args[6];               /* offset 16, 8 bytes each */
+//! };                               /* 64 bytes total */
+//! ```
+//!
+//! BPF loads are 32-bit, so 64-bit argument words are read as two loads of
+//! the low and high halves; on the little-endian hosts this workspace
+//! simulates, the low word sits at the base offset.
+
+use zr_syscalls::Arch;
+
+/// Byte offset of `nr`.
+pub const OFF_NR: u32 = 0;
+/// Byte offset of `arch`.
+pub const OFF_ARCH: u32 = 4;
+/// Byte offset of `instruction_pointer`.
+pub const OFF_IP: u32 = 8;
+/// Total size of the structure.
+pub const SIZE: usize = 64;
+
+/// Byte offset of the low 32 bits of argument `i` (0-based, `i < 6`).
+pub const fn off_arg_lo(i: usize) -> u32 {
+    16 + 8 * i as u32
+}
+
+/// Byte offset of the high 32 bits of argument `i`.
+pub const fn off_arg_hi(i: usize) -> u32 {
+    off_arg_lo(i) + 4
+}
+
+/// The data a seccomp filter evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeccompData {
+    /// System call number (architecture-specific!).
+    pub nr: u32,
+    /// `AUDIT_ARCH_*` of the calling thread at this instant.
+    pub arch: u32,
+    /// Userspace instruction pointer (we model it as 0 unless a test sets
+    /// it; the paper's filter never reads it).
+    pub instruction_pointer: u64,
+    /// The six raw syscall argument words. Pointers are opaque — the
+    /// filter can see the pointer value, never what it points at.
+    pub args: [u64; 6],
+}
+
+impl SeccompData {
+    /// Convenience constructor for a syscall on `arch`.
+    pub fn new(arch: Arch, nr: u32, args: [u64; 6]) -> SeccompData {
+        SeccompData {
+            nr,
+            arch: arch.audit(),
+            instruction_pointer: 0,
+            args,
+        }
+    }
+
+    /// Serialize to the 64-byte little-endian buffer a BPF program loads
+    /// from.
+    pub fn to_bytes(&self) -> [u8; SIZE] {
+        let mut out = [0u8; SIZE];
+        out[0..4].copy_from_slice(&self.nr.to_le_bytes());
+        out[4..8].copy_from_slice(&self.arch.to_le_bytes());
+        out[8..16].copy_from_slice(&self.instruction_pointer.to_le_bytes());
+        for (i, arg) in self.args.iter().enumerate() {
+            let base = 16 + 8 * i;
+            out[base..base + 8].copy_from_slice(&arg.to_le_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_match_abi() {
+        assert_eq!(OFF_NR, 0);
+        assert_eq!(OFF_ARCH, 4);
+        assert_eq!(OFF_IP, 8);
+        assert_eq!(off_arg_lo(0), 16);
+        assert_eq!(off_arg_hi(0), 20);
+        assert_eq!(off_arg_lo(5), 56);
+        assert_eq!(off_arg_hi(5), 60);
+    }
+
+    #[test]
+    fn serialization_layout() {
+        let d = SeccompData {
+            nr: 92,
+            arch: 0xC000_003E,
+            instruction_pointer: 0x1122_3344_5566_7788,
+            args: [1, 2, 3, 4, 5, 0xAABB_CCDD_EEFF_0011],
+        };
+        let b = d.to_bytes();
+        assert_eq!(u32::from_le_bytes(b[0..4].try_into().unwrap()), 92);
+        assert_eq!(u32::from_le_bytes(b[4..8].try_into().unwrap()), 0xC000_003E);
+        assert_eq!(
+            u64::from_le_bytes(b[8..16].try_into().unwrap()),
+            0x1122_3344_5566_7788
+        );
+        assert_eq!(u64::from_le_bytes(b[16..24].try_into().unwrap()), 1);
+        // Low word of arg 5 at offset 56.
+        assert_eq!(
+            u32::from_le_bytes(b[56..60].try_into().unwrap()),
+            0xEEFF_0011
+        );
+        assert_eq!(
+            u32::from_le_bytes(b[60..64].try_into().unwrap()),
+            0xAABB_CCDD
+        );
+    }
+
+    #[test]
+    fn new_uses_arch_audit_value() {
+        let d = SeccompData::new(Arch::X8664, 1, [0; 6]);
+        assert_eq!(d.arch, 0xC000_003E);
+    }
+}

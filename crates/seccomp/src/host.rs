@@ -1,0 +1,246 @@
+//! Real filter installation on the host kernel — Linux x86-64 only.
+//!
+//! The paper stresses that the mechanism "has no dependencies beyond a C
+//! compiler and the Linux kernel, not even libseccomp" (§1). In the same
+//! spirit this module speaks to the kernel directly: raw `syscall`
+//! instructions via inline assembly, no libc wrappers, no libseccomp.
+//!
+//! **Irreversibility warning**: an installed filter cannot be removed and
+//! binds all children (§4). Only call [`install`] from a process dedicated
+//! to the purpose — the `host_seccomp` example forks a scratch child. The
+//! simulated kernel in `zr-kernel` is the supported substrate for tests
+//! and benches; this module exists to prove the compiled bytes are real.
+//!
+//! This is the only module in the workspace that contains `unsafe`.
+
+use zr_bpf::Program;
+
+/// Failures talking to the real kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostError {
+    /// Not Linux x86-64, or the program is too long for `sock_fprog`.
+    Unsupported,
+    /// `prctl(PR_SET_NO_NEW_PRIVS)` failed with this errno.
+    NoNewPrivs(i32),
+    /// Filter installation failed with this errno.
+    Install(i32),
+    /// The kexec_load self-test (§5 class 4) did not report fake success.
+    SelfTest(i64),
+}
+
+impl std::fmt::Display for HostError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HostError::Unsupported => write!(f, "host install unsupported on this target"),
+            HostError::NoNewPrivs(e) => write!(f, "PR_SET_NO_NEW_PRIVS failed: errno {e}"),
+            HostError::Install(e) => write!(f, "filter install failed: errno {e}"),
+            HostError::SelfTest(r) => write!(f, "kexec_load self-test returned {r}"),
+        }
+    }
+}
+
+impl std::error::Error for HostError {}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+#[allow(unsafe_code)]
+mod imp {
+    use super::HostError;
+    use zr_bpf::Program;
+
+    const SYS_CHOWN: i64 = 92;
+    const SYS_GETEUID: i64 = 107;
+    const SYS_PRCTL: i64 = 157;
+    const SYS_KEXEC_LOAD: i64 = 246;
+
+    const PR_SET_SECCOMP: i64 = 22;
+    const PR_SET_NO_NEW_PRIVS: i64 = 38;
+    const SECCOMP_MODE_FILTER: i64 = 2;
+
+    /// `struct sock_filter`.
+    #[repr(C)]
+    struct SockFilter {
+        code: u16,
+        jt: u8,
+        jf: u8,
+        k: u32,
+    }
+
+    /// `struct sock_fprog` (pointer-aligned, padding inserted by repr(C)).
+    #[repr(C)]
+    struct SockFprog {
+        len: u16,
+        filter: *const SockFilter,
+    }
+
+    /// Raw x86-64 syscall; returns the kernel's value (negative errno on
+    /// failure).
+    unsafe fn syscall5(nr: i64, a1: i64, a2: i64, a3: i64, a4: i64, a5: i64) -> i64 {
+        let ret: i64;
+        // SAFETY: the caller guarantees the arguments are valid for `nr`;
+        // rcx/r11 are clobbered by the `syscall` instruction per the ABI.
+        unsafe {
+            core::arch::asm!(
+                "syscall",
+                inlateout("rax") nr => ret,
+                in("rdi") a1,
+                in("rsi") a2,
+                in("rdx") a3,
+                in("r10") a4,
+                in("r8") a5,
+                out("rcx") _,
+                out("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    /// Install `prog` on the calling thread. Irreversible.
+    pub fn install(prog: &Program) -> Result<(), HostError> {
+        let len = u16::try_from(prog.len()).map_err(|_| HostError::Unsupported)?;
+        let insns: Vec<SockFilter> = prog
+            .insns()
+            .iter()
+            .map(|i| SockFilter { code: i.code, jt: i.jt, jf: i.jf, k: i.k })
+            .collect();
+        let fprog = SockFprog { len, filter: insns.as_ptr() };
+
+        // SAFETY: plain integer arguments.
+        let r = unsafe { syscall5(SYS_PRCTL, PR_SET_NO_NEW_PRIVS, 1, 0, 0, 0) };
+        if r != 0 {
+            return Err(HostError::NoNewPrivs((-r) as i32));
+        }
+        // SAFETY: `fprog` and `insns` outlive the call; the kernel copies
+        // the program during the syscall.
+        let r = unsafe {
+            syscall5(
+                SYS_PRCTL,
+                PR_SET_SECCOMP,
+                SECCOMP_MODE_FILTER,
+                std::ptr::from_ref(&fprog) as i64,
+                0,
+                0,
+            )
+        };
+        if r != 0 {
+            return Err(HostError::Install((-r) as i32));
+        }
+        Ok(())
+    }
+
+    /// §5 class 4: call `kexec_load` with junk arguments. Under the
+    /// zero-consistency filter it must report (fake) success; without the
+    /// filter it fails with EPERM for unprivileged callers.
+    pub fn kexec_self_test() -> Result<(), HostError> {
+        // SAFETY: all-zero arguments; the filter intercepts before the
+        // kernel would dereference anything.
+        let r = unsafe { syscall5(SYS_KEXEC_LOAD, 0, 0, 0, 0, 0) };
+        if r == 0 {
+            Ok(())
+        } else {
+            Err(HostError::SelfTest(r))
+        }
+    }
+
+    /// Raw `chown(2)` on `path` (must not contain NUL). Returns the raw
+    /// kernel result: 0 under the filter even though nothing changed.
+    pub fn try_chown(path: &str, uid: u32, gid: u32) -> i64 {
+        let mut buf = Vec::with_capacity(path.len() + 1);
+        buf.extend_from_slice(path.as_bytes());
+        buf.push(0);
+        // SAFETY: `buf` is a valid NUL-terminated string for the call's
+        // duration.
+        unsafe {
+            syscall5(
+                SYS_CHOWN,
+                buf.as_ptr() as i64,
+                i64::from(uid),
+                i64::from(gid),
+                0,
+                0,
+            )
+        }
+    }
+
+    /// Raw `geteuid(2)` — always allowed; used to show the *lie*: setuid
+    /// "succeeds" but geteuid still reports the old id.
+    pub fn geteuid() -> i64 {
+        // SAFETY: no arguments.
+        unsafe { syscall5(SYS_GETEUID, 0, 0, 0, 0, 0) }
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+mod imp {
+    use super::HostError;
+    use zr_bpf::Program;
+
+    pub fn install(_prog: &Program) -> Result<(), HostError> {
+        Err(HostError::Unsupported)
+    }
+    pub fn kexec_self_test() -> Result<(), HostError> {
+        Err(HostError::Unsupported)
+    }
+    pub fn try_chown(_path: &str, _uid: u32, _gid: u32) -> i64 {
+        -38 // -ENOSYS
+    }
+    pub fn geteuid() -> i64 {
+        -38
+    }
+}
+
+/// Install `prog` on the calling thread of the *real* kernel.
+/// Irreversible; see module docs.
+pub fn install(prog: &Program) -> Result<(), HostError> {
+    imp::install(prog)
+}
+
+/// Run the paper's kexec_load self-test against the real kernel.
+pub fn kexec_self_test() -> Result<(), HostError> {
+    imp::kexec_self_test()
+}
+
+/// Raw `chown(2)` against the real kernel.
+pub fn try_chown(path: &str, uid: u32, gid: u32) -> i64 {
+    imp::try_chown(path, uid, gid)
+}
+
+/// Raw `geteuid(2)` against the real kernel.
+pub fn geteuid() -> i64 {
+    imp::geteuid()
+}
+
+#[cfg(test)]
+mod tests {
+    // Installing a filter is irreversible and would poison the whole test
+    // process, so real installation is exercised by the `host_seccomp`
+    // example (which sacrifices a child process), not here.
+
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    #[test]
+    fn geteuid_matches_std_reported_environment() {
+        let euid = super::geteuid();
+        assert!(euid >= 0, "geteuid must succeed, got {euid}");
+    }
+
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    #[test]
+    fn chown_without_filter_fails_or_succeeds_honestly() {
+        // Without a filter, chowning a fresh temp file to root either
+        // succeeds (we ARE root) or fails EPERM (we are not). Both are
+        // honest kernels; the dishonest 0-as-unprivileged only appears
+        // under the filter.
+        let dir = std::env::temp_dir().join(format!("zr-host-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("probe");
+        std::fs::write(&file, b"x").unwrap();
+        let r = super::try_chown(file.to_str().unwrap(), 12345, 12345);
+        let euid = super::geteuid();
+        if euid == 0 {
+            assert_eq!(r, 0);
+        } else {
+            assert_eq!(r, -1, "expected EPERM, got {r}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,225 @@
+//! Declarative filter specifications, chiefly the paper's.
+//!
+//! A [`FilterSpec`] names, per architecture, which syscalls get which
+//! [`Rule`]. [`zero_consistency`] builds the spec of §5: every filtered
+//! syscall answers `ERRNO(0)` ("do nothing and return success"), except
+//! the mknod pair which first examines the file-type argument.
+//!
+//! The future-work variants of §6 are provided as extensions:
+//! [`zero_consistency_with_xattr`] widens the set so `setxattr`-hungry
+//! installs (systemd) survive.
+
+use crate::action::Action;
+use zr_syscalls::filtered::{mknod_mode_arg, FILTERED};
+use zr_syscalls::{Arch, Sysno};
+
+/// What the filter should do when a syscall matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Unconditional action.
+    Always(Action),
+    /// The mknod special case: examine the low word of the mode argument
+    /// at index `mode_arg`; device file types get `device_action`,
+    /// everything else `other_action`.
+    DeviceConditional {
+        /// Which argument holds `mode` (1 for `mknod`, 2 for `mknodat`).
+        mode_arg: usize,
+        /// Action for `S_IFCHR`/`S_IFBLK` requests.
+        device_action: Action,
+        /// Action for non-device requests.
+        other_action: Action,
+    },
+}
+
+/// One syscall's entry in a spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyscallRule {
+    /// The syscall (symbolic; the compiler resolves per-arch numbers).
+    pub sysno: Sysno,
+    /// Its rule.
+    pub rule: Rule,
+}
+
+/// A complete filter description.
+#[derive(Debug, Clone)]
+pub struct FilterSpec {
+    /// Architectures the filter handles, in dispatch order.
+    pub arches: Vec<Arch>,
+    /// Rules applied on every architecture (resolved per-arch; syscalls a
+    /// given architecture lacks are skipped there).
+    pub rules: Vec<SyscallRule>,
+    /// Action for syscalls that match no rule. The paper's filter allows
+    /// them — it is an emulation aid, not a sandbox.
+    pub default_action: Action,
+    /// Action when the architecture word matches none of `arches`.
+    pub unknown_arch_action: Action,
+}
+
+impl FilterSpec {
+    /// Look up the rule for `sysno`, if any.
+    pub fn rule_for(&self, sysno: Sysno) -> Option<Rule> {
+        self.rules
+            .iter()
+            .find(|r| r.sysno == sysno)
+            .map(|r| r.rule)
+    }
+
+    /// Number of (arch, syscall) pairs the compiled filter will match —
+    /// a size estimate used by benches.
+    pub fn match_count(&self) -> usize {
+        self.arches
+            .iter()
+            .map(|&a| {
+                self.rules
+                    .iter()
+                    .filter(|r| r.sysno.number(a).is_some())
+                    .count()
+            })
+            .sum()
+    }
+}
+
+/// The paper's zero-consistency root-emulation filter (§5), for the given
+/// architectures.
+///
+/// * Classes 1, 2, 4 (ownership, identity/caps, kexec_load): fake success.
+/// * Class 3 (`mknod`/`mknodat`): fake success only for device nodes;
+///   other file types execute normally.
+pub fn zero_consistency(arches: &[Arch]) -> FilterSpec {
+    let fake = Action::Errno(0);
+    let rules = FILTERED
+        .iter()
+        .map(|f| {
+            let rule = match mknod_mode_arg(f.sysno) {
+                Some(mode_arg) => Rule::DeviceConditional {
+                    mode_arg,
+                    device_action: fake,
+                    other_action: Action::Allow,
+                },
+                None => Rule::Always(fake),
+            };
+            SyscallRule { sysno: f.sysno, rule }
+        })
+        .collect();
+    FilterSpec {
+        arches: arches.to_vec(),
+        rules,
+        default_action: Action::Allow,
+        unknown_arch_action: Action::Allow,
+    }
+}
+
+/// Future work (1) of §6: additionally fake the xattr-setting calls so
+/// packages whose scripts run `setcap`-style operations (systemd and
+/// friends) can install.
+pub fn zero_consistency_with_xattr(arches: &[Arch]) -> FilterSpec {
+    let mut spec = zero_consistency(arches);
+    let fake = Action::Errno(0);
+    for sysno in [
+        Sysno::Setxattr,
+        Sysno::Lsetxattr,
+        Sysno::Fsetxattr,
+        Sysno::Removexattr,
+        Sysno::Lremovexattr,
+        Sysno::Fremovexattr,
+    ] {
+        spec.rules.push(SyscallRule {
+            sysno,
+            rule: Rule::Always(fake),
+        });
+    }
+    spec
+}
+
+/// A denial filter used by tests and benches as a contrast: same matching
+/// structure, but matched syscalls fail with `EPERM` instead of lying.
+pub fn deny_with_eperm(arches: &[Arch]) -> FilterSpec {
+    let mut spec = zero_consistency(arches);
+    for r in &mut spec.rules {
+        match &mut r.rule {
+            Rule::Always(a) => *a = Action::Errno(1),
+            Rule::DeviceConditional { device_action, .. } => {
+                *device_action = Action::Errno(1)
+            }
+        }
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zr_syscalls::filtered::FilterClass;
+
+    #[test]
+    fn paper_spec_has_29_rules() {
+        let spec = zero_consistency(&Arch::ALL);
+        assert_eq!(spec.rules.len(), 29);
+    }
+
+    #[test]
+    fn mknod_rules_are_conditional() {
+        let spec = zero_consistency(&[Arch::X8664]);
+        for sy in [Sysno::Mknod, Sysno::Mknodat] {
+            match spec.rule_for(sy) {
+                Some(Rule::DeviceConditional { device_action, other_action, .. }) => {
+                    assert_eq!(device_action, Action::Errno(0));
+                    assert_eq!(other_action, Action::Allow);
+                }
+                other => panic!("{sy}: expected conditional, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn everything_else_fakes_success() {
+        let spec = zero_consistency(&[Arch::X8664]);
+        for f in FILTERED {
+            if f.class == FilterClass::MknodDevice {
+                continue;
+            }
+            assert_eq!(
+                spec.rule_for(f.sysno),
+                Some(Rule::Always(Action::Errno(0))),
+                "{}",
+                f.sysno
+            );
+        }
+    }
+
+    #[test]
+    fn default_and_unknown_arch_allow() {
+        let spec = zero_consistency(&Arch::ALL);
+        assert_eq!(spec.default_action, Action::Allow);
+        assert_eq!(spec.unknown_arch_action, Action::Allow);
+    }
+
+    #[test]
+    fn xattr_extension_adds_six() {
+        let spec = zero_consistency_with_xattr(&Arch::ALL);
+        assert_eq!(spec.rules.len(), 35);
+        assert_eq!(
+            spec.rule_for(Sysno::Setxattr),
+            Some(Rule::Always(Action::Errno(0)))
+        );
+    }
+
+    #[test]
+    fn deny_variant_uses_eperm() {
+        let spec = deny_with_eperm(&[Arch::X8664]);
+        assert_eq!(
+            spec.rule_for(Sysno::Chown),
+            Some(Rule::Always(Action::Errno(1)))
+        );
+    }
+
+    #[test]
+    fn match_count_reflects_arch_gaps() {
+        // x86_64: 17 of the 29 exist.
+        let spec = zero_consistency(&[Arch::X8664]);
+        assert_eq!(spec.match_count(), 17);
+        // All six arches: 17 + 29 + 29 + 14 + 17 + 17 = 123.
+        let spec = zero_consistency(&Arch::ALL);
+        assert_eq!(spec.match_count(), 123);
+    }
+}

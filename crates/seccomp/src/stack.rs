@@ -1,0 +1,152 @@
+//! Installed-filter stacks and their evaluation.
+//!
+//! "Once installed it cannot be removed, i.e., it binds program children
+//! whether they like it or not" (§4): stacks only grow, are copied to
+//! children on fork, and survive exec. When several filters are stacked
+//! the kernel runs **all** of them and acts on the most restrictive
+//! verdict.
+
+use crate::action::Action;
+use crate::data::SeccompData;
+use zr_bpf::Program;
+
+/// Evaluate one filter against one syscall. Returns the decoded action and
+/// the number of BPF instructions executed (the per-syscall overhead the
+/// paper's §6 discusses).
+///
+/// An invalid program yields `KillProcess` — the simulation equivalent of
+/// "the kernel would never have accepted this".
+pub fn evaluate(prog: &Program, data: &SeccompData) -> (Action, u64) {
+    match zr_bpf::run_counted(prog, &data.to_bytes()) {
+        Ok((raw, steps)) => (Action::from_raw(raw), steps),
+        Err(_) => (Action::KillProcess, 0),
+    }
+}
+
+/// A process's stack of installed seccomp filters.
+#[derive(Debug, Clone, Default)]
+pub struct FilterStack {
+    filters: Vec<Program>,
+}
+
+impl FilterStack {
+    /// Empty stack (no filtering: everything allowed at zero cost).
+    pub fn new() -> FilterStack {
+        FilterStack::default()
+    }
+
+    /// Install another filter. Mirrors `seccomp(SECCOMP_SET_MODE_FILTER)`:
+    /// the caller must already have validated the program (the simulated
+    /// kernel does so on the install path).
+    pub fn push(&mut self, prog: Program) {
+        self.filters.push(prog);
+    }
+
+    /// Number of installed filters.
+    pub fn len(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// True when no filter is installed.
+    pub fn is_empty(&self) -> bool {
+        self.filters.is_empty()
+    }
+
+    /// The installed programs (newest last).
+    pub fn filters(&self) -> &[Program] {
+        &self.filters
+    }
+
+    /// Run every installed filter on `data`; return the most restrictive
+    /// action and the *total* instructions executed across filters.
+    ///
+    /// With no filters installed the action is `Allow` at zero cost — the
+    /// baseline the overhead benches compare against.
+    pub fn evaluate(&self, data: &SeccompData) -> (Action, u64) {
+        let mut verdict = Action::Allow;
+        let mut total_steps = 0u64;
+        for prog in &self.filters {
+            let (action, steps) = evaluate(prog, data);
+            total_steps += steps;
+            verdict = verdict.most_restrictive(action);
+        }
+        (verdict, total_steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::spec::{deny_with_eperm, zero_consistency};
+    use zr_syscalls::{Arch, Sysno};
+
+    fn chown_data() -> SeccompData {
+        SeccompData::new(Arch::X8664, Sysno::Chown.number(Arch::X8664).unwrap(), [0; 6])
+    }
+
+    #[test]
+    fn empty_stack_allows_everything_free() {
+        let stack = FilterStack::new();
+        let (action, steps) = stack.evaluate(&chown_data());
+        assert_eq!(action, Action::Allow);
+        assert_eq!(steps, 0);
+    }
+
+    #[test]
+    fn single_filter_fakes() {
+        let mut stack = FilterStack::new();
+        stack.push(compile(&zero_consistency(&[Arch::X8664])).unwrap());
+        let (action, steps) = stack.evaluate(&chown_data());
+        assert_eq!(action, Action::Errno(0));
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn stacked_filters_most_restrictive_wins() {
+        let mut stack = FilterStack::new();
+        stack.push(compile(&zero_consistency(&[Arch::X8664])).unwrap());
+        stack.push(compile(&deny_with_eperm(&[Arch::X8664])).unwrap());
+        // ERRNO(1) and ERRNO(0) share precedence class; the kernel keeps
+        // the first-seen most-restrictive — our model keeps the earlier
+        // one on ties, so the fake success (installed first) survives
+        // unless something stricter appears.
+        let (action, _) = stack.evaluate(&chown_data());
+        assert!(matches!(action, Action::Errno(_)));
+
+        // A kill filter dominates everything.
+        let mut kill = zero_consistency(&[Arch::X8664]);
+        for r in &mut kill.rules {
+            if let crate::spec::Rule::Always(a) = &mut r.rule {
+                *a = Action::KillProcess;
+            }
+        }
+        stack.push(compile(&kill).unwrap());
+        let (action, _) = stack.evaluate(&chown_data());
+        assert_eq!(action, Action::KillProcess);
+    }
+
+    #[test]
+    fn every_filter_taxes_every_syscall() {
+        // §6(1): the filter imposes overhead on every syscall, not just
+        // filtered ones — and stacked filters stack the tax.
+        let read_data =
+            SeccompData::new(Arch::X8664, Sysno::Read.number(Arch::X8664).unwrap(), [0; 6]);
+        let mut stack = FilterStack::new();
+        stack.push(compile(&zero_consistency(&[Arch::X8664])).unwrap());
+        let (_, one) = stack.evaluate(&read_data);
+        assert!(one > 0, "unfiltered syscalls still pay");
+        stack.push(compile(&zero_consistency(&[Arch::X8664])).unwrap());
+        let (_, two) = stack.evaluate(&read_data);
+        assert_eq!(two, one * 2, "two filters, twice the tax");
+    }
+
+    #[test]
+    fn stack_len_tracks_pushes() {
+        let mut stack = FilterStack::new();
+        assert!(stack.is_empty());
+        stack.push(compile(&zero_consistency(&[Arch::X8664])).unwrap());
+        assert_eq!(stack.len(), 1);
+        assert_eq!(stack.filters().len(), 1);
+    }
+}

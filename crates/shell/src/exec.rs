@@ -1,0 +1,674 @@
+//! The executor: run a parsed command list against the libc boundary.
+//!
+//! Busybox-style applets (`mkdir`, `rm`, `chown`, …) are shell builtins
+//! here, as they are in a real ash: they issue syscalls through the
+//! *shell process's* context, so a statically linked `/bin/sh` (Alpine)
+//! naturally bypasses LD_PRELOAD shims while a dynamic bash does not —
+//! the §6(3) compatibility distinction falls out for free.
+
+use crate::inject;
+use crate::lex::{lex, Token};
+use crate::parse::{parse_list, Connector, Redirect, SimpleCommand};
+use zr_kernel::{ExecEnv, Program, Sys, SysError, SysExt};
+use zr_syscalls::{mode, Errno};
+
+/// Result of one simple command.
+enum CmdResult {
+    /// Normal completion with a status.
+    Status(i32),
+    /// `exit N` — stop the whole list.
+    Exit(i32),
+}
+
+/// Default PATH when the environment has none.
+const DEFAULT_PATH: &str = "/usr/bin:/bin:/usr/sbin:/sbin";
+
+/// Parse `user[:group]` with numeric ids or names resolved from
+/// /etc/passwd and /etc/group. Returns (uid, gid or u32::MAX for "leave").
+fn parse_owner_spec(sys: &mut dyn Sys, spec: &str) -> Result<(u32, Option<u32>), String> {
+    let (user, group) = match spec.split_once(':') {
+        Some((u, g)) => (u, Some(g)),
+        None => (spec, None),
+    };
+    let uid = resolve_id(sys, user, "/etc/passwd").ok_or_else(|| format!("invalid user: '{user}'"))?;
+    let gid = match group {
+        None => None,
+        Some(g) => {
+            Some(resolve_id(sys, g, "/etc/group").ok_or_else(|| format!("invalid group: '{g}'"))?)
+        }
+    };
+    Ok((uid, gid))
+}
+
+/// Numeric id, or third-field lookup by name in a passwd/group style file.
+fn resolve_id(sys: &mut dyn Sys, name: &str, table: &str) -> Option<u32> {
+    if let Ok(n) = name.parse::<u32>() {
+        return Some(n);
+    }
+    let data = sys.read_file(table).ok()?;
+    let text = String::from_utf8_lossy(&data);
+    for line in text.lines() {
+        let mut fields = line.split(':');
+        if fields.next() == Some(name) {
+            let _pw = fields.next();
+            if let Some(id) = fields.next().and_then(|f| f.parse().ok()) {
+                return Some(id);
+            }
+        }
+    }
+    None
+}
+
+fn write_redirect(sys: &mut dyn Sys, redirect: &Redirect, data: &str) -> i32 {
+    let result = match redirect {
+        Redirect::Out(path) => sys.write_file(path, 0o644, data.as_bytes().to_vec()),
+        Redirect::Append(path) => match sys.append_file(path, data.as_bytes()) {
+            Err(SysError::Errno(Errno::ENOENT)) => {
+                sys.write_file(path, 0o644, data.as_bytes().to_vec())
+            }
+            other => other,
+        },
+    };
+    match result {
+        Ok(()) => 0,
+        Err(_) => 1,
+    }
+}
+
+fn say(sys: &mut dyn Sys, redirect: Option<&Redirect>, text: String) -> i32 {
+    match redirect {
+        Some(r) => write_redirect(sys, r, &format!("{text}\n")),
+        None => {
+            sys.println(text);
+            0
+        }
+    }
+}
+
+fn errno_of(e: SysError) -> Option<Errno> {
+    match e {
+        SysError::Errno(errno) => Some(errno),
+        SysError::Killed => None,
+    }
+}
+
+/// Remove a tree, rm -r style.
+fn rm_recursive(sys: &mut dyn Sys, path: &str) -> Result<(), SysError> {
+    match sys.lstat(path) {
+        Ok(st) if mode::file_type(st.mode) == mode::S_IFDIR => {
+            for entry in sys.read_dir(path)? {
+                rm_recursive(sys, &format!("{path}/{entry}"))?;
+            }
+            sys.rmdir(path)
+        }
+        Ok(_) => sys.unlink(path),
+        Err(e) => Err(e),
+    }
+}
+
+#[allow(clippy::too_many_lines)] // one match arm per applet
+fn run_builtin(
+    sys: &mut dyn Sys,
+    argv: &[String],
+    redirect: Option<&Redirect>,
+) -> Option<CmdResult> {
+    let name = argv[0].rsplit('/').next().unwrap_or(&argv[0]);
+    let args: Vec<&str> = argv[1..].iter().map(String::as_str).collect();
+    let status = match name {
+        "true" | ":" => 0,
+        "false" => 1,
+        "exit" => {
+            let code = args.first().and_then(|a| a.parse().ok()).unwrap_or(0);
+            return Some(CmdResult::Exit(code));
+        }
+        "echo" => {
+            let text = args.join(" ");
+            say(sys, redirect, text)
+        }
+        "cd" => {
+            let target = args.first().copied().unwrap_or("/");
+            match sys.chdir(target) {
+                Ok(()) => 0,
+                Err(_) => {
+                    sys.println(format!("sh: cd: {target}: No such file or directory"));
+                    1
+                }
+            }
+        }
+        "umask" => {
+            if let Some(m) = args.first().and_then(|a| u32::from_str_radix(a, 8).ok()) {
+                sys.umask(m);
+            }
+            0
+        }
+        "pwd" => {
+            let cwd = sys.getcwd();
+            say(sys, redirect, cwd)
+        }
+        "mkdir" => {
+            let parents = args.contains(&"-p");
+            let mut status = 0;
+            for a in args.iter().filter(|a| !a.starts_with('-')) {
+                let r = if parents { sys.mkdir_p(a, 0o755) } else { sys.mkdir(a, 0o755) };
+                if let Err(e) = r {
+                    sys.println(format!("mkdir: {a}: {e}"));
+                    status = 1;
+                }
+            }
+            status
+        }
+        "rmdir" => {
+            let mut status = 0;
+            for a in args.iter().filter(|a| !a.starts_with('-')) {
+                if sys.rmdir(a).is_err() {
+                    status = 1;
+                }
+            }
+            status
+        }
+        "rm" => {
+            let recursive = args.iter().any(|a| a.starts_with('-') && a.contains('r'));
+            let force = args.iter().any(|a| a.starts_with('-') && a.contains('f'));
+            let mut status = 0;
+            for a in args.iter().filter(|a| !a.starts_with('-')) {
+                let r = if recursive { rm_recursive(sys, a) } else { sys.unlink(a) };
+                if let Err(e) = r {
+                    if !force {
+                        sys.println(format!("rm: {a}: {e}"));
+                        status = 1;
+                    }
+                }
+            }
+            status
+        }
+        "touch" => {
+            let mut status = 0;
+            for a in args.iter().filter(|a| !a.starts_with('-')) {
+                if sys.exists(a) {
+                    let _ = sys.utimens(a, 0);
+                } else if sys.write_file(a, 0o644, Vec::new()).is_err() {
+                    status = 1;
+                }
+            }
+            status
+        }
+        "cat" => {
+            let mut collected = String::new();
+            let mut status = 0;
+            for a in args.iter().filter(|a| !a.starts_with('-')) {
+                match sys.read_file(a) {
+                    Ok(bytes) => collected.push_str(&String::from_utf8_lossy(&bytes)),
+                    Err(e) => {
+                        sys.println(format!("cat: {a}: {e}"));
+                        status = 1;
+                    }
+                }
+            }
+            if status == 0 && !collected.is_empty() {
+                match redirect {
+                    Some(r) => status = write_redirect(sys, r, &collected),
+                    None => {
+                        for line in collected.lines() {
+                            sys.println(line.to_string());
+                        }
+                    }
+                }
+            }
+            status
+        }
+        "cp" => {
+            let paths: Vec<&&str> = args.iter().filter(|a| !a.starts_with('-')).collect();
+            if paths.len() != 2 {
+                sys.println("cp: usage: cp SRC DST".to_string());
+                1
+            } else {
+                match sys.read_file(paths[0]) {
+                    Ok(data) => {
+                        let dst = if sys
+                            .stat(paths[1])
+                            .map(|st| mode::file_type(st.mode) == mode::S_IFDIR)
+                            .unwrap_or(false)
+                        {
+                            let base = paths[0].rsplit('/').next().unwrap_or(paths[0]);
+                            format!("{}/{base}", paths[1])
+                        } else {
+                            (*paths[1]).to_string()
+                        };
+                        match sys.write_file(&dst, 0o644, data) {
+                            Ok(()) => 0,
+                            Err(e) => {
+                                sys.println(format!("cp: {dst}: {e}"));
+                                1
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        sys.println(format!("cp: {}: {e}", paths[0]));
+                        1
+                    }
+                }
+            }
+        }
+        "mv" => {
+            let paths: Vec<&&str> = args.iter().filter(|a| !a.starts_with('-')).collect();
+            if paths.len() == 2 && sys.rename(paths[0], paths[1]).is_ok() {
+                0
+            } else {
+                1
+            }
+        }
+        "ln" => {
+            let symbolic = args.iter().any(|a| a.starts_with('-') && a.contains('s'));
+            let paths: Vec<&&str> = args.iter().filter(|a| !a.starts_with('-')).collect();
+            if paths.len() != 2 {
+                1
+            } else if symbolic {
+                match sys.symlink(paths[0], paths[1]) {
+                    Ok(()) => 0,
+                    Err(_) => 1,
+                }
+            } else {
+                match sys.link(paths[0], paths[1]) {
+                    Ok(()) => 0,
+                    Err(_) => 1,
+                }
+            }
+        }
+        "chmod" => {
+            let specs: Vec<&&str> = args.iter().filter(|a| !a.starts_with('-')).collect();
+            match specs.split_first() {
+                Some((m, files)) if !files.is_empty() => {
+                    match u32::from_str_radix(m, 8) {
+                        Ok(perm) => {
+                            let mut status = 0;
+                            for f in files {
+                                if let Err(e) = sys.chmod(f, perm) {
+                                    sys.println(format!("chmod: {f}: {e}"));
+                                    status = 1;
+                                }
+                            }
+                            status
+                        }
+                        Err(_) => 1,
+                    }
+                }
+                _ => 1,
+            }
+        }
+        "chown" => {
+            let specs: Vec<&&str> = args.iter().filter(|a| !a.starts_with('-')).collect();
+            match specs.split_first() {
+                Some((spec, files)) if !files.is_empty() => {
+                    match parse_owner_spec(sys, spec) {
+                        Ok((uid, gid)) => {
+                            let mut status = 0;
+                            for f in files {
+                                let r = match gid {
+                                    Some(g) => sys.chown(f, uid, g),
+                                    None => sys.call(zr_kernel::SysCall::Chown {
+                                        path: (*f).to_string(),
+                                        uid: Some(uid),
+                                        gid: None,
+                                    })
+                                    .map(|_| ()),
+                                };
+                                if let Err(e) = r {
+                                    let msg = errno_of(e)
+                                        .map(|e| e.describe().to_string())
+                                        .unwrap_or_else(|| "killed".into());
+                                    sys.println(format!("chown: {f}: {msg}"));
+                                    status = 1;
+                                }
+                            }
+                            status
+                        }
+                        Err(msg) => {
+                            sys.println(format!("chown: {msg}"));
+                            1
+                        }
+                    }
+                }
+                _ => 1,
+            }
+        }
+        "mknod" => {
+            // mknod PATH TYPE [MAJOR MINOR]
+            if args.len() < 2 {
+                1
+            } else {
+                let path = args[0];
+                let (ty, dev) = match args[1] {
+                    "c" | "u" => (mode::S_IFCHR, true),
+                    "b" => (mode::S_IFBLK, true),
+                    "p" => (mode::S_IFIFO, false),
+                    _ => (0, false),
+                };
+                if ty == 0 {
+                    1
+                } else {
+                    let dev = if dev {
+                        let major = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(0);
+                        let minor = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(0);
+                        mode::makedev(major, minor)
+                    } else {
+                        0
+                    };
+                    match sys.mknod(path, ty | 0o644, dev) {
+                        Ok(()) => 0,
+                        Err(e) => {
+                            let msg = errno_of(e)
+                                .map(|e| e.describe().to_string())
+                                .unwrap_or_else(|| "killed".into());
+                            sys.println(format!("mknod: {path}: {msg}"));
+                            1
+                        }
+                    }
+                }
+            }
+        }
+        "id" => {
+            let uid = sys.getuid();
+            let euid = sys.geteuid();
+            let gid = sys.getgid();
+            let text = if uid == euid {
+                format!("uid={uid} gid={gid}")
+            } else {
+                format!("uid={uid} gid={gid} euid={euid}")
+            };
+            say(sys, redirect, text)
+        }
+        _ => return None,
+    };
+    Some(CmdResult::Status(status))
+}
+
+fn spawn_external(
+    sys: &mut dyn Sys,
+    argv: &[String],
+    env: &[(String, String)],
+) -> CmdResult {
+    let prog = &argv[0];
+    let path_list = env
+        .iter()
+        .rev()
+        .find(|(k, _)| k == "PATH")
+        .map(|(_, v)| v.clone())
+        .unwrap_or_else(|| DEFAULT_PATH.to_string());
+
+    let candidates: Vec<String> = if prog.contains('/') {
+        vec![prog.clone()]
+    } else {
+        path_list.split(':').map(|d| format!("{d}/{prog}")).collect()
+    };
+
+    for candidate in &candidates {
+        match sys.spawn_owned(candidate, argv.to_vec(), env.to_vec()) {
+            Ok(code) => return CmdResult::Status(code),
+            Err(SysError::Errno(Errno::ENOENT)) => continue,
+            Err(SysError::Errno(Errno::EACCES | Errno::ENOEXEC)) => {
+                sys.println(format!("sh: {prog}: Permission denied"));
+                return CmdResult::Status(126);
+            }
+            Err(SysError::Errno(e)) => {
+                sys.println(format!("sh: {prog}: {e}"));
+                return CmdResult::Status(126);
+            }
+            Err(SysError::Killed) => return CmdResult::Exit(159),
+        }
+    }
+    sys.println(format!("sh: {prog}: not found"));
+    CmdResult::Status(127)
+}
+
+/// Run a coreutils-style applet directly (`chown`, `mkdir`, `id`, …) —
+/// used by images whose applets are standalone binaries. `None` if the
+/// applet is unknown.
+pub fn run_applet(sys: &mut dyn Sys, argv: &[String]) -> Option<i32> {
+    if argv.is_empty() {
+        return None;
+    }
+    match run_builtin(sys, argv, None) {
+        Some(CmdResult::Status(s)) => Some(s),
+        Some(CmdResult::Exit(code)) => Some(code),
+        None => None,
+    }
+}
+
+fn exec_simple(sys: &mut dyn Sys, cmd: &SimpleCommand, env: &[(String, String)]) -> CmdResult {
+    match run_builtin(sys, &cmd.argv, cmd.redirect.as_ref()) {
+        Some(result) => result,
+        None => spawn_external(sys, &cmd.argv, env),
+    }
+}
+
+/// Run one shell command line; returns the exit status.
+pub fn run_command_line(sys: &mut dyn Sys, cmdline: &str, env: &[(String, String)]) -> i32 {
+    let mut last_status = 0i32;
+    let lookup = |name: &str| -> Option<String> {
+        if name == "?" {
+            return Some(last_status.to_string());
+        }
+        env.iter().rev().find(|(k, _)| k == name).map(|(_, v)| v.clone())
+    };
+    let tokens: Vec<Token> = match lex(cmdline, &lookup) {
+        Ok(t) => t,
+        Err(e) => {
+            sys.println(format!("sh: syntax error: {e}"));
+            return 2;
+        }
+    };
+
+    let commands = match parse_list(&tokens) {
+        Ok(c) => c,
+        Err(e) => {
+            sys.println(format!("sh: syntax error: {e}"));
+            return 2;
+        }
+    };
+
+    for cmd in &commands {
+        let run = match cmd.connector {
+            Connector::First | Connector::Semi => true,
+            Connector::AndIf => last_status == 0,
+            Connector::OrIf => last_status != 0,
+        };
+        if !run {
+            continue;
+        }
+        match exec_simple(sys, cmd, env) {
+            CmdResult::Status(s) => last_status = s,
+            CmdResult::Exit(code) => return code,
+        }
+    }
+    last_status
+}
+
+/// `/bin/sh` (and the busybox `sh` applet) as a registered program.
+#[derive(Debug, Default)]
+pub struct ShellProgram;
+
+impl Program for ShellProgram {
+    fn run(&mut self, sys: &mut dyn Sys, env: &mut ExecEnv) -> i32 {
+        // Accept: sh -c CMD | busybox sh -c CMD | busybox APPLET ARGS…
+        let mut args: Vec<String> = env.argv.clone();
+        let argv0 = args.first().cloned().unwrap_or_default();
+        let base = argv0.rsplit('/').next().unwrap_or("sh").to_string();
+        if base == "busybox" && args.len() >= 2 && args[1] != "sh" {
+            // Direct applet invocation.
+            let applet_argv: Vec<String> = args[1..].to_vec();
+            let envs = env.env.clone();
+            return match run_builtin(sys, &applet_argv, None) {
+                Some(CmdResult::Status(s)) => s,
+                Some(CmdResult::Exit(code)) => code,
+                None => match spawn_external(sys, &applet_argv, &envs) {
+                    CmdResult::Status(s) | CmdResult::Exit(s) => s,
+                },
+            };
+        }
+        if base == "busybox" {
+            args.remove(0); // shift: busybox sh -c … → sh -c …
+        }
+        match (args.get(1).map(String::as_str), args.get(2)) {
+            (Some("-c"), Some(cmd)) => {
+                let cmd = cmd.clone();
+                let envs = env.env.clone();
+                run_command_line(sys, &cmd, &envs)
+            }
+            _ => {
+                sys.println("sh: interactive mode not supported".to_string());
+                2
+            }
+        }
+    }
+}
+
+// Re-export for builder convenience.
+pub use inject::inject_apt_workaround as inject_apt;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zr_kernel::{ContainerConfig, ContainerType, Kernel};
+    use zr_vfs::fs::Fs;
+
+    fn kernel_with_container() -> (Kernel, u32) {
+        let mut k = Kernel::default_kernel();
+        let mut image = Fs::new();
+        for d in ["/bin", "/etc", "/tmp", "/usr/bin"] {
+            image.mkdir_p(d, 0o755).unwrap();
+        }
+        let root = zr_vfs::Access::root();
+        image
+            .write_file(
+                "/etc/passwd",
+                0o644,
+                b"root:x:0:0:root:/root:/bin/sh\nsshd:x:74:74::/var/empty:/sbin/nologin\n"
+                    .to_vec(),
+                &root,
+            )
+            .unwrap();
+        image
+            .write_file("/etc/group", 0o644, b"root:x:0:\nssh_keys:x:998:\n".to_vec(), &root)
+            .unwrap();
+        for ino in 1..=image.inode_count() as u64 {
+            image.set_owner(ino, 1000, 1000).unwrap();
+        }
+        let c = k
+            .container_create(
+                Kernel::HOST_USER_PID,
+                ContainerConfig { ctype: ContainerType::TypeIII, image },
+            )
+            .unwrap();
+        (k, c.init_pid)
+    }
+
+    fn sh(k: &mut Kernel, pid: u32, cmd: &str) -> i32 {
+        let mut ctx = k.ctx(pid);
+        run_command_line(&mut ctx, cmd, &[("PATH".into(), DEFAULT_PATH.into())])
+    }
+
+    #[test]
+    fn echo_and_status() {
+        let (mut k, pid) = kernel_with_container();
+        assert_eq!(sh(&mut k, pid, "echo hello world"), 0);
+        assert_eq!(k.take_console(), vec!["hello world".to_string()]);
+    }
+
+    #[test]
+    fn redirect_creates_file() {
+        let (mut k, pid) = kernel_with_container();
+        assert_eq!(sh(&mut k, pid, "echo data > /tmp/out"), 0);
+        let mut ctx = k.ctx(pid);
+        assert_eq!(ctx.read_file("/tmp/out").unwrap(), b"data\n");
+        assert_eq!(sh(&mut k, pid, "echo more >> /tmp/out"), 0);
+        let mut ctx = k.ctx(pid);
+        assert_eq!(ctx.read_file("/tmp/out").unwrap(), b"data\nmore\n");
+    }
+
+    #[test]
+    fn and_or_chains() {
+        let (mut k, pid) = kernel_with_container();
+        assert_eq!(sh(&mut k, pid, "true && echo yes"), 0);
+        assert_eq!(k.take_console(), vec!["yes".to_string()]);
+        assert_eq!(sh(&mut k, pid, "false && echo no"), 1);
+        assert!(k.take_console().is_empty());
+        assert_eq!(sh(&mut k, pid, "false || echo rescued"), 0);
+        assert_eq!(k.take_console(), vec!["rescued".to_string()]);
+    }
+
+    #[test]
+    fn mkdir_rm_roundtrip() {
+        let (mut k, pid) = kernel_with_container();
+        assert_eq!(sh(&mut k, pid, "mkdir -p /a/b/c && touch /a/b/c/f"), 0);
+        let mut ctx = k.ctx(pid);
+        assert!(ctx.exists("/a/b/c/f"));
+        assert_eq!(sh(&mut k, pid, "rm -rf /a"), 0);
+        let mut ctx = k.ctx(pid);
+        assert!(!ctx.exists("/a"));
+    }
+
+    #[test]
+    fn not_found_is_127() {
+        let (mut k, pid) = kernel_with_container();
+        assert_eq!(sh(&mut k, pid, "no-such-program --help"), 127);
+        let console = k.take_console();
+        assert!(console[0].contains("not found"), "{console:?}");
+    }
+
+    #[test]
+    fn chown_builtin_fails_in_type_iii() {
+        // The coreutils path to the Figure 1b failure.
+        let (mut k, pid) = kernel_with_container();
+        assert_eq!(sh(&mut k, pid, "touch /tmp/f && chown sshd:ssh_keys /tmp/f"), 1);
+        let console = k.take_console();
+        assert!(
+            console.iter().any(|l| l.contains("chown:")),
+            "{console:?}"
+        );
+    }
+
+    #[test]
+    fn chown_by_name_resolves_passwd() {
+        let (mut k, pid) = kernel_with_container();
+        // root:root resolves to 0:0 = current owner → no-op success.
+        assert_eq!(sh(&mut k, pid, "touch /tmp/f && chown root:root /tmp/f"), 0);
+    }
+
+    #[test]
+    fn mknod_builtin_device_fails_unprivileged() {
+        let (mut k, pid) = kernel_with_container();
+        assert_eq!(sh(&mut k, pid, "mknod /tmp/null c 1 3"), 1);
+        assert_eq!(sh(&mut k, pid, "mknod /tmp/fifo p"), 0);
+    }
+
+    #[test]
+    fn exit_stops_list() {
+        let (mut k, pid) = kernel_with_container();
+        assert_eq!(sh(&mut k, pid, "echo one; exit 3; echo two"), 3);
+        assert_eq!(k.take_console(), vec!["one".to_string()]);
+    }
+
+    #[test]
+    fn id_reports_container_root() {
+        let (mut k, pid) = kernel_with_container();
+        assert_eq!(sh(&mut k, pid, "id"), 0);
+        assert_eq!(k.take_console(), vec!["uid=0 gid=0".to_string()]);
+    }
+
+    #[test]
+    fn cp_mv_cat() {
+        let (mut k, pid) = kernel_with_container();
+        assert_eq!(
+            sh(&mut k, pid, "echo payload > /tmp/a && cp /tmp/a /tmp/b && mv /tmp/b /tmp/c && cat /tmp/c"),
+            0
+        );
+        let console = k.take_console();
+        assert_eq!(console.last().unwrap(), "payload");
+    }
+
+    #[test]
+    fn syntax_error_is_2() {
+        let (mut k, pid) = kernel_with_container();
+        assert_eq!(sh(&mut k, pid, "echo 'unterminated"), 2);
+    }
+}

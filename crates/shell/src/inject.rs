@@ -1,0 +1,146 @@
+//! The apt workaround (§5).
+//!
+//! Debian's apt "by default drops privileges for downloading packages …
+//! and also verifies that they were dropped correctly. This validation
+//! fails under our seccomp filter. We work around the problem awkwardly
+//! by detecting apt(8) and apt-get(8) in RUN instructions and injecting
+//! `-o APT::Sandbox::User=root` into their command lines."
+//!
+//! The detection operates on the token stream so quoting survives:
+//! `apt`/`apt-get` count only in *command position* (start of a list, or
+//! right after `&&`/`||`/`;`), by basename.
+
+/// The option the paper injects.
+pub const APT_OPTION: &str = "-o APT::Sandbox::User=root";
+
+fn is_apt_command(word: &str) -> bool {
+    let base = word.rsplit('/').next().unwrap_or(word);
+    base == "apt" || base == "apt-get"
+}
+
+/// Rewrite `cmdline`, injecting the sandbox-disable option after every
+/// apt/apt-get in command position. Returns the new command line and
+/// whether anything changed.
+///
+/// Works on raw text with shell-aware word boundaries approximated by
+/// whitespace splitting outside quotes — adequate for RUN instructions,
+/// which is all Charliecloud's version handles either.
+pub fn inject_apt_workaround(cmdline: &str) -> (String, bool) {
+    let mut out = String::with_capacity(cmdline.len() + 32);
+    let mut changed = false;
+    let mut command_position = true;
+    let mut in_single = false;
+    let mut in_double = false;
+
+    let mut word = String::new();
+    let flush_word = |word: &mut String, out: &mut String, command_position: &mut bool, changed: &mut bool| {
+        if word.is_empty() {
+            return;
+        }
+        out.push_str(word);
+        if *command_position && is_apt_command(word) {
+            out.push(' ');
+            out.push_str(APT_OPTION);
+            *changed = true;
+        }
+        if *command_position {
+            *command_position = false;
+        }
+        word.clear();
+    };
+
+    let mut chars = cmdline.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\'' if !in_double => {
+                in_single = !in_single;
+                word.push(c);
+            }
+            '"' if !in_single => {
+                in_double = !in_double;
+                word.push(c);
+            }
+            ' ' | '\t' if !in_single && !in_double => {
+                flush_word(&mut word, &mut out, &mut command_position, &mut changed);
+                out.push(c);
+            }
+            '&' | '|' if !in_single && !in_double && chars.peek() == Some(&c) => {
+                flush_word(&mut word, &mut out, &mut command_position, &mut changed);
+                chars.next();
+                out.push(c);
+                out.push(c);
+                command_position = true;
+            }
+            ';' if !in_single && !in_double => {
+                flush_word(&mut word, &mut out, &mut command_position, &mut changed);
+                out.push(';');
+                command_position = true;
+            }
+            c => word.push(c),
+        }
+    }
+    flush_word(&mut word, &mut out, &mut command_position, &mut changed);
+    (out, changed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injects_after_apt_get() {
+        let (out, changed) = inject_apt_workaround("apt-get install -y hello");
+        assert!(changed);
+        assert_eq!(out, "apt-get -o APT::Sandbox::User=root install -y hello");
+    }
+
+    #[test]
+    fn injects_after_apt() {
+        let (out, changed) = inject_apt_workaround("apt update");
+        assert!(changed);
+        assert!(out.starts_with("apt -o APT::Sandbox::User=root update"));
+    }
+
+    #[test]
+    fn injects_by_basename() {
+        let (out, changed) = inject_apt_workaround("/usr/bin/apt-get update");
+        assert!(changed);
+        assert!(out.starts_with("/usr/bin/apt-get -o APT::Sandbox::User=root"));
+    }
+
+    #[test]
+    fn injects_in_each_list_position() {
+        let (out, changed) =
+            inject_apt_workaround("apt-get update && apt-get install -y gcc; apt list");
+        assert!(changed);
+        assert_eq!(out.matches(APT_OPTION).count(), 3);
+    }
+
+    #[test]
+    fn leaves_non_apt_alone() {
+        for cmd in [
+            "yum install -y openssh",
+            "apk add sl",
+            "echo apt-get is a word here",   // not command position
+            "aptitude install x",            // different tool
+            "cp apt-get.txt /tmp",           // argument, not command
+        ] {
+            let (out, changed) = inject_apt_workaround(cmd);
+            assert!(!changed, "{cmd} should be untouched");
+            assert_eq!(out, cmd);
+        }
+    }
+
+    #[test]
+    fn quoted_apt_not_injected() {
+        let (out, changed) = inject_apt_workaround("echo 'apt-get install'");
+        assert!(!changed);
+        assert_eq!(out, "echo 'apt-get install'");
+    }
+
+    #[test]
+    fn preserves_spacing_and_quotes() {
+        let (out, _) = inject_apt_workaround("echo \"a && b\" && apt update");
+        assert!(out.starts_with("echo \"a && b\" && apt -o"));
+    }
+}

@@ -1,0 +1,291 @@
+//! Tokenizer: command text → words and operators, with quoting and
+//! `$VAR` expansion.
+
+/// A shell token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// A (fully expanded) word.
+    Word(String),
+    /// `&&`.
+    AndIf,
+    /// `||`.
+    OrIf,
+    /// `;`.
+    Semi,
+    /// `>`.
+    RedirOut,
+    /// `>>`.
+    RedirAppend,
+}
+
+/// Lexer errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LexError {
+    /// A quote was never closed.
+    UnterminatedQuote(char),
+    /// `&` or `|` alone (we do not support background jobs or pipes).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LexError::UnterminatedQuote(q) => write!(f, "unterminated {q} quote"),
+            LexError::Unsupported(s) => write!(f, "unsupported operator '{s}'"),
+        }
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn expand_var(chars: &mut std::iter::Peekable<std::str::Chars>, env: &dyn Fn(&str) -> Option<String>, out: &mut String) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut name = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                name.push(c);
+            }
+            if let Some(v) = env(&name) {
+                out.push_str(&v);
+            }
+        }
+        Some(c) if c.is_ascii_alphabetic() || *c == '_' => {
+            let mut name = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    name.push(c);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            if let Some(v) = env(&name) {
+                out.push_str(&v);
+            }
+        }
+        Some('?') => {
+            chars.next();
+            // $? expansion is wired by the executor via the env lookup.
+            if let Some(v) = env("?") {
+                out.push_str(&v);
+            }
+        }
+        _ => out.push('$'),
+    }
+}
+
+/// Tokenize `input`, expanding variables through `env`.
+pub fn lex(input: &str, env: &dyn Fn(&str) -> Option<String>) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    let mut word = String::new();
+    let mut has_word = false;
+
+    macro_rules! flush {
+        () => {
+            if has_word {
+                tokens.push(Token::Word(std::mem::take(&mut word)));
+                #[allow(unused_assignments)]
+                {
+                    has_word = false;
+                }
+            }
+        };
+    }
+
+    while let Some(c) = chars.next() {
+        match c {
+            ' ' | '\t' | '\n' => flush!(),
+            '#' if !has_word => break, // comment to end of line
+            '\'' => {
+                has_word = true;
+                let mut closed = false;
+                for c in chars.by_ref() {
+                    if c == '\'' {
+                        closed = true;
+                        break;
+                    }
+                    word.push(c);
+                }
+                if !closed {
+                    return Err(LexError::UnterminatedQuote('\''));
+                }
+            }
+            '"' => {
+                has_word = true;
+                let mut closed = false;
+                while let Some(c) = chars.next() {
+                    match c {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\\' => match chars.next() {
+                            Some(c2 @ ('"' | '\\' | '$')) => word.push(c2),
+                            Some(c2) => {
+                                word.push('\\');
+                                word.push(c2);
+                            }
+                            None => return Err(LexError::UnterminatedQuote('"')),
+                        },
+                        '$' => expand_var(&mut chars, env, &mut word),
+                        c => word.push(c),
+                    }
+                }
+                if !closed {
+                    return Err(LexError::UnterminatedQuote('"'));
+                }
+            }
+            '\\' => {
+                has_word = true;
+                if let Some(c2) = chars.next() {
+                    word.push(c2);
+                }
+            }
+            '$' => {
+                has_word = true;
+                expand_var(&mut chars, env, &mut word);
+            }
+            '&' => {
+                if chars.peek() == Some(&'&') {
+                    chars.next();
+                    flush!();
+                    tokens.push(Token::AndIf);
+                } else {
+                    return Err(LexError::Unsupported("&".into()));
+                }
+            }
+            '|' => {
+                if chars.peek() == Some(&'|') {
+                    chars.next();
+                    flush!();
+                    tokens.push(Token::OrIf);
+                } else {
+                    return Err(LexError::Unsupported("|".into()));
+                }
+            }
+            ';' => {
+                flush!();
+                tokens.push(Token::Semi);
+            }
+            '>' => {
+                flush!();
+                if chars.peek() == Some(&'>') {
+                    chars.next();
+                    tokens.push(Token::RedirAppend);
+                } else {
+                    tokens.push(Token::RedirOut);
+                }
+            }
+            c => {
+                has_word = true;
+                word.push(c);
+            }
+        }
+    }
+    flush!();
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn none(_: &str) -> Option<String> {
+        None
+    }
+
+    fn words(input: &str) -> Vec<String> {
+        lex(input, &none)
+            .unwrap()
+            .into_iter()
+            .map(|t| match t {
+                Token::Word(w) => w,
+                other => format!("<{other:?}>"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn simple_split() {
+        assert_eq!(words("yum install -y openssh"), vec!["yum", "install", "-y", "openssh"]);
+    }
+
+    #[test]
+    fn quotes() {
+        assert_eq!(words("echo 'a b' \"c d\""), vec!["echo", "a b", "c d"]);
+        assert_eq!(words(r#"echo a\ b"#), vec!["echo", "a b"]);
+        assert_eq!(words(r#"echo "x\"y""#), vec!["echo", "x\"y"]);
+    }
+
+    #[test]
+    fn single_quotes_no_expansion() {
+        let env = |k: &str| (k == "V").then(|| "val".to_string());
+        let toks = lex("echo '$V' \"$V\" $V", &env).unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("echo".into()),
+                Token::Word("$V".into()),
+                Token::Word("val".into()),
+                Token::Word("val".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let toks = lex("a && b || c; d", &none).unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("a".into()),
+                Token::AndIf,
+                Token::Word("b".into()),
+                Token::OrIf,
+                Token::Word("c".into()),
+                Token::Semi,
+                Token::Word("d".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn redirects() {
+        let toks = lex("echo hi > /etc/x >> /etc/y", &none).unwrap();
+        assert!(toks.contains(&Token::RedirOut));
+        assert!(toks.contains(&Token::RedirAppend));
+    }
+
+    #[test]
+    fn comments_stripped() {
+        assert_eq!(words("echo hi # comment && rm -rf /"), vec!["echo", "hi"]);
+        // '#' inside a word is literal.
+        assert_eq!(words("echo a#b"), vec!["echo", "a#b"]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(lex("echo 'x", &none), Err(LexError::UnterminatedQuote('\''))));
+        assert!(matches!(lex("a | b", &none), Err(LexError::Unsupported(_))));
+        assert!(matches!(lex("a & b", &none), Err(LexError::Unsupported(_))));
+    }
+
+    #[test]
+    fn empty_and_blank() {
+        assert!(lex("", &none).unwrap().is_empty());
+        assert!(lex("   \t  ", &none).unwrap().is_empty());
+        assert!(lex("# just a comment", &none).unwrap().is_empty());
+    }
+
+    #[test]
+    fn dollar_question() {
+        let env = |k: &str| (k == "?").then(|| "0".to_string());
+        let toks = lex("echo $?", &env).unwrap();
+        assert_eq!(toks[1], Token::Word("0".into()));
+    }
+}

@@ -1,0 +1,26 @@
+//! # zr-shell — the `/bin/sh` that executes RUN instructions
+//!
+//! A deliberately small POSIX-ish shell: word splitting with single and
+//! double quotes and backslash escapes, `$VAR`/`${VAR}` expansion,
+//! command lists with `&&`, `||` and `;`, output redirection (`>`,
+//! `>>`), a handful of builtins (`cd`, `echo`, `true`, `false`, `umask`,
+//! `exit`), and `PATH` lookup for everything else. Package-manager
+//! programs are spawned through the kernel like any other binary.
+//!
+//! The module also hosts [`inject::inject_apt_workaround`], the text
+//! rewrite from §5 of the paper: detect `apt`/`apt-get` in a RUN command
+//! and splice in `-o APT::Sandbox::User=root` so apt skips the privilege
+//! drop whose *verification* the zero-consistency filter would break.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod inject;
+pub mod lex;
+pub mod parse;
+
+pub use exec::{run_command_line, ShellProgram};
+pub use inject::inject_apt_workaround;
+pub use lex::{lex, Token};
+pub use parse::{parse_list, Connector, SimpleCommand};

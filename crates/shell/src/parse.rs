@@ -1,0 +1,168 @@
+//! Parser: tokens → a connector-separated list of simple commands.
+
+use crate::lex::Token;
+
+/// How a command chains to the *previous* one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Connector {
+    /// First command in the list.
+    First,
+    /// `&&`: run only if the previous succeeded.
+    AndIf,
+    /// `||`: run only if the previous failed.
+    OrIf,
+    /// `;`: run unconditionally.
+    Semi,
+}
+
+/// A redirect target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Redirect {
+    /// `> path` (truncate).
+    Out(String),
+    /// `>> path` (append).
+    Append(String),
+}
+
+/// One simple command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimpleCommand {
+    /// Connector to the previous command.
+    pub connector: Connector,
+    /// argv (`argv[0]` = program word).
+    pub argv: Vec<String>,
+    /// Optional stdout redirect.
+    pub redirect: Option<Redirect>,
+}
+
+/// Parse failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Connector with no command before/after it.
+    DanglingConnector,
+    /// Redirect without a target word.
+    MissingRedirectTarget,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::DanglingConnector => write!(f, "syntax error near connector"),
+            ParseError::MissingRedirectTarget => write!(f, "redirect needs a target"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a token stream into a command list.
+pub fn parse_list(tokens: &[Token]) -> Result<Vec<SimpleCommand>, ParseError> {
+    let mut out: Vec<SimpleCommand> = Vec::new();
+    let mut current = SimpleCommand {
+        connector: Connector::First,
+        argv: Vec::new(),
+        redirect: None,
+    };
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            Token::Word(w) => current.argv.push(w.clone()),
+            Token::RedirOut | Token::RedirAppend => {
+                let target = match tokens.get(i + 1) {
+                    Some(Token::Word(w)) => w.clone(),
+                    _ => return Err(ParseError::MissingRedirectTarget),
+                };
+                current.redirect = Some(if tokens[i] == Token::RedirOut {
+                    Redirect::Out(target)
+                } else {
+                    Redirect::Append(target)
+                });
+                i += 1;
+            }
+            connector @ (Token::AndIf | Token::OrIf | Token::Semi) => {
+                if current.argv.is_empty() {
+                    return Err(ParseError::DanglingConnector);
+                }
+                out.push(std::mem::replace(
+                    &mut current,
+                    SimpleCommand {
+                        connector: match connector {
+                            Token::AndIf => Connector::AndIf,
+                            Token::OrIf => Connector::OrIf,
+                            _ => Connector::Semi,
+                        },
+                        argv: Vec::new(),
+                        redirect: None,
+                    },
+                ));
+            }
+        }
+        i += 1;
+    }
+    if !current.argv.is_empty() {
+        out.push(current);
+    } else if !matches!(current.connector, Connector::First | Connector::Semi) {
+        return Err(ParseError::DanglingConnector);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn none(_: &str) -> Option<String> {
+        None
+    }
+
+    fn parse(s: &str) -> Vec<SimpleCommand> {
+        parse_list(&lex(s, &none).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn single_command() {
+        let cmds = parse("apk add sl");
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(cmds[0].argv, vec!["apk", "add", "sl"]);
+        assert_eq!(cmds[0].connector, Connector::First);
+    }
+
+    #[test]
+    fn list_with_connectors() {
+        let cmds = parse("a && b || c; d");
+        assert_eq!(cmds.len(), 4);
+        assert_eq!(cmds[1].connector, Connector::AndIf);
+        assert_eq!(cmds[2].connector, Connector::OrIf);
+        assert_eq!(cmds[3].connector, Connector::Semi);
+    }
+
+    #[test]
+    fn redirects_attach() {
+        let cmds = parse("echo hi > /etc/motd");
+        assert_eq!(cmds[0].redirect, Some(Redirect::Out("/etc/motd".into())));
+        let cmds = parse("echo hi >> /log");
+        assert_eq!(cmds[0].redirect, Some(Redirect::Append("/log".into())));
+    }
+
+    #[test]
+    fn trailing_semi_ok() {
+        let cmds = parse("echo hi;");
+        assert_eq!(cmds.len(), 1);
+    }
+
+    #[test]
+    fn dangling_connector_rejected() {
+        let toks = lex("&& b", &none).unwrap();
+        assert_eq!(parse_list(&toks), Err(ParseError::DanglingConnector));
+        let toks = lex("a &&", &none).unwrap();
+        // 'a &&' with nothing after: the empty AndIf command is dangling.
+        assert_eq!(parse_list(&toks), Err(ParseError::DanglingConnector));
+    }
+
+    #[test]
+    fn redirect_without_target_rejected() {
+        let toks = lex("echo hi >", &none).unwrap();
+        assert_eq!(parse_list(&toks), Err(ParseError::MissingRedirectTarget));
+    }
+}

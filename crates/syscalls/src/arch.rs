@@ -1,0 +1,179 @@
+//! Architectures supported by the filter, and their audit identifiers.
+//!
+//! A seccomp BPF program receives the *current* architecture of the calling
+//! thread in `seccomp_data.arch` as an `AUDIT_ARCH_*` value; the same
+//! process may issue syscalls under more than one architecture (e.g. an
+//! x86-64 process exec'ing a 32-bit binary), which is why the paper's filter
+//! carries a syscall-number table per architecture.
+
+/// The six architectures carried in the filter table, mirroring
+/// Charliecloud's support matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Arch {
+    /// 64-bit x86 (`AUDIT_ARCH_X86_64`).
+    X8664,
+    /// 32-bit x86 (`AUDIT_ARCH_I386`).
+    I386,
+    /// 32-bit ARM EABI (`AUDIT_ARCH_ARM`).
+    Arm,
+    /// 64-bit ARM (`AUDIT_ARCH_AARCH64`).
+    Aarch64,
+    /// 64-bit little-endian POWER (`AUDIT_ARCH_PPC64LE`).
+    Ppc64le,
+    /// 64-bit s390 (`AUDIT_ARCH_S390X`).
+    S390x,
+}
+
+/// `__AUDIT_ARCH_64BIT` flag bit.
+pub const AUDIT_ARCH_64BIT: u32 = 0x8000_0000;
+/// `__AUDIT_ARCH_LE` (little-endian) flag bit.
+pub const AUDIT_ARCH_LE: u32 = 0x4000_0000;
+
+/// `AUDIT_ARCH_X86_64` = EM_X86_64 | 64BIT | LE.
+pub const AUDIT_ARCH_X86_64: u32 = 62 | AUDIT_ARCH_64BIT | AUDIT_ARCH_LE;
+/// `AUDIT_ARCH_I386` = EM_386 | LE.
+pub const AUDIT_ARCH_I386: u32 = 3 | AUDIT_ARCH_LE;
+/// `AUDIT_ARCH_ARM` = EM_ARM | LE.
+pub const AUDIT_ARCH_ARM: u32 = 40 | AUDIT_ARCH_LE;
+/// `AUDIT_ARCH_AARCH64` = EM_AARCH64 | 64BIT | LE.
+pub const AUDIT_ARCH_AARCH64: u32 = 183 | AUDIT_ARCH_64BIT | AUDIT_ARCH_LE;
+/// `AUDIT_ARCH_PPC64LE` = EM_PPC64 | 64BIT | LE.
+pub const AUDIT_ARCH_PPC64LE: u32 = 21 | AUDIT_ARCH_64BIT | AUDIT_ARCH_LE;
+/// `AUDIT_ARCH_S390X` = EM_S390 | 64BIT (big-endian: no LE bit).
+pub const AUDIT_ARCH_S390X: u32 = 22 | AUDIT_ARCH_64BIT;
+
+impl Arch {
+    /// All six architectures, in table-column order.
+    pub const ALL: [Arch; 6] = [
+        Arch::X8664,
+        Arch::I386,
+        Arch::Arm,
+        Arch::Aarch64,
+        Arch::Ppc64le,
+        Arch::S390x,
+    ];
+
+    /// The `AUDIT_ARCH_*` value a seccomp filter observes for this
+    /// architecture.
+    pub const fn audit(self) -> u32 {
+        match self {
+            Arch::X8664 => AUDIT_ARCH_X86_64,
+            Arch::I386 => AUDIT_ARCH_I386,
+            Arch::Arm => AUDIT_ARCH_ARM,
+            Arch::Aarch64 => AUDIT_ARCH_AARCH64,
+            Arch::Ppc64le => AUDIT_ARCH_PPC64LE,
+            Arch::S390x => AUDIT_ARCH_S390X,
+        }
+    }
+
+    /// Reverse of [`Arch::audit`].
+    pub fn from_audit(audit: u32) -> Option<Arch> {
+        Arch::ALL.into_iter().find(|a| a.audit() == audit)
+    }
+
+    /// Column index of this architecture in the syscall-number table.
+    pub const fn index(self) -> usize {
+        match self {
+            Arch::X8664 => 0,
+            Arch::I386 => 1,
+            Arch::Arm => 2,
+            Arch::Aarch64 => 3,
+            Arch::Ppc64le => 4,
+            Arch::S390x => 5,
+        }
+    }
+
+    /// True for the 32-bit architectures that grew `*32` variants of the
+    /// 16-bit uid/gid syscalls.
+    pub const fn is_32bit(self) -> bool {
+        matches!(self, Arch::I386 | Arch::Arm)
+    }
+
+    /// Human-readable name matching kernel conventions.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Arch::X8664 => "x86_64",
+            Arch::I386 => "i386",
+            Arch::Arm => "arm",
+            Arch::Aarch64 => "aarch64",
+            Arch::Ppc64le => "ppc64le",
+            Arch::S390x => "s390x",
+        }
+    }
+
+    /// Architecture of the machine this crate was compiled for, if it is one
+    /// of the six supported ones.  Used by the host installer.
+    pub const fn host() -> Option<Arch> {
+        #[cfg(target_arch = "x86_64")]
+        {
+            Some(Arch::X8664)
+        }
+        #[cfg(target_arch = "x86")]
+        {
+            Some(Arch::I386)
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            Some(Arch::Aarch64)
+        }
+        #[cfg(not(any(target_arch = "x86_64", target_arch = "x86", target_arch = "aarch64")))]
+        {
+            None
+        }
+    }
+}
+
+impl std::fmt::Display for Arch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audit_values_match_kernel_headers() {
+        assert_eq!(AUDIT_ARCH_X86_64, 0xC000_003E);
+        assert_eq!(AUDIT_ARCH_I386, 0x4000_0003);
+        assert_eq!(AUDIT_ARCH_ARM, 0x4000_0028);
+        assert_eq!(AUDIT_ARCH_AARCH64, 0xC000_00B7);
+        assert_eq!(AUDIT_ARCH_PPC64LE, 0xC000_0015);
+        assert_eq!(AUDIT_ARCH_S390X, 0x8000_0016);
+    }
+
+    #[test]
+    fn audit_roundtrip() {
+        for a in Arch::ALL {
+            assert_eq!(Arch::from_audit(a.audit()), Some(a));
+        }
+        assert_eq!(Arch::from_audit(0), None);
+    }
+
+    #[test]
+    fn indexes_are_unique_and_dense() {
+        let mut seen = [false; 6];
+        for a in Arch::ALL {
+            assert!(!seen[a.index()]);
+            seen[a.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bitness() {
+        assert!(Arch::I386.is_32bit());
+        assert!(Arch::Arm.is_32bit());
+        assert!(!Arch::X8664.is_32bit());
+        assert!(!Arch::Aarch64.is_32bit());
+        assert!(!Arch::Ppc64le.is_32bit());
+        assert!(!Arch::S390x.is_32bit());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Arch::X8664.to_string(), "x86_64");
+        assert_eq!(Arch::S390x.to_string(), "s390x");
+    }
+}

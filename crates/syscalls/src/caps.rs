@@ -1,0 +1,231 @@
+//! Linux capability numbers and capability-set arithmetic.
+//!
+//! The simulated kernel grants container root a full capability set *within
+//! its user namespace* — the paper's point being that this "greater
+//! privilege is an illusion": capabilities in an unprivileged user namespace
+//! do not authorize operations on resources the namespace does not own.
+
+/// A Linux capability (subset the workspace reasons about).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // canonical names; see capabilities(7)
+#[repr(u8)]
+pub enum Cap {
+    Chown = 0,
+    DacOverride = 1,
+    DacReadSearch = 2,
+    Fowner = 3,
+    Fsetid = 4,
+    Kill = 5,
+    Setgid = 6,
+    Setuid = 7,
+    Setpcap = 8,
+    NetAdmin = 12,
+    SysModule = 16,
+    SysRawio = 17,
+    SysChroot = 18,
+    SysAdmin = 21,
+    SysBoot = 22,
+    Mknod = 27,
+    Setfcap = 31,
+    MacAdmin = 33,
+}
+
+impl Cap {
+    /// All capabilities the model knows about.
+    pub const ALL: [Cap; 18] = [
+        Cap::Chown,
+        Cap::DacOverride,
+        Cap::DacReadSearch,
+        Cap::Fowner,
+        Cap::Fsetid,
+        Cap::Kill,
+        Cap::Setgid,
+        Cap::Setuid,
+        Cap::Setpcap,
+        Cap::NetAdmin,
+        Cap::SysModule,
+        Cap::SysRawio,
+        Cap::SysChroot,
+        Cap::SysAdmin,
+        Cap::SysBoot,
+        Cap::Mknod,
+        Cap::Setfcap,
+        Cap::MacAdmin,
+    ];
+
+    /// `CAP_*` name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Cap::Chown => "CAP_CHOWN",
+            Cap::DacOverride => "CAP_DAC_OVERRIDE",
+            Cap::DacReadSearch => "CAP_DAC_READ_SEARCH",
+            Cap::Fowner => "CAP_FOWNER",
+            Cap::Fsetid => "CAP_FSETID",
+            Cap::Kill => "CAP_KILL",
+            Cap::Setgid => "CAP_SETGID",
+            Cap::Setuid => "CAP_SETUID",
+            Cap::Setpcap => "CAP_SETPCAP",
+            Cap::NetAdmin => "CAP_NET_ADMIN",
+            Cap::SysModule => "CAP_SYS_MODULE",
+            Cap::SysRawio => "CAP_SYS_RAWIO",
+            Cap::SysChroot => "CAP_SYS_CHROOT",
+            Cap::SysAdmin => "CAP_SYS_ADMIN",
+            Cap::SysBoot => "CAP_SYS_BOOT",
+            Cap::Mknod => "CAP_MKNOD",
+            Cap::Setfcap => "CAP_SETFCAP",
+            Cap::MacAdmin => "CAP_MAC_ADMIN",
+        }
+    }
+}
+
+/// A set of capabilities, stored as a bitmask over capability numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CapSet(u64);
+
+impl CapSet {
+    /// The empty set.
+    pub const EMPTY: CapSet = CapSet(0);
+
+    /// Every capability in [`Cap::ALL`] — what root (or container root in
+    /// its own user namespace) holds.
+    pub fn full() -> CapSet {
+        let mut set = CapSet::EMPTY;
+        for c in Cap::ALL {
+            set.add(c);
+        }
+        set
+    }
+
+    /// Insert `cap`.
+    pub fn add(&mut self, cap: Cap) {
+        self.0 |= 1 << (cap as u8);
+    }
+
+    /// Remove `cap`.
+    pub fn remove(&mut self, cap: Cap) {
+        self.0 &= !(1 << (cap as u8));
+    }
+
+    /// Membership test.
+    pub const fn has(self, cap: Cap) -> bool {
+        self.0 & (1 << (cap as u8)) != 0
+    }
+
+    /// True iff no capability is present.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set intersection.
+    pub const fn intersect(self, other: CapSet) -> CapSet {
+        CapSet(self.0 & other.0)
+    }
+
+    /// Set union.
+    pub const fn union(self, other: CapSet) -> CapSet {
+        CapSet(self.0 | other.0)
+    }
+
+    /// Raw bitmask (for capset/capget marshalling).
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Build from a raw bitmask.
+    pub const fn from_bits(bits: u64) -> CapSet {
+        CapSet(bits)
+    }
+
+    /// Number of capabilities present.
+    pub const fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+}
+
+impl FromIterator<Cap> for CapSet {
+    fn from_iter<T: IntoIterator<Item = Cap>>(iter: T) -> CapSet {
+        let mut set = CapSet::EMPTY;
+        for c in iter {
+            set.add(c);
+        }
+        set
+    }
+}
+
+impl std::fmt::Display for CapSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for c in Cap::ALL {
+            if self.has(c) {
+                if !first {
+                    f.write_str(",")?;
+                }
+                f.write_str(c.name())?;
+                first = false;
+            }
+        }
+        if first {
+            f.write_str("(none)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_numbers() {
+        assert_eq!(Cap::Chown as u8, 0);
+        assert_eq!(Cap::Setuid as u8, 7);
+        assert_eq!(Cap::SysAdmin as u8, 21);
+        assert_eq!(Cap::Mknod as u8, 27);
+    }
+
+    #[test]
+    fn set_operations() {
+        let mut s = CapSet::EMPTY;
+        assert!(s.is_empty());
+        s.add(Cap::Chown);
+        s.add(Cap::Setuid);
+        assert!(s.has(Cap::Chown));
+        assert!(!s.has(Cap::Mknod));
+        assert_eq!(s.len(), 2);
+        s.remove(Cap::Chown);
+        assert!(!s.has(Cap::Chown));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn full_has_everything() {
+        let full = CapSet::full();
+        for c in Cap::ALL {
+            assert!(full.has(c), "{} missing", c.name());
+        }
+        assert_eq!(full.len(), Cap::ALL.len() as u32);
+    }
+
+    #[test]
+    fn intersect_union() {
+        let a: CapSet = [Cap::Chown, Cap::Setuid].into_iter().collect();
+        let b: CapSet = [Cap::Setuid, Cap::Mknod].into_iter().collect();
+        let i = a.intersect(b);
+        assert!(i.has(Cap::Setuid) && !i.has(Cap::Chown) && !i.has(Cap::Mknod));
+        let u = a.union(b);
+        assert_eq!(u.len(), 3);
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        let a: CapSet = [Cap::Chown, Cap::SysAdmin].into_iter().collect();
+        assert_eq!(CapSet::from_bits(a.bits()), a);
+    }
+
+    #[test]
+    fn display() {
+        let a: CapSet = [Cap::Chown].into_iter().collect();
+        assert_eq!(a.to_string(), "CAP_CHOWN");
+        assert_eq!(CapSet::EMPTY.to_string(), "(none)");
+    }
+}

@@ -1,0 +1,158 @@
+//! Error numbers shared by the simulated kernel and seccomp's
+//! `SECCOMP_RET_ERRNO` return encoding.
+
+/// Linux error numbers (x86-64 generic values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // canonical names; see errno(3)
+#[repr(u16)]
+pub enum Errno {
+    EPERM = 1,
+    ENOENT = 2,
+    ESRCH = 3,
+    EINTR = 4,
+    EIO = 5,
+    ENXIO = 6,
+    E2BIG = 7,
+    ENOEXEC = 8,
+    EBADF = 9,
+    ECHILD = 10,
+    EAGAIN = 11,
+    ENOMEM = 12,
+    EACCES = 13,
+    EFAULT = 14,
+    EBUSY = 16,
+    EEXIST = 17,
+    EXDEV = 18,
+    ENODEV = 19,
+    ENOTDIR = 20,
+    EISDIR = 21,
+    EINVAL = 22,
+    ENFILE = 23,
+    EMFILE = 24,
+    ENOTTY = 25,
+    ETXTBSY = 26,
+    EFBIG = 27,
+    ENOSPC = 28,
+    ESPIPE = 29,
+    EROFS = 30,
+    EMLINK = 31,
+    EPIPE = 32,
+    ERANGE = 34,
+    ENAMETOOLONG = 36,
+    ENOSYS = 38,
+    ENOTEMPTY = 39,
+    ELOOP = 40,
+    ENODATA = 61,
+    EOVERFLOW = 75,
+    EOPNOTSUPP = 95,
+    ETIMEDOUT = 110,
+    ECONNREFUSED = 111,
+}
+
+impl Errno {
+    /// Numeric value, e.g. `EPERM` → 1.
+    pub const fn raw(self) -> u16 {
+        self as u16
+    }
+
+    /// Symbolic name, e.g. `"EPERM"`.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Errno::EPERM => "EPERM",
+            Errno::ENOENT => "ENOENT",
+            Errno::ESRCH => "ESRCH",
+            Errno::EINTR => "EINTR",
+            Errno::EIO => "EIO",
+            Errno::ENXIO => "ENXIO",
+            Errno::E2BIG => "E2BIG",
+            Errno::ENOEXEC => "ENOEXEC",
+            Errno::EBADF => "EBADF",
+            Errno::ECHILD => "ECHILD",
+            Errno::EAGAIN => "EAGAIN",
+            Errno::ENOMEM => "ENOMEM",
+            Errno::EACCES => "EACCES",
+            Errno::EFAULT => "EFAULT",
+            Errno::EBUSY => "EBUSY",
+            Errno::EEXIST => "EEXIST",
+            Errno::EXDEV => "EXDEV",
+            Errno::ENODEV => "ENODEV",
+            Errno::ENOTDIR => "ENOTDIR",
+            Errno::EISDIR => "EISDIR",
+            Errno::EINVAL => "EINVAL",
+            Errno::ENFILE => "ENFILE",
+            Errno::EMFILE => "EMFILE",
+            Errno::ENOTTY => "ENOTTY",
+            Errno::ETXTBSY => "ETXTBSY",
+            Errno::EFBIG => "EFBIG",
+            Errno::ENOSPC => "ENOSPC",
+            Errno::ESPIPE => "ESPIPE",
+            Errno::EROFS => "EROFS",
+            Errno::EMLINK => "EMLINK",
+            Errno::EPIPE => "EPIPE",
+            Errno::ERANGE => "ERANGE",
+            Errno::ENAMETOOLONG => "ENAMETOOLONG",
+            Errno::ENOSYS => "ENOSYS",
+            Errno::ENOTEMPTY => "ENOTEMPTY",
+            Errno::ELOOP => "ELOOP",
+            Errno::ENODATA => "ENODATA",
+            Errno::EOVERFLOW => "EOVERFLOW",
+            Errno::EOPNOTSUPP => "EOPNOTSUPP",
+            Errno::ETIMEDOUT => "ETIMEDOUT",
+            Errno::ECONNREFUSED => "ECONNREFUSED",
+        }
+    }
+
+    /// Short human description, strerror(3)-style.
+    pub const fn describe(self) -> &'static str {
+        match self {
+            Errno::EPERM => "Operation not permitted",
+            Errno::ENOENT => "No such file or directory",
+            Errno::EACCES => "Permission denied",
+            Errno::EEXIST => "File exists",
+            Errno::ENOTDIR => "Not a directory",
+            Errno::EISDIR => "Is a directory",
+            Errno::EINVAL => "Invalid argument",
+            Errno::ENOTEMPTY => "Directory not empty",
+            Errno::ELOOP => "Too many levels of symbolic links",
+            Errno::ENOSYS => "Function not implemented",
+            Errno::EBADF => "Bad file descriptor",
+            Errno::ENAMETOOLONG => "File name too long",
+            Errno::EXDEV => "Invalid cross-device link",
+            Errno::EMLINK => "Too many links",
+            Errno::ENODATA => "No data available",
+            Errno::EBUSY => "Device or resource busy",
+            Errno::ECHILD => "No child processes",
+            Errno::ESRCH => "No such process",
+            _ => "error",
+        }
+    }
+}
+
+impl std::fmt::Display for Errno {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::error::Error for Errno {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_values() {
+        assert_eq!(Errno::EPERM.raw(), 1);
+        assert_eq!(Errno::ENOENT.raw(), 2);
+        assert_eq!(Errno::EACCES.raw(), 13);
+        assert_eq!(Errno::EINVAL.raw(), 22);
+        assert_eq!(Errno::ENOSYS.raw(), 38);
+        assert_eq!(Errno::ELOOP.raw(), 40);
+    }
+
+    #[test]
+    fn display_is_symbolic() {
+        assert_eq!(Errno::EPERM.to_string(), "EPERM");
+        assert_eq!(Errno::EPERM.describe(), "Operation not permitted");
+    }
+}

@@ -1,0 +1,182 @@
+//! The paper's filter table: 29 privileged syscalls in four classes (§5).
+//!
+//! * Class 1 — **file ownership** (7): `chown`, `fchown`, `fchownat`,
+//!   `lchown`, plus the `*32` variants on 32-bit architectures.
+//! * Class 2 — **user/group/capability manipulation** (19): the nine
+//!   `set*id`/`setgroups` calls, their nine `*32` variants, and `capset`.
+//! * Class 3 — **`mknod`/`mknodat`** (2): privileged only for device nodes,
+//!   so the filter must examine the file-type argument before faking
+//!   success (device) or allowing the call through (anything else).
+//! * Class 4 — **self-test** (1): `kexec_load` reboots into a new kernel
+//!   and is never needed by an HPC application build, so it is filtered and
+//!   then invoked once after installation to validate the filter.
+
+use crate::arch::Arch;
+use crate::nr::Sysno;
+
+/// The four classes of filtered syscalls from §5 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FilterClass {
+    /// Class 1: file ownership changes.
+    FileOwnership,
+    /// Class 2: user/group/capability manipulation.
+    IdentityCaps,
+    /// Class 3: device-node creation (conditional on the mode argument).
+    MknodDevice,
+    /// Class 4: filter self-test.
+    SelfTest,
+}
+
+impl FilterClass {
+    /// Description used in generated tables.
+    pub const fn describe(self) -> &'static str {
+        match self {
+            FilterClass::FileOwnership => "file ownership",
+            FilterClass::IdentityCaps => "user/group/capability manipulation",
+            FilterClass::MknodDevice => "mknod/mknodat (device files only)",
+            FilterClass::SelfTest => "self-test",
+        }
+    }
+}
+
+/// One filtered syscall with its class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilteredSyscall {
+    /// Which syscall.
+    pub sysno: Sysno,
+    /// Which of the paper's four classes it belongs to.
+    pub class: FilterClass,
+}
+
+/// The paper's 29 filtered syscalls: 7 + 19 + 2 + 1.
+pub const FILTERED: &[FilteredSyscall] = &[
+    // Class 1: file ownership (7).
+    FilteredSyscall { sysno: Sysno::Chown, class: FilterClass::FileOwnership },
+    FilteredSyscall { sysno: Sysno::Chown32, class: FilterClass::FileOwnership },
+    FilteredSyscall { sysno: Sysno::Fchown, class: FilterClass::FileOwnership },
+    FilteredSyscall { sysno: Sysno::Fchown32, class: FilterClass::FileOwnership },
+    FilteredSyscall { sysno: Sysno::Fchownat, class: FilterClass::FileOwnership },
+    FilteredSyscall { sysno: Sysno::Lchown, class: FilterClass::FileOwnership },
+    FilteredSyscall { sysno: Sysno::Lchown32, class: FilterClass::FileOwnership },
+    // Class 2: user/group/capability manipulation (19).
+    FilteredSyscall { sysno: Sysno::Capset, class: FilterClass::IdentityCaps },
+    FilteredSyscall { sysno: Sysno::Setfsgid, class: FilterClass::IdentityCaps },
+    FilteredSyscall { sysno: Sysno::Setfsgid32, class: FilterClass::IdentityCaps },
+    FilteredSyscall { sysno: Sysno::Setfsuid, class: FilterClass::IdentityCaps },
+    FilteredSyscall { sysno: Sysno::Setfsuid32, class: FilterClass::IdentityCaps },
+    FilteredSyscall { sysno: Sysno::Setgid, class: FilterClass::IdentityCaps },
+    FilteredSyscall { sysno: Sysno::Setgid32, class: FilterClass::IdentityCaps },
+    FilteredSyscall { sysno: Sysno::Setgroups, class: FilterClass::IdentityCaps },
+    FilteredSyscall { sysno: Sysno::Setgroups32, class: FilterClass::IdentityCaps },
+    FilteredSyscall { sysno: Sysno::Setregid, class: FilterClass::IdentityCaps },
+    FilteredSyscall { sysno: Sysno::Setregid32, class: FilterClass::IdentityCaps },
+    FilteredSyscall { sysno: Sysno::Setresgid, class: FilterClass::IdentityCaps },
+    FilteredSyscall { sysno: Sysno::Setresgid32, class: FilterClass::IdentityCaps },
+    FilteredSyscall { sysno: Sysno::Setresuid, class: FilterClass::IdentityCaps },
+    FilteredSyscall { sysno: Sysno::Setresuid32, class: FilterClass::IdentityCaps },
+    FilteredSyscall { sysno: Sysno::Setreuid, class: FilterClass::IdentityCaps },
+    FilteredSyscall { sysno: Sysno::Setreuid32, class: FilterClass::IdentityCaps },
+    FilteredSyscall { sysno: Sysno::Setuid, class: FilterClass::IdentityCaps },
+    FilteredSyscall { sysno: Sysno::Setuid32, class: FilterClass::IdentityCaps },
+    // Class 3: device nodes (2).
+    FilteredSyscall { sysno: Sysno::Mknod, class: FilterClass::MknodDevice },
+    FilteredSyscall { sysno: Sysno::Mknodat, class: FilterClass::MknodDevice },
+    // Class 4: self-test (1).
+    FilteredSyscall { sysno: Sysno::KexecLoad, class: FilterClass::SelfTest },
+];
+
+/// Is `sysno` in the paper's filter set, and if so in which class?
+pub fn class_of(sysno: Sysno) -> Option<FilterClass> {
+    FILTERED.iter().find(|f| f.sysno == sysno).map(|f| f.class)
+}
+
+/// The filtered syscalls that exist on `arch`, with their numbers.
+///
+/// Fewer than 29 on every architecture: 64-bit ABIs lack the `*32`
+/// variants; aarch64 additionally lacks `chown`, `lchown`, and `mknod`.
+pub fn filtered_on(arch: Arch) -> Vec<(FilteredSyscall, u32)> {
+    FILTERED
+        .iter()
+        .filter_map(|f| f.sysno.number(arch).map(|nr| (*f, nr)))
+        .collect()
+}
+
+/// Index of the `mode` argument for the mknod-family calls (argument the
+/// filter must inspect): `mknod(path, mode, dev)` → 1,
+/// `mknodat(dirfd, path, mode, dev)` → 2.
+pub fn mknod_mode_arg(sysno: Sysno) -> Option<usize> {
+    match sysno {
+        Sysno::Mknod => Some(1),
+        Sysno::Mknodat => Some(2),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn class_sizes_match_paper() {
+        let count = |c: FilterClass| FILTERED.iter().filter(|f| f.class == c).count();
+        assert_eq!(count(FilterClass::FileOwnership), 7);
+        assert_eq!(count(FilterClass::IdentityCaps), 19);
+        assert_eq!(count(FilterClass::MknodDevice), 2);
+        assert_eq!(count(FilterClass::SelfTest), 1);
+        assert_eq!(FILTERED.len(), 29);
+    }
+
+    #[test]
+    fn no_duplicates() {
+        let set: HashSet<Sysno> = FILTERED.iter().map(|f| f.sysno).collect();
+        assert_eq!(set.len(), FILTERED.len());
+    }
+
+    #[test]
+    fn per_arch_counts() {
+        // x86_64: 29 minus the twelve *32 variants = 17.
+        assert_eq!(filtered_on(Arch::X8664).len(), 17);
+        // i386/arm have everything.
+        assert_eq!(filtered_on(Arch::I386).len(), 29);
+        assert_eq!(filtered_on(Arch::Arm).len(), 29);
+        // aarch64 also lacks chown, lchown, mknod: 17 - 3 = 14.
+        assert_eq!(filtered_on(Arch::Aarch64).len(), 14);
+        assert_eq!(filtered_on(Arch::Ppc64le).len(), 17);
+        assert_eq!(filtered_on(Arch::S390x).len(), 17);
+    }
+
+    #[test]
+    fn class_lookup() {
+        assert_eq!(class_of(Sysno::Chown), Some(FilterClass::FileOwnership));
+        assert_eq!(class_of(Sysno::Capset), Some(FilterClass::IdentityCaps));
+        assert_eq!(class_of(Sysno::Mknodat), Some(FilterClass::MknodDevice));
+        assert_eq!(class_of(Sysno::KexecLoad), Some(FilterClass::SelfTest));
+        assert_eq!(class_of(Sysno::Read), None);
+        assert_eq!(class_of(Sysno::Setxattr), None); // future work, not baseline
+    }
+
+    #[test]
+    fn mode_arg_positions() {
+        assert_eq!(mknod_mode_arg(Sysno::Mknod), Some(1));
+        assert_eq!(mknod_mode_arg(Sysno::Mknodat), Some(2));
+        assert_eq!(mknod_mode_arg(Sysno::Chown), None);
+    }
+
+    #[test]
+    fn getters_are_not_filtered() {
+        // Zero consistency: the *get* calls must pass through so processes
+        // can observe that nothing happened.
+        for sy in [
+            Sysno::Getuid,
+            Sysno::Geteuid,
+            Sysno::Getresuid,
+            Sysno::Getgroups,
+            Sysno::Capget,
+            Sysno::Stat,
+            Sysno::Fstat,
+        ] {
+            assert_eq!(class_of(sy), None, "{sy} must not be filtered");
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # zr-syscalls — Linux syscall ABI tables
+//!
+//! This crate is the single source of truth for the Linux system-call ABI
+//! facts the rest of the workspace relies on:
+//!
+//! * [`Arch`] — the six architectures the paper's filter supports, with
+//!   their `AUDIT_ARCH_*` identifiers (what a seccomp filter sees).
+//! * [`Sysno`] — symbolic names for every system call the simulated kernel
+//!   implements, with per-architecture numbers ([`Sysno::number`],
+//!   [`resolve`]).
+//! * [`filtered`] — the paper's **29 intercepted syscalls** in their four
+//!   classes (§5 of the paper): file ownership (7), user/group/capability
+//!   manipulation (19), `mknod`/`mknodat` (2), and `kexec_load` (1).
+//! * [`Errno`] — error numbers shared by the simulated kernel and the BPF
+//!   `SECCOMP_RET_ERRNO` encoding.
+//! * [`mode`] — file-type and permission bits (`S_IFCHR`, `S_ISUID`, …).
+//! * [`caps`] — capability numbers (`CAP_CHOWN`, `CAP_SETUID`, …).
+//!
+//! Both the seccomp filter compiler (`zr-seccomp`) and the simulated
+//! userspace (`zr-kernel`, `zr-pkg`) read the *same* table, so syscall-number
+//! agreement between "kernel" and "userspace" holds by construction — the
+//! property the real kernel gets from its `unistd.h` headers.
+//!
+//! Numbers for x86-64 were transcribed from `asm/unistd_64.h`; the other
+//! five architectures are best-effort transcriptions documented in
+//! `DESIGN.md` §6.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod caps;
+pub mod errno;
+pub mod filtered;
+pub mod mode;
+pub mod nr;
+
+pub use arch::Arch;
+pub use errno::Errno;
+pub use filtered::{FilterClass, FILTERED};
+pub use nr::{resolve, Sysno};

@@ -1,0 +1,151 @@
+//! File mode bits: type field, setuid/setgid/sticky, permission triads.
+//!
+//! The mknod class of the paper's filter (§5 class 3) must *examine the
+//! file-type argument* before deciding: device nodes get faked success,
+//! everything else passes through. [`is_device`] encodes exactly that test.
+
+/// Mask for the file-type field of `st_mode`.
+pub const S_IFMT: u32 = 0o170000;
+/// Socket.
+pub const S_IFSOCK: u32 = 0o140000;
+/// Symbolic link.
+pub const S_IFLNK: u32 = 0o120000;
+/// Regular file.
+pub const S_IFREG: u32 = 0o100000;
+/// Block device.
+pub const S_IFBLK: u32 = 0o060000;
+/// Directory.
+pub const S_IFDIR: u32 = 0o040000;
+/// Character device.
+pub const S_IFCHR: u32 = 0o020000;
+/// FIFO (named pipe).
+pub const S_IFIFO: u32 = 0o010000;
+
+/// Set-user-ID bit.
+pub const S_ISUID: u32 = 0o4000;
+/// Set-group-ID bit.
+pub const S_ISGID: u32 = 0o2000;
+/// Sticky bit.
+pub const S_ISVTX: u32 = 0o1000;
+
+/// Read/write/execute for owner.
+pub const S_IRWXU: u32 = 0o700;
+/// Read/write/execute for group.
+pub const S_IRWXG: u32 = 0o070;
+/// Read/write/execute for other.
+pub const S_IRWXO: u32 = 0o007;
+
+/// The file-type nibble of `mode`.
+pub const fn file_type(mode: u32) -> u32 {
+    mode & S_IFMT
+}
+
+/// True iff `mode` denotes a character or block device — the condition the
+/// paper's filter checks on `mknod`/`mknodat` before faking success.
+///
+/// A `mode` whose type field is zero defaults to a regular file (mknod(2)
+/// semantics), so it is *not* a device.
+pub const fn is_device(mode: u32) -> bool {
+    matches!(file_type(mode), S_IFCHR | S_IFBLK)
+}
+
+/// True iff `mode` denotes a regular file (including the implicit zero
+/// type field accepted by `mknod`).
+pub const fn is_regular(mode: u32) -> bool {
+    file_type(mode) == S_IFREG || file_type(mode) == 0
+}
+
+/// Pack a device major/minor pair the way glibc's `makedev` does.
+pub const fn makedev(major: u32, minor: u32) -> u64 {
+    let major = major as u64;
+    let minor = minor as u64;
+    ((major & 0xffff_f000) << 32)
+        | ((major & 0x0000_0fff) << 8)
+        | ((minor & 0xffff_ff00) << 12)
+        | (minor & 0x0000_00ff)
+}
+
+/// Extract the major number from a packed device id.
+pub const fn major(dev: u64) -> u32 {
+    (((dev >> 32) & 0xffff_f000) | ((dev >> 8) & 0x0000_0fff)) as u32
+}
+
+/// Extract the minor number from a packed device id.
+pub const fn minor(dev: u64) -> u32 {
+    (((dev >> 12) & 0xffff_ff00) | (dev & 0x0000_00ff)) as u32
+}
+
+/// Render the `ls -l` style type+permission string for `mode`
+/// (e.g. `-rwsr-xr-x`, `crw-rw-rw-`).
+pub fn render(mode: u32) -> String {
+    let ty = match file_type(mode) {
+        S_IFSOCK => 's',
+        S_IFLNK => 'l',
+        S_IFBLK => 'b',
+        S_IFDIR => 'd',
+        S_IFCHR => 'c',
+        S_IFIFO => 'p',
+        _ => '-',
+    };
+    let mut out = String::with_capacity(10);
+    out.push(ty);
+    for (shift, special, special_ch) in [
+        (6u32, S_ISUID, 's'),
+        (3u32, S_ISGID, 's'),
+        (0u32, S_ISVTX, 't'),
+    ] {
+        let trio = (mode >> shift) & 0o7;
+        out.push(if trio & 0o4 != 0 { 'r' } else { '-' });
+        out.push(if trio & 0o2 != 0 { 'w' } else { '-' });
+        let x = trio & 0o1 != 0;
+        let sp = mode & special != 0;
+        out.push(match (x, sp) {
+            (true, true) => special_ch,
+            (false, true) => special_ch.to_ascii_uppercase(),
+            (true, false) => 'x',
+            (false, false) => '-',
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_detection() {
+        assert!(is_device(S_IFCHR | 0o666));
+        assert!(is_device(S_IFBLK | 0o660));
+        assert!(!is_device(S_IFREG | 0o644));
+        assert!(!is_device(S_IFIFO | 0o644));
+        assert!(!is_device(S_IFSOCK | 0o777));
+        assert!(!is_device(0o644)); // zero type field = regular
+    }
+
+    #[test]
+    fn regular_detection() {
+        assert!(is_regular(S_IFREG | 0o644));
+        assert!(is_regular(0o644));
+        assert!(!is_regular(S_IFCHR | 0o644));
+    }
+
+    #[test]
+    fn makedev_roundtrip() {
+        for (ma, mi) in [(1, 3), (5, 0), (259, 1048575), (0, 0), (4095, 255)] {
+            let dev = makedev(ma, mi);
+            assert_eq!(major(dev), ma, "major of {ma}:{mi}");
+            assert_eq!(minor(dev), mi, "minor of {ma}:{mi}");
+        }
+    }
+
+    #[test]
+    fn render_examples() {
+        assert_eq!(render(S_IFREG | 0o644), "-rw-r--r--");
+        assert_eq!(render(S_IFDIR | 0o755), "drwxr-xr-x");
+        assert_eq!(render(S_IFCHR | 0o666), "crw-rw-rw-");
+        assert_eq!(render(S_IFREG | S_ISUID | 0o755), "-rwsr-xr-x");
+        assert_eq!(render(S_IFREG | S_ISUID | 0o644), "-rwSr--r--");
+        assert_eq!(render(S_IFDIR | S_ISVTX | 0o777), "drwxrwxrwt");
+    }
+}

@@ -1,0 +1,552 @@
+//! Symbolic syscall names and their per-architecture numbers.
+//!
+//! The table below is the workspace's equivalent of the kernel's
+//! `unistd.h` headers *and* of Charliecloud's `FILTER` table: one row per
+//! syscall, one column per architecture, `None` where the architecture does
+//! not provide the call (e.g. aarch64 has no `chown(2)`; processes there
+//! use `fchownat(2)` — paper footnote 7).
+
+use crate::arch::Arch;
+
+/// Symbolic name for a system call modelled by the simulated kernel.
+///
+/// Only calls the workspace actually uses are listed; this is a model, not a
+/// complete ABI. The 29 *filtered* calls of the paper are all present.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)] // names are the documentation; they mirror man pages
+#[non_exhaustive]
+pub enum Sysno {
+    // -- file I/O ---------------------------------------------------------
+    Read,
+    Write,
+    Open,
+    Openat,
+    Close,
+    Lseek,
+    Truncate,
+    Ftruncate,
+    Getdents64,
+    Dup,
+    Dup2,
+    Dup3,
+    Pipe,
+    Pipe2,
+    Fcntl,
+    // -- metadata ---------------------------------------------------------
+    Stat,
+    Fstat,
+    Lstat,
+    Newfstatat,
+    Chmod,
+    Fchmod,
+    Fchmodat,
+    Umask,
+    Utimensat,
+    // -- file ownership (filter class 1) -----------------------------------
+    Chown,
+    Fchown,
+    Lchown,
+    Fchownat,
+    Chown32,
+    Fchown32,
+    Lchown32,
+    // -- namespace / tree -------------------------------------------------
+    Mkdir,
+    Mkdirat,
+    Rmdir,
+    Unlink,
+    Unlinkat,
+    Rename,
+    Renameat,
+    Symlink,
+    Symlinkat,
+    Link,
+    Linkat,
+    Readlink,
+    Readlinkat,
+    Chdir,
+    Fchdir,
+    Getcwd,
+    Chroot,
+    Mount,
+    Umount2,
+    // -- identity queries ---------------------------------------------------
+    Getuid,
+    Geteuid,
+    Getgid,
+    Getegid,
+    Getresuid,
+    Getresgid,
+    Getgroups,
+    // -- identity manipulation (filter class 2) ----------------------------
+    Setuid,
+    Setuid32,
+    Setgid,
+    Setgid32,
+    Setreuid,
+    Setreuid32,
+    Setregid,
+    Setregid32,
+    Setresuid,
+    Setresuid32,
+    Setresgid,
+    Setresgid32,
+    Setgroups,
+    Setgroups32,
+    Setfsuid,
+    Setfsuid32,
+    Setfsgid,
+    Setfsgid32,
+    Capset,
+    Capget,
+    // -- device nodes (filter class 3) --------------------------------------
+    Mknod,
+    Mknodat,
+    // -- self-test (filter class 4) ------------------------------------------
+    KexecLoad,
+    // -- processes ----------------------------------------------------------
+    Getpid,
+    Getppid,
+    Clone,
+    Fork,
+    Execve,
+    Wait4,
+    Exit,
+    ExitGroup,
+    Kill,
+    Prctl,
+    Seccomp,
+    Unshare,
+    Uname,
+    // -- extended attributes -------------------------------------------------
+    Setxattr,
+    Lsetxattr,
+    Fsetxattr,
+    Getxattr,
+    Lgetxattr,
+    Fgetxattr,
+    Listxattr,
+    Llistxattr,
+    Flistxattr,
+    Removexattr,
+    Lremovexattr,
+    Fremovexattr,
+    // -- network (just enough for download simulation) ----------------------
+    Socket,
+    Connect,
+}
+
+/// One row of the syscall-number table: columns follow [`Arch::index`]
+/// order (x86_64, i386, arm, aarch64, ppc64le, s390x).
+type Row = (Sysno, [Option<u16>; 6]);
+
+/// Shorthand for a present number.
+const fn s(n: u16) -> Option<u16> {
+    Some(n)
+}
+/// Shorthand for "not implemented on this architecture".
+const N: Option<u16> = None;
+
+/// The full number table.
+///
+/// Transcribed from the kernel's per-arch `unistd` headers (x86-64
+/// authoritative; others best effort — see DESIGN.md §6). On i386/arm the
+/// `get*id` rows carry the `*32` numbers modern libcs actually invoke.
+#[rustfmt::skip]
+pub const TABLE: &[Row] = &[
+    //                      x86_64    i386      arm       aarch64   ppc64le   s390x
+    (Sysno::Read,         [s(0),    s(3),    s(3),    s(63),   s(3),    s(3)]),
+    (Sysno::Write,        [s(1),    s(4),    s(4),    s(64),   s(4),    s(4)]),
+    (Sysno::Open,         [s(2),    s(5),    s(5),    N,       s(5),    s(5)]),
+    (Sysno::Openat,       [s(257),  s(295),  s(322),  s(56),   s(286),  s(288)]),
+    (Sysno::Close,        [s(3),    s(6),    s(6),    s(57),   s(6),    s(6)]),
+    (Sysno::Lseek,        [s(8),    s(19),   s(19),   s(62),   s(19),   s(19)]),
+    (Sysno::Truncate,     [s(76),   s(92),   s(92),   s(45),   s(92),   s(92)]),
+    (Sysno::Ftruncate,    [s(77),   s(93),   s(93),   s(46),   s(93),   s(93)]),
+    (Sysno::Getdents64,   [s(217),  s(220),  s(217),  s(61),   s(202),  s(220)]),
+    (Sysno::Dup,          [s(32),   s(41),   s(41),   s(23),   s(41),   s(41)]),
+    (Sysno::Dup2,         [s(33),   s(63),   s(63),   N,       s(63),   s(63)]),
+    (Sysno::Dup3,         [s(292),  s(330),  s(358),  s(24),   s(316),  s(326)]),
+    (Sysno::Pipe,         [s(22),   s(42),   s(42),   N,       s(42),   s(42)]),
+    (Sysno::Pipe2,        [s(293),  s(331),  s(359),  s(59),   s(317),  s(325)]),
+    (Sysno::Fcntl,        [s(72),   s(55),   s(55),   s(25),   s(55),   s(55)]),
+
+    (Sysno::Stat,         [s(4),    s(106),  s(106),  N,       s(106),  s(106)]),
+    (Sysno::Fstat,        [s(5),    s(108),  s(108),  s(80),   s(108),  s(108)]),
+    (Sysno::Lstat,        [s(6),    s(107),  s(107),  N,       s(107),  s(107)]),
+    (Sysno::Newfstatat,   [s(262),  s(300),  s(327),  s(79),   s(291),  s(293)]),
+    (Sysno::Chmod,        [s(90),   s(15),   s(15),   N,       s(15),   s(15)]),
+    (Sysno::Fchmod,       [s(91),   s(94),   s(94),   s(52),   s(94),   s(94)]),
+    (Sysno::Fchmodat,     [s(268),  s(306),  s(333),  s(53),   s(297),  s(299)]),
+    (Sysno::Umask,        [s(95),   s(60),   s(60),   s(166),  s(60),   s(60)]),
+    (Sysno::Utimensat,    [s(280),  s(320),  s(348),  s(88),   s(304),  s(315)]),
+
+    // Filter class 1: file ownership (7 syscalls).
+    (Sysno::Chown,        [s(92),   s(182),  s(182),  N,       s(181),  s(212)]),
+    (Sysno::Fchown,       [s(93),   s(95),   s(95),   s(55),   s(95),   s(207)]),
+    (Sysno::Lchown,       [s(94),   s(16),   s(16),   N,       s(16),   s(198)]),
+    (Sysno::Fchownat,     [s(260),  s(298),  s(325),  s(54),   s(289),  s(291)]),
+    (Sysno::Chown32,      [N,       s(212),  s(212),  N,       N,       N]),
+    (Sysno::Fchown32,     [N,       s(207),  s(207),  N,       N,       N]),
+    (Sysno::Lchown32,     [N,       s(198),  s(198),  N,       N,       N]),
+
+    (Sysno::Mkdir,        [s(83),   s(39),   s(39),   N,       s(39),   s(39)]),
+    (Sysno::Mkdirat,      [s(258),  s(296),  s(323),  s(34),   s(287),  s(289)]),
+    (Sysno::Rmdir,        [s(84),   s(40),   s(40),   N,       s(40),   s(40)]),
+    (Sysno::Unlink,       [s(87),   s(10),   s(10),   N,       s(10),   s(10)]),
+    (Sysno::Unlinkat,     [s(263),  s(301),  s(328),  s(35),   s(292),  s(294)]),
+    (Sysno::Rename,       [s(82),   s(38),   s(38),   N,       s(38),   s(38)]),
+    (Sysno::Renameat,     [s(264),  s(302),  s(329),  s(38),   s(293),  s(295)]),
+    (Sysno::Symlink,      [s(88),   s(83),   s(83),   N,       s(83),   s(83)]),
+    (Sysno::Symlinkat,    [s(266),  s(304),  s(331),  s(36),   s(295),  s(297)]),
+    (Sysno::Link,         [s(86),   s(9),    s(9),    N,       s(9),    s(9)]),
+    (Sysno::Linkat,       [s(265),  s(303),  s(330),  s(37),   s(294),  s(296)]),
+    (Sysno::Readlink,     [s(89),   s(85),   s(85),   N,       s(85),   s(85)]),
+    (Sysno::Readlinkat,   [s(267),  s(305),  s(332),  s(78),   s(296),  s(298)]),
+    (Sysno::Chdir,        [s(80),   s(12),   s(12),   s(49),   s(12),   s(12)]),
+    (Sysno::Fchdir,       [s(81),   s(133),  s(133),  s(50),   s(133),  s(133)]),
+    (Sysno::Getcwd,       [s(79),   s(183),  s(183),  s(17),   s(182),  s(183)]),
+    (Sysno::Chroot,       [s(161),  s(61),   s(61),   s(51),   s(61),   s(61)]),
+    (Sysno::Mount,        [s(165),  s(21),   s(21),   s(40),   s(21),   s(21)]),
+    (Sysno::Umount2,      [s(166),  s(52),   s(52),   s(39),   s(52),   s(52)]),
+
+    (Sysno::Getuid,       [s(102),  s(199),  s(199),  s(174),  s(24),   s(199)]),
+    (Sysno::Geteuid,      [s(107),  s(201),  s(201),  s(175),  s(49),   s(201)]),
+    (Sysno::Getgid,       [s(104),  s(200),  s(200),  s(176),  s(47),   s(200)]),
+    (Sysno::Getegid,      [s(108),  s(202),  s(202),  s(177),  s(50),   s(202)]),
+    (Sysno::Getresuid,    [s(118),  s(209),  s(209),  s(148),  s(165),  s(209)]),
+    (Sysno::Getresgid,    [s(120),  s(211),  s(211),  s(150),  s(170),  s(211)]),
+    (Sysno::Getgroups,    [s(115),  s(205),  s(205),  s(158),  s(80),   s(205)]),
+
+    // Filter class 2: user/group/capability manipulation (19 syscalls).
+    (Sysno::Setuid,       [s(105),  s(23),   s(23),   s(146),  s(23),   s(213)]),
+    (Sysno::Setuid32,     [N,       s(213),  s(213),  N,       N,       N]),
+    (Sysno::Setgid,       [s(106),  s(46),   s(46),   s(144),  s(46),   s(214)]),
+    (Sysno::Setgid32,     [N,       s(214),  s(214),  N,       N,       N]),
+    (Sysno::Setreuid,     [s(113),  s(70),   s(70),   s(145),  s(70),   s(203)]),
+    (Sysno::Setreuid32,   [N,       s(203),  s(203),  N,       N,       N]),
+    (Sysno::Setregid,     [s(114),  s(71),   s(71),   s(143),  s(71),   s(204)]),
+    (Sysno::Setregid32,   [N,       s(204),  s(204),  N,       N,       N]),
+    (Sysno::Setresuid,    [s(117),  s(164),  s(164),  s(147),  s(164),  s(208)]),
+    (Sysno::Setresuid32,  [N,       s(208),  s(208),  N,       N,       N]),
+    (Sysno::Setresgid,    [s(119),  s(170),  s(170),  s(149),  s(169),  s(210)]),
+    (Sysno::Setresgid32,  [N,       s(210),  s(210),  N,       N,       N]),
+    (Sysno::Setgroups,    [s(116),  s(81),   s(81),   s(159),  s(81),   s(206)]),
+    (Sysno::Setgroups32,  [N,       s(206),  s(206),  N,       N,       N]),
+    (Sysno::Setfsuid,     [s(122),  s(138),  s(138),  s(151),  s(138),  s(215)]),
+    (Sysno::Setfsuid32,   [N,       s(215),  s(215),  N,       N,       N]),
+    (Sysno::Setfsgid,     [s(123),  s(139),  s(139),  s(152),  s(139),  s(216)]),
+    (Sysno::Setfsgid32,   [N,       s(216),  s(216),  N,       N,       N]),
+    (Sysno::Capset,       [s(126),  s(185),  s(185),  s(91),   s(184),  s(185)]),
+    (Sysno::Capget,       [s(125),  s(184),  s(184),  s(90),   s(183),  s(184)]),
+
+    // Filter class 3: device nodes (2 syscalls; conditional on mode arg).
+    (Sysno::Mknod,        [s(133),  s(14),   s(14),   N,       s(14),   s(14)]),
+    (Sysno::Mknodat,      [s(259),  s(297),  s(324),  s(33),   s(288),  s(290)]),
+
+    // Filter class 4: self-test (1 syscall).
+    (Sysno::KexecLoad,    [s(246),  s(283),  s(347),  s(104),  s(268),  s(277)]),
+
+    (Sysno::Getpid,       [s(39),   s(20),   s(20),   s(172),  s(20),   s(20)]),
+    (Sysno::Getppid,      [s(110),  s(64),   s(64),   s(173),  s(64),   s(64)]),
+    (Sysno::Clone,        [s(56),   s(120),  s(120),  s(220),  s(120),  s(120)]),
+    (Sysno::Fork,         [s(57),   s(2),    s(2),    N,       s(2),    s(2)]),
+    (Sysno::Execve,       [s(59),   s(11),   s(11),   s(221),  s(11),   s(11)]),
+    (Sysno::Wait4,        [s(61),   s(114),  s(114),  s(260),  s(114),  s(114)]),
+    (Sysno::Exit,         [s(60),   s(1),    s(1),    s(93),   s(1),    s(1)]),
+    (Sysno::ExitGroup,    [s(231),  s(252),  s(248),  s(94),   s(234),  s(248)]),
+    (Sysno::Kill,         [s(62),   s(37),   s(37),   s(129),  s(37),   s(37)]),
+    (Sysno::Prctl,        [s(157),  s(172),  s(172),  s(167),  s(171),  s(172)]),
+    (Sysno::Seccomp,      [s(317),  s(354),  s(383),  s(277),  s(358),  s(348)]),
+    (Sysno::Unshare,      [s(272),  s(310),  s(337),  s(97),   s(282),  s(303)]),
+    (Sysno::Uname,        [s(63),   s(122),  s(122),  s(160),  s(122),  s(122)]),
+
+    (Sysno::Setxattr,     [s(188),  s(226),  s(226),  s(5),    s(209),  s(224)]),
+    (Sysno::Lsetxattr,    [s(189),  s(227),  s(227),  s(6),    s(210),  s(225)]),
+    (Sysno::Fsetxattr,    [s(190),  s(228),  s(228),  s(7),    s(211),  s(226)]),
+    (Sysno::Getxattr,     [s(191),  s(229),  s(229),  s(8),    s(212),  s(227)]),
+    (Sysno::Lgetxattr,    [s(192),  s(230),  s(230),  s(9),    s(213),  s(228)]),
+    (Sysno::Fgetxattr,    [s(193),  s(231),  s(231),  s(10),   s(214),  s(229)]),
+    (Sysno::Listxattr,    [s(194),  s(232),  s(232),  s(11),   s(215),  s(230)]),
+    (Sysno::Llistxattr,   [s(195),  s(233),  s(233),  s(12),   s(216),  s(231)]),
+    (Sysno::Flistxattr,   [s(196),  s(234),  s(234),  s(13),   s(217),  s(232)]),
+    (Sysno::Removexattr,  [s(197),  s(235),  s(235),  s(14),   s(218),  s(233)]),
+    (Sysno::Lremovexattr, [s(198),  s(236),  s(236),  s(15),   s(219),  s(234)]),
+    (Sysno::Fremovexattr, [s(199),  s(237),  s(237),  s(16),   s(220),  s(235)]),
+
+    (Sysno::Socket,       [s(41),   s(359),  s(281),  s(198),  s(326),  s(359)]),
+    (Sysno::Connect,      [s(42),   s(362),  s(283),  s(203),  s(328),  s(362)]),
+];
+
+impl Sysno {
+    /// The syscall number on `arch`, or `None` if the architecture does not
+    /// implement the call.
+    pub fn number(self, arch: Arch) -> Option<u32> {
+        TABLE
+            .iter()
+            .find(|(sy, _)| *sy == self)
+            .and_then(|(_, row)| row[arch.index()])
+            .map(u32::from)
+    }
+
+    /// Man-page style name (`"fchownat"`, `"kexec_load"`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            Sysno::Read => "read",
+            Sysno::Write => "write",
+            Sysno::Open => "open",
+            Sysno::Openat => "openat",
+            Sysno::Close => "close",
+            Sysno::Lseek => "lseek",
+            Sysno::Truncate => "truncate",
+            Sysno::Ftruncate => "ftruncate",
+            Sysno::Getdents64 => "getdents64",
+            Sysno::Dup => "dup",
+            Sysno::Dup2 => "dup2",
+            Sysno::Dup3 => "dup3",
+            Sysno::Pipe => "pipe",
+            Sysno::Pipe2 => "pipe2",
+            Sysno::Fcntl => "fcntl",
+            Sysno::Stat => "stat",
+            Sysno::Fstat => "fstat",
+            Sysno::Lstat => "lstat",
+            Sysno::Newfstatat => "newfstatat",
+            Sysno::Chmod => "chmod",
+            Sysno::Fchmod => "fchmod",
+            Sysno::Fchmodat => "fchmodat",
+            Sysno::Umask => "umask",
+            Sysno::Utimensat => "utimensat",
+            Sysno::Chown => "chown",
+            Sysno::Fchown => "fchown",
+            Sysno::Lchown => "lchown",
+            Sysno::Fchownat => "fchownat",
+            Sysno::Chown32 => "chown32",
+            Sysno::Fchown32 => "fchown32",
+            Sysno::Lchown32 => "lchown32",
+            Sysno::Mkdir => "mkdir",
+            Sysno::Mkdirat => "mkdirat",
+            Sysno::Rmdir => "rmdir",
+            Sysno::Unlink => "unlink",
+            Sysno::Unlinkat => "unlinkat",
+            Sysno::Rename => "rename",
+            Sysno::Renameat => "renameat",
+            Sysno::Symlink => "symlink",
+            Sysno::Symlinkat => "symlinkat",
+            Sysno::Link => "link",
+            Sysno::Linkat => "linkat",
+            Sysno::Readlink => "readlink",
+            Sysno::Readlinkat => "readlinkat",
+            Sysno::Chdir => "chdir",
+            Sysno::Fchdir => "fchdir",
+            Sysno::Getcwd => "getcwd",
+            Sysno::Chroot => "chroot",
+            Sysno::Mount => "mount",
+            Sysno::Umount2 => "umount2",
+            Sysno::Getuid => "getuid",
+            Sysno::Geteuid => "geteuid",
+            Sysno::Getgid => "getgid",
+            Sysno::Getegid => "getegid",
+            Sysno::Getresuid => "getresuid",
+            Sysno::Getresgid => "getresgid",
+            Sysno::Getgroups => "getgroups",
+            Sysno::Setuid => "setuid",
+            Sysno::Setuid32 => "setuid32",
+            Sysno::Setgid => "setgid",
+            Sysno::Setgid32 => "setgid32",
+            Sysno::Setreuid => "setreuid",
+            Sysno::Setreuid32 => "setreuid32",
+            Sysno::Setregid => "setregid",
+            Sysno::Setregid32 => "setregid32",
+            Sysno::Setresuid => "setresuid",
+            Sysno::Setresuid32 => "setresuid32",
+            Sysno::Setresgid => "setresgid",
+            Sysno::Setresgid32 => "setresgid32",
+            Sysno::Setgroups => "setgroups",
+            Sysno::Setgroups32 => "setgroups32",
+            Sysno::Setfsuid => "setfsuid",
+            Sysno::Setfsuid32 => "setfsuid32",
+            Sysno::Setfsgid => "setfsgid",
+            Sysno::Setfsgid32 => "setfsgid32",
+            Sysno::Capset => "capset",
+            Sysno::Capget => "capget",
+            Sysno::Mknod => "mknod",
+            Sysno::Mknodat => "mknodat",
+            Sysno::KexecLoad => "kexec_load",
+            Sysno::Getpid => "getpid",
+            Sysno::Getppid => "getppid",
+            Sysno::Clone => "clone",
+            Sysno::Fork => "fork",
+            Sysno::Execve => "execve",
+            Sysno::Wait4 => "wait4",
+            Sysno::Exit => "exit",
+            Sysno::ExitGroup => "exit_group",
+            Sysno::Kill => "kill",
+            Sysno::Prctl => "prctl",
+            Sysno::Seccomp => "seccomp",
+            Sysno::Unshare => "unshare",
+            Sysno::Uname => "uname",
+            Sysno::Setxattr => "setxattr",
+            Sysno::Lsetxattr => "lsetxattr",
+            Sysno::Fsetxattr => "fsetxattr",
+            Sysno::Getxattr => "getxattr",
+            Sysno::Lgetxattr => "lgetxattr",
+            Sysno::Fgetxattr => "fgetxattr",
+            Sysno::Listxattr => "listxattr",
+            Sysno::Llistxattr => "llistxattr",
+            Sysno::Flistxattr => "flistxattr",
+            Sysno::Removexattr => "removexattr",
+            Sysno::Lremovexattr => "lremovexattr",
+            Sysno::Fremovexattr => "fremovexattr",
+            Sysno::Socket => "socket",
+            Sysno::Connect => "connect",
+        }
+    }
+
+    /// All syscalls in the table.
+    pub fn all() -> impl Iterator<Item = Sysno> {
+        TABLE.iter().map(|(sy, _)| *sy)
+    }
+}
+
+impl std::fmt::Display for Sysno {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Reverse lookup: which symbolic syscall does number `nr` denote on `arch`?
+///
+/// Note the same number can denote different calls on different
+/// architectures (e.g. 212 is `chown32` on i386/arm but `chown` on s390x) —
+/// exactly why BPF filters must check `seccomp_data.arch` first.
+pub fn resolve(arch: Arch, nr: u32) -> Option<Sysno> {
+    let nr16 = u16::try_from(nr).ok()?;
+    TABLE
+        .iter()
+        .find(|(_, row)| row[arch.index()] == Some(nr16))
+        .map(|(sy, _)| *sy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn x86_64_spot_checks() {
+        // Authoritative numbers from asm/unistd_64.h.
+        assert_eq!(Sysno::Read.number(Arch::X8664), Some(0));
+        assert_eq!(Sysno::Chown.number(Arch::X8664), Some(92));
+        assert_eq!(Sysno::Fchownat.number(Arch::X8664), Some(260));
+        assert_eq!(Sysno::Setresuid.number(Arch::X8664), Some(117));
+        assert_eq!(Sysno::Capset.number(Arch::X8664), Some(126));
+        assert_eq!(Sysno::Mknod.number(Arch::X8664), Some(133));
+        assert_eq!(Sysno::Mknodat.number(Arch::X8664), Some(259));
+        assert_eq!(Sysno::KexecLoad.number(Arch::X8664), Some(246));
+        assert_eq!(Sysno::Seccomp.number(Arch::X8664), Some(317));
+        assert_eq!(Sysno::Prctl.number(Arch::X8664), Some(157));
+    }
+
+    #[test]
+    fn aarch64_lacks_legacy_path_syscalls() {
+        // Paper footnote 7: arm64 lacks chown(2) etc.
+        for sy in [
+            Sysno::Chown,
+            Sysno::Lchown,
+            Sysno::Mknod,
+            Sysno::Open,
+            Sysno::Stat,
+            Sysno::Mkdir,
+            Sysno::Unlink,
+            Sysno::Rename,
+            Sysno::Symlink,
+        ] {
+            assert_eq!(sy.number(Arch::Aarch64), None, "{sy} should be absent");
+        }
+        assert_eq!(Sysno::Fchownat.number(Arch::Aarch64), Some(54));
+        assert_eq!(Sysno::Mknodat.number(Arch::Aarch64), Some(33));
+    }
+
+    #[test]
+    fn thirty_two_bit_variants_only_on_32bit_arches() {
+        let variants = [
+            Sysno::Chown32,
+            Sysno::Fchown32,
+            Sysno::Lchown32,
+            Sysno::Setuid32,
+            Sysno::Setgid32,
+            Sysno::Setreuid32,
+            Sysno::Setregid32,
+            Sysno::Setresuid32,
+            Sysno::Setresgid32,
+            Sysno::Setgroups32,
+            Sysno::Setfsuid32,
+            Sysno::Setfsgid32,
+        ];
+        for v in variants {
+            for arch in Arch::ALL {
+                let present = v.number(arch).is_some();
+                assert_eq!(
+                    present,
+                    arch.is_32bit(),
+                    "{v} presence wrong on {arch}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn numbers_unique_within_each_arch() {
+        for arch in Arch::ALL {
+            let mut seen = HashSet::new();
+            for sy in Sysno::all() {
+                if let Some(nr) = sy.number(arch) {
+                    assert!(
+                        seen.insert(nr),
+                        "duplicate syscall number {nr} on {arch} ({sy})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_roundtrips() {
+        for arch in Arch::ALL {
+            for sy in Sysno::all() {
+                if let Some(nr) = sy.number(arch) {
+                    assert_eq!(resolve(arch, nr), Some(sy), "{sy} on {arch}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_unknown_is_none() {
+        assert_eq!(resolve(Arch::X8664, 0xFFFF_FFFF), None);
+        assert_eq!(resolve(Arch::X8664, 9999), None);
+    }
+
+    #[test]
+    fn same_number_different_meaning_across_arches() {
+        // 212 is chown32 on i386 but chown on s390x: the reason filters
+        // must check the arch word first.
+        assert_eq!(resolve(Arch::I386, 212), Some(Sysno::Chown32));
+        assert_eq!(resolve(Arch::S390x, 212), Some(Sysno::Chown));
+    }
+
+    #[test]
+    fn every_row_has_at_least_one_arch() {
+        for (sy, row) in TABLE {
+            assert!(row.iter().any(Option::is_some), "{sy} implemented nowhere");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut seen = HashSet::new();
+        for sy in Sysno::all() {
+            assert!(seen.insert(sy.name()), "duplicate name {}", sy.name());
+        }
+    }
+}

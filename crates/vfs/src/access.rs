@@ -1,0 +1,172 @@
+//! The caller snapshot used for permission checks.
+//!
+//! `zr-kernel` distills a process's credentials *and* the outcome of its
+//! namespace-relative capability checks into this plain struct, so the VFS
+//! can stay ignorant of user namespaces while still enforcing classic
+//! owner/group/other permissions.
+
+/// Who is asking, in kernel-id terms, plus the DAC-relevant capability
+/// verdicts (already resolved against the filesystem's owning namespace).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Access {
+    /// Filesystem uid (kernel id).
+    pub fsuid: u32,
+    /// Filesystem gid (kernel id).
+    pub fsgid: u32,
+    /// Supplementary groups (kernel ids).
+    pub groups: Vec<u32>,
+    /// Holds `CAP_DAC_OVERRIDE` *effective against this filesystem*.
+    pub cap_dac_override: bool,
+    /// Holds `CAP_DAC_READ_SEARCH` effective against this filesystem.
+    pub cap_dac_read_search: bool,
+    /// Holds `CAP_FOWNER` effective against this filesystem.
+    pub cap_fowner: bool,
+}
+
+impl Access {
+    /// An all-powerful accessor (true root on the filesystem's owning
+    /// namespace). Useful for image materialization and tests.
+    pub fn root() -> Access {
+        Access {
+            fsuid: 0,
+            fsgid: 0,
+            groups: Vec::new(),
+            cap_dac_override: true,
+            cap_dac_read_search: true,
+            cap_fowner: true,
+        }
+    }
+
+    /// An ordinary user with no capabilities.
+    pub fn user(uid: u32, gid: u32) -> Access {
+        Access {
+            fsuid: uid,
+            fsgid: gid,
+            groups: Vec::new(),
+            cap_dac_override: false,
+            cap_dac_read_search: false,
+            cap_fowner: false,
+        }
+    }
+
+    /// Does the caller's group set include `gid`?
+    pub fn in_group(&self, gid: u32) -> bool {
+        self.fsgid == gid || self.groups.contains(&gid)
+    }
+
+    /// Is the caller the owner, or does it hold `CAP_FOWNER`?
+    pub fn owns(&self, uid: u32) -> bool {
+        self.fsuid == uid || self.cap_fowner
+    }
+}
+
+/// What an operation wants from an object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Want {
+    /// Read permission.
+    pub r: bool,
+    /// Write permission.
+    pub w: bool,
+    /// Execute / search permission.
+    pub x: bool,
+}
+
+impl Want {
+    /// Read only.
+    pub const R: Want = Want { r: true, w: false, x: false };
+    /// Write only.
+    pub const W: Want = Want { r: false, w: true, x: false };
+    /// Execute/search only.
+    pub const X: Want = Want { r: false, w: false, x: true };
+    /// Read + write.
+    pub const RW: Want = Want { r: true, w: true, x: false };
+}
+
+/// Classic POSIX DAC: pick the owner/group/other triad and test it,
+/// honouring `CAP_DAC_OVERRIDE` / `CAP_DAC_READ_SEARCH` the way
+/// `generic_permission()` does.
+pub fn permitted(access: &Access, uid: u32, gid: u32, perm: u32, want: Want) -> bool {
+    // CAP_DAC_OVERRIDE: everything, except execute on files with no x bit
+    // anywhere (kernel refuses to execute mode 0644 even as root). The
+    // caller passes `x` only when execution/search is wanted.
+    if access.cap_dac_override {
+        if want.x {
+            return perm & 0o111 != 0;
+        }
+        return true;
+    }
+    if access.cap_dac_read_search && !want.w && !want.x {
+        return true;
+    }
+
+    let triad = if access.fsuid == uid {
+        (perm >> 6) & 0o7
+    } else if access.in_group(gid) {
+        (perm >> 3) & 0o7
+    } else {
+        perm & 0o7
+    };
+
+    (!want.r || triad & 0o4 != 0)
+        && (!want.w || triad & 0o2 != 0)
+        && (!want.x || triad & 0o1 != 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_class_selected_first() {
+        let a = Access::user(1000, 1000);
+        // 0o400: owner can read, group/other cannot.
+        assert!(permitted(&a, 1000, 2000, 0o400, Want::R));
+        assert!(!permitted(&a, 1000, 2000, 0o400, Want::W));
+        // Owner class applies even when it grants LESS than other.
+        assert!(!permitted(&a, 1000, 2000, 0o077, Want::R));
+    }
+
+    #[test]
+    fn group_class() {
+        let mut a = Access::user(1000, 2000);
+        assert!(permitted(&a, 0, 2000, 0o040, Want::R));
+        a.groups.push(3000);
+        assert!(permitted(&a, 0, 3000, 0o040, Want::R));
+        assert!(!permitted(&a, 0, 4000, 0o040, Want::R));
+    }
+
+    #[test]
+    fn other_class() {
+        let a = Access::user(1000, 1000);
+        assert!(permitted(&a, 0, 0, 0o004, Want::R));
+        assert!(!permitted(&a, 0, 0, 0o040, Want::R));
+    }
+
+    #[test]
+    fn dac_override_allows_everything_but_modeless_exec() {
+        let a = Access::root();
+        assert!(permitted(&a, 500, 500, 0o000, Want::RW));
+        assert!(!permitted(&a, 500, 500, 0o644, Want::X));
+        assert!(permitted(&a, 500, 500, 0o100, Want::X));
+    }
+
+    #[test]
+    fn dac_read_search_reads_only() {
+        let a = Access {
+            cap_dac_override: false,
+            cap_dac_read_search: true,
+            ..Access::user(1000, 1000)
+        };
+        assert!(permitted(&a, 0, 0, 0o000, Want::R));
+        assert!(!permitted(&a, 0, 0, 0o000, Want::W));
+    }
+
+    #[test]
+    fn owns_respects_cap_fowner() {
+        let mut a = Access::user(1000, 1000);
+        assert!(a.owns(1000));
+        assert!(!a.owns(0));
+        a.cap_fowner = true;
+        assert!(a.owns(0));
+    }
+}

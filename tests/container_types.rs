@@ -1,0 +1,134 @@
+//! Experiment E-types: the §2 tripartite classification — who can even
+//! *set up* each container type, and what identity looks like inside.
+
+use zeroroot::kernel::{ContainerConfig, ContainerType, Kernel};
+use zeroroot::syscalls::Errno;
+use zeroroot::{BuildOptions, Builder, Mode, SysExt};
+use zr_vfs::fs::Fs;
+
+fn image() -> Fs {
+    let mut fs = Fs::new();
+    fs.mkdir_p("/etc", 0o755).unwrap();
+    for ino in 1..=fs.inode_count() as u64 {
+        fs.set_owner(ino, 1000, 1000).unwrap();
+    }
+    fs
+}
+
+#[test]
+fn type_i_needs_real_root() {
+    let mut k = Kernel::default_kernel();
+    assert_eq!(
+        k.container_create(
+            Kernel::HOST_USER_PID,
+            ContainerConfig { ctype: ContainerType::TypeI, image: image() },
+        )
+        .err(),
+        Some(Errno::EPERM)
+    );
+    assert!(k
+        .container_create(
+            Kernel::INIT_PID,
+            ContainerConfig { ctype: ContainerType::TypeI, image: image() },
+        )
+        .is_ok());
+}
+
+#[test]
+fn type_ii_needs_setuid_helpers() {
+    let mut k = Kernel::default_kernel();
+    assert_eq!(
+        k.container_create(
+            Kernel::HOST_USER_PID,
+            ContainerConfig { ctype: ContainerType::TypeII, image: image() },
+        )
+        .err(),
+        Some(Errno::EPERM),
+        "\"rootless\" is a misnomer: privileged helpers required (§2)"
+    );
+    k.config.setuid_helpers = true;
+    assert!(k
+        .container_create(
+            Kernel::HOST_USER_PID,
+            ContainerConfig { ctype: ContainerType::TypeII, image: image() },
+        )
+        .is_ok());
+}
+
+#[test]
+fn type_iii_is_fully_unprivileged() {
+    let mut k = Kernel::default_kernel();
+    assert!(k.config.host_uid != 0, "precondition: builder is not root");
+    assert!(!k.config.setuid_helpers, "precondition: no helpers");
+    let c = k
+        .container_create(
+            Kernel::HOST_USER_PID,
+            ContainerConfig { ctype: ContainerType::TypeIII, image: image() },
+        )
+        .expect("Type III never needs privilege");
+    // "processes can have an effective user ID (EUID) of 0 … but this
+    // greater privilege is an illusion" (§1):
+    let mut ctx = k.ctx(c.init_pid);
+    assert_eq!(ctx.geteuid(), 0);
+    assert!(
+        ctx.chown("/etc", 1234, 1234).is_err(),
+        "root-looking processes still cannot really chown"
+    );
+}
+
+#[test]
+fn type_ii_gives_flexible_ids_type_iii_does_not() {
+    // "The benefit of Type II over Type III is greater flexibility of
+    // users and groups within the container" (§2).
+    let mut k = Kernel::default_kernel();
+    k.config.setuid_helpers = true;
+
+    let c2 = k
+        .container_create(
+            Kernel::HOST_USER_PID,
+            ContainerConfig { ctype: ContainerType::TypeII, image: image() },
+        )
+        .unwrap();
+    {
+        let mut ctx = k.ctx(c2.init_pid);
+        ctx.write_file("/f", 0o644, vec![]).unwrap();
+        ctx.chown("/f", 998, 998).expect("Type II: mapped subordinate id");
+    }
+
+    let c3 = k
+        .container_create(
+            Kernel::HOST_USER_PID,
+            ContainerConfig { ctype: ContainerType::TypeIII, image: image() },
+        )
+        .unwrap();
+    {
+        let mut ctx = k.ctx(c3.init_pid);
+        ctx.write_file("/f", 0o644, vec![]).unwrap();
+        assert_eq!(
+            ctx.chown("/f", 998, 998),
+            Err(zeroroot::kernel::SysError::Errno(Errno::EINVAL)),
+            "Type III: only one id is mapped"
+        );
+    }
+}
+
+#[test]
+fn builds_only_work_unprivileged_in_type_iii() {
+    let df = "FROM alpine:3.19\nRUN apk add sl\n";
+    for (ctype, expect_ok) in [
+        (ContainerType::TypeI, false),
+        (ContainerType::TypeII, false),
+        (ContainerType::TypeIII, true),
+    ] {
+        let mut k = Kernel::default_kernel();
+        let mut b = Builder::new();
+        let mut opts = BuildOptions::new("t", Mode::None);
+        opts.container_type = ctype;
+        let r = b.build(&mut k, df, &opts);
+        assert_eq!(
+            r.success, expect_ok,
+            "{ctype:?} as unprivileged user:\n{}",
+            r.log_text()
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Pinning the dispatch pipeline order the whole model depends on:
+//! LD_PRELOAD shim → seccomp → ptrace tracer → execution, and the
+//! interactions between layers when several are armed at once.
+
+use zeroroot::core::fakeroot::FakerootHook;
+use zeroroot::core::proot::ProotHook;
+use zeroroot::kernel::{ContainerConfig, ContainerType, Kernel};
+use zeroroot::seccomp::spec::zero_consistency;
+use zeroroot::syscalls::Arch;
+use zeroroot::SysExt;
+use zr_vfs::fs::Fs;
+
+fn container(k: &mut Kernel) -> u32 {
+    let mut image = Fs::new();
+    image.mkdir_p("/usr/bin", 0o755).unwrap();
+    for ino in 1..=image.inode_count() as u64 {
+        image.set_owner(ino, 1000, 1000).unwrap();
+    }
+    k.container_create(
+        Kernel::HOST_USER_PID,
+        ContainerConfig { ctype: ContainerType::TypeIII, image },
+    )
+    .unwrap()
+    .init_pid
+}
+
+#[test]
+fn preload_beats_seccomp_for_dynamic_programs() {
+    // A process with BOTH a fakeroot shim and the zero-consistency filter:
+    // the shim intercepts before the kernel ever sees the call, so the
+    // lie is the *consistent* one (stat reflects the chown).
+    let mut k = Kernel::default_kernel();
+    let pid = container(&mut k);
+    let prog = zeroroot::seccomp::compile(&zero_consistency(&[Arch::X8664])).unwrap();
+    {
+        let mut ctx = k.ctx(pid);
+        ctx.set_no_new_privs().unwrap();
+        ctx.seccomp_install(prog).unwrap();
+    }
+    k.process_mut(pid).preload_active = true;
+    k.set_preload_hook(Some(Box::new(FakerootHook::new())));
+
+    {
+        let mut ctx = k.ctx(pid);
+        ctx.write_file("/f", 0o644, vec![]).unwrap();
+        ctx.chown("/f", 42, 43).unwrap();
+        let st = ctx.stat("/f").unwrap();
+        assert_eq!((st.uid, st.gid), (42, 43), "preload answered first");
+    }
+    k.set_preload_hook(None);
+
+    // Shim gone: now the seccomp filter answers, with zero consistency.
+    {
+        let mut ctx = k.ctx(pid);
+        ctx.chown("/f", 7, 8).unwrap();
+        let st = ctx.stat("/f").unwrap();
+        assert_ne!((st.uid, st.gid), (7, 8), "filter lies without memory");
+    }
+}
+
+#[test]
+fn static_program_with_preload_falls_through_to_seccomp() {
+    let mut k = Kernel::default_kernel();
+    let pid = container(&mut k);
+    let prog = zeroroot::seccomp::compile(&zero_consistency(&[Arch::X8664])).unwrap();
+    {
+        let mut ctx = k.ctx(pid);
+        ctx.set_no_new_privs().unwrap();
+        ctx.seccomp_install(prog).unwrap();
+    }
+    k.process_mut(pid).preload_active = true;
+    k.process_mut(pid).dynamic = false; // static binary
+    k.set_preload_hook(Some(Box::new(FakerootHook::new())));
+
+    let mut ctx = k.ctx(pid);
+    ctx.write_file("/f", 0o644, vec![]).unwrap();
+    ctx.chown("/f", 42, 43).expect("seccomp fakes it");
+    let st = ctx.stat("/f").unwrap();
+    assert_eq!((st.uid, st.gid), (0, 0), "zero consistency path taken");
+}
+
+#[test]
+fn seccomp_decides_before_the_tracer_sees_anything() {
+    // With both a filter and a tracer: the filter faked the call, so the
+    // tracer's consistent state never learns about it.
+    let mut k = Kernel::default_kernel();
+    let pid = container(&mut k);
+    let prog = zeroroot::seccomp::compile(&zero_consistency(&[Arch::X8664])).unwrap();
+    {
+        let mut ctx = k.ctx(pid);
+        ctx.set_no_new_privs().unwrap();
+        ctx.seccomp_install(prog).unwrap();
+    }
+    k.process_mut(pid).traced = true;
+    k.set_tracer_hook(Some(Box::new(ProotHook::classic())));
+
+    let mut ctx = k.ctx(pid);
+    ctx.write_file("/f", 0o644, vec![]).unwrap();
+    ctx.chown("/f", 42, 43).unwrap();
+    let st = ctx.stat("/f").unwrap();
+    // stat IS intercepted by the tracer (allowed through the filter), but
+    // its overlay is empty because the chown never reached it.
+    assert_eq!((st.uid, st.gid), (0, 0));
+}
+
+#[test]
+fn hooks_do_not_outlive_teardown() {
+    let mut k = Kernel::default_kernel();
+    let pid = container(&mut k);
+    k.process_mut(pid).preload_active = true;
+    k.set_preload_hook(Some(Box::new(FakerootHook::new())));
+    {
+        let mut ctx = k.ctx(pid);
+        assert_eq!(ctx.geteuid(), 0, "shim pretends root");
+    }
+    k.set_preload_hook(None);
+    {
+        let mut ctx = k.ctx(pid);
+        assert_eq!(ctx.geteuid(), 0, "container root is mapped 0 anyway");
+        ctx.write_file("/f", 0o644, vec![]).unwrap();
+        assert!(ctx.chown("/f", 9, 9).is_err(), "no shim, no filter: honest");
+    }
+}

@@ -1,0 +1,115 @@
+//! Experiments E-fw-xattr and E-fw-idconsist: the §6 future-work items,
+//! implemented and measured, plus the unminimize "known exception".
+
+use zeroroot::{Mode, Session};
+
+/// systemd's postinst needs device nodes; its package tooling also sets
+/// privileged xattrs. Plain seccomp fakes mknod but not setxattr.
+const SYSTEMD: &str = "FROM debian:12\nRUN dpkg -i systemd && /usr/bin/true\n";
+/// A RUN that directly exercises privileged setxattr.
+const SETCAP: &str =
+    "FROM debian:12\nRUN dpkg -i hello && /usr/bin/apt-get install -y hello\n";
+const UNMINIMIZE: &str = "FROM debian:12\nRUN /usr/sbin/unminimize\n";
+
+#[test]
+fn systemd_installs_under_plain_seccomp_thanks_to_mknod_class() {
+    // mknod is in the baseline filter (§5 class 3), so the device-node
+    // part of systemd's postinst is already handled.
+    let mut s = Session::new();
+    let r = s.build(SYSTEMD, "sd", Mode::Seccomp);
+    assert!(r.success, "{}", r.log_text());
+    // The lie is visible: no device node actually exists.
+    let image = r.image.unwrap();
+    assert!(image
+        .fs
+        .resolve("/dev/null-sd", &zr_vfs::Access::root(), zr_vfs::FollowMode::Follow)
+        .is_err());
+}
+
+#[test]
+fn systemd_fails_without_emulation() {
+    let mut s = Session::new();
+    let r = s.build(SYSTEMD, "sd-none", Mode::None);
+    assert!(!r.success, "{}", r.log_text());
+    assert!(r.log_text().contains("mknod"), "{}", r.log_text());
+}
+
+#[test]
+fn xattr_widened_filter_fakes_setxattr() {
+    // Direct probe of the widened filter against a privileged xattr.
+    use zeroroot::kernel::{ContainerConfig, ContainerType, Kernel};
+    use zeroroot::SysExt;
+    use zeroroot::core::{make, PrepareEnv};
+
+    for (mode, expect_ok) in [(Mode::Seccomp, false), (Mode::SeccompXattr, true)] {
+        let mut k = Kernel::default_kernel();
+        let mut image = zr_vfs::fs::Fs::new();
+        image.mkdir_p("/usr/bin", 0o755).unwrap();
+        for ino in 1..=image.inode_count() as u64 {
+            image.set_owner(ino, 1000, 1000).unwrap();
+        }
+        let c = k
+            .container_create(
+                Kernel::HOST_USER_PID,
+                ContainerConfig { ctype: ContainerType::TypeIII, image },
+            )
+            .unwrap();
+        let strategy = make(mode);
+        strategy.prepare(&mut k, c.init_pid, &PrepareEnv::default()).unwrap();
+        let mut ctx = k.ctx(c.init_pid);
+        ctx.write_file("/bin-cap", 0o755, vec![]).unwrap();
+        let result = ctx.setxattr("/bin-cap", "security.capability", b"\x01\x00");
+        assert_eq!(result.is_ok(), expect_ok, "{mode:?}");
+    }
+}
+
+#[test]
+fn id_consistent_filter_keeps_files_zero_consistency() {
+    // The extension must not accidentally become full fakeroot.
+    let mut s = Session::new();
+    let r = s.build(
+        "FROM centos:7\nRUN yum install -y openssh\n",
+        "ids",
+        Mode::SeccompIdConsistent,
+    );
+    assert!(r.success, "{}", r.log_text());
+    let image = r.image.unwrap();
+    let st = image
+        .fs
+        .stat(
+            "/usr/libexec/openssh/ssh-keysign",
+            &zr_vfs::Access::root(),
+            zr_vfs::FollowMode::Follow,
+        )
+        .unwrap();
+    assert_eq!(st.gid, 1000, "file metadata is still honestly user-owned");
+}
+
+#[test]
+fn unminimize_is_the_known_exception() {
+    // §6: "Known exceptions are builds that call unminimize(8)" — it
+    // verifies its chowns, so simple lies get caught.
+    let mut s = Session::new();
+    let r = s.build(UNMINIMIZE, "unmin-sc", Mode::Seccomp);
+    assert!(!r.success, "{}", r.log_text());
+    assert!(r.log_text().contains("verification failed"), "{}", r.log_text());
+
+    // The consistent emulators handle it.
+    let mut s = Session::new();
+    let r = s.build(UNMINIMIZE, "unmin-pr", Mode::Proot);
+    assert!(r.success, "{}", r.log_text());
+
+    let mut s = Session::new();
+    let r = s.build(UNMINIMIZE, "unmin-fr", Mode::Fakeroot);
+    assert!(r.success, "{}", r.log_text());
+}
+
+#[test]
+fn workaround_free_debian_stack_under_id_consistency() {
+    // Both future-work items together: a Debian build with apt *and*
+    // dpkg, exec-form (no injection anywhere), succeeds.
+    let mut s = Session::new();
+    let r = s.build(SETCAP, "fw", Mode::SeccompIdConsistent);
+    assert!(r.success, "{}", r.log_text());
+    assert_eq!(r.modified_run_instructions, 0);
+}

@@ -1,0 +1,120 @@
+//! Experiment E-kexec: §5 class 4 — `kexec_load` as the filter's
+//! self-test, end to end in the simulated kernel.
+
+use zeroroot::core::{make, Mode, PrepareEnv, PrepareError};
+use zeroroot::kernel::{ContainerConfig, ContainerType, Kernel, SysError};
+use zeroroot::syscalls::{Errno, Sysno};
+use zeroroot::SysExt;
+use zr_vfs::fs::Fs;
+
+fn container(k: &mut Kernel) -> u32 {
+    let mut image = Fs::new();
+    image.mkdir_p("/etc", 0o755).unwrap();
+    for ino in 1..=image.inode_count() as u64 {
+        image.set_owner(ino, 1000, 1000).unwrap();
+    }
+    k.container_create(
+        Kernel::HOST_USER_PID,
+        ContainerConfig { ctype: ContainerType::TypeIII, image },
+    )
+    .unwrap()
+    .init_pid
+}
+
+#[test]
+fn kexec_load_fails_honestly_without_filter() {
+    let mut k = Kernel::default_kernel();
+    let pid = container(&mut k);
+    let mut ctx = k.ctx(pid);
+    assert_eq!(
+        ctx.kexec_load(),
+        Err(SysError::Errno(Errno::EPERM)),
+        "container root lacks CAP_SYS_BOOT in the initial namespace"
+    );
+}
+
+#[test]
+fn prepare_runs_the_self_test() {
+    let mut k = Kernel::default_kernel();
+    let pid = container(&mut k);
+    make(Mode::Seccomp)
+        .prepare(&mut k, pid, &PrepareEnv::default())
+        .expect("self-test passes under the filter");
+    // Exactly one kexec_load so far, and it was faked.
+    assert_eq!(k.trace.count(Sysno::KexecLoad), 1);
+    let faked = k
+        .trace
+        .filtered(|r| r.sysno == Sysno::KexecLoad)
+        .into_iter()
+        .all(|r| r.disposition == zeroroot::trace::Disposition::FakedByFilter);
+    assert!(faked);
+}
+
+#[test]
+fn self_test_failure_is_detected() {
+    // Sabotage: a filter whose kexec_load rule is missing (spec without
+    // the SelfTest class) must fail preparation.
+    use zeroroot::seccomp::spec::zero_consistency;
+    use zeroroot::syscalls::Arch;
+
+    let mut spec = zero_consistency(&Arch::ALL);
+    spec.rules.retain(|r| r.sysno != Sysno::KexecLoad);
+    let prog = zeroroot::seccomp::compile(&spec).unwrap();
+
+    let mut k = Kernel::default_kernel();
+    let pid = container(&mut k);
+    {
+        let mut ctx = k.ctx(pid);
+        ctx.set_no_new_privs().unwrap();
+        ctx.seccomp_install(prog).unwrap();
+        // The self-test a strategy would run:
+        assert_eq!(
+            ctx.kexec_load(),
+            Err(SysError::Errno(Errno::EPERM)),
+            "without the rule, the real (failing) syscall shows through"
+        );
+    }
+
+    // And the strategy surfaces that as a PrepareError on a fresh
+    // container (it compiles its own, complete filter — so to see the
+    // failure path we call prepare on a namespace where install fails:
+    // already-dead process).
+    let pid2 = container(&mut k);
+    k.process_mut(pid2).alive = false;
+    assert!(matches!(
+        make(Mode::Seccomp).prepare(&mut k, pid2, &PrepareEnv::default()),
+        Err(PrepareError::Sys(_) | PrepareError::SelfTestFailed)
+    ));
+}
+
+#[test]
+fn filters_are_irremovable_and_inherited() {
+    // §4: "once installed it cannot be removed, i.e., it binds program
+    // children whether they like it or not".
+    let mut k = Kernel::default_kernel();
+    let pid = container(&mut k);
+    make(Mode::Seccomp)
+        .prepare(&mut k, pid, &PrepareEnv::default())
+        .unwrap();
+    assert_eq!(k.process(pid).seccomp.len(), 1);
+
+    // Fork: the child carries the stack.
+    let child = k.process(pid).fork_from(0);
+    let child_pid = k.add_process(child);
+    assert_eq!(k.process(child_pid).seccomp.len(), 1);
+    {
+        let mut ctx = k.ctx(child_pid);
+        ctx.chown("/etc", 5, 5).expect("child is filtered too");
+    }
+
+    // There is no API to pop a filter — the only direction is more:
+    let prog = zeroroot::seccomp::compile(&zeroroot::seccomp::spec::zero_consistency(
+        &[zeroroot::syscalls::Arch::X8664],
+    ))
+    .unwrap();
+    {
+        let mut ctx = k.ctx(pid);
+        ctx.seccomp_install(prog).unwrap();
+    }
+    assert_eq!(k.process(pid).seccomp.len(), 2);
+}
