@@ -34,11 +34,9 @@ fn bench_package_sweep(c: &mut Criterion) {
             ("proot", Mode::Proot),
             ("proot_accel", Mode::ProotAccelerated),
         ] {
-            g.bench_with_input(
-                BenchmarkId::new(name, npkgs),
-                &npkgs,
-                |b, &npkgs| b.iter(|| install_workload(mode, npkgs)),
-            );
+            g.bench_with_input(BenchmarkId::new(name, npkgs), &npkgs, |b, &npkgs| {
+                b.iter(|| install_workload(mode, npkgs))
+            });
         }
     }
     g.finish();
@@ -55,7 +53,8 @@ fn bench_chown_stat_roundtrip(c: &mut Criterion) {
         let (mut kernel, pid, _strategy) = armed(mode);
         {
             let mut ctx = kernel.ctx(pid);
-            ctx.write_file("/probe", 0o644, b"x".to_vec()).expect("probe");
+            ctx.write_file("/probe", 0o644, b"x".to_vec())
+                .expect("probe");
         }
         g.bench_function(name, |b| {
             b.iter(|| {

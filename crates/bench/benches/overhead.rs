@@ -49,7 +49,8 @@ fn bench_emulated_chown(c: &mut Criterion) {
         let (mut kernel, pid, _strategy) = armed(mode);
         {
             let mut ctx = kernel.ctx(pid);
-            ctx.write_file("/probe", 0o644, b"x".to_vec()).expect("probe");
+            ctx.write_file("/probe", 0o644, b"x".to_vec())
+                .expect("probe");
         }
         g.bench_function(name, |b| {
             b.iter(|| {
@@ -79,18 +80,21 @@ fn bench_stacked_filters(c: &mut Criterion) {
     let mut g = c.benchmark_group("stacked_filters");
     for stack_depth in [1usize, 2, 4, 8] {
         let (mut kernel, pid, _strategy) = armed(Mode::Seccomp);
-        let prog =
-            zr_seccomp::compile(&zero_consistency(&[Arch::X8664])).expect("compiles");
+        let prog = zr_seccomp::compile(&zero_consistency(&[Arch::X8664])).expect("compiles");
         for _ in 1..stack_depth {
             let mut ctx = kernel.ctx(pid);
             ctx.seccomp_install(prog.clone()).expect("stack grows");
         }
-        g.bench_with_input(BenchmarkId::new("depth", stack_depth), &stack_depth, |b, _| {
-            b.iter(|| {
-                let mut ctx = kernel.ctx(pid);
-                black_box(ctx.getpid())
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("depth", stack_depth),
+            &stack_depth,
+            |b, _| {
+                b.iter(|| {
+                    let mut ctx = kernel.ctx(pid);
+                    black_box(ctx.getpid())
+                })
+            },
+        );
     }
     g.finish();
 }

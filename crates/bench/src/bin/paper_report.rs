@@ -26,10 +26,7 @@ fn main() {
     checks.push(Check {
         id: "F1a",
         paper: "alpine apk build succeeds with --force=none, no privileged syscalls",
-        measured: format!(
-            "success={}, privileged syscalls={priv_calls}",
-            r.success
-        ),
+        measured: format!("success={}, privileged syscalls={priv_calls}", r.success),
         pass: r.success && priv_calls == 0,
     });
 
@@ -56,10 +53,22 @@ fn main() {
 
     // ---- T1 -----------------------------------------------------------
     let counts = (
-        FILTERED.iter().filter(|f| f.class == zr_syscalls::FilterClass::FileOwnership).count(),
-        FILTERED.iter().filter(|f| f.class == zr_syscalls::FilterClass::IdentityCaps).count(),
-        FILTERED.iter().filter(|f| f.class == zr_syscalls::FilterClass::MknodDevice).count(),
-        FILTERED.iter().filter(|f| f.class == zr_syscalls::FilterClass::SelfTest).count(),
+        FILTERED
+            .iter()
+            .filter(|f| f.class == zr_syscalls::FilterClass::FileOwnership)
+            .count(),
+        FILTERED
+            .iter()
+            .filter(|f| f.class == zr_syscalls::FilterClass::IdentityCaps)
+            .count(),
+        FILTERED
+            .iter()
+            .filter(|f| f.class == zr_syscalls::FilterClass::MknodDevice)
+            .count(),
+        FILTERED
+            .iter()
+            .filter(|f| f.class == zr_syscalls::FilterClass::SelfTest)
+            .count(),
     );
     checks.push(Check {
         id: "T1",
@@ -87,7 +96,11 @@ fn main() {
     use zr_build::{BuildOptions, Builder};
     use zr_kernel::{ContainerType, Kernel};
     let mut results = Vec::new();
-    for ctype in [ContainerType::TypeI, ContainerType::TypeII, ContainerType::TypeIII] {
+    for ctype in [
+        ContainerType::TypeI,
+        ContainerType::TypeII,
+        ContainerType::TypeIII,
+    ] {
         let mut kernel = Kernel::default_kernel();
         let mut builder = Builder::new();
         let mut opts = BuildOptions::new("t", Mode::None);
@@ -109,7 +122,10 @@ fn main() {
     checks.push(Check {
         id: "E-compat",
         paper: "static binaries break LD_PRELOAD fakeroot but not seccomp/ptrace (§6.3)",
-        measured: format!("fakeroot={}, seccomp={}, proot={}", r_fr.success, r_sc.success, r_pr.success),
+        measured: format!(
+            "fakeroot={}, seccomp={}, proot={}",
+            r_fr.success, r_sc.success, r_pr.success
+        ),
         pass: !r_fr.success && r_sc.success && r_pr.success,
     });
 
@@ -138,7 +154,10 @@ fn main() {
     checks.push(Check {
         id: "E-fw",
         paper: "verifying tools (unminimize) are the known exceptions of §6",
-        measured: format!("seccomp={}, proot={}", r_unmin_sc.success, r_unmin_pr.success),
+        measured: format!(
+            "seccomp={}, proot={}",
+            r_unmin_sc.success, r_unmin_pr.success
+        ),
         pass: !r_unmin_sc.success && r_unmin_pr.success,
     });
 
@@ -146,7 +165,10 @@ fn main() {
     let mut all_ok = true;
     let mut coverage = String::new();
     for arch in Arch::ALL {
-        let mut kernel = Kernel::new(zr_kernel::KernelConfig { arch, ..Default::default() });
+        let mut kernel = Kernel::new(zr_kernel::KernelConfig {
+            arch,
+            ..Default::default()
+        });
         let mut builder = Builder::new();
         let ok = builder
             .build(&mut kernel, FIG1B, &BuildOptions::new("t", Mode::Seccomp))

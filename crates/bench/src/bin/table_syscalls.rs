@@ -14,8 +14,14 @@ fn main() {
 
     let classes = [
         (FilterClass::FileOwnership, "Class 1: file ownership"),
-        (FilterClass::IdentityCaps, "Class 2: user/group/capability manipulation"),
-        (FilterClass::MknodDevice, "Class 3: mknod/mknodat (device files only)"),
+        (
+            FilterClass::IdentityCaps,
+            "Class 2: user/group/capability manipulation",
+        ),
+        (
+            FilterClass::MknodDevice,
+            "Class 3: mknod/mknodat (device files only)",
+        ),
         (FilterClass::SelfTest, "Class 4: self-test"),
     ];
 
@@ -43,7 +49,12 @@ fn main() {
     println!("Per-architecture coverage (footnote 7: not all syscalls exist everywhere):");
     for arch in Arch::ALL {
         let present = filtered_on(arch);
-        println!("  {:<8} {:>2} of {} filtered syscalls", arch.name(), present.len(), FILTERED.len());
+        println!(
+            "  {:<8} {:>2} of {} filtered syscalls",
+            arch.name(),
+            present.len(),
+            FILTERED.len()
+        );
     }
 
     let total = FILTERED.len();

@@ -44,7 +44,10 @@ pub fn armed(mode: Mode) -> (Kernel, Pid, Box<dyn RootEmulation>) {
     let c = kernel
         .container_create(
             Kernel::HOST_USER_PID,
-            ContainerConfig { ctype: ContainerType::TypeIII, image },
+            ContainerConfig {
+                ctype: ContainerType::TypeIII,
+                image,
+            },
         )
         .expect("container");
     let strategy = make(mode);
@@ -53,7 +56,9 @@ pub fn armed(mode: Mode) -> (Kernel, Pid, Box<dyn RootEmulation>) {
         image_libc: "glibc-2.36".into(),
         host_libc: "glibc-2.36".into(),
     };
-    strategy.prepare(&mut kernel, c.init_pid, &env).expect("arm");
+    strategy
+        .prepare(&mut kernel, c.init_pid, &env)
+        .expect("arm");
     (kernel, c.init_pid, strategy)
 }
 

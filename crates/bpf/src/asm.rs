@@ -171,16 +171,15 @@ impl Assembler {
                 Pending::CondJump { code, k, jt, jf } => {
                     let jt = self.resolve(pc, *jt)?;
                     let jf = self.resolve(pc, *jf)?;
-                    let jt = u8::try_from(jt)
-                        .map_err(|_| AsmError::OffsetTooFar { pc, offset: jt })?;
-                    let jf = u8::try_from(jf)
-                        .map_err(|_| AsmError::OffsetTooFar { pc, offset: jf })?;
+                    let jt =
+                        u8::try_from(jt).map_err(|_| AsmError::OffsetTooFar { pc, offset: jt })?;
+                    let jf =
+                        u8::try_from(jf).map_err(|_| AsmError::OffsetTooFar { pc, offset: jf })?;
                     Insn::jump(*code, *k, jt, jf)
                 }
                 Pending::Jump(target) => {
                     let off = self.resolve(pc, *target)?;
-                    let k =
-                        u32::try_from(off).map_err(|_| AsmError::JaTooFar { pc })?;
+                    let k = u32::try_from(off).map_err(|_| AsmError::JaTooFar { pc })?;
                     Insn::stmt(BPF_JMP | BPF_JA, k)
                 }
             };

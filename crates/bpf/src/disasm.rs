@@ -87,7 +87,10 @@ mod tests {
 
     #[test]
     fn renders_core_forms() {
-        assert_eq!(disasm_insn(0, Insn::stmt(BPF_LD | BPF_W | BPF_ABS, 4)), "ld  [4]");
+        assert_eq!(
+            disasm_insn(0, Insn::stmt(BPF_LD | BPF_W | BPF_ABS, 4)),
+            "ld  [4]"
+        );
         assert_eq!(
             disasm_insn(0, Insn::stmt(BPF_RET | BPF_K, 0x7fff0000)),
             "ret #0x7fff0000"

@@ -116,7 +116,12 @@ pub struct Insn {
 impl Insn {
     /// Non-jump instruction (`BPF_STMT` macro).
     pub const fn stmt(code: u16, k: u32) -> Insn {
-        Insn { code, jt: 0, jf: 0, k }
+        Insn {
+            code,
+            jt: 0,
+            jf: 0,
+            k,
+        }
     }
 
     /// Conditional jump (`BPF_JUMP` macro).

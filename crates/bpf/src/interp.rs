@@ -76,7 +76,9 @@ fn load_w(data: &[u8], off: usize) -> Option<u32> {
 fn load_h(data: &[u8], off: usize) -> Option<u32> {
     let end = off.checked_add(2)?;
     let bytes = data.get(off..end)?;
-    Some(u32::from(u16::from_le_bytes(bytes.try_into().expect("2 bytes"))))
+    Some(u32::from(u16::from_le_bytes(
+        bytes.try_into().expect("2 bytes"),
+    )))
 }
 
 fn load_b(data: &[u8], off: usize) -> Option<u32> {
@@ -108,12 +110,10 @@ pub fn run_counted(prog: &Program, data: &[u8]) -> Result<(u32, u64), RunError> 
         let k = insn.k;
         match insn.code {
             // -- loads into A -------------------------------------------------
-            c if c == BPF_LD | BPF_W | BPF_ABS => {
-                match load_w(data, k as usize) {
-                    Some(v) => m.a = v,
-                    None => return Ok((0, steps)),
-                }
-            }
+            c if c == BPF_LD | BPF_W | BPF_ABS => match load_w(data, k as usize) {
+                Some(v) => m.a = v,
+                None => return Ok((0, steps)),
+            },
             c if c == BPF_LD | BPF_H | BPF_ABS => match load_h(data, k as usize) {
                 Some(v) => m.a = v,
                 None => return Ok((0, steps)),
@@ -159,10 +159,14 @@ pub fn run_counted(prog: &Program, data: &[u8]) -> Result<(u32, u64), RunError> 
 
             // -- stores --------------------------------------------------------
             c if c == BPF_ST => {
-                *m.mem.get_mut(k as usize).ok_or(RunError::BadMemSlot { pc })? = m.a;
+                *m.mem
+                    .get_mut(k as usize)
+                    .ok_or(RunError::BadMemSlot { pc })? = m.a;
             }
             c if c == BPF_STX => {
-                *m.mem.get_mut(k as usize).ok_or(RunError::BadMemSlot { pc })? = m.x;
+                *m.mem
+                    .get_mut(k as usize)
+                    .ok_or(RunError::BadMemSlot { pc })? = m.x;
             }
 
             // -- returns --------------------------------------------------------
@@ -175,9 +179,7 @@ pub fn run_counted(prog: &Program, data: &[u8]) -> Result<(u32, u64), RunError> 
 
             // -- unconditional jump --------------------------------------------
             c if c == BPF_JMP | BPF_JA => {
-                pc = pc
-                    .checked_add(1 + k as usize)
-                    .ok_or(RunError::FellOffEnd)?;
+                pc = pc.checked_add(1 + k as usize).ok_or(RunError::FellOffEnd)?;
                 continue;
             }
 

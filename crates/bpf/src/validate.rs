@@ -115,7 +115,10 @@ pub fn validate(prog: &Program) -> Result<(), ValidateError> {
 
     for (pc, insn) in insns.iter().enumerate() {
         if !opcode_ok(insn.code) {
-            return Err(ValidateError::BadOpcode { pc, code: insn.code });
+            return Err(ValidateError::BadOpcode {
+                pc,
+                code: insn.code,
+            });
         }
 
         match insn.code & 0x07 {
@@ -147,10 +150,7 @@ pub fn validate(prog: &Program) -> Result<(), ValidateError> {
             }
             BPF_ALU => {
                 let op = insn.code & 0xf0;
-                if (op == BPF_DIV || op == BPF_MOD)
-                    && insn.code & BPF_X == 0
-                    && insn.k == 0
-                {
+                if (op == BPF_DIV || op == BPF_MOD) && insn.code & BPF_X == 0 && insn.k == 0 {
                     return Err(ValidateError::DivisionByZero { pc });
                 }
             }
@@ -188,10 +188,7 @@ mod tests {
     #[test]
     fn oversized_rejected() {
         let prog = Program::new(vec![ret(0); BPF_MAXINSNS + 1]);
-        assert!(matches!(
-            validate(&prog),
-            Err(ValidateError::BadLength(_))
-        ));
+        assert!(matches!(validate(&prog), Err(ValidateError::BadLength(_))));
     }
 
     #[test]
@@ -211,10 +208,7 @@ mod tests {
 
     #[test]
     fn jump_past_end_rejected() {
-        let prog = Program::new(vec![
-            Insn::jump(BPF_JMP | BPF_JEQ | BPF_K, 0, 5, 0),
-            ret(0),
-        ]);
+        let prog = Program::new(vec![Insn::jump(BPF_JMP | BPF_JEQ | BPF_K, 0, 5, 0), ret(0)]);
         assert_eq!(
             validate(&prog),
             Err(ValidateError::JumpOutOfRange { pc: 0 })

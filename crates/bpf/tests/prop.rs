@@ -33,14 +33,12 @@ fn arb_insn(len: usize) -> impl Strategy<Value = Insn> {
         Just(BPF_MISC | BPF_TXA),
         any::<u16>(), // garbage opcodes too
     ];
-    (codes, 0..=(len as u32 + 4), any::<u8>(), any::<u8>()).prop_map(
-        |(code, k, jt, jf)| Insn {
-            code,
-            jt,
-            jf,
-            k: k % 64, // keep jumps/slots plausible so some programs validate
-        },
-    )
+    (codes, 0..=(len as u32 + 4), any::<u8>(), any::<u8>()).prop_map(|(code, k, jt, jf)| Insn {
+        code,
+        jt,
+        jf,
+        k: k % 64, // keep jumps/slots plausible so some programs validate
+    })
 }
 
 fn arb_program() -> impl Strategy<Value = Program> {

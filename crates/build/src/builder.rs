@@ -1,0 +1,638 @@
+//! The instruction-driven build loop.
+//!
+//! Mirrors `ch-image build`: parse, pull the base, set up an (almost
+//! always Type III) container, then walk the instructions. Every `RUN`
+//! is bracketed by `RootEmulation::prepare` / `teardown` — the
+//! `--force` hook the paper adds to Charliecloud — and its console
+//! output is folded into the build log, so the published Figure 1/2
+//! transcripts fall out of `log_text()` verbatim.
+
+use crate::options::BuildOptions;
+use crate::result::{BuildError, BuildResult};
+use zeroroot_core::{make, Mode, PrepareEnv};
+use zr_dockerfile::{parse, substitute, CopySpec, Dockerfile, Instruction};
+use zr_image::{Image, ImageMeta, ImageRef, ImageStore, Registry};
+use zr_kernel::container::Container;
+use zr_kernel::{ContainerConfig, Kernel, SysExt};
+use zr_pkg::install::{extract_package, ChownBehavior};
+use zr_pkg::register::{register_image_binaries, repo_for};
+use zr_shell::inject_apt_workaround;
+use zr_vfs::access::Access;
+use zr_vfs::fs::FollowMode;
+use zr_vfs::path::{join, split_parent};
+
+/// The current build stage: one container plus its evolving metadata.
+struct Stage {
+    container: Container,
+    meta: ImageMeta,
+    /// ENV state (image defaults + ENV instructions; later entries win).
+    env: Vec<(String, String)>,
+    /// The SHELL prefix RUN shell-form commands run under.
+    shell: Vec<String>,
+}
+
+/// The image builder: local store plus a registry client, reused across
+/// builds (pulls accumulate in `registry.pulls`).
+#[derive(Debug, Default)]
+pub struct Builder {
+    /// Built and pulled images, by tag.
+    pub store: ImageStore,
+    /// The registry simulator.
+    pub registry: Registry,
+}
+
+impl Builder {
+    /// A builder with an empty store.
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Build `dockerfile` under `opts` on the given kernel. Never panics
+    /// on user input: failures come back as a failed [`BuildResult`]
+    /// whose log ends with `error: build failed: ...`, like the paper's
+    /// Figure 1b transcript.
+    pub fn build(
+        &mut self,
+        kernel: &mut Kernel,
+        dockerfile: &str,
+        opts: &BuildOptions,
+    ) -> BuildResult {
+        let mut log = Vec::new();
+        let mut modified = 0u32;
+        let outcome = self.run(kernel, dockerfile, opts, &mut log, &mut modified);
+        match outcome {
+            Ok(image) => {
+                self.store.save(&opts.tag, image.clone());
+                BuildResult {
+                    success: true,
+                    log,
+                    image: Some(image),
+                    modified_run_instructions: modified,
+                    tag: opts.tag.clone(),
+                    error: None,
+                }
+            }
+            Err(error) => {
+                log.push(format!("error: build failed: {error}"));
+                BuildResult {
+                    success: false,
+                    log,
+                    image: None,
+                    modified_run_instructions: modified,
+                    tag: opts.tag.clone(),
+                    error: Some(error),
+                }
+            }
+        }
+    }
+
+    fn run(
+        &mut self,
+        kernel: &mut Kernel,
+        dockerfile: &str,
+        opts: &BuildOptions,
+        log: &mut Vec<String>,
+        modified: &mut u32,
+    ) -> Result<Image, BuildError> {
+        let df: Dockerfile = parse(dockerfile).map_err(BuildError::Parse)?;
+        if df.base_image().is_none() {
+            return Err(BuildError::MissingFrom {
+                keyword: "build".into(),
+            });
+        }
+
+        let mut stage: Option<Stage> = None;
+        // ARG values; consulted by substitution and exported to RUN.
+        let mut args: Vec<(String, String)> = Vec::new();
+
+        for (idx, (_, instruction)) in df.instructions.iter().enumerate() {
+            let n = idx + 1;
+            match instruction {
+                Instruction::From { image, alias } => {
+                    let reference = subst_with(image, &stage, &args);
+                    match alias {
+                        Some(a) => log.push(format!("{n}* FROM {reference} AS {a}")),
+                        None => log.push(format!("{n}* FROM {reference}")),
+                    }
+                    if self.store.contains(&opts.tag) {
+                        log.push(format!("updating existing image: {}", opts.tag));
+                    }
+                    stage = Some(self.start_stage(kernel, &reference, opts)?);
+                }
+                Instruction::Env(pairs) => {
+                    let stage_ref = stage.as_mut().ok_or_else(|| missing_from("ENV"))?;
+                    let mut shown = Vec::new();
+                    for (key, value) in pairs {
+                        let value = substitute(value, &lookup_fn(&stage_ref.env, &args));
+                        shown.push(format!("{key}={value}"));
+                        stage_ref.env.push((key.clone(), value.clone()));
+                        stage_ref.meta.env.push((key.clone(), value));
+                    }
+                    log.push(format!("{n}. ENV {}", shown.join(" ")));
+                }
+                Instruction::Arg { name, default } => {
+                    let supplied = opts
+                        .build_args
+                        .iter()
+                        .rev()
+                        .find(|(k, _)| k == name)
+                        .map(|(_, v)| v.clone());
+                    let value = match (supplied, default) {
+                        (Some(v), _) => v,
+                        (None, Some(d)) => subst_with(d, &stage, &args),
+                        (None, None) => String::new(),
+                    };
+                    log.push(format!("{n}. ARG {name}={value}"));
+                    args.push((name.clone(), value));
+                }
+                Instruction::Workdir(path) => {
+                    let stage_ref = stage.as_mut().ok_or_else(|| missing_from("WORKDIR"))?;
+                    let path = substitute(path, &lookup_fn(&stage_ref.env, &args));
+                    log.push(format!("{n}. WORKDIR {path}"));
+                    let pid = stage_ref.container.init_pid;
+                    let mut ctx = kernel.ctx(pid);
+                    let absolute = join(&ctx.getcwd(), &path);
+                    ctx.mkdir_p(&absolute, 0o755)
+                        .and_then(|()| ctx.chdir(&absolute))
+                        .map_err(|e| BuildError::Instruction {
+                            instruction: n as u32,
+                            message: format!("WORKDIR {path}: {e}"),
+                        })?;
+                }
+                Instruction::User(spec) => {
+                    // A Type III namespace maps exactly one id; USER is
+                    // recorded but cannot change identity (§2).
+                    log.push(format!("{n}. USER {spec}"));
+                    if spec != "root" && spec != "0" {
+                        log.push("warning: USER ignored (single-id namespace)".into());
+                    }
+                }
+                Instruction::Label(pairs) => {
+                    let shown: Vec<String> =
+                        pairs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                    log.push(format!("{n}. LABEL {}", shown.join(" ")));
+                }
+                Instruction::Copy(spec) | Instruction::Add(spec) => {
+                    let stage_ref = stage.as_mut().ok_or_else(|| missing_from("COPY"))?;
+                    log.push(format!(
+                        "{n}. {} {} -> {}",
+                        instruction.keyword(),
+                        spec.sources.join(" "),
+                        spec.dest
+                    ));
+                    copy_into_stage(kernel, stage_ref, opts, spec, n as u32, &args)?;
+                }
+                Instruction::Entrypoint(argv) => {
+                    log.push(format!("{n}. ENTRYPOINT {argv:?}"));
+                }
+                Instruction::Cmd(argv) => {
+                    log.push(format!("{n}. CMD {argv:?}"));
+                }
+                Instruction::Shell(argv) => {
+                    let stage_ref = stage.as_mut().ok_or_else(|| missing_from("SHELL"))?;
+                    log.push(format!("{n}. SHELL {argv:?}"));
+                    if argv.is_empty() {
+                        return Err(BuildError::Instruction {
+                            instruction: n as u32,
+                            message: "SHELL requires at least one argument".into(),
+                        });
+                    }
+                    stage_ref.shell = argv.clone();
+                }
+                Instruction::NoOp { keyword, args: raw } => {
+                    log.push(format!("{n}. {keyword} {raw}"));
+                }
+                Instruction::RunShell(_) | Instruction::RunExec(_) => {
+                    let stage_ref = stage.as_mut().ok_or_else(|| missing_from("RUN"))?;
+                    self.run_instruction(
+                        kernel,
+                        stage_ref,
+                        opts,
+                        instruction,
+                        n as u32,
+                        &args,
+                        log,
+                        modified,
+                    )?;
+                }
+            }
+            // Fold any console output the instruction produced into the
+            // build log (package-manager transcripts, shell errors, ...).
+            log.extend(kernel.take_console());
+        }
+
+        let stage = stage.ok_or_else(|| missing_from("build"))?;
+        if matches!(opts.force, Mode::Seccomp | Mode::SeccompXattr) {
+            let flag = make(opts.force).flag();
+            log.push(format!(
+                "--force={flag}: modified {modified} RUN instructions"
+            ));
+        }
+        log.push(format!("grown in {} instructions: {}", df.len(), opts.tag));
+
+        let mut meta = stage.meta;
+        meta.tag = opts.tag.clone();
+        let fs = kernel.fs(stage.container.fs).clone();
+        Ok(Image { meta, fs })
+    }
+
+    /// FROM: pull, re-own as the unprivileged unpacking user, register
+    /// program behaviours, and set up the container.
+    fn start_stage(
+        &mut self,
+        kernel: &mut Kernel,
+        reference: &str,
+        opts: &BuildOptions,
+    ) -> Result<Stage, BuildError> {
+        let image_ref = ImageRef::parse(reference).ok_or_else(|| BuildError::Pull {
+            reference: reference.into(),
+            errno: zr_syscalls::Errno::EINVAL,
+        })?;
+        let mut image = self
+            .registry
+            .pull(&image_ref)
+            .map_err(|errno| BuildError::Pull {
+                reference: reference.into(),
+                errno,
+            })?;
+
+        // Unprivileged unpack: every inode becomes the builder's
+        // (Charliecloud storage model; the single-id map then shows the
+        // tree as root-owned inside the container).
+        image.chown_all(kernel.config.host_uid, kernel.config.host_gid);
+        register_image_binaries(kernel, &image.meta);
+
+        let container = kernel
+            .container_create(
+                Kernel::HOST_USER_PID,
+                ContainerConfig {
+                    ctype: opts.container_type,
+                    image: image.fs,
+                },
+            )
+            .map_err(|errno| BuildError::ContainerSetup {
+                ctype: opts.container_type,
+                errno,
+            })?;
+
+        let env = image.meta.env.clone();
+        Ok(Stage {
+            container,
+            meta: image.meta,
+            env,
+            shell: vec!["/bin/sh".into(), "-c".into()],
+        })
+    }
+
+    /// One RUN instruction: arm the strategy, exec, fold output, disarm.
+    #[allow(clippy::too_many_arguments)] // internal; bundling hurts call sites
+    fn run_instruction(
+        &mut self,
+        kernel: &mut Kernel,
+        stage: &mut Stage,
+        opts: &BuildOptions,
+        instruction: &Instruction,
+        n: u32,
+        args: &[(String, String)],
+        log: &mut Vec<String>,
+        modified: &mut u32,
+    ) -> Result<(), BuildError> {
+        let strategy = make(opts.force);
+        let pid = stage.container.init_pid;
+
+        // ch-image's --force=fakeroot config step: if the image has no
+        // fakeroot but its distro repo ships one, install it first.
+        let mut fakeroot_present = has_fakeroot(kernel, stage);
+        if opts.force == Mode::Fakeroot && !fakeroot_present {
+            if let Some(pkg) = repo_for(stage.meta.distro).get("fakeroot") {
+                log.push("--force=fakeroot: installing fakeroot into image".into());
+                let mut ctx = kernel.ctx(pid);
+                if extract_package(&mut ctx, pkg, ChownBehavior::SkipIfMatching).is_ok() {
+                    fakeroot_present = true;
+                }
+            }
+        }
+
+        let prepare_env = PrepareEnv {
+            fakeroot_in_image: fakeroot_present,
+            image_libc: stage.meta.libc.clone(),
+            host_libc: opts.host_libc.clone(),
+        };
+        strategy
+            .prepare(kernel, pid, &prepare_env)
+            .map_err(|error| BuildError::Prepare {
+                flag: strategy.flag(),
+                error,
+            })?;
+
+        // Assemble argv. Shell-form commands may get the §5 apt
+        // workaround spliced in (zero-consistency modes only); the log
+        // shows the original text, as ch-image does.
+        let (display, path, argv) = match instruction {
+            Instruction::RunShell(cmd) => {
+                let mut executed = cmd.clone();
+                if matches!(opts.force, Mode::Seccomp | Mode::SeccompXattr) {
+                    let (injected, changed) = inject_apt_workaround(cmd);
+                    if changed {
+                        *modified += 1;
+                        executed = injected;
+                    }
+                }
+                let mut argv = stage.shell.clone();
+                argv.push(executed);
+                (cmd.clone(), stage.shell[0].clone(), argv)
+            }
+            Instruction::RunExec(argv) => (
+                argv.join(" "),
+                argv.first().cloned().unwrap_or_default(),
+                argv.clone(),
+            ),
+            _ => unreachable!("caller matched RUN forms"),
+        };
+        log.push(format!("{n}. {} {display}", strategy.run_marker()));
+
+        let mut run_env: Vec<(String, String)> = args.to_vec();
+        run_env.extend(stage.env.iter().cloned());
+
+        let status = kernel.exec_in(pid, &path, argv, run_env);
+        log.extend(kernel.take_console());
+        strategy.teardown(kernel);
+
+        match status {
+            Ok(0) => Ok(()),
+            Ok(status) => Err(BuildError::RunFailed {
+                instruction: n,
+                status,
+            }),
+            Err(errno) => Err(BuildError::Instruction {
+                instruction: n,
+                message: format!("cannot execute '{path}': {errno}"),
+            }),
+        }
+    }
+}
+
+/// COPY/ADD: write context files into the stage filesystem.
+fn copy_into_stage(
+    kernel: &mut Kernel,
+    stage: &mut Stage,
+    opts: &BuildOptions,
+    spec: &CopySpec,
+    n: u32,
+    args: &[(String, String)],
+) -> Result<(), BuildError> {
+    if spec.from.is_some() {
+        return Err(BuildError::Instruction {
+            instruction: n,
+            message: "COPY --from: multi-stage copies are not supported yet".into(),
+        });
+    }
+    let pid = stage.container.init_pid;
+    let dest = substitute(&spec.dest, &lookup_fn(&stage.env, args));
+    let dir_like = dest.ends_with('/') || spec.sources.len() > 1;
+
+    let mut written = Vec::new();
+    for source in &spec.sources {
+        let source = substitute(source, &lookup_fn(&stage.env, args));
+        let data = opts
+            .context
+            .iter()
+            .find(|(name, _)| *name == source)
+            .map(|(_, data)| data.clone())
+            .ok_or_else(|| BuildError::Instruction {
+                instruction: n,
+                message: format!("COPY: {source}: not found in build context"),
+            })?;
+        let target = if dir_like {
+            format!("{}/{}", dest.trim_end_matches('/'), source)
+        } else {
+            dest.clone()
+        };
+        let mut ctx = kernel.ctx(pid);
+        let absolute = join(&ctx.getcwd(), &target);
+        if let Some((parent, _)) = split_parent(&absolute) {
+            ctx.mkdir_p(&parent, 0o755)
+                .map_err(|e| BuildError::Instruction {
+                    instruction: n,
+                    message: format!("COPY: {parent}: {e}"),
+                })?;
+        }
+        ctx.write_file(&absolute, 0o644, data)
+            .map_err(|e| BuildError::Instruction {
+                instruction: n,
+                message: format!("COPY: {absolute}: {e}"),
+            })?;
+        written.push(absolute);
+    }
+
+    // --chown: builder-side layer metadata, applied directly to storage
+    // (numeric ids; an unprivileged builder has no passwd to consult).
+    if let Some(owner) = &spec.chown {
+        let (uid, gid) = parse_numeric_owner(owner).ok_or_else(|| BuildError::Instruction {
+            instruction: n,
+            message: format!("COPY --chown={owner}: numeric uid[:gid] required"),
+        })?;
+        let fsid = stage.container.fs;
+        for path in &written {
+            let ino = kernel
+                .fs(fsid)
+                .resolve(path, &Access::root(), FollowMode::Follow)
+                .map_err(|e| BuildError::Instruction {
+                    instruction: n,
+                    message: format!("COPY --chown: {path}: {e}"),
+                })?;
+            kernel
+                .fs_mut(fsid)
+                .set_owner(ino, uid, gid)
+                .map_err(|e| BuildError::Instruction {
+                    instruction: n,
+                    message: format!("COPY --chown: {path}: {e}"),
+                })?;
+        }
+    }
+    Ok(())
+}
+
+/// `uid[:gid]` with numeric components.
+fn parse_numeric_owner(spec: &str) -> Option<(u32, u32)> {
+    match spec.split_once(':') {
+        Some((u, g)) => Some((u.parse().ok()?, g.parse().ok()?)),
+        None => {
+            let uid = spec.parse().ok()?;
+            Some((uid, uid))
+        }
+    }
+}
+
+/// Does the stage filesystem carry a fakeroot binary?
+fn has_fakeroot(kernel: &Kernel, stage: &Stage) -> bool {
+    stage.meta.has_fakeroot()
+        || kernel
+            .fs(stage.container.fs)
+            .resolve("/usr/bin/fakeroot", &Access::root(), FollowMode::Follow)
+            .is_ok()
+}
+
+/// Substitution lookup over ENV (wins) then ARG values.
+fn lookup_fn<'a>(
+    env: &'a [(String, String)],
+    args: &'a [(String, String)],
+) -> impl Fn(&str) -> Option<String> + 'a {
+    move |name: &str| {
+        env.iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .or_else(|| args.iter().rev().find(|(k, _)| k == name))
+            .map(|(_, v)| v.clone())
+    }
+}
+
+/// Substitute against an optional stage's env + ARGs.
+fn subst_with(text: &str, stage: &Option<Stage>, args: &[(String, String)]) -> String {
+    static EMPTY: Vec<(String, String)> = Vec::new();
+    let env = stage.as_ref().map_or(&EMPTY[..], |s| &s.env[..]);
+    substitute(text, &lookup_fn(env, args))
+}
+
+fn missing_from(keyword: &str) -> BuildError {
+    BuildError::MissingFrom {
+        keyword: keyword.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(dockerfile: &str, mode: Mode) -> (BuildResult, Kernel) {
+        let mut kernel = Kernel::default_kernel();
+        let mut builder = Builder::new();
+        let result = builder.build(&mut kernel, dockerfile, &BuildOptions::new("t", mode));
+        (result, kernel)
+    }
+
+    #[test]
+    fn empty_dockerfile_fails_cleanly() {
+        let (r, _) = build("", Mode::None);
+        assert!(!r.success);
+        assert!(
+            r.log_text().contains("error: build failed"),
+            "{}",
+            r.log_text()
+        );
+    }
+
+    #[test]
+    fn unknown_base_image_fails_cleanly() {
+        let (r, _) = build("FROM nosuch:1\n", Mode::None);
+        assert!(!r.success);
+        assert!(
+            r.log_text().contains("cannot pull nosuch:1"),
+            "{}",
+            r.log_text()
+        );
+    }
+
+    #[test]
+    fn parse_error_is_reported() {
+        let (r, _) = build("RUN before-from\n", Mode::None);
+        assert!(!r.success);
+    }
+
+    #[test]
+    fn env_and_arg_substitution_reaches_run() {
+        let df = "FROM alpine:3.19\nARG WHO=world\nENV GREETING=hello\n\
+                  RUN echo $GREETING $WHO > /out\n";
+        let (r, k) = build(df, Mode::None);
+        assert!(r.success, "{}", r.log_text());
+        let image = r.image.unwrap();
+        let data = image.fs.read_file("/out", &Access::root()).unwrap();
+        assert_eq!(String::from_utf8(data).unwrap(), "hello world\n");
+        drop(k);
+    }
+
+    #[test]
+    fn copy_places_context_files() {
+        let mut kernel = Kernel::default_kernel();
+        let mut builder = Builder::new();
+        let mut opts = BuildOptions::new("t", Mode::None);
+        opts.context = vec![("app.conf".into(), b"key=value\n".to_vec())];
+        let r = builder.build(
+            &mut kernel,
+            "FROM alpine:3.19\nWORKDIR /srv\nCOPY app.conf conf/\n",
+            &opts,
+        );
+        assert!(r.success, "{}", r.log_text());
+        let image = r.image.unwrap();
+        let data = image
+            .fs
+            .read_file("/srv/conf/app.conf", &Access::root())
+            .unwrap();
+        assert_eq!(data, b"key=value\n");
+    }
+
+    #[test]
+    fn copy_missing_source_fails() {
+        let (r, _) = {
+            let mut kernel = Kernel::default_kernel();
+            let mut builder = Builder::new();
+            let r = builder.build(
+                &mut kernel,
+                "FROM alpine:3.19\nCOPY nope /x\n",
+                &BuildOptions::new("t", Mode::None),
+            );
+            (r, kernel)
+        };
+        assert!(!r.success);
+        assert!(
+            r.log_text().contains("not found in build context"),
+            "{}",
+            r.log_text()
+        );
+    }
+
+    #[test]
+    fn built_image_lands_in_store() {
+        let mut kernel = Kernel::default_kernel();
+        let mut builder = Builder::new();
+        let r = builder.build(
+            &mut kernel,
+            "FROM alpine:3.19\nRUN true\n",
+            &BuildOptions::new("stored", Mode::None),
+        );
+        assert!(r.success, "{}", r.log_text());
+        assert!(builder.store.contains("stored"));
+        assert_eq!(builder.store.get("stored").unwrap().meta.tag, "stored");
+    }
+
+    #[test]
+    fn exec_form_bypasses_the_shell() {
+        let df = "FROM debian:12\nRUN [\"/usr/bin/true\"]\n";
+        let (r, _) = build(df, Mode::None);
+        assert!(r.success, "{}", r.log_text());
+    }
+
+    #[test]
+    fn run_before_from_is_an_error() {
+        let (r, _) = build("ARG A=1\nRUN true\n", Mode::None);
+        assert!(!r.success);
+    }
+
+    #[test]
+    fn empty_shell_instruction_fails_cleanly() {
+        let (r, _) = build("FROM alpine:3.19\nSHELL []\nRUN true\n", Mode::None);
+        assert!(!r.success);
+        assert!(
+            r.log_text()
+                .contains("SHELL requires at least one argument"),
+            "{}",
+            r.log_text()
+        );
+    }
+
+    #[test]
+    fn empty_exec_form_run_fails_cleanly() {
+        let (r, _) = build("FROM alpine:3.19\nRUN []\n", Mode::None);
+        assert!(!r.success, "{}", r.log_text());
+    }
+}

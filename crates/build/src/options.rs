@@ -1,0 +1,62 @@
+//! Build configuration (`ch-image build`'s flag surface).
+
+use zeroroot_core::Mode;
+use zr_kernel::ContainerType;
+
+/// Options for one build, mirroring `ch-image build -t TAG --force=MODE`.
+#[derive(Debug, Clone)]
+pub struct BuildOptions {
+    /// Destination tag in the image store (`-t`).
+    pub tag: String,
+    /// Root-emulation strategy for RUN instructions (`--force=`).
+    pub force: Mode,
+    /// Build context: flat (file name, contents) pairs COPY/ADD read.
+    pub context: Vec<(String, Vec<u8>)>,
+    /// Container type RUN instructions execute in. The paper's setting —
+    /// and the only type an unprivileged builder can set up — is
+    /// [`ContainerType::TypeIII`].
+    pub container_type: ContainerType,
+    /// `--build-arg NAME=VALUE` pairs overriding ARG defaults.
+    pub build_args: Vec<(String, String)>,
+    /// Host libc identity, checked by bind-mounted emulators
+    /// (`--force=fakeroot-bind`).
+    pub host_libc: String,
+}
+
+impl Default for BuildOptions {
+    fn default() -> BuildOptions {
+        BuildOptions {
+            tag: "img".into(),
+            force: Mode::None,
+            context: Vec::new(),
+            container_type: ContainerType::TypeIII,
+            build_args: Vec::new(),
+            host_libc: "glibc-2.36".into(),
+        }
+    }
+}
+
+impl BuildOptions {
+    /// Options with a tag and a `--force` mode; everything else default.
+    pub fn new(tag: &str, force: Mode) -> BuildOptions {
+        BuildOptions {
+            tag: tag.into(),
+            force,
+            ..BuildOptions::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sets_tag_and_mode() {
+        let o = BuildOptions::new("win", Mode::Seccomp);
+        assert_eq!(o.tag, "win");
+        assert_eq!(o.force, Mode::Seccomp);
+        assert_eq!(o.container_type, ContainerType::TypeIII);
+        assert!(o.context.is_empty());
+    }
+}

@@ -22,7 +22,9 @@ fn usage() -> ExitCode {
     eprintln!("       zr-image table");
     eprintln!("       zr-image list");
     eprintln!();
-    eprintln!("modes: none seccomp seccomp+xattr seccomp+ids fakeroot fakeroot-bind proot proot-accel");
+    eprintln!(
+        "modes: none seccomp seccomp+xattr seccomp+ids fakeroot fakeroot-bind proot proot-accel"
+    );
     ExitCode::from(2)
 }
 
@@ -122,7 +124,12 @@ fn cmd_build(args: &[String]) -> ExitCode {
 
     let mut kernel = Kernel::default_kernel();
     let mut builder = Builder::new();
-    let opts = BuildOptions { tag, force, context, ..BuildOptions::default() };
+    let opts = BuildOptions {
+        tag,
+        force,
+        context,
+        ..BuildOptions::default()
+    };
     let result = builder.build(&mut kernel, &dockerfile, &opts);
     for line in &result.log {
         println!("{line}");

@@ -15,7 +15,7 @@
 //! * [`Provisioning::BindMountedFromHost`] (Apptainer): no in-image
 //!   install needed, but the host and image libc must match.
 
-use crossbeam::channel::{bounded, Sender};
+use std::sync::mpsc::{sync_channel, SyncSender};
 use std::thread::JoinHandle;
 
 use crate::interpose::{emulate_call, FakeIds, OverlayStore};
@@ -29,22 +29,52 @@ use zr_vfs::inode::Stat;
 // ---------------------------------------------------------------------
 
 enum DbReq {
-    SetOwner { ino: u64, uid: Option<u32>, gid: Option<u32> },
-    SetPerm { ino: u64, perm: u32 },
-    SetDevice { ino: u64, type_bits: u32, dev: u64 },
-    SetXattr { ino: u64, name: String, value: Vec<u8> },
-    GetXattr { ino: u64, name: String, reply: Sender<Option<Vec<u8>>> },
-    RemoveXattr { ino: u64, name: String, reply: Sender<bool> },
-    OverlayStat { st: Stat, reply: Sender<Stat> },
-    Forget { ino: u64 },
-    Len { reply: Sender<usize> },
+    SetOwner {
+        ino: u64,
+        uid: Option<u32>,
+        gid: Option<u32>,
+    },
+    SetPerm {
+        ino: u64,
+        perm: u32,
+    },
+    SetDevice {
+        ino: u64,
+        type_bits: u32,
+        dev: u64,
+    },
+    SetXattr {
+        ino: u64,
+        name: String,
+        value: Vec<u8>,
+    },
+    GetXattr {
+        ino: u64,
+        name: String,
+        reply: SyncSender<Option<Vec<u8>>>,
+    },
+    RemoveXattr {
+        ino: u64,
+        name: String,
+        reply: SyncSender<bool>,
+    },
+    OverlayStat {
+        st: Stat,
+        reply: SyncSender<Stat>,
+    },
+    Forget {
+        ino: u64,
+    },
+    Len {
+        reply: SyncSender<usize>,
+    },
     Shutdown,
 }
 
 /// The state-keeping daemon: a thread owning the [`StateDb`], spoken to
 /// over channels — the faked-environment "single source of lies".
 pub struct FakerootDaemon {
-    tx: Sender<DbReq>,
+    tx: SyncSender<DbReq>,
     handle: Option<JoinHandle<()>>,
     /// Round trips performed (mirrors into kernel counters at teardown).
     pub round_trips: u64,
@@ -53,16 +83,18 @@ pub struct FakerootDaemon {
 impl FakerootDaemon {
     /// Spawn the daemon thread.
     pub fn spawn() -> FakerootDaemon {
-        let (tx, rx) = bounded::<DbReq>(0); // rendezvous: a true round trip
+        let (tx, rx) = sync_channel::<DbReq>(0); // rendezvous: a true round trip
         let handle = std::thread::spawn(move || {
             let mut db = StateDb::new();
             while let Ok(req) = rx.recv() {
                 match req {
                     DbReq::SetOwner { ino, uid, gid } => db.set_owner(ino, uid, gid),
                     DbReq::SetPerm { ino, perm } => db.set_perm(ino, perm),
-                    DbReq::SetDevice { ino, type_bits, dev } => {
-                        db.set_device(ino, type_bits, dev)
-                    }
+                    DbReq::SetDevice {
+                        ino,
+                        type_bits,
+                        dev,
+                    } => db.set_device(ino, type_bits, dev),
                     DbReq::SetXattr { ino, name, value } => db.set_xattr(ino, &name, value),
                     DbReq::GetXattr { ino, name, reply } => {
                         let _ = reply.send(db.get_xattr(ino, &name));
@@ -81,7 +113,11 @@ impl FakerootDaemon {
                 }
             }
         });
-        FakerootDaemon { tx, handle: Some(handle), round_trips: 0 }
+        FakerootDaemon {
+            tx,
+            handle: Some(handle),
+            round_trips: 0,
+        }
     }
 
     fn send(&mut self, req: DbReq) {
@@ -91,7 +127,7 @@ impl FakerootDaemon {
 
     /// Entries currently in the daemon's database.
     pub fn db_len(&mut self) -> usize {
-        let (rtx, rrx) = bounded(1);
+        let (rtx, rrx) = sync_channel(1);
         self.send(DbReq::Len { reply: rtx });
         rrx.recv().expect("daemon replies")
     }
@@ -105,23 +141,39 @@ impl OverlayStore for FakerootDaemon {
         self.send(DbReq::SetPerm { ino, perm });
     }
     fn set_device(&mut self, ino: u64, type_bits: u32, dev: u64) {
-        self.send(DbReq::SetDevice { ino, type_bits, dev });
+        self.send(DbReq::SetDevice {
+            ino,
+            type_bits,
+            dev,
+        });
     }
     fn set_xattr(&mut self, ino: u64, name: &str, value: Vec<u8>) {
-        self.send(DbReq::SetXattr { ino, name: name.into(), value });
+        self.send(DbReq::SetXattr {
+            ino,
+            name: name.into(),
+            value,
+        });
     }
     fn get_xattr(&mut self, ino: u64, name: &str) -> Option<Vec<u8>> {
-        let (rtx, rrx) = bounded(1);
-        self.send(DbReq::GetXattr { ino, name: name.into(), reply: rtx });
+        let (rtx, rrx) = sync_channel(1);
+        self.send(DbReq::GetXattr {
+            ino,
+            name: name.into(),
+            reply: rtx,
+        });
         rrx.recv().expect("daemon replies")
     }
     fn remove_xattr(&mut self, ino: u64, name: &str) -> bool {
-        let (rtx, rrx) = bounded(1);
-        self.send(DbReq::RemoveXattr { ino, name: name.into(), reply: rtx });
+        let (rtx, rrx) = sync_channel(1);
+        self.send(DbReq::RemoveXattr {
+            ino,
+            name: name.into(),
+            reply: rtx,
+        });
         rrx.recv().expect("daemon replies")
     }
     fn overlay_stat(&mut self, st: Stat) -> Stat {
-        let (rtx, rrx) = bounded(1);
+        let (rtx, rrx) = sync_channel(1);
         self.send(DbReq::OverlayStat { st, reply: rtx });
         rrx.recv().expect("daemon replies")
     }
@@ -153,7 +205,10 @@ pub struct FakerootHook {
 impl FakerootHook {
     /// Shim plus freshly spawned daemon.
     pub fn new() -> FakerootHook {
-        FakerootHook { daemon: FakerootDaemon::spawn(), ids: FakeIds::default() }
+        FakerootHook {
+            daemon: FakerootDaemon::spawn(),
+            ids: FakeIds::default(),
+        }
     }
 }
 
@@ -275,14 +330,20 @@ mod tests {
         let c = k
             .container_create(
                 Kernel::HOST_USER_PID,
-                ContainerConfig { ctype: ContainerType::TypeIII, image },
+                ContainerConfig {
+                    ctype: ContainerType::TypeIII,
+                    image,
+                },
             )
             .unwrap();
         (k, c.init_pid)
     }
 
     fn armed_env() -> PrepareEnv {
-        PrepareEnv { fakeroot_in_image: true, ..PrepareEnv::default() }
+        PrepareEnv {
+            fakeroot_in_image: true,
+            ..PrepareEnv::default()
+        }
     }
 
     #[test]

@@ -145,9 +145,12 @@ pub fn emulate_call(
         SysCall::Lchown { path, uid, gid } => {
             Some(emulate_chown(k, pid, store, path, *uid, *gid, false))
         }
-        SysCall::Fchownat { path, uid, gid, nofollow } => {
-            Some(emulate_chown(k, pid, store, path, *uid, *gid, !nofollow))
-        }
+        SysCall::Fchownat {
+            path,
+            uid,
+            gid,
+            nofollow,
+        } => Some(emulate_chown(k, pid, store, path, *uid, *gid, !nofollow)),
         SysCall::Chmod { path, perm } => Some(emulate_chmod(k, pid, store, path, *perm)),
         SysCall::Mknod { path, mode: m, dev } | SysCall::Mknodat { path, mode: m, dev } => {
             if mode::is_device(*m) {
@@ -156,15 +159,13 @@ pub fn emulate_call(
                 None // non-device mknod works unprivileged; pass through
             }
         }
-        SysCall::Setxattr { path, name, value } => {
-            Some(match real_stat(k, pid, path, true) {
-                Ok(st) => {
-                    store.set_xattr(st.ino, name, value.clone());
-                    Ok(SysRet::Unit)
-                }
-                Err(e) => Err(e),
-            })
-        }
+        SysCall::Setxattr { path, name, value } => Some(match real_stat(k, pid, path, true) {
+            Ok(st) => {
+                store.set_xattr(st.ino, name, value.clone());
+                Ok(SysRet::Unit)
+            }
+            Err(e) => Err(e),
+        }),
         SysCall::Getxattr { path, name } => match real_stat(k, pid, path, true) {
             Ok(st) => store.get_xattr(st.ino, name).map(|v| Ok(SysRet::Bytes(v))),
             Err(e) => Some(Err(e)),
@@ -233,7 +234,14 @@ fn emulate_chmod(
     // Apply for real where possible (the container user usually owns the
     // file, and real execute bits matter), and remember the full request
     // (including setuid bits an unprivileged chmod may not keep).
-    let _ = real(k, pid, SysCall::Chmod { path: path.into(), perm });
+    let _ = real(
+        k,
+        pid,
+        SysCall::Chmod {
+            path: path.into(),
+            perm,
+        },
+    );
     store.set_perm(st.ino, perm);
     Ok(SysRet::Unit)
 }
@@ -250,7 +258,11 @@ fn emulate_mknod_device(
     match real(
         k,
         pid,
-        SysCall::WriteFile { path: path.into(), perm: m & 0o7777, data: Vec::new() },
+        SysCall::WriteFile {
+            path: path.into(),
+            perm: m & 0o7777,
+            data: Vec::new(),
+        },
     ) {
         Ok(_) => {}
         Err(e) => return Err(e),

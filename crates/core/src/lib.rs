@@ -32,6 +32,4 @@ pub mod strategy;
 pub use fakeroot::{FakerootEmulation, Provisioning};
 pub use proot::ProotEmulation;
 pub use seccomp_mode::SeccompEmulation;
-pub use strategy::{
-    make, Mode, NoEmulation, PrepareEnv, PrepareError, RootEmulation,
-};
+pub use strategy::{make, Mode, NoEmulation, PrepareEnv, PrepareError, RootEmulation};

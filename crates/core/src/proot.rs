@@ -61,12 +61,20 @@ pub struct ProotHook {
 impl ProotHook {
     /// Classic full-stop tracer.
     pub fn classic() -> ProotHook {
-        ProotHook { store: LocalStore::default(), ids: FakeIds::default(), accelerated: false }
+        ProotHook {
+            store: LocalStore::default(),
+            ids: FakeIds::default(),
+            accelerated: false,
+        }
     }
 
     /// Seccomp-accelerated tracer.
     pub fn accelerated() -> ProotHook {
-        ProotHook { store: LocalStore::default(), ids: FakeIds::default(), accelerated: true }
+        ProotHook {
+            store: LocalStore::default(),
+            ids: FakeIds::default(),
+            accelerated: true,
+        }
     }
 }
 
@@ -139,7 +147,11 @@ impl RootEmulation for ProotEmulation {
 
     fn prepare(&self, k: &mut Kernel, pid: Pid, _env: &PrepareEnv) -> Result<(), PrepareError> {
         k.process_mut(pid).traced = true;
-        let hook = if self.accelerated { ProotHook::accelerated() } else { ProotHook::classic() };
+        let hook = if self.accelerated {
+            ProotHook::accelerated()
+        } else {
+            ProotHook::classic()
+        };
         k.set_tracer_hook(Some(Box::new(hook)));
         Ok(())
     }
@@ -173,7 +185,10 @@ mod tests {
         let c = k
             .container_create(
                 Kernel::HOST_USER_PID,
-                ContainerConfig { ctype: ContainerType::TypeIII, image },
+                ContainerConfig {
+                    ctype: ContainerType::TypeIII,
+                    image,
+                },
             )
             .unwrap();
         (k, c.init_pid)
@@ -202,7 +217,8 @@ mod tests {
         k.process_mut(pid).dynamic = false;
         let mut ctx = k.ctx(pid);
         ctx.write_file("/f", 0o644, vec![]).unwrap();
-        ctx.chown("/f", 7, 8).expect("ptrace sees static binaries too");
+        ctx.chown("/f", 7, 8)
+            .expect("ptrace sees static binaries too");
         assert_eq!(ctx.stat("/f").unwrap().uid, 7);
     }
 

@@ -119,7 +119,10 @@ mod tests {
         }
         k.container_create(
             Kernel::HOST_USER_PID,
-            ContainerConfig { ctype: ContainerType::TypeIII, image },
+            ContainerConfig {
+                ctype: ContainerType::TypeIII,
+                image,
+            },
         )
         .unwrap()
         .init_pid
@@ -163,7 +166,8 @@ mod tests {
             .unwrap();
         let mut ctx = k.ctx(pid);
         // _apt-style drop: uid 100 is unmapped, but the filter fakes it.
-        ctx.setresuid(Some(100), Some(100), Some(100)).expect("faked");
+        ctx.setresuid(Some(100), Some(100), Some(100))
+            .expect("faked");
         // Zero consistency: the verification apt performs sees euid 0.
         assert_eq!(ctx.getresuid(), (0, 0, 0));
     }

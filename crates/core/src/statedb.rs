@@ -100,7 +100,11 @@ impl StateDb {
 
     /// Record a faked xattr.
     pub fn set_xattr(&mut self, ino: Ino, name: &str, value: Vec<u8>) {
-        self.map.entry(ino).or_default().xattrs.insert(name.to_string(), value);
+        self.map
+            .entry(ino)
+            .or_default()
+            .xattrs
+            .insert(name.to_string(), value);
     }
 
     /// Read back a faked xattr.

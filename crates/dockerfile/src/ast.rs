@@ -116,7 +116,11 @@ mod tests {
     #[test]
     fn keywords() {
         assert_eq!(
-            Instruction::From { image: "x".into(), alias: None }.keyword(),
+            Instruction::From {
+                image: "x".into(),
+                alias: None
+            }
+            .keyword(),
             "FROM"
         );
         assert_eq!(Instruction::RunShell("ls".into()).keyword(), "RUN");
@@ -127,8 +131,20 @@ mod tests {
     fn base_image_finds_first_from() {
         let df = Dockerfile {
             instructions: vec![
-                (1, Instruction::Arg { name: "V".into(), default: None }),
-                (2, Instruction::From { image: "alpine:3.19".into(), alias: None }),
+                (
+                    1,
+                    Instruction::Arg {
+                        name: "V".into(),
+                        default: None,
+                    },
+                ),
+                (
+                    2,
+                    Instruction::From {
+                        image: "alpine:3.19".into(),
+                        alias: None,
+                    },
+                ),
             ],
         };
         assert_eq!(df.base_image(), Some("alpine:3.19"));

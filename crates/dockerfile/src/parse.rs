@@ -21,7 +21,10 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err<T>(line: u32, message: impl Into<String>) -> Result<T, ParseError> {
-    Err(ParseError { line, message: message.into() })
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
 }
 
 /// Join backslash continuations into logical lines, tracking the starting
@@ -73,7 +76,10 @@ fn parse_exec_array(line: u32, s: &str) -> Result<Vec<String>, ParseError> {
     let inner = s
         .strip_prefix('[')
         .and_then(|r| r.strip_suffix(']'))
-        .ok_or(ParseError { line, message: "malformed exec-form array".into() })?;
+        .ok_or(ParseError {
+            line,
+            message: "malformed exec-form array".into(),
+        })?;
     let mut items = Vec::new();
     let mut chars = inner.chars().peekable();
     loop {
@@ -160,7 +166,12 @@ fn parse_copy(line: u32, args: &str) -> Result<CopySpec, ParseError> {
         return err(line, "COPY needs at least source and dest");
     }
     let dest = words.pop().expect("checked length");
-    Ok(CopySpec { sources: words, dest, chown, from })
+    Ok(CopySpec {
+        sources: words,
+        dest,
+        chown,
+        from,
+    })
 }
 
 /// Parse a whole Dockerfile.
@@ -219,7 +230,10 @@ pub fn parse(text: &str) -> Result<Dockerfile, ParseError> {
                         name: n.trim().to_string(),
                         default: Some(d.trim().trim_matches('"').to_string()),
                     },
-                    None => Instruction::Arg { name: arg.to_string(), default: None },
+                    None => Instruction::Arg {
+                        name: arg.to_string(),
+                        default: None,
+                    },
                 }
             }
             "WORKDIR" => {
@@ -241,11 +255,7 @@ pub fn parse(text: &str) -> Result<Dockerfile, ParseError> {
                 if args.trim_start().starts_with('[') {
                     Instruction::Entrypoint(parse_exec_array(line, &args)?)
                 } else {
-                    Instruction::Entrypoint(vec![
-                        "/bin/sh".into(),
-                        "-c".into(),
-                        args,
-                    ])
+                    Instruction::Entrypoint(vec!["/bin/sh".into(), "-c".into(), args])
                 }
             }
             "CMD" => {
@@ -257,7 +267,10 @@ pub fn parse(text: &str) -> Result<Dockerfile, ParseError> {
             }
             "SHELL" => Instruction::Shell(parse_exec_array(line, &args)?),
             "EXPOSE" | "VOLUME" | "STOPSIGNAL" | "HEALTHCHECK" | "ONBUILD" | "MAINTAINER" => {
-                Instruction::NoOp { keyword: kw.clone(), args }
+                Instruction::NoOp {
+                    keyword: kw.clone(),
+                    args,
+                }
             }
             other => return err(line, format!("unknown instruction '{other}'")),
         };
@@ -355,7 +368,10 @@ mod tests {
         let df = parse("FROM scratch\nENV A=1 B=\"two words\"\nENV LEGACY old style\n").unwrap();
         assert_eq!(
             df.instructions[1].1,
-            Instruction::Env(vec![("A".into(), "1".into()), ("B".into(), "two words".into())])
+            Instruction::Env(vec![
+                ("A".into(), "1".into()),
+                ("B".into(), "two words".into())
+            ])
         );
         assert_eq!(
             df.instructions[2].1,
@@ -368,7 +384,10 @@ mod tests {
         let df = parse("FROM alpine:3.19 AS builder\n").unwrap();
         assert_eq!(
             df.instructions[0].1,
-            Instruction::From { image: "alpine:3.19".into(), alias: Some("builder".into()) }
+            Instruction::From {
+                image: "alpine:3.19".into(),
+                alias: Some("builder".into())
+            }
         );
     }
 

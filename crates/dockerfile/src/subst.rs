@@ -67,10 +67,13 @@ pub fn substitute(s: &str, lookup: &dyn Fn(&str) -> Option<String>) -> String {
 mod tests {
     use super::*;
 
-    fn env<'a>(
-        pairs: &'a [(&'a str, &'a str)],
-    ) -> impl Fn(&str) -> Option<String> + 'a {
-        move |k| pairs.iter().find(|(n, _)| *n == k).map(|(_, v)| v.to_string())
+    fn env<'a>(pairs: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Option<String> + 'a {
+        move |k| {
+            pairs
+                .iter()
+                .find(|(n, _)| *n == k)
+                .map(|(_, v)| v.to_string())
+        }
     }
 
     #[test]

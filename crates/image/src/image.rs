@@ -92,7 +92,11 @@ pub struct BinarySpec {
 impl BinarySpec {
     /// Convenience constructor.
     pub fn new(path: &str, kind: BinKind, linkage: Linkage) -> BinarySpec {
-        BinarySpec { path: path.into(), kind, linkage }
+        BinarySpec {
+            path: path.into(),
+            kind,
+            linkage,
+        }
     }
 }
 
@@ -171,11 +175,15 @@ impl ImageRef {
             return None;
         }
         match s.split_once(':') {
-            Some((name, tag)) if !name.is_empty() && !tag.is_empty() => {
-                Some(ImageRef { name: name.into(), tag: tag.into() })
-            }
+            Some((name, tag)) if !name.is_empty() && !tag.is_empty() => Some(ImageRef {
+                name: name.into(),
+                tag: tag.into(),
+            }),
             Some(_) => None,
-            None => Some(ImageRef { name: s.into(), tag: "latest".into() }),
+            None => Some(ImageRef {
+                name: s.into(),
+                tag: "latest".into(),
+            }),
         }
     }
 }
@@ -194,11 +202,17 @@ mod tests {
     fn image_ref_parsing() {
         assert_eq!(
             ImageRef::parse("alpine:3.19"),
-            Some(ImageRef { name: "alpine".into(), tag: "3.19".into() })
+            Some(ImageRef {
+                name: "alpine".into(),
+                tag: "3.19".into()
+            })
         );
         assert_eq!(
             ImageRef::parse("centos"),
-            Some(ImageRef { name: "centos".into(), tag: "latest".into() })
+            Some(ImageRef {
+                name: "centos".into(),
+                tag: "latest".into()
+            })
         );
         assert_eq!(ImageRef::parse(""), None);
         assert_eq!(ImageRef::parse("x:"), None);

@@ -19,15 +19,29 @@ fn elf(name: &str) -> Vec<u8> {
 
 fn base_skeleton(fs: &mut Fs) {
     for dir in [
-        "/bin", "/sbin", "/usr/bin", "/usr/sbin", "/usr/lib", "/etc", "/var/lib",
-        "/var/cache", "/var/log", "/tmp", "/root", "/home", "/dev", "/proc", "/sys",
+        "/bin",
+        "/sbin",
+        "/usr/bin",
+        "/usr/sbin",
+        "/usr/lib",
+        "/etc",
+        "/var/lib",
+        "/var/cache",
+        "/var/log",
+        "/tmp",
+        "/root",
+        "/home",
+        "/dev",
+        "/proc",
+        "/sys",
         "/run",
     ] {
         fs.mkdir_p(dir, 0o755).expect("skeleton dir");
     }
     let root = Access::root();
     fs.set_perm(
-        fs.resolve("/tmp", &root, zr_vfs::FollowMode::Follow).expect("tmp"),
+        fs.resolve("/tmp", &root, zr_vfs::FollowMode::Follow)
+            .expect("tmp"),
         0o1777,
     )
     .expect("tmp sticky");
@@ -39,7 +53,8 @@ fn add_binaries(fs: &mut Fs, meta: &ImageMeta) {
         if let Some((parent, _)) = zr_vfs::path::split_parent(&b.path) {
             fs.mkdir_p(&parent, 0o755).expect("bin dir");
         }
-        fs.write_file(&b.path, 0o755, elf(&b.path), &root).expect("binary");
+        fs.write_file(&b.path, 0o755, elf(&b.path), &root)
+            .expect("binary");
     }
 }
 
@@ -93,7 +108,8 @@ fn alpine_3_19() -> Image {
     add_binaries(&mut fs, &meta);
     let root = Access::root();
     // /bin/sh is a symlink to busybox, as on real Alpine.
-    fs.symlink("/bin/busybox", "/bin/sh", &root).expect("sh link");
+    fs.symlink("/bin/busybox", "/bin/sh", &root)
+        .expect("sh link");
     fs.mkdir_p("/etc/apk", 0o755).expect("apk dir");
     fs.write_file("/etc/apk/world", 0o644, b"busybox\n".to_vec(), &root)
         .expect("world");
@@ -161,23 +177,37 @@ fn debian_12() -> Image {
             BinarySpec::new("/usr/bin/true", BinKind::True, Linkage::Dynamic),
             BinarySpec::new("/usr/bin/chown", BinKind::ChownTool, Linkage::Dynamic),
             BinarySpec::new("/usr/bin/mknod", BinKind::MknodTool, Linkage::Dynamic),
-            BinarySpec::new("/usr/sbin/unminimize", BinKind::Unminimize, Linkage::Dynamic),
+            BinarySpec::new(
+                "/usr/sbin/unminimize",
+                BinKind::Unminimize,
+                Linkage::Dynamic,
+            ),
         ],
     };
     let mut fs = Fs::new();
     base_skeleton(&mut fs);
-    write_etc(&mut fs, Distro::Debian, "12", "Debian GNU/Linux 12 (bookworm)");
+    write_etc(
+        &mut fs,
+        Distro::Debian,
+        "12",
+        "Debian GNU/Linux 12 (bookworm)",
+    );
     add_binaries(&mut fs, &meta);
     let root = Access::root();
     fs.write_file("/etc/debian_version", 0o644, b"12.5\n".to_vec(), &root)
         .expect("debian_version");
-    fs.symlink("/usr/bin/dash", "/bin/sh", &root).expect("sh link");
+    fs.symlink("/usr/bin/dash", "/bin/sh", &root)
+        .expect("sh link");
     fs.mkdir_p("/var/lib/dpkg", 0o755).expect("dpkg dir");
     fs.write_file("/var/lib/dpkg/status", 0o644, Vec::new(), &root)
         .expect("dpkg status");
     // The _apt user exists for apt's privilege-dropping sandbox.
-    fs.append_file("/etc/passwd", b"_apt:x:100:65534::/nonexistent:/usr/sbin/nologin\n", &root)
-        .expect("passwd _apt");
+    fs.append_file(
+        "/etc/passwd",
+        b"_apt:x:100:65534::/nonexistent:/usr/sbin/nologin\n",
+        &root,
+    )
+    .expect("passwd _apt");
     Image { meta, fs }
 }
 
@@ -187,9 +217,11 @@ fn fedora_40() -> Image {
     img.meta.tag = "40".into();
     img.meta.distro = Distro::Fedora;
     img.meta.libc = "glibc-2.39".into();
-    img.meta
-        .binaries
-        .push(BinarySpec::new("/usr/bin/dnf", BinKind::Dnf, Linkage::Dynamic));
+    img.meta.binaries.push(BinarySpec::new(
+        "/usr/bin/dnf",
+        BinKind::Dnf,
+        Linkage::Dynamic,
+    ));
     let root = Access::root();
     img.fs
         .write_file("/usr/bin/dnf", 0o755, elf("/usr/bin/dnf"), &root)
@@ -236,7 +268,13 @@ impl Registry {
 
     /// Known references.
     pub fn catalog() -> Vec<&'static str> {
-        vec!["alpine:3.19", "centos:7", "debian:12", "fedora:40", "scratch:latest"]
+        vec![
+            "alpine:3.19",
+            "centos:7",
+            "debian:12",
+            "fedora:40",
+            "scratch:latest",
+        ]
     }
 
     /// Pull an image. Ownership is left as materialized-by-root; callers
@@ -321,7 +359,10 @@ mod tests {
     fn binaries_are_executable_inodes() {
         let img = pull("centos:7");
         let access = Access::root();
-        let st = img.fs.stat("/usr/bin/yum", &access, FollowMode::Follow).unwrap();
+        let st = img
+            .fs
+            .stat("/usr/bin/yum", &access, FollowMode::Follow)
+            .unwrap();
         assert_eq!(st.mode & 0o111, 0o111);
         let bytes = img.fs.read_file("/usr/bin/yum", &access).unwrap();
         assert!(bytes.starts_with(b"\x7fELF"));

@@ -86,7 +86,11 @@ impl Kernel {
                 let fs = self.add_fs(cfg.image, 0);
                 let proc = self.container_process(builder, bcred, 0, fs);
                 let init_pid = self.add_process(proc);
-                Ok(Container { init_pid, userns: 0, fs })
+                Ok(Container {
+                    init_pid,
+                    userns: 0,
+                    fs,
+                })
             }
             ContainerType::TypeII => {
                 // Needs the setuid helpers; without them setup fails even
@@ -116,7 +120,11 @@ impl Kernel {
                 let cred = Cred::new(root_kuid, root_kuid, CapSet::full(), ns);
                 let proc = self.container_process(builder, cred, ns, fs);
                 let init_pid = self.add_process(proc);
-                Ok(Container { init_pid, userns: ns, fs })
+                Ok(Container {
+                    init_pid,
+                    userns: ns,
+                    fs,
+                })
             }
             ContainerType::TypeIII => {
                 // Fully unprivileged: always possible.
@@ -143,7 +151,11 @@ impl Kernel {
                 let cred = Cred::new(bcred.euid, bcred.egid, CapSet::full(), ns);
                 let proc = self.container_process(builder, cred, ns, fs);
                 let init_pid = self.add_process(proc);
-                Ok(Container { init_pid, userns: ns, fs })
+                Ok(Container {
+                    init_pid,
+                    userns: ns,
+                    fs,
+                })
             }
         }
     }
@@ -179,7 +191,14 @@ impl Kernel {
         // Delegate to the spawn machinery from the target process itself;
         // fork+exec of `path` from `pid` is observably equivalent for our
         // purposes and reuses the permission checks.
-        match self.syscall(pid, crate::sys::SysCall::Spawn { path: path.into(), argv, env }) {
+        match self.syscall(
+            pid,
+            crate::sys::SysCall::Spawn {
+                path: path.into(),
+                argv,
+                env,
+            },
+        ) {
             Ok(crate::sys::SysRet::Exit(code)) => Ok(code),
             Ok(_) => Err(Errno::EINVAL),
             Err(crate::sys::SysError::Errno(e)) => Err(e),
@@ -200,7 +219,8 @@ mod tests {
         // Image files are extracted by the (unprivileged) builder, so the
         // host user owns them — the Charliecloud storage model.
         let root = zr_vfs::Access::root();
-        fs.write_file("/etc/os-release", 0o644, b"ID=test".to_vec(), &root).unwrap();
+        fs.write_file("/etc/os-release", 0o644, b"ID=test".to_vec(), &root)
+            .unwrap();
         let count = fs.inode_count();
         for ino in 1..=count as u64 {
             if fs.inode(ino).is_ok() {
@@ -216,7 +236,10 @@ mod tests {
         let c = k
             .container_create(
                 Kernel::HOST_USER_PID,
-                ContainerConfig { ctype: ContainerType::TypeIII, image: image() },
+                ContainerConfig {
+                    ctype: ContainerType::TypeIII,
+                    image: image(),
+                },
             )
             .expect("Type III must not need privilege");
         // Container root sees itself as uid 0 ...
@@ -234,7 +257,10 @@ mod tests {
         assert_eq!(
             k.container_create(
                 Kernel::HOST_USER_PID,
-                ContainerConfig { ctype: ContainerType::TypeI, image: image() },
+                ContainerConfig {
+                    ctype: ContainerType::TypeI,
+                    image: image()
+                },
             )
             .err(),
             Some(Errno::EPERM),
@@ -243,7 +269,10 @@ mod tests {
         assert!(k
             .container_create(
                 Kernel::INIT_PID,
-                ContainerConfig { ctype: ContainerType::TypeI, image: image() },
+                ContainerConfig {
+                    ctype: ContainerType::TypeI,
+                    image: image()
+                },
             )
             .is_ok());
     }
@@ -254,7 +283,10 @@ mod tests {
         assert_eq!(
             k.container_create(
                 Kernel::HOST_USER_PID,
-                ContainerConfig { ctype: ContainerType::TypeII, image: image() },
+                ContainerConfig {
+                    ctype: ContainerType::TypeII,
+                    image: image()
+                },
             )
             .err(),
             Some(Errno::EPERM),
@@ -264,7 +296,10 @@ mod tests {
         let c = k
             .container_create(
                 Kernel::HOST_USER_PID,
-                ContainerConfig { ctype: ContainerType::TypeII, image: image() },
+                ContainerConfig {
+                    ctype: ContainerType::TypeII,
+                    image: image(),
+                },
             )
             .unwrap();
         let mut ctx = k.ctx(c.init_pid);
@@ -279,11 +314,15 @@ mod tests {
         let c = k
             .container_create(
                 Kernel::HOST_USER_PID,
-                ContainerConfig { ctype: ContainerType::TypeIII, image: image() },
+                ContainerConfig {
+                    ctype: ContainerType::TypeIII,
+                    image: image(),
+                },
             )
             .unwrap();
         let mut ctx = k.ctx(c.init_pid);
-        ctx.write_file("/etc/ssh_host_key", 0o640, b"k".to_vec()).unwrap();
+        ctx.write_file("/etc/ssh_host_key", 0o640, b"k".to_vec())
+            .unwrap();
         assert_eq!(
             ctx.chown("/etc/ssh_host_key", 0, 998),
             Err(SysError::Errno(Errno::EINVAL))
@@ -303,7 +342,10 @@ mod tests {
         let c = k
             .container_create(
                 Kernel::HOST_USER_PID,
-                ContainerConfig { ctype: ContainerType::TypeIII, image: image() },
+                ContainerConfig {
+                    ctype: ContainerType::TypeIII,
+                    image: image(),
+                },
             )
             .unwrap();
         let mut ctx = k.ctx(c.init_pid);
@@ -320,12 +362,16 @@ mod tests {
         let c = k
             .container_create(
                 Kernel::HOST_USER_PID,
-                ContainerConfig { ctype: ContainerType::TypeII, image: image() },
+                ContainerConfig {
+                    ctype: ContainerType::TypeII,
+                    image: image(),
+                },
             )
             .unwrap();
         let mut ctx = k.ctx(c.init_pid);
         ctx.write_file("/f", 0o644, vec![]).unwrap();
-        ctx.chown("/f", 998, 998).expect("mapped id, sb owned by the ns");
+        ctx.chown("/f", 998, 998)
+            .expect("mapped id, sb owned by the ns");
         let st = ctx.stat("/f").unwrap();
         assert_eq!((st.uid, st.gid), (998, 998));
         // Unmapped ids still fail.
@@ -341,7 +387,10 @@ mod tests {
         let c = k
             .container_create(
                 Kernel::HOST_USER_PID,
-                ContainerConfig { ctype: ContainerType::TypeIII, image: image() },
+                ContainerConfig {
+                    ctype: ContainerType::TypeIII,
+                    image: image(),
+                },
             )
             .unwrap();
         let mut ctx = k.ctx(c.init_pid);
@@ -355,7 +404,10 @@ mod tests {
         let c = k
             .container_create(
                 Kernel::HOST_USER_PID,
-                ContainerConfig { ctype: ContainerType::TypeIII, image: image() },
+                ContainerConfig {
+                    ctype: ContainerType::TypeIII,
+                    image: image(),
+                },
             )
             .unwrap();
         // A file owned by real root (materialized by init before setup).

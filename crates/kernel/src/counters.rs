@@ -60,8 +60,16 @@ mod tests {
 
     #[test]
     fn since_subtracts() {
-        let a = Counters { syscalls: 10, bpf_instructions: 100, ..Default::default() };
-        let b = Counters { syscalls: 25, bpf_instructions: 180, ..Default::default() };
+        let a = Counters {
+            syscalls: 10,
+            bpf_instructions: 100,
+            ..Default::default()
+        };
+        let b = Counters {
+            syscalls: 25,
+            bpf_instructions: 180,
+            ..Default::default()
+        };
         let d = b.since(&a);
         assert_eq!(d.syscalls, 15);
         assert_eq!(d.bpf_instructions, 80);
@@ -69,7 +77,11 @@ mod tests {
 
     #[test]
     fn context_switch_equivalents() {
-        let c = Counters { ptrace_stops: 3, daemon_round_trips: 2, ..Default::default() };
+        let c = Counters {
+            ptrace_stops: 3,
+            daemon_round_trips: 2,
+            ..Default::default()
+        };
         assert_eq!(c.context_switch_equivalents(), 10);
     }
 }

@@ -74,8 +74,16 @@ impl UserNs {
             id: 0,
             parent: None,
             owner_kuid: 0,
-            uid_map: vec![IdMap { inside_first: 0, outside_first: 0, count: u32::MAX }],
-            gid_map: vec![IdMap { inside_first: 0, outside_first: 0, count: u32::MAX }],
+            uid_map: vec![IdMap {
+                inside_first: 0,
+                outside_first: 0,
+                count: u32::MAX,
+            }],
+            gid_map: vec![IdMap {
+                inside_first: 0,
+                outside_first: 0,
+                count: u32::MAX,
+            }],
             setgroups_allowed: true,
         }
     }
@@ -122,7 +130,9 @@ impl Default for NsTable {
 impl NsTable {
     /// Table containing only the initial namespace (id 0).
     pub fn new() -> NsTable {
-        NsTable { table: vec![UserNs::init()] }
+        NsTable {
+            table: vec![UserNs::init()],
+        }
     }
 
     /// Borrow a namespace.

@@ -126,7 +126,10 @@ impl Kernel {
         let mut k = Kernel {
             config: config.clone(),
             namespaces: NsTable::new(),
-            filesystems: vec![FsEntry { fs: host_fs, owner_ns: 0 }],
+            filesystems: vec![FsEntry {
+                fs: host_fs,
+                owner_ns: 0,
+            }],
             processes: HashMap::new(),
             next_pid: 1,
             registry: ProgramRegistry::new(),
@@ -567,13 +570,21 @@ impl Kernel {
             SysCall::ReadDir { path } => {
                 let p = self.abs(pid, &path);
                 let entries = self.fs(fsid).read_dir(&p, &access)?;
-                Ok(SysRet::Entries(entries.into_iter().map(|(n, _)| n).collect()))
+                Ok(SysRet::Entries(
+                    entries.into_iter().map(|(n, _)| n).collect(),
+                ))
             }
             SysCall::Truncate { path, size } => {
                 let p = self.abs(pid, &path);
                 let ino = self.fs(fsid).resolve(&p, &access, FollowMode::Follow)?;
                 let node = self.fs(fsid).inode(ino)?;
-                if !permitted(&access, node.meta.uid, node.meta.gid, node.meta.perm, Want::W) {
+                if !permitted(
+                    &access,
+                    node.meta.uid,
+                    node.meta.gid,
+                    node.meta.perm,
+                    Want::W,
+                ) {
                     return Err(Errno::EACCES.into());
                 }
                 self.fs_mut(fsid).truncate(ino, size)?;
@@ -584,8 +595,13 @@ impl Kernel {
                 let ino = self.fs(fsid).resolve(&p, &access, FollowMode::Follow)?;
                 let node = self.fs(fsid).inode(ino)?;
                 let owner = access.owns(node.meta.uid);
-                let writable =
-                    permitted(&access, node.meta.uid, node.meta.gid, node.meta.perm, Want::W);
+                let writable = permitted(
+                    &access,
+                    node.meta.uid,
+                    node.meta.gid,
+                    node.meta.perm,
+                    Want::W,
+                );
                 if !owner && !writable {
                     return Err(Errno::EPERM.into());
                 }
@@ -612,8 +628,17 @@ impl Kernel {
             SysCall::Lchown { path, uid, gid } => {
                 self.do_chown(pid, &path, uid, gid, FollowMode::NoFollow)
             }
-            SysCall::Fchownat { path, uid, gid, nofollow } => {
-                let follow = if nofollow { FollowMode::NoFollow } else { FollowMode::Follow };
+            SysCall::Fchownat {
+                path,
+                uid,
+                gid,
+                nofollow,
+            } => {
+                let follow = if nofollow {
+                    FollowMode::NoFollow
+                } else {
+                    FollowMode::Follow
+                };
                 self.do_chown(pid, &path, uid, gid, follow)
             }
 
@@ -671,18 +696,26 @@ impl Kernel {
 
             // ---- identity queries (never privileged; zero consistency means
             // these tell the truth) ---------------------------------------------
-            SysCall::Getuid => Ok(SysRet::Id(self.shadowed_or(pid, |s| s.uids.0, |k, p| {
-                k.namespaces.get(p.cred.userns).from_kuid(p.cred.ruid)
-            }))),
-            SysCall::Geteuid => Ok(SysRet::Id(self.shadowed_or(pid, |s| s.uids.1, |k, p| {
-                k.namespaces.get(p.cred.userns).from_kuid(p.cred.euid)
-            }))),
-            SysCall::Getgid => Ok(SysRet::Id(self.shadowed_or(pid, |s| s.gids.0, |k, p| {
-                k.namespaces.get(p.cred.userns).from_kgid(p.cred.rgid)
-            }))),
-            SysCall::Getegid => Ok(SysRet::Id(self.shadowed_or(pid, |s| s.gids.1, |k, p| {
-                k.namespaces.get(p.cred.userns).from_kgid(p.cred.egid)
-            }))),
+            SysCall::Getuid => Ok(SysRet::Id(self.shadowed_or(
+                pid,
+                |s| s.uids.0,
+                |k, p| k.namespaces.get(p.cred.userns).from_kuid(p.cred.ruid),
+            ))),
+            SysCall::Geteuid => Ok(SysRet::Id(self.shadowed_or(
+                pid,
+                |s| s.uids.1,
+                |k, p| k.namespaces.get(p.cred.userns).from_kuid(p.cred.euid),
+            ))),
+            SysCall::Getgid => Ok(SysRet::Id(self.shadowed_or(
+                pid,
+                |s| s.gids.0,
+                |k, p| k.namespaces.get(p.cred.userns).from_kgid(p.cred.rgid),
+            ))),
+            SysCall::Getegid => Ok(SysRet::Id(self.shadowed_or(
+                pid,
+                |s| s.gids.1,
+                |k, p| k.namespaces.get(p.cred.userns).from_kgid(p.cred.egid),
+            ))),
             SysCall::Getresuid => {
                 if let Some(s) = self.shadow_of(pid) {
                     return Ok(SysRet::Triple(s.uids.0, s.uids.1, s.uids.2));
@@ -741,9 +774,15 @@ impl Kernel {
             }
             SysCall::Capget => {
                 let p = self.process(pid);
-                Ok(SysRet::Caps { effective: p.cred.effective, permitted: p.cred.permitted })
+                Ok(SysRet::Caps {
+                    effective: p.cred.effective,
+                    permitted: p.cred.permitted,
+                })
             }
-            SysCall::Capset { effective, permitted } => {
+            SysCall::Capset {
+                effective,
+                permitted,
+            } => {
                 let p = self.process_mut(pid);
                 // May not grow beyond permitted.
                 if effective.intersect(p.cred.permitted) != effective
@@ -1031,7 +1070,13 @@ impl Kernel {
     ) -> SysResult<()> {
         if name.starts_with("user.") {
             let node = self.fs(fsid).inode(ino)?;
-            if !permitted(access, node.meta.uid, node.meta.gid, node.meta.perm, Want::W) {
+            if !permitted(
+                access,
+                node.meta.uid,
+                node.meta.gid,
+                node.meta.perm,
+                Want::W,
+            ) {
                 return Err(Errno::EACCES.into());
             }
             return Ok(());
@@ -1039,7 +1084,11 @@ impl Kernel {
         // security.* / trusted.* / system.*: privileged relative to the
         // superblock. This is the call that breaks systemd installs in a
         // Type III container (§6 future work 1).
-        let cap = if name.starts_with("security.") { Cap::Setfcap } else { Cap::SysAdmin };
+        let cap = if name.starts_with("security.") {
+            Cap::Setfcap
+        } else {
+            Cap::SysAdmin
+        };
         if !self.capable_wrt_fs(pid, cap) {
             return Err(Errno::EPERM.into());
         }
@@ -1067,7 +1116,13 @@ impl Kernel {
         if node.is_dir() {
             return Err(Errno::EISDIR.into());
         }
-        if !permitted(&access, node.meta.uid, node.meta.gid, node.meta.perm, Want::X) {
+        if !permitted(
+            &access,
+            node.meta.uid,
+            node.meta.gid,
+            node.meta.perm,
+            Want::X,
+        ) {
             return Err(Errno::EACCES.into());
         }
 
@@ -1098,9 +1153,16 @@ impl Kernel {
         }
 
         let mut program = (entry.factory)();
-        let mut exec_env = ExecEnv { argv, env, output: Vec::new() };
+        let mut exec_env = ExecEnv {
+            argv,
+            env,
+            output: Vec::new(),
+        };
         let code = {
-            let mut ctx = SyscallCtx { kernel: self, pid: child_pid };
+            let mut ctx = SyscallCtx {
+                kernel: self,
+                pid: child_pid,
+            };
             program.run(&mut ctx, &mut exec_env)
         };
         // Anything the program buffered in its ExecEnv joins the console.
@@ -1176,28 +1238,34 @@ fn encode(arch: Arch, call: &SysCall) -> (Sysno, [u64; 6]) {
             pick(arch, &[Sysno::Mkdir, Sysno::Mkdirat]),
             [FAKE_PTR, u64::from(*perm), 0, 0, 0, 0],
         ),
-        SysCall::Unlink { .. } => {
-            (pick(arch, &[Sysno::Unlink, Sysno::Unlinkat]), [FAKE_PTR, 0, 0, 0, 0, 0])
-        }
-        SysCall::Rmdir { .. } => {
-            (pick(arch, &[Sysno::Rmdir, Sysno::Unlinkat]), [FAKE_PTR, 0, 0, 0, 0, 0])
-        }
-        SysCall::Rename { .. } => {
-            (pick(arch, &[Sysno::Rename, Sysno::Renameat]), [FAKE_PTR, FAKE_PTR, 0, 0, 0, 0])
-        }
-        SysCall::Symlink { .. } => {
-            (pick(arch, &[Sysno::Symlink, Sysno::Symlinkat]), [FAKE_PTR, FAKE_PTR, 0, 0, 0, 0])
-        }
-        SysCall::Link { .. } => {
-            (pick(arch, &[Sysno::Link, Sysno::Linkat]), [FAKE_PTR, FAKE_PTR, 0, 0, 0, 0])
-        }
+        SysCall::Unlink { .. } => (
+            pick(arch, &[Sysno::Unlink, Sysno::Unlinkat]),
+            [FAKE_PTR, 0, 0, 0, 0, 0],
+        ),
+        SysCall::Rmdir { .. } => (
+            pick(arch, &[Sysno::Rmdir, Sysno::Unlinkat]),
+            [FAKE_PTR, 0, 0, 0, 0, 0],
+        ),
+        SysCall::Rename { .. } => (
+            pick(arch, &[Sysno::Rename, Sysno::Renameat]),
+            [FAKE_PTR, FAKE_PTR, 0, 0, 0, 0],
+        ),
+        SysCall::Symlink { .. } => (
+            pick(arch, &[Sysno::Symlink, Sysno::Symlinkat]),
+            [FAKE_PTR, FAKE_PTR, 0, 0, 0, 0],
+        ),
+        SysCall::Link { .. } => (
+            pick(arch, &[Sysno::Link, Sysno::Linkat]),
+            [FAKE_PTR, FAKE_PTR, 0, 0, 0, 0],
+        ),
         SysCall::Readlink { .. } => (
             pick(arch, &[Sysno::Readlink, Sysno::Readlinkat]),
             [FAKE_PTR, FAKE_PTR, 4096, 0, 0, 0],
         ),
-        SysCall::Stat { .. } => {
-            (pick(arch, &[Sysno::Stat, Sysno::Newfstatat]), [FAKE_PTR, FAKE_PTR, 0, 0, 0, 0])
-        }
+        SysCall::Stat { .. } => (
+            pick(arch, &[Sysno::Stat, Sysno::Newfstatat]),
+            [FAKE_PTR, FAKE_PTR, 0, 0, 0, 0],
+        ),
         SysCall::Lstat { .. } => (
             pick(arch, &[Sysno::Lstat, Sysno::Newfstatat]),
             [FAKE_PTR, FAKE_PTR, AT_SYMLINK_NOFOLLOW, 0, 0, 0],
@@ -1218,12 +1286,24 @@ fn encode(arch: Arch, call: &SysCall) -> (Sysno, [u64; 6]) {
         SysCall::Lchown { uid, gid, .. } => {
             let sy = pick(arch, &[Sysno::Lchown32, Sysno::Lchown, Sysno::Fchownat]);
             if sy == Sysno::Fchownat {
-                (sy, [AT_FDCWD, FAKE_PTR, id(*uid), id(*gid), AT_SYMLINK_NOFOLLOW, 0])
+                (
+                    sy,
+                    [
+                        AT_FDCWD,
+                        FAKE_PTR,
+                        id(*uid),
+                        id(*gid),
+                        AT_SYMLINK_NOFOLLOW,
+                        0,
+                    ],
+                )
             } else {
                 (sy, [FAKE_PTR, id(*uid), id(*gid), 0, 0, 0])
             }
         }
-        SysCall::Fchownat { uid, gid, nofollow, .. } => (
+        SysCall::Fchownat {
+            uid, gid, nofollow, ..
+        } => (
             Sysno::Fchownat,
             [
                 AT_FDCWD,
@@ -1242,9 +1322,10 @@ fn encode(arch: Arch, call: &SysCall) -> (Sysno, [u64; 6]) {
                 (sy, [FAKE_PTR, u64::from(*mode), *dev, 0, 0, 0])
             }
         }
-        SysCall::Mknodat { mode, dev, .. } => {
-            (Sysno::Mknodat, [AT_FDCWD, FAKE_PTR, u64::from(*mode), *dev, 0, 0])
-        }
+        SysCall::Mknodat { mode, dev, .. } => (
+            Sysno::Mknodat,
+            [AT_FDCWD, FAKE_PTR, u64::from(*mode), *dev, 0, 0],
+        ),
         SysCall::Truncate { size, .. } => (Sysno::Truncate, [FAKE_PTR, *size, 0, 0, 0, 0]),
         SysCall::Utimens { .. } => (Sysno::Utimensat, [AT_FDCWD, FAKE_PTR, FAKE_PTR, 0, 0, 0]),
         SysCall::Setxattr { .. } => (Sysno::Setxattr, [FAKE_PTR, FAKE_PTR, FAKE_PTR, 0, 0, 0]),
@@ -1409,7 +1490,8 @@ mod tests {
         k.fs_mut(0).set_owner(ino, 1000, 1000).unwrap();
 
         let mut ctx = k.ctx(Kernel::HOST_USER_PID);
-        ctx.write_file("/home/user/x", 0o644, b"hi".to_vec()).unwrap();
+        ctx.write_file("/home/user/x", 0o644, b"hi".to_vec())
+            .unwrap();
         let st = ctx.stat("/home/user/x").unwrap();
         assert_eq!((st.uid, st.gid), (1000, 1000));
         // umask applied.
@@ -1495,8 +1577,8 @@ mod tests {
     #[test]
     fn seccomp_install_needs_nnp() {
         let mut k = kernel();
-        let prog = zr_seccomp::compile(&zr_seccomp::spec::zero_consistency(&[Arch::X8664]))
-            .unwrap();
+        let prog =
+            zr_seccomp::compile(&zr_seccomp::spec::zero_consistency(&[Arch::X8664])).unwrap();
         let mut ctx = k.ctx(Kernel::HOST_USER_PID);
         assert_eq!(
             ctx.seccomp_install(prog.clone()),
@@ -1509,8 +1591,8 @@ mod tests {
     #[test]
     fn filter_fakes_chown_for_host_user() {
         let mut k = kernel();
-        let prog = zr_seccomp::compile(&zr_seccomp::spec::zero_consistency(&[Arch::X8664]))
-            .unwrap();
+        let prog =
+            zr_seccomp::compile(&zr_seccomp::spec::zero_consistency(&[Arch::X8664])).unwrap();
         let mut ctx = k.ctx(Kernel::HOST_USER_PID);
         ctx.set_no_new_privs().unwrap();
         ctx.seccomp_install(prog).unwrap();
@@ -1543,8 +1625,8 @@ mod tests {
         let unfiltered_cost = k.counters.since(&before).bpf_instructions;
         assert_eq!(unfiltered_cost, 0);
 
-        let prog = zr_seccomp::compile(&zr_seccomp::spec::zero_consistency(&[Arch::X8664]))
-            .unwrap();
+        let prog =
+            zr_seccomp::compile(&zr_seccomp::spec::zero_consistency(&[Arch::X8664])).unwrap();
         {
             let mut ctx = k.ctx(Kernel::HOST_USER_PID);
             ctx.set_no_new_privs().unwrap();
@@ -1617,10 +1699,7 @@ mod tests {
     fn setgroups_denied_without_cap() {
         let mut k = kernel();
         let mut ctx = k.ctx(Kernel::HOST_USER_PID);
-        assert_eq!(
-            ctx.setgroups(&[1000]),
-            Err(SysError::Errno(Errno::EPERM))
-        );
+        assert_eq!(ctx.setgroups(&[1000]), Err(SysError::Errno(Errno::EPERM)));
         let mut ctx = k.ctx(Kernel::INIT_PID);
         ctx.setgroups(&[1, 2, 3]).unwrap();
         assert_eq!(ctx.getgroups(), vec![1, 2, 3]);
@@ -1631,10 +1710,7 @@ mod tests {
         let mut k = kernel();
         let mut ctx = k.ctx(Kernel::HOST_USER_PID);
         let full = zr_syscalls::caps::CapSet::full();
-        assert_eq!(
-            ctx.capset(full, full),
-            Err(SysError::Errno(Errno::EPERM))
-        );
+        assert_eq!(ctx.capset(full, full), Err(SysError::Errno(Errno::EPERM)));
         // Root can shrink.
         let mut ctx = k.ctx(Kernel::INIT_PID);
         let empty = zr_syscalls::caps::CapSet::EMPTY;

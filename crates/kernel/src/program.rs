@@ -104,7 +104,10 @@ impl ProgramRegistry {
     {
         self.map.insert(
             path.to_string(),
-            ProgramEntry { factory: Arc::new(factory), linkage },
+            ProgramEntry {
+                factory: Arc::new(factory),
+                linkage,
+            },
         );
     }
 

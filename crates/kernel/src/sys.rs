@@ -18,36 +18,111 @@ use zr_vfs::inode::Stat;
 #[allow(missing_docs)] // field names mirror the corresponding man pages
 pub enum SysCall {
     // --- files ---------------------------------------------------------
-    ReadFile { path: String },
-    WriteFile { path: String, perm: u32, data: Vec<u8> },
-    AppendFile { path: String, data: Vec<u8> },
-    Mkdir { path: String, perm: u32 },
-    Unlink { path: String },
-    Rmdir { path: String },
-    Rename { old: String, new: String },
-    Symlink { target: String, linkpath: String },
-    Link { existing: String, newpath: String },
-    Readlink { path: String },
-    Stat { path: String },
-    Lstat { path: String },
-    ReadDir { path: String },
-    Chmod { path: String, perm: u32 },
+    ReadFile {
+        path: String,
+    },
+    WriteFile {
+        path: String,
+        perm: u32,
+        data: Vec<u8>,
+    },
+    AppendFile {
+        path: String,
+        data: Vec<u8>,
+    },
+    Mkdir {
+        path: String,
+        perm: u32,
+    },
+    Unlink {
+        path: String,
+    },
+    Rmdir {
+        path: String,
+    },
+    Rename {
+        old: String,
+        new: String,
+    },
+    Symlink {
+        target: String,
+        linkpath: String,
+    },
+    Link {
+        existing: String,
+        newpath: String,
+    },
+    Readlink {
+        path: String,
+    },
+    Stat {
+        path: String,
+    },
+    Lstat {
+        path: String,
+    },
+    ReadDir {
+        path: String,
+    },
+    Chmod {
+        path: String,
+        perm: u32,
+    },
     /// `chown(2)`: follow symlinks. `None` = leave unchanged (-1).
-    Chown { path: String, uid: Option<u32>, gid: Option<u32> },
+    Chown {
+        path: String,
+        uid: Option<u32>,
+        gid: Option<u32>,
+    },
     /// `lchown(2)`: operate on the symlink itself.
-    Lchown { path: String, uid: Option<u32>, gid: Option<u32> },
+    Lchown {
+        path: String,
+        uid: Option<u32>,
+        gid: Option<u32>,
+    },
     /// `fchownat(2)` with `AT_SYMLINK_NOFOLLOW` optionally set.
-    Fchownat { path: String, uid: Option<u32>, gid: Option<u32>, nofollow: bool },
+    Fchownat {
+        path: String,
+        uid: Option<u32>,
+        gid: Option<u32>,
+        nofollow: bool,
+    },
     /// `mknod(2)`: `mode` carries type bits; `dev` is the packed device.
-    Mknod { path: String, mode: u32, dev: u64 },
+    Mknod {
+        path: String,
+        mode: u32,
+        dev: u64,
+    },
     /// `mknodat(2)` (mode is the *third* argument — the filter cares).
-    Mknodat { path: String, mode: u32, dev: u64 },
-    Truncate { path: String, size: u64 },
-    Utimens { path: String, mtime: u64 },
-    Setxattr { path: String, name: String, value: Vec<u8> },
-    Getxattr { path: String, name: String },
-    Listxattr { path: String },
-    Removexattr { path: String, name: String },
+    Mknodat {
+        path: String,
+        mode: u32,
+        dev: u64,
+    },
+    Truncate {
+        path: String,
+        size: u64,
+    },
+    Utimens {
+        path: String,
+        mtime: u64,
+    },
+    Setxattr {
+        path: String,
+        name: String,
+        value: Vec<u8>,
+    },
+    Getxattr {
+        path: String,
+        name: String,
+    },
+    Listxattr {
+        path: String,
+    },
+    Removexattr {
+        path: String,
+        name: String,
+    },
 
     // --- identity -------------------------------------------------------
     Getuid,
@@ -57,35 +132,74 @@ pub enum SysCall {
     Getresuid,
     Getresgid,
     Getgroups,
-    Setuid { uid: u32 },
-    Setgid { gid: u32 },
-    Setreuid { r: Option<u32>, e: Option<u32> },
-    Setregid { r: Option<u32>, e: Option<u32> },
-    Setresuid { r: Option<u32>, e: Option<u32>, s: Option<u32> },
-    Setresgid { r: Option<u32>, e: Option<u32>, s: Option<u32> },
-    Setgroups { groups: Vec<u32> },
-    Setfsuid { uid: u32 },
-    Setfsgid { gid: u32 },
+    Setuid {
+        uid: u32,
+    },
+    Setgid {
+        gid: u32,
+    },
+    Setreuid {
+        r: Option<u32>,
+        e: Option<u32>,
+    },
+    Setregid {
+        r: Option<u32>,
+        e: Option<u32>,
+    },
+    Setresuid {
+        r: Option<u32>,
+        e: Option<u32>,
+        s: Option<u32>,
+    },
+    Setresgid {
+        r: Option<u32>,
+        e: Option<u32>,
+        s: Option<u32>,
+    },
+    Setgroups {
+        groups: Vec<u32>,
+    },
+    Setfsuid {
+        uid: u32,
+    },
+    Setfsgid {
+        gid: u32,
+    },
     Capget,
-    Capset { effective: CapSet, permitted: CapSet },
+    Capset {
+        effective: CapSet,
+        permitted: CapSet,
+    },
 
     // --- process ----------------------------------------------------------
     Getpid,
-    Umask { mask: u32 },
-    Chdir { path: String },
+    Umask {
+        mask: u32,
+    },
+    Chdir {
+        path: String,
+    },
     Getcwd,
     /// `prctl(PR_SET_NO_NEW_PRIVS, 1)` — prerequisite for an unprivileged
     /// filter install.
     SetNoNewPrivs,
     /// `seccomp(SECCOMP_SET_MODE_FILTER)` with an already-compiled program.
-    SeccompInstall { prog: zr_bpf::Program },
+    SeccompInstall {
+        prog: zr_bpf::Program,
+    },
     /// `kexec_load(2)` with null arguments — the filter self-test.
     KexecLoad,
     /// fork + execve + waitpid, collapsed: run `path` to completion.
-    Spawn { path: String, argv: Vec<String>, env: Vec<(String, String)> },
+    Spawn {
+        path: String,
+        argv: Vec<String>,
+        env: Vec<(String, String)>,
+    },
     /// `write(2)` to stdout: one console line. Goes through the full
     /// dispatch so output, too, pays the per-syscall filter tax (§6).
-    ConsoleWrite { line: String },
+    ConsoleWrite {
+        line: String,
+    },
 }
 
 impl SysCall {
@@ -161,7 +275,10 @@ pub enum SysRet {
     Bytes(Vec<u8>),
     Text(String),
     Entries(Vec<String>),
-    Caps { effective: CapSet, permitted: CapSet },
+    Caps {
+        effective: CapSet,
+        permitted: CapSet,
+    },
     Exit(i32),
     Mask(u32),
 }
@@ -373,7 +490,10 @@ pub trait SysExt: Sys {
     }
     fn capget(&mut self) -> (CapSet, CapSet) {
         match self.call(SysCall::Capget) {
-            Ok(SysRet::Caps { effective, permitted }) => (effective, permitted),
+            Ok(SysRet::Caps {
+                effective,
+                permitted,
+            }) => (effective, permitted),
             other => unreachable!("capget cannot fail: {other:?}"),
         }
     }
@@ -415,7 +535,10 @@ pub trait SysExt: Sys {
         let call = SysCall::Spawn {
             path: path.into(),
             argv: argv.iter().map(|s| s.to_string()).collect(),
-            env: env.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            env: env
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
         };
         expect_ret!(self.call(call)?, SysRet::Exit(code) => code, "spawn")
     }
@@ -426,7 +549,11 @@ pub trait SysExt: Sys {
         argv: Vec<String>,
         env: Vec<(String, String)>,
     ) -> SysResult<i32> {
-        let call = SysCall::Spawn { path: path.into(), argv, env };
+        let call = SysCall::Spawn {
+            path: path.into(),
+            argv,
+            env,
+        };
         expect_ret!(self.call(call)?, SysRet::Exit(code) => code, "spawn")
     }
     /// Print one line to the build console (a `write(2)`).
@@ -475,7 +602,12 @@ mod tests {
     fn syscall_names() {
         assert_eq!(SysCall::KexecLoad.name(), "kexec_load");
         assert_eq!(
-            SysCall::Chown { path: "/".into(), uid: None, gid: None }.name(),
+            SysCall::Chown {
+                path: "/".into(),
+                uid: None,
+                gid: None
+            }
+            .name(),
             "chown"
         );
     }

@@ -34,8 +34,14 @@ impl Apk {
     }
 
     fn add(&self, sys: &mut dyn Sys, env: &ExecEnv, names: &[&str]) -> i32 {
-        sys.println(format!("fetch {}/main/x86_64/APKINDEX.tar.gz", self.repo.url));
-        sys.println(format!("fetch {}/community/x86_64/APKINDEX.tar.gz", self.repo.url));
+        sys.println(format!(
+            "fetch {}/main/x86_64/APKINDEX.tar.gz",
+            self.repo.url
+        ));
+        sys.println(format!(
+            "fetch {}/community/x86_64/APKINDEX.tar.gz",
+            self.repo.url
+        ));
 
         let order = match self.repo.resolve(names) {
             Ok(o) => o,
@@ -83,14 +89,21 @@ impl Apk {
 impl Program for Apk {
     fn run(&mut self, sys: &mut dyn Sys, env: &mut ExecEnv) -> i32 {
         let args = env.args();
-        let args: Vec<&str> = args.iter().filter(|a| !a.starts_with('-')).copied().collect();
+        let args: Vec<&str> = args
+            .iter()
+            .filter(|a| !a.starts_with('-'))
+            .copied()
+            .collect();
         match args.split_first() {
             Some((&"add", names)) if !names.is_empty() => {
                 let env_clone = env.clone();
                 self.add(sys, &env_clone, names)
             }
             Some((&"update", _)) => {
-                sys.println(format!("fetch {}/main/x86_64/APKINDEX.tar.gz", self.repo.url));
+                sys.println(format!(
+                    "fetch {}/main/x86_64/APKINDEX.tar.gz",
+                    self.repo.url
+                ));
                 sys.println("OK: 24 distinct packages available".to_string());
                 0
             }
@@ -106,17 +119,22 @@ impl Program for Apk {
 mod tests {
     use super::*;
     use crate::repo::alpine_repo;
-    use zr_kernel::{ContainerConfig, ContainerType, Kernel};
     use zr_image::{ImageRef, Registry};
+    use zr_kernel::{ContainerConfig, ContainerType, Kernel};
 
     fn alpine_container() -> (Kernel, u32) {
         let mut k = Kernel::default_kernel();
-        let mut img = Registry::new().pull(&ImageRef::parse("alpine:3.19").unwrap()).unwrap();
+        let mut img = Registry::new()
+            .pull(&ImageRef::parse("alpine:3.19").unwrap())
+            .unwrap();
         img.chown_all(1000, 1000);
         let c = k
             .container_create(
                 Kernel::HOST_USER_PID,
-                ContainerConfig { ctype: ContainerType::TypeIII, image: img.fs },
+                ContainerConfig {
+                    ctype: ContainerType::TypeIII,
+                    image: img.fs,
+                },
             )
             .unwrap();
         (k, c.init_pid)
@@ -138,7 +156,10 @@ mod tests {
         assert_eq!(code, 0);
         assert!(!k.trace.any_privileged(), "Figure 1a: no privileged calls");
         let console = k.take_console().join("\n");
-        assert!(console.contains("(3/3) Installing sl (5.02-r1)"), "{console}");
+        assert!(
+            console.contains("(3/3) Installing sl (5.02-r1)"),
+            "{console}"
+        );
         assert!(console.contains("Executing busybox-1.36.1-r15.trigger"));
         assert!(console.contains("OK:"), "{console}");
         // The payload actually landed.

@@ -55,8 +55,7 @@ fn attempt_drop(sys: &mut dyn Sys, sandbox_user: &str) -> DropOutcome {
     {
         return DropOutcome::SoftFailed(e);
     }
-    if let Err(SysError::Errno(e)) = sys.setresuid(Some(APT_UID), Some(APT_UID), Some(APT_UID))
-    {
+    if let Err(SysError::Errno(e)) = sys.setresuid(Some(APT_UID), Some(APT_UID), Some(APT_UID)) {
         return DropOutcome::SoftFailed(e);
     }
     // The verification the paper calls out.
@@ -144,7 +143,11 @@ impl Apt {
         sys.println("The following NEW packages will be installed:".to_string());
         sys.println(format!(
             "  {}",
-            order.iter().map(|p| p.name.as_str()).collect::<Vec<_>>().join(" ")
+            order
+                .iter()
+                .map(|p| p.name.as_str())
+                .collect::<Vec<_>>()
+                .join(" ")
         ));
 
         let all: Vec<&str> = order.iter().map(|p| p.name.as_str()).collect();
@@ -154,17 +157,13 @@ impl Apt {
 
         for pkg in &order {
             if dpkg_unpack(sys, pkg).is_err() {
-                sys.println(
-                    "E: Sub-process /usr/bin/dpkg returned an error code (1)".to_string(),
-                );
+                sys.println("E: Sub-process /usr/bin/dpkg returned an error code (1)".to_string());
                 return 100;
             }
         }
         for pkg in &order {
             if dpkg_configure(sys, pkg, &env.env).is_err() {
-                sys.println(
-                    "E: Sub-process /usr/bin/dpkg returned an error code (1)".to_string(),
-                );
+                sys.println("E: Sub-process /usr/bin/dpkg returned an error code (1)".to_string());
                 return 100;
             }
         }
@@ -184,7 +183,10 @@ impl Apt {
             }
             _ => {}
         }
-        sys.println(format!("Get:1 {} bookworm InRelease [151 kB]", self.repo.url));
+        sys.println(format!(
+            "Get:1 {} bookworm InRelease [151 kB]",
+            self.repo.url
+        ));
         restore_privileges(sys);
         sys.println("Reading package lists... Done".to_string());
         0
@@ -220,7 +222,10 @@ impl Program for Apt {
             }
             Some((&"update", _)) => self.update(sys, &sandbox_user),
             _ => {
-                sys.println(format!("{}: usage: {} install -y PKG…", self.brand, self.brand));
+                sys.println(format!(
+                    "{}: usage: {} install -y PKG…",
+                    self.brand, self.brand
+                ));
                 100
             }
         }
@@ -236,12 +241,17 @@ mod tests {
 
     fn debian_container() -> (Kernel, u32) {
         let mut k = Kernel::default_kernel();
-        let mut img = Registry::new().pull(&ImageRef::parse("debian:12").unwrap()).unwrap();
+        let mut img = Registry::new()
+            .pull(&ImageRef::parse("debian:12").unwrap())
+            .unwrap();
         img.chown_all(1000, 1000);
         let c = k
             .container_create(
                 Kernel::HOST_USER_PID,
-                ContainerConfig { ctype: ContainerType::TypeIII, image: img.fs },
+                ContainerConfig {
+                    ctype: ContainerType::TypeIII,
+                    image: img.fs,
+                },
             )
             .unwrap();
         crate::register::register_image_binaries(&mut k, &img.meta);
@@ -252,7 +262,10 @@ mod tests {
         let mut apt = Apt::new(Arc::new(debian_repo()), "apt-get");
         let mut argv = vec!["apt-get".to_string()];
         argv.extend(args.iter().map(|s| s.to_string()));
-        let mut env = ExecEnv { argv, ..Default::default() };
+        let mut env = ExecEnv {
+            argv,
+            ..Default::default()
+        };
         let mut ctx = k.ctx(pid);
         apt.run(&mut ctx, &mut env)
     }
@@ -273,9 +286,9 @@ mod tests {
     fn under_seccomp_verification_fails_without_workaround() {
         let (mut k, pid) = debian_container();
         // Install the paper's filter on the container process.
-        let prog = zr_seccomp::compile(&zr_seccomp::spec::zero_consistency(
-            &[zr_syscalls::Arch::X8664],
-        ))
+        let prog = zr_seccomp::compile(&zr_seccomp::spec::zero_consistency(&[
+            zr_syscalls::Arch::X8664,
+        ]))
         .unwrap();
         {
             let mut ctx = k.ctx(pid);
@@ -285,15 +298,18 @@ mod tests {
         let code = run_apt(&mut k, pid, &["install", "-y", "hello"]);
         assert_eq!(code, 100, "the §5 exception");
         let console = k.take_console().join("\n");
-        assert!(console.contains("Could not switch the sandbox user"), "{console}");
+        assert!(
+            console.contains("Could not switch the sandbox user"),
+            "{console}"
+        );
     }
 
     #[test]
     fn workaround_option_skips_the_drop() {
         let (mut k, pid) = debian_container();
-        let prog = zr_seccomp::compile(&zr_seccomp::spec::zero_consistency(
-            &[zr_syscalls::Arch::X8664],
-        ))
+        let prog = zr_seccomp::compile(&zr_seccomp::spec::zero_consistency(&[
+            zr_syscalls::Arch::X8664,
+        ]))
         .unwrap();
         {
             let mut ctx = k.ctx(pid);

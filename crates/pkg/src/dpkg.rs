@@ -9,14 +9,19 @@ use zr_kernel::{ExecEnv, Program, Sys, SysExt};
 
 /// Unpack one package dpkg-style (called by apt and by `dpkg -i`).
 pub fn dpkg_unpack(sys: &mut dyn Sys, pkg: &Package) -> Result<(), InstallError> {
-    sys.println(format!("Selecting previously unselected package {}.", pkg.name));
+    sys.println(format!(
+        "Selecting previously unselected package {}.",
+        pkg.name
+    ));
     sys.println(format!("Unpacking {} ({}) ...", pkg.name, pkg.version));
     match extract_package(sys, pkg, ChownBehavior::Always) {
         Ok(()) => {
             let _ = sys.append_file(
                 "/var/lib/dpkg/status",
-                format!("Package: {}\nVersion: {}\nStatus: install ok unpacked\n\n",
-                    pkg.name, pkg.version)
+                format!(
+                    "Package: {}\nVersion: {}\nStatus: install ok unpacked\n\n",
+                    pkg.name, pkg.version
+                )
                 .as_bytes(),
             );
             Ok(())
@@ -80,7 +85,11 @@ impl Dpkg {
 impl Program for Dpkg {
     fn run(&mut self, sys: &mut dyn Sys, env: &mut ExecEnv) -> i32 {
         let args = env.args();
-        let names: Vec<&str> = args.iter().filter(|a| !a.starts_with('-')).copied().collect();
+        let names: Vec<&str> = args
+            .iter()
+            .filter(|a| !a.starts_with('-'))
+            .copied()
+            .collect();
         if names.is_empty() || !args.contains(&"-i") {
             sys.println("dpkg: usage: dpkg -i PACKAGE…".to_string());
             return 2;
@@ -116,12 +125,17 @@ mod tests {
 
     fn debian_container() -> (Kernel, u32) {
         let mut k = Kernel::default_kernel();
-        let mut img = Registry::new().pull(&ImageRef::parse("debian:12").unwrap()).unwrap();
+        let mut img = Registry::new()
+            .pull(&ImageRef::parse("debian:12").unwrap())
+            .unwrap();
         img.chown_all(1000, 1000);
         let c = k
             .container_create(
                 Kernel::HOST_USER_PID,
-                ContainerConfig { ctype: ContainerType::TypeIII, image: img.fs },
+                ContainerConfig {
+                    ctype: ContainerType::TypeIII,
+                    image: img.fs,
+                },
             )
             .unwrap();
         crate::register::register_image_binaries(&mut k, &img.meta);

@@ -72,7 +72,10 @@ pub fn extract_file(
 ) -> Result<(), InstallError> {
     let fs_err = |path: &str, e: SysError| -> InstallError {
         match errno_of(e) {
-            Ok(errno) => InstallError::Fs { path: path.into(), errno },
+            Ok(errno) => InstallError::Fs {
+                path: path.into(),
+                errno,
+            },
             Err(k) => k,
         }
     };
@@ -113,15 +116,17 @@ pub fn extract_file(
             let dev = mode::makedev(*major, *minor);
             if let Err(e) = sys.mknod(&f.path, mode::S_IFCHR | f.perm, dev) {
                 let errno = errno_of(e)?;
-                return Err(InstallError::Mknod { path: f.path.clone(), errno });
+                return Err(InstallError::Mknod {
+                    path: f.path.clone(),
+                    errno,
+                });
             }
         }
     }
 
     // Ownership: the crux of the whole paper.
     let wants_chown = match chown {
-        ChownBehavior::Always => !matches!(f.kind, PayloadKind::CharDev(..))
-            || sys.exists(&f.path),
+        ChownBehavior::Always => !matches!(f.kind, PayloadKind::CharDev(..)) || sys.exists(&f.path),
         ChownBehavior::SkipIfMatching => match sys.lstat(&f.path) {
             Ok(st) => st.uid != f.uid || st.gid != f.gid,
             Err(_) => false, // faked mknod: nothing to chown, apk skips
@@ -137,7 +142,10 @@ pub fn extract_file(
                 // filter fakes chown too, so this branch only triggers
                 // without emulation.
                 let errno = errno_of(e)?;
-                return Err(InstallError::Chown { path: f.path.clone(), errno });
+                return Err(InstallError::Chown {
+                    path: f.path.clone(),
+                    errno,
+                });
             }
         }
     }
@@ -210,7 +218,10 @@ mod tests {
         let c = k
             .container_create(
                 Kernel::HOST_USER_PID,
-                ContainerConfig { ctype: ContainerType::TypeIII, image },
+                ContainerConfig {
+                    ctype: ContainerType::TypeIII,
+                    image,
+                },
             )
             .unwrap();
         (k, c.init_pid)
@@ -281,7 +292,10 @@ mod tests {
         let mut ctx = k.ctx(pid);
         assert!(matches!(
             extract_file(&mut ctx, &f, ChownBehavior::Always),
-            Err(InstallError::Mknod { errno: Errno::EPERM, .. })
+            Err(InstallError::Mknod {
+                errno: Errno::EPERM,
+                ..
+            })
         ));
     }
 

@@ -36,4 +36,4 @@ pub mod rpm;
 pub mod yum;
 
 pub use register::register_image_binaries;
-pub use repo::{synthetic_repo, PkgFile, Package, PayloadKind, Repo};
+pub use repo::{synthetic_repo, Package, PayloadKind, PkgFile, Repo};

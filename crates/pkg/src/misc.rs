@@ -49,8 +49,13 @@ pub struct FakerootBin;
 
 impl Program for FakerootBin {
     fn run(&mut self, sys: &mut dyn Sys, env: &mut ExecEnv) -> i32 {
-        let args: Vec<String> =
-            env.argv.iter().skip(1).filter(|a| *a != "--").cloned().collect();
+        let args: Vec<String> = env
+            .argv
+            .iter()
+            .skip(1)
+            .filter(|a| *a != "--")
+            .cloned()
+            .collect();
         if args.is_empty() {
             sys.println("fakeroot version 1.31 (zeroroot simulation)".to_string());
             return 0;

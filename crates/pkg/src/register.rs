@@ -42,7 +42,9 @@ pub fn register_image_binaries(kernel: &mut Kernel, meta: &ImageMeta) {
         let path = bin.path.as_str();
         match bin.kind {
             BinKind::Shell | BinKind::Busybox => {
-                kernel.registry.register(path, link, || Box::new(ShellProgram));
+                kernel
+                    .registry
+                    .register(path, link, || Box::new(ShellProgram));
             }
             BinKind::Apk => {
                 let repo = repo.clone();
@@ -87,10 +89,14 @@ pub fn register_image_binaries(kernel: &mut Kernel, meta: &ImageMeta) {
                 });
             }
             BinKind::Fakeroot => {
-                kernel.registry.register(path, link, || Box::new(FakerootBin));
+                kernel
+                    .registry
+                    .register(path, link, || Box::new(FakerootBin));
             }
             BinKind::Unminimize => {
-                kernel.registry.register(path, link, || Box::new(Unminimize));
+                kernel
+                    .registry
+                    .register(path, link, || Box::new(Unminimize));
             }
             BinKind::True => {
                 kernel.registry.register(path, link, || Box::new(TrueBin));
@@ -114,7 +120,9 @@ pub fn register_image_binaries(kernel: &mut Kernel, meta: &ImageMeta) {
         .register("/usr/bin/hello", Linkage::Dynamic, || Box::new(Hello));
     kernel
         .registry
-        .register("/usr/bin/fakeroot", Linkage::Dynamic, || Box::new(FakerootBin));
+        .register("/usr/bin/fakeroot", Linkage::Dynamic, || {
+            Box::new(FakerootBin)
+        });
     kernel
         .registry
         .register("/usr/bin/fipscheck", Linkage::Dynamic, || Box::new(TrueBin));
@@ -123,7 +131,9 @@ pub fn register_image_binaries(kernel: &mut Kernel, meta: &ImageMeta) {
         .register("/usr/sbin/sshd", Linkage::Dynamic, || Box::new(TrueBin));
     kernel
         .registry
-        .register("/usr/lib/systemd/systemd", Linkage::Dynamic, || Box::new(TrueBin));
+        .register("/usr/lib/systemd/systemd", Linkage::Dynamic, || {
+            Box::new(TrueBin)
+        });
 }
 
 #[cfg(test)]
@@ -135,13 +145,18 @@ mod tests {
     #[test]
     fn alpine_binaries_registered_and_runnable() {
         let mut k = Kernel::default_kernel();
-        let mut img = Registry::new().pull(&ImageRef::parse("alpine:3.19").unwrap()).unwrap();
+        let mut img = Registry::new()
+            .pull(&ImageRef::parse("alpine:3.19").unwrap())
+            .unwrap();
         img.chown_all(1000, 1000);
         register_image_binaries(&mut k, &img.meta);
         let c = k
             .container_create(
                 Kernel::HOST_USER_PID,
-                ContainerConfig { ctype: ContainerType::TypeIII, image: img.fs },
+                ContainerConfig {
+                    ctype: ContainerType::TypeIII,
+                    image: img.fs,
+                },
             )
             .unwrap();
         let mut ctx = k.ctx(c.init_pid);

@@ -53,7 +53,13 @@ impl PkgFile {
 
     /// Root-owned directory.
     pub fn dir(path: &str, perm: u32) -> PkgFile {
-        PkgFile { path: path.into(), perm, uid: 0, gid: 0, kind: PayloadKind::Dir }
+        PkgFile {
+            path: path.into(),
+            perm,
+            uid: 0,
+            gid: 0,
+            kind: PayloadKind::Dir,
+        }
     }
 
     /// With different ownership (the chown trigger).
@@ -112,7 +118,9 @@ pub enum ResolveError {
 impl std::fmt::Display for ResolveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ResolveError::Unknown(p) => write!(f, "unable to select packages: {p} (no such package)"),
+            ResolveError::Unknown(p) => {
+                write!(f, "unable to select packages: {p} (no such package)")
+            }
             ResolveError::Cycle(p) => write!(f, "dependency cycle at {p}"),
         }
     }
@@ -121,7 +129,10 @@ impl std::fmt::Display for ResolveError {
 impl Repo {
     /// Empty repo with a URL.
     pub fn new(url: &str) -> Repo {
-        Repo { packages: BTreeMap::new(), url: url.into() }
+        Repo {
+            packages: BTreeMap::new(),
+            url: url.into(),
+        }
     }
 
     /// Add a package.
@@ -251,7 +262,11 @@ pub fn centos_repo() -> Repo {
         name: "fipscheck".into(),
         version: "1.4.1-6.el7".into(),
         deps: vec!["fipscheck-lib".into()],
-        files: vec![PkgFile::file("/usr/bin/fipscheck", 0o755, b"\x7fELFfipscheck")],
+        files: vec![PkgFile::file(
+            "/usr/bin/fipscheck",
+            0o755,
+            b"\x7fELFfipscheck",
+        )],
         post_install: None,
         size_kib: 21,
     });
@@ -265,8 +280,12 @@ pub fn centos_repo() -> Repo {
             // THE failing entry: group ssh_keys (gid 998) — unmapped in a
             // single-id user namespace, so fchownat returns EINVAL and
             // rpm aborts with "cpio: chown".
-            PkgFile::file("/usr/libexec/openssh/ssh-keysign", 0o4755, b"\x7fELFkeysign")
-                .owned(0, 998),
+            PkgFile::file(
+                "/usr/libexec/openssh/ssh-keysign",
+                0o4755,
+                b"\x7fELFkeysign",
+            )
+            .owned(0, 998),
             PkgFile::dir("/var/empty/sshd", 0o711),
         ],
         post_install: Some("mkdir -p /var/empty/sshd && chmod 711 /var/empty/sshd".into()),
@@ -311,7 +330,11 @@ pub fn debian_repo() -> Repo {
         name: "libssl3".into(),
         version: "3.0.11-1".into(),
         deps: vec![],
-        files: vec![PkgFile::file("/usr/lib/libssl.so.3", 0o755, b"\x7fELFlibssl")],
+        files: vec![PkgFile::file(
+            "/usr/lib/libssl.so.3",
+            0o755,
+            b"\x7fELFlibssl",
+        )],
         post_install: None,
         size_kib: 2100,
     });
@@ -339,9 +362,7 @@ pub fn debian_repo() -> Repo {
         ],
         // systemd's postinst needs privileged xattrs and device nodes —
         // the §6 future-work case.
-        post_install: Some(
-            "mknod /dev/null-sd c 1 3 && echo done-with-devices".into(),
-        ),
+        post_install: Some("mknod /dev/null-sd c 1 3 && echo done-with-devices".into()),
         size_kib: 9800,
     });
     r.add(Package {
@@ -373,13 +394,16 @@ pub fn synthetic_repo(
     let mut r = Repo::new("https://bench.invalid/repo");
     for i in 0..npkgs {
         let name = format!("pkg{i:04}");
-        let deps = if i == 0 { vec![] } else { vec![format!("pkg{:04}", i - 1)] };
+        let deps = if i == 0 {
+            vec![]
+        } else {
+            vec![format!("pkg{:04}", i - 1)]
+        };
         let mut files = vec![PkgFile::dir(&format!("/opt/{name}"), 0o755)];
         for f in 0..files_per_pkg {
             let mut content = vec![0u8; file_kib * 1024];
             rng.fill(&mut content[..]);
-            let mut file =
-                PkgFile::file(&format!("/opt/{name}/file{f:03}"), 0o644, &content);
+            let mut file = PkgFile::file(&format!("/opt/{name}/file{f:03}"), 0o644, &content);
             if rng.gen_range(0..100) < owned_fraction_percent {
                 file = file.owned(rng.gen_range(1..1000), rng.gen_range(1..1000));
             }
@@ -428,8 +452,16 @@ mod tests {
     #[test]
     fn cycle_detected() {
         let mut repo = Repo::new("x");
-        repo.add(Package { name: "a".into(), deps: vec!["b".into()], ..Default::default() });
-        repo.add(Package { name: "b".into(), deps: vec!["a".into()], ..Default::default() });
+        repo.add(Package {
+            name: "a".into(),
+            deps: vec!["b".into()],
+            ..Default::default()
+        });
+        repo.add(Package {
+            name: "b".into(),
+            deps: vec!["a".into()],
+            ..Default::default()
+        });
         assert!(matches!(repo.resolve(&["a"]), Err(ResolveError::Cycle(_))));
     }
 

@@ -26,10 +26,7 @@ pub fn rpm_install_one(
 ) -> Result<(), InstallError> {
     sys.println(format!(
         "  Installing : {}-{}.x86_64 {:>20}/{}",
-        pkg.name,
-        pkg.version,
-        index,
-        total
+        pkg.name, pkg.version, index, total
     ));
     match extract_package(sys, pkg, ChownBehavior::Always) {
         Ok(()) => {}
@@ -65,7 +62,11 @@ impl Rpm {
 impl Program for Rpm {
     fn run(&mut self, sys: &mut dyn Sys, env: &mut ExecEnv) -> i32 {
         let args = env.args();
-        let names: Vec<&str> = args.iter().filter(|a| !a.starts_with('-')).copied().collect();
+        let names: Vec<&str> = args
+            .iter()
+            .filter(|a| !a.starts_with('-'))
+            .copied()
+            .collect();
         if names.is_empty() || !args.iter().any(|a| a.starts_with("-i") || *a == "-U") {
             sys.println("rpm: usage: rpm -i PACKAGE…".to_string());
             return 1;
@@ -96,12 +97,17 @@ mod tests {
 
     fn centos_container() -> (Kernel, u32) {
         let mut k = Kernel::default_kernel();
-        let mut img = Registry::new().pull(&ImageRef::parse("centos:7").unwrap()).unwrap();
+        let mut img = Registry::new()
+            .pull(&ImageRef::parse("centos:7").unwrap())
+            .unwrap();
         img.chown_all(1000, 1000);
         let c = k
             .container_create(
                 Kernel::HOST_USER_PID,
-                ContainerConfig { ctype: ContainerType::TypeIII, image: img.fs },
+                ContainerConfig {
+                    ctype: ContainerType::TypeIII,
+                    image: img.fs,
+                },
             )
             .unwrap();
         (k, c.init_pid)
@@ -122,7 +128,10 @@ mod tests {
         assert_eq!(code, 1);
         let console = k.take_console().join("\n");
         assert!(console.contains("cpio: chown"), "{console}");
-        assert!(console.contains("Error unpacking rpm package openssh"), "{console}");
+        assert!(
+            console.contains("Error unpacking rpm package openssh"),
+            "{console}"
+        );
     }
 
     #[test]

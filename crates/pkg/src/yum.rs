@@ -78,7 +78,11 @@ impl Yum {
 impl Program for Yum {
     fn run(&mut self, sys: &mut dyn Sys, env: &mut ExecEnv) -> i32 {
         let args = env.args();
-        let args: Vec<&str> = args.iter().filter(|a| !a.starts_with('-')).copied().collect();
+        let args: Vec<&str> = args
+            .iter()
+            .filter(|a| !a.starts_with('-'))
+            .copied()
+            .collect();
         match args.split_first() {
             Some((&"install", names)) if !names.is_empty() => {
                 let env_clone = env.clone();
@@ -89,7 +93,10 @@ impl Program for Yum {
                 0
             }
             _ => {
-                sys.println(format!("{}: usage: {} install -y PKG…", self.brand, self.brand));
+                sys.println(format!(
+                    "{}: usage: {} install -y PKG…",
+                    self.brand, self.brand
+                ));
                 1
             }
         }
@@ -105,12 +112,17 @@ mod tests {
 
     fn centos_container() -> (Kernel, u32) {
         let mut k = Kernel::default_kernel();
-        let mut img = Registry::new().pull(&ImageRef::parse("centos:7").unwrap()).unwrap();
+        let mut img = Registry::new()
+            .pull(&ImageRef::parse("centos:7").unwrap())
+            .unwrap();
         img.chown_all(1000, 1000);
         let c = k
             .container_create(
                 Kernel::HOST_USER_PID,
-                ContainerConfig { ctype: ContainerType::TypeIII, image: img.fs },
+                ContainerConfig {
+                    ctype: ContainerType::TypeIII,
+                    image: img.fs,
+                },
             )
             .unwrap();
         (k, c.init_pid)
@@ -120,7 +132,10 @@ mod tests {
         let mut yum = Yum::new(Arc::new(centos_repo()));
         let mut argv = vec!["yum".to_string(), "install".to_string(), "-y".to_string()];
         argv.extend(names.iter().map(|s| s.to_string()));
-        let mut env = ExecEnv { argv, ..Default::default() };
+        let mut env = ExecEnv {
+            argv,
+            ..Default::default()
+        };
         let mut ctx = k.ctx(pid);
         yum.run(&mut ctx, &mut env)
     }
@@ -131,9 +146,15 @@ mod tests {
         let code = run_yum(&mut k, pid, &["openssh"]);
         assert_eq!(code, 1);
         let console = k.take_console().join("\n");
-        assert!(console.contains("Installing : openssh-7.4p1-23.el7_9.x86_64"), "{console}");
+        assert!(
+            console.contains("Installing : openssh-7.4p1-23.el7_9.x86_64"),
+            "{console}"
+        );
         assert!(console.contains("cpio: chown"), "{console}");
-        assert!(console.contains("something went wrong, rolling back"), "{console}");
+        assert!(
+            console.contains("something went wrong, rolling back"),
+            "{console}"
+        );
         // Rollback removed the dependencies that had installed.
         let mut ctx = k.ctx(pid);
         assert!(!ctx.exists("/usr/bin/fipscheck"));

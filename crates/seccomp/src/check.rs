@@ -31,7 +31,10 @@ impl std::fmt::Display for CheckError {
                 write!(f, "non-word or non-absolute data load at pc {pc}")
             }
             CheckError::BadOffset { pc, offset } => {
-                write!(f, "load offset {offset} invalid for seccomp_data at pc {pc}")
+                write!(
+                    f,
+                    "load offset {offset} invalid for seccomp_data at pc {pc}"
+                )
             }
         }
     }

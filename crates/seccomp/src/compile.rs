@@ -70,7 +70,9 @@ struct RetIslands {
 
 impl RetIslands {
     fn new() -> RetIslands {
-        RetIslands { entries: Vec::new() }
+        RetIslands {
+            entries: Vec::new(),
+        }
     }
 
     fn label_for(&mut self, asm: &mut Assembler, action: Action) -> Label {
@@ -226,12 +228,10 @@ mod tests {
         let prog = compile(&zero_consistency(&[Arch::Aarch64])).expect("compiles");
         let nr = Sysno::Mknodat.number(Arch::Aarch64).unwrap();
         // mknodat(dirfd, path, mode, dev): mode is arg 2.
-        let dev =
-            SeccompData::new(Arch::Aarch64, nr, [0, 0, (S_IFCHR | 0o666) as u64, 0, 0, 0]);
+        let dev = SeccompData::new(Arch::Aarch64, nr, [0, 0, (S_IFCHR | 0o666) as u64, 0, 0, 0]);
         assert_eq!(eval(&prog, &dev), Action::Errno(0));
         // Same value in arg 1 (the mknod position) must NOT trigger.
-        let wrong =
-            SeccompData::new(Arch::Aarch64, nr, [0, (S_IFCHR | 0o666) as u64, 0, 0, 0, 0]);
+        let wrong = SeccompData::new(Arch::Aarch64, nr, [0, (S_IFCHR | 0o666) as u64, 0, 0, 0, 0]);
         assert_eq!(eval(&prog, &wrong), Action::Allow);
     }
 
@@ -283,9 +283,17 @@ mod tests {
         // The paper touts simplicity; the whole six-arch filter should be
         // a few hundred instructions, far under BPF_MAXINSNS.
         let prog = compile(&zero_consistency(&Arch::ALL)).expect("compiles");
-        assert!(prog.len() < 512, "filter unexpectedly large: {}", prog.len());
+        assert!(
+            prog.len() < 512,
+            "filter unexpectedly large: {}",
+            prog.len()
+        );
         let single = compile(&zero_consistency(&[Arch::X8664])).expect("compiles");
-        assert!(single.len() < 64, "single-arch filter large: {}", single.len());
+        assert!(
+            single.len() < 64,
+            "single-arch filter large: {}",
+            single.len()
+        );
     }
 
     #[test]

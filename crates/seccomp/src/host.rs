@@ -101,9 +101,17 @@ mod imp {
         let insns: Vec<SockFilter> = prog
             .insns()
             .iter()
-            .map(|i| SockFilter { code: i.code, jt: i.jt, jf: i.jf, k: i.k })
+            .map(|i| SockFilter {
+                code: i.code,
+                jt: i.jt,
+                jf: i.jf,
+                k: i.k,
+            })
             .collect();
-        let fprog = SockFprog { len, filter: insns.as_ptr() };
+        let fprog = SockFprog {
+            len,
+            filter: insns.as_ptr(),
+        };
 
         // SAFETY: plain integer arguments.
         let r = unsafe { syscall5(SYS_PRCTL, PR_SET_NO_NEW_PRIVS, 1, 0, 0, 0) };

@@ -58,10 +58,7 @@ pub struct FilterSpec {
 impl FilterSpec {
     /// Look up the rule for `sysno`, if any.
     pub fn rule_for(&self, sysno: Sysno) -> Option<Rule> {
-        self.rules
-            .iter()
-            .find(|r| r.sysno == sysno)
-            .map(|r| r.rule)
+        self.rules.iter().find(|r| r.sysno == sysno).map(|r| r.rule)
     }
 
     /// Number of (arch, syscall) pairs the compiled filter will match —
@@ -98,7 +95,10 @@ pub fn zero_consistency(arches: &[Arch]) -> FilterSpec {
                 },
                 None => Rule::Always(fake),
             };
-            SyscallRule { sysno: f.sysno, rule }
+            SyscallRule {
+                sysno: f.sysno,
+                rule,
+            }
         })
         .collect();
     FilterSpec {
@@ -138,9 +138,7 @@ pub fn deny_with_eperm(arches: &[Arch]) -> FilterSpec {
     for r in &mut spec.rules {
         match &mut r.rule {
             Rule::Always(a) => *a = Action::Errno(1),
-            Rule::DeviceConditional { device_action, .. } => {
-                *device_action = Action::Errno(1)
-            }
+            Rule::DeviceConditional { device_action, .. } => *device_action = Action::Errno(1),
         }
     }
     spec
@@ -162,7 +160,11 @@ mod tests {
         let spec = zero_consistency(&[Arch::X8664]);
         for sy in [Sysno::Mknod, Sysno::Mknodat] {
             match spec.rule_for(sy) {
-                Some(Rule::DeviceConditional { device_action, other_action, .. }) => {
+                Some(Rule::DeviceConditional {
+                    device_action,
+                    other_action,
+                    ..
+                }) => {
                     assert_eq!(device_action, Action::Errno(0));
                     assert_eq!(other_action, Action::Allow);
                 }

@@ -82,7 +82,11 @@ mod tests {
     use zr_syscalls::{Arch, Sysno};
 
     fn chown_data() -> SeccompData {
-        SeccompData::new(Arch::X8664, Sysno::Chown.number(Arch::X8664).unwrap(), [0; 6])
+        SeccompData::new(
+            Arch::X8664,
+            Sysno::Chown.number(Arch::X8664).unwrap(),
+            [0; 6],
+        )
     }
 
     #[test]
@@ -130,8 +134,11 @@ mod tests {
     fn every_filter_taxes_every_syscall() {
         // §6(1): the filter imposes overhead on every syscall, not just
         // filtered ones — and stacked filters stack the tax.
-        let read_data =
-            SeccompData::new(Arch::X8664, Sysno::Read.number(Arch::X8664).unwrap(), [0; 6]);
+        let read_data = SeccompData::new(
+            Arch::X8664,
+            Sysno::Read.number(Arch::X8664).unwrap(),
+            [0; 6],
+        );
         let mut stack = FilterStack::new();
         stack.push(compile(&zero_consistency(&[Arch::X8664])).unwrap());
         let (_, one) = stack.evaluate(&read_data);

@@ -30,7 +30,8 @@ fn parse_owner_spec(sys: &mut dyn Sys, spec: &str) -> Result<(u32, Option<u32>),
         Some((u, g)) => (u, Some(g)),
         None => (spec, None),
     };
-    let uid = resolve_id(sys, user, "/etc/passwd").ok_or_else(|| format!("invalid user: '{user}'"))?;
+    let uid =
+        resolve_id(sys, user, "/etc/passwd").ok_or_else(|| format!("invalid user: '{user}'"))?;
     let gid = match group {
         None => None,
         Some(g) => {
@@ -149,7 +150,11 @@ fn run_builtin(
             let parents = args.contains(&"-p");
             let mut status = 0;
             for a in args.iter().filter(|a| !a.starts_with('-')) {
-                let r = if parents { sys.mkdir_p(a, 0o755) } else { sys.mkdir(a, 0o755) };
+                let r = if parents {
+                    sys.mkdir_p(a, 0o755)
+                } else {
+                    sys.mkdir(a, 0o755)
+                };
                 if let Err(e) = r {
                     sys.println(format!("mkdir: {a}: {e}"));
                     status = 1;
@@ -171,7 +176,11 @@ fn run_builtin(
             let force = args.iter().any(|a| a.starts_with('-') && a.contains('f'));
             let mut status = 0;
             for a in args.iter().filter(|a| !a.starts_with('-')) {
-                let r = if recursive { rm_recursive(sys, a) } else { sys.unlink(a) };
+                let r = if recursive {
+                    rm_recursive(sys, a)
+                } else {
+                    sys.unlink(a)
+                };
                 if let Err(e) = r {
                     if !force {
                         sys.println(format!("rm: {a}: {e}"));
@@ -277,57 +286,54 @@ fn run_builtin(
         "chmod" => {
             let specs: Vec<&&str> = args.iter().filter(|a| !a.starts_with('-')).collect();
             match specs.split_first() {
-                Some((m, files)) if !files.is_empty() => {
-                    match u32::from_str_radix(m, 8) {
-                        Ok(perm) => {
-                            let mut status = 0;
-                            for f in files {
-                                if let Err(e) = sys.chmod(f, perm) {
-                                    sys.println(format!("chmod: {f}: {e}"));
-                                    status = 1;
-                                }
+                Some((m, files)) if !files.is_empty() => match u32::from_str_radix(m, 8) {
+                    Ok(perm) => {
+                        let mut status = 0;
+                        for f in files {
+                            if let Err(e) = sys.chmod(f, perm) {
+                                sys.println(format!("chmod: {f}: {e}"));
+                                status = 1;
                             }
-                            status
                         }
-                        Err(_) => 1,
+                        status
                     }
-                }
+                    Err(_) => 1,
+                },
                 _ => 1,
             }
         }
         "chown" => {
             let specs: Vec<&&str> = args.iter().filter(|a| !a.starts_with('-')).collect();
             match specs.split_first() {
-                Some((spec, files)) if !files.is_empty() => {
-                    match parse_owner_spec(sys, spec) {
-                        Ok((uid, gid)) => {
-                            let mut status = 0;
-                            for f in files {
-                                let r = match gid {
-                                    Some(g) => sys.chown(f, uid, g),
-                                    None => sys.call(zr_kernel::SysCall::Chown {
+                Some((spec, files)) if !files.is_empty() => match parse_owner_spec(sys, spec) {
+                    Ok((uid, gid)) => {
+                        let mut status = 0;
+                        for f in files {
+                            let r = match gid {
+                                Some(g) => sys.chown(f, uid, g),
+                                None => sys
+                                    .call(zr_kernel::SysCall::Chown {
                                         path: (*f).to_string(),
                                         uid: Some(uid),
                                         gid: None,
                                     })
                                     .map(|_| ()),
-                                };
-                                if let Err(e) = r {
-                                    let msg = errno_of(e)
-                                        .map(|e| e.describe().to_string())
-                                        .unwrap_or_else(|| "killed".into());
-                                    sys.println(format!("chown: {f}: {msg}"));
-                                    status = 1;
-                                }
+                            };
+                            if let Err(e) = r {
+                                let msg = errno_of(e)
+                                    .map(|e| e.describe().to_string())
+                                    .unwrap_or_else(|| "killed".into());
+                                sys.println(format!("chown: {f}: {msg}"));
+                                status = 1;
                             }
-                            status
                         }
-                        Err(msg) => {
-                            sys.println(format!("chown: {msg}"));
-                            1
-                        }
+                        status
                     }
-                }
+                    Err(msg) => {
+                        sys.println(format!("chown: {msg}"));
+                        1
+                    }
+                },
                 _ => 1,
             }
         }
@@ -382,11 +388,7 @@ fn run_builtin(
     Some(CmdResult::Status(status))
 }
 
-fn spawn_external(
-    sys: &mut dyn Sys,
-    argv: &[String],
-    env: &[(String, String)],
-) -> CmdResult {
+fn spawn_external(sys: &mut dyn Sys, argv: &[String], env: &[(String, String)]) -> CmdResult {
     let prog = &argv[0];
     let path_list = env
         .iter()
@@ -398,7 +400,10 @@ fn spawn_external(
     let candidates: Vec<String> = if prog.contains('/') {
         vec![prog.clone()]
     } else {
-        path_list.split(':').map(|d| format!("{d}/{prog}")).collect()
+        path_list
+            .split(':')
+            .map(|d| format!("{d}/{prog}"))
+            .collect()
     };
 
     for candidate in &candidates {
@@ -448,7 +453,10 @@ pub fn run_command_line(sys: &mut dyn Sys, cmdline: &str, env: &[(String, String
         if name == "?" {
             return Some(last_status.to_string());
         }
-        env.iter().rev().find(|(k, _)| k == name).map(|(_, v)| v.clone())
+        env.iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.clone())
     };
     let tokens: Vec<Token> = match lex(cmdline, &lookup) {
         Ok(t) => t,
@@ -542,13 +550,17 @@ mod tests {
             .write_file(
                 "/etc/passwd",
                 0o644,
-                b"root:x:0:0:root:/root:/bin/sh\nsshd:x:74:74::/var/empty:/sbin/nologin\n"
-                    .to_vec(),
+                b"root:x:0:0:root:/root:/bin/sh\nsshd:x:74:74::/var/empty:/sbin/nologin\n".to_vec(),
                 &root,
             )
             .unwrap();
         image
-            .write_file("/etc/group", 0o644, b"root:x:0:\nssh_keys:x:998:\n".to_vec(), &root)
+            .write_file(
+                "/etc/group",
+                0o644,
+                b"root:x:0:\nssh_keys:x:998:\n".to_vec(),
+                &root,
+            )
             .unwrap();
         for ino in 1..=image.inode_count() as u64 {
             image.set_owner(ino, 1000, 1000).unwrap();
@@ -556,7 +568,10 @@ mod tests {
         let c = k
             .container_create(
                 Kernel::HOST_USER_PID,
-                ContainerConfig { ctype: ContainerType::TypeIII, image },
+                ContainerConfig {
+                    ctype: ContainerType::TypeIII,
+                    image,
+                },
             )
             .unwrap();
         (k, c.init_pid)
@@ -619,12 +634,12 @@ mod tests {
     fn chown_builtin_fails_in_type_iii() {
         // The coreutils path to the Figure 1b failure.
         let (mut k, pid) = kernel_with_container();
-        assert_eq!(sh(&mut k, pid, "touch /tmp/f && chown sshd:ssh_keys /tmp/f"), 1);
-        let console = k.take_console();
-        assert!(
-            console.iter().any(|l| l.contains("chown:")),
-            "{console:?}"
+        assert_eq!(
+            sh(&mut k, pid, "touch /tmp/f && chown sshd:ssh_keys /tmp/f"),
+            1
         );
+        let console = k.take_console();
+        assert!(console.iter().any(|l| l.contains("chown:")), "{console:?}");
     }
 
     #[test]
@@ -659,7 +674,11 @@ mod tests {
     fn cp_mv_cat() {
         let (mut k, pid) = kernel_with_container();
         assert_eq!(
-            sh(&mut k, pid, "echo payload > /tmp/a && cp /tmp/a /tmp/b && mv /tmp/b /tmp/c && cat /tmp/c"),
+            sh(
+                &mut k,
+                pid,
+                "echo payload > /tmp/a && cp /tmp/a /tmp/b && mv /tmp/b /tmp/c && cat /tmp/c"
+            ),
             0
         );
         let console = k.take_console();

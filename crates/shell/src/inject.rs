@@ -33,21 +33,22 @@ pub fn inject_apt_workaround(cmdline: &str) -> (String, bool) {
     let mut in_double = false;
 
     let mut word = String::new();
-    let flush_word = |word: &mut String, out: &mut String, command_position: &mut bool, changed: &mut bool| {
-        if word.is_empty() {
-            return;
-        }
-        out.push_str(word);
-        if *command_position && is_apt_command(word) {
-            out.push(' ');
-            out.push_str(APT_OPTION);
-            *changed = true;
-        }
-        if *command_position {
-            *command_position = false;
-        }
-        word.clear();
-    };
+    let flush_word =
+        |word: &mut String, out: &mut String, command_position: &mut bool, changed: &mut bool| {
+            if word.is_empty() {
+                return;
+            }
+            out.push_str(word);
+            if *command_position && is_apt_command(word) {
+                out.push(' ');
+                out.push_str(APT_OPTION);
+                *changed = true;
+            }
+            if *command_position {
+                *command_position = false;
+            }
+            word.clear();
+        };
 
     let mut chars = cmdline.chars().peekable();
     while let Some(c) = chars.next() {
@@ -121,9 +122,9 @@ mod tests {
         for cmd in [
             "yum install -y openssh",
             "apk add sl",
-            "echo apt-get is a word here",   // not command position
-            "aptitude install x",            // different tool
-            "cp apt-get.txt /tmp",           // argument, not command
+            "echo apt-get is a word here", // not command position
+            "aptitude install x",          // different tool
+            "cp apt-get.txt /tmp",         // argument, not command
         ] {
             let (out, changed) = inject_apt_workaround(cmd);
             assert!(!changed, "{cmd} should be untouched");

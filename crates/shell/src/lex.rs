@@ -38,7 +38,11 @@ impl std::fmt::Display for LexError {
 
 impl std::error::Error for LexError {}
 
-fn expand_var(chars: &mut std::iter::Peekable<std::str::Chars>, env: &dyn Fn(&str) -> Option<String>, out: &mut String) {
+fn expand_var(
+    chars: &mut std::iter::Peekable<std::str::Chars>,
+    env: &dyn Fn(&str) -> Option<String>,
+    out: &mut String,
+) {
     match chars.peek() {
         Some('{') => {
             chars.next();
@@ -212,7 +216,10 @@ mod tests {
 
     #[test]
     fn simple_split() {
-        assert_eq!(words("yum install -y openssh"), vec!["yum", "install", "-y", "openssh"]);
+        assert_eq!(
+            words("yum install -y openssh"),
+            vec!["yum", "install", "-y", "openssh"]
+        );
     }
 
     #[test]
@@ -270,7 +277,10 @@ mod tests {
 
     #[test]
     fn errors() {
-        assert!(matches!(lex("echo 'x", &none), Err(LexError::UnterminatedQuote('\''))));
+        assert!(matches!(
+            lex("echo 'x", &none),
+            Err(LexError::UnterminatedQuote('\''))
+        ));
         assert!(matches!(lex("a | b", &none), Err(LexError::Unsupported(_))));
         assert!(matches!(lex("a & b", &none), Err(LexError::Unsupported(_))));
     }

@@ -51,38 +51,125 @@ pub struct FilteredSyscall {
 /// The paper's 29 filtered syscalls: 7 + 19 + 2 + 1.
 pub const FILTERED: &[FilteredSyscall] = &[
     // Class 1: file ownership (7).
-    FilteredSyscall { sysno: Sysno::Chown, class: FilterClass::FileOwnership },
-    FilteredSyscall { sysno: Sysno::Chown32, class: FilterClass::FileOwnership },
-    FilteredSyscall { sysno: Sysno::Fchown, class: FilterClass::FileOwnership },
-    FilteredSyscall { sysno: Sysno::Fchown32, class: FilterClass::FileOwnership },
-    FilteredSyscall { sysno: Sysno::Fchownat, class: FilterClass::FileOwnership },
-    FilteredSyscall { sysno: Sysno::Lchown, class: FilterClass::FileOwnership },
-    FilteredSyscall { sysno: Sysno::Lchown32, class: FilterClass::FileOwnership },
+    FilteredSyscall {
+        sysno: Sysno::Chown,
+        class: FilterClass::FileOwnership,
+    },
+    FilteredSyscall {
+        sysno: Sysno::Chown32,
+        class: FilterClass::FileOwnership,
+    },
+    FilteredSyscall {
+        sysno: Sysno::Fchown,
+        class: FilterClass::FileOwnership,
+    },
+    FilteredSyscall {
+        sysno: Sysno::Fchown32,
+        class: FilterClass::FileOwnership,
+    },
+    FilteredSyscall {
+        sysno: Sysno::Fchownat,
+        class: FilterClass::FileOwnership,
+    },
+    FilteredSyscall {
+        sysno: Sysno::Lchown,
+        class: FilterClass::FileOwnership,
+    },
+    FilteredSyscall {
+        sysno: Sysno::Lchown32,
+        class: FilterClass::FileOwnership,
+    },
     // Class 2: user/group/capability manipulation (19).
-    FilteredSyscall { sysno: Sysno::Capset, class: FilterClass::IdentityCaps },
-    FilteredSyscall { sysno: Sysno::Setfsgid, class: FilterClass::IdentityCaps },
-    FilteredSyscall { sysno: Sysno::Setfsgid32, class: FilterClass::IdentityCaps },
-    FilteredSyscall { sysno: Sysno::Setfsuid, class: FilterClass::IdentityCaps },
-    FilteredSyscall { sysno: Sysno::Setfsuid32, class: FilterClass::IdentityCaps },
-    FilteredSyscall { sysno: Sysno::Setgid, class: FilterClass::IdentityCaps },
-    FilteredSyscall { sysno: Sysno::Setgid32, class: FilterClass::IdentityCaps },
-    FilteredSyscall { sysno: Sysno::Setgroups, class: FilterClass::IdentityCaps },
-    FilteredSyscall { sysno: Sysno::Setgroups32, class: FilterClass::IdentityCaps },
-    FilteredSyscall { sysno: Sysno::Setregid, class: FilterClass::IdentityCaps },
-    FilteredSyscall { sysno: Sysno::Setregid32, class: FilterClass::IdentityCaps },
-    FilteredSyscall { sysno: Sysno::Setresgid, class: FilterClass::IdentityCaps },
-    FilteredSyscall { sysno: Sysno::Setresgid32, class: FilterClass::IdentityCaps },
-    FilteredSyscall { sysno: Sysno::Setresuid, class: FilterClass::IdentityCaps },
-    FilteredSyscall { sysno: Sysno::Setresuid32, class: FilterClass::IdentityCaps },
-    FilteredSyscall { sysno: Sysno::Setreuid, class: FilterClass::IdentityCaps },
-    FilteredSyscall { sysno: Sysno::Setreuid32, class: FilterClass::IdentityCaps },
-    FilteredSyscall { sysno: Sysno::Setuid, class: FilterClass::IdentityCaps },
-    FilteredSyscall { sysno: Sysno::Setuid32, class: FilterClass::IdentityCaps },
+    FilteredSyscall {
+        sysno: Sysno::Capset,
+        class: FilterClass::IdentityCaps,
+    },
+    FilteredSyscall {
+        sysno: Sysno::Setfsgid,
+        class: FilterClass::IdentityCaps,
+    },
+    FilteredSyscall {
+        sysno: Sysno::Setfsgid32,
+        class: FilterClass::IdentityCaps,
+    },
+    FilteredSyscall {
+        sysno: Sysno::Setfsuid,
+        class: FilterClass::IdentityCaps,
+    },
+    FilteredSyscall {
+        sysno: Sysno::Setfsuid32,
+        class: FilterClass::IdentityCaps,
+    },
+    FilteredSyscall {
+        sysno: Sysno::Setgid,
+        class: FilterClass::IdentityCaps,
+    },
+    FilteredSyscall {
+        sysno: Sysno::Setgid32,
+        class: FilterClass::IdentityCaps,
+    },
+    FilteredSyscall {
+        sysno: Sysno::Setgroups,
+        class: FilterClass::IdentityCaps,
+    },
+    FilteredSyscall {
+        sysno: Sysno::Setgroups32,
+        class: FilterClass::IdentityCaps,
+    },
+    FilteredSyscall {
+        sysno: Sysno::Setregid,
+        class: FilterClass::IdentityCaps,
+    },
+    FilteredSyscall {
+        sysno: Sysno::Setregid32,
+        class: FilterClass::IdentityCaps,
+    },
+    FilteredSyscall {
+        sysno: Sysno::Setresgid,
+        class: FilterClass::IdentityCaps,
+    },
+    FilteredSyscall {
+        sysno: Sysno::Setresgid32,
+        class: FilterClass::IdentityCaps,
+    },
+    FilteredSyscall {
+        sysno: Sysno::Setresuid,
+        class: FilterClass::IdentityCaps,
+    },
+    FilteredSyscall {
+        sysno: Sysno::Setresuid32,
+        class: FilterClass::IdentityCaps,
+    },
+    FilteredSyscall {
+        sysno: Sysno::Setreuid,
+        class: FilterClass::IdentityCaps,
+    },
+    FilteredSyscall {
+        sysno: Sysno::Setreuid32,
+        class: FilterClass::IdentityCaps,
+    },
+    FilteredSyscall {
+        sysno: Sysno::Setuid,
+        class: FilterClass::IdentityCaps,
+    },
+    FilteredSyscall {
+        sysno: Sysno::Setuid32,
+        class: FilterClass::IdentityCaps,
+    },
     // Class 3: device nodes (2).
-    FilteredSyscall { sysno: Sysno::Mknod, class: FilterClass::MknodDevice },
-    FilteredSyscall { sysno: Sysno::Mknodat, class: FilterClass::MknodDevice },
+    FilteredSyscall {
+        sysno: Sysno::Mknod,
+        class: FilterClass::MknodDevice,
+    },
+    FilteredSyscall {
+        sysno: Sysno::Mknodat,
+        class: FilterClass::MknodDevice,
+    },
     // Class 4: self-test (1).
-    FilteredSyscall { sysno: Sysno::KexecLoad, class: FilterClass::SelfTest },
+    FilteredSyscall {
+        sysno: Sysno::KexecLoad,
+        class: FilterClass::SelfTest,
+    },
 ];
 
 /// Is `sysno` in the paper's filter set, and if so in which class?

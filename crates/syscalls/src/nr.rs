@@ -486,11 +486,7 @@ mod tests {
         for v in variants {
             for arch in Arch::ALL {
                 let present = v.number(arch).is_some();
-                assert_eq!(
-                    present,
-                    arch.is_32bit(),
-                    "{v} presence wrong on {arch}"
-                );
+                assert_eq!(present, arch.is_32bit(), "{v} presence wrong on {arch}");
             }
         }
     }

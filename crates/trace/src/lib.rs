@@ -9,9 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use zr_syscalls::filtered::class_of;
 use zr_syscalls::{Errno, Sysno};
 
@@ -92,49 +91,55 @@ impl Tracer {
         Tracer::default()
     }
 
+    /// Lock the buffer; a poisoned lock (panicking recorder thread) still
+    /// yields the data — traces are diagnostics, not invariants.
+    fn lock(&self) -> MutexGuard<'_, Vec<Record>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Append a record.
     pub fn record(&self, rec: Record) {
-        self.inner.lock().push(rec);
+        self.lock().push(rec);
     }
 
     /// Number of records.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.lock().len()
     }
 
     /// True if nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        self.lock().is_empty()
     }
 
     /// Clear the buffer (between build stages).
     pub fn clear(&self) {
-        self.inner.lock().clear();
+        self.lock().clear();
     }
 
     /// Snapshot of all records.
     pub fn records(&self) -> Vec<Record> {
-        self.inner.lock().clone()
+        self.lock().clone()
     }
 
     /// Records matching a predicate.
     pub fn filtered(&self, pred: impl Fn(&Record) -> bool) -> Vec<Record> {
-        self.inner.lock().iter().filter(|r| pred(r)).cloned().collect()
+        self.lock().iter().filter(|r| pred(r)).cloned().collect()
     }
 
     /// Count of calls to `sysno`.
     pub fn count(&self, sysno: Sysno) -> u64 {
-        self.inner.lock().iter().filter(|r| r.sysno == sysno).count() as u64
+        self.lock().iter().filter(|r| r.sysno == sysno).count() as u64
     }
 
     /// Did any call from the paper's privileged set occur?
     pub fn any_privileged(&self) -> bool {
-        self.inner.lock().iter().any(|r| class_of(r.sysno).is_some())
+        self.lock().iter().any(|r| class_of(r.sysno).is_some())
     }
 
     /// Aggregate statistics.
     pub fn stats(&self) -> Stats {
-        let records = self.inner.lock();
+        let records = self.lock();
         let mut s = Stats::default();
         for r in records.iter() {
             s.total += 1;
@@ -157,7 +162,7 @@ impl Tracer {
 
     /// Render an strace-like text dump (for docs and debugging).
     pub fn dump(&self) -> String {
-        let records = self.inner.lock();
+        let records = self.lock();
         let mut out = String::new();
         for r in records.iter() {
             out.push_str(&format!(
@@ -240,7 +245,8 @@ mod tests {
         t.record(rec(Sysno::Mknod, Disposition::Executed));
         assert_eq!(t.count(Sysno::Chown), 2);
         assert_eq!(
-            t.filtered(|r| r.disposition == Disposition::FakedByFilter).len(),
+            t.filtered(|r| r.disposition == Disposition::FakedByFilter)
+                .len(),
             2
         );
     }

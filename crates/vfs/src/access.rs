@@ -73,13 +73,29 @@ pub struct Want {
 
 impl Want {
     /// Read only.
-    pub const R: Want = Want { r: true, w: false, x: false };
+    pub const R: Want = Want {
+        r: true,
+        w: false,
+        x: false,
+    };
     /// Write only.
-    pub const W: Want = Want { r: false, w: true, x: false };
+    pub const W: Want = Want {
+        r: false,
+        w: true,
+        x: false,
+    };
     /// Execute/search only.
-    pub const X: Want = Want { r: false, w: false, x: true };
+    pub const X: Want = Want {
+        r: false,
+        w: false,
+        x: true,
+    };
     /// Read + write.
-    pub const RW: Want = Want { r: true, w: true, x: false };
+    pub const RW: Want = Want {
+        r: true,
+        w: true,
+        x: false,
+    };
 }
 
 /// Classic POSIX DAC: pick the owner/group/other triad and test it,
@@ -107,9 +123,7 @@ pub fn permitted(access: &Access, uid: u32, gid: u32, perm: u32, want: Want) -> 
         perm & 0o7
     };
 
-    (!want.r || triad & 0o4 != 0)
-        && (!want.w || triad & 0o2 != 0)
-        && (!want.x || triad & 0o1 != 0)
+    (!want.r || triad & 0o4 != 0) && (!want.w || triad & 0o2 != 0) && (!want.x || triad & 0o1 != 0)
 }
 
 #[cfg(test)]

@@ -47,10 +47,17 @@ impl Fs {
     pub fn new() -> Fs {
         let root = Inode {
             ino: 1,
-            kind: FileKind::Dir { entries: BTreeMap::new(), parent: 1 },
+            kind: FileKind::Dir {
+                entries: BTreeMap::new(),
+                parent: 1,
+            },
             meta: Metadata::new(0, 0, 0o755, 0),
         };
-        Fs { inodes: vec![Some(root)], next_free: Vec::new(), clock: 0 }
+        Fs {
+            inodes: vec![Some(root)],
+            next_free: Vec::new(),
+            clock: 0,
+        }
     }
 
     /// Root inode number.
@@ -150,7 +157,13 @@ impl Fs {
                 FileKind::Dir { entries, parent } => (entries, *parent),
                 _ => return Err(Errno::ENOTDIR),
             };
-            if !permitted(access, node.meta.uid, node.meta.gid, node.meta.perm, Want::X) {
+            if !permitted(
+                access,
+                node.meta.uid,
+                node.meta.gid,
+                node.meta.perm,
+                Want::X,
+            ) {
                 return Err(Errno::EACCES);
             }
             if comp == ".." {
@@ -254,7 +267,13 @@ impl Fs {
         }
         let now = self.tick();
         let meta = Metadata::new(access.fsuid, access.fsgid, perm, now);
-        let ino = self.alloc(FileKind::Dir { entries: BTreeMap::new(), parent: dir }, meta);
+        let ino = self.alloc(
+            FileKind::Dir {
+                entries: BTreeMap::new(),
+                parent: dir,
+            },
+            meta,
+        );
         self.dir_entries_mut(dir)?.insert(name, ino);
         Ok(ino)
     }
@@ -296,7 +315,13 @@ impl Fs {
                 if node.is_dir() {
                     return Err(Errno::EISDIR);
                 }
-                if !permitted(access, node.meta.uid, node.meta.gid, node.meta.perm, Want::W) {
+                if !permitted(
+                    access,
+                    node.meta.uid,
+                    node.meta.gid,
+                    node.meta.perm,
+                    Want::W,
+                ) {
                     return Err(Errno::EACCES);
                 }
                 let now = self.tick();
@@ -317,7 +342,13 @@ impl Fs {
     pub fn append_file(&mut self, path: &str, data: &[u8], access: &Access) -> Result<(), Errno> {
         let ino = self.resolve(path, access, FollowMode::Follow)?;
         let node = self.inode(ino)?;
-        if !permitted(access, node.meta.uid, node.meta.gid, node.meta.perm, Want::W) {
+        if !permitted(
+            access,
+            node.meta.uid,
+            node.meta.gid,
+            node.meta.perm,
+            Want::W,
+        ) {
             return Err(Errno::EACCES);
         }
         let now = self.tick();
@@ -392,7 +423,13 @@ impl Fs {
     pub fn read_file(&self, path: &str, access: &Access) -> Result<Vec<u8>, Errno> {
         let ino = self.resolve(path, access, FollowMode::Follow)?;
         let node = self.inode(ino)?;
-        if !permitted(access, node.meta.uid, node.meta.gid, node.meta.perm, Want::R) {
+        if !permitted(
+            access,
+            node.meta.uid,
+            node.meta.gid,
+            node.meta.perm,
+            Want::R,
+        ) {
             return Err(Errno::EACCES);
         }
         match &node.kind {
@@ -415,7 +452,13 @@ impl Fs {
     pub fn read_dir(&self, path: &str, access: &Access) -> Result<Vec<(String, Ino)>, Errno> {
         let ino = self.resolve(path, access, FollowMode::Follow)?;
         let node = self.inode(ino)?;
-        if !permitted(access, node.meta.uid, node.meta.gid, node.meta.perm, Want::R) {
+        if !permitted(
+            access,
+            node.meta.uid,
+            node.meta.gid,
+            node.meta.perm,
+            Want::R,
+        ) {
             return Err(Errno::EACCES);
         }
         Ok(self
@@ -698,10 +741,12 @@ mod tests {
     #[test]
     fn file_write_read_roundtrip() {
         let mut fs = Fs::new();
-        fs.write_file("/hello", 0o644, b"world".to_vec(), &root()).unwrap();
+        fs.write_file("/hello", 0o644, b"world".to_vec(), &root())
+            .unwrap();
         assert_eq!(fs.read_file("/hello", &root()), Ok(b"world".to_vec()));
         // Overwrite.
-        fs.write_file("/hello", 0o644, b"again".to_vec(), &root()).unwrap();
+        fs.write_file("/hello", 0o644, b"again".to_vec(), &root())
+            .unwrap();
         assert_eq!(fs.read_file("/hello", &root()), Ok(b"again".to_vec()));
         // Append.
         fs.append_file("/hello", b"+", &root()).unwrap();
@@ -711,7 +756,8 @@ mod tests {
     #[test]
     fn read_requires_permission() {
         let mut fs = Fs::new();
-        fs.write_file("/secret", 0o600, b"k".to_vec(), &root()).unwrap();
+        fs.write_file("/secret", 0o600, b"k".to_vec(), &root())
+            .unwrap();
         let user = Access::user(1000, 1000);
         assert_eq!(fs.read_file("/secret", &user), Err(Errno::EACCES));
     }
@@ -720,7 +766,8 @@ mod tests {
     fn search_permission_enforced_on_walk() {
         let mut fs = Fs::new();
         fs.mkdir("/locked", 0o700, &root()).unwrap();
-        fs.write_file("/locked/file", 0o777, b"x".to_vec(), &root()).unwrap();
+        fs.write_file("/locked/file", 0o777, b"x".to_vec(), &root())
+            .unwrap();
         let user = Access::user(1000, 1000);
         assert_eq!(fs.read_file("/locked/file", &user), Err(Errno::EACCES));
     }
@@ -728,12 +775,19 @@ mod tests {
     #[test]
     fn symlink_follow_and_nofollow() {
         let mut fs = Fs::new();
-        fs.write_file("/target", 0o644, b"data".to_vec(), &root()).unwrap();
+        fs.write_file("/target", 0o644, b"data".to_vec(), &root())
+            .unwrap();
         fs.symlink("/target", "/link", &root()).unwrap();
         let followed = fs.stat("/link", &root(), FollowMode::Follow).unwrap();
-        assert_eq!(followed.mode & zr_syscalls::mode::S_IFMT, zr_syscalls::mode::S_IFREG);
+        assert_eq!(
+            followed.mode & zr_syscalls::mode::S_IFMT,
+            zr_syscalls::mode::S_IFREG
+        );
         let nofollow = fs.stat("/link", &root(), FollowMode::NoFollow).unwrap();
-        assert_eq!(nofollow.mode & zr_syscalls::mode::S_IFMT, zr_syscalls::mode::S_IFLNK);
+        assert_eq!(
+            nofollow.mode & zr_syscalls::mode::S_IFMT,
+            zr_syscalls::mode::S_IFLNK
+        );
         assert_eq!(fs.readlink("/link", &root()), Ok("/target".to_string()));
         assert_eq!(fs.read_file("/link", &root()), Ok(b"data".to_vec()));
     }
@@ -742,7 +796,8 @@ mod tests {
     fn relative_symlinks_resolve_from_their_directory() {
         let mut fs = Fs::new();
         fs.mkdir_p("/usr/bin", 0o755).unwrap();
-        fs.write_file("/usr/bin/real", 0o755, b"#!".to_vec(), &root()).unwrap();
+        fs.write_file("/usr/bin/real", 0o755, b"#!".to_vec(), &root())
+            .unwrap();
         fs.symlink("real", "/usr/bin/alias", &root()).unwrap();
         assert_eq!(fs.read_file("/usr/bin/alias", &root()), Ok(b"#!".to_vec()));
     }
@@ -787,8 +842,10 @@ mod tests {
         let mut fs = Fs::new();
         fs.mkdir_p("/a", 0o755).unwrap();
         fs.mkdir_p("/b", 0o755).unwrap();
-        fs.write_file("/a/f", 0o644, b"1".to_vec(), &root()).unwrap();
-        fs.write_file("/b/f", 0o644, b"2".to_vec(), &root()).unwrap();
+        fs.write_file("/a/f", 0o644, b"1".to_vec(), &root())
+            .unwrap();
+        fs.write_file("/b/f", 0o644, b"2".to_vec(), &root())
+            .unwrap();
         fs.rename("/a/f", "/b/f", &root()).unwrap();
         assert_eq!(fs.read_file("/b/f", &root()), Ok(b"1".to_vec()));
         assert_eq!(
@@ -802,11 +859,14 @@ mod tests {
         let mut fs = Fs::new();
         fs.mkdir_p("/a/sub", 0o755).unwrap();
         fs.mkdir_p("/b", 0o755).unwrap();
-        fs.write_file("/a/sub/f", 0o644, b"x".to_vec(), &root()).unwrap();
+        fs.write_file("/a/sub/f", 0o644, b"x".to_vec(), &root())
+            .unwrap();
         fs.rename("/a/sub", "/b/sub", &root()).unwrap();
         assert_eq!(fs.read_file("/b/sub/f", &root()), Ok(b"x".to_vec()));
         // ".." of the moved dir now points at /b.
-        let ino = fs.resolve("/b/sub/..", &root(), FollowMode::Follow).unwrap();
+        let ino = fs
+            .resolve("/b/sub/..", &root(), FollowMode::Follow)
+            .unwrap();
         assert_eq!(fs.path_of(ino).unwrap(), "/b");
     }
 
@@ -823,7 +883,8 @@ mod tests {
         fs.mkdir("/tmp", 0o1777, &root()).unwrap();
         let alice = Access::user(1000, 1000);
         let bob = Access::user(1001, 1001);
-        fs.write_file("/tmp/alice.txt", 0o666, b"hi".to_vec(), &alice).unwrap();
+        fs.write_file("/tmp/alice.txt", 0o666, b"hi".to_vec(), &alice)
+            .unwrap();
         assert_eq!(fs.unlink("/tmp/alice.txt", &bob), Err(Errno::EPERM));
         assert!(fs.unlink("/tmp/alice.txt", &alice).is_ok());
     }
@@ -845,9 +906,13 @@ mod tests {
     fn mknod_devices_and_fifos() {
         let mut fs = Fs::new();
         let dev = zr_syscalls::mode::makedev(1, 3);
-        fs.mknod("/dev-null", FileKind::CharDev(dev), 0o666, &root()).unwrap();
+        fs.mknod("/dev-null", FileKind::CharDev(dev), 0o666, &root())
+            .unwrap();
         let st = fs.stat("/dev-null", &root(), FollowMode::Follow).unwrap();
-        assert_eq!(st.mode & zr_syscalls::mode::S_IFMT, zr_syscalls::mode::S_IFCHR);
+        assert_eq!(
+            st.mode & zr_syscalls::mode::S_IFMT,
+            zr_syscalls::mode::S_IFCHR
+        );
         assert_eq!(st.rdev, dev);
         fs.mknod("/pipe", FileKind::Fifo, 0o644, &root()).unwrap();
         assert_eq!(
@@ -866,7 +931,10 @@ mod tests {
         assert_eq!(fs.get_xattr(ino, "user.test"), Ok(b"v".to_vec()));
         assert_eq!(
             fs.list_xattr(ino),
-            Ok(vec!["security.capability".to_string(), "user.test".to_string()])
+            Ok(vec![
+                "security.capability".to_string(),
+                "user.test".to_string()
+            ])
         );
         fs.remove_xattr(ino, "user.test").unwrap();
         assert_eq!(fs.remove_xattr(ino, "user.test"), Err(Errno::ENODATA));
@@ -878,15 +946,21 @@ mod tests {
         fs.mkdir_p("/d", 0o755).unwrap();
         fs.write_file("/d/zeta", 0o644, vec![], &root()).unwrap();
         fs.write_file("/d/alpha", 0o644, vec![], &root()).unwrap();
-        let names: Vec<String> =
-            fs.read_dir("/d", &root()).unwrap().into_iter().map(|(n, _)| n).collect();
+        let names: Vec<String> = fs
+            .read_dir("/d", &root())
+            .unwrap()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
         assert_eq!(names, vec!["alpha".to_string(), "zeta".to_string()]);
     }
 
     #[test]
     fn truncate_grows_and_shrinks() {
         let mut fs = Fs::new();
-        let ino = fs.create_file("/f", 0o644, b"abcdef".to_vec(), &root()).unwrap();
+        let ino = fs
+            .create_file("/f", 0o644, b"abcdef".to_vec(), &root())
+            .unwrap();
         fs.truncate(ino, 3).unwrap();
         assert_eq!(fs.read_file("/f", &root()), Ok(b"abc".to_vec()));
         fs.truncate(ino, 5).unwrap();
@@ -898,7 +972,10 @@ mod tests {
         let mut fs = Fs::new();
         fs.mkdir_p("/a/b/c", 0o755).unwrap();
         let a = fs.resolve("/a", &root(), FollowMode::Follow).unwrap();
-        assert_eq!(fs.resolve("/a/b/c/../..", &root(), FollowMode::Follow), Ok(a));
+        assert_eq!(
+            fs.resolve("/a/b/c/../..", &root(), FollowMode::Follow),
+            Ok(a)
+        );
         // .. above root stays at root.
         assert_eq!(fs.resolve("/../../a", &root(), FollowMode::Follow), Ok(a));
     }

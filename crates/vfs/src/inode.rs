@@ -162,7 +162,11 @@ mod tests {
     fn type_bits_match_kind() {
         assert_eq!(FileKind::File(vec![]).type_bits(), mode::S_IFREG);
         assert_eq!(
-            FileKind::Dir { entries: BTreeMap::new(), parent: 1 }.type_bits(),
+            FileKind::Dir {
+                entries: BTreeMap::new(),
+                parent: 1
+            }
+            .type_bits(),
             mode::S_IFDIR
         );
         assert_eq!(FileKind::Symlink("/x".into()).type_bits(), mode::S_IFLNK);

@@ -24,6 +24,6 @@ pub mod inode;
 pub mod path;
 
 pub use access::Access;
-pub use fs::{Fs, FollowMode};
+pub use fs::{FollowMode, Fs};
 pub use inode::{FileKind, Ino, Inode, Metadata};
 pub use path::{join, normalize, split_parent};

@@ -57,7 +57,11 @@ pub fn split_parent(path: &str) -> Option<(String, &str)> {
     }
     let idx = path.rfind('/').expect("absolute path has a slash");
     let name = &path[idx + 1..];
-    let parent = if idx == 0 { "/".to_string() } else { path[..idx].to_string() };
+    let parent = if idx == 0 {
+        "/".to_string()
+    } else {
+        path[..idx].to_string()
+    };
     Some((parent, name))
 }
 

@@ -10,8 +10,7 @@ fn arb_name() -> impl Strategy<Value = String> {
 }
 
 fn arb_path(depth: usize) -> impl Strategy<Value = String> {
-    prop::collection::vec(arb_name(), 1..=depth)
-        .prop_map(|parts| format!("/{}", parts.join("/")))
+    prop::collection::vec(arb_name(), 1..=depth).prop_map(|parts| format!("/{}", parts.join("/")))
 }
 
 proptest! {

@@ -9,8 +9,8 @@
 
 use zr_bpf::disasm::disasm;
 use zr_seccomp::spec::zero_consistency;
-use zr_seccomp::{compile, SeccompData};
 use zr_seccomp::stack::evaluate;
+use zr_seccomp::{compile, SeccompData};
 use zr_syscalls::mode::{S_IFCHR, S_IFIFO};
 use zr_syscalls::{Arch, Sysno};
 
@@ -59,7 +59,10 @@ fn main() {
         }
         // The mknod conditional: device faked, fifo allowed.
         if let Some(nr) = Sysno::Mknod.number(arch) {
-            for (label, m) in [("mknod(chr)", S_IFCHR | 0o666), ("mknod(fifo)", S_IFIFO | 0o644)] {
+            for (label, m) in [
+                ("mknod(chr)", S_IFCHR | 0o666),
+                ("mknod(fifo)", S_IFIFO | 0o644),
+            ] {
                 let data = SeccompData::new(arch, nr, [0, u64::from(m), 0x103, 0, 0, 0]);
                 let (action, steps) = evaluate(&full, &data);
                 println!(

@@ -40,7 +40,11 @@ fn main() {
     // ---- Figure 1b -----------------------------------------------------
     banner("Figure 1b: centos yum, --force=none (fails: cpio: chown)");
     let mut s = Session::new();
-    let r = s.build("FROM centos:7\nRUN yum install -y openssh\n", "win", Mode::None);
+    let r = s.build(
+        "FROM centos:7\nRUN yum install -y openssh\n",
+        "win",
+        Mode::None,
+    );
     show(&r.log);
     assert!(!r.success);
     assert!(r.log_text().contains("cpio: chown"));
@@ -49,7 +53,11 @@ fn main() {
     // ---- Figure 2 -------------------------------------------------------
     banner("Figure 2: centos yum, --force=seccomp (succeeds)");
     let mut s = Session::new();
-    let r = s.build("FROM centos:7\nRUN yum install -y openssh\n", "win", Mode::Seccomp);
+    let r = s.build(
+        "FROM centos:7\nRUN yum install -y openssh\n",
+        "win",
+        Mode::Seccomp,
+    );
     show(&r.log);
     let stats = s.trace_stats();
     assert!(r.success);
@@ -68,7 +76,10 @@ fn main() {
     );
     // ...but id consistency keeps the lie straight, so it succeeds:
     show(&r.log);
-    assert!(r.success, "uid/gid consistency retires the workaround (§6 fw 2)");
+    assert!(
+        r.success,
+        "uid/gid consistency retires the workaround (§6 fw 2)"
+    );
 
     let mut s = Session::new();
     let r = s.build(

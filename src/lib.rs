@@ -21,6 +21,9 @@
 //! );
 //! assert!(result.success);
 //! assert!(result.log_text().contains("Complete!"));
+//! // The paper's mechanism, observable: privileged syscalls were issued,
+//! // none were executed, all reported success.
+//! assert!(session.trace_stats().faked > 0);
 //! ```
 //!
 //! Layer map (bottom up): [`syscalls`] (ABI tables) → [`bpf`] (classic
@@ -71,7 +74,10 @@ impl Session {
     /// A fresh session: default kernel (unprivileged user uid 1000),
     /// empty image store.
     pub fn new() -> Session {
-        Session { kernel: Kernel::default_kernel(), builder: Builder::new() }
+        Session {
+            kernel: Kernel::default_kernel(),
+            builder: Builder::new(),
+        }
     }
 
     /// Build `dockerfile` into `tag` under the given `--force` mode, in a

@@ -22,7 +22,11 @@ fn plain_type_iii_apt_soft_fails_and_installs() {
     let mut s = Session::new();
     let r = s.build(APT_EXEC, "apt-none", Mode::None);
     assert!(r.success, "{}", r.log_text());
-    assert!(r.log_text().contains("W: Can't drop privileges"), "{}", r.log_text());
+    assert!(
+        r.log_text().contains("W: Can't drop privileges"),
+        "{}",
+        r.log_text()
+    );
 }
 
 #[test]
@@ -32,7 +36,10 @@ fn seccomp_without_workaround_fails_verification() {
     assert!(!r.success, "the §5 exception:\n{}", r.log_text());
     let log = r.log_text();
     assert!(log.contains("Could not switch the sandbox user"), "{log}");
-    assert_eq!(r.modified_run_instructions, 0, "exec form: nothing to inject");
+    assert_eq!(
+        r.modified_run_instructions, 0,
+        "exec form: nothing to inject"
+    );
 }
 
 #[test]
@@ -43,7 +50,10 @@ fn seccomp_with_injected_workaround_succeeds() {
     let log = r.log_text();
     assert!(log.contains("unsandboxed as root"), "{log}");
     assert_eq!(r.modified_run_instructions, 1);
-    assert!(log.contains("--force=seccomp: modified 1 RUN instructions"), "{log}");
+    assert!(
+        log.contains("--force=seccomp: modified 1 RUN instructions"),
+        "{log}"
+    );
 }
 
 #[test]

@@ -18,7 +18,10 @@ fn container(k: &mut Kernel) -> u32 {
     }
     k.container_create(
         Kernel::HOST_USER_PID,
-        ContainerConfig { ctype: ContainerType::TypeIII, image },
+        ContainerConfig {
+            ctype: ContainerType::TypeIII,
+            image,
+        },
     )
     .unwrap()
     .init_pid
@@ -47,10 +50,19 @@ fn static_chown_works(mode: Mode) -> bool {
 
 #[test]
 fn static_binary_matrix_matches_section_6() {
-    assert!(static_chown_works(Mode::Seccomp), "kernel-side: linkage irrelevant");
-    assert!(static_chown_works(Mode::Proot), "ptrace: linkage irrelevant");
+    assert!(
+        static_chown_works(Mode::Seccomp),
+        "kernel-side: linkage irrelevant"
+    );
+    assert!(
+        static_chown_works(Mode::Proot),
+        "ptrace: linkage irrelevant"
+    );
     assert!(static_chown_works(Mode::ProotAccelerated));
-    assert!(!static_chown_works(Mode::Fakeroot), "LD_PRELOAD cannot wrap static");
+    assert!(
+        !static_chown_works(Mode::Fakeroot),
+        "LD_PRELOAD cannot wrap static"
+    );
     assert!(!static_chown_works(Mode::FakerootBindMount));
 }
 
@@ -88,7 +100,9 @@ fn bind_mount_requires_matching_libc() {
         image_libc: "glibc-2.36".into(),
         host_libc: "glibc-2.36".into(),
     };
-    strategy.prepare(&mut k, pid, &matched).expect("matching libc arms");
+    strategy
+        .prepare(&mut k, pid, &matched)
+        .expect("matching libc arms");
     strategy.teardown(&mut k);
 }
 
@@ -100,7 +114,11 @@ fn alpine_static_shell_breaks_fakeroot_but_not_seccomp_end_to_end() {
 
     let mut s = Session::new();
     let r = s.build(df, "static-fr", M::Fakeroot);
-    assert!(!r.success, "LD_PRELOAD misses the static shell:\n{}", r.log_text());
+    assert!(
+        !r.success,
+        "LD_PRELOAD misses the static shell:\n{}",
+        r.log_text()
+    );
 
     let mut s = Session::new();
     let r = s.build(df, "static-sc", M::Seccomp);

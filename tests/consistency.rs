@@ -25,7 +25,10 @@ fn armed_container(mode: Mode) -> (Kernel, u32, Box<dyn zeroroot::RootEmulation>
     let c = k
         .container_create(
             Kernel::HOST_USER_PID,
-            ContainerConfig { ctype: ContainerType::TypeIII, image },
+            ContainerConfig {
+                ctype: ContainerType::TypeIII,
+                image,
+            },
         )
         .unwrap();
     let strategy = make(mode);
@@ -34,7 +37,9 @@ fn armed_container(mode: Mode) -> (Kernel, u32, Box<dyn zeroroot::RootEmulation>
         image_libc: "glibc-2.36".into(),
         host_libc: "glibc-2.36".into(),
     };
-    strategy.prepare(&mut k, c.init_pid, &env).expect("arm strategy");
+    strategy
+        .prepare(&mut k, c.init_pid, &env)
+        .expect("arm strategy");
     (k, c.init_pid, strategy)
 }
 
@@ -135,7 +140,11 @@ fn fake_device_nodes_only_exist_in_the_story() {
     let fsid = k.process(pid).fs;
     let real = k
         .fs(fsid)
-        .stat("/dev-null", &zr_vfs::Access::root(), zr_vfs::FollowMode::Follow)
+        .stat(
+            "/dev-null",
+            &zr_vfs::Access::root(),
+            zr_vfs::FollowMode::Follow,
+        )
         .unwrap();
     assert_eq!(file_type(real.mode), S_IFREG, "placeholder under the lie");
 

@@ -21,7 +21,10 @@ fn type_i_needs_real_root() {
     assert_eq!(
         k.container_create(
             Kernel::HOST_USER_PID,
-            ContainerConfig { ctype: ContainerType::TypeI, image: image() },
+            ContainerConfig {
+                ctype: ContainerType::TypeI,
+                image: image()
+            },
         )
         .err(),
         Some(Errno::EPERM)
@@ -29,7 +32,10 @@ fn type_i_needs_real_root() {
     assert!(k
         .container_create(
             Kernel::INIT_PID,
-            ContainerConfig { ctype: ContainerType::TypeI, image: image() },
+            ContainerConfig {
+                ctype: ContainerType::TypeI,
+                image: image()
+            },
         )
         .is_ok());
 }
@@ -40,7 +46,10 @@ fn type_ii_needs_setuid_helpers() {
     assert_eq!(
         k.container_create(
             Kernel::HOST_USER_PID,
-            ContainerConfig { ctype: ContainerType::TypeII, image: image() },
+            ContainerConfig {
+                ctype: ContainerType::TypeII,
+                image: image()
+            },
         )
         .err(),
         Some(Errno::EPERM),
@@ -50,7 +59,10 @@ fn type_ii_needs_setuid_helpers() {
     assert!(k
         .container_create(
             Kernel::HOST_USER_PID,
-            ContainerConfig { ctype: ContainerType::TypeII, image: image() },
+            ContainerConfig {
+                ctype: ContainerType::TypeII,
+                image: image()
+            },
         )
         .is_ok());
 }
@@ -63,7 +75,10 @@ fn type_iii_is_fully_unprivileged() {
     let c = k
         .container_create(
             Kernel::HOST_USER_PID,
-            ContainerConfig { ctype: ContainerType::TypeIII, image: image() },
+            ContainerConfig {
+                ctype: ContainerType::TypeIII,
+                image: image(),
+            },
         )
         .expect("Type III never needs privilege");
     // "processes can have an effective user ID (EUID) of 0 … but this
@@ -86,19 +101,26 @@ fn type_ii_gives_flexible_ids_type_iii_does_not() {
     let c2 = k
         .container_create(
             Kernel::HOST_USER_PID,
-            ContainerConfig { ctype: ContainerType::TypeII, image: image() },
+            ContainerConfig {
+                ctype: ContainerType::TypeII,
+                image: image(),
+            },
         )
         .unwrap();
     {
         let mut ctx = k.ctx(c2.init_pid);
         ctx.write_file("/f", 0o644, vec![]).unwrap();
-        ctx.chown("/f", 998, 998).expect("Type II: mapped subordinate id");
+        ctx.chown("/f", 998, 998)
+            .expect("Type II: mapped subordinate id");
     }
 
     let c3 = k
         .container_create(
             Kernel::HOST_USER_PID,
-            ContainerConfig { ctype: ContainerType::TypeIII, image: image() },
+            ContainerConfig {
+                ctype: ContainerType::TypeIII,
+                image: image(),
+            },
         )
         .unwrap();
     {
@@ -126,7 +148,8 @@ fn builds_only_work_unprivileged_in_type_iii() {
         opts.container_type = ctype;
         let r = b.build(&mut k, df, &opts);
         assert_eq!(
-            r.success, expect_ok,
+            r.success,
+            expect_ok,
             "{ctype:?} as unprivileged user:\n{}",
             r.log_text()
         );

@@ -18,7 +18,10 @@ fn container(k: &mut Kernel) -> u32 {
     }
     k.container_create(
         Kernel::HOST_USER_PID,
-        ContainerConfig { ctype: ContainerType::TypeIII, image },
+        ContainerConfig {
+            ctype: ContainerType::TypeIII,
+            image,
+        },
     )
     .unwrap()
     .init_pid

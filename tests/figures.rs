@@ -2,8 +2,8 @@
 //! EXPERIMENTS.md), with trace-level verification the published logs can
 //! only imply.
 
-use zeroroot::{Mode, Session};
 use zeroroot::syscalls::Sysno;
+use zeroroot::{Mode, Session};
 
 const FIG1A: &str = "FROM alpine:3.19\nRUN apk add sl\n";
 const FIG1B: &str = "FROM centos:7\nRUN yum install -y openssh\n";
@@ -17,11 +17,20 @@ fn fig1a_alpine_apk_succeeds_without_emulation() {
     let log = r.log_text();
     assert!(log.contains("1* FROM alpine:3.19"), "{log}");
     assert!(log.contains("2. RUN.N apk add sl"), "{log}");
-    assert!(log.contains("fetch https://dl-cdn.alpinelinux.org/alpine/v3.19"), "{log}");
-    assert!(log.contains("(1/3) Installing ncurses-terminfo-base"), "{log}");
+    assert!(
+        log.contains("fetch https://dl-cdn.alpinelinux.org/alpine/v3.19"),
+        "{log}"
+    );
+    assert!(
+        log.contains("(1/3) Installing ncurses-terminfo-base"),
+        "{log}"
+    );
     assert!(log.contains("(2/3) Installing libncursesw"), "{log}");
     assert!(log.contains("(3/3) Installing sl (5.02-r1)"), "{log}");
-    assert!(log.contains("Executing busybox-1.36.1-r15.trigger"), "{log}");
+    assert!(
+        log.contains("Executing busybox-1.36.1-r15.trigger"),
+        "{log}"
+    );
     assert!(log.contains("grown in 2 instructions: win"), "{log}");
 
     // The figure's caption, verified: "succeeded because no privileged
@@ -41,11 +50,17 @@ fn fig1b_centos_yum_fails_on_cpio_chown() {
     let log = r.log_text();
     assert!(log.contains("1* FROM centos:7"), "{log}");
     assert!(log.contains("2. RUN.N yum install -y openssh"), "{log}");
-    assert!(log.contains("Installing : openssh-7.4p1-23.el7_9.x86_64"), "{log}");
+    assert!(
+        log.contains("Installing : openssh-7.4p1-23.el7_9.x86_64"),
+        "{log}"
+    );
     assert!(log.contains("Error unpacking rpm package openssh"), "{log}");
     assert!(log.contains("cpio: chown"), "{log}");
     assert!(log.contains("something went wrong, rolling back"), "{log}");
-    assert!(log.contains("error: build failed: RUN command exited with 1"), "{log}");
+    assert!(
+        log.contains("error: build failed: RUN command exited with 1"),
+        "{log}"
+    );
 
     // The failing call was a chown-family syscall that the kernel
     // *refused* (not faked).
@@ -63,9 +78,15 @@ fn fig2_centos_yum_succeeds_under_seccomp() {
 
     let log = r.log_text();
     assert!(log.contains("2. RUN.S yum install -y openssh"), "{log}");
-    assert!(log.contains("Installing : openssh-7.4p1-23.el7_9.x86_64"), "{log}");
+    assert!(
+        log.contains("Installing : openssh-7.4p1-23.el7_9.x86_64"),
+        "{log}"
+    );
     assert!(log.contains("Complete!"), "{log}");
-    assert!(log.contains("--force=seccomp: modified 0 RUN instructions"), "{log}");
+    assert!(
+        log.contains("--force=seccomp: modified 0 RUN instructions"),
+        "{log}"
+    );
     assert!(log.contains("grown in 2 instructions: win"), "{log}");
 
     // Same Dockerfile, same syscalls — but now the privileged ones were
@@ -103,6 +124,9 @@ fn trace_dump_is_strace_like() {
     let mut s = Session::new();
     let _ = s.build(FIG1B, "win", Mode::Seccomp);
     let dump = s.kernel.trace.dump();
-    assert!(dump.contains("fchownat") || dump.contains("chown"), "{dump}");
+    assert!(
+        dump.contains("fchownat") || dump.contains("chown"),
+        "{dump}"
+    );
     assert!(dump.contains("FakedByFilter"), "{dump}");
 }

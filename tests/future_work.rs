@@ -7,8 +7,7 @@ use zeroroot::{Mode, Session};
 /// privileged xattrs. Plain seccomp fakes mknod but not setxattr.
 const SYSTEMD: &str = "FROM debian:12\nRUN dpkg -i systemd && /usr/bin/true\n";
 /// A RUN that directly exercises privileged setxattr.
-const SETCAP: &str =
-    "FROM debian:12\nRUN dpkg -i hello && /usr/bin/apt-get install -y hello\n";
+const SETCAP: &str = "FROM debian:12\nRUN dpkg -i hello && /usr/bin/apt-get install -y hello\n";
 const UNMINIMIZE: &str = "FROM debian:12\nRUN /usr/sbin/unminimize\n";
 
 #[test]
@@ -22,7 +21,11 @@ fn systemd_installs_under_plain_seccomp_thanks_to_mknod_class() {
     let image = r.image.unwrap();
     assert!(image
         .fs
-        .resolve("/dev/null-sd", &zr_vfs::Access::root(), zr_vfs::FollowMode::Follow)
+        .resolve(
+            "/dev/null-sd",
+            &zr_vfs::Access::root(),
+            zr_vfs::FollowMode::Follow
+        )
         .is_err());
 }
 
@@ -37,9 +40,9 @@ fn systemd_fails_without_emulation() {
 #[test]
 fn xattr_widened_filter_fakes_setxattr() {
     // Direct probe of the widened filter against a privileged xattr.
+    use zeroroot::core::{make, PrepareEnv};
     use zeroroot::kernel::{ContainerConfig, ContainerType, Kernel};
     use zeroroot::SysExt;
-    use zeroroot::core::{make, PrepareEnv};
 
     for (mode, expect_ok) in [(Mode::Seccomp, false), (Mode::SeccompXattr, true)] {
         let mut k = Kernel::default_kernel();
@@ -51,11 +54,16 @@ fn xattr_widened_filter_fakes_setxattr() {
         let c = k
             .container_create(
                 Kernel::HOST_USER_PID,
-                ContainerConfig { ctype: ContainerType::TypeIII, image },
+                ContainerConfig {
+                    ctype: ContainerType::TypeIII,
+                    image,
+                },
             )
             .unwrap();
         let strategy = make(mode);
-        strategy.prepare(&mut k, c.init_pid, &PrepareEnv::default()).unwrap();
+        strategy
+            .prepare(&mut k, c.init_pid, &PrepareEnv::default())
+            .unwrap();
         let mut ctx = k.ctx(c.init_pid);
         ctx.write_file("/bin-cap", 0o755, vec![]).unwrap();
         let result = ctx.setxattr("/bin-cap", "security.capability", b"\x01\x00");
@@ -92,7 +100,11 @@ fn unminimize_is_the_known_exception() {
     let mut s = Session::new();
     let r = s.build(UNMINIMIZE, "unmin-sc", Mode::Seccomp);
     assert!(!r.success, "{}", r.log_text());
-    assert!(r.log_text().contains("verification failed"), "{}", r.log_text());
+    assert!(
+        r.log_text().contains("verification failed"),
+        "{}",
+        r.log_text()
+    );
 
     // The consistent emulators handle it.
     let mut s = Session::new();

@@ -62,7 +62,10 @@ fn i386_uses_the_32bit_id_variants() {
         &BuildOptions::new("t32", Mode::Seccomp),
     );
     assert!(r.success, "{}", r.log_text());
-    assert!(kernel.trace.count(Sysno::Chown32) > 0, "shell chown → chown32");
+    assert!(
+        kernel.trace.count(Sysno::Chown32) > 0,
+        "shell chown → chown32"
+    );
     assert_eq!(kernel.trace.count(Sysno::Chown), 0, "libc prefers chown32");
 }
 

@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use zeroroot::seccomp::spec::zero_consistency;
-use zeroroot::seccomp::{compile, Action, SeccompData};
 use zeroroot::seccomp::stack::evaluate;
+use zeroroot::seccomp::{compile, Action, SeccompData};
 use zeroroot::syscalls::filtered::{class_of, FilterClass};
 use zeroroot::syscalls::mode::{S_IFBLK, S_IFCHR, S_IFMT};
 use zeroroot::syscalls::{resolve, Arch, Sysno};

@@ -15,7 +15,10 @@ fn container(k: &mut Kernel) -> u32 {
     }
     k.container_create(
         Kernel::HOST_USER_PID,
-        ContainerConfig { ctype: ContainerType::TypeIII, image },
+        ContainerConfig {
+            ctype: ContainerType::TypeIII,
+            image,
+        },
     )
     .unwrap()
     .init_pid
@@ -108,9 +111,9 @@ fn filters_are_irremovable_and_inherited() {
     }
 
     // There is no API to pop a filter — the only direction is more:
-    let prog = zeroroot::seccomp::compile(&zeroroot::seccomp::spec::zero_consistency(
-        &[zeroroot::syscalls::Arch::X8664],
-    ))
+    let prog = zeroroot::seccomp::compile(&zeroroot::seccomp::spec::zero_consistency(&[
+        zeroroot::syscalls::Arch::X8664,
+    ]))
     .unwrap();
     {
         let mut ctx = k.ctx(pid);

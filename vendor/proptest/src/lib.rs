@@ -1,0 +1,598 @@
+//! Offline stand-in for the `proptest` crate: the subset of its API this
+//! workspace's property tests use, with deterministic case generation.
+//! See `vendor/README.md` for the exchange procedure back to crates.io.
+//!
+//! Differences from real proptest: no shrinking (failures report the
+//! first counterexample verbatim), and string strategies accept only the
+//! regex subset the tests use (char classes, `{m,n}` / `*` repetition,
+//! and `\PC`).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Cases generated per property (real proptest defaults to 256; this
+/// stand-in trades a little coverage for suite latency).
+pub const DEFAULT_CASES: u32 = 64;
+
+// ---------------------------------------------------------------------
+// deterministic rng
+// ---------------------------------------------------------------------
+
+/// Deterministic splitmix64 generator driving case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded constructor (the `proptest!` macro hashes the test name).
+    pub fn new(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x5DEE_CE66_D123_4567,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        self.next_u64() % bound
+    }
+}
+
+/// FNV-1a over the test name, so every property has a stable seed.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// outcomes
+// ---------------------------------------------------------------------
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+/// Result type each generated case evaluates to.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+// ---------------------------------------------------------------------
+// the Strategy trait
+// ---------------------------------------------------------------------
+
+/// A recipe for producing values of one type. Object-safe so
+/// `prop_oneof!` can erase heterogeneous strategies.
+pub trait Strategy {
+    /// The produced type.
+    type Value;
+
+    /// Generate one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform produced values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Always produce a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives (`prop_oneof!` backend).
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+/// Build a [`Union`] from erased alternatives.
+pub fn union<V>(options: Vec<Box<dyn Strategy<Value = V>>>) -> Union<V> {
+    assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+    Union { options }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].new_value(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// primitive strategies
+// ---------------------------------------------------------------------
+
+/// Full-range values of a primitive type (`any::<u32>()`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// The strategy for any value of `T`.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy,
+{
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let span = (*self.end() - *self.start()) as u64 + 1;
+                *self.start() + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+// ---------------------------------------------------------------------
+// string strategies (regex subset)
+// ---------------------------------------------------------------------
+
+enum Atom {
+    Class(Vec<char>),
+    AnyPrintable,
+    Literal(char),
+}
+
+enum Quant {
+    Exactly(usize),
+    Between(usize, usize),
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut prev: Option<char> = None;
+    for c in chars.by_ref() {
+        match c {
+            ']' => return set,
+            '-' => {
+                // Range if a previous char exists and a next follows;
+                // trailing '-' is a literal.
+                prev = Some('-');
+                set.push('-');
+            }
+            c => {
+                if prev == Some('-') && set.len() >= 2 {
+                    let lo = set[set.len() - 2];
+                    set.pop(); // the '-'
+                    set.pop(); // lo
+                    for x in lo..=c {
+                        set.push(x);
+                    }
+                } else {
+                    set.push(c);
+                }
+                prev = Some(c);
+            }
+        }
+    }
+    set
+}
+
+fn parse_quant(chars: &mut std::iter::Peekable<std::str::Chars>) -> Quant {
+    match chars.peek() {
+        Some('*') => {
+            chars.next();
+            Quant::Between(0, 16)
+        }
+        Some('{') => {
+            chars.next();
+            let mut body = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                body.push(c);
+            }
+            match body.split_once(',') {
+                Some((m, n)) => Quant::Between(
+                    m.parse().expect("regex {m,n}"),
+                    n.parse().expect("regex {m,n}"),
+                ),
+                None => Quant::Exactly(body.parse().expect("regex {n}")),
+            }
+        }
+        _ => Quant::Exactly(1),
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<(Atom, Quant)> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Atom::Class(parse_class(&mut chars)),
+            '\\' => match chars.next() {
+                // \PC — "not a control character" (printable).
+                Some('P') => {
+                    if chars.peek() == Some(&'C') {
+                        chars.next();
+                    }
+                    Atom::AnyPrintable
+                }
+                Some(esc) => Atom::Literal(esc),
+                None => break,
+            },
+            '.' => Atom::AnyPrintable,
+            c => Atom::Literal(c),
+        };
+        let quant = parse_quant(&mut chars);
+        atoms.push((atom, quant));
+    }
+    atoms
+}
+
+fn gen_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(set) => set[rng.below(set.len() as u64) as usize],
+        Atom::AnyPrintable => {
+            // Mostly ASCII printable, occasionally other non-control
+            // unicode, mirroring \PC's breadth cheaply.
+            match rng.below(8) {
+                0 => char::from_u32(0x00A1 + rng.below(0x500) as u32).unwrap_or('x'),
+                _ => (0x20u8 + rng.below(0x5F) as u8) as char,
+            }
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (atom, quant) in &atoms {
+            let n = match quant {
+                Quant::Exactly(n) => *n,
+                Quant::Between(m, n) => *m + rng.below((*n - *m + 1) as u64) as usize,
+            };
+            for _ in 0..n {
+                out.push(gen_atom(atom, rng));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// the prop:: namespace
+// ---------------------------------------------------------------------
+
+/// Mirrors `proptest::prop`: collection, sample and array helpers.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+
+        /// Lengths `vec` accepts.
+        pub trait SizeBounds {
+            /// Pick a length.
+            fn pick(&self, rng: &mut TestRng) -> usize;
+        }
+
+        impl SizeBounds for std::ops::Range<usize> {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                self.start + rng.below((self.end - self.start) as u64) as usize
+            }
+        }
+
+        impl SizeBounds for std::ops::RangeInclusive<usize> {
+            fn pick(&self, rng: &mut TestRng) -> usize {
+                self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+            }
+        }
+
+        /// Vec of values from `element`, length drawn from `size`.
+        pub fn vec<S: Strategy, R: SizeBounds>(element: S, size: R) -> Vec_<S, R> {
+            Vec_ { element, size }
+        }
+
+        /// The strategy `vec` returns.
+        pub struct Vec_<S, R> {
+            element: S,
+            size: R,
+        }
+
+        impl<S: Strategy, R: SizeBounds> Strategy for Vec_<S, R> {
+            type Value = Vec<S::Value>;
+            fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.size.pick(rng);
+                (0..n).map(|_| self.element.new_value(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use crate::{Strategy, TestRng};
+
+        /// Uniform choice from a fixed set.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select needs options");
+            Select { options }
+        }
+
+        /// The strategy `select` returns.
+        pub struct Select<T> {
+            options: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn new_value(&self, rng: &mut TestRng) -> T {
+                self.options[rng.below(self.options.len() as u64) as usize].clone()
+            }
+        }
+    }
+
+    /// Fixed-size array strategies.
+    pub mod array {
+        use crate::{Strategy, TestRng};
+
+        /// `[S::Value; 6]` from six draws of `element`.
+        pub fn uniform6<S: Strategy>(element: S) -> Uniform6<S> {
+            Uniform6 { element }
+        }
+
+        /// The strategy `uniform6` returns.
+        pub struct Uniform6<S> {
+            element: S,
+        }
+
+        impl<S: Strategy> Strategy for Uniform6<S> {
+            type Value = [S::Value; 6];
+            fn new_value(&self, rng: &mut TestRng) -> [S::Value; 6] {
+                std::array::from_fn(|_| self.element.new_value(rng))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// macros
+// ---------------------------------------------------------------------
+
+/// Fail the current case with a formatted message.
+pub fn fail(msg: fmt::Arguments<'_>) -> TestCaseError {
+    TestCaseError::Fail(msg.to_string())
+}
+
+/// Property-test entry point: each listed function runs
+/// [`DEFAULT_CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let strategies = ($($strat,)+);
+            let mut rng = $crate::TestRng::new($crate::seed_for(stringify!($name)));
+            for case in 0..$crate::DEFAULT_CASES {
+                #[allow(unused_parens)]
+                let ($($arg),+) = {
+                    #[allow(non_snake_case, unused_variables)]
+                    let ($($arg,)+) = &strategies;
+                    ($($crate::Strategy::new_value($arg, &mut rng)),+)
+                };
+                let outcome: $crate::TestCaseResult = (|| { $body; Ok(()) })();
+                match outcome {
+                    Ok(()) => {}
+                    Err($crate::TestCaseError::Reject) => continue,
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("proptest case {case} of {}: {msg}", stringify!($name));
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert within a property; failure reports the case, not a panic site.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::fail(format_args!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::fail(format_args!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::fail(format_args!(
+                "assertion failed: {:?} != {:?}", l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::fail(format_args!($($fmt)+)));
+        }
+    }};
+}
+
+/// Discard the case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::union(vec![$(Box::new($strat) as Box<dyn $crate::Strategy<Value = _>>),+])
+    };
+}
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+    pub use crate::{Just, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 0usize..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn string_classes_match(s in "[a-c]{2,5}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 5, "len {}", s.len());
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn printable_never_control(s in "\\PC*") {
+            prop_assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+
+        #[test]
+        fn assume_skips(n in 0u64..10) {
+            prop_assume!(n != 3);
+            prop_assert!(n != 3);
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![Just(1u8), Just(2u8)].prop_map(|x| x * 10u8)) {
+            prop_assert!(v == 10u8 || v == 20u8);
+        }
+    }
+
+    #[test]
+    fn vec_and_select_and_uniform6() {
+        let mut rng = crate::TestRng::new(1);
+        let v = prop::collection::vec(any::<u8>(), 2..5).new_value(&mut rng);
+        assert!(v.len() >= 2 && v.len() < 5);
+        let s = prop::sample::select(vec!["a", "b"]).new_value(&mut rng);
+        assert!(s == "a" || s == "b");
+        let a = prop::array::uniform6(any::<u64>()).new_value(&mut rng);
+        assert_eq!(a.len(), 6);
+    }
+}

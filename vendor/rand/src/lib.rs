@@ -1,0 +1,119 @@
+//! Offline stand-in for the `rand` crate — the subset this workspace
+//! uses (`StdRng::seed_from_u64`, `Rng::fill`, `Rng::gen_range`), backed
+//! by a deterministic splitmix64 generator. See `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Sources of randomness.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Values `gen_range` can produce.
+pub trait SampleUniform: Sized + Copy {
+    /// Sample uniformly from `range`.
+    fn sample(rng: &mut dyn RngCore, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(rng: &mut dyn RngCore, range: Range<$t>) -> $t {
+                let span = (range.end - range.start) as u64;
+                assert!(span > 0, "empty range");
+                range.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+/// The convenience trait: `fill` and `gen_range`.
+pub trait Rng: RngCore {
+    /// Fill `dest` with random bytes.
+    fn fill(&mut self, dest: &mut [u8]) {
+        let mut chunk = [0u8; 8];
+        let mut have = 0usize;
+        for b in dest.iter_mut() {
+            if have == 0 {
+                chunk = self.next_u64().to_le_bytes();
+                have = 8;
+            }
+            *b = chunk[8 - have];
+            have -= 1;
+        }
+    }
+
+    /// Uniform sample from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self, range)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Generator namespace, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic splitmix64 generator standing in for `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut ba = [0u8; 32];
+        let mut bb = [0u8; 32];
+        a.fill(&mut ba);
+        b.fill(&mut bb);
+        assert_eq!(ba, bb);
+        assert_ne!(ba, [0u8; 32]);
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(1u32..1000);
+            assert!((1..1000).contains(&v));
+        }
+    }
+}
