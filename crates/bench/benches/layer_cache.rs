@@ -1,0 +1,69 @@
+//! Bench: the layer cache's warm-build win. The paper's iterative-build
+//! story depends on unchanged Dockerfile prefixes skipping execution
+//! entirely; this measures cold builds (execute everything, snapshot
+//! every layer) against warm rebuilds (replay every layer, execute
+//! nothing) and the common edit loop (invalidate the last RUN only).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use zeroroot_core::Mode;
+use zr_bench::{build_once, warmed, FIG1B};
+
+fn bench_cold_vs_warm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("layer_cache_fig2");
+    g.sample_size(20);
+
+    // Cold: fresh builder, every instruction executes.
+    g.bench_function("cold", |b| {
+        b.iter(|| {
+            let (r, _) = build_once(black_box(FIG1B), Mode::Seccomp);
+            assert!(r.success);
+            assert_eq!(r.cache.hits, 0);
+            r
+        })
+    });
+
+    // Warm: every instruction replays from a snapshot.
+    let (mut builder, mut kernel, opts) = warmed(FIG1B, Mode::Seccomp);
+    g.bench_function("warm", |b| {
+        b.iter(|| {
+            let r = builder.build(&mut kernel, black_box(FIG1B), &opts);
+            assert!(r.success);
+            assert_eq!(r.cache.misses, 0, "warm rebuild executed something");
+            r
+        })
+    });
+
+    // Edit loop: FROM replays, the freshly edited RUN executes. A new
+    // edit each iteration keeps the RUN a genuine miss (the previous
+    // iteration's layer would otherwise warm it).
+    let (mut builder, mut kernel, opts) = warmed(FIG1B, Mode::Seccomp);
+    let mut edit = 0u64;
+    g.bench_function("edit_last_run", |b| {
+        b.iter(|| {
+            edit += 1;
+            let df = format!("FROM centos:7\nRUN echo edit-{edit} && yum install -y openssh\n");
+            let r = builder.build(&mut kernel, black_box(&df), &opts);
+            assert!(r.success);
+            assert_eq!(r.cache.hits, 1, "the FROM layer must replay");
+            r
+        })
+    });
+
+    // --no-cache on a warmed builder: the regression baseline.
+    let (mut builder, mut kernel, mut opts) = warmed(FIG1B, Mode::Seccomp);
+    opts.cache = zr_build::CacheMode::Disabled;
+    g.bench_function("no_cache", |b| {
+        b.iter(|| {
+            let r = builder.build(&mut kernel, black_box(FIG1B), &opts);
+            assert!(r.success);
+            assert_eq!(r.cache.hits, 0);
+            r
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_cold_vs_warm);
+criterion_main!(benches);

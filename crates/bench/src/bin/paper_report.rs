@@ -183,6 +183,39 @@ fn main() {
         pass: all_ok,
     });
 
+    // ---- C-cache -----------------------------------------------------------------
+    // The cache regression gate: a warm rebuild of the Figure 2
+    // Dockerfile must execute *zero* instructions — no spawns, no new
+    // pulls, every layer a hit — and come back measurably faster.
+    let mut kernel = Kernel::default_kernel();
+    let mut builder = Builder::new();
+    let opts = BuildOptions::new("cache", Mode::Seccomp);
+    let t0 = std::time::Instant::now();
+    let cold = builder.build(&mut kernel, FIG1B, &opts);
+    let cold_time = t0.elapsed();
+    let spawns_before = kernel.counters.spawns;
+    let pulls_before = builder.registry.pulls;
+    let t1 = std::time::Instant::now();
+    let warm = builder.build(&mut kernel, FIG1B, &opts);
+    let warm_time = t1.elapsed();
+    let no_exec = kernel.counters.spawns == spawns_before && builder.registry.pulls == pulls_before;
+    let speedup = cold_time.as_secs_f64() / warm_time.as_secs_f64().max(1e-9);
+    checks.push(Check {
+        id: "C-cache",
+        paper:
+            "warm rebuild replays every layer and executes no instruction (ch-image build cache)",
+        measured: format!(
+            "cold: {} in {cold_time:.2?}; warm: {} in {warm_time:.2?} ({speedup:.0}x), \
+             executed-anything={}",
+            cold.cache, warm.cache, !no_exec
+        ),
+        pass: cold.success
+            && warm.success
+            && warm.cache.hits == 2
+            && warm.cache.misses == 0
+            && no_exec,
+    });
+
     // ---- report ------------------------------------------------------------------
     println!("zeroroot paper-vs-measured report");
     println!("=================================\n");

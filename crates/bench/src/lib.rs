@@ -28,6 +28,18 @@ pub fn build_once(dockerfile: &str, mode: Mode) -> (BuildResult, Kernel) {
     (result, kernel)
 }
 
+/// A builder whose layer cache has been warmed with one cold build of
+/// `dockerfile`, plus the kernel it ran on — the starting point for
+/// warm-rebuild measurements.
+pub fn warmed(dockerfile: &str, mode: Mode) -> (Builder, Kernel, BuildOptions) {
+    let mut kernel = Kernel::default_kernel();
+    let mut builder = Builder::new();
+    let opts = BuildOptions::new("bench", mode);
+    let cold = builder.build(&mut kernel, dockerfile, &opts);
+    assert!(cold.success, "warming build failed:\n{}", cold.log_text());
+    (builder, kernel, opts)
+}
+
 /// A minimal armed container for microbenchmarks: returns kernel, pid and
 /// the strategy (so teardown can run).
 pub fn armed(mode: Mode) -> (Kernel, Pid, Box<dyn RootEmulation>) {
@@ -78,5 +90,13 @@ mod tests {
         let (mut k, pid, strategy) = armed(Mode::Seccomp);
         assert_eq!(k.process(pid).seccomp.len(), 1);
         strategy.teardown(&mut k);
+    }
+
+    #[test]
+    fn helpers_warm() {
+        let (mut builder, mut kernel, opts) = warmed(FIG1B, Mode::Seccomp);
+        let warm = builder.build(&mut kernel, FIG1B, &opts);
+        assert!(warm.success);
+        assert_eq!(warm.cache.misses, 0, "warm rebuild must be all hits");
     }
 }

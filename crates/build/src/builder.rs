@@ -6,19 +6,30 @@
 //! `--force` hook the paper adds to Charliecloud — and its console
 //! output is folded into the build log, so the published Figure 1/2
 //! transcripts fall out of `log_text()` verbatim.
+//!
+//! Builds are cached at instruction granularity (ch-image's build
+//! cache): each successful instruction snapshots the container
+//! filesystem into [`Builder::layers`] under a key chaining (parent
+//! layer, normalized instruction, context digest, strategy config). A
+//! rebuild *replays* the longest cached prefix — `N* INSTR` hit lines,
+//! nothing executed — and only starts a container at the first miss.
 
+use crate::cache::{self, CacheStats};
 use crate::options::BuildOptions;
 use crate::result::{BuildError, BuildResult};
 use zeroroot_core::{make, Mode, PrepareEnv};
 use zr_dockerfile::{parse, substitute, CopySpec, Dockerfile, Instruction};
-use zr_image::{Image, ImageMeta, ImageRef, ImageStore, Registry};
+use zr_image::{
+    CacheKey, Image, ImageMeta, ImageRef, ImageStore, Layer, LayerState, LayerStore, Registry,
+    StageSnapshot,
+};
 use zr_kernel::container::Container;
 use zr_kernel::{ContainerConfig, Kernel, SysExt};
 use zr_pkg::install::{extract_package, ChownBehavior};
 use zr_pkg::register::{register_image_binaries, repo_for};
 use zr_shell::inject_apt_workaround;
 use zr_vfs::access::Access;
-use zr_vfs::fs::FollowMode;
+use zr_vfs::fs::{FollowMode, Fs};
 use zr_vfs::path::{join, split_parent};
 
 /// The current build stage: one container plus its evolving metadata.
@@ -32,13 +43,16 @@ struct Stage {
 }
 
 /// The image builder: local store plus a registry client, reused across
-/// builds (pulls accumulate in `registry.pulls`).
+/// builds (pulls accumulate in `registry.pulls`; layers accumulate in
+/// `layers`, which is what makes warm rebuilds skip execution).
 #[derive(Debug, Default)]
 pub struct Builder {
     /// Built and pulled images, by tag.
     pub store: ImageStore,
     /// The registry simulator.
     pub registry: Registry,
+    /// The instruction-level layer cache.
+    pub layers: LayerStore,
 }
 
 impl Builder {
@@ -59,7 +73,15 @@ impl Builder {
     ) -> BuildResult {
         let mut log = Vec::new();
         let mut modified = 0u32;
-        let outcome = self.run(kernel, dockerfile, opts, &mut log, &mut modified);
+        let mut stats = CacheStats::default();
+        let outcome = self.run(
+            kernel,
+            dockerfile,
+            opts,
+            &mut log,
+            &mut modified,
+            &mut stats,
+        );
         match outcome {
             Ok(image) => {
                 self.store.save(&opts.tag, image.clone());
@@ -69,6 +91,7 @@ impl Builder {
                     image: Some(image),
                     modified_run_instructions: modified,
                     tag: opts.tag.clone(),
+                    cache: stats,
                     error: None,
                 }
             }
@@ -80,6 +103,7 @@ impl Builder {
                     image: None,
                     modified_run_instructions: modified,
                     tag: opts.tag.clone(),
+                    cache: stats,
                     error: Some(error),
                 }
             }
@@ -93,6 +117,7 @@ impl Builder {
         opts: &BuildOptions,
         log: &mut Vec<String>,
         modified: &mut u32,
+        stats: &mut CacheStats,
     ) -> Result<Image, BuildError> {
         let df: Dockerfile = parse(dockerfile).map_err(BuildError::Parse)?;
         if df.base_image().is_none() {
@@ -101,18 +126,141 @@ impl Builder {
             });
         }
 
-        let mut stage: Option<Stage> = None;
-        // ARG values; consulted by substitution and exported to RUN.
-        let mut args: Vec<(String, String)> = Vec::new();
+        let config = cache::config_fingerprint(opts);
+        let run_marker = make(opts.force).run_marker();
 
-        for (idx, (_, instruction)) in df.instructions.iter().enumerate() {
+        // ---- replay: walk the cached prefix without executing --------
+        // The key chain is recomputed from (parent, instruction) pairs;
+        // the first key the store does not know ends the replay and
+        // invalidates the rest of the chain (ch-image semantics: after a
+        // miss, everything downstream executes).
+        let mut parent: Option<CacheKey> = None;
+        let mut start = 0usize;
+        if opts.cache.readable() {
+            let mut env: Vec<(String, String)> = Vec::new();
+            let mut rargs: Vec<(String, String)> = Vec::new();
+            for (idx, (_, instruction)) in df.instructions.iter().enumerate() {
+                let key =
+                    cache::layer_key(parent.as_ref(), instruction, &env, &rargs, opts, &config);
+                let Some(layer) = self.layers.get(&key) else {
+                    break;
+                };
+                stats.hits += 1;
+                log.push(hit_line(
+                    idx + 1,
+                    instruction,
+                    &env,
+                    &rargs,
+                    &opts.build_args,
+                    run_marker,
+                ));
+                if matches!(instruction, Instruction::From { .. }) && self.store.contains(&opts.tag)
+                {
+                    log.push(format!("updating existing image: {}", opts.tag));
+                }
+                env = layer
+                    .state
+                    .stage
+                    .as_ref()
+                    .map(|s| s.env.clone())
+                    .unwrap_or_default();
+                rargs = layer.state.args.clone();
+                parent = Some(key);
+                start = idx + 1;
+            }
+        }
+
+        // Fully cached: the image is the deepest snapshot; no container
+        // is ever set up (the warm-build fast path).
+        if start == df.len() {
+            let key = parent.as_ref().expect("all-hit replay has a last key");
+            let layer = self.layers.get(key).expect("hit layer is stored");
+            let snap = layer
+                .state
+                .stage
+                .as_ref()
+                .ok_or_else(|| missing_from("build"))?;
+            finish_log(log, opts, *modified, df.len());
+            let mut meta = snap.meta.clone();
+            meta.tag = opts.tag.clone();
+            return Ok(Image {
+                meta,
+                fs: layer.fs.clone(),
+            });
+        }
+
+        // ---- materialize the restore point ---------------------------
+        // A partial replay ends here: one container, created from the
+        // deepest snapshot, picks up exactly where the cache ran out.
+        let mut stage: Option<Stage> = None;
+        let mut args: Vec<(String, String)> = Vec::new();
+        if let Some(key) = parent.clone() {
+            let layer = self.layers.get(&key).expect("hit layer is stored").clone();
+            args = layer.state.args;
+            if let Some(snap) = layer.state.stage {
+                register_image_binaries(kernel, &snap.meta);
+                let container = kernel
+                    .container_create(
+                        Kernel::HOST_USER_PID,
+                        ContainerConfig {
+                            ctype: opts.container_type,
+                            image: layer.fs,
+                        },
+                    )
+                    .map_err(|errno| BuildError::ContainerSetup {
+                        ctype: opts.container_type,
+                        errno,
+                    })?;
+                if snap.cwd != "/" {
+                    let mut ctx = kernel.ctx(container.init_pid);
+                    ctx.chdir(&snap.cwd).map_err(|e| BuildError::Instruction {
+                        instruction: start as u32,
+                        message: format!("cache restore: chdir {}: {e}", snap.cwd),
+                    })?;
+                }
+                stage = Some(Stage {
+                    container,
+                    meta: snap.meta,
+                    env: snap.env,
+                    shell: snap.shell,
+                });
+            }
+        }
+
+        // ---- execute the remainder, snapshotting each instruction ----
+        for (idx, (_, instruction)) in df.instructions.iter().enumerate().skip(start) {
             let n = idx + 1;
+            // Key first: it is defined over the state *before* the
+            // instruction runs.
+            let key = if opts.cache.writable() {
+                let empty: &[(String, String)] = &[];
+                let env = stage.as_ref().map_or(empty, |s| s.env.as_slice());
+                Some(cache::layer_key(
+                    parent.as_ref(),
+                    instruction,
+                    env,
+                    &args,
+                    opts,
+                    &config,
+                ))
+            } else {
+                None
+            };
+            // A miss is an execution *attempt*: failed instructions
+            // count too (they consulted the cache and found nothing).
+            stats.misses += 1;
             match instruction {
                 Instruction::From { image, alias } => {
                     let reference = subst_with(image, &stage, &args);
+                    // FROM renders as a hit whenever the cache may be
+                    // consulted: base images come from storage, and the
+                    // pull is a copy, not an execution (the paper's
+                    // figures show `1* FROM`). `--no-cache` is the one
+                    // honest miss rendering.
+                    let mark = if opts.cache.readable() { '*' } else { '.' };
                     match alias {
-                        Some(a) => log.push(format!("{n}* FROM {reference} AS {a}")),
-                        None => log.push(format!("{n}* FROM {reference}")),
+                        Some(a) => log.push(format!("{n}{mark} FROM {reference} AS {a}")),
+                        None => log.push(format!("{n}{mark} FROM {reference}")),
                     }
                     if self.store.contains(&opts.tag) {
                         log.push(format!("updating existing image: {}", opts.tag));
@@ -123,7 +271,7 @@ impl Builder {
                     let stage_ref = stage.as_mut().ok_or_else(|| missing_from("ENV"))?;
                     let mut shown = Vec::new();
                     for (key, value) in pairs {
-                        let value = substitute(value, &lookup_fn(&stage_ref.env, &args));
+                        let value = substitute(value, &cache::lookup(&stage_ref.env, &args));
                         shown.push(format!("{key}={value}"));
                         stage_ref.env.push((key.clone(), value.clone()));
                         stage_ref.meta.env.push((key.clone(), value));
@@ -131,23 +279,19 @@ impl Builder {
                     log.push(format!("{n}. ENV {}", shown.join(" ")));
                 }
                 Instruction::Arg { name, default } => {
-                    let supplied = opts
-                        .build_args
-                        .iter()
-                        .rev()
-                        .find(|(k, _)| k == name)
-                        .map(|(_, v)| v.clone());
-                    let value = match (supplied, default) {
-                        (Some(v), _) => v,
-                        (None, Some(d)) => subst_with(d, &stage, &args),
-                        (None, None) => String::new(),
-                    };
+                    let value = cache::resolve_arg(
+                        name,
+                        default.as_deref(),
+                        stage_env(&stage),
+                        &args,
+                        &opts.build_args,
+                    );
                     log.push(format!("{n}. ARG {name}={value}"));
                     args.push((name.clone(), value));
                 }
                 Instruction::Workdir(path) => {
                     let stage_ref = stage.as_mut().ok_or_else(|| missing_from("WORKDIR"))?;
-                    let path = substitute(path, &lookup_fn(&stage_ref.env, &args));
+                    let path = substitute(path, &cache::lookup(&stage_ref.env, &args));
                     log.push(format!("{n}. WORKDIR {path}"));
                     let pid = stage_ref.container.init_pid;
                     let mut ctx = kernel.ctx(pid);
@@ -219,16 +363,31 @@ impl Builder {
             // Fold any console output the instruction produced into the
             // build log (package-manager transcripts, shell errors, ...).
             log.extend(kernel.take_console());
+            if let Some(key) = key {
+                let state = LayerState {
+                    args: args.clone(),
+                    stage: stage.as_ref().map(|s| StageSnapshot {
+                        meta: s.meta.clone(),
+                        env: s.env.clone(),
+                        shell: s.shell.clone(),
+                        cwd: kernel.process(s.container.init_pid).cwd.clone(),
+                    }),
+                };
+                let fs = stage
+                    .as_ref()
+                    .map_or_else(Fs::new, |s| kernel.fs(s.container.fs).clone());
+                self.layers.insert(Layer {
+                    id: key.clone(),
+                    parent: parent.take(),
+                    fs,
+                    state,
+                });
+                parent = Some(key);
+            }
         }
 
         let stage = stage.ok_or_else(|| missing_from("build"))?;
-        if matches!(opts.force, Mode::Seccomp | Mode::SeccompXattr) {
-            let flag = make(opts.force).flag();
-            log.push(format!(
-                "--force={flag}: modified {modified} RUN instructions"
-            ));
-        }
-        log.push(format!("grown in {} instructions: {}", df.len(), opts.tag));
+        finish_log(log, opts, *modified, df.len());
 
         let mut meta = stage.meta;
         meta.tag = opts.tag.clone();
@@ -372,6 +531,79 @@ impl Builder {
     }
 }
 
+/// The closing log lines every successful build prints.
+fn finish_log(log: &mut Vec<String>, opts: &BuildOptions, modified: u32, instructions: usize) {
+    if matches!(opts.force, Mode::Seccomp | Mode::SeccompXattr) {
+        let flag = make(opts.force).flag();
+        log.push(format!(
+            "--force={flag}: modified {modified} RUN instructions"
+        ));
+    }
+    log.push(format!(
+        "grown in {instructions} instructions: {}",
+        opts.tag
+    ));
+}
+
+/// The `N* INSTR` line a cache hit prints: the executed rendering of
+/// the instruction with `*` in place of `.` (ch-image's hit marker),
+/// and no side-effect lines (warnings, transcripts) — nothing ran.
+fn hit_line(
+    n: usize,
+    instruction: &Instruction,
+    env: &[(String, String)],
+    args: &[(String, String)],
+    build_args: &[(String, String)],
+    run_marker: &str,
+) -> String {
+    match instruction {
+        Instruction::From { image, alias } => {
+            let reference = substitute(image, &cache::lookup(env, args));
+            match alias {
+                Some(a) => format!("{n}* FROM {reference} AS {a}"),
+                None => format!("{n}* FROM {reference}"),
+            }
+        }
+        Instruction::RunShell(cmd) => format!("{n}* {run_marker} {cmd}"),
+        Instruction::RunExec(argv) => format!("{n}* {run_marker} {}", argv.join(" ")),
+        Instruction::Env(pairs) => {
+            // Mirror the executed rendering: substitution is sequential,
+            // later pairs may reference earlier ones.
+            let mut seen = env.to_vec();
+            let mut shown = Vec::new();
+            for (key, value) in pairs {
+                let value = substitute(value, &cache::lookup(&seen, args));
+                shown.push(format!("{key}={value}"));
+                seen.push((key.clone(), value));
+            }
+            format!("{n}* ENV {}", shown.join(" "))
+        }
+        Instruction::Arg { name, default } => {
+            let value = cache::resolve_arg(name, default.as_deref(), env, args, build_args);
+            format!("{n}* ARG {name}={value}")
+        }
+        Instruction::Workdir(path) => {
+            let path = substitute(path, &cache::lookup(env, args));
+            format!("{n}* WORKDIR {path}")
+        }
+        Instruction::User(spec) => format!("{n}* USER {spec}"),
+        Instruction::Label(pairs) => {
+            let shown: Vec<String> = pairs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            format!("{n}* LABEL {}", shown.join(" "))
+        }
+        Instruction::Copy(spec) | Instruction::Add(spec) => format!(
+            "{n}* {} {} -> {}",
+            instruction.keyword(),
+            spec.sources.join(" "),
+            spec.dest
+        ),
+        Instruction::Entrypoint(argv) => format!("{n}* ENTRYPOINT {argv:?}"),
+        Instruction::Cmd(argv) => format!("{n}* CMD {argv:?}"),
+        Instruction::Shell(argv) => format!("{n}* SHELL {argv:?}"),
+        Instruction::NoOp { keyword, args: raw } => format!("{n}* {keyword} {raw}"),
+    }
+}
+
 /// COPY/ADD: write context files into the stage filesystem.
 fn copy_into_stage(
     kernel: &mut Kernel,
@@ -381,19 +613,19 @@ fn copy_into_stage(
     n: u32,
     args: &[(String, String)],
 ) -> Result<(), BuildError> {
-    if spec.from.is_some() {
-        return Err(BuildError::Instruction {
+    if let Some(from) = &spec.from {
+        return Err(BuildError::MultiStageUnsupported {
             instruction: n,
-            message: "COPY --from: multi-stage copies are not supported yet".into(),
+            stage: from.clone(),
         });
     }
     let pid = stage.container.init_pid;
-    let dest = substitute(&spec.dest, &lookup_fn(&stage.env, args));
+    let dest = substitute(&spec.dest, &cache::lookup(&stage.env, args));
     let dir_like = dest.ends_with('/') || spec.sources.len() > 1;
 
     let mut written = Vec::new();
     for source in &spec.sources {
-        let source = substitute(source, &lookup_fn(&stage.env, args));
+        let source = substitute(source, &cache::lookup(&stage.env, args));
         let data = opts
             .context
             .iter()
@@ -473,25 +705,14 @@ fn has_fakeroot(kernel: &Kernel, stage: &Stage) -> bool {
             .is_ok()
 }
 
-/// Substitution lookup over ENV (wins) then ARG values.
-fn lookup_fn<'a>(
-    env: &'a [(String, String)],
-    args: &'a [(String, String)],
-) -> impl Fn(&str) -> Option<String> + 'a {
-    move |name: &str| {
-        env.iter()
-            .rev()
-            .find(|(k, _)| k == name)
-            .or_else(|| args.iter().rev().find(|(k, _)| k == name))
-            .map(|(_, v)| v.clone())
-    }
-}
-
 /// Substitute against an optional stage's env + ARGs.
 fn subst_with(text: &str, stage: &Option<Stage>, args: &[(String, String)]) -> String {
-    static EMPTY: Vec<(String, String)> = Vec::new();
-    let env = stage.as_ref().map_or(&EMPTY[..], |s| &s.env[..]);
-    substitute(text, &lookup_fn(env, args))
+    substitute(text, &cache::lookup(stage_env(stage), args))
+}
+
+/// The env slice of an optional stage (empty before FROM).
+fn stage_env(stage: &Option<Stage>) -> &[(String, String)] {
+    stage.as_ref().map_or(&[], |s| &s.env[..])
 }
 
 fn missing_from(keyword: &str) -> BuildError {
@@ -592,6 +813,30 @@ mod tests {
     }
 
     #[test]
+    fn copy_from_reports_multi_stage_unsupported() {
+        let (r, _) = build(
+            "FROM alpine:3.19 AS base\nCOPY --from=base /x /y\n",
+            Mode::None,
+        );
+        assert!(!r.success);
+        assert!(
+            matches!(
+                r.error,
+                Some(BuildError::MultiStageUnsupported { instruction: 2, ref stage })
+                    if stage == "base"
+            ),
+            "{:?}",
+            r.error
+        );
+        assert!(
+            r.log_text()
+                .contains("COPY --from=base: multi-stage builds are not supported yet"),
+            "{}",
+            r.log_text()
+        );
+    }
+
+    #[test]
     fn built_image_lands_in_store() {
         let mut kernel = Kernel::default_kernel();
         let mut builder = Builder::new();
@@ -603,6 +848,21 @@ mod tests {
         assert!(r.success, "{}", r.log_text());
         assert!(builder.store.contains("stored"));
         assert_eq!(builder.store.get("stored").unwrap().meta.tag, "stored");
+    }
+
+    #[test]
+    fn cold_build_snapshots_every_instruction() {
+        let mut kernel = Kernel::default_kernel();
+        let mut builder = Builder::new();
+        let r = builder.build(
+            &mut kernel,
+            "FROM alpine:3.19\nRUN true\n",
+            &BuildOptions::new("t", Mode::None),
+        );
+        assert!(r.success, "{}", r.log_text());
+        assert_eq!(r.cache.hits, 0);
+        assert_eq!(r.cache.misses, 2);
+        assert_eq!(builder.layers.len(), 2);
     }
 
     #[test]

@@ -34,9 +34,11 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod cache;
 mod options;
 mod result;
 
 pub use builder::Builder;
+pub use cache::{CacheMode, CacheStats};
 pub use options::BuildOptions;
 pub use result::{BuildError, BuildResult};

@@ -1,5 +1,6 @@
 //! Build configuration (`ch-image build`'s flag surface).
 
+use crate::cache::CacheMode;
 use zeroroot_core::Mode;
 use zr_kernel::ContainerType;
 
@@ -10,6 +11,9 @@ pub struct BuildOptions {
     pub tag: String,
     /// Root-emulation strategy for RUN instructions (`--force=`).
     pub force: Mode,
+    /// Layer-cache policy (`--no-cache` maps to
+    /// [`CacheMode::Disabled`]).
+    pub cache: CacheMode,
     /// Build context: flat (file name, contents) pairs COPY/ADD read.
     pub context: Vec<(String, Vec<u8>)>,
     /// Container type RUN instructions execute in. The paper's setting —
@@ -28,6 +32,7 @@ impl Default for BuildOptions {
         BuildOptions {
             tag: "img".into(),
             force: Mode::None,
+            cache: CacheMode::Enabled,
             context: Vec::new(),
             container_type: ContainerType::TypeIII,
             build_args: Vec::new(),
@@ -56,6 +61,7 @@ mod tests {
         let o = BuildOptions::new("win", Mode::Seccomp);
         assert_eq!(o.tag, "win");
         assert_eq!(o.force, Mode::Seccomp);
+        assert_eq!(o.cache, CacheMode::Enabled);
         assert_eq!(o.container_type, ContainerType::TypeIII);
         assert!(o.context.is_empty());
     }

@@ -1,5 +1,6 @@
 //! Build outcomes: the log, the image, and typed failure causes.
 
+use crate::cache::CacheStats;
 use zeroroot_core::PrepareError;
 use zr_dockerfile::ParseError;
 use zr_image::Image;
@@ -45,6 +46,14 @@ pub enum BuildError {
         /// Exit status.
         status: i32,
     },
+    /// `COPY --from=` names another stage; cross-stage copies are a
+    /// ROADMAP item the builder does not implement yet.
+    MultiStageUnsupported {
+        /// 1-based instruction number.
+        instruction: u32,
+        /// The `--from=` stage name or index.
+        stage: String,
+    },
     /// A non-RUN instruction failed (COPY source missing, WORKDIR on a
     /// file, exec of a missing binary, ...).
     Instruction {
@@ -74,6 +83,12 @@ impl std::fmt::Display for BuildError {
             BuildError::RunFailed { status, .. } => {
                 write!(f, "RUN command exited with {status}")
             }
+            BuildError::MultiStageUnsupported { stage, .. } => {
+                write!(
+                    f,
+                    "COPY --from={stage}: multi-stage builds are not supported yet"
+                )
+            }
             BuildError::Instruction { message, .. } => write!(f, "{message}"),
         }
     }
@@ -97,6 +112,9 @@ pub struct BuildResult {
     pub modified_run_instructions: u32,
     /// The destination tag.
     pub tag: String,
+    /// Layer-cache effectiveness: how many instructions were restored
+    /// from snapshots versus executed.
+    pub cache: CacheStats,
     /// The failure cause, when `success` is false.
     pub error: Option<BuildError>,
 }
@@ -129,8 +147,21 @@ mod tests {
             image: None,
             modified_run_instructions: 0,
             tag: "t".into(),
+            cache: CacheStats::default(),
             error: None,
         };
         assert_eq!(r.log_text(), "a\nb");
+    }
+
+    #[test]
+    fn display_multi_stage_names_the_stage() {
+        let e = BuildError::MultiStageUnsupported {
+            instruction: 3,
+            stage: "builder".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "COPY --from=builder: multi-stage builds are not supported yet"
+        );
     }
 }

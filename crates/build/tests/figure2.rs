@@ -100,6 +100,95 @@ fn run_markers_follow_the_figures() {
 }
 
 #[test]
+fn hit_and_miss_markers_render_exactly() {
+    // Regression pin for the cache marker format: `N* INSTR` hit vs
+    // `N. INSTR` miss, rendered exactly as the paper's figures show.
+    let mut kernel = Kernel::default_kernel();
+    let mut builder = Builder::new();
+    let opts = BuildOptions::new("win", Mode::Seccomp);
+
+    // Cold build: FROM renders as a storage hit (`1*`, the figures'
+    // rendering), the RUN as an executed miss (`2.`).
+    let cold = builder.build(&mut kernel, FIG2, &opts);
+    assert!(cold.success, "{}", cold.log_text());
+    assert!(
+        cold.log_text().contains("1* FROM centos:7"),
+        "{}",
+        cold.log_text()
+    );
+    assert!(
+        cold.log_text().contains("2. RUN.S yum install -y openssh"),
+        "{}",
+        cold.log_text()
+    );
+
+    // Warm rebuild: everything is a hit.
+    let warm = builder.build(&mut kernel, FIG2, &opts);
+    assert!(warm.success, "{}", warm.log_text());
+    assert!(
+        warm.log_text().contains("1* FROM centos:7"),
+        "{}",
+        warm.log_text()
+    );
+    assert!(
+        warm.log_text().contains("2* RUN.S yum install -y openssh"),
+        "{}",
+        warm.log_text()
+    );
+    assert_eq!((warm.cache.hits, warm.cache.misses), (2, 0));
+
+    // --no-cache: the one honest FROM miss rendering.
+    let mut no_cache = opts.clone();
+    no_cache.cache = zr_build::CacheMode::Disabled;
+    let forced = builder.build(&mut kernel, FIG2, &no_cache);
+    assert!(forced.success, "{}", forced.log_text());
+    assert!(
+        forced.log_text().contains("1. FROM centos:7"),
+        "{}",
+        forced.log_text()
+    );
+    assert!(
+        forced
+            .log_text()
+            .contains("2. RUN.S yum install -y openssh"),
+        "{}",
+        forced.log_text()
+    );
+}
+
+#[test]
+fn warm_rebuild_of_figure_2_executes_nothing() {
+    // The acceptance bar for the layer cache: a warm Figure 2 rebuild
+    // executes zero instructions — no spawns, no faked syscalls beyond
+    // the cold build's, all hit markers.
+    let mut kernel = Kernel::default_kernel();
+    let mut builder = Builder::new();
+    let opts = BuildOptions::new("win", Mode::Seccomp);
+    let cold = builder.build(&mut kernel, FIG2, &opts);
+    assert!(cold.success, "{}", cold.log_text());
+
+    let spawns = kernel.counters.spawns;
+    let faked = kernel.trace.stats().faked;
+    let warm = builder.build(&mut kernel, FIG2, &opts);
+    assert!(warm.success, "{}", warm.log_text());
+    assert_eq!(kernel.counters.spawns, spawns, "no process ran");
+    assert_eq!(kernel.trace.stats().faked, faked, "no syscall was faked");
+    assert_eq!((warm.cache.hits, warm.cache.misses), (2, 0));
+
+    // Same zero-consistency artifact out of the snapshot.
+    let image = warm.image.expect("image");
+    let st = image
+        .fs
+        .stat(
+            "/usr/libexec/openssh/ssh-keysign",
+            &Access::root(),
+            FollowMode::Follow,
+        )
+        .expect("openssh payload restored");
+    assert_eq!((st.uid, st.gid), (1000, 1000));
+}
+
+#[test]
 fn filters_accumulate_per_run_instruction() {
     // §4: filters are irremovable; each armed RUN pushes another one.
     let mut kernel = Kernel::default_kernel();

@@ -1,7 +1,8 @@
 //! `zr-image` — a ch-image-flavoured CLI over the simulated build stack.
 //!
 //! ```text
-//! zr-image build -t TAG [--force=MODE] [-f DOCKERFILE] [CONTEXT_DIR]
+//! zr-image build -t TAG [--force=MODE] [--no-cache] [--cache-stats]
+//!                [-f DOCKERFILE] [CONTEXT_DIR]
 //! zr-image filter [ARCH…]       # compiled seccomp filter, disassembled
 //! zr-image table                # the 29 filtered syscalls × 6 arches
 //! zr-image list                 # known base images
@@ -11,13 +12,16 @@ use std::io::Read;
 use std::process::ExitCode;
 
 use zeroroot_core::Mode;
-use zr_build::{BuildOptions, Builder};
+use zr_build::{BuildOptions, Builder, CacheMode};
 use zr_kernel::Kernel;
 use zr_syscalls::filtered::{filtered_on, FILTERED};
 use zr_syscalls::Arch;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: zr-image build -t TAG [--force=MODE] [-f DOCKERFILE] [CONTEXT_DIR]");
+    eprintln!(
+        "usage: zr-image build -t TAG [--force=MODE] [--no-cache] [--cache-stats] \
+         [-f DOCKERFILE] [CONTEXT_DIR]"
+    );
     eprintln!("       zr-image filter [ARCH…]");
     eprintln!("       zr-image table");
     eprintln!("       zr-image list");
@@ -47,6 +51,8 @@ fn main() -> ExitCode {
 fn cmd_build(args: &[String]) -> ExitCode {
     let mut tag = "img".to_string();
     let mut force = Mode::Seccomp;
+    let mut cache = CacheMode::Enabled;
+    let mut cache_stats = false;
     let mut file: Option<String> = None;
     let mut context_dir: Option<String> = None;
 
@@ -61,6 +67,8 @@ fn cmd_build(args: &[String]) -> ExitCode {
                 Some(f) => file = Some(f.clone()),
                 None => return usage(),
             },
+            "--no-cache" => cache = CacheMode::Disabled,
+            "--cache-stats" => cache_stats = true,
             _ if a.starts_with("--force=") => {
                 let value = &a["--force=".len()..];
                 match Mode::from_flag(value) {
@@ -127,6 +135,7 @@ fn cmd_build(args: &[String]) -> ExitCode {
     let opts = BuildOptions {
         tag,
         force,
+        cache,
         context,
         ..BuildOptions::default()
     };
@@ -139,6 +148,13 @@ fn cmd_build(args: &[String]) -> ExitCode {
         "[trace] syscalls={} privileged={} faked={} failed={} bpf-instructions={}",
         stats.total, stats.privileged, stats.faked, stats.failed, stats.filter_steps
     );
+    if cache_stats {
+        eprintln!(
+            "[cache] {} ({} layers stored)",
+            result.cache,
+            builder.layers.len()
+        );
+    }
     if result.success {
         ExitCode::SUCCESS
     } else {

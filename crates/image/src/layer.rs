@@ -1,0 +1,240 @@
+//! The instruction-level layer cache (ch-image's build cache).
+//!
+//! Every successfully executed Dockerfile instruction snapshots the
+//! container filesystem into a [`Layer`], addressed by a [`CacheKey`]
+//! over (parent layer, normalized instruction text, build-context
+//! digest, strategy configuration). A rebuild walks the same key chain
+//! and restores snapshots instead of executing, until the first key the
+//! store does not know — ch-image's `N* INSTR` hit versus `N. INSTR`
+//! miss markers, which is where iterative unprivileged builds get their
+//! speed.
+//!
+//! The store is builder-side state (it lives next to [`ImageStore`] in
+//! `zr-build`'s `Builder`), but the *data model* belongs here with the
+//! other image storage types.
+//!
+//! [`ImageStore`]: crate::store::ImageStore
+
+use std::collections::BTreeMap;
+
+use zeroroot_core::digest::FieldDigest;
+use zr_vfs::fs::Fs;
+
+use crate::image::ImageMeta;
+
+/// A layer cache key: 64 hex characters of a field-delimited SHA-256
+/// over everything that decides an instruction's outcome.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CacheKey(String);
+
+impl CacheKey {
+    /// Compute the key for one instruction.
+    ///
+    /// * `parent` — the previous instruction's key (`None` for the
+    ///   first instruction), chaining the whole prefix into this key.
+    /// * `instruction` — the normalized instruction text (ARG values
+    ///   resolved, FROM references substituted).
+    /// * `context` — digest of the build-context content COPY/ADD
+    ///   sources refer to; empty for instructions without context.
+    /// * `config` — the active strategy configuration (`--force` flag,
+    ///   container type, host libc): a strategy change must invalidate
+    ///   the chain because the same RUN behaves differently under it.
+    pub fn compute(
+        parent: Option<&CacheKey>,
+        instruction: &str,
+        context: &str,
+        config: &str,
+    ) -> CacheKey {
+        let mut d = FieldDigest::new("zr-layer-v1");
+        d.field(parent.map_or("", |p| p.as_hex()).as_bytes())
+            .field(instruction.as_bytes())
+            .field(context.as_bytes())
+            .field(config.as_bytes());
+        CacheKey(d.finish())
+    }
+
+    /// The hex rendering (stable, ordered, log-friendly).
+    pub fn as_hex(&self) -> &str {
+        &self.0
+    }
+
+    /// Abbreviated id for logs (`git log --oneline` style).
+    pub fn short(&self) -> &str {
+        &self.0[..12]
+    }
+}
+
+impl std::fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The builder-side stage state a snapshot must restore besides the
+/// filesystem: metadata, ENV/SHELL state, and the working directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageSnapshot {
+    /// Image metadata as of this layer.
+    pub meta: ImageMeta,
+    /// Effective ENV state (image defaults + ENV instructions).
+    pub env: Vec<(String, String)>,
+    /// The SHELL prefix for shell-form RUN.
+    pub shell: Vec<String>,
+    /// Working directory (WORKDIR state).
+    pub cwd: String,
+}
+
+/// Everything a replay needs to continue *after* this layer without
+/// executing anything up to and including it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerState {
+    /// ARG values accumulated so far (resolved).
+    pub args: Vec<(String, String)>,
+    /// Stage state; `None` for layers before the first FROM (a
+    /// Dockerfile may open with ARG instructions).
+    pub stage: Option<StageSnapshot>,
+}
+
+/// One cached layer: the filesystem snapshot plus replayable state.
+#[derive(Debug, Clone)]
+pub struct Layer {
+    /// This layer's cache key.
+    pub id: CacheKey,
+    /// The parent layer's key (`None` for the first instruction).
+    pub parent: Option<CacheKey>,
+    /// Filesystem snapshot taken after the instruction ran (empty for
+    /// pre-FROM layers, which have no stage filesystem yet).
+    pub fs: Fs,
+    /// Replayable builder state.
+    pub state: LayerState,
+}
+
+/// Content-addressed storage for layers, keyed by [`CacheKey`].
+#[derive(Debug, Clone, Default)]
+pub struct LayerStore {
+    layers: BTreeMap<CacheKey, Layer>,
+}
+
+impl LayerStore {
+    /// An empty store.
+    pub fn new() -> LayerStore {
+        LayerStore::default()
+    }
+
+    /// Save a layer under its own key (replaces an equal key — the
+    /// content address makes the old and new layer interchangeable).
+    pub fn insert(&mut self, layer: Layer) {
+        self.layers.insert(layer.id.clone(), layer);
+    }
+
+    /// Look a layer up by key.
+    pub fn get(&self, key: &CacheKey) -> Option<&Layer> {
+        self.layers.get(key)
+    }
+
+    /// Is the key cached?
+    pub fn contains(&self, key: &CacheKey) -> bool {
+        self.layers.contains_key(key)
+    }
+
+    /// Drop every layer (what a `build --no-cache` followed by prune
+    /// would do; also test isolation).
+    pub fn clear(&mut self) {
+        self.layers.clear();
+    }
+
+    /// Number of cached layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// All keys, sorted (deterministic iteration for reports).
+    pub fn keys(&self) -> impl Iterator<Item = &CacheKey> {
+        self.layers.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::Distro;
+
+    fn meta() -> ImageMeta {
+        ImageMeta {
+            name: "t".into(),
+            tag: "1".into(),
+            distro: Distro::Alpine,
+            libc: "musl-1.2".into(),
+            env: vec![],
+            binaries: vec![],
+        }
+    }
+
+    fn layer(id: &CacheKey, parent: Option<&CacheKey>) -> Layer {
+        Layer {
+            id: id.clone(),
+            parent: parent.cloned(),
+            fs: Fs::new(),
+            state: LayerState {
+                args: vec![],
+                stage: Some(StageSnapshot {
+                    meta: meta(),
+                    env: vec![],
+                    shell: vec!["/bin/sh".into(), "-c".into()],
+                    cwd: "/".into(),
+                }),
+            },
+        }
+    }
+
+    #[test]
+    fn keys_are_deterministic() {
+        let a = CacheKey::compute(None, "FROM alpine:3.19", "", "seccomp");
+        let b = CacheKey::compute(None, "FROM alpine:3.19", "", "seccomp");
+        assert_eq!(a, b);
+        assert_eq!(a.as_hex().len(), 64);
+        assert_eq!(a.short().len(), 12);
+        assert_eq!(a.to_string(), a.as_hex());
+    }
+
+    #[test]
+    fn every_field_discriminates() {
+        let parent = CacheKey::compute(None, "FROM alpine:3.19", "", "seccomp");
+        let base = CacheKey::compute(Some(&parent), "RUN true", "ctx", "seccomp");
+        assert_ne!(base, CacheKey::compute(None, "RUN true", "ctx", "seccomp"));
+        assert_ne!(
+            base,
+            CacheKey::compute(Some(&parent), "RUN false", "ctx", "seccomp")
+        );
+        assert_ne!(
+            base,
+            CacheKey::compute(Some(&parent), "RUN true", "ctx2", "seccomp")
+        );
+        assert_ne!(
+            base,
+            CacheKey::compute(Some(&parent), "RUN true", "ctx", "fakeroot")
+        );
+    }
+
+    #[test]
+    fn store_roundtrip() {
+        let mut store = LayerStore::new();
+        assert!(store.is_empty());
+        let k1 = CacheKey::compute(None, "FROM alpine:3.19", "", "none");
+        let k2 = CacheKey::compute(Some(&k1), "RUN true", "", "none");
+        store.insert(layer(&k1, None));
+        store.insert(layer(&k2, Some(&k1)));
+        assert_eq!(store.len(), 2);
+        assert!(store.contains(&k1));
+        assert_eq!(store.get(&k2).unwrap().parent.as_ref(), Some(&k1));
+        assert_eq!(store.keys().count(), 2);
+        store.clear();
+        assert!(store.is_empty());
+        assert!(store.get(&k1).is_none());
+    }
+}

@@ -16,9 +16,11 @@
 #![warn(missing_docs)]
 
 pub mod image;
+pub mod layer;
 pub mod registry;
 pub mod store;
 
 pub use image::{BinKind, BinarySpec, Distro, Image, ImageMeta, ImageRef, Linkage};
+pub use layer::{CacheKey, Layer, LayerState, LayerStore, StageSnapshot};
 pub use registry::Registry;
 pub use store::ImageStore;

@@ -49,7 +49,7 @@ pub use zr_trace as trace;
 pub use zr_vfs as vfs;
 
 pub use zeroroot_core::{Mode, PrepareEnv, RootEmulation};
-pub use zr_build::{BuildError, BuildOptions, BuildResult, Builder};
+pub use zr_build::{BuildError, BuildOptions, BuildResult, Builder, CacheMode, CacheStats};
 pub use zr_kernel::{ContainerConfig, ContainerType, Kernel, SysExt};
 
 /// A ready-to-use build session: one simulated kernel + one builder.

@@ -3,6 +3,7 @@
 //! curated examples.
 
 use proptest::prelude::*;
+use zeroroot::image::CacheKey;
 use zeroroot::seccomp::spec::zero_consistency;
 use zeroroot::seccomp::stack::evaluate;
 use zeroroot::seccomp::{compile, Action, SeccompData};
@@ -89,6 +90,67 @@ proptest! {
         prop_assert!(n1.starts_with('/'));
         let n2 = zr_vfs::path::normalize(&n1);
         prop_assert_eq!(&n1, &n2);
+    }
+
+    /// Layer-cache keys are deterministic — equal (parent, instruction,
+    /// context, config) tuples always collide — and injective under any
+    /// single-field perturbation: change exactly one field and the key
+    /// must change too (otherwise an edited Dockerfile could replay a
+    /// stale snapshot).
+    #[test]
+    fn cache_keys_deterministic_and_injective(
+        parent_seed in "[a-z0-9]{0,16}",
+        instr in "[ -~]{0,48}",
+        ctx in "[a-f0-9]{0,32}",
+        config in "[a-z+|.-]{1,24}",
+        perturb in "[ -~]{1,8}",
+    ) {
+        let parent = if parent_seed.is_empty() {
+            None
+        } else {
+            Some(CacheKey::compute(None, &parent_seed, "", "p"))
+        };
+        let base = CacheKey::compute(parent.as_ref(), &instr, &ctx, &config);
+
+        // Determinism: the same inputs always produce the same key.
+        prop_assert_eq!(
+            &base,
+            &CacheKey::compute(parent.as_ref(), &instr, &ctx, &config)
+        );
+
+        // Perturb exactly one field at a time: never a collision.
+        let other_parent = CacheKey::compute(None, &format!("{parent_seed}{perturb}"), "", "p");
+        prop_assert_ne!(
+            &base,
+            &CacheKey::compute(Some(&other_parent), &instr, &ctx, &config)
+        );
+        prop_assert_ne!(
+            &base,
+            &CacheKey::compute(parent.as_ref(), &format!("{instr}{perturb}"), &ctx, &config)
+        );
+        prop_assert_ne!(
+            &base,
+            &CacheKey::compute(parent.as_ref(), &instr, &format!("{ctx}{perturb}"), &config)
+        );
+        prop_assert_ne!(
+            &base,
+            &CacheKey::compute(parent.as_ref(), &instr, &ctx, &format!("{config}{perturb}"))
+        );
+    }
+
+    /// Field boundaries are hashed: content sliding from one field into
+    /// the next can never collide (length-prefixed fields).
+    #[test]
+    fn cache_key_fields_do_not_bleed(a in "[a-z]{1,10}", b in "[a-z]{1,10}") {
+        let joined = format!("{a}{b}");
+        prop_assert_ne!(
+            CacheKey::compute(None, &joined, "", "s"),
+            CacheKey::compute(None, &a, &b, "s")
+        );
+        prop_assert_ne!(
+            CacheKey::compute(None, &joined, "", "s"),
+            CacheKey::compute(None, &a, "", &format!("{b}s"))
+        );
     }
 
     /// apt injection: never injects into non-apt commands; always

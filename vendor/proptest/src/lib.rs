@@ -526,6 +526,25 @@ macro_rules! prop_assert_eq {
     }};
 }
 
+/// Inequality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return Err($crate::fail(format_args!(
+                "assertion failed: {:?} == {:?}", l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return Err($crate::fail(format_args!($($fmt)+)));
+        }
+    }};
+}
+
 /// Discard the case unless the precondition holds.
 #[macro_export]
 macro_rules! prop_assume {
@@ -547,7 +566,9 @@ macro_rules! prop_oneof {
 /// The glob-import surface, mirroring `proptest::prelude::*`.
 pub mod prelude {
     pub use crate::prop;
-    pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
     pub use crate::{Just, Strategy};
 }
 
