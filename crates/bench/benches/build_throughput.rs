@@ -1,0 +1,58 @@
+//! Bench: batch-build throughput under the scheduler.
+//!
+//! Two workloads × four worker counts:
+//!
+//! * **distinct** — 8 unrelated Dockerfiles, `--no-cache`: no layer
+//!   sharing is possible, so this measures scheduling plus registry
+//!   contention (the modeled pull latency is where workers win by
+//!   overlapping waits).
+//! * **identical** — 8 requests for the same Dockerfile with the cache
+//!   enabled: after the first cold build the shared layer store replays
+//!   everything, so this measures the cross-build cache.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use zr_bench::{distinct_dockerfiles, timed_batch};
+use zr_build::CacheMode;
+
+const JOBS: [usize; 4] = [1, 2, 4, 8];
+const BATCH: usize = 8;
+
+fn bench_distinct(c: &mut Criterion) {
+    let mut g = c.benchmark_group("build_throughput_distinct");
+    g.sample_size(3);
+    let dockerfiles = distinct_dockerfiles(BATCH);
+    for jobs in JOBS {
+        g.bench_function(format!("jobs-{jobs}"), |b| {
+            b.iter(|| {
+                let (elapsed, digests) =
+                    timed_batch(jobs, black_box(&dockerfiles), CacheMode::Disabled);
+                assert_eq!(digests.len(), BATCH);
+                elapsed
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_identical(c: &mut Criterion) {
+    let mut g = c.benchmark_group("build_throughput_identical");
+    g.sample_size(3);
+    let dockerfiles: Vec<String> = vec![distinct_dockerfiles(1).remove(0); BATCH];
+    for jobs in JOBS {
+        g.bench_function(format!("jobs-{jobs}"), |b| {
+            b.iter(|| {
+                let (elapsed, digests) =
+                    timed_batch(jobs, black_box(&dockerfiles), CacheMode::Enabled);
+                // Identical builds converge on identical content (only
+                // the tag differs, and digests cover meta + tree).
+                assert_eq!(digests.len(), BATCH);
+                elapsed
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_distinct, bench_identical);
+criterion_main!(benches);

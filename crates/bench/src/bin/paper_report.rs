@@ -6,7 +6,11 @@
 //! ```
 
 use zeroroot_core::Mode;
-use zr_bench::{build_once, APT, FIG1A, FIG1B};
+use zr_bench::{
+    bench_scheduler, build_once, distinct_dockerfiles, sched_requests, timed_batch, APT, FIG1A,
+    FIG1B,
+};
+use zr_build::CacheMode;
 use zr_syscalls::filtered::{filtered_on, FILTERED};
 use zr_syscalls::Arch;
 
@@ -194,11 +198,12 @@ fn main() {
     let cold = builder.build(&mut kernel, FIG1B, &opts);
     let cold_time = t0.elapsed();
     let spawns_before = kernel.counters.spawns;
-    let pulls_before = builder.registry.pulls;
+    let pulls_before = builder.registry.pulls();
     let t1 = std::time::Instant::now();
     let warm = builder.build(&mut kernel, FIG1B, &opts);
     let warm_time = t1.elapsed();
-    let no_exec = kernel.counters.spawns == spawns_before && builder.registry.pulls == pulls_before;
+    let no_exec =
+        kernel.counters.spawns == spawns_before && builder.registry.pulls() == pulls_before;
     let speedup = cold_time.as_secs_f64() / warm_time.as_secs_f64().max(1e-9);
     checks.push(Check {
         id: "C-cache",
@@ -214,6 +219,57 @@ fn main() {
             && warm.cache.hits == 2
             && warm.cache.misses == 0
             && no_exec,
+    });
+
+    // ---- S-sched -----------------------------------------------------------------
+    // The scheduler gate: 8 distinct Dockerfiles, --no-cache, modeled
+    // registry latency. 8 workers must (a) produce exactly the digests
+    // the serial build produces and (b) finish the batch at >= 2x the
+    // single-worker throughput (workers overlap pull waits, so this
+    // holds even on a single-core runner). Best-of-3 per worker count.
+    let dockerfiles = distinct_dockerfiles(8);
+    let best = |jobs: usize| {
+        (0..3)
+            .map(|_| timed_batch(jobs, &dockerfiles, CacheMode::Disabled))
+            .min_by_key(|(elapsed, _)| *elapsed)
+            .expect("three runs")
+    };
+    let (t_serial, d_serial) = best(1);
+    let (t_parallel, d_parallel) = best(8);
+    let speedup = t_serial.as_secs_f64() / t_parallel.as_secs_f64().max(1e-9);
+    let deterministic = d_serial == d_parallel;
+    checks.push(Check {
+        id: "S-sched",
+        paper:
+            "8-worker batch: identical digests to serial, >= 2x throughput (distinct Dockerfiles)",
+        measured: format!(
+            "serial {t_serial:.2?}, 8 workers {t_parallel:.2?} ({speedup:.1}x), \
+             digests-identical={deterministic}"
+        ),
+        pass: deterministic && speedup >= 2.0,
+    });
+
+    // ---- S-cache -----------------------------------------------------------------
+    // Cross-build warm hits: two identical requests through a
+    // single-worker scheduler. Each build gets a *fresh* Builder, so
+    // the second build's hits can only come from the shared layer
+    // store — and with the store warm, it must execute nothing.
+    let sched = bench_scheduler(1);
+    let df = vec![dockerfiles[0].clone(); 2];
+    let reports = sched.build_many(sched_requests(&df, CacheMode::Enabled));
+    let cold = reports[0].result.cache;
+    let warm = reports[1].result.cache;
+    checks.push(Check {
+        id: "S-cache",
+        paper: "shared layer store: a sibling build replays a neighbor's layers (cross-build hits)",
+        measured: format!(
+            "cold: {cold}; sibling: {warm}; store: {}",
+            sched.layers().stats()
+        ),
+        pass: reports.iter().all(|r| r.result.success)
+            && cold.hits == 0
+            && warm.hits > 0
+            && warm.misses == 0,
     });
 
     // ---- report ------------------------------------------------------------------

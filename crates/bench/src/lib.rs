@@ -7,9 +7,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::time::Duration;
+
 use zeroroot_core::{make, Mode, PrepareEnv, RootEmulation};
-use zr_build::{BuildOptions, BuildResult, Builder};
+use zr_build::{BuildOptions, BuildResult, Builder, CacheMode};
+use zr_image::PullCost;
 use zr_kernel::{ContainerConfig, ContainerType, Kernel, Pid};
+use zr_sched::{BuildRequest, Scheduler, SchedulerConfig};
 use zr_vfs::fs::Fs;
 
 /// Figure 1a's Dockerfile.
@@ -38,6 +42,82 @@ pub fn warmed(dockerfile: &str, mode: Mode) -> (Builder, Kernel, BuildOptions) {
     let cold = builder.build(&mut kernel, dockerfile, &opts);
     assert!(cold.success, "warming build failed:\n{}", cold.log_text());
     (builder, kernel, opts)
+}
+
+/// The pull cost the scheduler workloads model: a small manifest round
+/// trip per pull plus a larger blob transfer per pull-through miss.
+/// Sleep-based, so concurrent workers genuinely overlap it — the
+/// speedup the throughput gate measures survives a single-core CI box.
+pub fn bench_pull_cost() -> PullCost {
+    PullCost {
+        round_trip: Duration::from_millis(3),
+        fetch: Duration::from_millis(20),
+    }
+}
+
+/// `n` *distinct* Dockerfiles cycling the catalog's bases, each with a
+/// unique cheap RUN chain: a scheduler workload where no cross-build
+/// layer sharing is possible, so it measures scheduling and registry
+/// contention rather than cache wins.
+pub fn distinct_dockerfiles(n: usize) -> Vec<String> {
+    let bases = ["alpine:3.19", "centos:7", "debian:12", "fedora:40"];
+    (0..n)
+        .map(|i| {
+            format!(
+                "FROM {}\nRUN echo step-{i} > /s{i}\nRUN touch /done-{i}\n",
+                bases[i % bases.len()]
+            )
+        })
+        .collect()
+}
+
+/// Scheduler requests over `dockerfiles` under `--force=seccomp` with
+/// the given cache policy, ids/tags `b0..bN` in input order.
+pub fn sched_requests(dockerfiles: &[String], cache: CacheMode) -> Vec<BuildRequest> {
+    dockerfiles
+        .iter()
+        .enumerate()
+        .map(|(i, df)| {
+            let id = format!("b{i}");
+            let options = BuildOptions {
+                cache,
+                ..BuildOptions::new(&id, Mode::Seccomp)
+            };
+            BuildRequest::with_options(&id, df, options)
+        })
+        .collect()
+}
+
+/// A fresh scheduler with `jobs` workers and the bench pull cost —
+/// fresh registry and layer store, so repeated measurements start cold.
+pub fn bench_scheduler(jobs: usize) -> Scheduler {
+    Scheduler::new(SchedulerConfig {
+        jobs,
+        pull_cost: bench_pull_cost(),
+        ..SchedulerConfig::default()
+    })
+}
+
+/// Wall-clock one batch on a fresh scheduler; returns the elapsed time
+/// and the per-build image digests (input order). Asserts every build
+/// succeeded.
+pub fn timed_batch(
+    jobs: usize,
+    dockerfiles: &[String],
+    cache: CacheMode,
+) -> (Duration, Vec<String>) {
+    let sched = bench_scheduler(jobs);
+    let t0 = std::time::Instant::now();
+    let reports = sched.build_many(sched_requests(dockerfiles, cache));
+    let elapsed = t0.elapsed();
+    let digests = reports
+        .iter()
+        .map(|r| {
+            assert!(r.result.success, "{}", r.result.log_text());
+            r.result.image.as_ref().expect("successful build").digest()
+        })
+        .collect();
+    (elapsed, digests)
 }
 
 /// A minimal armed container for microbenchmarks: returns kernel, pid and

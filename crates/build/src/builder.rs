@@ -17,11 +17,13 @@
 use crate::cache::{self, CacheStats};
 use crate::options::BuildOptions;
 use crate::result::{BuildError, BuildResult};
+use std::sync::Arc;
 use zeroroot_core::{make, Mode, PrepareEnv};
 use zr_dockerfile::{parse, substitute, CopySpec, Dockerfile, Instruction};
+
 use zr_image::{
-    CacheKey, Image, ImageMeta, ImageRef, ImageStore, Layer, LayerState, LayerStore, Registry,
-    StageSnapshot,
+    CacheKey, Image, ImageMeta, ImageRef, ImageStore, Layer, LayerState, LayerStore,
+    ShardedRegistry, StageSnapshot,
 };
 use zr_kernel::container::Container;
 use zr_kernel::{ContainerConfig, Kernel, SysExt};
@@ -42,23 +44,40 @@ struct Stage {
     shell: Vec<String>,
 }
 
-/// The image builder: local store plus a registry client, reused across
-/// builds (pulls accumulate in `registry.pulls`; layers accumulate in
-/// `layers`, which is what makes warm rebuilds skip execution).
+/// The image builder: local store plus *shared* registry and layer-cache
+/// handles, reused across builds (pulls accumulate in the registry's
+/// counters; layers accumulate in `layers`, which is what makes warm
+/// rebuilds skip execution).
+///
+/// The registry handle is an `Arc` and the layer store is itself a
+/// shared handle, so many builders — one per scheduler worker, say —
+/// can share one registry and one cache: concurrent FROMs of the same
+/// base hit the pull-through blob cache, and concurrent builds of
+/// similar Dockerfiles get cross-build layer hits.
 #[derive(Debug, Default)]
 pub struct Builder {
-    /// Built and pulled images, by tag.
+    /// Built and pulled images, by tag (builder-local).
     pub store: ImageStore,
-    /// The registry simulator.
-    pub registry: Registry,
-    /// The instruction-level layer cache.
+    /// The registry simulator (shareable across builders).
+    pub registry: Arc<ShardedRegistry>,
+    /// The instruction-level layer cache (shareable across builders).
     pub layers: LayerStore,
 }
 
 impl Builder {
-    /// A builder with an empty store.
+    /// A builder with an empty store and private registry/cache handles.
     pub fn new() -> Builder {
         Builder::default()
+    }
+
+    /// A builder sharing a registry and a layer store with other
+    /// builders (the scheduler's per-worker construction).
+    pub fn with_shared(registry: Arc<ShardedRegistry>, layers: LayerStore) -> Builder {
+        Builder {
+            store: ImageStore::new(),
+            registry,
+            layers,
+        }
     }
 
     /// Build `dockerfile` under `opts` on the given kernel. Never panics
@@ -133,48 +152,76 @@ impl Builder {
         // The key chain is recomputed from (parent, instruction) pairs;
         // the first key the store does not know ends the replay and
         // invalidates the rest of the chain (ch-image semantics: after a
-        // miss, everything downstream executes).
+        // miss, everything downstream executes). The walk consults only
+        // layer *state* (peek_state — no filesystem copies); one full
+        // snapshot is materialized at the end, for the deepest hit. If a
+        // shared store evicts a walked layer before that materialization
+        // lands, the walk retries and simply replays a shorter prefix.
         let mut parent: Option<CacheKey> = None;
+        let mut restored: Option<Arc<Layer>> = None;
         let mut start = 0usize;
         if opts.cache.readable() {
-            let mut env: Vec<(String, String)> = Vec::new();
-            let mut rargs: Vec<(String, String)> = Vec::new();
-            for (idx, (_, instruction)) in df.instructions.iter().enumerate() {
-                let key =
-                    cache::layer_key(parent.as_ref(), instruction, &env, &rargs, opts, &config);
-                let Some(layer) = self.layers.get(&key) else {
-                    break;
-                };
-                stats.hits += 1;
-                log.push(hit_line(
-                    idx + 1,
-                    instruction,
-                    &env,
-                    &rargs,
-                    &opts.build_args,
-                    run_marker,
-                ));
-                if matches!(instruction, Instruction::From { .. }) && self.store.contains(&opts.tag)
-                {
-                    log.push(format!("updating existing image: {}", opts.tag));
+            let mut attempts = 0u32;
+            loop {
+                parent = None;
+                start = 0;
+                let mut hit_log: Vec<String> = Vec::new();
+                let mut env: Vec<(String, String)> = Vec::new();
+                let mut rargs: Vec<(String, String)> = Vec::new();
+                for (idx, (_, instruction)) in df.instructions.iter().enumerate() {
+                    let key =
+                        cache::layer_key(parent.as_ref(), instruction, &env, &rargs, opts, &config);
+                    let Some(state) = self.layers.peek_state(&key) else {
+                        break;
+                    };
+                    hit_log.push(hit_line(
+                        idx + 1,
+                        instruction,
+                        &env,
+                        &rargs,
+                        &opts.build_args,
+                        run_marker,
+                    ));
+                    if matches!(instruction, Instruction::From { .. })
+                        && self.store.contains(&opts.tag)
+                    {
+                        hit_log.push(format!("updating existing image: {}", opts.tag));
+                    }
+                    env = state
+                        .stage
+                        .as_ref()
+                        .map(|s| s.env.clone())
+                        .unwrap_or_default();
+                    rargs = state.args;
+                    parent = Some(key);
+                    start = idx + 1;
                 }
-                env = layer
-                    .state
-                    .stage
-                    .as_ref()
-                    .map(|s| s.env.clone())
-                    .unwrap_or_default();
-                rargs = layer.state.args.clone();
-                parent = Some(key);
-                start = idx + 1;
+                if let Some(key) = &parent {
+                    attempts += 1;
+                    match self.layers.materialize(key) {
+                        Some(layer) => restored = Some(layer),
+                        // Evicted between the walk and here; the next
+                        // walk stops at the evicted key. Bounded: give
+                        // up on replaying (build everything) rather
+                        // than racing a pathological evictor forever.
+                        None if attempts < 8 => continue,
+                        None => {
+                            parent = None;
+                            start = 0;
+                            break;
+                        }
+                    }
+                }
+                stats.hits += start as u32;
+                log.append(&mut hit_log);
+                break;
             }
         }
 
         // Fully cached: the image is the deepest snapshot; no container
         // is ever set up (the warm-build fast path).
         if start == df.len() {
-            let key = parent.as_ref().expect("all-hit replay has a last key");
-            let layer = self.layers.get(key).expect("hit layer is stored");
+            let layer = restored.expect("all-hit replay has a last layer");
             let snap = layer
                 .state
                 .stage
@@ -194,17 +241,19 @@ impl Builder {
         // deepest snapshot, picks up exactly where the cache ran out.
         let mut stage: Option<Stage> = None;
         let mut args: Vec<(String, String)> = Vec::new();
-        if let Some(key) = parent.clone() {
-            let layer = self.layers.get(&key).expect("hit layer is stored").clone();
-            args = layer.state.args;
-            if let Some(snap) = layer.state.stage {
+        if let Some(layer) = restored {
+            args = layer.state.args.clone();
+            if let Some(snap) = layer.state.stage.clone() {
                 register_image_binaries(kernel, &snap.meta);
                 let container = kernel
                     .container_create(
                         Kernel::HOST_USER_PID,
                         ContainerConfig {
                             ctype: opts.container_type,
-                            image: layer.fs,
+                            // The one O(image) copy of a partial replay:
+                            // the container gets its own filesystem,
+                            // cloned outside any store lock.
+                            image: layer.fs.clone(),
                         },
                     )
                     .map_err(|errno| BuildError::ContainerSetup {

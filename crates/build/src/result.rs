@@ -62,6 +62,9 @@ pub enum BuildError {
         /// Human-readable cause.
         message: String,
     },
+    /// The build was cancelled before it started (a scheduler batch was
+    /// cancelled, or `fail_fast` tripped on an earlier failure).
+    Cancelled,
 }
 
 impl std::fmt::Display for BuildError {
@@ -90,6 +93,7 @@ impl std::fmt::Display for BuildError {
                 )
             }
             BuildError::Instruction { message, .. } => write!(f, "{message}"),
+            BuildError::Cancelled => write!(f, "build cancelled"),
         }
     }
 }
@@ -151,6 +155,11 @@ mod tests {
             error: None,
         };
         assert_eq!(r.log_text(), "a\nb");
+    }
+
+    #[test]
+    fn display_cancelled() {
+        assert_eq!(BuildError::Cancelled.to_string(), "build cancelled");
     }
 
     #[test]

@@ -22,14 +22,14 @@ fn identical_rebuild_hits_every_layer() {
     assert_eq!(builder.layers.len(), 4);
 
     let spawns_before = kernel.counters.spawns;
-    let pulls_before = builder.registry.pulls;
+    let pulls_before = builder.registry.pulls();
     let warm = builder.build(&mut kernel, DF, &opts);
     assert!(warm.success, "{}", warm.log_text());
 
     // Every layer restored, zero executions, zero pulls.
     assert_eq!((warm.cache.hits, warm.cache.misses), (4, 0));
     assert_eq!(kernel.counters.spawns, spawns_before, "no RUN executed");
-    assert_eq!(builder.registry.pulls, pulls_before, "no re-pull");
+    assert_eq!(builder.registry.pulls(), pulls_before, "no re-pull");
 
     // All hit markers, ch-image style.
     let log = warm.log_text();

@@ -2,7 +2,11 @@
 //!
 //! ```text
 //! zr-image build -t TAG [--force=MODE] [--no-cache] [--cache-stats]
-//!                [-f DOCKERFILE] [CONTEXT_DIR]
+//!                [--cache-limit BYTES] [-f DOCKERFILE] [CONTEXT_DIR]
+//! zr-image build-many [--jobs N] [--force=MODE] [--no-cache]
+//!                [--cache-stats] [--cache-limit BYTES] [--shards N]
+//!                [--pull-latency-ms N] [--fail-fast] [--context DIR]
+//!                DOCKERFILE…
 //! zr-image filter [ARCH…]       # compiled seccomp filter, disassembled
 //! zr-image table                # the 29 filtered syscalls × 6 arches
 //! zr-image list                 # known base images
@@ -10,17 +14,25 @@
 
 use std::io::Read;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use zeroroot_core::Mode;
 use zr_build::{BuildOptions, Builder, CacheMode};
+use zr_image::{PullCost, ShardedRegistry};
 use zr_kernel::Kernel;
+use zr_sched::{BuildRequest, BuildStatus, Scheduler, SchedulerConfig};
 use zr_syscalls::filtered::{filtered_on, FILTERED};
 use zr_syscalls::Arch;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: zr-image build -t TAG [--force=MODE] [--no-cache] [--cache-stats] \
-         [-f DOCKERFILE] [CONTEXT_DIR]"
+         [--cache-limit BYTES] [-f DOCKERFILE] [CONTEXT_DIR]"
+    );
+    eprintln!(
+        "       zr-image build-many [--jobs N] [--force=MODE] [--no-cache] [--cache-stats] \
+         [--cache-limit BYTES] [--shards N] [--pull-latency-ms N] [--fail-fast] \
+         [--context DIR] DOCKERFILE…"
     );
     eprintln!("       zr-image filter [ARCH…]");
     eprintln!("       zr-image table");
@@ -36,6 +48,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("build") => cmd_build(&args[1..]),
+        Some("build-many") => cmd_build_many(&args[1..]),
         Some("filter") => cmd_filter(&args[1..]),
         Some("table") => cmd_table(),
         Some("list") => {
@@ -53,6 +66,7 @@ fn cmd_build(args: &[String]) -> ExitCode {
     let mut force = Mode::Seccomp;
     let mut cache = CacheMode::Enabled;
     let mut cache_stats = false;
+    let mut cache_limit = 0u64;
     let mut file: Option<String> = None;
     let mut context_dir: Option<String> = None;
 
@@ -69,6 +83,10 @@ fn cmd_build(args: &[String]) -> ExitCode {
             },
             "--no-cache" => cache = CacheMode::Disabled,
             "--cache-stats" => cache_stats = true,
+            "--cache-limit" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(bytes) => cache_limit = bytes,
+                None => return usage(),
+            },
             _ if a.starts_with("--force=") => {
                 let value = &a["--force=".len()..];
                 match Mode::from_flag(value) {
@@ -116,22 +134,11 @@ fn cmd_build(args: &[String]) -> ExitCode {
         }
     };
 
-    // Load the build context (flat: regular files in the directory).
-    let mut context = Vec::new();
-    if let Some(dir) = context_dir {
-        if let Ok(entries) = std::fs::read_dir(&dir) {
-            for entry in entries.flatten() {
-                if entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
-                    if let Ok(data) = std::fs::read(entry.path()) {
-                        context.push((entry.file_name().to_string_lossy().into_owned(), data));
-                    }
-                }
-            }
-        }
-    }
+    let context = context_dir.as_deref().map(load_context).unwrap_or_default();
 
     let mut kernel = Kernel::default_kernel();
     let mut builder = Builder::new();
+    builder.layers.set_budget(cache_limit);
     let opts = BuildOptions {
         tag,
         force,
@@ -156,6 +163,168 @@ fn cmd_build(args: &[String]) -> ExitCode {
         );
     }
     if result.success {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Load a build context directory (flat: regular files only).
+fn load_context(dir: &str) -> Vec<(String, Vec<u8>)> {
+    let mut context = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            if entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
+                if let Ok(data) = std::fs::read(entry.path()) {
+                    context.push((entry.file_name().to_string_lossy().into_owned(), data));
+                }
+            }
+        }
+    }
+    context
+}
+
+/// `build-many`: schedule one build per Dockerfile argument across a
+/// worker pool sharing one registry and one layer cache. Each build's
+/// log is printed under its id, so interleaved work stays attributable.
+fn cmd_build_many(args: &[String]) -> ExitCode {
+    let mut jobs = SchedulerConfig::default().jobs;
+    let mut force = Mode::Seccomp;
+    let mut cache = CacheMode::Enabled;
+    let mut cache_stats = false;
+    let mut cache_limit = 0u64;
+    let mut shards = ShardedRegistry::DEFAULT_SHARDS;
+    let mut pull_latency_ms = 0u64;
+    let mut fail_fast = false;
+    let mut context_dir: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => jobs = n,
+                None => return usage(),
+            },
+            "--context" => match it.next() {
+                Some(dir) => context_dir = Some(dir.clone()),
+                None => return usage(),
+            },
+            "--shards" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => shards = n,
+                None => return usage(),
+            },
+            "--pull-latency-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => pull_latency_ms = n,
+                None => return usage(),
+            },
+            "--cache-limit" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(bytes) => cache_limit = bytes,
+                None => return usage(),
+            },
+            "--no-cache" => cache = CacheMode::Disabled,
+            "--cache-stats" => cache_stats = true,
+            "--fail-fast" => fail_fast = true,
+            _ if a.starts_with("--force=") => {
+                let value = &a["--force=".len()..];
+                match Mode::from_flag(value) {
+                    Some(m) => force = m,
+                    None => {
+                        eprintln!("error: unknown --force mode '{value}'");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            _ if !a.starts_with('-') => files.push(a.clone()),
+            _ => return usage(),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("error: build-many needs at least one Dockerfile");
+        return usage();
+    }
+
+    // One shared context directory for the whole batch (COPY/ADD
+    // sources), mirroring the single-build CONTEXT_DIR argument.
+    let context = context_dir.as_deref().map(load_context).unwrap_or_default();
+
+    let mut requests = Vec::new();
+    for path in &files {
+        let dockerfile = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // Build id (and tag): the file stem, suffixed until unique when
+        // the same name appears twice (or collides with another stem).
+        let stem = std::path::Path::new(path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "img".to_string());
+        let mut id = stem.clone();
+        let mut n = 2usize;
+        while requests.iter().any(|r: &BuildRequest| r.id == id) {
+            id = format!("{stem}-{n}");
+            n += 1;
+        }
+        let options = BuildOptions {
+            tag: id.clone(),
+            force,
+            cache,
+            context: context.clone(),
+            ..BuildOptions::default()
+        };
+        requests.push(BuildRequest::with_options(&id, &dockerfile, options));
+    }
+
+    let latency = Duration::from_millis(pull_latency_ms);
+    let sched = Scheduler::new(SchedulerConfig {
+        jobs,
+        fail_fast,
+        registry_shards: shards,
+        pull_cost: PullCost {
+            round_trip: latency,
+            fetch: 4 * latency,
+        },
+        cache_limit,
+    });
+
+    let t0 = std::time::Instant::now();
+    let reports = sched.build_many(requests);
+    let elapsed = t0.elapsed();
+
+    let mut failures = 0usize;
+    for r in &reports {
+        for line in &r.result.log {
+            println!("[{}] {line}", r.id);
+        }
+        println!(
+            "[{}] status: {} (faked syscalls: {})",
+            r.id, r.status, r.trace.faked
+        );
+        if r.status != BuildStatus::Done {
+            failures += 1;
+        }
+    }
+    let rstats = sched.registry().stats();
+    eprintln!(
+        "[sched] {} builds with {jobs} workers in {elapsed:.2?}: {} ok, {failures} not ok",
+        reports.len(),
+        reports.len() - failures,
+    );
+    eprintln!(
+        "[registry] {} pulls, {} fetches, {} blob hits across {} shards",
+        rstats.pulls,
+        rstats.fetches,
+        rstats.blob_hits,
+        sched.registry().shard_count()
+    );
+    if cache_stats {
+        eprintln!("[cache] {}", sched.layers().stats());
+    }
+    if failures == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

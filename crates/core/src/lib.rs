@@ -29,6 +29,7 @@ pub mod proot;
 pub mod seccomp_mode;
 pub mod statedb;
 pub mod strategy;
+pub mod sync;
 
 pub use fakeroot::{FakerootEmulation, Provisioning};
 pub use proot::ProotEmulation;

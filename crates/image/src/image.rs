@@ -1,5 +1,6 @@
 //! Image data model.
 
+use zeroroot_core::digest::FieldDigest;
 use zr_vfs::fs::Fs;
 
 /// Distribution family — decides the package manager and its syscall
@@ -145,6 +146,61 @@ pub struct Image {
 }
 
 impl Image {
+    /// A deterministic content digest over the image: metadata plus
+    /// every inode's canonical path, type, permissions, ownership, and
+    /// payload (file bytes or symlink target), in path order.
+    ///
+    /// Two builds that produce byte-identical trees — a serial build and
+    /// a concurrent one of the same Dockerfile, say — digest equal; the
+    /// scheduler's determinism tests and the paper-report gate compare
+    /// exactly this. Timestamps are excluded: they encode execution
+    /// order, not content.
+    pub fn digest(&self) -> String {
+        use zr_syscalls::mode::{S_IFLNK, S_IFMT, S_IFREG};
+
+        let root = zr_vfs::Access::root();
+        let mut d = FieldDigest::new("zr-image-v1");
+        d.field(self.meta.name.as_bytes())
+            .field(self.meta.tag.as_bytes())
+            .field(self.meta.distro.id().as_bytes())
+            .field(self.meta.libc.as_bytes());
+        // Each variable-length list is framed by its element count, so
+        // the env/binaries boundary is unambiguous — an env pair can
+        // never digest like a pair of binary paths.
+        d.field(&(self.meta.env.len() as u64).to_be_bytes());
+        for (k, v) in &self.meta.env {
+            d.field(k.as_bytes()).field(v.as_bytes());
+        }
+        d.field(&(self.meta.binaries.len() as u64).to_be_bytes());
+        for b in &self.meta.binaries {
+            d.field(b.path.as_bytes())
+                .field(format!("{:?}/{:?}", b.kind, b.linkage).as_bytes());
+        }
+
+        // `walk_paths` visits deterministically (sorted pre-order), so
+        // the digest is a pure function of the tree's content.
+        for (path, st) in self.fs.walk_paths(&root) {
+            d.field(path.as_bytes())
+                .field(&st.mode.to_be_bytes())
+                .field(&st.uid.to_be_bytes())
+                .field(&st.gid.to_be_bytes());
+            match st.mode & S_IFMT {
+                S_IFLNK => {
+                    if let Ok(target) = self.fs.readlink(&path, &root) {
+                        d.field(target.as_bytes());
+                    }
+                }
+                S_IFREG => {
+                    if let Ok(data) = self.fs.read_file(&path, &root) {
+                        d.field(&data);
+                    }
+                }
+                _ => {}
+            }
+        }
+        d.finish()
+    }
+
     /// Set every inode's owner — what unpacking a base tarball as an
     /// unprivileged user does to ownership.
     pub fn chown_all(&mut self, uid: u32, gid: u32) {
@@ -234,6 +290,36 @@ mod tests {
         assert!(meta.binary_at("/sbin/apk").is_some());
         assert!(meta.binary_at("/bin/sh").is_none());
         assert!(!meta.has_fakeroot());
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_content_sensitive() {
+        let pull = |r: &str| {
+            crate::registry::Registry::new()
+                .pull(&ImageRef::parse(r).unwrap())
+                .unwrap()
+        };
+        let a = pull("alpine:3.19");
+        let b = pull("alpine:3.19");
+        assert_eq!(a.digest(), b.digest(), "same content, same digest");
+        assert_eq!(a.digest().len(), 64);
+        assert_ne!(a.digest(), pull("debian:12").digest());
+
+        // Content edits move the digest; so do ownership changes.
+        let mut edited = pull("alpine:3.19");
+        edited
+            .fs
+            .write_file(
+                "/etc/motd",
+                0o644,
+                b"hi\n".to_vec(),
+                &zr_vfs::Access::root(),
+            )
+            .unwrap();
+        assert_ne!(a.digest(), edited.digest());
+        let mut chowned = pull("alpine:3.19");
+        chowned.chown_all(1000, 1000);
+        assert_ne!(a.digest(), chowned.digest());
     }
 
     #[test]

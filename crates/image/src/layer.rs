@@ -16,8 +16,11 @@
 //! [`ImageStore`]: crate::store::ImageStore
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use zeroroot_core::digest::FieldDigest;
+use zeroroot_core::sync::{lock_or_poisoned, shard_index};
 use zr_vfs::fs::Fs;
 
 use crate::image::ImageMeta;
@@ -109,53 +112,315 @@ pub struct Layer {
     pub state: LayerState,
 }
 
+/// Approximate storage footprint of one layer: file and symlink payload
+/// bytes plus a fixed per-inode overhead (metadata, directory entries).
+/// Built on the shared `Fs::walk_paths` tree walk, so unlink holes in
+/// the inode table never hide anything reachable.
+fn approx_layer_bytes(layer: &Layer) -> u64 {
+    const INODE_OVERHEAD: u64 = 256;
+    layer
+        .fs
+        .walk_paths(&zr_vfs::Access::root())
+        .iter()
+        .map(|(_, st)| st.size + INODE_OVERHEAD)
+        .sum()
+}
+
+/// One stored layer plus the bookkeeping eviction needs. The layer
+/// sits behind an `Arc` so lookups hand out O(1) clones — the shard
+/// lock is never held across an O(image) filesystem copy.
+#[derive(Debug, Clone)]
+struct Entry {
+    layer: Arc<Layer>,
+    bytes: u64,
+    /// Logical clock value of the last hit (or the insert) — the LRU
+    /// ordering eviction walks.
+    last_hit: u64,
+}
+
+/// Aggregate counters for a [`LayerStore`], across every builder
+/// sharing it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Layers currently stored.
+    pub layers: usize,
+    /// Approximate bytes currently stored.
+    pub bytes: u64,
+    /// The configured size budget (0 = unlimited).
+    pub budget: u64,
+    /// Lookups that found a layer (lifetime, cross-build).
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Layers evicted to respect the budget.
+    pub evictions: u64,
+}
+
+impl std::fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} layers, {} bytes, {} hits, {} misses, {} evictions",
+            self.layers, self.bytes, self.hits, self.misses, self.evictions
+        )
+    }
+}
+
+const STORE_SHARDS: usize = 8;
+
+#[derive(Debug)]
+struct StoreInner {
+    /// Key space split across independently locked shards so concurrent
+    /// builders contend per key range, not on one store-wide lock.
+    shards: Vec<Mutex<BTreeMap<CacheKey, Entry>>>,
+    /// Logical LRU clock (bumped on every hit and insert).
+    clock: AtomicU64,
+    /// Size budget in bytes; 0 means unlimited.
+    budget: AtomicU64,
+    /// Approximate bytes stored.
+    bytes: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for StoreInner {
+    fn default() -> StoreInner {
+        StoreInner {
+            shards: (0..STORE_SHARDS).map(|_| Mutex::default()).collect(),
+            clock: AtomicU64::new(0),
+            budget: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+}
+
 /// Content-addressed storage for layers, keyed by [`CacheKey`].
+///
+/// The store is a *shared handle*: cloning shares the underlying
+/// storage (`Arc`), every method takes `&self`, and the key space is
+/// sharded across independent locks — concurrent builds of similar
+/// Dockerfiles get cross-build cache hits instead of duplicate
+/// snapshots, without serializing on one store-wide mutex.
+///
+/// An optional size budget caps growth: when an insert pushes the
+/// store past its budget, the least-recently-hit layers are evicted
+/// until it fits. Evicting a mid-chain layer only shortens future
+/// replays (the chain walk stops at the first missing key); it can
+/// never corrupt a build.
 #[derive(Debug, Clone, Default)]
 pub struct LayerStore {
-    layers: BTreeMap<CacheKey, Layer>,
+    inner: Arc<StoreInner>,
 }
 
 impl LayerStore {
-    /// An empty store.
+    /// An empty, unbounded store.
     pub fn new() -> LayerStore {
         LayerStore::default()
     }
 
+    /// An empty store that evicts least-recently-hit layers once its
+    /// approximate size exceeds `bytes` (0 = unlimited).
+    pub fn with_budget(bytes: u64) -> LayerStore {
+        let store = LayerStore::new();
+        store.set_budget(bytes);
+        store
+    }
+
+    /// Change the size budget (0 = unlimited) and enforce it.
+    pub fn set_budget(&self, bytes: u64) {
+        self.inner.budget.store(bytes, Ordering::Relaxed);
+        self.enforce_budget();
+    }
+
+    /// The configured size budget (0 = unlimited).
+    pub fn budget(&self) -> u64 {
+        self.inner.budget.load(Ordering::Relaxed)
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<BTreeMap<CacheKey, Entry>> {
+        &self.inner.shards[shard_index(key, self.inner.shards.len())]
+    }
+
+    fn lock(shard: &Mutex<BTreeMap<CacheKey, Entry>>) -> MutexGuard<'_, BTreeMap<CacheKey, Entry>> {
+        lock_or_poisoned(shard)
+    }
+
+    fn tick(&self) -> u64 {
+        self.inner.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
     /// Save a layer under its own key (replaces an equal key — the
-    /// content address makes the old and new layer interchangeable).
-    pub fn insert(&mut self, layer: Layer) {
-        self.layers.insert(layer.id.clone(), layer);
+    /// content address makes the old and new layer interchangeable),
+    /// then evict down to the budget if necessary.
+    pub fn insert(&self, layer: Layer) {
+        let bytes = approx_layer_bytes(&layer);
+        let entry = Entry {
+            bytes,
+            last_hit: self.tick(),
+            layer: Arc::new(layer),
+        };
+        let key = entry.layer.id.clone();
+        {
+            // The byte counter moves while the shard lock is held: an
+            // entry is never visible to an evictor (which must take
+            // this same lock to remove it) before its bytes are
+            // counted, so the counter cannot underflow.
+            let mut shard = Self::lock(self.shard(&key));
+            if let Some(old) = shard.insert(key, entry) {
+                self.inner.bytes.fetch_sub(old.bytes, Ordering::Relaxed);
+            }
+            self.inner.bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+        self.enforce_budget();
     }
 
-    /// Look a layer up by key.
-    pub fn get(&self, key: &CacheKey) -> Option<&Layer> {
-        self.layers.get(key)
+    /// Shared lookup core: LRU refresh on a hit, optional stat
+    /// counting, and a caller-chosen projection of the entry.
+    fn lookup<T>(
+        &self,
+        key: &CacheKey,
+        count_stats: bool,
+        project: impl FnOnce(&Arc<Layer>) -> T,
+    ) -> Option<T> {
+        let mut shard = Self::lock(self.shard(key));
+        match shard.get_mut(key) {
+            Some(entry) => {
+                entry.last_hit = self.inner.clock.fetch_add(1, Ordering::Relaxed);
+                if count_stats {
+                    self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                }
+                Some(project(&entry.layer))
+            }
+            None => {
+                if count_stats {
+                    self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                }
+                None
+            }
+        }
     }
 
-    /// Is the key cached?
+    /// Look a layer up by key; a hit refreshes the layer's LRU
+    /// position. The returned handle is an O(1) `Arc` clone — no
+    /// filesystem copy happens, under the shard lock or after it.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<Layer>> {
+        self.lookup(key, true, Arc::clone)
+    }
+
+    /// Clone only the replayable *state* of a cached layer — no
+    /// filesystem copy. The builder's chain walk consults every layer
+    /// of a cached prefix but materializes just the deepest one; this
+    /// keeps the walk O(state), not O(image). Counts as a hit (LRU
+    /// refresh included), exactly like [`LayerStore::get`].
+    pub fn peek_state(&self, key: &CacheKey) -> Option<LayerState> {
+        self.lookup(key, true, |layer| layer.state.clone())
+    }
+
+    /// The second half of a peek-then-materialize sequence: fetch the
+    /// full layer for a key [`peek_state`](Self::peek_state) already
+    /// counted, refreshing its LRU position but *not* the hit/miss
+    /// counters — one logical lookup stays one statistic.
+    pub fn materialize(&self, key: &CacheKey) -> Option<Arc<Layer>> {
+        self.lookup(key, false, Arc::clone)
+    }
+
+    /// Is the key cached? (No stats, no LRU refresh.)
     pub fn contains(&self, key: &CacheKey) -> bool {
-        self.layers.contains_key(key)
+        Self::lock(self.shard(key)).contains_key(key)
     }
 
     /// Drop every layer (what a `build --no-cache` followed by prune
-    /// would do; also test isolation).
-    pub fn clear(&mut self) {
-        self.layers.clear();
+    /// would do; also test isolation). Usage counters survive.
+    pub fn clear(&self) {
+        for shard in &self.inner.shards {
+            // Subtract per entry under the shard lock (not a blanket
+            // store(0)): a concurrent insert into another shard must
+            // not have its bytes wiped out from under it.
+            let mut shard = Self::lock(shard);
+            for (_, entry) in std::mem::take(&mut *shard) {
+                self.inner.bytes.fetch_sub(entry.bytes, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Number of cached layers.
     pub fn len(&self) -> usize {
-        self.layers.len()
+        self.inner.shards.iter().map(|s| Self::lock(s).len()).sum()
     }
 
     /// Is the store empty?
     pub fn is_empty(&self) -> bool {
-        self.layers.is_empty()
+        self.len() == 0
+    }
+
+    /// Approximate bytes stored.
+    pub fn bytes(&self) -> u64 {
+        self.inner.bytes.load(Ordering::Relaxed)
     }
 
     /// All keys, sorted (deterministic iteration for reports).
-    pub fn keys(&self) -> impl Iterator<Item = &CacheKey> {
-        self.layers.keys()
+    pub fn keys(&self) -> Vec<CacheKey> {
+        let mut keys: Vec<CacheKey> = self
+            .inner
+            .shards
+            .iter()
+            .flat_map(|s| Self::lock(s).keys().cloned().collect::<Vec<_>>())
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// Aggregate usage counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            layers: self.len(),
+            bytes: self.bytes(),
+            budget: self.budget(),
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            evictions: self.inner.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Evict least-recently-hit layers until the store fits its budget.
+    /// One scan gathers every entry's (last-hit, size, key); victims
+    /// are then taken in LRU order until enough bytes are freed —
+    /// O(entries log entries) per pass, not O(entries × evictions).
+    /// Locks one shard at a time (never nested); the outer loop
+    /// re-checks because concurrent inserts can land mid-pass.
+    fn enforce_budget(&self) {
+        let budget = self.budget();
+        if budget == 0 {
+            return;
+        }
+        while self.bytes() > budget {
+            let mut candidates: Vec<(u64, u64, CacheKey)> = Vec::new();
+            for shard in &self.inner.shards {
+                for (key, entry) in Self::lock(shard).iter() {
+                    candidates.push((entry.last_hit, entry.bytes, key.clone()));
+                }
+            }
+            candidates.sort_unstable_by_key(|(last_hit, _, _)| *last_hit);
+            let mut freed = 0u64;
+            let excess = self.bytes().saturating_sub(budget);
+            for (_, _, key) in candidates {
+                if freed >= excess {
+                    break;
+                }
+                if let Some(old) = Self::lock(self.shard(&key)).remove(&key) {
+                    self.inner.bytes.fetch_sub(old.bytes, Ordering::Relaxed);
+                    self.inner.evictions.fetch_add(1, Ordering::Relaxed);
+                    freed += old.bytes;
+                }
+            }
+            if freed == 0 {
+                break; // nothing removable (empty, or raced away)
+            }
+        }
     }
 }
 
@@ -223,7 +488,7 @@ mod tests {
 
     #[test]
     fn store_roundtrip() {
-        let mut store = LayerStore::new();
+        let store = LayerStore::new();
         assert!(store.is_empty());
         let k1 = CacheKey::compute(None, "FROM alpine:3.19", "", "none");
         let k2 = CacheKey::compute(Some(&k1), "RUN true", "", "none");
@@ -232,9 +497,85 @@ mod tests {
         assert_eq!(store.len(), 2);
         assert!(store.contains(&k1));
         assert_eq!(store.get(&k2).unwrap().parent.as_ref(), Some(&k1));
-        assert_eq!(store.keys().count(), 2);
+        assert_eq!(store.keys().len(), 2);
         store.clear();
         assert!(store.is_empty());
         assert!(store.get(&k1).is_none());
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let store = LayerStore::new();
+        let handle = store.clone();
+        let k = CacheKey::compute(None, "FROM alpine:3.19", "", "none");
+        store.insert(layer(&k, None));
+        assert!(handle.contains(&k), "clone sees the insert");
+        assert_eq!(handle.len(), 1);
+        handle.clear();
+        assert!(store.is_empty(), "clear through either handle");
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let store = LayerStore::new();
+        let k = CacheKey::compute(None, "FROM alpine:3.19", "", "none");
+        let missing = CacheKey::compute(None, "RUN nope", "", "none");
+        store.insert(layer(&k, None));
+        assert!(store.get(&k).is_some());
+        assert!(store.get(&missing).is_none());
+        let stats = store.stats();
+        assert_eq!(stats.layers, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert!(stats.bytes > 0, "layers have a nonzero footprint");
+        assert!(stats.to_string().contains("1 hits"));
+    }
+
+    /// A layer whose filesystem carries `bytes` of file payload.
+    fn sized_layer(id: &CacheKey, bytes: usize) -> Layer {
+        let mut l = layer(id, None);
+        let root = zr_vfs::Access::root();
+        l.fs.mkdir_p("/data", 0o755).unwrap();
+        l.fs.write_file("/data/blob", 0o644, vec![0u8; bytes], &root)
+            .unwrap();
+        l
+    }
+
+    #[test]
+    fn budget_evicts_least_recently_hit() {
+        let store = LayerStore::new();
+        let keys: Vec<CacheKey> = (0..4)
+            .map(|i| CacheKey::compute(None, &format!("RUN step-{i}"), "", "none"))
+            .collect();
+        for k in &keys {
+            store.insert(sized_layer(k, 4096));
+        }
+        let four = store.bytes();
+        // Refresh key 0 so key 1 becomes the LRU victim.
+        assert!(store.get(&keys[0]).is_some());
+        // Budget for roughly three of the four layers.
+        store.set_budget(four - 2048);
+        assert!(store.bytes() <= store.budget(), "evicted down to budget");
+        assert!(!store.contains(&keys[1]), "LRU layer evicted first");
+        assert!(store.contains(&keys[0]), "recently hit layer survives");
+        assert!(store.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn inserts_respect_the_budget() {
+        let store = LayerStore::with_budget(12 * 1024);
+        for i in 0..32 {
+            let k = CacheKey::compute(None, &format!("RUN step-{i}"), "", "none");
+            store.insert(sized_layer(&k, 4096));
+        }
+        assert!(store.bytes() <= store.budget());
+        assert!(store.len() < 32, "older layers were evicted");
+        assert!(store.stats().evictions > 0);
+        // Zero budget means unlimited again.
+        store.set_budget(0);
+        let before = store.len();
+        let k = CacheKey::compute(None, "RUN one-more", "", "none");
+        store.insert(sized_layer(&k, 4096));
+        assert_eq!(store.len(), before + 1);
     }
 }

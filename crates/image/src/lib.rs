@@ -21,6 +21,6 @@ pub mod registry;
 pub mod store;
 
 pub use image::{BinKind, BinarySpec, Distro, Image, ImageMeta, ImageRef, Linkage};
-pub use layer::{CacheKey, Layer, LayerState, LayerStore, StageSnapshot};
-pub use registry::Registry;
+pub use layer::{CacheKey, Layer, LayerState, LayerStore, StageSnapshot, StoreStats};
+pub use registry::{PullCost, Registry, RegistryStats, ShardedRegistry};
 pub use store::ImageStore;

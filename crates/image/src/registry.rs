@@ -5,6 +5,13 @@
 //! their behaviour is registered separately from `zr-pkg`), and the libc
 //! identity used by the bind-mount compatibility experiment.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+use zeroroot_core::sync::{lock_or_poisoned, shard_index};
+
 use crate::image::{BinKind, BinarySpec, Distro, Image, ImageMeta, ImageRef, Linkage};
 use zr_syscalls::Errno;
 use zr_vfs::access::Access;
@@ -253,17 +260,135 @@ fn scratch() -> Image {
     }
 }
 
-/// The registry simulator.
-#[derive(Debug, Clone, Default)]
-pub struct Registry {
-    /// Pulls performed (for "fetch …" log lines and cache statistics).
-    pub pulls: u32,
+/// Materialize a base image from scratch (the "network fetch" of the
+/// simulator — the expensive step the pull-through cache elides).
+fn materialize(reference: &ImageRef) -> Result<Image, Errno> {
+    match (reference.name.as_str(), reference.tag.as_str()) {
+        ("alpine", "3.19") => Ok(alpine_3_19()),
+        ("centos", "7") => Ok(centos_7()),
+        ("debian", "12") => Ok(debian_12()),
+        ("fedora", "40") => Ok(fedora_40()),
+        ("scratch", _) => Ok(scratch()),
+        _ => Err(Errno::ENOENT),
+    }
 }
 
-impl Registry {
-    /// A fresh registry.
-    pub fn new() -> Registry {
-        Registry::default()
+/// Modeled network cost of talking to the registry, so the bench harness
+/// can measure how well concurrent builders overlap their pulls.
+///
+/// Both components default to zero (tests stay fast); the scheduler
+/// benches dial them up to model a real registry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PullCost {
+    /// Round trip paid by *every* pull (manifest check), slept outside
+    /// any lock — concurrent pulls overlap it.
+    pub round_trip: Duration,
+    /// Blob transfer paid only when the pull-through cache misses,
+    /// slept while holding that reference's fetch lock — a second pull
+    /// of the *same* base waits for the first fetch instead of
+    /// fetching again, while pulls of other references proceed.
+    pub fetch: Duration,
+}
+
+/// Counters describing how a [`ShardedRegistry`] has been used.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Pull requests served.
+    pub pulls: u64,
+    /// Pulls that had to materialize the image (pull-through misses).
+    pub fetches: u64,
+    /// Pulls satisfied out of the blob cache.
+    pub blob_hits: u64,
+    /// Pulls per shard (length = shard count).
+    pub per_shard: Vec<u64>,
+}
+
+/// One shard: its slice of the blob cache plus usage counters.
+#[derive(Debug, Default)]
+struct Shard {
+    blobs: Mutex<HashMap<String, Image>>,
+    /// Per-reference fetch locks: concurrent pulls of the *same*
+    /// missing reference serialize on one of these (the second waits,
+    /// then hits the cache) while the blob map stays free for other
+    /// references — the fetch sleep is never paid under `blobs`.
+    fetching: Mutex<HashMap<String, Arc<Mutex<()>>>>,
+    pulls: AtomicU64,
+    fetches: AtomicU64,
+    blob_hits: AtomicU64,
+}
+
+impl Shard {
+    fn lock(&self) -> MutexGuard<'_, HashMap<String, Image>> {
+        lock_or_poisoned(&self.blobs)
+    }
+
+    /// The fetch lock for one reference (created on first use).
+    fn fetch_lock(&self, key: &str) -> Arc<Mutex<()>> {
+        lock_or_poisoned(&self.fetching)
+            .entry(key.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Drop the fetch lock entry once the blob is cached.
+    fn release_fetch_lock(&self, key: &str) {
+        lock_or_poisoned(&self.fetching).remove(key);
+    }
+}
+
+/// The registry simulator, sharded for concurrent builders.
+///
+/// The image reference hashes to one of N shards; each shard guards its
+/// slice of the pull-through blob cache with its own lock, so builders
+/// pulling *different* bases never serialize on each other, and builders
+/// pulling the *same* base materialize it once and share the blob.
+/// `pull` takes `&self` — one registry handle (behind an `Arc`) serves
+/// every worker in a build scheduler.
+#[derive(Debug)]
+pub struct ShardedRegistry {
+    shards: Vec<Shard>,
+    cost: PullCost,
+}
+
+/// The historical name: early revisions had a single-catalog registry
+/// with a `&mut self` pull; the sharded implementation is a drop-in
+/// superset, so the old name simply points at it.
+pub type Registry = ShardedRegistry;
+
+impl Default for ShardedRegistry {
+    fn default() -> ShardedRegistry {
+        ShardedRegistry::new()
+    }
+}
+
+impl ShardedRegistry {
+    /// Default shard count — enough that the paper's five bases rarely
+    /// collide, small enough to stay cheap to scan.
+    pub const DEFAULT_SHARDS: usize = 8;
+
+    /// A fresh registry with [`Self::DEFAULT_SHARDS`] shards and no
+    /// modeled latency.
+    pub fn new() -> ShardedRegistry {
+        ShardedRegistry::with_shards(Self::DEFAULT_SHARDS)
+    }
+
+    /// A registry with `shards` shards (clamped to at least 1).
+    pub fn with_shards(shards: usize) -> ShardedRegistry {
+        ShardedRegistry::with_cost(shards, PullCost::default())
+    }
+
+    /// A registry with `shards` shards and a modeled [`PullCost`].
+    pub fn with_cost(shards: usize, cost: PullCost) -> ShardedRegistry {
+        let shards = shards.max(1);
+        ShardedRegistry {
+            shards: (0..shards).map(|_| Shard::default()).collect(),
+            cost,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     /// Known references.
@@ -277,18 +402,96 @@ impl Registry {
         ]
     }
 
+    /// Which shard a reference lives on.
+    fn shard_of(&self, key: &str) -> &Shard {
+        &self.shards[shard_index(key, self.shards.len())]
+    }
+
     /// Pull an image. Ownership is left as materialized-by-root; callers
     /// (the builder) re-own to the unpacking user via
     /// [`Image::chown_all`].
-    pub fn pull(&mut self, reference: &ImageRef) -> Result<Image, Errno> {
-        self.pulls += 1;
-        match (reference.name.as_str(), reference.tag.as_str()) {
-            ("alpine", "3.19") => Ok(alpine_3_19()),
-            ("centos", "7") => Ok(centos_7()),
-            ("debian", "12") => Ok(debian_12()),
-            ("fedora", "40") => Ok(fedora_40()),
-            ("scratch", _) => Ok(scratch()),
-            _ => Err(Errno::ENOENT),
+    ///
+    /// The first pull of a reference materializes ("fetches") it and
+    /// seeds the pull-through cache; later pulls — including concurrent
+    /// ones from other builder threads — clone the cached blob.
+    pub fn pull(&self, reference: &ImageRef) -> Result<Image, Errno> {
+        let key = reference.to_string();
+        let shard = self.shard_of(&key);
+        shard.pulls.fetch_add(1, Ordering::Relaxed);
+        if !self.cost.round_trip.is_zero() {
+            // Manifest round trip: every pull pays it, nobody holds a
+            // lock over it, so concurrent pulls overlap.
+            std::thread::sleep(self.cost.round_trip);
+        }
+        if let Some(image) = shard.lock().get(&key) {
+            shard.blob_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(image.clone());
+        }
+        // Miss: serialize on the *per-reference* fetch lock — never on
+        // the blob map — so a concurrent pull of the same base waits
+        // for this transfer (then hits the cache) while pulls of other
+        // references, co-sharded or not, proceed untouched.
+        let fetch_lock = shard.fetch_lock(&key);
+        let _fetching = lock_or_poisoned(&fetch_lock);
+        if let Some(image) = shard.lock().get(&key) {
+            // Another puller finished the fetch while we waited — and
+            // may already have dropped the lock entry, in which case
+            // fetch_lock() above re-created it; remove it again so the
+            // map never retains entries for cached references.
+            shard.release_fetch_lock(&key);
+            shard.blob_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(image.clone());
+        }
+        let image = match materialize(reference) {
+            Ok(image) => image,
+            Err(errno) => {
+                shard.release_fetch_lock(&key);
+                return Err(errno);
+            }
+        };
+        if !self.cost.fetch.is_zero() {
+            std::thread::sleep(self.cost.fetch);
+        }
+        shard.fetches.fetch_add(1, Ordering::Relaxed);
+        shard.lock().insert(key.clone(), image.clone());
+        shard.release_fetch_lock(&key);
+        Ok(image)
+    }
+
+    /// Total pulls served (all shards).
+    pub fn pulls(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.pulls.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total pull-through misses (images actually materialized).
+    pub fn fetches(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.fetches.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Usage counters, including the per-shard pull distribution.
+    pub fn stats(&self) -> RegistryStats {
+        let per_shard: Vec<u64> = self
+            .shards
+            .iter()
+            .map(|s| s.pulls.load(Ordering::Relaxed))
+            .collect();
+        RegistryStats {
+            pulls: per_shard.iter().sum(),
+            fetches: self.fetches(),
+            // Counted directly, not derived: a failed pull (unknown
+            // reference) is neither a fetch nor a blob hit.
+            blob_hits: self
+                .shards
+                .iter()
+                .map(|s| s.blob_hits.load(Ordering::Relaxed))
+                .sum(),
+            per_shard,
         }
     }
 }
@@ -297,6 +500,8 @@ impl Registry {
 mod tests {
     use super::*;
     use zr_vfs::FollowMode;
+
+    use std::sync::Arc;
 
     fn pull(r: &str) -> Image {
         Registry::new().pull(&ImageRef::parse(r).unwrap()).unwrap()
@@ -315,11 +520,16 @@ mod tests {
 
     #[test]
     fn unknown_image_enoent() {
-        let mut r = Registry::new();
+        let r = Registry::new();
         assert_eq!(
             r.pull(&ImageRef::parse("nosuch:1").unwrap()).err(),
             Some(Errno::ENOENT)
         );
+        // A failed pull counts as a pull but as neither a fetch nor a
+        // blob hit.
+        assert_eq!(r.pulls(), 1);
+        assert_eq!(r.fetches(), 0);
+        assert_eq!(r.stats().blob_hits, 0);
     }
 
     #[test]
@@ -369,10 +579,91 @@ mod tests {
     }
 
     #[test]
-    fn pull_counts() {
-        let mut r = Registry::new();
-        let _ = r.pull(&ImageRef::parse("alpine:3.19").unwrap());
-        let _ = r.pull(&ImageRef::parse("alpine:3.19").unwrap());
-        assert_eq!(r.pulls, 2);
+    fn pull_counts_and_blob_cache() {
+        let r = Registry::new();
+        let reference = ImageRef::parse("alpine:3.19").unwrap();
+        let _ = r.pull(&reference);
+        let _ = r.pull(&reference);
+        assert_eq!(r.pulls(), 2);
+        // The second pull came out of the pull-through cache.
+        assert_eq!(r.fetches(), 1);
+        let stats = r.stats();
+        assert_eq!(stats.pulls, 2);
+        assert_eq!(stats.blob_hits, 1);
+        assert_eq!(stats.per_shard.len(), ShardedRegistry::DEFAULT_SHARDS);
+        assert_eq!(stats.per_shard.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn cached_blob_is_a_private_copy() {
+        let r = Registry::new();
+        let reference = ImageRef::parse("alpine:3.19").unwrap();
+        let mut first = r.pull(&reference).unwrap();
+        // Mutating the pulled image (as the builder's chown_all does)
+        // must not corrupt the cached blob other builders will receive.
+        first.chown_all(4242, 4242);
+        let second = r.pull(&reference).unwrap();
+        let st = second
+            .fs
+            .stat("/bin/busybox", &Access::root(), zr_vfs::FollowMode::Follow)
+            .unwrap();
+        assert_ne!(st.uid, 4242);
+    }
+
+    #[test]
+    fn concurrent_pulls_fetch_each_base_once() {
+        let r = Arc::new(Registry::new());
+        let mut handles = Vec::new();
+        for i in 0..16 {
+            let r = Arc::clone(&r);
+            handles.push(std::thread::spawn(move || {
+                let reference = if i % 2 == 0 {
+                    "alpine:3.19"
+                } else {
+                    "debian:12"
+                };
+                r.pull(&ImageRef::parse(reference).unwrap()).unwrap()
+            }));
+        }
+        for h in handles {
+            let img = h.join().unwrap();
+            assert!(img.fs.inode_count() > 10);
+        }
+        assert_eq!(r.pulls(), 16);
+        assert_eq!(r.fetches(), 2, "one fetch per distinct base");
+    }
+
+    #[test]
+    fn shard_count_is_configurable() {
+        let r = ShardedRegistry::with_shards(3);
+        assert_eq!(r.shard_count(), 3);
+        assert_eq!(ShardedRegistry::with_shards(0).shard_count(), 1);
+        for reference in Registry::catalog() {
+            assert!(r.pull(&ImageRef::parse(reference).unwrap()).is_ok());
+        }
+        assert_eq!(r.stats().per_shard.len(), 3);
+    }
+
+    #[test]
+    fn modeled_latency_is_paid_once_per_fetch() {
+        let cost = PullCost {
+            round_trip: Duration::from_millis(1),
+            fetch: Duration::from_millis(10),
+        };
+        let r = ShardedRegistry::with_cost(4, cost);
+        let reference = ImageRef::parse("alpine:3.19").unwrap();
+        let t0 = std::time::Instant::now();
+        let _ = r.pull(&reference);
+        let cold = t0.elapsed();
+        let _ = r.pull(&reference);
+        assert!(
+            cold >= Duration::from_millis(11),
+            "cold pull pays rtt+fetch"
+        );
+        // The warm pull skipping the fetch is asserted on counters
+        // (deterministic), not on a wall-clock upper bound (a loaded
+        // CI runner can stretch any such bound).
+        assert_eq!(r.fetches(), 1, "warm pull skips the fetch");
+        assert_eq!(r.stats().blob_hits, 1);
     }
 }

@@ -1,0 +1,413 @@
+//! The worker pool, its queues, and per-build status tracking.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+use zeroroot_core::sync::lock_or_poisoned;
+
+use zr_build::{BuildError, BuildOptions, BuildResult, Builder};
+use zr_image::{LayerStore, PullCost, ShardedRegistry};
+use zr_kernel::Kernel;
+
+/// Queue class for one request. High-priority requests drain before any
+/// normal-priority request, FIFO within each class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// The default FIFO queue.
+    #[default]
+    Normal,
+    /// Jumps ahead of every queued normal-priority build.
+    High,
+}
+
+/// One build in a batch: a Dockerfile plus its options, under a caller
+/// chosen id (the id labels trace output and names the report).
+#[derive(Debug, Clone)]
+pub struct BuildRequest {
+    /// Caller-chosen build id (also the default tag).
+    pub id: String,
+    /// Dockerfile text.
+    pub dockerfile: String,
+    /// Build options (tag, --force mode, cache policy, context, ...).
+    pub options: BuildOptions,
+    /// Queue class.
+    pub priority: Priority,
+}
+
+impl BuildRequest {
+    /// A normal-priority request with default options, tagged `id`.
+    pub fn new(id: &str, dockerfile: &str) -> BuildRequest {
+        let options = BuildOptions {
+            tag: id.to_string(),
+            ..BuildOptions::default()
+        };
+        BuildRequest {
+            id: id.to_string(),
+            dockerfile: dockerfile.to_string(),
+            options,
+            priority: Priority::Normal,
+        }
+    }
+
+    /// A request with explicit options.
+    pub fn with_options(id: &str, dockerfile: &str, options: BuildOptions) -> BuildRequest {
+        BuildRequest {
+            id: id.to_string(),
+            dockerfile: dockerfile.to_string(),
+            options,
+            priority: Priority::Normal,
+        }
+    }
+
+    /// Move this request to the high-priority queue.
+    pub fn high_priority(mut self) -> BuildRequest {
+        self.priority = Priority::High;
+        self
+    }
+}
+
+/// Where one build is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BuildStatus {
+    /// Waiting in a queue.
+    #[default]
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished successfully.
+    Done,
+    /// Finished with a failure (the report's result says why).
+    Failed,
+    /// Never ran: the batch was cancelled (or `fail_fast` tripped)
+    /// while it was still queued.
+    Cancelled,
+}
+
+impl std::fmt::Display for BuildStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BuildStatus::Queued => "queued",
+            BuildStatus::Running => "running",
+            BuildStatus::Done => "done",
+            BuildStatus::Failed => "failed",
+            BuildStatus::Cancelled => "cancelled",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Scheduler construction knobs.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Worker threads per batch (clamped to at least 1).
+    pub jobs: usize,
+    /// Cancel the rest of the batch when any build fails.
+    pub fail_fast: bool,
+    /// Shard count for the scheduler-owned registry.
+    pub registry_shards: usize,
+    /// Modeled network cost of registry pulls (benchmarks dial this up
+    /// to measure how well workers overlap their pulls).
+    pub pull_cost: PullCost,
+    /// Layer-cache size budget in bytes (0 = unlimited).
+    pub cache_limit: u64,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> SchedulerConfig {
+        SchedulerConfig {
+            jobs: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            fail_fast: false,
+            registry_shards: ShardedRegistry::DEFAULT_SHARDS,
+            pull_cost: PullCost::default(),
+            cache_limit: 0,
+        }
+    }
+}
+
+/// What one build in a batch produced.
+#[derive(Debug, Clone)]
+pub struct BuildReport {
+    /// The request's id.
+    pub id: String,
+    /// Terminal status ([`BuildStatus::Done`], `Failed`, or
+    /// `Cancelled`).
+    pub status: BuildStatus,
+    /// The build result (synthesized with
+    /// [`BuildError::Cancelled`] for builds that never ran).
+    pub result: BuildResult,
+    /// Syscall statistics from this build's private kernel.
+    pub trace: zr_trace::Stats,
+    /// Completion sequence within the batch (0 = finished first);
+    /// `None` for cancelled builds.
+    pub seq: Option<usize>,
+}
+
+/// One slot of batch state, indexed by request position.
+#[derive(Debug, Default)]
+struct Slot {
+    status: BuildStatus,
+    result: Option<BuildResult>,
+    trace: Option<zr_trace::Stats>,
+    seq: Option<usize>,
+}
+
+/// The two request queues (indices into `requests`).
+#[derive(Debug, Default)]
+struct Queues {
+    high: VecDeque<usize>,
+    normal: VecDeque<usize>,
+}
+
+impl Queues {
+    fn pop(&mut self) -> Option<usize> {
+        self.high.pop_front().or_else(|| self.normal.pop_front())
+    }
+}
+
+/// State shared by every worker of one batch.
+struct BatchShared {
+    requests: Vec<BuildRequest>,
+    queue: Mutex<Queues>,
+    slots: Mutex<Vec<Slot>>,
+    /// Completion counter (assigns `BuildReport::seq`).
+    seq: AtomicUsize,
+    cancelled: AtomicBool,
+    fail_fast: bool,
+    registry: Arc<ShardedRegistry>,
+    layers: LayerStore,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock_or_poisoned(m)
+}
+
+/// A failed [`BuildResult`] for a build that never ran.
+fn synthesized_failure(tag: &str, error: BuildError) -> BuildResult {
+    BuildResult {
+        success: false,
+        log: vec![format!("error: build failed: {error}")],
+        image: None,
+        modified_run_instructions: 0,
+        tag: tag.to_string(),
+        cache: zr_build::CacheStats::default(),
+        error: Some(error),
+    }
+}
+
+/// Run one request on a private kernel with shared registry/cache
+/// handles. The kernel's tracer is labeled with the build id so
+/// interleaved trace output from concurrent builds stays attributable.
+fn run_one(shared: &BatchShared, idx: usize) -> (BuildResult, zr_trace::Stats) {
+    let request = &shared.requests[idx];
+    let mut kernel = Kernel::default_kernel();
+    kernel.trace.set_label(&request.id);
+    let mut builder = Builder::with_shared(shared.registry.clone(), shared.layers.clone());
+    let result = builder.build(&mut kernel, &request.dockerfile, &request.options);
+    let trace = kernel.trace.stats();
+    (result, trace)
+}
+
+/// One worker: drain the queues until empty. Every outcome — success,
+/// failure, panic, cancellation — lands in the build's slot; nothing a
+/// build does can poison its neighbors.
+fn worker(shared: &Arc<BatchShared>) {
+    loop {
+        let Some(idx) = lock(&shared.queue).pop() else {
+            return;
+        };
+        if shared.cancelled.load(Ordering::SeqCst) {
+            let mut slots = lock(&shared.slots);
+            slots[idx].status = BuildStatus::Cancelled;
+            continue;
+        }
+        lock(&shared.slots)[idx].status = BuildStatus::Running;
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_one(shared, idx)));
+        let (result, trace) = outcome.unwrap_or_else(|_| {
+            let tag = &shared.requests[idx].options.tag;
+            (
+                synthesized_failure(
+                    tag,
+                    BuildError::Instruction {
+                        instruction: 0,
+                        message: "builder panicked".into(),
+                    },
+                ),
+                zr_trace::Stats::default(),
+            )
+        });
+        let failed = !result.success;
+        {
+            let mut slots = lock(&shared.slots);
+            let slot = &mut slots[idx];
+            slot.status = if failed {
+                BuildStatus::Failed
+            } else {
+                BuildStatus::Done
+            };
+            slot.seq = Some(shared.seq.fetch_add(1, Ordering::SeqCst));
+            slot.result = Some(result);
+            slot.trace = Some(trace);
+        }
+        if failed && shared.fail_fast {
+            shared.cancelled.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// A submitted batch: poll statuses, cancel what has not started, and
+/// wait for the reports.
+pub struct BatchHandle {
+    shared: Arc<BatchShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl BatchHandle {
+    /// Current status of request `idx` (input order).
+    pub fn status(&self, idx: usize) -> Option<BuildStatus> {
+        lock(&self.shared.slots).get(idx).map(|s| s.status)
+    }
+
+    /// Current status of every request, in input order.
+    pub fn statuses(&self) -> Vec<BuildStatus> {
+        lock(&self.shared.slots).iter().map(|s| s.status).collect()
+    }
+
+    /// Cancel every build that has not started yet. Running builds
+    /// finish; queued ones end [`BuildStatus::Cancelled`].
+    pub fn cancel(&self) {
+        self.shared.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Block until the batch drains and return one report per request,
+    /// in input order.
+    pub fn wait(self) -> Vec<BuildReport> {
+        for w in self.workers {
+            // A worker that panicked already recorded the failure in its
+            // slot (or the queue still holds its item — drained below).
+            let _ = w.join();
+        }
+        // Belt and braces: if a worker died *between* popping an index
+        // and recording it, or all workers died early, mark leftovers.
+        while let Some(idx) = lock(&self.shared.queue).pop() {
+            lock(&self.shared.slots)[idx].status = BuildStatus::Cancelled;
+        }
+        let mut slots = lock(&self.shared.slots);
+        self.shared
+            .requests
+            .iter()
+            .zip(slots.iter_mut())
+            .map(|(request, slot)| {
+                let status = match slot.status {
+                    BuildStatus::Queued | BuildStatus::Running => BuildStatus::Cancelled,
+                    terminal => terminal,
+                };
+                let result = slot.result.take().unwrap_or_else(|| {
+                    synthesized_failure(&request.options.tag, BuildError::Cancelled)
+                });
+                BuildReport {
+                    id: request.id.clone(),
+                    status,
+                    result,
+                    trace: slot.trace.take().unwrap_or_default(),
+                    seq: slot.seq,
+                }
+            })
+            .collect()
+    }
+}
+
+/// The build scheduler: a configurable worker pool over one shared
+/// registry and one shared layer cache.
+///
+/// Batches are independent — each `submit`/`build_many` spins up its
+/// own workers — but the registry's pull-through blob cache and the
+/// layer store persist across batches, so a second batch of familiar
+/// Dockerfiles replays instead of executing.
+pub struct Scheduler {
+    config: SchedulerConfig,
+    registry: Arc<ShardedRegistry>,
+    layers: LayerStore,
+}
+
+impl Default for Scheduler {
+    fn default() -> Scheduler {
+        Scheduler::new(SchedulerConfig::default())
+    }
+}
+
+impl Scheduler {
+    /// A scheduler with its own registry and layer cache, built from
+    /// `config`.
+    pub fn new(config: SchedulerConfig) -> Scheduler {
+        let registry = Arc::new(ShardedRegistry::with_cost(
+            config.registry_shards,
+            config.pull_cost,
+        ));
+        let layers = LayerStore::with_budget(config.cache_limit);
+        Scheduler::with_shared(config, registry, layers)
+    }
+
+    /// A scheduler over externally owned registry/cache handles (share
+    /// them with other schedulers, a CLI builder, tests, ...).
+    pub fn with_shared(
+        config: SchedulerConfig,
+        registry: Arc<ShardedRegistry>,
+        layers: LayerStore,
+    ) -> Scheduler {
+        Scheduler {
+            config,
+            registry,
+            layers,
+        }
+    }
+
+    /// The shared registry handle.
+    pub fn registry(&self) -> &Arc<ShardedRegistry> {
+        &self.registry
+    }
+
+    /// The shared layer-cache handle.
+    pub fn layers(&self) -> &LayerStore {
+        &self.layers
+    }
+
+    /// Enqueue a batch and return immediately with a [`BatchHandle`].
+    pub fn submit(&self, requests: Vec<BuildRequest>) -> BatchHandle {
+        let mut queues = Queues::default();
+        for (idx, request) in requests.iter().enumerate() {
+            match request.priority {
+                Priority::High => queues.high.push_back(idx),
+                Priority::Normal => queues.normal.push_back(idx),
+            }
+        }
+        let slots = (0..requests.len()).map(|_| Slot::default()).collect();
+        let workers = self.config.jobs.max(1).min(requests.len().max(1));
+        let shared = Arc::new(BatchShared {
+            requests,
+            queue: Mutex::new(queues),
+            slots: Mutex::new(slots),
+            seq: AtomicUsize::new(0),
+            cancelled: AtomicBool::new(false),
+            fail_fast: self.config.fail_fast,
+            registry: self.registry.clone(),
+            layers: self.layers.clone(),
+        });
+        let workers = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker(&shared))
+            })
+            .collect();
+        BatchHandle { shared, workers }
+    }
+
+    /// Build a whole batch and block for its reports, in input order.
+    pub fn build_many(&self, requests: Vec<BuildRequest>) -> Vec<BuildReport> {
+        self.submit(requests).wait()
+    }
+}

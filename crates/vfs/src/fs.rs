@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 
 use crate::access::{permitted, Access, Want};
 use crate::inode::{FileKind, Ino, Inode, Metadata, Stat};
-use crate::path::{components, normalize, split_parent, valid_name};
+use crate::path::{components, join, normalize, split_parent, valid_name};
 use zr_syscalls::Errno;
 
 /// Symlink-chase limit (`MAXSYMLINKS`).
@@ -678,6 +678,31 @@ impl Fs {
 
     // ---- bulk helpers (image materialization) ----------------------------------
 
+    /// Depth-first pre-order walk of every path reachable from `/`,
+    /// symlinks not followed, as `access`. Directory entries are stored
+    /// sorted, so the visit order is deterministic — consumers build
+    /// reproducible digests and size accounting on top of this one
+    /// walk instead of each hand-rolling their own.
+    pub fn walk_paths(&self, access: &Access) -> Vec<(String, Stat)> {
+        let mut out = Vec::new();
+        let mut stack = vec!["/".to_string()];
+        while let Some(path) = stack.pop() {
+            let Ok(st) = self.stat(&path, access, FollowMode::NoFollow) else {
+                continue;
+            };
+            if st.mode & zr_syscalls::mode::S_IFMT == zr_syscalls::mode::S_IFDIR {
+                if let Ok(entries) = self.read_dir(&path, access) {
+                    // Reverse push keeps the pop order sorted.
+                    for (name, _) in entries.iter().rev() {
+                        stack.push(join(&path, name));
+                    }
+                }
+            }
+            out.push((path, st));
+        }
+        out
+    }
+
     /// `mkdir -p` as filesystem-owner root: used when materializing image
     /// layers, outside any container's permission regime.
     pub fn mkdir_p(&mut self, path: &str, perm: u32) -> Result<Ino, Errno> {
@@ -736,6 +761,30 @@ mod tests {
         assert_eq!(fs.mkdir("/home", 0o755, &user), Err(Errno::EACCES));
         fs.mkdir("/home", 0o777, &root()).unwrap();
         assert!(fs.mkdir("/home/me", 0o755, &user).is_ok());
+    }
+
+    #[test]
+    fn walk_paths_is_deterministic_and_complete() {
+        let mut fs = Fs::new();
+        fs.mkdir_p("/b/sub", 0o755).unwrap();
+        fs.mkdir_p("/a", 0o755).unwrap();
+        fs.write_file("/a/file", 0o644, b"x".to_vec(), &root())
+            .unwrap();
+        fs.symlink("/a/file", "/b/link", &root()).unwrap();
+        // A deleted file leaves an inode-table hole; the walk, being
+        // path-driven, neither lists it nor misses later entries.
+        fs.write_file("/a/tmp", 0o644, b"y".to_vec(), &root())
+            .unwrap();
+        fs.unlink("/a/tmp", &root()).unwrap();
+        let paths: Vec<String> = fs.walk_paths(&root()).into_iter().map(|(p, _)| p).collect();
+        assert_eq!(
+            paths,
+            fs.walk_paths(&root())
+                .into_iter()
+                .map(|(p, _)| p)
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(paths, vec!["/", "/a", "/a/file", "/b", "/b/link", "/b/sub"]);
     }
 
     #[test]

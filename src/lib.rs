@@ -42,6 +42,7 @@ pub use zr_dockerfile as dockerfile;
 pub use zr_image as image;
 pub use zr_kernel as kernel;
 pub use zr_pkg as pkg;
+pub use zr_sched as sched;
 pub use zr_seccomp as seccomp;
 pub use zr_shell as shell;
 pub use zr_syscalls as syscalls;
@@ -51,6 +52,7 @@ pub use zr_vfs as vfs;
 pub use zeroroot_core::{Mode, PrepareEnv, RootEmulation};
 pub use zr_build::{BuildError, BuildOptions, BuildResult, Builder, CacheMode, CacheStats};
 pub use zr_kernel::{ContainerConfig, ContainerType, Kernel, SysExt};
+pub use zr_sched::{BuildReport, BuildRequest, Scheduler, SchedulerConfig};
 
 /// A ready-to-use build session: one simulated kernel + one builder.
 ///
