@@ -1,0 +1,27 @@
+#!/bin/sh
+# Swap the hermetic vendor/ stand-ins (criterion, proptest, rand) for
+# the real crates.io releases and leave the workspace ready for a
+# networked `cargo test`. The optional `real-crates` CI job runs this
+# so the offline API-subset shims can never drift from the real APIs
+# they imitate (ROADMAP: "Real-crate parity check").
+#
+# Destructive to the working tree on purpose — run in CI or a scratch
+# checkout, not in a tree you care about.
+set -eu
+cd "$(dirname "$0")/.."
+
+# Drop the vendor members from both workspace member lists.
+sed -i '/"vendor\/criterion",/d; /"vendor\/proptest",/d; /"vendor\/rand",/d' Cargo.toml
+
+# Point the workspace dependencies at crates.io versions whose APIs the
+# stand-ins subset.
+sed -i 's#^criterion = { path = "vendor/criterion" }#criterion = "0.5"#' Cargo.toml
+sed -i 's#^proptest = { path = "vendor/proptest" }#proptest = "1"#' Cargo.toml
+sed -i 's#^rand = { path = "vendor/rand" }#rand = "0.8"#' Cargo.toml
+
+# The committed lock pins the path stand-ins; regenerate it against the
+# registry (requires network).
+rm -f Cargo.lock
+
+echo "vendor stand-ins swapped for crates.io releases:"
+grep -E '^(criterion|proptest|rand) = ' Cargo.toml

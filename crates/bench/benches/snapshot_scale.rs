@@ -1,0 +1,78 @@
+//! Bench: snapshot + digest cost versus image size — the asymptote the
+//! CoW refactor changes.
+//!
+//! Pre-refactor, every per-instruction snapshot deep-copied the image
+//! and every digest re-hashed every byte, so the per-instruction hot
+//! path scaled with *base image size*. With `Arc`-shared blobs,
+//! copy-on-write inode pages and memoized digests it scales with the
+//! *instruction delta*. The grid crosses base-image size with
+//! instruction count:
+//!
+//! * `clone`      — the bare snapshot (O(pages), not O(bytes));
+//! * `cold_hash`  — full-image digest from raw bytes (the old cost);
+//! * `warm_delta` — snapshot + 1-file change + digest with warm memos
+//!   (the new per-instruction cost);
+//! * `chain`      — N snapshot+edit+digest steps in sequence, the
+//!   shape of an N-instruction build.
+//!
+//! The `P-snap` paper-report gate pins the warm/cold ratio at the
+//! largest grid point; this bench provides the full curve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use zr_bench::{snapshot_one_change, synthetic_image};
+
+/// (files, bytes-per-file) grid points; the largest matches the
+/// P-snap gate in paper-report.
+const GRID: [(usize, usize); 3] = [(32, 4096), (128, 8192), (512, 8192)];
+
+fn bench_snapshot_scale(c: &mut Criterion) {
+    let mut g = c.benchmark_group("snapshot_scale");
+    g.sample_size(20);
+
+    for (files, bytes) in GRID {
+        let image = synthetic_image(files, bytes);
+        let label = format!("{files}x{bytes}");
+
+        // The bare per-instruction snapshot.
+        g.bench_with_input(BenchmarkId::new("clone", &label), &image, |b, image| {
+            b.iter(|| black_box(image.fs.clone()))
+        });
+
+        // Cold full-image hash: what every digest used to cost.
+        g.bench_with_input(BenchmarkId::new("cold_hash", &label), &image, |b, image| {
+            b.iter(|| black_box(image.digest_uncached()))
+        });
+
+        // Warm 1-file delta: snapshot, edit, digest with shared memos.
+        let mut edit = 0u64;
+        let _ = image.digest(); // warm the blob + tree memos once
+        g.bench_with_input(
+            BenchmarkId::new("warm_delta", &label),
+            &image,
+            |b, image| {
+                b.iter(|| {
+                    edit += 1;
+                    black_box(snapshot_one_change(image, edit))
+                })
+            },
+        );
+
+        // An 8-instruction chain of snapshot+edit+digest steps.
+        g.bench_with_input(BenchmarkId::new("chain8", &label), &image, |b, image| {
+            b.iter(|| {
+                let mut digest = String::new();
+                for step in 0..8u64 {
+                    edit += 1;
+                    digest = snapshot_one_change(image, edit * 100 + step);
+                }
+                black_box(digest)
+            })
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_snapshot_scale);
+criterion_main!(benches);

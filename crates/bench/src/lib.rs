@@ -11,7 +11,7 @@ use std::time::Duration;
 
 use zeroroot_core::{make, Mode, PrepareEnv, RootEmulation};
 use zr_build::{BuildOptions, BuildResult, Builder, CacheMode};
-use zr_image::PullCost;
+use zr_image::{Distro, Image, ImageMeta, PullCost};
 use zr_kernel::{ContainerConfig, ContainerType, Kernel, Pid};
 use zr_sched::{BuildRequest, Scheduler, SchedulerConfig};
 use zr_vfs::fs::Fs;
@@ -118,6 +118,57 @@ pub fn timed_batch(
         })
         .collect();
     (elapsed, digests)
+}
+
+/// A synthetic base image for the snapshot/digest scaling grid:
+/// `files` regular files of `file_bytes` each (distinct contents, so
+/// nothing dedups away), spread across `/data/dNN/` directories.
+pub fn synthetic_image(files: usize, file_bytes: usize) -> Image {
+    let root = zr_vfs::Access::root();
+    let mut fs = Fs::new();
+    for i in 0..files {
+        let dir = format!("/data/d{:02}", i % 16);
+        fs.mkdir_p(&dir, 0o755).expect("dir");
+        let mut data = vec![(i % 251) as u8; file_bytes];
+        let stamp = format!("file-{i}");
+        let n = stamp.len().min(file_bytes);
+        data[..n].copy_from_slice(&stamp.as_bytes()[..n]);
+        fs.write_file(&format!("{dir}/f{i}"), 0o644, data, &root)
+            .expect("file");
+    }
+    Image {
+        meta: ImageMeta {
+            name: "synthetic".into(),
+            tag: format!("{files}x{file_bytes}"),
+            distro: Distro::Scratch,
+            libc: String::new(),
+            env: vec![],
+            binaries: vec![],
+        },
+        fs,
+    }
+}
+
+/// One warm snapshot-and-digest step on a digested image: clone the
+/// filesystem (the per-instruction snapshot), change one file, and
+/// digest the result. This is the per-instruction hot path the CoW
+/// refactor makes O(changes); the cold baseline is
+/// [`Image::digest_uncached`] on the same image.
+pub fn snapshot_one_change(image: &Image, edit: u64) -> String {
+    let root = zr_vfs::Access::root();
+    let mut next = Image {
+        meta: image.meta.clone(),
+        fs: image.fs.clone(),
+    };
+    next.fs
+        .write_file(
+            "/data/d00/f0",
+            0o644,
+            format!("edit-{edit}").into_bytes(),
+            &root,
+        )
+        .expect("edit");
+    next.digest()
 }
 
 /// A minimal armed container for microbenchmarks: returns kernel, pid and

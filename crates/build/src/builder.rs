@@ -250,9 +250,10 @@ impl Builder {
                         Kernel::HOST_USER_PID,
                         ContainerConfig {
                             ctype: opts.container_type,
-                            // The one O(image) copy of a partial replay:
-                            // the container gets its own filesystem,
-                            // cloned outside any store lock.
+                            // The container gets its own filesystem:
+                            // a CoW snapshot — O(pages) pointer clones
+                            // outside any store lock, with payload
+                            // blobs shared with the cached layer.
                             image: layer.fs.clone(),
                         },
                     )
@@ -675,11 +676,11 @@ fn copy_into_stage(
     let mut written = Vec::new();
     for source in &spec.sources {
         let source = substitute(source, &cache::lookup(&stage.env, args));
-        let data = opts
+        let blob = opts
             .context
             .iter()
             .find(|(name, _)| *name == source)
-            .map(|(_, data)| data.clone())
+            .map(|(_, blob)| Arc::clone(blob))
             .ok_or_else(|| BuildError::Instruction {
                 instruction: n,
                 message: format!("COPY: {source}: not found in build context"),
@@ -698,7 +699,12 @@ fn copy_into_stage(
                     message: format!("COPY: {parent}: {e}"),
                 })?;
         }
-        ctx.write_file(&absolute, 0o644, data)
+        // The write shares the context blob with the stage filesystem
+        // (and through it with every snapshot): no bytes are copied,
+        // and the blob's digest memo rides along into the layer store's
+        // dedup accounting and the image digest.
+        kernel
+            .write_file_blob(pid, &absolute, 0o644, blob)
             .map_err(|e| BuildError::Instruction {
                 instruction: n,
                 message: format!("COPY: {absolute}: {e}"),
@@ -826,7 +832,10 @@ mod tests {
         let mut kernel = Kernel::default_kernel();
         let mut builder = Builder::new();
         let mut opts = BuildOptions::new("t", Mode::None);
-        opts.context = vec![("app.conf".into(), b"key=value\n".to_vec())];
+        opts.context = vec![crate::options::context_file(
+            "app.conf",
+            b"key=value\n".to_vec(),
+        )];
         let r = builder.build(
             &mut kernel,
             "FROM alpine:3.19\nWORKDIR /srv\nCOPY app.conf conf/\n",

@@ -162,26 +162,32 @@ pub(crate) fn normalize(
 }
 
 /// Digest of the build-context content a COPY/ADD reads: substituted
-/// source names paired with their bytes (or a missing marker). Editing
-/// a context file invalidates the COPY layer even though the
-/// instruction text is unchanged. Empty for every other instruction.
+/// source names paired with their contents' digests (or a missing
+/// marker). Editing a context file invalidates the COPY layer even
+/// though the instruction text is unchanged. Empty for every other
+/// instruction.
+///
+/// Contents enter through each blob's *memoized* SHA-256, so a context
+/// file is hashed once per blob — every later instruction key, warm
+/// rebuild, and sibling build sharing the context reuses the memo
+/// instead of re-hashing the bytes.
 pub(crate) fn context_digest(
     instruction: &Instruction,
     env: &[(String, String)],
     args: &[(String, String)],
-    context: &[(String, Vec<u8>)],
+    context: &[crate::options::ContextFile],
 ) -> String {
     let spec = match instruction {
         Instruction::Copy(spec) | Instruction::Add(spec) => spec,
         _ => return String::new(),
     };
     let lookup = lookup(env, args);
-    let mut d = FieldDigest::new("zr-context-v1");
+    let mut d = FieldDigest::new("zr-context-v2");
     for source in &spec.sources {
         let source = substitute(source, &lookup);
         d.field(source.as_bytes());
         match context.iter().find(|(name, _)| *name == source) {
-            Some((_, data)) => d.field(data),
+            Some((_, blob)) => d.field(blob.sha_bytes()),
             None => d.field(b"\x00missing"),
         };
     }
@@ -258,8 +264,19 @@ mod tests {
             chown: None,
             from: None,
         });
-        let one = context_digest(&copy, &[], &[], &[("app.conf".into(), b"a=1".to_vec())]);
-        let two = context_digest(&copy, &[], &[], &[("app.conf".into(), b"a=2".to_vec())]);
+        use crate::options::context_file;
+        let one = context_digest(
+            &copy,
+            &[],
+            &[],
+            &[context_file("app.conf", b"a=1".to_vec())],
+        );
+        let two = context_digest(
+            &copy,
+            &[],
+            &[],
+            &[context_file("app.conf", b"a=2".to_vec())],
+        );
         let missing = context_digest(&copy, &[], &[], &[]);
         assert_ne!(one, two);
         assert_ne!(one, missing);

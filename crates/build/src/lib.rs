@@ -40,5 +40,5 @@ mod result;
 
 pub use builder::Builder;
 pub use cache::{CacheMode, CacheStats};
-pub use options::BuildOptions;
+pub use options::{context_file, BuildOptions, ContextFile};
 pub use result::{BuildError, BuildResult};

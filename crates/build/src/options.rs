@@ -1,8 +1,23 @@
 //! Build configuration (`ch-image build`'s flag surface).
 
+use std::sync::Arc;
+
 use crate::cache::CacheMode;
 use zeroroot_core::Mode;
 use zr_kernel::ContainerType;
+use zr_vfs::Blob;
+
+/// One build-context file: its name and its shared contents. The blob
+/// memoizes its own SHA-256, so COPY/ADD context digests hash each
+/// file once per blob — across instructions *and* across builds
+/// sharing the same context vector.
+pub type ContextFile = (String, Arc<Blob>);
+
+/// Wrap raw bytes as a [`ContextFile`] (the common construction in
+/// tests and CLI loading).
+pub fn context_file(name: &str, data: Vec<u8>) -> ContextFile {
+    (name.to_string(), Blob::new(data))
+}
 
 /// Options for one build, mirroring `ch-image build -t TAG --force=MODE`.
 #[derive(Debug, Clone)]
@@ -14,8 +29,9 @@ pub struct BuildOptions {
     /// Layer-cache policy (`--no-cache` maps to
     /// [`CacheMode::Disabled`]).
     pub cache: CacheMode,
-    /// Build context: flat (file name, contents) pairs COPY/ADD read.
-    pub context: Vec<(String, Vec<u8>)>,
+    /// Build context: flat (file name, shared contents) pairs COPY/ADD
+    /// read.
+    pub context: Vec<ContextFile>,
     /// Container type RUN instructions execute in. The paper's setting —
     /// and the only type an unprivileged builder can set up — is
     /// [`ContainerType::TypeIII`].

@@ -4,7 +4,7 @@
 //! invalidates the whole chain.
 
 use zeroroot_core::Mode;
-use zr_build::{BuildOptions, Builder, CacheMode};
+use zr_build::{context_file, BuildOptions, Builder, CacheMode};
 use zr_kernel::Kernel;
 use zr_vfs::access::Access;
 
@@ -152,7 +152,7 @@ fn context_edit_invalidates_the_copy_layer() {
     let mut builder = Builder::new();
     let df = "FROM alpine:3.19\nCOPY app.conf /etc/app.conf\nRUN true\n";
     let mut opts = BuildOptions::new("t", Mode::Seccomp);
-    opts.context = vec![("app.conf".into(), b"v=1\n".to_vec())];
+    opts.context = vec![context_file("app.conf", b"v=1\n".to_vec())];
 
     let cold = builder.build(&mut kernel, df, &opts);
     assert!(cold.success, "{}", cold.log_text());
@@ -163,7 +163,7 @@ fn context_edit_invalidates_the_copy_layer() {
 
     // Edited context file, unchanged Dockerfile: COPY and the rest of
     // the chain re-run.
-    opts.context = vec![("app.conf".into(), b"v=2\n".to_vec())];
+    opts.context = vec![context_file("app.conf", b"v=2\n".to_vec())];
     let edited = builder.build(&mut kernel, df, &opts);
     assert!(edited.success, "{}", edited.log_text());
     assert_eq!((edited.cache.hits, edited.cache.misses), (1, 2));

@@ -4,7 +4,8 @@
 //! zr-image build -t TAG [--force=MODE] [--no-cache] [--cache-stats]
 //!                [--cache-limit BYTES] [-f DOCKERFILE] [CONTEXT_DIR]
 //! zr-image build-many [--jobs N] [--force=MODE] [--no-cache]
-//!                [--cache-stats] [--cache-limit BYTES] [--shards N]
+//!                [--cache-stats] [--cache-limit BYTES]
+//!                [--blob-limit BYTES] [--shards N]
 //!                [--pull-latency-ms N] [--fail-fast] [--context DIR]
 //!                DOCKERFILE…
 //! zr-image filter [ARCH…]       # compiled seccomp filter, disassembled
@@ -31,8 +32,8 @@ fn usage() -> ExitCode {
     );
     eprintln!(
         "       zr-image build-many [--jobs N] [--force=MODE] [--no-cache] [--cache-stats] \
-         [--cache-limit BYTES] [--shards N] [--pull-latency-ms N] [--fail-fast] \
-         [--context DIR] DOCKERFILE…"
+         [--cache-limit BYTES] [--blob-limit BYTES] [--shards N] [--pull-latency-ms N] \
+         [--fail-fast] [--context DIR] DOCKERFILE…"
     );
     eprintln!("       zr-image filter [ARCH…]");
     eprintln!("       zr-image table");
@@ -156,10 +157,14 @@ fn cmd_build(args: &[String]) -> ExitCode {
         stats.total, stats.privileged, stats.faked, stats.failed, stats.filter_steps
     );
     if cache_stats {
+        let stats = builder.layers.stats();
+        eprintln!("[cache] {} ({} layers stored)", result.cache, stats.layers);
         eprintln!(
-            "[cache] {} ({} layers stored)",
-            result.cache,
-            builder.layers.len()
+            "[cache] store: {} bytes deduplicated ({} logical, {} saved, {} blobs)",
+            stats.bytes,
+            stats.logical_bytes,
+            stats.dedup_saved(),
+            stats.blobs
         );
     }
     if result.success {
@@ -169,14 +174,19 @@ fn cmd_build(args: &[String]) -> ExitCode {
     }
 }
 
-/// Load a build context directory (flat: regular files only).
-fn load_context(dir: &str) -> Vec<(String, Vec<u8>)> {
+/// Load a build context directory (flat: regular files only). Each
+/// file becomes one shared blob, hashed at most once however many
+/// builds and instructions reference it.
+fn load_context(dir: &str) -> Vec<zr_build::ContextFile> {
     let mut context = Vec::new();
     if let Ok(entries) = std::fs::read_dir(dir) {
         for entry in entries.flatten() {
             if entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
                 if let Ok(data) = std::fs::read(entry.path()) {
-                    context.push((entry.file_name().to_string_lossy().into_owned(), data));
+                    context.push(zr_build::context_file(
+                        &entry.file_name().to_string_lossy(),
+                        data,
+                    ));
                 }
             }
         }
@@ -193,6 +203,7 @@ fn cmd_build_many(args: &[String]) -> ExitCode {
     let mut cache = CacheMode::Enabled;
     let mut cache_stats = false;
     let mut cache_limit = 0u64;
+    let mut blob_limit = 0u64;
     let mut shards = ShardedRegistry::DEFAULT_SHARDS;
     let mut pull_latency_ms = 0u64;
     let mut fail_fast = false;
@@ -220,6 +231,10 @@ fn cmd_build_many(args: &[String]) -> ExitCode {
             },
             "--cache-limit" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(bytes) => cache_limit = bytes,
+                None => return usage(),
+            },
+            "--blob-limit" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(bytes) => blob_limit = bytes,
                 None => return usage(),
             },
             "--no-cache" => cache = CacheMode::Disabled,
@@ -289,6 +304,7 @@ fn cmd_build_many(args: &[String]) -> ExitCode {
             fetch: 4 * latency,
         },
         cache_limit,
+        blob_budget: blob_limit,
     });
 
     let t0 = std::time::Instant::now();
@@ -323,6 +339,10 @@ fn cmd_build_many(args: &[String]) -> ExitCode {
     );
     if cache_stats {
         eprintln!("[cache] {}", sched.layers().stats());
+        eprintln!(
+            "[registry] blob cache: {} bytes (budget {}), {} evictions",
+            rstats.blob_bytes, rstats.blob_budget, rstats.evictions
+        );
     }
     if failures == 0 {
         ExitCode::SUCCESS

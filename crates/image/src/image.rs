@@ -146,20 +146,38 @@ pub struct Image {
 }
 
 impl Image {
-    /// A deterministic content digest over the image: metadata plus
-    /// every inode's canonical path, type, permissions, ownership, and
-    /// payload (file bytes or symlink target), in path order.
+    /// A deterministic content digest over the image: metadata plus the
+    /// filesystem's tree digest (every inode's canonical path, type,
+    /// permissions, ownership, and payload digest, in path order — see
+    /// [`Fs::tree_digest`]).
     ///
     /// Two builds that produce byte-identical trees — a serial build and
     /// a concurrent one of the same Dockerfile, say — digest equal; the
-    /// scheduler's determinism tests and the paper-report gate compare
+    /// scheduler's determinism tests and the paper-report gates compare
     /// exactly this. Timestamps are excluded: they encode execution
     /// order, not content.
+    ///
+    /// The hot-path property: file payloads contribute their blobs'
+    /// *memoized* SHA-256 and the tree digest is memoized per content
+    /// version, so digesting an image that shares most of its blobs
+    /// with an already-digested snapshot hashes only the changed bytes
+    /// (plus an O(paths) metadata walk). [`digest_uncached`]
+    /// (Self::digest_uncached) recomputes the identical value from raw
+    /// bytes; the `P-snap` paper-report gate pins the two equal.
     pub fn digest(&self) -> String {
-        use zr_syscalls::mode::{S_IFLNK, S_IFMT, S_IFREG};
+        self.digest_with(self.fs.tree_digest())
+    }
 
-        let root = zr_vfs::Access::root();
-        let mut d = FieldDigest::new("zr-image-v1");
+    /// Reference implementation of [`digest`](Self::digest):
+    /// byte-identical output with every file payload re-hashed from its
+    /// raw bytes and no memo consulted — the "cold full-image walk" the
+    /// snapshot benchmarks and the `P-snap` gate compare against.
+    pub fn digest_uncached(&self) -> String {
+        self.digest_with(self.fs.tree_digest_uncached())
+    }
+
+    fn digest_with(&self, tree: String) -> String {
+        let mut d = FieldDigest::new("zr-image-v2");
         d.field(self.meta.name.as_bytes())
             .field(self.meta.tag.as_bytes())
             .field(self.meta.distro.id().as_bytes())
@@ -176,28 +194,7 @@ impl Image {
             d.field(b.path.as_bytes())
                 .field(format!("{:?}/{:?}", b.kind, b.linkage).as_bytes());
         }
-
-        // `walk_paths` visits deterministically (sorted pre-order), so
-        // the digest is a pure function of the tree's content.
-        for (path, st) in self.fs.walk_paths(&root) {
-            d.field(path.as_bytes())
-                .field(&st.mode.to_be_bytes())
-                .field(&st.uid.to_be_bytes())
-                .field(&st.gid.to_be_bytes());
-            match st.mode & S_IFMT {
-                S_IFLNK => {
-                    if let Ok(target) = self.fs.readlink(&path, &root) {
-                        d.field(target.as_bytes());
-                    }
-                }
-                S_IFREG => {
-                    if let Ok(data) = self.fs.read_file(&path, &root) {
-                        d.field(&data);
-                    }
-                }
-                _ => {}
-            }
-        }
+        d.field(tree.as_bytes());
         d.finish()
     }
 
@@ -304,6 +301,11 @@ mod tests {
         assert_eq!(a.digest(), b.digest(), "same content, same digest");
         assert_eq!(a.digest().len(), 64);
         assert_ne!(a.digest(), pull("debian:12").digest());
+        assert_eq!(
+            a.digest(),
+            a.digest_uncached(),
+            "memoized digest equals the full-rehash reference"
+        );
 
         // Content edits move the digest; so do ownership changes.
         let mut edited = pull("alpine:3.19");

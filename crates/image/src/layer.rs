@@ -15,13 +15,14 @@
 //!
 //! [`ImageStore`]: crate::store::ImageStore
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use zeroroot_core::digest::FieldDigest;
 use zeroroot_core::sync::{lock_or_poisoned, shard_index};
 use zr_vfs::fs::Fs;
+use zr_vfs::FileKind;
 
 use crate::image::ImageMeta;
 
@@ -112,27 +113,52 @@ pub struct Layer {
     pub state: LayerState,
 }
 
-/// Approximate storage footprint of one layer: file and symlink payload
-/// bytes plus a fixed per-inode overhead (metadata, directory entries).
-/// Built on the shared `Fs::walk_paths` tree walk, so unlink holes in
-/// the inode table never hide anything reachable.
-fn approx_layer_bytes(layer: &Layer) -> u64 {
-    const INODE_OVERHEAD: u64 = 256;
+use crate::INODE_OVERHEAD;
+
+/// The non-payload footprint of one layer: per-inode overhead plus
+/// symlink targets. File payload bytes are charged through the shared
+/// blob ledger instead, so snapshots that share blobs are charged for
+/// them once, not once per layer.
+fn layer_overhead(layer: &Layer) -> u64 {
     layer
         .fs
-        .walk_paths(&zr_vfs::Access::root())
-        .iter()
-        .map(|(_, st)| st.size + INODE_OVERHEAD)
+        .inodes()
+        .map(|inode| {
+            INODE_OVERHEAD
+                + match &inode.kind {
+                    FileKind::Symlink(target) => target.len() as u64,
+                    _ => 0,
+                }
+        })
         .sum()
 }
 
-/// One stored layer plus the bookkeeping eviction needs. The layer
-/// sits behind an `Arc` so lookups hand out O(1) clones — the shard
-/// lock is never held across an O(image) filesystem copy.
+/// Every file blob of a layer as `(content digest, length)` — one
+/// entry per inode (hard links count once). Forces each blob's
+/// memoized SHA-256; for a snapshot chain this hashes only blobs no
+/// earlier layer has been charged for.
+fn blob_inventory(layer: &Layer) -> Vec<(String, u64)> {
+    layer
+        .fs
+        .blobs()
+        .map(|blob| (blob.sha_hex(), blob.len() as u64))
+        .collect()
+}
+
+/// One stored layer plus the bookkeeping eviction and the dedup ledger
+/// need. The layer sits behind an `Arc` so lookups hand out O(1)
+/// clones — the shard lock is never held across an O(image) filesystem
+/// copy.
 #[derive(Debug, Clone)]
 struct Entry {
     layer: Arc<Layer>,
-    bytes: u64,
+    /// Non-payload footprint (inode overhead + symlink targets).
+    overhead: u64,
+    /// What this layer would cost stored as a full copy (overhead +
+    /// every payload byte) — the dedup savings baseline.
+    logical_bytes: u64,
+    /// The blobs this layer references, for ledger release on removal.
+    inventory: Vec<(String, u64)>,
     /// Logical clock value of the last hit (or the insert) — the LRU
     /// ordering eviction walks.
     last_hit: u64,
@@ -144,8 +170,15 @@ struct Entry {
 pub struct StoreStats {
     /// Layers currently stored.
     pub layers: usize,
-    /// Approximate bytes currently stored.
+    /// Approximate bytes currently stored, **deduplicated**: a payload
+    /// blob shared by many snapshots is charged once. This is what the
+    /// budget bounds.
     pub bytes: u64,
+    /// What the same layers would cost stored as full copies (the
+    /// pre-CoW accounting); `logical_bytes - bytes` is the dedup win.
+    pub logical_bytes: u64,
+    /// Distinct payload blobs currently charged in the ledger.
+    pub blobs: u64,
     /// The configured size budget (0 = unlimited).
     pub budget: u64,
     /// Lookups that found a layer (lifetime, cross-build).
@@ -156,12 +189,27 @@ pub struct StoreStats {
     pub evictions: u64,
 }
 
+impl StoreStats {
+    /// Bytes the blob-level dedup saves over storing full copies.
+    pub fn dedup_saved(&self) -> u64 {
+        self.logical_bytes.saturating_sub(self.bytes)
+    }
+}
+
 impl std::fmt::Display for StoreStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} layers, {} bytes, {} hits, {} misses, {} evictions",
-            self.layers, self.bytes, self.hits, self.misses, self.evictions
+            "{} layers, {} bytes ({} logical, {} saved by dedup, {} blobs), \
+             {} hits, {} misses, {} evictions",
+            self.layers,
+            self.bytes,
+            self.logical_bytes,
+            self.dedup_saved(),
+            self.blobs,
+            self.hits,
+            self.misses,
+            self.evictions
         )
     }
 }
@@ -173,12 +221,19 @@ struct StoreInner {
     /// Key space split across independently locked shards so concurrent
     /// builders contend per key range, not on one store-wide lock.
     shards: Vec<Mutex<BTreeMap<CacheKey, Entry>>>,
+    /// The blob dedup ledger: content digest → (length, layers holding
+    /// it). Bytes are charged when a blob's first layer arrives and
+    /// released when its last layer leaves. Lock ordering: a shard lock
+    /// may be held while taking the ledger, never the reverse.
+    ledger: Mutex<HashMap<String, (u64, u64)>>,
     /// Logical LRU clock (bumped on every hit and insert).
     clock: AtomicU64,
     /// Size budget in bytes; 0 means unlimited.
     budget: AtomicU64,
-    /// Approximate bytes stored.
+    /// Approximate deduplicated bytes stored.
     bytes: AtomicU64,
+    /// What full copies would cost (sum of per-layer logical bytes).
+    logical_bytes: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -188,9 +243,11 @@ impl Default for StoreInner {
     fn default() -> StoreInner {
         StoreInner {
             shards: (0..STORE_SHARDS).map(|_| Mutex::default()).collect(),
+            ledger: Mutex::default(),
             clock: AtomicU64::new(0),
             budget: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
+            logical_bytes: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -253,27 +310,74 @@ impl LayerStore {
         self.inner.clock.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Charge an entry's footprint: overhead unconditionally, payload
+    /// blobs only on their first reference (the dedup win).
+    fn charge(&self, entry: &Entry) {
+        let mut ledger = lock_or_poisoned(&self.inner.ledger);
+        let mut new_bytes = entry.overhead;
+        for (sha, len) in &entry.inventory {
+            let slot = ledger.entry(sha.clone()).or_insert((*len, 0));
+            if slot.1 == 0 {
+                new_bytes += *len;
+            }
+            slot.1 += 1;
+        }
+        self.inner.bytes.fetch_add(new_bytes, Ordering::Relaxed);
+        self.inner
+            .logical_bytes
+            .fetch_add(entry.logical_bytes, Ordering::Relaxed);
+    }
+
+    /// Release a removed entry: overhead immediately, each payload blob
+    /// when its last referencing layer is gone. The caller must already
+    /// have removed the entry from its shard (it is no longer visible,
+    /// so it can never be released twice).
+    fn release(&self, entry: &Entry) {
+        let mut ledger = lock_or_poisoned(&self.inner.ledger);
+        let mut freed = entry.overhead;
+        for (sha, len) in &entry.inventory {
+            if let Some(slot) = ledger.get_mut(sha) {
+                slot.1 -= 1;
+                if slot.1 == 0 {
+                    freed += *len;
+                    ledger.remove(sha);
+                }
+            }
+        }
+        self.inner.bytes.fetch_sub(freed, Ordering::Relaxed);
+        self.inner
+            .logical_bytes
+            .fetch_sub(entry.logical_bytes, Ordering::Relaxed);
+    }
+
     /// Save a layer under its own key (replaces an equal key — the
     /// content address makes the old and new layer interchangeable),
     /// then evict down to the budget if necessary.
     pub fn insert(&self, layer: Layer) {
-        let bytes = approx_layer_bytes(&layer);
+        // Footprint and inventory are computed before any lock; the
+        // blob digests this forces are memoized in the blobs
+        // themselves, so snapshot chains only ever hash new bytes.
+        let overhead = layer_overhead(&layer);
+        let inventory = blob_inventory(&layer);
+        let logical_bytes = overhead + inventory.iter().map(|(_, len)| len).sum::<u64>();
         let entry = Entry {
-            bytes,
+            overhead,
+            logical_bytes,
+            inventory,
             last_hit: self.tick(),
             layer: Arc::new(layer),
         };
         let key = entry.layer.id.clone();
         {
-            // The byte counter moves while the shard lock is held: an
+            // The byte counters move while the shard lock is held: an
             // entry is never visible to an evictor (which must take
             // this same lock to remove it) before its bytes are
-            // counted, so the counter cannot underflow.
+            // counted, so the counters cannot underflow.
             let mut shard = Self::lock(self.shard(&key));
+            self.charge(&entry);
             if let Some(old) = shard.insert(key, entry) {
-                self.inner.bytes.fetch_sub(old.bytes, Ordering::Relaxed);
+                self.release(&old);
             }
-            self.inner.bytes.fetch_add(bytes, Ordering::Relaxed);
         }
         self.enforce_budget();
     }
@@ -337,12 +441,12 @@ impl LayerStore {
     /// would do; also test isolation). Usage counters survive.
     pub fn clear(&self) {
         for shard in &self.inner.shards {
-            // Subtract per entry under the shard lock (not a blanket
+            // Release per entry under the shard lock (not a blanket
             // store(0)): a concurrent insert into another shard must
             // not have its bytes wiped out from under it.
             let mut shard = Self::lock(shard);
             for (_, entry) in std::mem::take(&mut *shard) {
-                self.inner.bytes.fetch_sub(entry.bytes, Ordering::Relaxed);
+                self.release(&entry);
             }
         }
     }
@@ -357,7 +461,8 @@ impl LayerStore {
         self.len() == 0
     }
 
-    /// Approximate bytes stored.
+    /// Approximate deduplicated bytes stored (shared payload blobs
+    /// charged once across all layers).
     pub fn bytes(&self) -> u64 {
         self.inner.bytes.load(Ordering::Relaxed)
     }
@@ -379,6 +484,8 @@ impl LayerStore {
         StoreStats {
             layers: self.len(),
             bytes: self.bytes(),
+            logical_bytes: self.inner.logical_bytes.load(Ordering::Relaxed),
+            blobs: lock_or_poisoned(&self.inner.ledger).len() as u64,
             budget: self.budget(),
             hits: self.inner.hits.load(Ordering::Relaxed),
             misses: self.inner.misses.load(Ordering::Relaxed),
@@ -387,10 +494,12 @@ impl LayerStore {
     }
 
     /// Evict least-recently-hit layers until the store fits its budget.
-    /// One scan gathers every entry's (last-hit, size, key); victims
-    /// are then taken in LRU order until enough bytes are freed —
-    /// O(entries log entries) per pass, not O(entries × evictions).
-    /// Locks one shard at a time (never nested); the outer loop
+    /// One scan gathers every entry's (last-hit, key); victims are then
+    /// taken in LRU order until the deduplicated byte counter fits —
+    /// evicting a layer only frees payload bytes its blobs no longer
+    /// share with a surviving layer, so the loop re-reads the counter
+    /// after each removal instead of predicting sizes. Locks one shard
+    /// at a time (never nested with another shard); the outer loop
     /// re-checks because concurrent inserts can land mid-pass.
     fn enforce_budget(&self) {
         let budget = self.budget();
@@ -398,26 +507,25 @@ impl LayerStore {
             return;
         }
         while self.bytes() > budget {
-            let mut candidates: Vec<(u64, u64, CacheKey)> = Vec::new();
+            let mut candidates: Vec<(u64, CacheKey)> = Vec::new();
             for shard in &self.inner.shards {
                 for (key, entry) in Self::lock(shard).iter() {
-                    candidates.push((entry.last_hit, entry.bytes, key.clone()));
+                    candidates.push((entry.last_hit, key.clone()));
                 }
             }
-            candidates.sort_unstable_by_key(|(last_hit, _, _)| *last_hit);
-            let mut freed = 0u64;
-            let excess = self.bytes().saturating_sub(budget);
-            for (_, _, key) in candidates {
-                if freed >= excess {
+            candidates.sort_unstable_by_key(|(last_hit, _)| *last_hit);
+            let mut removed_any = false;
+            for (_, key) in candidates {
+                if self.bytes() <= budget {
                     break;
                 }
                 if let Some(old) = Self::lock(self.shard(&key)).remove(&key) {
-                    self.inner.bytes.fetch_sub(old.bytes, Ordering::Relaxed);
+                    self.release(&old);
                     self.inner.evictions.fetch_add(1, Ordering::Relaxed);
-                    freed += old.bytes;
+                    removed_any = true;
                 }
             }
-            if freed == 0 {
+            if !removed_any {
                 break; // nothing removable (empty, or raced away)
             }
         }
@@ -531,13 +639,17 @@ mod tests {
         assert!(stats.to_string().contains("1 hits"));
     }
 
-    /// A layer whose filesystem carries `bytes` of file payload.
+    /// A layer whose filesystem carries `bytes` of file payload,
+    /// *distinct per key* (the id is stamped into the bytes) so LRU
+    /// tests measure eviction, not blob dedup.
     fn sized_layer(id: &CacheKey, bytes: usize) -> Layer {
         let mut l = layer(id, None);
         let root = zr_vfs::Access::root();
+        let mut data = vec![0u8; bytes];
+        let stamp = id.as_hex().as_bytes();
+        data[..stamp.len().min(bytes)].copy_from_slice(&stamp[..stamp.len().min(bytes)]);
         l.fs.mkdir_p("/data", 0o755).unwrap();
-        l.fs.write_file("/data/blob", 0o644, vec![0u8; bytes], &root)
-            .unwrap();
+        l.fs.write_file("/data/blob", 0o644, data, &root).unwrap();
         l
     }
 
@@ -559,6 +671,54 @@ mod tests {
         assert!(!store.contains(&keys[1]), "LRU layer evicted first");
         assert!(store.contains(&keys[0]), "recently hit layer survives");
         assert!(store.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn shared_blobs_are_charged_once() {
+        let store = LayerStore::new();
+        let root = zr_vfs::Access::root();
+        // One base fs with a 8 KiB payload; two snapshot layers share
+        // it (the second adds a small file, CoW-style).
+        let k1 = CacheKey::compute(None, "FROM base", "", "none");
+        let k2 = CacheKey::compute(Some(&k1), "RUN touch /x", "", "none");
+        let mut base = Fs::new();
+        base.write_file("/big", 0o644, vec![9u8; 8192], &root)
+            .unwrap();
+        let mut l1 = layer(&k1, None);
+        l1.fs = base.clone();
+        let mut l2 = layer(&k2, Some(&k1));
+        let mut snap = base.clone();
+        snap.write_file("/x", 0o644, b"tiny".to_vec(), &root)
+            .unwrap();
+        l2.fs = snap;
+
+        store.insert(l1);
+        let after_one = store.bytes();
+        store.insert(l2);
+        let stats = store.stats();
+        assert!(
+            store.bytes() < after_one + 8192,
+            "the shared 8 KiB blob must not be charged twice: \
+             one layer {after_one}, both {}",
+            store.bytes()
+        );
+        assert!(stats.logical_bytes > stats.bytes, "dedup saves bytes");
+        assert!(stats.dedup_saved() >= 8192);
+        assert_eq!(stats.blobs, 2, "big blob + tiny blob");
+        // Evicting the first layer must keep the shared blob charged
+        // (the second still references it) …
+        let before = store.bytes();
+        store.insert({
+            // replace k1 with itself to exercise replace-release
+            let mut l = layer(&k1, None);
+            l.fs = base.clone();
+            l
+        });
+        assert_eq!(store.bytes(), before, "replacement is byte-neutral");
+        store.clear();
+        assert_eq!(store.bytes(), 0, "clear releases everything");
+        assert_eq!(store.stats().blobs, 0);
+        assert_eq!(store.stats().logical_bytes, 0);
     }
 
     #[test]

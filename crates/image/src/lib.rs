@@ -20,6 +20,12 @@ pub mod layer;
 pub mod registry;
 pub mod store;
 
+/// Fixed per-inode overhead (metadata, directory entries) both byte
+/// budgets — the layer store's and the registry blob cache's — charge
+/// on top of payload bytes, so `--cache-limit` and `--blob-limit`
+/// share one size model.
+pub(crate) const INODE_OVERHEAD: u64 = 256;
+
 pub use image::{BinKind, BinarySpec, Distro, Image, ImageMeta, ImageRef, Linkage};
 pub use layer::{CacheKey, Layer, LayerState, LayerStore, StageSnapshot, StoreStats};
 pub use registry::{PullCost, Registry, RegistryStats, ShardedRegistry};

@@ -299,14 +299,30 @@ pub struct RegistryStats {
     pub fetches: u64,
     /// Pulls satisfied out of the blob cache.
     pub blob_hits: u64,
+    /// Approximate bytes currently held by the blob cache.
+    pub blob_bytes: u64,
+    /// The configured blob-cache byte budget (0 = unlimited).
+    pub blob_budget: u64,
+    /// Cached blobs evicted to respect the budget.
+    pub evictions: u64,
     /// Pulls per shard (length = shard count).
     pub per_shard: Vec<u64>,
+}
+
+/// One cached base image plus the LRU bookkeeping eviction needs.
+#[derive(Debug)]
+struct CachedBlob {
+    image: Image,
+    bytes: u64,
+    /// Registry-clock value of the last hit (or the fetch that seeded
+    /// it) — per-shard maps, globally ordered clock.
+    last_hit: u64,
 }
 
 /// One shard: its slice of the blob cache plus usage counters.
 #[derive(Debug, Default)]
 struct Shard {
-    blobs: Mutex<HashMap<String, Image>>,
+    blobs: Mutex<HashMap<String, CachedBlob>>,
     /// Per-reference fetch locks: concurrent pulls of the *same*
     /// missing reference serialize on one of these (the second waits,
     /// then hits the cache) while the blob map stays free for other
@@ -318,7 +334,7 @@ struct Shard {
 }
 
 impl Shard {
-    fn lock(&self) -> MutexGuard<'_, HashMap<String, Image>> {
+    fn lock(&self) -> MutexGuard<'_, HashMap<String, CachedBlob>> {
         lock_or_poisoned(&self.blobs)
     }
 
@@ -344,10 +360,24 @@ impl Shard {
 /// pulling the *same* base materialize it once and share the blob.
 /// `pull` takes `&self` — one registry handle (behind an `Arc`) serves
 /// every worker in a build scheduler.
+///
+/// An optional byte budget caps the blob cache: shards keep their own
+/// LRU ordering (stamped from one registry-wide clock), and when the
+/// global byte counter exceeds the budget the least-recently-hit blob
+/// across all shards is evicted — one shard lock at a time, never
+/// nested. Evicting only costs a refetch on the next pull of that
+/// reference; it can never corrupt a build.
 #[derive(Debug)]
 pub struct ShardedRegistry {
     shards: Vec<Shard>,
     cost: PullCost,
+    /// Registry-wide LRU clock (bumped on every blob hit and fetch).
+    clock: AtomicU64,
+    /// Blob-cache byte budget; 0 means unlimited.
+    blob_budget: AtomicU64,
+    /// Approximate bytes cached across all shards.
+    blob_bytes: AtomicU64,
+    evictions: AtomicU64,
 }
 
 /// The historical name: early revisions had a single-catalog registry
@@ -383,12 +413,79 @@ impl ShardedRegistry {
         ShardedRegistry {
             shards: (0..shards).map(|_| Shard::default()).collect(),
             cost,
+            clock: AtomicU64::new(0),
+            blob_budget: AtomicU64::new(0),
+            blob_bytes: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Change the blob-cache byte budget (0 = unlimited) and enforce
+    /// it immediately.
+    pub fn set_blob_budget(&self, bytes: u64) {
+        self.blob_budget.store(bytes, Ordering::Relaxed);
+        self.enforce_blob_budget();
+    }
+
+    /// The configured blob-cache byte budget (0 = unlimited).
+    pub fn blob_budget(&self) -> u64 {
+        self.blob_budget.load(Ordering::Relaxed)
+    }
+
+    /// Approximate bytes currently held by the blob cache.
+    pub fn blob_bytes(&self) -> u64 {
+        self.blob_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Approximate cache footprint of one image: payload bytes (each
+    /// blob once — snapshots hand out shared handles) plus a fixed
+    /// per-inode overhead.
+    fn image_bytes(image: &Image) -> u64 {
+        image.fs.content_bytes() + image.fs.inode_count() as u64 * crate::INODE_OVERHEAD
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Evict least-recently-hit blobs (across all shards) until the
+    /// cache fits its budget. Takes one shard lock at a time: a scan
+    /// pass finds the global LRU victim, a removal pass takes it out —
+    /// racing pulls can reinsert, so the outer loop re-checks and
+    /// gives up once a full pass frees nothing.
+    fn enforce_blob_budget(&self) {
+        let budget = self.blob_budget();
+        if budget == 0 {
+            return;
+        }
+        while self.blob_bytes() > budget {
+            let mut victim: Option<(u64, usize, String)> = None;
+            for (idx, shard) in self.shards.iter().enumerate() {
+                for (key, blob) in shard.lock().iter() {
+                    if victim
+                        .as_ref()
+                        .is_none_or(|(hit, _, _)| blob.last_hit < *hit)
+                    {
+                        victim = Some((blob.last_hit, idx, key.clone()));
+                    }
+                }
+            }
+            let Some((_, idx, key)) = victim else {
+                break; // cache empty
+            };
+            match self.shards[idx].lock().remove(&key) {
+                Some(gone) => {
+                    self.blob_bytes.fetch_sub(gone.bytes, Ordering::Relaxed);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break, // raced away; avoid spinning
+            }
+        }
     }
 
     /// Known references.
@@ -423,9 +520,10 @@ impl ShardedRegistry {
             // lock over it, so concurrent pulls overlap.
             std::thread::sleep(self.cost.round_trip);
         }
-        if let Some(image) = shard.lock().get(&key) {
+        if let Some(blob) = shard.lock().get_mut(&key) {
+            blob.last_hit = self.tick();
             shard.blob_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(image.clone());
+            return Ok(blob.image.clone());
         }
         // Miss: serialize on the *per-reference* fetch lock — never on
         // the blob map — so a concurrent pull of the same base waits
@@ -433,14 +531,15 @@ impl ShardedRegistry {
         // references, co-sharded or not, proceed untouched.
         let fetch_lock = shard.fetch_lock(&key);
         let _fetching = lock_or_poisoned(&fetch_lock);
-        if let Some(image) = shard.lock().get(&key) {
+        if let Some(blob) = shard.lock().get_mut(&key) {
             // Another puller finished the fetch while we waited — and
             // may already have dropped the lock entry, in which case
             // fetch_lock() above re-created it; remove it again so the
             // map never retains entries for cached references.
+            blob.last_hit = self.tick();
             shard.release_fetch_lock(&key);
             shard.blob_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(image.clone());
+            return Ok(blob.image.clone());
         }
         let image = match materialize(reference) {
             Ok(image) => image,
@@ -453,8 +552,18 @@ impl ShardedRegistry {
             std::thread::sleep(self.cost.fetch);
         }
         shard.fetches.fetch_add(1, Ordering::Relaxed);
-        shard.lock().insert(key.clone(), image.clone());
+        let bytes = Self::image_bytes(&image);
+        shard.lock().insert(
+            key.clone(),
+            CachedBlob {
+                image: image.clone(),
+                bytes,
+                last_hit: self.tick(),
+            },
+        );
+        self.blob_bytes.fetch_add(bytes, Ordering::Relaxed);
         shard.release_fetch_lock(&key);
+        self.enforce_blob_budget();
         Ok(image)
     }
 
@@ -491,6 +600,9 @@ impl ShardedRegistry {
                 .iter()
                 .map(|s| s.blob_hits.load(Ordering::Relaxed))
                 .sum(),
+            blob_bytes: self.blob_bytes(),
+            blob_budget: self.blob_budget(),
+            evictions: self.evictions.load(Ordering::Relaxed),
             per_shard,
         }
     }
@@ -631,6 +743,33 @@ mod tests {
         }
         assert_eq!(r.pulls(), 16);
         assert_eq!(r.fetches(), 2, "one fetch per distinct base");
+    }
+
+    #[test]
+    fn blob_budget_evicts_least_recently_pulled() {
+        let r = ShardedRegistry::with_shards(4);
+        // Cache every base, then re-pull alpine so it is the most
+        // recently hit.
+        for reference in Registry::catalog() {
+            r.pull(&ImageRef::parse(reference).unwrap()).unwrap();
+        }
+        let full = r.blob_bytes();
+        assert!(full > 0);
+        let _ = r.pull(&ImageRef::parse("alpine:3.19").unwrap());
+        // Budget for roughly half the catalog: the LRU bases go, the
+        // freshly hit alpine survives.
+        r.set_blob_budget(full / 2);
+        assert!(r.blob_bytes() <= r.blob_budget());
+        let stats = r.stats();
+        assert!(stats.evictions >= 1, "{stats:?}");
+        assert_eq!(stats.blob_budget, full / 2);
+        let fetches_before = r.fetches();
+        let _ = r.pull(&ImageRef::parse("alpine:3.19").unwrap());
+        assert_eq!(r.fetches(), fetches_before, "alpine stayed cached");
+        // A pull of an evicted base refetches and re-enforces.
+        let _ = r.pull(&ImageRef::parse("centos:7").unwrap());
+        assert_eq!(r.fetches(), fetches_before + 1);
+        assert!(r.blob_bytes() <= r.blob_budget());
     }
 
     #[test]

@@ -495,6 +495,29 @@ impl Kernel {
         join(&p.cwd, path)
     }
 
+    /// Builder-side whole-file write of a *shared blob* into `pid`'s
+    /// filesystem — same credentials, umask and cwd handling as the
+    /// `WriteFile` syscall, but the payload is an `Arc` handle: COPY/ADD
+    /// share context bytes (and their memoized digests) with every
+    /// snapshot instead of duplicating them. The syscall surface keeps
+    /// owned byte payloads; this models the host-side builder writing
+    /// into storage (ch-image copying into the unpacked image
+    /// directory), so no simulated syscall is dispatched or traced.
+    pub fn write_file_blob(
+        &mut self,
+        pid: Pid,
+        path: &str,
+        perm: u32,
+        blob: std::sync::Arc<zr_vfs::Blob>,
+    ) -> Result<(), Errno> {
+        let access = self.access_for(pid);
+        let fsid = self.process(pid).fs;
+        let p = self.abs(pid, path);
+        let perm = perm & !self.process(pid).umask;
+        self.fs_mut(fsid).write_file_blob(&p, perm, blob, &access)?;
+        Ok(())
+    }
+
     // ====================================================================
     // execution (policy + vfs)
     // ====================================================================
@@ -660,7 +683,7 @@ impl Kernel {
                     }
                     mode::S_IFIFO => FileKind::Fifo,
                     mode::S_IFSOCK => FileKind::Socket,
-                    0 | mode::S_IFREG => FileKind::File(Vec::new()),
+                    0 | mode::S_IFREG => FileKind::File(zr_vfs::Blob::empty()),
                     _ => return Err(Errno::EINVAL.into()),
                 };
                 let perm = (m & 0o7777) & !self.process(pid).umask;

@@ -113,6 +113,9 @@ pub struct SchedulerConfig {
     pub pull_cost: PullCost,
     /// Layer-cache size budget in bytes (0 = unlimited).
     pub cache_limit: u64,
+    /// Registry blob-cache byte budget (0 = unlimited): per-shard LRU
+    /// eviction against one global counter.
+    pub blob_budget: u64,
 }
 
 impl Default for SchedulerConfig {
@@ -125,6 +128,7 @@ impl Default for SchedulerConfig {
             registry_shards: ShardedRegistry::DEFAULT_SHARDS,
             pull_cost: PullCost::default(),
             cache_limit: 0,
+            blob_budget: 0,
         }
     }
 }
@@ -348,6 +352,7 @@ impl Scheduler {
             config.registry_shards,
             config.pull_cost,
         ));
+        registry.set_blob_budget(config.blob_budget);
         let layers = LayerStore::with_budget(config.cache_limit);
         Scheduler::with_shared(config, registry, layers)
     }

@@ -1,8 +1,10 @@
-//! Real filter installation on the host kernel — Linux x86-64 only.
+//! Real filter installation on the host kernel — Linux x86-64 and
+//! aarch64 (the paper's footnote-7 architectures with inline-asm
+//! support here).
 //!
 //! The paper stresses that the mechanism "has no dependencies beyond a C
 //! compiler and the Linux kernel, not even libseccomp" (§1). In the same
-//! spirit this module speaks to the kernel directly: raw `syscall`
+//! spirit this module speaks to the kernel directly: raw `syscall`/`svc`
 //! instructions via inline assembly, no libc wrappers, no libseccomp.
 //!
 //! **Irreversibility warning**: an installed filter cannot be removed and
@@ -18,7 +20,8 @@ use zr_bpf::Program;
 /// Failures talking to the real kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HostError {
-    /// Not Linux x86-64, or the program is too long for `sock_fprog`.
+    /// Not Linux x86-64/aarch64, or the program is too long for
+    /// `sock_fprog`.
     Unsupported,
     /// `prctl(PR_SET_NO_NEW_PRIVS)` failed with this errno.
     NoNewPrivs(i32),
@@ -178,7 +181,152 @@ mod imp {
     }
 }
 
-#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+#[allow(unsafe_code)]
+mod imp {
+    use super::HostError;
+    use zr_bpf::Program;
+
+    // The aarch64 generic syscall table (footnote 7: one filter, many
+    // architectures — and one demo per architecture we can run on).
+    // aarch64 has no plain chown(2); fchownat(AT_FDCWD, …) is the
+    // equivalent, exactly what libc does.
+    const SYS_FCHOWNAT: i64 = 54;
+    const SYS_KEXEC_LOAD: i64 = 104;
+    const SYS_PRCTL: i64 = 167;
+    const SYS_GETEUID: i64 = 175;
+
+    const AT_FDCWD: i64 = -100;
+    const PR_SET_SECCOMP: i64 = 22;
+    const PR_SET_NO_NEW_PRIVS: i64 = 38;
+    const SECCOMP_MODE_FILTER: i64 = 2;
+
+    /// `struct sock_filter`.
+    #[repr(C)]
+    struct SockFilter {
+        code: u16,
+        jt: u8,
+        jf: u8,
+        k: u32,
+    }
+
+    /// `struct sock_fprog` (pointer-aligned, padding inserted by repr(C)).
+    #[repr(C)]
+    struct SockFprog {
+        len: u16,
+        filter: *const SockFilter,
+    }
+
+    /// Raw aarch64 syscall; returns the kernel's value (negative errno
+    /// on failure). Arguments in x0–x4, number in x8, `svc #0` traps.
+    unsafe fn syscall5(nr: i64, a1: i64, a2: i64, a3: i64, a4: i64, a5: i64) -> i64 {
+        let ret: i64;
+        // SAFETY: the caller guarantees the arguments are valid for
+        // `nr`; the kernel clobbers no callee-saved registers on the
+        // aarch64 syscall ABI.
+        unsafe {
+            core::arch::asm!(
+                "svc #0",
+                in("x8") nr,
+                inlateout("x0") a1 => ret,
+                in("x1") a2,
+                in("x2") a3,
+                in("x3") a4,
+                in("x4") a5,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    /// Install `prog` on the calling thread. Irreversible.
+    pub fn install(prog: &Program) -> Result<(), HostError> {
+        let len = u16::try_from(prog.len()).map_err(|_| HostError::Unsupported)?;
+        let insns: Vec<SockFilter> = prog
+            .insns()
+            .iter()
+            .map(|i| SockFilter {
+                code: i.code,
+                jt: i.jt,
+                jf: i.jf,
+                k: i.k,
+            })
+            .collect();
+        let fprog = SockFprog {
+            len,
+            filter: insns.as_ptr(),
+        };
+
+        // SAFETY: plain integer arguments.
+        let r = unsafe { syscall5(SYS_PRCTL, PR_SET_NO_NEW_PRIVS, 1, 0, 0, 0) };
+        if r != 0 {
+            return Err(HostError::NoNewPrivs((-r) as i32));
+        }
+        // SAFETY: `fprog` and `insns` outlive the call; the kernel copies
+        // the program during the syscall.
+        let r = unsafe {
+            syscall5(
+                SYS_PRCTL,
+                PR_SET_SECCOMP,
+                SECCOMP_MODE_FILTER,
+                std::ptr::from_ref(&fprog) as i64,
+                0,
+                0,
+            )
+        };
+        if r != 0 {
+            return Err(HostError::Install((-r) as i32));
+        }
+        Ok(())
+    }
+
+    /// §5 class 4: call `kexec_load` with junk arguments. Under the
+    /// zero-consistency filter it must report (fake) success; without the
+    /// filter it fails with EPERM for unprivileged callers.
+    pub fn kexec_self_test() -> Result<(), HostError> {
+        // SAFETY: all-zero arguments; the filter intercepts before the
+        // kernel would dereference anything.
+        let r = unsafe { syscall5(SYS_KEXEC_LOAD, 0, 0, 0, 0, 0) };
+        if r == 0 {
+            Ok(())
+        } else {
+            Err(HostError::SelfTest(r))
+        }
+    }
+
+    /// Raw chown on `path` via `fchownat(AT_FDCWD, …)` (must not contain
+    /// NUL). Returns the raw kernel result: 0 under the filter even
+    /// though nothing changed.
+    pub fn try_chown(path: &str, uid: u32, gid: u32) -> i64 {
+        let mut buf = Vec::with_capacity(path.len() + 1);
+        buf.extend_from_slice(path.as_bytes());
+        buf.push(0);
+        // SAFETY: `buf` is a valid NUL-terminated string for the call's
+        // duration.
+        unsafe {
+            syscall5(
+                SYS_FCHOWNAT,
+                AT_FDCWD,
+                buf.as_ptr() as i64,
+                i64::from(uid),
+                i64::from(gid),
+                0,
+            )
+        }
+    }
+
+    /// Raw `geteuid(2)` — always allowed; used to show the *lie*: setuid
+    /// "succeeds" but geteuid still reports the old id.
+    pub fn geteuid() -> i64 {
+        // SAFETY: no arguments.
+        unsafe { syscall5(SYS_GETEUID, 0, 0, 0, 0, 0) }
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
 mod imp {
     use super::HostError;
     use zr_bpf::Program;
@@ -224,14 +372,20 @@ mod tests {
     // process, so real installation is exercised by the `host_seccomp`
     // example (which sacrifices a child process), not here.
 
-    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
     #[test]
     fn geteuid_matches_std_reported_environment() {
         let euid = super::geteuid();
         assert!(euid >= 0, "geteuid must succeed, got {euid}");
     }
 
-    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
     #[test]
     fn chown_without_filter_fails_or_succeeds_honestly() {
         // Without a filter, chowning a fresh temp file to root either

@@ -9,14 +9,25 @@
 //! mechanical.
 
 use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
 
 use crate::access::{permitted, Access, Want};
+use crate::blob::Blob;
 use crate::inode::{FileKind, Ino, Inode, Metadata, Stat};
 use crate::path::{components, join, normalize, split_parent, valid_name};
+use zr_digest::{FieldDigest, Sha256};
 use zr_syscalls::Errno;
 
 /// Symlink-chase limit (`MAXSYMLINKS`).
 const MAX_SYMLINKS: u32 = 40;
+
+/// Inode slots per copy-on-write page. Small enough that the first
+/// write after a snapshot copies little; large enough that a snapshot
+/// of a big image clones thousands of pointers, not millions.
+const PAGE_SLOTS: usize = 64;
+
+/// One copy-on-write page of the inode arena.
+type Page = Vec<Option<Inode>>;
 
 /// Whether the final path component follows symlinks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,11 +39,45 @@ pub enum FollowMode {
 }
 
 /// The filesystem.
-#[derive(Debug, Clone)]
+///
+/// The inode arena is split into fixed-size pages, each behind an
+/// `Arc`: `Fs::clone` — the per-instruction build snapshot — clones one
+/// pointer per page plus the small bookkeeping fields, **O(pages)**
+/// instead of O(inodes × bytes). The first mutation of a page after a
+/// snapshot copies just that page (`Arc::make_mut`), so between two
+/// snapshots the work done is proportional to the pages actually
+/// touched. File payloads are [`Blob`]s, shared the same way.
+#[derive(Debug)]
 pub struct Fs {
-    inodes: Vec<Option<Inode>>, // slot = ino - 1
+    /// Copy-on-write inode pages; slot = ino - 1, `PAGE_SLOTS` per page
+    /// (the last page may be partial).
+    pages: Vec<Arc<Page>>,
+    /// Total slots allocated across all pages.
+    slots: usize,
     next_free: Vec<usize>,
     clock: u64,
+    /// Content version: bumped on every mutation. Keys the tree-digest
+    /// memo — within one `Fs` value's lifetime a version uniquely
+    /// identifies a tree state (clones copy the memo *value* and then
+    /// diverge on their own counters).
+    version: u64,
+    /// Memoized `(version, tree_digest)` of the last digest computed.
+    tree_memo: Mutex<Option<(u64, String)>>,
+}
+
+impl Clone for Fs {
+    fn clone(&self) -> Fs {
+        Fs {
+            pages: self.pages.clone(),
+            slots: self.slots,
+            next_free: self.next_free.clone(),
+            clock: self.clock,
+            version: self.version,
+            // Copy the memo value, not the cell: the clone keeps the
+            // warm digest but diverges independently from here on.
+            tree_memo: Mutex::new(self.memo_value()),
+        }
+    }
 }
 
 impl Default for Fs {
@@ -54,9 +99,12 @@ impl Fs {
             meta: Metadata::new(0, 0, 0o755, 0),
         };
         Fs {
-            inodes: vec![Some(root)],
+            pages: vec![Arc::new(vec![Some(root)])],
+            slots: 1,
             next_free: Vec::new(),
             clock: 0,
+            version: 0,
+            tree_memo: Mutex::new(None),
         }
     }
 
@@ -78,42 +126,173 @@ impl Fs {
 
     /// Count of live inodes (diagnostics, tests, image statistics).
     pub fn inode_count(&self) -> usize {
-        self.inodes.iter().filter(|s| s.is_some()).count()
+        self.inodes().count()
     }
 
     // ---- inode plumbing ---------------------------------------------------
 
     /// Borrow an inode.
     pub fn inode(&self, ino: Ino) -> Result<&Inode, Errno> {
-        self.inodes
-            .get(ino as usize - 1)
+        let slot = (ino as usize).checked_sub(1).ok_or(Errno::ENOENT)?;
+        self.pages
+            .get(slot / PAGE_SLOTS)
+            .and_then(|p| p.get(slot % PAGE_SLOTS))
             .and_then(Option::as_ref)
             .ok_or(Errno::ENOENT)
     }
 
+    /// Mutable inode access: bumps the content version and copies the
+    /// containing page first if it is shared with a snapshot.
     fn inode_mut(&mut self, ino: Ino) -> Result<&mut Inode, Errno> {
-        self.inodes
-            .get_mut(ino as usize - 1)
+        let slot = (ino as usize).checked_sub(1).ok_or(Errno::ENOENT)?;
+        let page = self.pages.get_mut(slot / PAGE_SLOTS).ok_or(Errno::ENOENT)?;
+        self.version += 1;
+        Arc::make_mut(page)
+            .get_mut(slot % PAGE_SLOTS)
             .and_then(Option::as_mut)
             .ok_or(Errno::ENOENT)
     }
 
     fn alloc(&mut self, kind: FileKind, meta: Metadata) -> Ino {
+        self.version += 1;
         if let Some(slot) = self.next_free.pop() {
             let ino = slot as Ino + 1;
-            self.inodes[slot] = Some(Inode { ino, kind, meta });
+            Arc::make_mut(&mut self.pages[slot / PAGE_SLOTS])[slot % PAGE_SLOTS] =
+                Some(Inode { ino, kind, meta });
             ino
         } else {
-            let ino = self.inodes.len() as Ino + 1;
-            self.inodes.push(Some(Inode { ino, kind, meta }));
+            let slot = self.slots;
+            let ino = slot as Ino + 1;
+            if slot.is_multiple_of(PAGE_SLOTS) {
+                self.pages.push(Arc::new(Vec::with_capacity(PAGE_SLOTS)));
+            }
+            let page = self.pages.last_mut().expect("page ensured above");
+            Arc::make_mut(page).push(Some(Inode { ino, kind, meta }));
+            self.slots += 1;
             ino
         }
     }
 
     fn free(&mut self, ino: Ino) {
         let slot = ino as usize - 1;
-        self.inodes[slot] = None;
+        self.version += 1;
+        Arc::make_mut(&mut self.pages[slot / PAGE_SLOTS])[slot % PAGE_SLOTS] = None;
         self.next_free.push(slot);
+    }
+
+    /// Iterate every live inode in slot order.
+    pub fn inodes(&self) -> impl Iterator<Item = &Inode> {
+        self.pages
+            .iter()
+            .flat_map(|p| p.iter().filter_map(Option::as_ref))
+    }
+
+    // ---- snapshot/digest observability ------------------------------------
+
+    /// Content version: monotone within this value's lifetime, bumped
+    /// by every mutation. Two reads returning the same version saw the
+    /// same tree.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of copy-on-write pages backing the arena.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Pages currently shared with at least one other snapshot. Right
+    /// after a clone this equals [`page_count`](Self::page_count); each
+    /// first-write since then peels one page off.
+    pub fn shared_pages(&self) -> usize {
+        self.pages
+            .iter()
+            .filter(|p| Arc::strong_count(p) > 1)
+            .count()
+    }
+
+    /// Every regular file's blob, in slot order (one entry per inode,
+    /// however many hard links point at it).
+    pub fn blobs(&self) -> impl Iterator<Item = &Arc<Blob>> {
+        self.inodes().filter_map(|inode| match &inode.kind {
+            FileKind::File(blob) => Some(blob),
+            _ => None,
+        })
+    }
+
+    /// Total file payload bytes (each inode's blob counted once).
+    pub fn content_bytes(&self) -> u64 {
+        self.blobs().map(|b| b.len() as u64).sum()
+    }
+
+    fn memo_value(&self) -> Option<(u64, String)> {
+        self.tree_memo
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Deterministic content digest of the whole tree: every reachable
+    /// path's name, type, permissions and ownership, plus symlink
+    /// targets and file payload digests, in sorted pre-order.
+    /// Timestamps are excluded (they encode execution order, not
+    /// content).
+    ///
+    /// The digest is memoized per content [`version`](Self::version),
+    /// and file payloads contribute their blob's memoized SHA-256 — so
+    /// a warm digest after a k-file change hashes O(k) file bytes plus
+    /// O(paths) metadata, and an unchanged tree answers from the memo
+    /// without walking at all.
+    pub fn tree_digest(&self) -> String {
+        if let Some((version, digest)) = self.memo_value() {
+            if version == self.version {
+                return digest;
+            }
+        }
+        let digest = self.tree_digest_with(|blob| *blob.sha_bytes());
+        *self
+            .tree_memo
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) =
+            Some((self.version, digest.clone()));
+        digest
+    }
+
+    /// Reference implementation of [`tree_digest`](Self::tree_digest):
+    /// byte-identical output, but every file payload is re-hashed from
+    /// its raw bytes and no memo is consulted or updated. The paper
+    /// report's `P-snap` gate compares the two to pin that memoization
+    /// never changes an observable digest.
+    pub fn tree_digest_uncached(&self) -> String {
+        self.tree_digest_with(|blob| Sha256::digest(blob.data()))
+    }
+
+    fn tree_digest_with(&self, blob_sha: impl Fn(&Arc<Blob>) -> [u8; 32]) -> String {
+        use zr_syscalls::mode::{S_IFLNK, S_IFMT, S_IFREG};
+        let root = Access::root();
+        let mut d = FieldDigest::new("zr-tree-v1");
+        for (path, st) in self.walk_paths(&root) {
+            d.field(path.as_bytes())
+                .field(&st.mode.to_be_bytes())
+                .field(&st.uid.to_be_bytes())
+                .field(&st.gid.to_be_bytes());
+            match st.mode & S_IFMT {
+                S_IFLNK => {
+                    if let Ok(target) = self.readlink(&path, &root) {
+                        d.field(target.as_bytes());
+                    }
+                }
+                S_IFREG => {
+                    if let Ok(inode) = self.inode(st.ino) {
+                        if let FileKind::File(blob) = &inode.kind {
+                            d.field(&blob_sha(blob));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        d.finish()
     }
 
     fn dir_entries(&self, ino: Ino) -> Result<&BTreeMap<String, Ino>, Errno> {
@@ -287,6 +466,19 @@ impl Fs {
         data: Vec<u8>,
         access: &Access,
     ) -> Result<Ino, Errno> {
+        self.create_file_blob(path, perm, Blob::new(data), access)
+    }
+
+    /// [`create_file`](Self::create_file) with an already-shared blob
+    /// (content-addressed copies: no bytes move, the digest memo rides
+    /// along).
+    pub fn create_file_blob(
+        &mut self,
+        path: &str,
+        perm: u32,
+        blob: Arc<Blob>,
+        access: &Access,
+    ) -> Result<Ino, Errno> {
         let (dir, name) = self.walk_parent(path, access)?;
         self.check_write_dir(dir, access)?;
         if self.dir_entries(dir)?.contains_key(&name) {
@@ -294,7 +486,7 @@ impl Fs {
         }
         let now = self.tick();
         let meta = Metadata::new(access.fsuid, access.fsgid, perm, now);
-        let ino = self.alloc(FileKind::File(data), meta);
+        let ino = self.alloc(FileKind::File(blob), meta);
         self.dir_entries_mut(dir)?.insert(name, ino);
         Ok(ino)
     }
@@ -307,6 +499,20 @@ impl Fs {
         path: &str,
         perm: u32,
         data: Vec<u8>,
+        access: &Access,
+    ) -> Result<Ino, Errno> {
+        self.write_file_blob(path, perm, Blob::new(data), access)
+    }
+
+    /// [`write_file`](Self::write_file) with an already-shared blob —
+    /// what COPY/ADD use so a context file's bytes (and digest memo)
+    /// are shared between the build context and every snapshot, never
+    /// duplicated.
+    pub fn write_file_blob(
+        &mut self,
+        path: &str,
+        perm: u32,
+        blob: Arc<Blob>,
         access: &Access,
     ) -> Result<Ino, Errno> {
         match self.resolve(path, access, FollowMode::Follow) {
@@ -327,18 +533,19 @@ impl Fs {
                 let now = self.tick();
                 let node = self.inode_mut(ino)?;
                 match &mut node.kind {
-                    FileKind::File(existing) => *existing = data,
+                    FileKind::File(existing) => *existing = blob,
                     _ => return Err(Errno::EINVAL),
                 }
                 node.meta.mtime = now;
                 Ok(ino)
             }
-            Err(Errno::ENOENT) => self.create_file(path, perm, data, access),
+            Err(Errno::ENOENT) => self.create_file_blob(path, perm, blob, access),
             Err(e) => Err(e),
         }
     }
 
-    /// Append to an existing file.
+    /// Append to an existing file. The file gets a fresh blob (old
+    /// bytes + suffix); snapshots sharing the old blob are untouched.
     pub fn append_file(&mut self, path: &str, data: &[u8], access: &Access) -> Result<(), Errno> {
         let ino = self.resolve(path, access, FollowMode::Follow)?;
         let node = self.inode(ino)?;
@@ -354,7 +561,12 @@ impl Fs {
         let now = self.tick();
         let node = self.inode_mut(ino)?;
         match &mut node.kind {
-            FileKind::File(existing) => existing.extend_from_slice(data),
+            FileKind::File(existing) => {
+                let mut grown = Vec::with_capacity(existing.len() + data.len());
+                grown.extend_from_slice(existing.data());
+                grown.extend_from_slice(data);
+                *existing = Blob::new(grown);
+            }
             FileKind::Dir { .. } => return Err(Errno::EISDIR),
             _ => return Err(Errno::EINVAL),
         }
@@ -433,7 +645,29 @@ impl Fs {
             return Err(Errno::EACCES);
         }
         match &node.kind {
-            FileKind::File(data) => Ok(data.clone()),
+            FileKind::File(blob) => Ok(blob.data().to_vec()),
+            FileKind::Dir { .. } => Err(Errno::EISDIR),
+            _ => Err(Errno::EINVAL),
+        }
+    }
+
+    /// Whole-file read returning the shared blob — an O(1) handle, no
+    /// byte copy (the read-side twin of
+    /// [`write_file_blob`](Self::write_file_blob)).
+    pub fn read_file_blob(&self, path: &str, access: &Access) -> Result<Arc<Blob>, Errno> {
+        let ino = self.resolve(path, access, FollowMode::Follow)?;
+        let node = self.inode(ino)?;
+        if !permitted(
+            access,
+            node.meta.uid,
+            node.meta.gid,
+            node.meta.perm,
+            Want::R,
+        ) {
+            return Err(Errno::EACCES);
+        }
+        match &node.kind {
+            FileKind::File(blob) => Ok(Arc::clone(blob)),
             FileKind::Dir { .. } => Err(Errno::EISDIR),
             _ => Err(Errno::EINVAL),
         }
@@ -625,13 +859,15 @@ impl Fs {
         Ok(())
     }
 
-    /// Truncate a regular file.
+    /// Truncate a regular file (fresh blob; snapshots keep the old one).
     pub fn truncate(&mut self, ino: Ino, size: u64) -> Result<(), Errno> {
         let now = self.tick();
         let node = self.inode_mut(ino)?;
         match &mut node.kind {
-            FileKind::File(data) => {
+            FileKind::File(blob) => {
+                let mut data = blob.data().to_vec();
                 data.resize(size as usize, 0);
+                *blob = Blob::new(data);
                 node.meta.mtime = now;
                 Ok(())
             }
@@ -1044,5 +1280,119 @@ mod tests {
         fs.unlink("/a", &root()).unwrap();
         let b = fs.create_file("/b", 0o644, vec![], &root()).unwrap();
         assert_eq!(a, b, "slot is recycled");
+    }
+
+    #[test]
+    fn snapshots_are_isolated_both_ways() {
+        let mut parent = Fs::new();
+        parent
+            .write_file("/shared", 0o644, b"base".to_vec(), &root())
+            .unwrap();
+        let mut child = parent.clone();
+        child
+            .write_file("/shared", 0o644, b"edited".to_vec(), &root())
+            .unwrap();
+        child
+            .write_file("/child-only", 0o644, b"new".to_vec(), &root())
+            .unwrap();
+        assert_eq!(parent.read_file("/shared", &root()), Ok(b"base".to_vec()));
+        assert_eq!(
+            parent.resolve("/child-only", &root(), FollowMode::Follow),
+            Err(Errno::ENOENT)
+        );
+        parent
+            .write_file("/parent-only", 0o644, b"p".to_vec(), &root())
+            .unwrap();
+        assert_eq!(
+            child.resolve("/parent-only", &root(), FollowMode::Follow),
+            Err(Errno::ENOENT)
+        );
+        assert_eq!(child.read_file("/shared", &root()), Ok(b"edited".to_vec()));
+    }
+
+    #[test]
+    fn clone_shares_pages_until_first_write() {
+        let mut fs = Fs::new();
+        // Enough files to span several pages.
+        fs.mkdir_p("/d", 0o755).unwrap();
+        for i in 0..(3 * PAGE_SLOTS) {
+            fs.write_file(&format!("/d/f{i}"), 0o644, vec![b'x'; 8], &root())
+                .unwrap();
+        }
+        let snap = fs.clone();
+        assert!(fs.page_count() >= 3);
+        assert_eq!(
+            fs.shared_pages(),
+            fs.page_count(),
+            "a fresh snapshot shares every page"
+        );
+        // One write peels off only the touched pages: the file's page
+        // and the directory's (for mtime-free content this is the
+        // file's page plus possibly the dir entry's page).
+        fs.write_file("/d/f0", 0o644, b"new".to_vec(), &root())
+            .unwrap();
+        let peeled = fs.page_count() - fs.shared_pages();
+        assert!(
+            (1..=2).contains(&peeled),
+            "one write must touch at most the file and dir pages, peeled {peeled}"
+        );
+        drop(snap);
+        assert_eq!(fs.shared_pages(), 0);
+    }
+
+    #[test]
+    fn blobs_are_shared_across_snapshots() {
+        let mut fs = Fs::new();
+        fs.write_file("/big", 0o644, vec![7u8; 4096], &root())
+            .unwrap();
+        let snap = fs.clone();
+        let a = fs.read_file_blob("/big", &root()).unwrap();
+        let b = snap.read_file_blob("/big", &root()).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "snapshot shares the payload");
+        // The digest memo computed through one handle is visible to all.
+        assert!(!a.sha_is_cached());
+        let _ = b.sha_hex();
+        assert!(a.sha_is_cached());
+    }
+
+    #[test]
+    fn tree_digest_is_memoized_and_tracks_content() {
+        let mut fs = Fs::new();
+        fs.write_file("/f", 0o644, b"one".to_vec(), &root())
+            .unwrap();
+        let d1 = fs.tree_digest();
+        assert_eq!(d1, fs.tree_digest(), "memoized digest is stable");
+        assert_eq!(d1, fs.tree_digest_uncached(), "memo matches full rehash");
+        fs.write_file("/f", 0o644, b"two".to_vec(), &root())
+            .unwrap();
+        let d2 = fs.tree_digest();
+        assert_ne!(d1, d2, "content change moves the digest");
+        assert_eq!(d2, fs.tree_digest_uncached());
+        // mtime-only changes do not move the digest (timestamps are
+        // excluded by design).
+        let ino = fs.resolve("/f", &root(), FollowMode::Follow).unwrap();
+        fs.set_mtime(ino, 9999).unwrap();
+        assert_eq!(fs.tree_digest(), d2);
+    }
+
+    #[test]
+    fn content_bytes_counts_each_inode_once() {
+        let mut fs = Fs::new();
+        fs.write_file("/a", 0o644, vec![0u8; 100], &root()).unwrap();
+        fs.link("/a", "/b", &root()).unwrap();
+        assert_eq!(fs.content_bytes(), 100, "hard links do not double count");
+        assert_eq!(fs.blobs().count(), 1);
+    }
+
+    #[test]
+    fn write_file_blob_shares_the_handle() {
+        let mut fs = Fs::new();
+        let blob = Blob::new(b"ctx".to_vec());
+        let _ = blob.sha_hex(); // warm the memo before insertion
+        fs.write_file_blob("/etc-copy", 0o644, Arc::clone(&blob), &root())
+            .unwrap();
+        let stored = fs.read_file_blob("/etc-copy", &root()).unwrap();
+        assert!(Arc::ptr_eq(&blob, &stored));
+        assert!(stored.sha_is_cached(), "memo rode along");
     }
 }

@@ -1,17 +1,21 @@
 //! Inodes and their metadata.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::blob::Blob;
 use zr_syscalls::mode;
 
 /// Inode number.
 pub type Ino = u64;
 
-/// What an inode *is*. Regular file data lives inline — the whole
-/// filesystem is an in-memory model.
+/// What an inode *is*. Regular file data lives in an `Arc`-shared
+/// [`Blob`] — snapshots of the whole filesystem share payload bytes,
+/// and a write swaps in a new blob (whole-file copy-on-write).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FileKind {
-    /// Regular file with contents.
-    File(Vec<u8>),
+    /// Regular file with shared contents.
+    File(Arc<Blob>),
     /// Directory: name → child inode, plus a parent pointer for `..`.
     Dir {
         /// Sorted entries (deterministic iteration for reproducible
@@ -160,7 +164,7 @@ mod tests {
 
     #[test]
     fn type_bits_match_kind() {
-        assert_eq!(FileKind::File(vec![]).type_bits(), mode::S_IFREG);
+        assert_eq!(FileKind::File(Blob::empty()).type_bits(), mode::S_IFREG);
         assert_eq!(
             FileKind::Dir {
                 entries: BTreeMap::new(),
@@ -180,7 +184,7 @@ mod tests {
     fn st_mode_combines_type_and_perm() {
         let inode = Inode {
             ino: 5,
-            kind: FileKind::File(b"hi".to_vec()),
+            kind: FileKind::File(Blob::new(b"hi".to_vec())),
             meta: Metadata::new(0, 0, 0o4755, 0),
         };
         assert_eq!(inode.st_mode(), mode::S_IFREG | 0o4755);

@@ -19,11 +19,13 @@
 #![warn(missing_docs)]
 
 pub mod access;
+pub mod blob;
 pub mod fs;
 pub mod inode;
 pub mod path;
 
 pub use access::Access;
+pub use blob::Blob;
 pub use fs::{FollowMode, Fs};
 pub use inode::{FileKind, Ino, Inode, Metadata};
 pub use path::{join, normalize, split_parent};

@@ -1,0 +1,168 @@
+//! Property tests for copy-on-write snapshot isolation and digest
+//! stability — the invariants the build cache and the image digest
+//! stand on, pinned for *arbitrary* operation sequences rather than
+//! the curated unit-test cases.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use zr_vfs::access::Access;
+use zr_vfs::fs::{FollowMode, Fs};
+use zr_vfs::Blob;
+
+fn root() -> Access {
+    Access::root()
+}
+
+/// Interpret one encoded op against `fs`. The op universe covers file
+/// writes/appends/truncates, metadata changes, links, renames and
+/// removals over a small path set — every mutation class the builder's
+/// snapshots must isolate. Errors are fine (e.g. removing a missing
+/// file); the property is about isolation, not success.
+fn apply(fs: &mut Fs, op: (u8, u8, u8)) {
+    let (kind, target, payload) = op;
+    let name = format!("/f{}", target % 8);
+    let other = format!("/f{}", payload % 8);
+    let acc = root();
+    match kind % 10 {
+        0 | 1 => {
+            // Writes are the most common mutation in a build.
+            let _ = fs.write_file(&name, 0o644, vec![payload; payload as usize % 64 + 1], &acc);
+        }
+        2 => {
+            let _ = fs.append_file(&name, &[payload], &acc);
+        }
+        3 => {
+            if let Ok(ino) = fs.resolve(&name, &acc, FollowMode::Follow) {
+                let _ = fs.truncate(ino, u64::from(payload % 64));
+            }
+        }
+        4 => {
+            if let Ok(ino) = fs.resolve(&name, &acc, FollowMode::NoFollow) {
+                let _ = fs.set_perm(ino, 0o600 | u32::from(payload % 0o200));
+            }
+        }
+        5 => {
+            if let Ok(ino) = fs.resolve(&name, &acc, FollowMode::NoFollow) {
+                let _ = fs.set_owner(ino, u32::from(payload), u32::from(payload));
+            }
+        }
+        6 => {
+            let _ = fs.unlink(&name, &acc);
+        }
+        7 => {
+            let _ = fs.link(&name, &other, &acc);
+        }
+        8 => {
+            let _ = fs.rename(&name, &other, &acc);
+        }
+        _ => {
+            let _ = fs.symlink(&other, &name, &acc);
+        }
+    }
+}
+
+/// A base filesystem with a few files so early ops have targets.
+fn seeded() -> Fs {
+    let mut fs = Fs::new();
+    for i in 0..4 {
+        fs.write_file(&format!("/f{i}"), 0o644, vec![i; 16], &root())
+            .unwrap();
+    }
+    fs
+}
+
+proptest! {
+    /// A CoW-cloned filesystem never observes writes made to its
+    /// parent, and vice versa — for arbitrary mutation sequences on
+    /// both sides.
+    #[test]
+    fn snapshots_never_observe_sibling_writes(
+        setup in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..12),
+        parent_ops in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..12),
+        child_ops in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..12),
+    ) {
+        let mut parent = seeded();
+        for op in setup {
+            apply(&mut parent, op);
+        }
+        let frozen = parent.tree_digest();
+        let mut child = parent.clone();
+
+        // Child mutations are invisible to the parent…
+        for op in child_ops {
+            apply(&mut child, op);
+        }
+        prop_assert_eq!(parent.tree_digest(), frozen.clone());
+        prop_assert_eq!(parent.tree_digest_uncached(), frozen.clone());
+
+        // …and parent mutations are invisible to a fresh snapshot.
+        let child_state = child.tree_digest();
+        let snap = child.clone();
+        for op in parent_ops {
+            apply(&mut parent, op);
+            apply(&mut child, op);
+        }
+        prop_assert_eq!(snap.tree_digest(), child_state);
+        prop_assert_eq!(snap.tree_digest_uncached(), snap.tree_digest());
+    }
+
+    /// The memoized tree digest always equals the full-rehash
+    /// reference, and clones digest identically to their source —
+    /// whatever sequence of mutations and snapshots produced the tree.
+    #[test]
+    fn memoized_digest_equals_reference(
+        ops in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..24),
+    ) {
+        let mut fs = seeded();
+        for op in ops {
+            apply(&mut fs, op);
+            // Interleave digests so memos exist at every divergence
+            // point; a stale memo would be caught immediately.
+            prop_assert_eq!(fs.tree_digest(), fs.tree_digest_uncached());
+        }
+        let clone = fs.clone();
+        prop_assert_eq!(clone.tree_digest(), fs.tree_digest());
+    }
+
+    /// Clone-mutate-revert round-trips the digest: restoring a file's
+    /// exact previous contents, permissions and ownership restores the
+    /// exact previous digest, even though versions and memos moved.
+    #[test]
+    fn digests_are_stable_across_clone_mutate_revert(
+        target in 0u8..4,
+        edits in prop::collection::vec((any::<u8>(), any::<u8>()), 1..8),
+    ) {
+        let fs = seeded();
+        let path = format!("/f{target}");
+        let acc = root();
+        let before = fs.tree_digest();
+        let original: Arc<Blob> = fs.read_file_blob(&path, &acc).unwrap();
+
+        let mut work = fs.clone();
+        for (perm, data) in edits {
+            let _ = work.write_file(&path, 0o644, vec![data; 10], &acc);
+            let ino = work.resolve(&path, &acc, FollowMode::Follow).unwrap();
+            let _ = work.set_perm(ino, 0o600 | u32::from(perm % 0o100));
+        }
+        prop_assert_ne!(work.tree_digest(), before.clone());
+
+        // Revert: same bytes (shared blob), same perm, same owner.
+        work.write_file_blob(&path, 0o644, original, &acc).unwrap();
+        let ino = work.resolve(&path, &acc, FollowMode::Follow).unwrap();
+        work.set_perm(ino, 0o644).unwrap();
+        work.set_owner(ino, 0, 0).unwrap();
+        prop_assert_eq!(work.tree_digest(), before.clone());
+        prop_assert_eq!(work.tree_digest_uncached(), before);
+    }
+
+    /// Blob digests are a pure function of content: stable across
+    /// aliasing, memoization order, and fresh recomputation.
+    #[test]
+    fn blob_digests_are_content_pure(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        let a = Blob::new(data.clone());
+        let b = Blob::new(data.clone());
+        let alias = Arc::clone(&a);
+        prop_assert_eq!(alias.sha_hex(), b.sha_hex()); // memo vs fresh
+        prop_assert_eq!(a.sha_bytes(), &zr_digest::Sha256::digest(&data));
+    }
+}

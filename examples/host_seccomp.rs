@@ -1,7 +1,8 @@
 //! Install the paper's filter on the REAL kernel and demonstrate the lie.
 //!
 //! Spawns a scratch child process (filters are irreversible, §4), which:
-//! 1. compiles the zero-consistency filter for x86-64,
+//! 1. compiles the zero-consistency filter for the native architecture
+//!    (x86-64 or aarch64 — the paper's footnote-7 pair),
 //! 2. installs it via raw `prctl(2)` — no libseccomp, no libc wrappers,
 //! 3. runs the paper's kexec_load self-test (§5 class 4),
 //! 4. chowns a scratch file to root — "succeeds" —
@@ -18,10 +19,26 @@ use zr_seccomp::host;
 use zr_seccomp::spec::zero_consistency;
 use zr_syscalls::Arch;
 
+/// The architecture this binary actually runs on — the installed
+/// filter must match it or every syscall would fall through to the
+/// unknown-arch allow path.
+fn native_arch() -> Arch {
+    if cfg!(target_arch = "aarch64") {
+        Arch::Aarch64
+    } else {
+        Arch::X8664
+    }
+}
+
 fn child_main() {
-    let spec = zero_consistency(&[Arch::X8664]);
+    let arch = native_arch();
+    let spec = zero_consistency(&[arch]);
     let prog = zr_seccomp::compile(&spec).expect("filter compiles");
-    println!("[child] compiled filter: {} instructions", prog.len());
+    println!(
+        "[child] compiled filter for {}: {} instructions",
+        arch.name(),
+        prog.len()
+    );
 
     match host::install(&prog) {
         Ok(()) => println!("[child] filter installed via raw prctl(2)"),
