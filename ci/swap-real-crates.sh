@@ -7,8 +7,52 @@
 #
 # Destructive to the working tree on purpose — run in CI or a scratch
 # checkout, not in a tree you care about.
+#
+# `--check` runs only the offline drift check: verify that every
+# vendor stand-in is present, registered in the workspace, and that
+# the exact manifest lines this script's substitutions anchor on still
+# exist. The main CI job runs this on every PR, so a manifest refactor
+# can never silently disarm the network-gated parity job.
 set -eu
 cd "$(dirname "$0")/.."
+
+CRATES="criterion proptest rand"
+
+check() {
+    status=0
+    for crate in $CRATES; do
+        if [ ! -f "vendor/$crate/Cargo.toml" ]; then
+            echo "DRIFT: vendor/$crate/Cargo.toml is missing" >&2
+            status=1
+        fi
+        # The exact dependency line the swap's sed anchors on.
+        if ! grep -q "^$crate = { path = \"vendor/$crate\" }$" Cargo.toml; then
+            echo "DRIFT: workspace dependency line for $crate changed;" \
+                 "update the sed patterns in ci/swap-real-crates.sh" >&2
+            status=1
+        fi
+        # Both member lists (members + default-members) must carry the
+        # crate, or the swap's delete-pattern leaves one behind.
+        count=$(grep -c "\"vendor/$crate\"," Cargo.toml || true)
+        if [ "$count" != "2" ]; then
+            echo "DRIFT: expected vendor/$crate in both member lists, found $count" >&2
+            status=1
+        fi
+    done
+    if [ "$status" = "0" ]; then
+        echo "vendor-shim drift check passed ($CRATES)"
+    fi
+    return "$status"
+}
+
+if [ "${1:-}" = "--check" ]; then
+    check
+    exit $?
+fi
+
+# The full swap implies the check: refuse to sed a manifest whose
+# anchors have drifted.
+check
 
 # Drop the vendor members from both workspace member lists.
 sed -i '/"vendor\/criterion",/d; /"vendor\/proptest",/d; /"vendor\/rand",/d' Cargo.toml

@@ -13,7 +13,11 @@
 //! * `warm_delta` — snapshot + 1-file change + digest with warm memos
 //!   (the new per-instruction cost);
 //! * `chain`      — N snapshot+edit+digest steps in sequence, the
-//!   shape of an N-instruction build.
+//!   shape of an N-instruction build;
+//! * `dir_touch`  — one file created next to a *huge sibling
+//!   directory* right after a snapshot: the directory-entry CoW
+//!   regression point (entry maps are `Arc`-shared, so a
+//!   page-neighbor write must not deep-copy the big map).
 //!
 //! The `P-snap` paper-report gate pins the warm/cold ratio at the
 //! largest grid point; this bench provides the full curve.
@@ -67,6 +71,34 @@ fn bench_snapshot_scale(c: &mut Criterion) {
                     digest = snapshot_one_change(image, edit * 100 + step);
                 }
                 black_box(digest)
+            })
+        });
+    }
+
+    // Directory-entry copy amplification: a directory with N entries
+    // shares one CoW page with a tiny sibling directory. The measured
+    // op — snapshot, then one single-entry insert into the *sibling* —
+    // must stay flat in N (the big map rides the page copy as one
+    // pointer clone). Before the Arc'd entry maps it scaled with N.
+    for dir_entries in [64usize, 1024, 8192] {
+        let root = zr_vfs::Access::root();
+        let mut fs = zr_vfs::fs::Fs::new();
+        fs.mkdir_p("/huge", 0o755).unwrap();
+        fs.mkdir_p("/sibling", 0o755).unwrap();
+        for i in 0..dir_entries {
+            fs.write_file(&format!("/huge/f{i}"), 0o644, vec![b'x'], &root)
+                .unwrap();
+        }
+        let mut edit = 0u64;
+        g.bench_with_input(BenchmarkId::new("dir_touch", dir_entries), &fs, |b, fs| {
+            b.iter(|| {
+                let snap = fs.clone();
+                let mut touched = fs.clone();
+                edit += 1;
+                touched
+                    .write_file(&format!("/sibling/n{edit}"), 0o644, vec![b'y'], &root)
+                    .unwrap();
+                black_box((snap, touched))
             })
         });
     }

@@ -6,7 +6,7 @@
 //! ```
 //!
 //! With `--json`, the gate verdicts and the numeric bench metrics are
-//! additionally written to `BENCH_4.json` (or `PATH`) so CI can upload
+//! additionally written to `BENCH_5.json` (or `PATH`) so CI can upload
 //! them and the perf trajectory is tracked across PRs.
 
 use zeroroot_core::Mode;
@@ -93,7 +93,7 @@ fn best_of<T>(n: u32, mut f: impl FnMut() -> (std::time::Duration, T)) -> (std::
 fn main() {
     let json_path = std::env::args().skip(1).find_map(|a| {
         if a == "--json" {
-            Some("BENCH_4.json".to_string())
+            Some("BENCH_5.json".to_string())
         } else {
             a.strip_prefix("--json=").map(str::to_string)
         }
@@ -416,6 +416,109 @@ fn main() {
             && deterministic
             && ratio >= 10.0
             && dedups,
+    });
+
+    // ---- O-oci -------------------------------------------------------------------
+    // The persistent-store gate, in three parts.
+    //
+    // (a) Export → import: a built image serialized to an OCI image
+    //     layout and read back must reproduce a byte-identical
+    //     `Image::digest` (deterministic tars, canonical JSON,
+    //     verified blobs).
+    //
+    // (b) Cross-process warm rebuild: a *fresh* builder (fresh
+    //     registry, fresh kernel, fresh in-memory cache — everything a
+    //     second process would have) pointed at the first build's
+    //     --cache-dir must replay the whole build from disk: zero
+    //     misses, zero spawns, zero pulls, same digest.
+    //
+    // (c) Store throughput: raw CAS blob write/read bandwidth, logged
+    //     to BENCH_5.json for the cross-PR trajectory.
+    let scratch = std::env::temp_dir().join(format!("zr-paper-oci-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let cache_dir = scratch.join("cache");
+    let oci_dir = scratch.join("oci");
+
+    let (mut builder, _disk) =
+        zr_build::Builder::with_cache_dir(&cache_dir).expect("open cache dir");
+    let mut kernel = Kernel::default_kernel();
+    let oci_opts = BuildOptions::new("o-oci", Mode::Seccomp);
+    let cold = builder.build(&mut kernel, FIG1B, &oci_opts);
+    let cold_image = cold.image.as_ref().expect("cold build image");
+
+    let (t_export, export_ok) = timed(|| zr_store::export(cold_image, &oci_dir).is_ok());
+    let (t_import, imported) = timed(|| zr_store::import(&oci_dir));
+    let roundtrip = imported
+        .as_ref()
+        .map(|img| img.digest() == cold_image.digest())
+        .unwrap_or(false);
+    metrics.push(("o_oci.export_ms".into(), t_export.as_secs_f64() * 1e3));
+    metrics.push(("o_oci.import_ms".into(), t_import.as_secs_f64() * 1e3));
+
+    let (mut second, second_disk) =
+        zr_build::Builder::with_cache_dir(&cache_dir).expect("reopen cache dir");
+    let mut second_kernel = Kernel::default_kernel();
+    let warm = second.build(&mut second_kernel, FIG1B, &oci_opts);
+    let warm_digest_ok = warm
+        .image
+        .as_ref()
+        .map(|img| img.digest() == cold_image.digest())
+        .unwrap_or(false);
+    let warm_stats = second.layers.stats();
+    let executed_nothing = second_kernel.counters.spawns == 0
+        && second.registry.pulls() == 0
+        && warm.cache.misses == 0
+        && warm.cache.hits == 2;
+    let from_disk =
+        warm_stats.disk_hits == u64::from(warm.cache.hits) && second_disk.error_count() == 0;
+
+    // (c) CAS bandwidth: 256 distinct 16 KiB blobs, then read back.
+    let cas = zr_store::Cas::open(scratch.join("bench-cas")).expect("open bench cas");
+    let payloads: Vec<Vec<u8>> = (0..256u32)
+        .map(|i| {
+            let mut data = vec![(i % 251) as u8; 16 * 1024];
+            data[..4].copy_from_slice(&i.to_le_bytes());
+            data
+        })
+        .collect();
+    let total_bytes = (payloads.len() * 16 * 1024) as f64;
+    let (t_write, digests) = timed(|| {
+        payloads
+            .iter()
+            .map(|p| cas.put(p).expect("put"))
+            .collect::<Vec<_>>()
+    });
+    let (t_read, read_back) = timed(|| {
+        digests
+            .iter()
+            .map(|d| cas.get(d).expect("get").len())
+            .sum::<usize>()
+    });
+    let write_mbps = total_bytes / 1e6 / t_write.as_secs_f64().max(1e-9);
+    let read_mbps = total_bytes / 1e6 / t_read.as_secs_f64().max(1e-9);
+    metrics.push(("o_oci.store_write_mbps".into(), write_mbps));
+    metrics.push(("o_oci.store_read_mbps".into(), read_mbps));
+    let bandwidth_sane = read_back == payloads.len() * 16 * 1024;
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    checks.push(Check {
+        id: "O-oci",
+        paper: "export → import reproduces Image::digest byte-identically; a second process \
+                on the same --cache-dir replays fully warm (0 misses, 0 spawns, 0 pulls)",
+        measured: format!(
+            "roundtrip-digest-equal={roundtrip} (export {t_export:.2?}, import {t_import:.2?}); \
+             warm: {} with digest-equal={warm_digest_ok}, executed-anything={}, \
+             disk-hits={}/{}; store {write_mbps:.0}/{read_mbps:.0} MB/s write/read",
+            warm.cache, !executed_nothing, warm_stats.disk_hits, warm.cache.hits,
+        ),
+        pass: export_ok
+            && roundtrip
+            && cold.success
+            && warm.success
+            && warm_digest_ok
+            && executed_nothing
+            && from_disk
+            && bandwidth_sane,
     });
 
     // ---- report ------------------------------------------------------------------

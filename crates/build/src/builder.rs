@@ -80,6 +80,25 @@ impl Builder {
         }
     }
 
+    /// A builder whose layer cache is backed by the persistent store
+    /// at `dir` — the `--cache-dir` construction. Layers persist as
+    /// they are inserted; a later builder (in this process or another)
+    /// opening the same directory replays them without executing.
+    /// Returns the disk tier alongside for stats/gc access.
+    pub fn with_cache_dir(
+        dir: impl AsRef<std::path::Path>,
+    ) -> zr_store::Result<(Builder, Arc<zr_store::DiskLayers>)> {
+        let (layers, disk) = zr_store::open_layer_store(dir)?;
+        Ok((
+            Builder {
+                store: ImageStore::new(),
+                registry: Arc::default(),
+                layers,
+            },
+            disk,
+        ))
+    }
+
     /// Build `dockerfile` under `opts` on the given kernel. Never panics
     /// on user input: failures come back as a failed [`BuildResult`]
     /// whose log ends with `error: build failed: ...`, like the paper's

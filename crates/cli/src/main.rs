@@ -2,12 +2,17 @@
 //!
 //! ```text
 //! zr-image build -t TAG [--force=MODE] [--no-cache] [--cache-stats]
-//!                [--cache-limit BYTES] [-f DOCKERFILE] [CONTEXT_DIR]
+//!                [--cache-limit BYTES] [--cache-dir DIR]
+//!                [-f DOCKERFILE] [CONTEXT_DIR]
 //! zr-image build-many [--jobs N] [--force=MODE] [--no-cache]
-//!                [--cache-stats] [--cache-limit BYTES]
+//!                [--cache-stats] [--cache-limit BYTES] [--cache-dir DIR]
 //!                [--blob-limit BYTES] [--shards N]
 //!                [--pull-latency-ms N] [--fail-fast] [--context DIR]
 //!                DOCKERFILE…
+//! zr-image export --output DIR [build flags…]   # build, then OCI layout
+//! zr-image import DIR           # OCI layout -> image, prints the digest
+//! zr-image inspect DIR          # layout summary + image digest
+//! zr-image store (gc|stats) --cache-dir DIR
 //! zr-image filter [ARCH…]       # compiled seccomp filter, disassembled
 //! zr-image table                # the 29 filtered syscalls × 6 arches
 //! zr-image list                 # known base images
@@ -28,13 +33,17 @@ use zr_syscalls::Arch;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: zr-image build -t TAG [--force=MODE] [--no-cache] [--cache-stats] \
-         [--cache-limit BYTES] [-f DOCKERFILE] [CONTEXT_DIR]"
+         [--cache-limit BYTES] [--cache-dir DIR] [-f DOCKERFILE] [CONTEXT_DIR]"
     );
     eprintln!(
         "       zr-image build-many [--jobs N] [--force=MODE] [--no-cache] [--cache-stats] \
-         [--cache-limit BYTES] [--blob-limit BYTES] [--shards N] [--pull-latency-ms N] \
-         [--fail-fast] [--context DIR] DOCKERFILE…"
+         [--cache-limit BYTES] [--cache-dir DIR] [--blob-limit BYTES] [--shards N] \
+         [--pull-latency-ms N] [--fail-fast] [--context DIR] DOCKERFILE…"
     );
+    eprintln!("       zr-image export --output DIR [build flags…]");
+    eprintln!("       zr-image import DIR");
+    eprintln!("       zr-image inspect DIR");
+    eprintln!("       zr-image store (gc|stats) --cache-dir DIR");
     eprintln!("       zr-image filter [ARCH…]");
     eprintln!("       zr-image table");
     eprintln!("       zr-image list");
@@ -48,8 +57,12 @@ fn usage() -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("build") => cmd_build(&args[1..]),
+        Some("build") => cmd_build(&args[1..], None),
         Some("build-many") => cmd_build_many(&args[1..]),
+        Some("export") => cmd_export(&args[1..]),
+        Some("import") => cmd_import(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("store") => cmd_store(&args[1..]),
         Some("filter") => cmd_filter(&args[1..]),
         Some("table") => cmd_table(),
         Some("list") => {
@@ -62,12 +75,14 @@ fn main() -> ExitCode {
     }
 }
 
-fn cmd_build(args: &[String]) -> ExitCode {
+/// `build` (and, with `export_to`, the build half of `export`).
+fn cmd_build(args: &[String], export_to: Option<&str>) -> ExitCode {
     let mut tag = "img".to_string();
     let mut force = Mode::Seccomp;
     let mut cache = CacheMode::Enabled;
     let mut cache_stats = false;
     let mut cache_limit = 0u64;
+    let mut cache_dir: Option<String> = None;
     let mut file: Option<String> = None;
     let mut context_dir: Option<String> = None;
 
@@ -86,6 +101,10 @@ fn cmd_build(args: &[String]) -> ExitCode {
             "--cache-stats" => cache_stats = true,
             "--cache-limit" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(bytes) => cache_limit = bytes,
+                None => return usage(),
+            },
+            "--cache-dir" => match it.next() {
+                Some(dir) => cache_dir = Some(dir.clone()),
                 None => return usage(),
             },
             _ if a.starts_with("--force=") => {
@@ -138,7 +157,16 @@ fn cmd_build(args: &[String]) -> ExitCode {
     let context = context_dir.as_deref().map(load_context).unwrap_or_default();
 
     let mut kernel = Kernel::default_kernel();
-    let mut builder = Builder::new();
+    let (mut builder, disk) = match &cache_dir {
+        Some(dir) => match Builder::with_cache_dir(dir) {
+            Ok((builder, disk)) => (builder, Some(disk)),
+            Err(e) => {
+                eprintln!("error: --cache-dir {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => (Builder::new(), None),
+    };
     builder.layers.set_budget(cache_limit);
     let opts = BuildOptions {
         tag,
@@ -160,17 +188,179 @@ fn cmd_build(args: &[String]) -> ExitCode {
         let stats = builder.layers.stats();
         eprintln!("[cache] {} ({} layers stored)", result.cache, stats.layers);
         eprintln!(
-            "[cache] store: {} bytes deduplicated ({} logical, {} saved, {} blobs)",
+            "[cache] store: {} bytes deduplicated ({} logical, {} saved, {} blobs, \
+             {} disk hits)",
             stats.bytes,
             stats.logical_bytes,
             stats.dedup_saved(),
-            stats.blobs
+            stats.blobs,
+            stats.disk_hits
         );
+        if let Some(disk) = &disk {
+            eprintln!(
+                "[store] {} at {}",
+                disk.cas().stats(),
+                disk.cas().root_dir().display()
+            );
+        }
     }
-    if result.success {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
+    if let Some(disk) = &disk {
+        if disk.error_count() > 0 {
+            eprintln!(
+                "warning: {} store operations failed (last: {})",
+                disk.error_count(),
+                disk.last_error().unwrap_or_default()
+            );
+        }
+    }
+    if !result.success {
+        return ExitCode::FAILURE;
+    }
+    if let Some(output) = export_to {
+        let image = result
+            .image
+            .as_ref()
+            .expect("successful build has an image");
+        match zr_store::export(image, output) {
+            Ok(summary) => {
+                print!("{summary}");
+                println!("image digest: {}", image.digest());
+                println!("exported {} to {output}", summary.ref_name);
+            }
+            Err(e) => {
+                eprintln!("error: export to {output}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `export`: pull the `--output DIR` flag out, build, then write the
+/// OCI layout.
+fn cmd_export(args: &[String]) -> ExitCode {
+    let mut build_args: Vec<String> = Vec::new();
+    let mut output: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--output" {
+            match it.next() {
+                Some(dir) => output = Some(dir.clone()),
+                None => return usage(),
+            }
+        } else {
+            build_args.push(a.clone());
+        }
+    }
+    let Some(output) = output else {
+        eprintln!("error: export needs --output DIR");
+        return usage();
+    };
+    cmd_build(&build_args, Some(&output))
+}
+
+/// `import DIR`: materialize an OCI layout and report its digest.
+fn cmd_import(args: &[String]) -> ExitCode {
+    let [dir] = args else { return usage() };
+    match zr_store::import(dir) {
+        Ok(image) => {
+            println!("imported {}", image.meta.reference());
+            println!(
+                "{} inodes, {} payload bytes",
+                image.fs.inode_count(),
+                image.fs.content_bytes()
+            );
+            println!("image digest: {}", image.digest());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: import {dir}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `inspect DIR`: layout summary plus the materialized image digest.
+fn cmd_inspect(args: &[String]) -> ExitCode {
+    let [dir] = args else { return usage() };
+    let summary = match zr_store::inspect(dir) {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("error: inspect {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{summary}");
+    match zr_store::import(dir) {
+        Ok(image) => {
+            println!("image digest: {}", image.digest());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: inspect {dir}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `store gc|stats --cache-dir DIR`.
+fn cmd_store(args: &[String]) -> ExitCode {
+    let (action, rest) = match args.split_first() {
+        Some((action, rest)) => (action.as_str(), rest),
+        None => return usage(),
+    };
+    let mut cache_dir: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cache-dir" => match it.next() {
+                Some(dir) => cache_dir = Some(dir.clone()),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(dir) = cache_dir else {
+        eprintln!("error: store {action} needs --cache-dir DIR");
+        return usage();
+    };
+    // Inspection/maintenance must not conjure a store out of a typo'd
+    // path (Cas::open creates on demand for builds); require the
+    // version file an existing store always carries.
+    if !std::path::Path::new(&dir).join("format").is_file() {
+        eprintln!("error: --cache-dir {dir}: not a zr-store directory (no format file)");
+        return ExitCode::FAILURE;
+    }
+    let cas = match zr_store::Cas::open(&dir) {
+        Ok(cas) => cas,
+        Err(e) => {
+            eprintln!("error: --cache-dir {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match action {
+        "gc" => match cas.gc() {
+            Ok(report) => {
+                println!(
+                    "gc: {} blobs scanned, {} live, {} removed, {} bytes freed",
+                    report.scanned, report.live, report.removed, report.freed_bytes
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: gc: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "stats" => {
+            use zr_image::LayerPersistence;
+            let disk = zr_store::DiskLayers::new(cas);
+            println!("layers: {}", disk.keys().len());
+            println!("store:  {}", disk.cas().stats());
+            println!("roots:  {}", disk.cas().roots().len());
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
     }
 }
 
@@ -203,6 +393,7 @@ fn cmd_build_many(args: &[String]) -> ExitCode {
     let mut cache = CacheMode::Enabled;
     let mut cache_stats = false;
     let mut cache_limit = 0u64;
+    let mut cache_dir: Option<String> = None;
     let mut blob_limit = 0u64;
     let mut shards = ShardedRegistry::DEFAULT_SHARDS;
     let mut pull_latency_ms = 0u64;
@@ -231,6 +422,10 @@ fn cmd_build_many(args: &[String]) -> ExitCode {
             },
             "--cache-limit" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(bytes) => cache_limit = bytes,
+                None => return usage(),
+            },
+            "--cache-dir" => match it.next() {
+                Some(dir) => cache_dir = Some(dir.clone()),
                 None => return usage(),
             },
             "--blob-limit" => match it.next().and_then(|v| v.parse().ok()) {
@@ -295,7 +490,7 @@ fn cmd_build_many(args: &[String]) -> ExitCode {
     }
 
     let latency = Duration::from_millis(pull_latency_ms);
-    let sched = Scheduler::new(SchedulerConfig {
+    let sched = match Scheduler::try_new(SchedulerConfig {
         jobs,
         fail_fast,
         registry_shards: shards,
@@ -305,7 +500,14 @@ fn cmd_build_many(args: &[String]) -> ExitCode {
         },
         cache_limit,
         blob_budget: blob_limit,
-    });
+        cache_dir: cache_dir.map(std::path::PathBuf::from),
+    }) {
+        Ok(sched) => sched,
+        Err(e) => {
+            eprintln!("error: --cache-dir: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let t0 = std::time::Instant::now();
     let reports = sched.build_many(requests);
@@ -343,6 +545,18 @@ fn cmd_build_many(args: &[String]) -> ExitCode {
             "[registry] blob cache: {} bytes (budget {}), {} evictions",
             rstats.blob_bytes, rstats.blob_budget, rstats.evictions
         );
+        if let Some(disk) = sched.disk() {
+            eprintln!("[store] {}", disk.cas().stats());
+        }
+    }
+    if let Some(disk) = sched.disk() {
+        if disk.error_count() > 0 {
+            eprintln!(
+                "warning: {} store operations failed (last: {})",
+                disk.error_count(),
+                disk.last_error().unwrap_or_default()
+            );
+        }
     }
     if failures == 0 {
         ExitCode::SUCCESS

@@ -57,6 +57,18 @@ impl CacheKey {
         CacheKey(d.finish())
     }
 
+    /// Re-admit a key from its hex rendering (how the persistent store
+    /// names layer records on disk). `None` unless it is exactly 64
+    /// lowercase hex characters — file names never round-trip into
+    /// keys by accident.
+    pub fn from_hex(hex: &str) -> Option<CacheKey> {
+        let well_formed = hex.len() == 64
+            && hex
+                .bytes()
+                .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase());
+        well_formed.then(|| CacheKey(hex.to_string()))
+    }
+
     /// The hex rendering (stable, ordered, log-friendly).
     pub fn as_hex(&self) -> &str {
         &self.0
@@ -187,6 +199,9 @@ pub struct StoreStats {
     pub misses: u64,
     /// Layers evicted to respect the budget.
     pub evictions: u64,
+    /// Hits served by the persistence tier — layers this process never
+    /// built or inserted, replayed from disk (subset of `hits`).
+    pub disk_hits: u64,
 }
 
 impl StoreStats {
@@ -201,17 +216,48 @@ impl std::fmt::Display for StoreStats {
         write!(
             f,
             "{} layers, {} bytes ({} logical, {} saved by dedup, {} blobs), \
-             {} hits, {} misses, {} evictions",
+             {} hits ({} from disk), {} misses, {} evictions",
             self.layers,
             self.bytes,
             self.logical_bytes,
             self.dedup_saved(),
             self.blobs,
             self.hits,
+            self.disk_hits,
             self.misses,
             self.evictions
         )
     }
+}
+
+/// A durable backing tier for a [`LayerStore`] — the hook `zr-store`
+/// plugs its on-disk content-addressed store into.
+///
+/// The in-memory store stays the source of truth for the hot set; the
+/// persistence tier sees every insert (write-through) and is consulted
+/// on lookup misses, so a fresh process pointed at a warm store replays
+/// builds it never executed. Implementations must tolerate concurrent
+/// callers and absorb their own I/O errors (a failed persist must not
+/// fail a build; a failed load is a miss).
+pub trait LayerPersistence: Send + Sync + std::fmt::Debug {
+    /// Durably record a layer (idempotent: layers are content-addressed
+    /// by their cache key).
+    fn persist(&self, layer: &Layer);
+    /// Load a layer by key; `None` for unknown keys *and* for layers
+    /// that fail to deserialize (corruption reads as a cache miss).
+    fn load(&self, key: &CacheKey) -> Option<Layer>;
+    /// Load only a layer's replayable *state* — what the builder's
+    /// chain walk consults for every layer of a cached prefix. The
+    /// default materializes the whole layer; implementations should
+    /// override it to skip the filesystem, keeping the walk O(state)
+    /// with exactly one full materialization (the deepest hit).
+    fn load_state(&self, key: &CacheKey) -> Option<LayerState> {
+        self.load(key).map(|layer| layer.state)
+    }
+    /// Is the key durably stored? (No deserialization.)
+    fn has(&self, key: &CacheKey) -> bool;
+    /// Every durably stored key, sorted.
+    fn keys(&self) -> Vec<CacheKey>;
 }
 
 const STORE_SHARDS: usize = 8;
@@ -237,6 +283,12 @@ struct StoreInner {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Lookups served by the persistence tier (subset of `hits`).
+    disk_hits: AtomicU64,
+    /// Optional durable backing tier (write-through + miss
+    /// fallthrough). Taken briefly to clone the handle; never held
+    /// across I/O or another lock.
+    disk: Mutex<Option<Arc<dyn LayerPersistence>>>,
 }
 
 impl Default for StoreInner {
@@ -251,6 +303,8 @@ impl Default for StoreInner {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            disk: Mutex::new(None),
         }
     }
 }
@@ -350,10 +404,34 @@ impl LayerStore {
             .fetch_sub(entry.logical_bytes, Ordering::Relaxed);
     }
 
+    /// Attach a durable backing tier. Every subsequent insert is
+    /// written through to it and every lookup miss falls through to it,
+    /// so two processes attached to the same store directory share a
+    /// warm cache across their lifetimes.
+    pub fn set_persistence(&self, disk: Arc<dyn LayerPersistence>) {
+        *lock_or_poisoned(&self.inner.disk) = Some(disk);
+    }
+
+    /// The attached persistence tier, if any.
+    pub fn persistence(&self) -> Option<Arc<dyn LayerPersistence>> {
+        lock_or_poisoned(&self.inner.disk).clone()
+    }
+
     /// Save a layer under its own key (replaces an equal key — the
     /// content address makes the old and new layer interchangeable),
-    /// then evict down to the budget if necessary.
+    /// then evict down to the budget if necessary. With a persistence
+    /// tier attached the layer is also written through to disk.
     pub fn insert(&self, layer: Layer) {
+        let layer = self.insert_memory(layer);
+        if let Some(disk) = self.persistence() {
+            // Outside every store lock: persistence does real I/O.
+            disk.persist(&layer);
+        }
+    }
+
+    /// The in-memory half of [`insert`](Self::insert); returns the
+    /// shared handle so disk-loaded layers skip the write-through.
+    fn insert_memory(&self, layer: Layer) -> Arc<Layer> {
         // Footprint and inventory are computed before any lock; the
         // blob digests this forces are memoized in the blobs
         // themselves, so snapshot chains only ever hash new bytes.
@@ -368,6 +446,7 @@ impl LayerStore {
             layer: Arc::new(layer),
         };
         let key = entry.layer.id.clone();
+        let layer = Arc::clone(&entry.layer);
         {
             // The byte counters move while the shard lock is held: an
             // entry is never visible to an evictor (which must take
@@ -380,32 +459,45 @@ impl LayerStore {
             }
         }
         self.enforce_budget();
+        layer
     }
 
     /// Shared lookup core: LRU refresh on a hit, optional stat
-    /// counting, and a caller-chosen projection of the entry.
+    /// counting, and a caller-chosen projection of the entry. A memory
+    /// miss falls through to the persistence tier (outside the shard
+    /// lock — disk loads do real I/O); a disk hit is promoted into
+    /// memory and counts as a hit.
     fn lookup<T>(
         &self,
         key: &CacheKey,
         count_stats: bool,
         project: impl FnOnce(&Arc<Layer>) -> T,
     ) -> Option<T> {
-        let mut shard = Self::lock(self.shard(key));
-        match shard.get_mut(key) {
-            Some(entry) => {
+        {
+            let mut shard = Self::lock(self.shard(key));
+            if let Some(entry) = shard.get_mut(key) {
                 entry.last_hit = self.inner.clock.fetch_add(1, Ordering::Relaxed);
                 if count_stats {
                     self.inner.hits.fetch_add(1, Ordering::Relaxed);
                 }
-                Some(project(&entry.layer))
-            }
-            None => {
-                if count_stats {
-                    self.inner.misses.fetch_add(1, Ordering::Relaxed);
-                }
-                None
+                return Some(project(&entry.layer));
             }
         }
+        if let Some(layer) = self.persistence().and_then(|disk| disk.load(key)) {
+            // Promote without re-persisting (the disk already has it).
+            // A concurrent promotion of the same key is idempotent:
+            // content-addressed layers replace interchangeably.
+            let layer = self.insert_memory(layer);
+            if count_stats {
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                self.inner.disk_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            return Some(project(&layer));
+        }
+        if count_stats {
+            self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        None
     }
 
     /// Look a layer up by key; a hit refreshes the layer's LRU
@@ -418,10 +510,27 @@ impl LayerStore {
     /// Clone only the replayable *state* of a cached layer — no
     /// filesystem copy. The builder's chain walk consults every layer
     /// of a cached prefix but materializes just the deepest one; this
-    /// keeps the walk O(state), not O(image). Counts as a hit (LRU
-    /// refresh included), exactly like [`LayerStore::get`].
+    /// keeps the walk O(state), not O(image) — *including* on the
+    /// disk tier, where a miss asks the persistence layer for the
+    /// state record alone (no tree deserialization, no promotion).
+    /// Counts as a hit (LRU refresh included), exactly like
+    /// [`LayerStore::get`].
     pub fn peek_state(&self, key: &CacheKey) -> Option<LayerState> {
-        self.lookup(key, true, |layer| layer.state.clone())
+        {
+            let mut shard = Self::lock(self.shard(key));
+            if let Some(entry) = shard.get_mut(key) {
+                entry.last_hit = self.inner.clock.fetch_add(1, Ordering::Relaxed);
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(entry.layer.state.clone());
+            }
+        }
+        if let Some(state) = self.persistence().and_then(|disk| disk.load_state(key)) {
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
+            self.inner.disk_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(state);
+        }
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+        None
     }
 
     /// The second half of a peek-then-materialize sequence: fetch the
@@ -432,13 +541,19 @@ impl LayerStore {
         self.lookup(key, false, Arc::clone)
     }
 
-    /// Is the key cached? (No stats, no LRU refresh.)
+    /// Is the key cached, in memory or on the persistence tier? (No
+    /// stats, no LRU refresh, no promotion.)
     pub fn contains(&self, key: &CacheKey) -> bool {
-        Self::lock(self.shard(key)).contains_key(key)
+        if Self::lock(self.shard(key)).contains_key(key) {
+            return true;
+        }
+        self.persistence().is_some_and(|disk| disk.has(key))
     }
 
-    /// Drop every layer (what a `build --no-cache` followed by prune
-    /// would do; also test isolation). Usage counters survive.
+    /// Drop every in-memory layer (what a `build --no-cache` followed
+    /// by prune would do; also test isolation). Usage counters survive;
+    /// the persistence tier is untouched — durable layers are removed
+    /// by the store's own garbage collection, never by a cache prune.
     pub fn clear(&self) {
         for shard in &self.inner.shards {
             // Release per entry under the shard lock (not a blanket
@@ -490,6 +605,7 @@ impl LayerStore {
             hits: self.inner.hits.load(Ordering::Relaxed),
             misses: self.inner.misses.load(Ordering::Relaxed),
             evictions: self.inner.evictions.load(Ordering::Relaxed),
+            disk_hits: self.inner.disk_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -719,6 +835,66 @@ mod tests {
         assert_eq!(store.bytes(), 0, "clear releases everything");
         assert_eq!(store.stats().blobs, 0);
         assert_eq!(store.stats().logical_bytes, 0);
+    }
+
+    /// An in-memory stand-in for the on-disk tier: enough to pin the
+    /// write-through / fallthrough / promotion contract without
+    /// touching a filesystem (zr-store's integration tests do that).
+    #[derive(Debug, Default)]
+    struct MockDisk {
+        layers: Mutex<BTreeMap<CacheKey, Layer>>,
+        persists: AtomicU64,
+        loads: AtomicU64,
+    }
+
+    impl LayerPersistence for MockDisk {
+        fn persist(&self, layer: &Layer) {
+            self.persists.fetch_add(1, Ordering::Relaxed);
+            lock_or_poisoned(&self.layers).insert(layer.id.clone(), layer.clone());
+        }
+        fn load(&self, key: &CacheKey) -> Option<Layer> {
+            self.loads.fetch_add(1, Ordering::Relaxed);
+            lock_or_poisoned(&self.layers).get(key).cloned()
+        }
+        fn has(&self, key: &CacheKey) -> bool {
+            lock_or_poisoned(&self.layers).contains_key(key)
+        }
+        fn keys(&self) -> Vec<CacheKey> {
+            lock_or_poisoned(&self.layers).keys().cloned().collect()
+        }
+    }
+
+    #[test]
+    fn persistence_tier_sees_inserts_and_serves_misses() {
+        let disk = Arc::new(MockDisk::default());
+        let store = LayerStore::new();
+        store.set_persistence(disk.clone());
+        let k = CacheKey::compute(None, "FROM alpine:3.19", "", "none");
+        store.insert(layer(&k, None));
+        assert_eq!(disk.persists.load(Ordering::Relaxed), 1, "write-through");
+
+        // A second handle over the same disk (a "second process"): its
+        // memory is cold, the lookup falls through and promotes.
+        let second = LayerStore::new();
+        second.set_persistence(disk.clone());
+        assert!(second.contains(&k), "contains consults the disk tier");
+        assert!(second.get(&k).is_some(), "miss falls through to disk");
+        let stats = second.stats();
+        assert_eq!((stats.hits, stats.disk_hits, stats.misses), (1, 1, 0));
+        assert_eq!(second.len(), 1, "disk hit promoted into memory");
+        // The promotion must not echo back to disk.
+        assert_eq!(disk.persists.load(Ordering::Relaxed), 1);
+        // Promoted layers answer from memory from now on.
+        let loads = disk.loads.load(Ordering::Relaxed);
+        assert!(second.get(&k).is_some());
+        assert_eq!(disk.loads.load(Ordering::Relaxed), loads);
+        assert_eq!(second.stats().disk_hits, 1);
+
+        // clear() prunes memory only; the durable tier survives.
+        second.clear();
+        assert!(second.is_empty());
+        assert!(disk.has(&k));
+        assert!(second.get(&k).is_some(), "reload after prune");
     }
 
     #[test]

@@ -27,6 +27,8 @@ pub mod store;
 pub(crate) const INODE_OVERHEAD: u64 = 256;
 
 pub use image::{BinKind, BinarySpec, Distro, Image, ImageMeta, ImageRef, Linkage};
-pub use layer::{CacheKey, Layer, LayerState, LayerStore, StageSnapshot, StoreStats};
+pub use layer::{
+    CacheKey, Layer, LayerPersistence, LayerState, LayerStore, StageSnapshot, StoreStats,
+};
 pub use registry::{PullCost, Registry, RegistryStats, ShardedRegistry};
 pub use store::ImageStore;

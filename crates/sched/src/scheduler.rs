@@ -116,6 +116,11 @@ pub struct SchedulerConfig {
     /// Registry blob-cache byte budget (0 = unlimited): per-shard LRU
     /// eviction against one global counter.
     pub blob_budget: u64,
+    /// Persistent layer-store directory (`--cache-dir`). When set, the
+    /// shared layer store is backed by `zr-store`: every worker's
+    /// layers are written through to disk, and a later scheduler (or
+    /// another process) opening the same directory replays them.
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for SchedulerConfig {
@@ -129,6 +134,7 @@ impl Default for SchedulerConfig {
             pull_cost: PullCost::default(),
             cache_limit: 0,
             blob_budget: 0,
+            cache_dir: None,
         }
     }
 }
@@ -336,6 +342,10 @@ pub struct Scheduler {
     config: SchedulerConfig,
     registry: Arc<ShardedRegistry>,
     layers: LayerStore,
+    /// The persistent tier behind `cache_dir`, kept so callers can
+    /// surface absorbed store errors and stats (persist failures must
+    /// not fail builds, but they must not be invisible either).
+    disk: Option<Arc<zr_store::DiskLayers>>,
 }
 
 impl Default for Scheduler {
@@ -346,15 +356,31 @@ impl Default for Scheduler {
 
 impl Scheduler {
     /// A scheduler with its own registry and layer cache, built from
-    /// `config`.
+    /// `config`. Panics if `config.cache_dir` cannot be opened — use
+    /// [`try_new`](Self::try_new) to surface store errors.
     pub fn new(config: SchedulerConfig) -> Scheduler {
+        Scheduler::try_new(config).expect("cannot open --cache-dir store")
+    }
+
+    /// [`new`](Self::new), with persistent-store failures returned
+    /// instead of panicking.
+    pub fn try_new(config: SchedulerConfig) -> zr_store::Result<Scheduler> {
         let registry = Arc::new(ShardedRegistry::with_cost(
             config.registry_shards,
             config.pull_cost,
         ));
         registry.set_blob_budget(config.blob_budget);
-        let layers = LayerStore::with_budget(config.cache_limit);
-        Scheduler::with_shared(config, registry, layers)
+        let (layers, disk) = match &config.cache_dir {
+            Some(dir) => {
+                let (layers, disk) = zr_store::open_layer_store(dir)?;
+                layers.set_budget(config.cache_limit);
+                (layers, Some(disk))
+            }
+            None => (LayerStore::with_budget(config.cache_limit), None),
+        };
+        let mut sched = Scheduler::with_shared(config, registry, layers);
+        sched.disk = disk;
+        Ok(sched)
     }
 
     /// A scheduler over externally owned registry/cache handles (share
@@ -368,6 +394,7 @@ impl Scheduler {
             config,
             registry,
             layers,
+            disk: None,
         }
     }
 
@@ -379,6 +406,12 @@ impl Scheduler {
     /// The shared layer-cache handle.
     pub fn layers(&self) -> &LayerStore {
         &self.layers
+    }
+
+    /// The persistent store tier, when the scheduler was built with a
+    /// `cache_dir` (error counters, CAS stats, gc).
+    pub fn disk(&self) -> Option<&Arc<zr_store::DiskLayers>> {
+        self.disk.as_ref()
     }
 
     /// Enqueue a batch and return immediately with a [`BatchHandle`].

@@ -248,6 +248,43 @@ fn empty_batch_is_fine() {
 }
 
 #[test]
+fn cache_dir_persists_layers_across_schedulers() {
+    // Two schedulers over one --cache-dir: the second (fresh memory,
+    // fresh registry — the "second process") must replay the first
+    // one's layers with zero misses and no new pulls.
+    let dir = std::env::temp_dir().join(format!("zr-sched-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = || SchedulerConfig {
+        jobs: 2,
+        cache_dir: Some(dir.clone()),
+        ..SchedulerConfig::default()
+    };
+    let cold = Scheduler::try_new(config()).unwrap();
+    let reports = cold.build_many(distinct_batch());
+    assert!(reports.iter().all(|r| r.result.success));
+    let digests: Vec<String> = reports
+        .iter()
+        .map(|r| r.result.image.as_ref().unwrap().digest())
+        .collect();
+    drop(cold);
+
+    let warm = Scheduler::try_new(config()).unwrap();
+    let reports = warm.build_many(distinct_batch());
+    for (report, cold_digest) in reports.iter().zip(&digests) {
+        assert!(report.result.success);
+        assert_eq!(report.result.cache.misses, 0, "fully warm from disk");
+        assert_eq!(
+            &report.result.image.as_ref().unwrap().digest(),
+            cold_digest,
+            "disk replay reproduces the digest"
+        );
+    }
+    assert_eq!(warm.registry().stats().pulls, 0, "no pulls when replaying");
+    assert!(warm.layers().stats().disk_hits > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn scheduler_cache_limit_bounds_the_store() {
     let sched = Scheduler::new(SchedulerConfig {
         jobs: 2,

@@ -1,0 +1,564 @@
+//! The persistent content-addressed store.
+//!
+//! On-disk layout, versioned by the `format` file:
+//!
+//! ```text
+//! <root>/
+//!   format                  # "zr-store-v1\n"
+//!   blobs/sha256/<64 hex>   # content, named by its SHA-256
+//!   tmp/                    # staging for atomic writes (emptied at open)
+//!   roots/<name>            # pin records: the digests a named root holds live
+//!   layers/<cache key>      # layer records (written by DiskLayers)
+//! ```
+//!
+//! Every write is *atomic*: bytes go to a unique file under `tmp/`, are
+//! fsync'd, and land under their final name with a `rename` — a reader
+//! (or a second process) observes either nothing or the complete,
+//! verified content, never a torn write. Reopening after a crash is
+//! therefore trivial: stray `tmp/` files are deleted and everything
+//! else is trusted until its digest says otherwise (every `get`
+//! re-verifies).
+//!
+//! Deletion is garbage collection, not eviction: named *roots* pin the
+//! digests they reference (a layer pins its tree record and payload
+//! blobs; nothing else is reachable), and [`Cas::gc`] removes the
+//! blobs no root references. Two processes sharing a store directory
+//! coordinate purely through the filesystem: puts are idempotent
+//! (content addressing), pins are whole-file renames.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use zr_digest::{hex, Sha256};
+use zr_vfs::Blob;
+
+use crate::codec::{Dec, Enc};
+use crate::error::{Result, StoreError};
+
+/// The store format version written to `<root>/format`.
+pub const FORMAT: &str = "zr-store-v1\n";
+
+const ROOTS_MAGIC: &str = "zr-roots-v1";
+
+/// Usage counters for one [`Cas`] handle plus the open-time census.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CasStats {
+    /// Blobs present (open-time census plus this handle's writes).
+    pub blobs: u64,
+    /// Payload bytes present.
+    pub bytes: u64,
+    /// Blobs this handle wrote.
+    pub writes: u64,
+    /// Bytes this handle wrote.
+    pub written_bytes: u64,
+    /// Blobs this handle read back.
+    pub reads: u64,
+    /// Bytes this handle read back.
+    pub read_bytes: u64,
+    /// Puts skipped because the content already existed — the
+    /// cross-process dedup win.
+    pub dedup_skips: u64,
+    /// Stray staging files deleted at open (crash leftovers).
+    pub recovered_tmp: u64,
+    /// Unparseable root pin records quarantined at open. Their layers
+    /// read as cache misses and re-persist on the next build — the
+    /// same self-healing path a corrupt layer record takes.
+    pub corrupt_roots: u64,
+}
+
+impl std::fmt::Display for CasStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} blobs, {} bytes; this handle: {} writes ({} bytes), \
+             {} reads ({} bytes), {} dedup skips, {} tmp recovered",
+            self.blobs,
+            self.bytes,
+            self.writes,
+            self.written_bytes,
+            self.reads,
+            self.read_bytes,
+            self.dedup_skips,
+            self.recovered_tmp
+        )
+    }
+}
+
+/// What [`Cas::gc`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Blobs examined.
+    pub scanned: u64,
+    /// Unreferenced blobs removed.
+    pub removed: u64,
+    /// Bytes freed.
+    pub freed_bytes: u64,
+    /// Blobs kept (pinned by at least one root).
+    pub live: u64,
+}
+
+#[derive(Debug, Default)]
+struct CasState {
+    /// digest → number of roots pinning it.
+    refs: HashMap<String, u64>,
+    /// root name → pinned digests (to diff on re-pin).
+    roots: HashMap<String, Vec<String>>,
+    /// Digests this handle knows are on disk (open-time census plus
+    /// every put since). A hot-path `put` of known content is one hash
+    /// lookup, not a `stat(2)` — the per-instruction persist of a
+    /// mostly-unchanged tree touches the filesystem only for new
+    /// blobs. Misses still fall through to a real existence check, so
+    /// a sibling process's writes are never re-done either.
+    known: std::collections::HashSet<String>,
+    stats: CasStats,
+}
+
+#[derive(Debug)]
+struct CasInner {
+    root: PathBuf,
+    state: Mutex<CasState>,
+}
+
+/// A handle on a persistent content-addressed store. Cloning shares
+/// the handle; two *independent* opens of the same directory (two
+/// processes) are also safe — all coordination is atomic-rename.
+#[derive(Debug, Clone)]
+pub struct Cas {
+    inner: Arc<CasInner>,
+}
+
+/// Is `s` a well-formed lowercase sha256 hex digest? (Also the
+/// path-traversal guard: digests become file names.)
+pub fn valid_digest(s: &str) -> bool {
+    s.len() == 64
+        && s.bytes()
+            .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
+}
+
+/// Is `s` safe as a root/record file name?
+fn valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= 128
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b"._-".contains(&b))
+        && !s.starts_with('.')
+}
+
+/// Write `data` to `path` atomically: staging file in `tmp`, fsync,
+/// rename. Shared by blobs, pins, layer records and the OCI exporter.
+/// Staging names are unique per process (pid) *and* per write (a
+/// process-global counter), so any number of handles and threads can
+/// stage into one directory without collisions.
+pub(crate) fn atomic_write(tmp_dir: &Path, path: &Path, data: &[u8]) -> Result<()> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let staging = tmp_dir.join(format!("w{}-{seq}.tmp", std::process::id()));
+    {
+        let mut f = fs::File::create(&staging)?;
+        f.write_all(data)?;
+        f.sync_all()?;
+    }
+    match fs::rename(&staging, path) {
+        Ok(()) => {}
+        Err(e) => {
+            let _ = fs::remove_file(&staging);
+            return Err(e.into());
+        }
+    }
+    // Durability of the *name*: fsync the containing directory. Best
+    // effort — some filesystems refuse directory fsync.
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+impl Cas {
+    /// Open (or create) a store rooted at `dir`.
+    ///
+    /// Creation writes the `format` version file; reopening verifies
+    /// it. Stray staging files from a crashed writer are removed, the
+    /// blob census is taken, and every root pin record is loaded into
+    /// the in-memory refcount index.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Cas> {
+        let root = dir.as_ref().to_path_buf();
+        fs::create_dir_all(root.join("blobs/sha256"))?;
+        fs::create_dir_all(root.join("tmp"))?;
+        fs::create_dir_all(root.join("roots"))?;
+        fs::create_dir_all(root.join("layers"))?;
+
+        let inner = CasInner {
+            root,
+            state: Mutex::new(CasState::default()),
+        };
+        let cas = Cas {
+            inner: Arc::new(inner),
+        };
+
+        // Version handshake.
+        let format_path = cas.inner.root.join("format");
+        match fs::read_to_string(&format_path) {
+            Ok(found) if found == FORMAT => {}
+            Ok(found) => {
+                return Err(StoreError::corrupt(format!(
+                    "store format mismatch: found {:?}, this build speaks {:?}",
+                    found.trim_end(),
+                    FORMAT.trim_end()
+                )));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                atomic_write(&cas.inner.root.join("tmp"), &format_path, FORMAT.as_bytes())?;
+            }
+            Err(e) => return Err(e.into()),
+        }
+
+        let mut state = cas.lock();
+        // Crash recovery: a staging file that never got renamed is
+        // garbage *if its writer is gone*. Staging names carry the
+        // writer's pid; a pid still alive (same process opening a
+        // second handle, or a sibling process mid-put) keeps its
+        // files — deleting them would tear a concurrent write.
+        for entry in fs::read_dir(cas.inner.root.join("tmp"))?.flatten() {
+            if staging_writer_alive(&entry.file_name().to_string_lossy()) {
+                continue;
+            }
+            if fs::remove_file(entry.path()).is_ok() {
+                state.stats.recovered_tmp += 1;
+            }
+        }
+        // Blob census.
+        for entry in fs::read_dir(cas.inner.root.join("blobs/sha256"))?.flatten() {
+            if let Ok(meta) = entry.metadata() {
+                if meta.is_file() {
+                    state.stats.blobs += 1;
+                    state.stats.bytes += meta.len();
+                    state
+                        .known
+                        .insert(entry.file_name().to_string_lossy().into_owned());
+                }
+            }
+        }
+        // Refcount index from the pin records. A pin that does not
+        // parse must not brick the store: it is quarantined (removed)
+        // so its layer reads as a miss, re-executes, and re-pins —
+        // the same healing path a corrupt layer record takes. (Pins
+        // are written atomically, so this only happens under real
+        // on-disk corruption, not a crash.)
+        for entry in fs::read_dir(cas.inner.root.join("roots"))?.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let bytes = match fs::read(entry.path()) {
+                Ok(bytes) => bytes,
+                // A sibling process unpinned (or quarantined) this
+                // root between our read_dir and read: skip it, the
+                // same outcome as iterating a moment later.
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e.into()),
+            };
+            match decode_root(&bytes) {
+                Ok(digests) => {
+                    for d in &digests {
+                        *state.refs.entry(d.clone()).or_insert(0) += 1;
+                    }
+                    state.roots.insert(name, digests);
+                }
+                Err(_) => {
+                    let _ = fs::remove_file(entry.path());
+                    // A layer record whose pin is gone would lose its
+                    // blobs to the next gc anyway; drop it now so the
+                    // miss is immediate instead of a later fetch error.
+                    let _ = fs::remove_file(cas.inner.root.join("layers").join(&name));
+                    state.stats.corrupt_roots += 1;
+                }
+            }
+        }
+        drop(state);
+        Ok(cas)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CasState> {
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The store's root directory.
+    pub fn root_dir(&self) -> &Path {
+        &self.inner.root
+    }
+
+    fn blob_path(&self, digest: &str) -> PathBuf {
+        self.inner.root.join("blobs/sha256").join(digest)
+    }
+
+    /// The `layers/` directory (record space for `DiskLayers`).
+    pub(crate) fn layers_dir(&self) -> PathBuf {
+        self.inner.root.join("layers")
+    }
+
+    /// Atomic write into the store tree (staging + rename), for record
+    /// files that are not content-addressed (pins, layer records).
+    pub(crate) fn write_record(&self, path: &Path, data: &[u8]) -> Result<()> {
+        atomic_write(&self.inner.root.join("tmp"), path, data)
+    }
+
+    /// Store `data`, returning its digest. Idempotent: existing content
+    /// is not rewritten (and counts as a dedup skip).
+    pub fn put(&self, data: &[u8]) -> Result<String> {
+        let digest = hex(&Sha256::digest(data));
+        self.put_as(&digest, data)?;
+        Ok(digest)
+    }
+
+    /// Store an already-digested [`Blob`] (the memoized SHA-256 means
+    /// no re-hash).
+    pub fn put_blob(&self, blob: &Arc<Blob>) -> Result<String> {
+        let digest = blob.sha_hex();
+        self.put_as(&digest, blob.data())?;
+        Ok(digest)
+    }
+
+    fn put_as(&self, digest: &str, data: &[u8]) -> Result<()> {
+        debug_assert!(valid_digest(digest));
+        // Known-digest fast path: the per-instruction persist of a
+        // mostly-unchanged tree must not stat every unchanged blob.
+        {
+            let mut state = self.lock();
+            if state.known.contains(digest) {
+                state.stats.dedup_skips += 1;
+                return Ok(());
+            }
+        }
+        let path = self.blob_path(digest);
+        if path.exists() {
+            let mut state = self.lock();
+            state.known.insert(digest.to_string());
+            state.stats.dedup_skips += 1;
+            return Ok(());
+        }
+        self.write_record(&path, data)?;
+        let mut state = self.lock();
+        state.known.insert(digest.to_string());
+        state.stats.writes += 1;
+        state.stats.written_bytes += data.len() as u64;
+        state.stats.blobs += 1;
+        state.stats.bytes += data.len() as u64;
+        Ok(())
+    }
+
+    /// Is the digest present?
+    pub fn contains(&self, digest: &str) -> bool {
+        valid_digest(digest) && self.blob_path(digest).exists()
+    }
+
+    /// Read a blob back, verifying its content against its name —
+    /// silent corruption reads as [`StoreError::Corrupt`], never as
+    /// wrong bytes.
+    pub fn get(&self, digest: &str) -> Result<Vec<u8>> {
+        if !valid_digest(digest) {
+            return Err(StoreError::corrupt(format!("bad digest {digest:?}")));
+        }
+        let data = fs::read(self.blob_path(digest))?;
+        if hex(&Sha256::digest(&data)) != digest {
+            return Err(StoreError::corrupt(format!(
+                "blob {digest} fails verification"
+            )));
+        }
+        let mut state = self.lock();
+        state.stats.reads += 1;
+        state.stats.read_bytes += data.len() as u64;
+        Ok(data)
+    }
+
+    /// Read a blob back as a shared [`Blob`] whose digest memo arrives
+    /// warm — a reloaded filesystem re-digests no payload bytes.
+    pub fn get_blob(&self, digest: &str) -> Result<Arc<Blob>> {
+        if !valid_digest(digest) {
+            return Err(StoreError::corrupt(format!("bad digest {digest:?}")));
+        }
+        let data = fs::read(self.blob_path(digest))?;
+        let mut sha = [0u8; 32];
+        for (i, chunk) in digest.as_bytes().chunks(2).enumerate() {
+            let s = std::str::from_utf8(chunk).expect("hex");
+            sha[i] = u8::from_str_radix(s, 16).expect("hex");
+        }
+        let len = data.len() as u64;
+        let blob = Blob::with_sha(data, sha)
+            .ok_or_else(|| StoreError::corrupt(format!("blob {digest} fails verification")))?;
+        let mut state = self.lock();
+        state.stats.reads += 1;
+        state.stats.read_bytes += len;
+        Ok(blob)
+    }
+
+    /// Pin `digests` under a named root: they survive [`gc`](Self::gc)
+    /// until the root is re-pinned without them or unpinned. Re-pinning
+    /// a name replaces its digest set atomically.
+    pub fn pin(&self, name: &str, digests: &[String]) -> Result<()> {
+        if !valid_name(name) {
+            return Err(StoreError::corrupt(format!("bad root name {name:?}")));
+        }
+        for d in digests {
+            if !valid_digest(d) {
+                return Err(StoreError::corrupt(format!("bad digest {d:?}")));
+            }
+        }
+        let mut enc = Enc::new(ROOTS_MAGIC);
+        enc.u64(digests.len() as u64);
+        for d in digests {
+            enc.str(d);
+        }
+        self.write_record(&self.inner.root.join("roots").join(name), &enc.finish())?;
+        let mut state = self.lock();
+        if let Some(old) = state.roots.remove(name) {
+            for d in &old {
+                release_ref(&mut state.refs, d);
+            }
+        }
+        for d in digests {
+            *state.refs.entry(d.clone()).or_insert(0) += 1;
+        }
+        state.roots.insert(name.to_string(), digests.to_vec());
+        Ok(())
+    }
+
+    /// Remove a named root; its blobs become collectable unless another
+    /// root pins them. Returns whether the root existed.
+    pub fn unpin(&self, name: &str) -> Result<bool> {
+        if !valid_name(name) {
+            return Err(StoreError::corrupt(format!("bad root name {name:?}")));
+        }
+        let existed = match fs::remove_file(self.inner.root.join("roots").join(name)) {
+            Ok(()) => true,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => false,
+            Err(e) => return Err(e.into()),
+        };
+        let mut state = self.lock();
+        if let Some(old) = state.roots.remove(name) {
+            for d in &old {
+                release_ref(&mut state.refs, d);
+            }
+        }
+        Ok(existed)
+    }
+
+    /// The named roots, sorted.
+    pub fn roots(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.lock().roots.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// How many roots pin this digest (0 = collectable).
+    pub fn refcount(&self, digest: &str) -> u64 {
+        self.lock().refs.get(digest).copied().unwrap_or(0)
+    }
+
+    /// Remove every blob no root references. Safe against concurrent
+    /// writers in the common flows (a writer pins *after* putting; gc
+    /// may collect a blob whose pin lost the race — the writer's next
+    /// put restores it, content addressing makes that loss-free but
+    /// wasteful, so run gc quiesced when it matters).
+    pub fn gc(&self) -> Result<GcReport> {
+        let mut report = GcReport::default();
+        // Re-read pins from disk so a sibling process's roots count.
+        // An unparseable pin aborts the collection: deleting blobs on
+        // partial pin knowledge could free content a healthy root
+        // still references. (Open quarantines corrupt pins, so this
+        // only trips on corruption that arrived after open.)
+        let mut live: HashMap<String, u64> = HashMap::new();
+        for entry in fs::read_dir(self.inner.root.join("roots"))?.flatten() {
+            let bytes = match fs::read(entry.path()) {
+                Ok(bytes) => bytes,
+                // Unpinned by a sibling between read_dir and read —
+                // same as not having seen it at all.
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e.into()),
+            };
+            let digests = decode_root(&bytes).map_err(|e| {
+                StoreError::corrupt(format!(
+                    "gc: root {} does not parse ({e}); reopen the store to quarantine it",
+                    entry.file_name().to_string_lossy()
+                ))
+            })?;
+            for d in digests {
+                *live.entry(d).or_insert(0) += 1;
+            }
+        }
+        let mut survivors = std::collections::HashSet::new();
+        for entry in fs::read_dir(self.inner.root.join("blobs/sha256"))?.flatten() {
+            report.scanned += 1;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if live.contains_key(&name) {
+                report.live += 1;
+                survivors.insert(name);
+                continue;
+            }
+            let len = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            if fs::remove_file(entry.path()).is_ok() {
+                report.removed += 1;
+                report.freed_bytes += len;
+            }
+        }
+        let mut state = self.lock();
+        state.refs = live;
+        // The known-digest fast path must forget collected blobs, or a
+        // later put of the same content would be skipped unwritten.
+        state.known = survivors;
+        state.stats.blobs = report.live;
+        state.stats.bytes = state.stats.bytes.saturating_sub(report.freed_bytes);
+        Ok(report)
+    }
+
+    /// Usage counters.
+    pub fn stats(&self) -> CasStats {
+        self.lock().stats
+    }
+}
+
+/// Is the process that staged this file still alive? Staging names are
+/// `w<pid>-<seq>.tmp`; our own pid is always alive, other pids are
+/// checked via `/proc` (on a platform without procfs every foreign
+/// writer looks dead, which only re-tears writes that were already
+/// racing a crash-recovery open).
+fn staging_writer_alive(name: &str) -> bool {
+    let pid = name
+        .strip_prefix('w')
+        .and_then(|rest| rest.split('-').next())
+        .and_then(|pid| pid.parse::<u32>().ok());
+    match pid {
+        Some(pid) if pid == std::process::id() => true,
+        Some(pid) => Path::new("/proc").join(pid.to_string()).exists(),
+        None => false,
+    }
+}
+
+fn release_ref(refs: &mut HashMap<String, u64>, digest: &str) {
+    if let Some(count) = refs.get_mut(digest) {
+        *count -= 1;
+        if *count == 0 {
+            refs.remove(digest);
+        }
+    }
+}
+
+fn decode_root(bytes: &[u8]) -> Result<Vec<String>> {
+    let mut dec = Dec::new(bytes, ROOTS_MAGIC)?;
+    let count = dec.u64()?;
+    let mut digests = Vec::new();
+    for _ in 0..count {
+        let d = dec.str()?;
+        if !valid_digest(&d) {
+            return Err(StoreError::corrupt(format!("bad pinned digest {d:?}")));
+        }
+        digests.push(d);
+    }
+    dec.done()?;
+    Ok(digests)
+}

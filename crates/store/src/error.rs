@@ -1,0 +1,48 @@
+//! The store's error type: real I/O failures versus content that does
+//! not parse or verify.
+
+use std::fmt;
+
+/// What can go wrong talking to a persistent store or an OCI layout.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The operating system said no.
+    Io(std::io::Error),
+    /// Bytes were readable but wrong: bad magic, truncated record,
+    /// digest mismatch, malformed JSON/tar. The message says where.
+    Corrupt(String),
+}
+
+impl StoreError {
+    /// Shorthand for a corruption error.
+    pub fn corrupt(message: impl Into<String>) -> StoreError {
+        StoreError::Corrupt(message.into())
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Corrupt(m) => write!(f, "corrupt store data: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+/// The crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,338 @@
+//! The durable tier behind `zr_image::LayerStore` — what `--cache-dir`
+//! opens.
+//!
+//! Each cached layer becomes one record under `layers/<cache key>`:
+//! the replayable builder state (resolved ARGs, stage metadata, ENV,
+//! SHELL, cwd) plus the digest of its filesystem tree record. Tree
+//! records and file payloads are ordinary [`Cas`] blobs — layers that
+//! share snapshots share bytes on disk exactly as they do in memory —
+//! and every layer pins its blobs under a root named by its key, so
+//! `store gc` never collects a reachable layer.
+//!
+//! Persistence failures are absorbed (a full disk must not fail a
+//! build) but counted and kept: [`DiskLayers::error_count`] /
+//! [`DiskLayers::last_error`] surface them to the CLI.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use zr_image::{CacheKey, Layer, LayerPersistence, LayerState, LayerStore, StageSnapshot};
+
+use crate::cas::Cas;
+use crate::codec::{Dec, Enc};
+use crate::error::{Result, StoreError};
+use crate::meta::{decode_meta, encode_meta};
+use crate::tree::{decode_tree, encode_tree};
+
+const LAYER_MAGIC: &str = "zr-layer-rec-v1";
+
+/// Counters for one [`DiskLayers`] handle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskLayerStats {
+    /// Layers written by this handle.
+    pub persisted: u64,
+    /// Layers loaded by this handle.
+    pub loaded: u64,
+    /// Persist/load operations that failed (absorbed, not raised).
+    pub errors: u64,
+}
+
+/// The on-disk layer tier. Implements [`LayerPersistence`], so attach
+/// it to a [`LayerStore`] (or use [`open_layer_store`]) and every
+/// insert is written through, every miss consults disk.
+#[derive(Debug)]
+pub struct DiskLayers {
+    cas: Cas,
+    persisted: AtomicU64,
+    loaded: AtomicU64,
+    errors: AtomicU64,
+    last_error: Mutex<Option<String>>,
+}
+
+impl DiskLayers {
+    /// The layer tier of an open store.
+    pub fn new(cas: Cas) -> DiskLayers {
+        DiskLayers {
+            cas,
+            persisted: AtomicU64::new(0),
+            loaded: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            last_error: Mutex::new(None),
+        }
+    }
+
+    /// The underlying content-addressed store.
+    pub fn cas(&self) -> &Cas {
+        &self.cas
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> DiskLayerStats {
+        DiskLayerStats {
+            persisted: self.persisted.load(Ordering::Relaxed),
+            loaded: self.loaded.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Operations that failed since open.
+    pub fn error_count(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// The most recent absorbed error, if any.
+    pub fn last_error(&self) -> Option<String> {
+        self.last_error
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    fn note_error(&self, context: &str, e: &StoreError) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+        *self
+            .last_error
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(format!("{context}: {e}"));
+    }
+
+    /// Durably remove one layer: its record and its pin (blobs become
+    /// collectable unless another layer shares them).
+    pub fn remove(&self, key: &CacheKey) -> Result<bool> {
+        let path = self.cas.layers_dir().join(key.as_hex());
+        let existed = match std::fs::remove_file(path) {
+            Ok(()) => true,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => false,
+            Err(e) => return Err(e.into()),
+        };
+        self.cas.unpin(key.as_hex())?;
+        Ok(existed)
+    }
+
+    fn persist_inner(&self, layer: &Layer) -> Result<()> {
+        let mut digests: Vec<String> = Vec::new();
+        let record = encode_tree(&layer.fs, |blob| {
+            let digest = self.cas.put_blob(blob)?;
+            digests.push(digest.clone());
+            Ok(digest)
+        })?;
+        let tree_digest = self.cas.put(&record)?;
+        digests.push(tree_digest.clone());
+        digests.sort();
+        digests.dedup();
+
+        let mut enc = Enc::new(LAYER_MAGIC);
+        enc.str(layer.id.as_hex());
+        match &layer.parent {
+            Some(parent) => {
+                enc.u8(1);
+                enc.str(parent.as_hex());
+            }
+            None => {
+                enc.u8(0);
+            }
+        }
+        enc.u64(layer.state.args.len() as u64);
+        for (k, v) in &layer.state.args {
+            enc.str(k);
+            enc.str(v);
+        }
+        match &layer.state.stage {
+            Some(stage) => {
+                enc.u8(1);
+                encode_meta(&mut enc, &stage.meta);
+                enc.u64(stage.env.len() as u64);
+                for (k, v) in &stage.env {
+                    enc.str(k);
+                    enc.str(v);
+                }
+                enc.u64(stage.shell.len() as u64);
+                for s in &stage.shell {
+                    enc.str(s);
+                }
+                enc.str(&stage.cwd);
+            }
+            None => {
+                enc.u8(0);
+            }
+        }
+        enc.str(&tree_digest);
+
+        // Pin before the record lands: a record must never name blobs
+        // gc could be collecting concurrently.
+        self.cas.pin(layer.id.as_hex(), &digests)?;
+        self.cas.write_record(
+            &self.cas.layers_dir().join(layer.id.as_hex()),
+            &enc.finish(),
+        )
+    }
+
+    /// Read and decode one layer record — everything but the
+    /// filesystem, which lives behind `tree_digest` in the CAS.
+    fn read_record(&self, key: &CacheKey) -> Result<Option<RecordParts>> {
+        let path = self.cas.layers_dir().join(key.as_hex());
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let mut dec = Dec::new(&bytes, LAYER_MAGIC)?;
+        let id_hex = dec.str()?;
+        let id = CacheKey::from_hex(&id_hex)
+            .ok_or_else(|| StoreError::corrupt(format!("bad layer key {id_hex:?}")))?;
+        if &id != key {
+            return Err(StoreError::corrupt(format!(
+                "layer record {} claims key {}",
+                key.as_hex(),
+                id_hex
+            )));
+        }
+        let parent = match dec.u8()? {
+            0 => None,
+            1 => {
+                let hex = dec.str()?;
+                Some(
+                    CacheKey::from_hex(&hex)
+                        .ok_or_else(|| StoreError::corrupt(format!("bad parent key {hex:?}")))?,
+                )
+            }
+            other => {
+                return Err(StoreError::corrupt(format!("bad parent tag {other}")));
+            }
+        };
+        let arg_count = dec.u64()?;
+        let mut args = Vec::new();
+        for _ in 0..arg_count {
+            let k = dec.str()?;
+            let v = dec.str()?;
+            args.push((k, v));
+        }
+        let stage = match dec.u8()? {
+            0 => None,
+            1 => {
+                let meta = decode_meta(&mut dec)?;
+                let env_count = dec.u64()?;
+                let mut env = Vec::new();
+                for _ in 0..env_count {
+                    let k = dec.str()?;
+                    let v = dec.str()?;
+                    env.push((k, v));
+                }
+                let shell_count = dec.u64()?;
+                let mut shell = Vec::new();
+                for _ in 0..shell_count {
+                    shell.push(dec.str()?);
+                }
+                let cwd = dec.str()?;
+                Some(StageSnapshot {
+                    meta,
+                    env,
+                    shell,
+                    cwd,
+                })
+            }
+            other => {
+                return Err(StoreError::corrupt(format!("bad stage tag {other}")));
+            }
+        };
+        let tree_digest = dec.str()?;
+        dec.done()?;
+        Ok(Some(RecordParts {
+            parent,
+            state: LayerState { args, stage },
+            tree_digest,
+        }))
+    }
+
+    fn load_inner(&self, key: &CacheKey) -> Result<Option<Layer>> {
+        let Some(parts) = self.read_record(key)? else {
+            return Ok(None);
+        };
+        let record = self.cas.get(&parts.tree_digest)?;
+        let fs = decode_tree(&record, |digest| self.cas.get_blob(digest))?;
+        Ok(Some(Layer {
+            id: key.clone(),
+            parent: parts.parent,
+            fs,
+            state: parts.state,
+        }))
+    }
+}
+
+/// A decoded layer record, filesystem not yet materialized.
+struct RecordParts {
+    parent: Option<CacheKey>,
+    state: LayerState,
+    tree_digest: String,
+}
+
+impl LayerPersistence for DiskLayers {
+    fn persist(&self, layer: &Layer) {
+        match self.persist_inner(layer) {
+            Ok(()) => {
+                self.persisted.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => self.note_error(&format!("persist {}", layer.id.short()), &e),
+        }
+    }
+
+    fn load(&self, key: &CacheKey) -> Option<Layer> {
+        match self.load_inner(key) {
+            Ok(Some(layer)) => {
+                self.loaded.fetch_add(1, Ordering::Relaxed);
+                Some(layer)
+            }
+            Ok(None) => None,
+            Err(e) => {
+                // Corruption reads as a miss: the build re-executes and
+                // re-persists, healing the record.
+                self.note_error(&format!("load {}", key.short()), &e);
+                None
+            }
+        }
+    }
+
+    fn load_state(&self, key: &CacheKey) -> Option<zr_image::LayerState> {
+        // The chain-walk fast path: record only, no tree fetch, no
+        // payload blobs — a cold-open replay reads O(state) per
+        // prefix layer and materializes one filesystem at the end.
+        match self.read_record(key) {
+            Ok(Some(parts)) => Some(parts.state),
+            Ok(None) => None,
+            Err(e) => {
+                self.note_error(&format!("load {}", key.short()), &e);
+                None
+            }
+        }
+    }
+
+    fn has(&self, key: &CacheKey) -> bool {
+        self.cas.layers_dir().join(key.as_hex()).exists()
+    }
+
+    fn keys(&self) -> Vec<CacheKey> {
+        let mut keys: Vec<CacheKey> = std::fs::read_dir(self.cas.layers_dir())
+            .map(|entries| {
+                entries
+                    .flatten()
+                    .filter_map(|e| CacheKey::from_hex(&e.file_name().to_string_lossy()))
+                    .collect()
+            })
+            .unwrap_or_default();
+        keys.sort();
+        keys
+    }
+}
+
+/// Open (or create) a persistent layer store at `dir`: a fresh
+/// in-memory [`LayerStore`] attached to the directory's durable tier.
+/// This is the `--cache-dir` entry point — a second process opening
+/// the same directory replays the first one's layers.
+pub fn open_layer_store(dir: impl AsRef<Path>) -> Result<(LayerStore, Arc<DiskLayers>)> {
+    let cas = Cas::open(dir)?;
+    let disk = Arc::new(DiskLayers::new(cas));
+    let store = LayerStore::new();
+    store.set_persistence(disk.clone());
+    Ok((store, disk))
+}

@@ -1,0 +1,216 @@
+//! Durable encoding of [`ImageMeta`] — shared by layer records (binary
+//! codec) and the OCI config JSON (string tags).
+//!
+//! Every enum crosses the disk boundary as a stable string tag, matched
+//! exhaustively in both directions: adding a variant without a tag is a
+//! compile error here, not a silent corruption three PRs later.
+
+use zr_image::{BinKind, BinarySpec, Distro, ImageMeta, Linkage};
+
+use crate::codec::{Dec, Enc};
+use crate::error::{Result, StoreError};
+
+/// Distro → stable tag.
+pub fn distro_tag(d: Distro) -> &'static str {
+    match d {
+        Distro::Alpine => "alpine",
+        Distro::Centos => "centos",
+        Distro::Debian => "debian",
+        Distro::Fedora => "fedora",
+        Distro::Scratch => "scratch",
+    }
+}
+
+/// Tag → distro.
+pub fn parse_distro(tag: &str) -> Result<Distro> {
+    Ok(match tag {
+        "alpine" => Distro::Alpine,
+        "centos" => Distro::Centos,
+        "debian" => Distro::Debian,
+        "fedora" => Distro::Fedora,
+        "scratch" => Distro::Scratch,
+        other => return Err(StoreError::corrupt(format!("unknown distro tag {other:?}"))),
+    })
+}
+
+/// BinKind → stable tag.
+pub fn binkind_tag(k: BinKind) -> &'static str {
+    match k {
+        BinKind::Shell => "shell",
+        BinKind::Busybox => "busybox",
+        BinKind::Apk => "apk",
+        BinKind::Rpm => "rpm",
+        BinKind::Yum => "yum",
+        BinKind::Dnf => "dnf",
+        BinKind::Dpkg => "dpkg",
+        BinKind::Apt => "apt",
+        BinKind::AptGet => "apt-get",
+        BinKind::Fakeroot => "fakeroot",
+        BinKind::Unminimize => "unminimize",
+        BinKind::True => "true",
+        BinKind::Id => "id",
+        BinKind::ChownTool => "chown",
+        BinKind::MknodTool => "mknod",
+        BinKind::Sl => "sl",
+    }
+}
+
+/// Tag → BinKind.
+pub fn parse_binkind(tag: &str) -> Result<BinKind> {
+    Ok(match tag {
+        "shell" => BinKind::Shell,
+        "busybox" => BinKind::Busybox,
+        "apk" => BinKind::Apk,
+        "rpm" => BinKind::Rpm,
+        "yum" => BinKind::Yum,
+        "dnf" => BinKind::Dnf,
+        "dpkg" => BinKind::Dpkg,
+        "apt" => BinKind::Apt,
+        "apt-get" => BinKind::AptGet,
+        "fakeroot" => BinKind::Fakeroot,
+        "unminimize" => BinKind::Unminimize,
+        "true" => BinKind::True,
+        "id" => BinKind::Id,
+        "chown" => BinKind::ChownTool,
+        "mknod" => BinKind::MknodTool,
+        "sl" => BinKind::Sl,
+        other => return Err(StoreError::corrupt(format!("unknown binary tag {other:?}"))),
+    })
+}
+
+/// Linkage → stable tag.
+pub fn linkage_tag(l: Linkage) -> &'static str {
+    match l {
+        Linkage::Dynamic => "dynamic",
+        Linkage::Static => "static",
+    }
+}
+
+/// Tag → linkage.
+pub fn parse_linkage(tag: &str) -> Result<Linkage> {
+    Ok(match tag {
+        "dynamic" => Linkage::Dynamic,
+        "static" => Linkage::Static,
+        other => {
+            return Err(StoreError::corrupt(format!(
+                "unknown linkage tag {other:?}"
+            )))
+        }
+    })
+}
+
+/// Append an [`ImageMeta`] to a record.
+pub fn encode_meta(enc: &mut Enc, meta: &ImageMeta) {
+    enc.str(&meta.name);
+    enc.str(&meta.tag);
+    enc.str(distro_tag(meta.distro));
+    enc.str(&meta.libc);
+    enc.u64(meta.env.len() as u64);
+    for (k, v) in &meta.env {
+        enc.str(k);
+        enc.str(v);
+    }
+    enc.u64(meta.binaries.len() as u64);
+    for b in &meta.binaries {
+        enc.str(&b.path);
+        enc.str(binkind_tag(b.kind));
+        enc.str(linkage_tag(b.linkage));
+    }
+}
+
+/// Read an [`ImageMeta`] back.
+pub fn decode_meta(dec: &mut Dec<'_>) -> Result<ImageMeta> {
+    let name = dec.str()?;
+    let tag = dec.str()?;
+    let distro = parse_distro(&dec.str()?)?;
+    let libc = dec.str()?;
+    let env_count = dec.u64()?;
+    let mut env = Vec::new();
+    for _ in 0..env_count {
+        let k = dec.str()?;
+        let v = dec.str()?;
+        env.push((k, v));
+    }
+    let bin_count = dec.u64()?;
+    let mut binaries = Vec::new();
+    for _ in 0..bin_count {
+        let path = dec.str()?;
+        let kind = parse_binkind(&dec.str()?)?;
+        let linkage = parse_linkage(&dec.str()?)?;
+        binaries.push(BinarySpec {
+            path,
+            kind,
+            linkage,
+        });
+    }
+    Ok(ImageMeta {
+        name,
+        tag,
+        distro,
+        libc,
+        env,
+        binaries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_roundtrips() {
+        let meta = ImageMeta {
+            name: "alpine".into(),
+            tag: "3.19".into(),
+            distro: Distro::Alpine,
+            libc: "musl-1.2".into(),
+            env: vec![("PATH".into(), "/bin".into()), ("A".into(), "b=c".into())],
+            binaries: vec![
+                BinarySpec::new("/bin/sh", BinKind::Shell, Linkage::Dynamic),
+                BinarySpec::new("/bin/busybox", BinKind::Busybox, Linkage::Static),
+                BinarySpec::new("/usr/bin/apt-get", BinKind::AptGet, Linkage::Dynamic),
+            ],
+        };
+        let mut enc = Enc::new("t");
+        encode_meta(&mut enc, &meta);
+        let buf = enc.finish();
+        let mut dec = Dec::new(&buf, "t").unwrap();
+        let back = decode_meta(&mut dec).unwrap();
+        dec.done().unwrap();
+        assert_eq!(back, meta);
+    }
+
+    #[test]
+    fn every_tag_parses_back() {
+        for kind in [
+            BinKind::Shell,
+            BinKind::Busybox,
+            BinKind::Apk,
+            BinKind::Rpm,
+            BinKind::Yum,
+            BinKind::Dnf,
+            BinKind::Dpkg,
+            BinKind::Apt,
+            BinKind::AptGet,
+            BinKind::Fakeroot,
+            BinKind::Unminimize,
+            BinKind::True,
+            BinKind::Id,
+            BinKind::ChownTool,
+            BinKind::MknodTool,
+            BinKind::Sl,
+        ] {
+            assert_eq!(parse_binkind(binkind_tag(kind)).unwrap(), kind);
+        }
+        for distro in [
+            Distro::Alpine,
+            Distro::Centos,
+            Distro::Debian,
+            Distro::Fedora,
+            Distro::Scratch,
+        ] {
+            assert_eq!(parse_distro(distro_tag(distro)).unwrap(), distro);
+        }
+        assert!(parse_binkind("nope").is_err());
+    }
+}

@@ -1,0 +1,382 @@
+//! Deterministic OCI image layout export/import.
+//!
+//! [`export`] serializes a built [`Image`] into an [OCI image layout]:
+//! `oci-layout`, `index.json`, and content-addressed blobs for the
+//! manifest, the config, and one canonical layer tar (sorted entries,
+//! zeroed timestamps, numeric owners). [`export_diff`] emits two
+//! layers — the base tree plus an overlay diff with `.wh.` whiteouts —
+//! exercising the layered path end to end. Export is byte-reproducible:
+//! the same image always produces the same layout, so layout digests
+//! are identities, not artifacts of the packer run.
+//!
+//! [`import`] walks the layout back (index → manifest → config +
+//! layers, every blob re-verified against its digest), stacks the
+//! layers with whiteout handling, and rebuilds the *exact* `Image` —
+//! `Image::digest` is byte-identical across an export/import round
+//! trip, which is what the `O-oci` paper-report gate pins.
+//!
+//! JSON field order is fixed by the writer (canonical), and the image
+//! metadata the simulator needs beyond OCI's schema rides in a
+//! `zeroroot` extension object inside the config.
+//!
+//! [OCI image layout]: https://github.com/opencontainers/image-spec
+
+use std::path::Path;
+
+use zr_digest::{hex, Sha256};
+use zr_image::{BinarySpec, Distro, Image, ImageMeta};
+use zr_vfs::fs::Fs;
+
+use crate::cas::atomic_write;
+use crate::error::{Result, StoreError};
+use crate::json::{escape, Json};
+use crate::meta::{
+    binkind_tag, distro_tag, linkage_tag, parse_binkind, parse_distro, parse_linkage,
+};
+use crate::tar::{apply_tar, diff_to_tar, tree_to_tar};
+
+const MEDIA_MANIFEST: &str = "application/vnd.oci.image.manifest.v1+json";
+const MEDIA_CONFIG: &str = "application/vnd.oci.image.config.v1+json";
+const MEDIA_LAYER: &str = "application/vnd.oci.image.layer.v1.tar";
+const REF_ANNOTATION: &str = "org.opencontainers.image.ref.name";
+
+/// What an export produced / an inspect found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OciSummary {
+    /// The `org.opencontainers.image.ref.name` annotation ("name:tag").
+    pub ref_name: String,
+    /// Manifest blob digest (bare hex).
+    pub manifest_digest: String,
+    /// Config blob digest (bare hex).
+    pub config_digest: String,
+    /// Layer blob digests in application order (bare hex).
+    pub layer_digests: Vec<String>,
+    /// Layer sizes in bytes, same order.
+    pub layer_sizes: Vec<u64>,
+}
+
+impl std::fmt::Display for OciSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "ref:      {}", self.ref_name)?;
+        writeln!(f, "manifest: sha256:{}", self.manifest_digest)?;
+        writeln!(f, "config:   sha256:{}", self.config_digest)?;
+        for (d, s) in self.layer_digests.iter().zip(&self.layer_sizes) {
+            writeln!(f, "layer:    sha256:{d} ({s} bytes)")?;
+        }
+        Ok(())
+    }
+}
+
+struct LayoutWriter<'a> {
+    dir: &'a Path,
+}
+
+impl<'a> LayoutWriter<'a> {
+    fn new(dir: &'a Path) -> Result<LayoutWriter<'a>> {
+        std::fs::create_dir_all(dir.join("blobs/sha256"))?;
+        std::fs::create_dir_all(dir.join(".staging"))?;
+        Ok(LayoutWriter { dir })
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> Result<()> {
+        atomic_write(&self.dir.join(".staging"), path, data)
+    }
+
+    fn put_blob(&self, data: &[u8]) -> Result<String> {
+        let digest = hex(&Sha256::digest(data));
+        let path = self.dir.join("blobs/sha256").join(&digest);
+        if !path.exists() {
+            self.write(&path, data)?;
+        }
+        Ok(digest)
+    }
+
+    fn finish(self) {
+        let _ = std::fs::remove_dir_all(self.dir.join(".staging"));
+    }
+}
+
+/// The canonical config JSON (fixed field order; the `zeroroot` object
+/// carries the metadata OCI's schema has no home for).
+fn config_json(meta: &ImageMeta, diff_ids: &[String]) -> String {
+    let env_strings: Vec<String> = meta
+        .env
+        .iter()
+        .map(|(k, v)| format!("\"{}\"", escape(&format!("{k}={v}"))))
+        .collect();
+    let diff_list: Vec<String> = diff_ids.iter().map(|d| format!("\"sha256:{d}\"")).collect();
+    let env_pairs: Vec<String> = meta
+        .env
+        .iter()
+        .map(|(k, v)| format!("[\"{}\",\"{}\"]", escape(k), escape(v)))
+        .collect();
+    let binaries: Vec<String> = meta
+        .binaries
+        .iter()
+        .map(|b| {
+            format!(
+                "{{\"kind\":\"{}\",\"linkage\":\"{}\",\"path\":\"{}\"}}",
+                binkind_tag(b.kind),
+                linkage_tag(b.linkage),
+                escape(&b.path)
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\"architecture\":\"amd64\",",
+            "\"config\":{{\"Env\":[{env}]}},",
+            "\"created\":\"1970-01-01T00:00:00Z\",",
+            "\"history\":[{{\"created\":\"1970-01-01T00:00:00Z\",\"created_by\":\"zr export\"}}],",
+            "\"os\":\"linux\",",
+            "\"rootfs\":{{\"diff_ids\":[{diffs}],\"type\":\"layers\"}},",
+            "\"zeroroot\":{{\"binaries\":[{bins}],\"distro\":\"{distro}\",",
+            "\"env\":[{pairs}],\"libc\":\"{libc}\",\"name\":\"{name}\",\"tag\":\"{tag}\"}}}}"
+        ),
+        env = env_strings.join(","),
+        diffs = diff_list.join(","),
+        bins = binaries.join(","),
+        distro = distro_tag(meta.distro),
+        pairs = env_pairs.join(","),
+        libc = escape(&meta.libc),
+        name = escape(&meta.name),
+        tag = escape(&meta.tag),
+    )
+}
+
+fn descriptor(media: &str, digest: &str, size: usize) -> String {
+    format!("{{\"mediaType\":\"{media}\",\"digest\":\"sha256:{digest}\",\"size\":{size}}}")
+}
+
+fn export_impl(meta: &ImageMeta, layers: Vec<Vec<u8>>, dir: &Path) -> Result<OciSummary> {
+    let writer = LayoutWriter::new(dir)?;
+    let mut layer_digests = Vec::new();
+    let mut layer_sizes = Vec::new();
+    let mut layer_descriptors = Vec::new();
+    for tar in &layers {
+        let digest = writer.put_blob(tar)?;
+        layer_descriptors.push(descriptor(MEDIA_LAYER, &digest, tar.len()));
+        layer_sizes.push(tar.len() as u64);
+        layer_digests.push(digest);
+    }
+    // Layers are uncompressed, so diff_ids coincide with layer digests.
+    let config = config_json(meta, &layer_digests);
+    let config_digest = writer.put_blob(config.as_bytes())?;
+
+    let manifest = format!(
+        "{{\"schemaVersion\":2,\"mediaType\":\"{MEDIA_MANIFEST}\",\"config\":{},\"layers\":[{}]}}",
+        descriptor(MEDIA_CONFIG, &config_digest, config.len()),
+        layer_descriptors.join(","),
+    );
+    let manifest_digest = writer.put_blob(manifest.as_bytes())?;
+
+    let ref_name = meta.reference();
+    let index = format!(
+        "{{\"schemaVersion\":2,\"manifests\":[{{\"mediaType\":\"{MEDIA_MANIFEST}\",\
+         \"digest\":\"sha256:{manifest_digest}\",\"size\":{},\
+         \"annotations\":{{\"{REF_ANNOTATION}\":\"{}\"}}}}]}}",
+        manifest.len(),
+        escape(&ref_name),
+    );
+    writer.write(&dir.join("index.json"), index.as_bytes())?;
+    writer.write(
+        &dir.join("oci-layout"),
+        b"{\"imageLayoutVersion\":\"1.0.0\"}",
+    )?;
+    writer.finish();
+    Ok(OciSummary {
+        ref_name,
+        manifest_digest,
+        config_digest,
+        layer_digests,
+        layer_sizes,
+    })
+}
+
+/// Export `image` as a single-layer OCI image layout at `dir`.
+pub fn export(image: &Image, dir: impl AsRef<Path>) -> Result<OciSummary> {
+    export_impl(&image.meta, vec![tree_to_tar(&image.fs)?], dir.as_ref())
+}
+
+/// Export `image` as *two* layers: `base`'s full tree plus the
+/// `image − base` overlay diff (whiteouts for deletions). Importing
+/// reproduces `image` exactly; the layered path is the distribution
+/// shape a registry push will use.
+pub fn export_diff(image: &Image, base: &Fs, dir: impl AsRef<Path>) -> Result<OciSummary> {
+    export_impl(
+        &image.meta,
+        vec![tree_to_tar(base)?, diff_to_tar(base, &image.fs)?],
+        dir.as_ref(),
+    )
+}
+
+/// Read and digest-verify one layout blob. The digest doubles as the
+/// file name, so it is validated *before* the path join — a crafted
+/// index.json cannot walk out of the layout directory.
+fn read_blob(dir: &Path, digest: &str) -> Result<Vec<u8>> {
+    if !crate::cas::valid_digest(digest) {
+        return Err(StoreError::corrupt(format!(
+            "layout references malformed digest {digest:?}"
+        )));
+    }
+    let data = std::fs::read(dir.join("blobs/sha256").join(digest))?;
+    if hex(&Sha256::digest(&data)) != digest {
+        return Err(StoreError::corrupt(format!(
+            "layout blob {digest} fails verification"
+        )));
+    }
+    Ok(data)
+}
+
+fn bare_digest(descriptor: &Json, what: &str) -> Result<String> {
+    let digest = descriptor
+        .get("digest")
+        .and_then(Json::as_str)
+        .and_then(|d| d.strip_prefix("sha256:"))
+        .ok_or_else(|| StoreError::corrupt(format!("{what}: missing sha256 digest")))?;
+    Ok(digest.to_string())
+}
+
+/// Parse the layout's index + manifest without touching layer content.
+fn read_manifest(dir: &Path) -> Result<(OciSummary, Json)> {
+    let index_text = std::fs::read_to_string(dir.join("index.json"))?;
+    let index = Json::parse(&index_text)?;
+    let manifests = index
+        .get("manifests")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| StoreError::corrupt("index.json: no manifests"))?;
+    let entry = manifests
+        .first()
+        .ok_or_else(|| StoreError::corrupt("index.json: empty manifest list"))?;
+    let manifest_digest = bare_digest(entry, "index manifest")?;
+    let ref_name = entry
+        .get("annotations")
+        .and_then(|a| a.get(REF_ANNOTATION))
+        .and_then(Json::as_str)
+        .unwrap_or("imported:latest")
+        .to_string();
+
+    let manifest_bytes = read_blob(dir, &manifest_digest)?;
+    let manifest = Json::parse(
+        std::str::from_utf8(&manifest_bytes)
+            .map_err(|_| StoreError::corrupt("manifest is not UTF-8"))?,
+    )?;
+    let config_digest = bare_digest(
+        manifest
+            .get("config")
+            .ok_or_else(|| StoreError::corrupt("manifest: no config"))?,
+        "config",
+    )?;
+    let layers = manifest
+        .get("layers")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| StoreError::corrupt("manifest: no layers"))?;
+    let mut layer_digests = Vec::new();
+    let mut layer_sizes = Vec::new();
+    for layer in layers {
+        layer_digests.push(bare_digest(layer, "layer")?);
+        layer_sizes.push(layer.get("size").and_then(Json::as_u64).unwrap_or(0));
+    }
+    Ok((
+        OciSummary {
+            ref_name,
+            manifest_digest,
+            config_digest,
+            layer_digests,
+            layer_sizes,
+        },
+        manifest,
+    ))
+}
+
+fn meta_from_config(config: &Json, ref_name: &str) -> Result<ImageMeta> {
+    if let Some(zr) = config.get("zeroroot") {
+        let field = |key: &str| -> Result<String> {
+            zr.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| StoreError::corrupt(format!("zeroroot config: missing {key}")))
+        };
+        let mut env = Vec::new();
+        for pair in zr.get("env").and_then(Json::as_arr).unwrap_or(&[]) {
+            match pair.as_arr() {
+                Some([k, v]) => env.push((
+                    k.as_str().unwrap_or_default().to_string(),
+                    v.as_str().unwrap_or_default().to_string(),
+                )),
+                _ => return Err(StoreError::corrupt("zeroroot config: bad env pair")),
+            }
+        }
+        let mut binaries = Vec::new();
+        for b in zr.get("binaries").and_then(Json::as_arr).unwrap_or(&[]) {
+            let get = |key: &str| -> Result<&str> {
+                b.get(key)
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| StoreError::corrupt(format!("zeroroot binary: missing {key}")))
+            };
+            binaries.push(BinarySpec {
+                path: get("path")?.to_string(),
+                kind: parse_binkind(get("kind")?)?,
+                linkage: parse_linkage(get("linkage")?)?,
+            });
+        }
+        return Ok(ImageMeta {
+            name: field("name")?,
+            tag: field("tag")?,
+            distro: parse_distro(&field("distro")?)?,
+            libc: field("libc")?,
+            env,
+            binaries,
+        });
+    }
+    // A foreign OCI image: synthesize what we can.
+    let (name, tag) = ref_name.split_once(':').unwrap_or((ref_name, "latest"));
+    let env = config
+        .get("config")
+        .and_then(|c| c.get("Env"))
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(Json::as_str)
+        .filter_map(|kv| kv.split_once('='))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    Ok(ImageMeta {
+        name: name.to_string(),
+        tag: tag.to_string(),
+        distro: Distro::Scratch,
+        libc: String::new(),
+        env,
+        binaries: Vec::new(),
+    })
+}
+
+/// Import an OCI image layout back into an [`Image`]: every blob is
+/// verified, layers stack in manifest order with whiteouts honored,
+/// and a zeroroot-exported layout reproduces a byte-identical
+/// `Image::digest`.
+pub fn import(dir: impl AsRef<Path>) -> Result<Image> {
+    let dir = dir.as_ref();
+    let (summary, _manifest) = read_manifest(dir)?;
+    let config_bytes = read_blob(dir, &summary.config_digest)?;
+    let config = Json::parse(
+        std::str::from_utf8(&config_bytes)
+            .map_err(|_| StoreError::corrupt("config is not UTF-8"))?,
+    )?;
+    let meta = meta_from_config(&config, &summary.ref_name)?;
+    let mut fs = Fs::new();
+    for digest in &summary.layer_digests {
+        let tar = read_blob(dir, digest)?;
+        apply_tar(&mut fs, &tar)?;
+    }
+    Ok(Image { meta, fs })
+}
+
+/// Summarize a layout without materializing its filesystem (manifest +
+/// config are still read and digest-verified).
+pub fn inspect(dir: impl AsRef<Path>) -> Result<OciSummary> {
+    let dir = dir.as_ref();
+    let (summary, _) = read_manifest(dir)?;
+    read_blob(dir, &summary.config_digest)?;
+    Ok(summary)
+}

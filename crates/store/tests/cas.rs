@@ -1,0 +1,191 @@
+//! CAS durability contract: atomic writes, verification on read,
+//! refcounted gc, crash-safe reopen, and two independent handles (the
+//! moral equivalent of two processes) sharing one directory.
+
+mod common;
+
+use common::Scratch;
+use std::sync::Arc;
+use zr_store::{Cas, StoreError, FORMAT};
+
+#[test]
+fn put_get_roundtrip_and_dedup() {
+    let dir = Scratch::new("roundtrip");
+    let cas = Cas::open(dir.path()).unwrap();
+    let digest = cas.put(b"hello world").unwrap();
+    assert_eq!(digest.len(), 64);
+    assert!(cas.contains(&digest));
+    assert_eq!(cas.get(&digest).unwrap(), b"hello world");
+    // Idempotent put: same content, no second write.
+    let again = cas.put(b"hello world").unwrap();
+    assert_eq!(again, digest);
+    let stats = cas.stats();
+    assert_eq!(stats.writes, 1);
+    assert_eq!(stats.dedup_skips, 1);
+    assert_eq!(stats.blobs, 1);
+}
+
+#[test]
+fn corruption_is_detected_on_read() {
+    let dir = Scratch::new("corrupt");
+    let cas = Cas::open(dir.path()).unwrap();
+    let digest = cas.put(b"pristine").unwrap();
+    let path = dir.join(&format!("blobs/sha256/{digest}"));
+    std::fs::write(&path, b"tampered").unwrap();
+    assert!(matches!(cas.get(&digest), Err(StoreError::Corrupt(_))));
+    assert!(matches!(cas.get_blob(&digest), Err(StoreError::Corrupt(_))));
+}
+
+#[test]
+fn reopen_after_kill_recovers_partial_tmp_files() {
+    let dir = Scratch::new("crash");
+    let digest;
+    {
+        let cas = Cas::open(dir.path()).unwrap();
+        digest = cas.put(b"survivor").unwrap();
+        // Simulate a writer killed mid-put: a partial staging file that
+        // never got renamed into place. The pid is above Linux's
+        // pid_max, so the dead-writer check cannot mistake it for a
+        // live process.
+        std::fs::write(dir.join("tmp/w4194305-0.tmp"), b"torn wr").unwrap();
+    }
+    let cas = Cas::open(dir.path()).unwrap();
+    assert_eq!(cas.stats().recovered_tmp, 1, "stray tmp file deleted");
+    assert_eq!(cas.get(&digest).unwrap(), b"survivor", "real blob intact");
+    assert!(
+        std::fs::read_dir(dir.join("tmp")).unwrap().next().is_none(),
+        "staging area is empty after recovery"
+    );
+}
+
+#[test]
+fn format_version_is_enforced() {
+    let dir = Scratch::new("version");
+    {
+        Cas::open(dir.path()).unwrap();
+    }
+    assert_eq!(std::fs::read_to_string(dir.join("format")).unwrap(), FORMAT);
+    std::fs::write(dir.join("format"), "zr-store-v999\n").unwrap();
+    assert!(matches!(Cas::open(dir.path()), Err(StoreError::Corrupt(_))));
+}
+
+#[test]
+fn gc_respects_roots_and_reopen_reloads_pins() {
+    let dir = Scratch::new("gc");
+    let cas = Cas::open(dir.path()).unwrap();
+    let live = cas.put(b"pinned content").unwrap();
+    let dead = cas.put(b"orphaned content").unwrap();
+    let shared = cas.put(b"doubly pinned").unwrap();
+    cas.pin("root-a", &[live.clone(), shared.clone()]).unwrap();
+    cas.pin("root-b", std::slice::from_ref(&shared)).unwrap();
+    assert_eq!(cas.refcount(&shared), 2);
+    assert_eq!(
+        cas.roots(),
+        vec!["root-a".to_string(), "root-b".to_string()]
+    );
+
+    let report = cas.gc().unwrap();
+    assert_eq!(report.scanned, 3);
+    assert_eq!(report.removed, 1);
+    assert_eq!(report.live, 2);
+    assert!(!cas.contains(&dead));
+    assert!(cas.contains(&live));
+
+    // Unpinning one root keeps the shared blob; unpinning both frees it.
+    assert!(cas.unpin("root-a").unwrap());
+    let report = cas.gc().unwrap();
+    assert_eq!(report.removed, 1, "root-a's exclusive blob collected");
+    assert!(cas.contains(&shared));
+    assert!(!cas.contains(&live));
+
+    // A fresh open rebuilds the refcount index from disk.
+    let reopened = Cas::open(dir.path()).unwrap();
+    assert_eq!(reopened.refcount(&shared), 1);
+    assert!(!reopened.unpin("root-a").unwrap(), "already gone");
+    assert!(reopened.unpin("root-b").unwrap());
+    let report = reopened.gc().unwrap();
+    assert_eq!(report.removed, 1);
+    assert_eq!(report.live, 0);
+}
+
+#[test]
+fn corrupt_root_pins_are_quarantined_not_fatal() {
+    let dir = Scratch::new("bad-root");
+    let live;
+    {
+        let cas = Cas::open(dir.path()).unwrap();
+        live = cas.put(b"healthy content").unwrap();
+        cas.pin("good-root", std::slice::from_ref(&live)).unwrap();
+        std::fs::write(dir.join("roots/rotten"), b"not a pin record").unwrap();
+    }
+    // The store must reopen (a bricked --cache-dir with no repair
+    // path is worse than a lost layer) …
+    let cas = Cas::open(dir.path()).unwrap();
+    assert_eq!(cas.stats().corrupt_roots, 1);
+    assert!(!dir.join("roots/rotten").exists(), "quarantined");
+    assert_eq!(cas.roots(), vec!["good-root".to_string()]);
+    // … and gc still honors the healthy pin.
+    let report = cas.gc().unwrap();
+    assert_eq!(report.removed, 0);
+    assert!(cas.contains(&live));
+    // Corruption arriving *after* open aborts gc instead of
+    // collecting on partial pin knowledge.
+    std::fs::write(dir.join("roots/rotten2"), b"garbage").unwrap();
+    assert!(matches!(cas.gc(), Err(StoreError::Corrupt(_))));
+}
+
+#[test]
+fn two_handles_share_one_directory() {
+    // Two independent opens — no shared memory, exactly what two
+    // processes see. Writes through one handle are observable through
+    // the other, and concurrent same-content puts stay consistent.
+    let dir = Scratch::new("share");
+    let a = Cas::open(dir.path()).unwrap();
+    let b = Cas::open(dir.path()).unwrap();
+    let digest = a.put(b"cross-process payload").unwrap();
+    assert!(b.contains(&digest));
+    assert_eq!(b.get(&digest).unwrap(), b"cross-process payload");
+
+    let a = Arc::new(a);
+    let b = Arc::new(b);
+    let workers: Vec<_> = (0..4)
+        .map(|i| {
+            let handle = if i % 2 == 0 {
+                Arc::clone(&a)
+            } else {
+                Arc::clone(&b)
+            };
+            std::thread::spawn(move || {
+                let mut digests = Vec::new();
+                for k in 0..16 {
+                    // Half the content is shared across workers (put
+                    // races on the same digest), half is private.
+                    digests.push(handle.put(format!("shared-{k}").as_bytes()).unwrap());
+                    digests.push(handle.put(format!("private-{i}-{k}").as_bytes()).unwrap());
+                }
+                digests
+            })
+        })
+        .collect();
+    let mut all: Vec<String> = workers
+        .into_iter()
+        .flat_map(|w| w.join().unwrap())
+        .collect();
+    all.sort();
+    all.dedup();
+    assert_eq!(all.len(), 16 + 4 * 16, "16 shared + 64 private digests");
+    for digest in &all {
+        assert!(a.contains(digest) && b.contains(digest));
+        a.get(digest).unwrap();
+    }
+}
+
+#[test]
+fn blob_reads_arrive_with_warm_digest_memos() {
+    let dir = Scratch::new("memo");
+    let cas = Cas::open(dir.path()).unwrap();
+    let digest = cas.put(b"payload bytes").unwrap();
+    let blob = cas.get_blob(&digest).unwrap();
+    assert!(blob.sha_is_cached(), "no re-hash needed after a load");
+    assert_eq!(blob.sha_hex(), digest);
+}

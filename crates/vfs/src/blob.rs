@@ -41,6 +41,23 @@ impl Blob {
         Blob::new(Vec::new())
     }
 
+    /// Rehydrate a blob from storage with its digest already known —
+    /// the deserialization constructor the persistent store uses, so a
+    /// reloaded filesystem starts with every payload memo warm and the
+    /// first `tree_digest` after a cold open hashes no file bytes.
+    ///
+    /// The claimed digest is verified against the data: a corrupt or
+    /// mislabeled payload comes back as `None` instead of poisoning
+    /// every digest computed over it.
+    pub fn with_sha(data: Vec<u8>, sha: [u8; 32]) -> Option<Arc<Blob>> {
+        if Sha256::digest(&data) != sha {
+            return None;
+        }
+        let cell = OnceLock::new();
+        cell.set(sha).expect("fresh cell");
+        Some(Arc::new(Blob { data, sha: cell }))
+    }
+
     /// The contents.
     pub fn data(&self) -> &[u8] {
         &self.data
@@ -112,6 +129,18 @@ mod tests {
         let alias = Arc::clone(&blob);
         assert!(alias.sha_is_cached());
         assert_eq!(alias.sha_bytes(), blob.sha_bytes());
+    }
+
+    #[test]
+    fn with_sha_preseeds_the_memo_and_verifies() {
+        let sha = *Blob::new(b"abc".to_vec()).sha_bytes();
+        let blob = Blob::with_sha(b"abc".to_vec(), sha).expect("digest matches");
+        assert!(blob.sha_is_cached(), "memo arrives warm");
+        assert_eq!(*blob.sha_bytes(), sha);
+        assert!(
+            Blob::with_sha(b"abd".to_vec(), sha).is_none(),
+            "a mislabeled payload is rejected"
+        );
     }
 
     #[test]

@@ -93,7 +93,7 @@ impl Fs {
         let root = Inode {
             ino: 1,
             kind: FileKind::Dir {
-                entries: BTreeMap::new(),
+                entries: Arc::new(BTreeMap::new()),
                 parent: 1,
             },
             meta: Metadata::new(0, 0, 0o755, 0),
@@ -302,9 +302,15 @@ impl Fs {
         }
     }
 
+    /// Mutable entry-map access. The map sits behind its own `Arc`:
+    /// a directory still shared with a snapshot is deep-copied here —
+    /// and only here — so mutating one directory never pays for its
+    /// page neighbors, and an untouched directory is never copied at
+    /// all (the PR-4 "whole directory clones on first page touch"
+    /// amplification is capped to the directory actually written).
     fn dir_entries_mut(&mut self, ino: Ino) -> Result<&mut BTreeMap<String, Ino>, Errno> {
         match &mut self.inode_mut(ino)?.kind {
-            FileKind::Dir { entries, .. } => Ok(entries),
+            FileKind::Dir { entries, .. } => Ok(Arc::make_mut(entries)),
             _ => Err(Errno::ENOTDIR),
         }
     }
@@ -448,7 +454,7 @@ impl Fs {
         let meta = Metadata::new(access.fsuid, access.fsgid, perm, now);
         let ino = self.alloc(
             FileKind::Dir {
-                entries: BTreeMap::new(),
+                entries: Arc::new(BTreeMap::new()),
                 parent: dir,
             },
             meta,
@@ -1338,6 +1344,50 @@ mod tests {
         );
         drop(snap);
         assert_eq!(fs.shared_pages(), 0);
+    }
+
+    /// The entry-map `Arc` of a directory (white-box test plumbing).
+    fn entries_ptr(fs: &Fs, path: &str) -> *const BTreeMap<String, Ino> {
+        let ino = fs.resolve(path, &root(), FollowMode::Follow).unwrap();
+        match &fs.inode(ino).unwrap().kind {
+            FileKind::Dir { entries, .. } => Arc::as_ptr(entries),
+            _ => panic!("{path} is not a directory"),
+        }
+    }
+
+    #[test]
+    fn untouched_directories_are_never_deep_copied() {
+        // Two sibling directories share the first CoW page; mutating
+        // the small one copies that page — but the big directory's
+        // 512-entry map must ride along as a pointer clone, never a
+        // deep copy (the PR-4 copy-amplification regression pin).
+        let mut fs = Fs::new();
+        fs.mkdir_p("/big", 0o755).unwrap();
+        fs.mkdir_p("/small", 0o755).unwrap();
+        for i in 0..512 {
+            fs.write_file(&format!("/big/f{i}"), 0o644, vec![b'x'], &root())
+                .unwrap();
+        }
+        let snap = fs.clone();
+        fs.write_file("/small/new", 0o644, b"y".to_vec(), &root())
+            .unwrap();
+        assert_eq!(
+            entries_ptr(&fs, "/big"),
+            entries_ptr(&snap, "/big"),
+            "a page-neighbor write must not deep-copy /big's entry map"
+        );
+        assert_ne!(
+            entries_ptr(&fs, "/small"),
+            entries_ptr(&snap, "/small"),
+            "the mutated directory owns a private map"
+        );
+        // Isolation still holds once /big itself diverges.
+        fs.write_file("/big/new", 0o644, b"z".to_vec(), &root())
+            .unwrap();
+        assert_ne!(entries_ptr(&fs, "/big"), entries_ptr(&snap, "/big"));
+        assert!(snap
+            .resolve("/big/new", &root(), FollowMode::Follow)
+            .is_err());
     }
 
     #[test]

@@ -12,6 +12,10 @@ pub type Ino = u64;
 /// What an inode *is*. Regular file data lives in an `Arc`-shared
 /// [`Blob`] — snapshots of the whole filesystem share payload bytes,
 /// and a write swaps in a new blob (whole-file copy-on-write).
+/// Directory entry maps sit behind their own `Arc` for the same
+/// reason: copying an inode page after a snapshot clones one pointer
+/// per directory, and only a directory actually being mutated pays for
+/// a deep copy of its map.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FileKind {
     /// Regular file with shared contents.
@@ -19,8 +23,8 @@ pub enum FileKind {
     /// Directory: name → child inode, plus a parent pointer for `..`.
     Dir {
         /// Sorted entries (deterministic iteration for reproducible
-        /// builds).
-        entries: BTreeMap<String, Ino>,
+        /// builds), copy-on-write shared between snapshots.
+        entries: Arc<BTreeMap<String, Ino>>,
         /// `..`; the root points at itself.
         parent: Ino,
     },
@@ -167,7 +171,7 @@ mod tests {
         assert_eq!(FileKind::File(Blob::empty()).type_bits(), mode::S_IFREG);
         assert_eq!(
             FileKind::Dir {
-                entries: BTreeMap::new(),
+                entries: Arc::new(BTreeMap::new()),
                 parent: 1
             }
             .type_bits(),

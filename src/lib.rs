@@ -30,7 +30,9 @@
 //! BPF machine) → [`seccomp`] (filter compiler + host installer) →
 //! [`vfs`] + [`kernel`] (the simulated Linux substrate) → [`core`]
 //! (the emulation strategies) → [`image`]/[`dockerfile`]/[`shell`]/
-//! [`pkg`] → [`build`] (the ch-image-like builder).
+//! [`pkg`] → [`store`] (persistent CAS + OCI layouts) → [`build`]
+//! (the ch-image-like builder) → [`sched`] (the concurrent batch
+//! engine).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,6 +47,7 @@ pub use zr_pkg as pkg;
 pub use zr_sched as sched;
 pub use zr_seccomp as seccomp;
 pub use zr_shell as shell;
+pub use zr_store as store;
 pub use zr_syscalls as syscalls;
 pub use zr_trace as trace;
 pub use zr_vfs as vfs;
