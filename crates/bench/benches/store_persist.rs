@@ -1,0 +1,127 @@
+//! Bench: layer persistence cost versus image size — full records
+//! against parent-relative deltas.
+//!
+//! The delta-everything PR changes the persist asymptote: a full
+//! record collects and encodes every entry of the tree (O(image)),
+//! while a delta record encodes entry metadata once and *stores* only
+//! the changed paths (O(changes) new bytes, the `D-delta` paper-report
+//! gate). The grid crosses image size with both routes:
+//!
+//! * `full`  — persist a fresh parentless layer (unique key per
+//!   iteration; payload blobs dedup after the first pass, so this is
+//!   the warm full-record cost: encode + tree object + record);
+//! * `delta` — snapshot the parent, edit one file, persist against
+//!   the parent (the per-instruction cost of an iterative build).
+//!
+//! `paper-report` pins the ratio at the 10k-file point; this bench
+//! provides the full curve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use zr_image::{CacheKey, Layer, LayerPersistence, LayerState};
+use zr_vfs::fs::Fs;
+use zr_vfs::Access;
+
+/// Files per synthetic image; the largest point matches `D-delta`.
+const GRID: [usize; 3] = [1_000, 4_000, 10_000];
+
+fn synthetic_fs(files: usize) -> Fs {
+    let acc = Access::root();
+    let mut fs = Fs::new();
+    for d in 0..16 {
+        fs.mkdir_p(&format!("/data/d{d:02}"), 0o755).unwrap();
+    }
+    for i in 0..files {
+        let mut data = vec![0u8; 256];
+        let tag = format!("file-{i}");
+        data[..tag.len()].copy_from_slice(tag.as_bytes());
+        fs.write_file(&format!("/data/d{:02}/f{i}", i % 16), 0o644, data, &acc)
+            .unwrap();
+    }
+    // Warm the digest memos, as a build's snapshot step would have.
+    let _ = fs.tree_digest();
+    fs
+}
+
+fn bench_store_persist(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store_persist");
+    g.sample_size(10);
+    let acc = Access::root();
+    let state = LayerState {
+        args: Vec::new(),
+        stage: None,
+    };
+
+    for files in GRID {
+        let fs = synthetic_fs(files);
+        let scratch =
+            std::env::temp_dir().join(format!("zr-bench-store-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&scratch);
+        let (_, disk) = zr_store::open_layer_store(&scratch).unwrap();
+
+        let parent_key = CacheKey::compute(None, &format!("FROM synthetic:{files}"), "", "seccomp");
+        let parent = Layer {
+            id: parent_key.clone(),
+            parent: None,
+            fs: fs.clone(),
+            state: state.clone(),
+        };
+        disk.persist(&parent);
+
+        // Full route: a unique parentless layer per iteration. After
+        // the first pass every payload blob dedups, leaving the pure
+        // record cost — encode, tree object, layer record.
+        let mut seq = 0u64;
+        g.bench_with_input(BenchmarkId::new("full", files), &fs, |b, fs| {
+            b.iter(|| {
+                seq += 1;
+                let layer = Layer {
+                    id: CacheKey::compute(None, &format!("FROM full-{files}-{seq}"), "", "seccomp"),
+                    parent: None,
+                    fs: fs.clone(),
+                    state: state.clone(),
+                };
+                disk.persist(&layer);
+                black_box(layer.id)
+            })
+        });
+
+        // Delta route: the edit loop — snapshot, touch one file,
+        // persist against the parent.
+        let mut seq = 0u64;
+        g.bench_with_input(BenchmarkId::new("delta", files), &fs, |b, fs| {
+            b.iter(|| {
+                seq += 1;
+                let mut child_fs = fs.clone();
+                child_fs
+                    .write_file(
+                        "/data/d00/f0",
+                        0o644,
+                        format!("edit-{seq}").into_bytes(),
+                        &acc,
+                    )
+                    .unwrap();
+                let child = Layer {
+                    id: CacheKey::compute(
+                        Some(&parent_key),
+                        &format!("RUN edit {seq}"),
+                        "",
+                        "seccomp",
+                    ),
+                    parent: Some(parent_key.clone()),
+                    fs: child_fs,
+                    state: state.clone(),
+                };
+                disk.persist_with_parent(&child, Some(&parent));
+                black_box(child.id)
+            })
+        });
+
+        assert_eq!(disk.stats().errors, 0, "persist errors during bench");
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_store_persist);
+criterion_main!(benches);

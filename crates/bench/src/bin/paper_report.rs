@@ -6,7 +6,7 @@
 //! ```
 //!
 //! With `--json`, the gate verdicts and the numeric bench metrics are
-//! additionally written to `BENCH_5.json` (or `PATH`) so CI can upload
+//! additionally written to `BENCH_6.json` (or `PATH`) so CI can upload
 //! them and the perf trajectory is tracked across PRs.
 
 use zeroroot_core::Mode;
@@ -93,7 +93,7 @@ fn best_of<T>(n: u32, mut f: impl FnMut() -> (std::time::Duration, T)) -> (std::
 fn main() {
     let json_path = std::env::args().skip(1).find_map(|a| {
         if a == "--json" {
-            Some("BENCH_5.json".to_string())
+            Some("BENCH_6.json".to_string())
         } else {
             a.strip_prefix("--json=").map(str::to_string)
         }
@@ -519,6 +519,200 @@ fn main() {
             && executed_nothing
             && from_disk
             && bandwidth_sane,
+    });
+
+    // ---- D-delta -----------------------------------------------------------------
+    // The delta-persistence gate, in four parts.
+    //
+    // (a) O(changes) persist: on a warm 10k-file image, persisting a
+    //     1-file-change child layer through the delta path must cost
+    //     at most 4x the *in-memory* warm snapshot+digest of the same
+    //     change — i.e. durable persistence rides within a small
+    //     constant of the pure CoW hot path it used to dwarf.
+    //
+    // (b) Batched write bandwidth: one CasBatch of 256 distinct 16 KiB
+    //     blobs (group fsync, single directory sync) must sustain
+    //     >= 74 MB/s — 2x the sequential per-blob baseline BENCH_5
+    //     recorded (37 MB/s).
+    //
+    // (c) Chain fidelity: a 12-layer delta chain (which forces a full
+    //     re-persist past depth 8) must reload through a fresh handle
+    //     to the exact tree digest, with zero absorbed errors.
+    //
+    // (d) Chunk dedup: re-storing a 1 MiB blob with 4 KiB appended
+    //     must dedup at least half of it against the original's chunks.
+    use zr_image::{CacheKey, Layer, LayerPersistence, LayerState};
+    let scratch = std::env::temp_dir().join(format!("zr-paper-delta-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let root_acc = zr_vfs::Access::root();
+    let plain_state = LayerState {
+        args: Vec::new(),
+        stage: None,
+    };
+
+    // (a) Warm-delta persist vs in-memory warm-delta digest.
+    let big = synthetic_image(10_000, 256);
+    let _ = big.digest(); // warm the blob + tree memos once
+    let mut edit = 0u64;
+    let (digest_warm, _) = best_of(5, || {
+        edit += 1;
+        timed(|| snapshot_one_change(&big, edit))
+    });
+    let (_, delta_disk) =
+        zr_store::open_layer_store(scratch.join("delta-store")).expect("open delta store");
+    let parent_key = CacheKey::compute(None, "FROM synthetic", "", "seccomp");
+    let parent_layer = Layer {
+        id: parent_key.clone(),
+        parent: None,
+        fs: big.fs.clone(),
+        state: plain_state.clone(),
+    };
+    delta_disk.persist(&parent_layer);
+    let mut n = 0u64;
+    let (persist_warm, _) = best_of(5, || {
+        n += 1;
+        let mut fs = big.fs.clone();
+        fs.write_file(
+            "/data/d00/f0",
+            0o644,
+            format!("delta-{n}").into_bytes(),
+            &root_acc,
+        )
+        .expect("edit");
+        let child = Layer {
+            id: CacheKey::compute(Some(&parent_key), &format!("RUN edit {n}"), "", "seccomp"),
+            parent: Some(parent_key.clone()),
+            fs,
+            state: plain_state.clone(),
+        };
+        timed(|| delta_disk.persist_with_parent(&child, Some(&parent_layer)))
+    });
+    let persist_over_digest = persist_warm.as_secs_f64() / digest_warm.as_secs_f64().max(1e-9);
+    let delta_stats = delta_disk.stats();
+    let persisted_as_deltas = delta_stats.delta_persisted == n && delta_disk.error_count() == 0;
+    metrics.push((
+        "d_delta.digest_warm_ms".into(),
+        digest_warm.as_secs_f64() * 1e3,
+    ));
+    metrics.push((
+        "d_delta.persist_warm_ms".into(),
+        persist_warm.as_secs_f64() * 1e3,
+    ));
+    metrics.push(("d_delta.persist_over_digest".into(), persist_over_digest));
+
+    // (b) Batched CAS write bandwidth (same payload shape as O-oci's
+    //     sequential measurement, so the two numbers are comparable).
+    let mut bw_run = 0u32;
+    let (t_batch_write, _) = best_of(3, || {
+        bw_run += 1;
+        let cas = zr_store::Cas::open(scratch.join(format!("bw-{bw_run}"))).expect("open bw cas");
+        timed(|| {
+            let mut batch = cas.batch();
+            for p in &payloads {
+                batch.put(p).expect("stage");
+            }
+            batch.commit().expect("commit");
+        })
+    });
+    let batch_write_mbps = total_bytes / 1e6 / t_batch_write.as_secs_f64().max(1e-9);
+    // Gate against the sequential per-blob bandwidth measured moments
+    // ago in this same process (O-oci, identical payload shape), not an
+    // absolute number: fsync throughput on a shared runner swings 2x
+    // between runs, but the batched/sequential ratio is the claim.
+    let batch_speedup = batch_write_mbps / write_mbps.max(1e-9);
+    metrics.push(("d_delta.store_write_mbps".into(), batch_write_mbps));
+    metrics.push(("d_delta.batch_over_sequential".into(), batch_speedup));
+
+    // (c) A 12-layer chain over a 500-file image, reloaded cold.
+    let chain_base = synthetic_image(500, 128);
+    let (_, chain_disk) =
+        zr_store::open_layer_store(scratch.join("chain")).expect("open chain store");
+    let mut chain_fs = chain_base.fs.clone();
+    let mut chain_parent: Option<CacheKey> = None;
+    let mut prev_layer: Option<Layer> = None;
+    let mut deepest_key = None;
+    for i in 0..12u32 {
+        chain_fs
+            .write_file(&format!("/chain-{i}"), 0o644, vec![i as u8; 64], &root_acc)
+            .expect("chain edit");
+        let key = CacheKey::compute(
+            chain_parent.as_ref(),
+            &format!("RUN chain {i}"),
+            "",
+            "seccomp",
+        );
+        let layer = Layer {
+            id: key.clone(),
+            parent: chain_parent.clone(),
+            fs: chain_fs.clone(),
+            state: plain_state.clone(),
+        };
+        chain_disk.persist_with_parent(&layer, prev_layer.as_ref());
+        chain_parent = Some(key.clone());
+        deepest_key = Some(key);
+        prev_layer = Some(layer);
+    }
+    let expected_digest = chain_fs.tree_digest();
+    let chain_stats = chain_disk.stats();
+    // Layer 0 is full, 1..=8 are deltas, 9 falls back (depth bound),
+    // 10 and 11 are deltas again: 10 of 12.
+    let depth_bound_respected = chain_stats.persisted == 12 && chain_stats.delta_persisted == 10;
+    let (_, fresh_disk) =
+        zr_store::open_layer_store(scratch.join("chain")).expect("reopen chain store");
+    let reloaded = fresh_disk.load(&deepest_key.expect("12 layers"));
+    let delta_chain_ok = reloaded
+        .map(|l| l.fs.tree_digest() == expected_digest)
+        .unwrap_or(false)
+        && fresh_disk.error_count() == 0
+        && chain_disk.error_count() == 0;
+    metrics.push((
+        "d_delta.delta_chain_ok".into(),
+        f64::from(u8::from(delta_chain_ok)),
+    ));
+
+    // (d) Chunk-level dedup of an appended 1 MiB blob. Pseudo-random
+    // payload (xorshift) so chunks can't self-dedup within one blob;
+    // the saved delta around the second put isolates cross-blob reuse.
+    let chunk_cas = zr_store::Cas::open(scratch.join("chunks")).expect("open chunk cas");
+    let mut rng = 0x9E37_79B9_7F4A_7C15u64;
+    let blob: Vec<u8> = (0..1_048_576usize / 8)
+        .flat_map(|_| {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng.to_le_bytes()
+        })
+        .collect();
+    chunk_cas.put(&blob).expect("store original");
+    let saved_before = chunk_cas.stats().chunk_dedup_saved;
+    let mut appended = blob.clone();
+    appended.extend(std::iter::repeat_n(0xABu8, 4096));
+    chunk_cas.put(&appended).expect("store appended");
+    let chunk_dedup_ratio =
+        (chunk_cas.stats().chunk_dedup_saved - saved_before) as f64 / appended.len() as f64;
+    metrics.push(("d_delta.chunk_dedup_ratio".into(), chunk_dedup_ratio));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    checks.push(Check {
+        id: "D-delta",
+        paper: "delta persistence: 1-file persist <= 4x warm in-memory digest on 10k files; \
+                batched store writes >= 1.5x the same run's sequential per-blob baseline \
+                (BENCH_5 seed: 37 MB/s); 12-deep chain reloads exactly \
+                (full fallback past depth 8); appended 1 MiB blob dedups >= 50% by chunks",
+        measured: format!(
+            "persist {persist_warm:.2?} vs digest {digest_warm:.2?} \
+             ({persist_over_digest:.2}x, {n} deltas-as-deltas={persisted_as_deltas}); \
+             batch write {batch_write_mbps:.0} MB/s ({batch_speedup:.1}x sequential); \
+             chain ok={delta_chain_ok} ({}/12 deltas); chunk dedup {:.0}%",
+            chain_stats.delta_persisted,
+            chunk_dedup_ratio * 100.0
+        ),
+        pass: persist_over_digest <= 4.0
+            && persisted_as_deltas
+            && (batch_speedup >= 1.5 || batch_write_mbps >= 74.0)
+            && delta_chain_ok
+            && depth_bound_respected
+            && chunk_dedup_ratio >= 0.5,
     });
 
     // ---- report ------------------------------------------------------------------

@@ -6,7 +6,7 @@
 //!                [-f DOCKERFILE] [CONTEXT_DIR]
 //! zr-image build-many [--jobs N] [--force=MODE] [--no-cache]
 //!                [--cache-stats] [--cache-limit BYTES] [--cache-dir DIR]
-//!                [--blob-limit BYTES] [--shards N]
+//!                [--store-limit BYTES] [--blob-limit BYTES] [--shards N]
 //!                [--pull-latency-ms N] [--fail-fast] [--context DIR]
 //!                DOCKERFILE…
 //! zr-image export --output DIR [build flags…]   # build, then OCI layout
@@ -37,8 +37,8 @@ fn usage() -> ExitCode {
     );
     eprintln!(
         "       zr-image build-many [--jobs N] [--force=MODE] [--no-cache] [--cache-stats] \
-         [--cache-limit BYTES] [--cache-dir DIR] [--blob-limit BYTES] [--shards N] \
-         [--pull-latency-ms N] [--fail-fast] [--context DIR] DOCKERFILE…"
+         [--cache-limit BYTES] [--cache-dir DIR] [--store-limit BYTES] [--blob-limit BYTES] \
+         [--shards N] [--pull-latency-ms N] [--fail-fast] [--context DIR] DOCKERFILE…"
     );
     eprintln!("       zr-image export --output DIR [build flags…]");
     eprintln!("       zr-image import DIR");
@@ -355,9 +355,19 @@ fn cmd_store(args: &[String]) -> ExitCode {
         "stats" => {
             use zr_image::LayerPersistence;
             let disk = zr_store::DiskLayers::new(cas);
-            println!("layers: {}", disk.keys().len());
-            println!("store:  {}", disk.cas().stats());
-            println!("roots:  {}", disk.cas().roots().len());
+            let stats = disk.cas().stats();
+            println!("layers:   {}", disk.keys().len());
+            println!("store:    {stats}");
+            println!("logical:  {} bytes in {} blobs", stats.bytes, stats.blobs);
+            println!(
+                "physical: {} bytes ({} chunk indexes, {} bytes saved by chunk dedup)",
+                stats.physical_bytes, stats.chunk_indexes, stats.chunk_dedup_saved
+            );
+            println!(
+                "evicted:  {} roots ({} dir-fsync failures)",
+                stats.evicted_roots, stats.dir_fsync_failures
+            );
+            println!("roots:    {}", disk.cas().roots().len());
             ExitCode::SUCCESS
         }
         _ => usage(),
@@ -393,6 +403,7 @@ fn cmd_build_many(args: &[String]) -> ExitCode {
     let mut cache = CacheMode::Enabled;
     let mut cache_stats = false;
     let mut cache_limit = 0u64;
+    let mut store_limit = 0u64;
     let mut cache_dir: Option<String> = None;
     let mut blob_limit = 0u64;
     let mut shards = ShardedRegistry::DEFAULT_SHARDS;
@@ -422,6 +433,10 @@ fn cmd_build_many(args: &[String]) -> ExitCode {
             },
             "--cache-limit" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(bytes) => cache_limit = bytes,
+                None => return usage(),
+            },
+            "--store-limit" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(bytes) => store_limit = bytes,
                 None => return usage(),
             },
             "--cache-dir" => match it.next() {
@@ -501,6 +516,7 @@ fn cmd_build_many(args: &[String]) -> ExitCode {
         cache_limit,
         blob_budget: blob_limit,
         cache_dir: cache_dir.map(std::path::PathBuf::from),
+        store_limit,
     }) {
         Ok(sched) => sched,
         Err(e) => {

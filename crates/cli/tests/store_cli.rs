@@ -190,7 +190,11 @@ fn store_gc_and_stats_operate_on_a_cache_dir() {
     let stats = run(&["store", "stats", "--cache-dir", cache.to_str().unwrap()]);
     assert!(stats.status.success());
     let stats_out = stdout(&stats);
-    assert!(stats_out.contains("layers: 2"), "{stats_out}");
+    assert!(stats_out.contains("layers:   2"), "{stats_out}");
+    assert!(
+        stats_out.contains("chunk indexes") && stats_out.contains("evicted:"),
+        "physical/eviction counters reported: {stats_out}"
+    );
 
     let gc = run(&["store", "gc", "--cache-dir", cache.to_str().unwrap()]);
     assert!(gc.status.success());

@@ -227,11 +227,13 @@ impl Sha256 {
 
 /// Lowercase hex rendering of a digest.
 pub fn hex(bytes: &[u8]) -> String {
-    let mut s = String::with_capacity(bytes.len() * 2);
-    for b in bytes {
-        s.push_str(&format!("{b:02x}"));
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut s = Vec::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        s.push(DIGITS[usize::from(b >> 4)]);
+        s.push(DIGITS[usize::from(b & 0x0f)]);
     }
-    s
+    String::from_utf8(s).expect("hex digits are ASCII")
 }
 
 /// A digest over a *sequence of fields*: each field is written as an

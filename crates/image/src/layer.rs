@@ -243,6 +243,15 @@ pub trait LayerPersistence: Send + Sync + std::fmt::Debug {
     /// Durably record a layer (idempotent: layers are content-addressed
     /// by their cache key).
     fn persist(&self, layer: &Layer);
+    /// [`persist`](Self::persist) with the layer's parent supplied when
+    /// the caller still holds it — implementations can encode the layer
+    /// as a delta against the parent instead of a full record. The
+    /// default ignores the parent and persists in full, so existing
+    /// implementations stay correct unchanged.
+    fn persist_with_parent(&self, layer: &Layer, parent: Option<&Layer>) {
+        let _ = parent;
+        self.persist(layer);
+    }
     /// Load a layer by key; `None` for unknown keys *and* for layers
     /// that fail to deserialize (corruption reads as a cache miss).
     fn load(&self, key: &CacheKey) -> Option<Layer>;
@@ -424,9 +433,21 @@ impl LayerStore {
     pub fn insert(&self, layer: Layer) {
         let layer = self.insert_memory(layer);
         if let Some(disk) = self.persistence() {
-            // Outside every store lock: persistence does real I/O.
-            disk.persist(&layer);
+            // Outside every store lock: persistence does real I/O. The
+            // parent rides along (when still in memory) so the disk
+            // tier can encode a delta instead of a full record.
+            let parent = layer.parent.as_ref().and_then(|p| self.peek_memory(p));
+            disk.persist_with_parent(&layer, parent.as_deref());
         }
+    }
+
+    /// The in-memory entry for `key`, untouched: no stats, no LRU
+    /// refresh, no disk fallthrough (a disk load here would recurse
+    /// into the tier this lookup is feeding).
+    fn peek_memory(&self, key: &CacheKey) -> Option<Arc<Layer>> {
+        Self::lock(self.shard(key))
+            .get(key)
+            .map(|entry| Arc::clone(&entry.layer))
     }
 
     /// The in-memory half of [`insert`](Self::insert); returns the

@@ -121,6 +121,11 @@ pub struct SchedulerConfig {
     /// layers are written through to disk, and a later scheduler (or
     /// another process) opening the same directory replays them.
     pub cache_dir: Option<std::path::PathBuf>,
+    /// On-disk store size budget in bytes (`--store-limit`, 0 =
+    /// unlimited): the persistent CAS under `cache_dir` evicts whole
+    /// least-recently-pinned layer roots (and their dependents) until
+    /// physical bytes fit. The disk-side mirror of `cache_limit`.
+    pub store_limit: u64,
 }
 
 impl Default for SchedulerConfig {
@@ -135,6 +140,7 @@ impl Default for SchedulerConfig {
             cache_limit: 0,
             blob_budget: 0,
             cache_dir: None,
+            store_limit: 0,
         }
     }
 }
@@ -374,6 +380,7 @@ impl Scheduler {
             Some(dir) => {
                 let (layers, disk) = zr_store::open_layer_store(dir)?;
                 layers.set_budget(config.cache_limit);
+                disk.cas().set_budget(config.store_limit)?;
                 (layers, Some(disk))
             }
             None => (LayerStore::with_budget(config.cache_limit), None),

@@ -1,0 +1,135 @@
+//! Content-defined chunking for large CAS blobs.
+//!
+//! Big payloads (appended logs, edited archives) change a little
+//! between snapshots but re-store in full under whole-file content
+//! addressing. The chunker splits them at *content-defined* boundaries
+//! — a rolling gear hash over a 64-byte window, cut where the hash's
+//! low bits are zero — so an edit only moves the boundaries near it and
+//! every untouched chunk keeps its digest. The store keeps chunked
+//! blobs as one small chunk-index record plus ordinary chunk blobs;
+//! reads reassemble and re-verify the whole-blob digest, so chunking is
+//! invisible to every caller of `Cas::get`.
+//!
+//! The chunker is hermetic and deterministic: a fixed gear table
+//! (splitmix64 over the byte value), fixed min/avg/max sizes, no
+//! randomness, no configuration. The same bytes always produce the
+//! same boundaries — regardless of how the write was batched — which
+//! is what makes chunk digests stable across processes and PRs.
+
+/// Blobs at or above this size are stored chunked.
+pub const CHUNK_THRESHOLD: usize = 128 * 1024;
+/// No boundary before this many bytes (keeps chunks from degenerating).
+pub const MIN_CHUNK: usize = 16 * 1024;
+/// A boundary is forced at this size even if the hash never fires.
+pub const MAX_CHUNK: usize = 256 * 1024;
+/// Boundary condition: the low 16 bits of the gear hash are zero —
+/// one cut every 64 KiB of content on average (past the minimum).
+const BOUNDARY_MASK: u64 = (1 << 16) - 1;
+
+/// splitmix64 — the same generator the vendored proptest uses, here
+/// only to derive the fixed gear table at compile time.
+const fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const fn gear_table() -> [u64; 256] {
+    let mut table = [0u64; 256];
+    let mut i = 0;
+    while i < 256 {
+        table[i] = splitmix64(i as u64);
+        i += 1;
+    }
+    table
+}
+
+/// Per-byte-value random constants driving the rolling hash.
+static GEAR: [u64; 256] = gear_table();
+
+/// Split `data` into content-defined spans, returned as `(start, end)`
+/// byte ranges that concatenate back to `data`. Every span except
+/// possibly the last is within `[MIN_CHUNK, MAX_CHUNK]`; the final span
+/// may be shorter. Deterministic: a pure function of the bytes.
+pub fn chunk_spans(data: &[u8]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut start = 0usize;
+    let mut hash = 0u64;
+    let mut pos = 0usize;
+    while pos < data.len() {
+        // The gear hash has an effective 64-byte window (the shift
+        // ages old bytes out), so boundaries resynchronize shortly
+        // after any edit.
+        hash = (hash << 1).wrapping_add(GEAR[data[pos] as usize]);
+        pos += 1;
+        let len = pos - start;
+        if (len >= MIN_CHUNK && hash & BOUNDARY_MASK == 0) || len >= MAX_CHUNK {
+            spans.push((start, pos));
+            start = pos;
+            hash = 0;
+        }
+    }
+    if start < data.len() || data.is_empty() {
+        spans.push((start, data.len()));
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patterned(len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| (i.wrapping_mul(131) ^ (i >> 7)) as u8)
+            .collect()
+    }
+
+    #[test]
+    fn spans_concatenate_and_respect_bounds() {
+        let data = patterned(1_000_000);
+        let spans = chunk_spans(&data);
+        assert!(spans.len() > 1, "a megabyte must split");
+        let mut expect = 0;
+        for (i, &(start, end)) in spans.iter().enumerate() {
+            assert_eq!(start, expect, "spans tile the input");
+            assert!(end > start);
+            let len = end - start;
+            if i + 1 != spans.len() {
+                assert!((MIN_CHUNK..=MAX_CHUNK).contains(&len), "span {i}: {len}");
+            } else {
+                assert!(len <= MAX_CHUNK);
+            }
+            expect = end;
+        }
+        assert_eq!(expect, data.len());
+    }
+
+    #[test]
+    fn chunking_is_deterministic() {
+        let data = patterned(400_000);
+        assert_eq!(chunk_spans(&data), chunk_spans(&data));
+    }
+
+    #[test]
+    fn appending_preserves_earlier_boundaries() {
+        // Content-defined cuts depend only on the bytes behind them:
+        // appending must keep every boundary that was not the old tail.
+        let data = patterned(500_000);
+        let mut longer = data.clone();
+        longer.extend_from_slice(&patterned(50_000));
+        let before = chunk_spans(&data);
+        let after = chunk_spans(&longer);
+        // All complete (non-final) spans of the shorter input reappear.
+        for span in &before[..before.len() - 1] {
+            assert!(after.contains(span), "lost boundary {span:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_are_one_span() {
+        assert_eq!(chunk_spans(&[]), vec![(0, 0)]);
+        assert_eq!(chunk_spans(&[7u8; 100]), vec![(0, 100)]);
+    }
+}

@@ -24,6 +24,20 @@ impl Enc {
         enc
     }
 
+    /// Start a bare fragment with no magic — for sub-records that are
+    /// concatenated into a framed parent (tree-record entries).
+    pub fn raw() -> Enc {
+        Enc { buf: Vec::new() }
+    }
+
+    /// [`raw`](Enc::raw) with preallocated capacity, for encoders on a
+    /// hot path that know their fragment size up front.
+    pub fn raw_with_capacity(cap: usize) -> Enc {
+        Enc {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
     /// Append one byte.
     pub fn u8(&mut self, v: u8) -> &mut Self {
         self.buf.push(v);
@@ -127,6 +141,13 @@ impl<'a> Dec<'a> {
         let bytes = self.bytes()?;
         String::from_utf8(bytes.to_vec())
             .map_err(|_| StoreError::corrupt(format!("{}: invalid UTF-8", self.magic)))
+    }
+
+    /// Current byte offset — lets a caller slice the underlying buffer
+    /// around a group of fields (the tree-record splitter keeps each
+    /// entry's exact bytes).
+    pub fn pos(&self) -> usize {
+        self.pos
     }
 
     /// Assert the record is fully consumed (trailing garbage is how

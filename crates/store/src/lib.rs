@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod cas;
+pub mod chunk;
 pub mod codec;
 mod error;
 pub mod json;
@@ -36,7 +37,8 @@ pub mod oci;
 pub mod tar;
 pub mod tree;
 
-pub use cas::{Cas, CasStats, GcReport, FORMAT};
+pub use cas::{Cas, CasBatch, CasStats, GcReport, FORMAT};
+pub use chunk::{chunk_spans, CHUNK_THRESHOLD, MAX_CHUNK, MIN_CHUNK};
 pub use error::{Result, StoreError};
-pub use layers::{open_layer_store, DiskLayerStats, DiskLayers};
+pub use layers::{open_layer_store, DiskLayerStats, DiskLayers, MAX_DELTA_DEPTH};
 pub use oci::{export, export_diff, import, inspect, OciSummary};

@@ -79,7 +79,10 @@ impl<'a> LayoutWriter<'a> {
     }
 
     fn write(&self, path: &Path, data: &[u8]) -> Result<()> {
-        atomic_write(&self.dir.join(".staging"), path, data)
+        // Layout exports are regenerable; a failed directory fsync is
+        // not worth failing the export over.
+        atomic_write(&self.dir.join(".staging"), path, data)?;
+        Ok(())
     }
 
     fn put_blob(&self, data: &[u8]) -> Result<String> {

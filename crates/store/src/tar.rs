@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use zr_syscalls::mode::{
-    major, makedev, minor, S_IFBLK, S_IFCHR, S_IFDIR, S_IFIFO, S_IFLNK, S_IFMT, S_IFREG,
+    major, makedev, minor, S_IFBLK, S_IFCHR, S_IFDIR, S_IFIFO, S_IFLNK, S_IFMT, S_IFREG, S_IFSOCK,
 };
 use zr_vfs::fs::{FollowMode, Fs};
 use zr_vfs::inode::Stat;
@@ -28,6 +28,11 @@ use crate::error::{Result, StoreError};
 use crate::tree::remove_recursive;
 
 const BLOCK: usize = 512;
+
+/// The PAX extended-header record marking the next entry as a socket.
+/// Format per POSIX pax: `"<len> <key>=<value>\n"` where `len` counts
+/// the whole record including itself — here exactly 16 bytes.
+const PAX_SOCK_RECORD: &[u8] = b"16 ZR.type=sock\n";
 
 /// One parsed tar entry (reader side).
 #[derive(Debug)]
@@ -42,6 +47,8 @@ struct TarEntry {
     linkname: String,
     dev: u64,
     data: Vec<u8>,
+    /// A preceding PAX header marked this entry as a socket.
+    sock: bool,
 }
 
 /// Map an image path to its tar member name (`/` → `./`, directories
@@ -74,7 +81,7 @@ fn image_path(name: &str) -> String {
 /// Does any component of this image path carry the reserved whiteout
 /// prefix? Such a file would be *read back as a deletion* by every
 /// OCI layer applier (ours included), silently corrupting the round
-/// trip — the writer refuses it, like it refuses sockets.
+/// trip — the writer refuses it.
 fn has_reserved_whiteout_name(path: &str) -> bool {
     path.split('/').any(|comp| comp.starts_with(".wh."))
 }
@@ -247,9 +254,28 @@ fn write_path(
             None,
         ),
         S_IFIFO => (b'6', String::new(), None, None),
+        S_IFSOCK => {
+            // ustar has no socket type. Emit a PAX extended header
+            // (`ZR.type=sock`) ahead of a fifo-typed placeholder that
+            // carries the socket's metadata: our reader (and any
+            // pax-aware one) restores a socket, legacy readers degrade
+            // to a fifo instead of failing the whole import.
+            write_entry(
+                out,
+                RawEntry {
+                    name: tar_name(path, false),
+                    typeflag: b'x',
+                    mode: perm,
+                    uid: st.uid,
+                    gid: st.gid,
+                    linkname: "",
+                    dev: None,
+                    data: PAX_SOCK_RECORD,
+                },
+            )?;
+            (b'6', String::new(), None, None)
+        }
         other => {
-            // ustar has no socket type; the native tree record
-            // preserves them, the interchange format cannot.
             return Err(StoreError::corrupt(format!(
                 "tar: {path}: file type {other:o} has no ustar representation"
             )));
@@ -376,9 +402,20 @@ pub fn diff_to_tar(base: &Fs, top: &Fs) -> Result<Vec<u8>> {
     Ok(out)
 }
 
+/// Does this PAX extended-header payload contain `key=value`?
+fn pax_has(data: &[u8], key: &str, value: &str) -> bool {
+    String::from_utf8_lossy(data).lines().any(|line| {
+        line.split_once(' ')
+            .and_then(|(_, rec)| rec.split_once('='))
+            .map(|(k, v)| k == key && v == value)
+            .unwrap_or(false)
+    })
+}
+
 fn parse_entries(tar: &[u8]) -> Result<Vec<TarEntry>> {
     let mut entries = Vec::new();
     let mut pos = 0usize;
+    let mut pending_sock = false;
     while pos + BLOCK <= tar.len() {
         let header = &tar[pos..pos + BLOCK];
         if header.iter().all(|&b| b == 0) {
@@ -425,6 +462,13 @@ fn parse_entries(tar: &[u8]) -> Result<Vec<TarEntry>> {
                 "tar: truncated data for {full:?}"
             )));
         }
+        if typeflag == b'x' {
+            // PAX extended header: its records qualify the *next*
+            // entry and it is not itself a filesystem object.
+            pending_sock = pax_has(&tar[data_start..data_end], "ZR.type", "sock");
+            pos = data_end + (BLOCK - size % BLOCK) % BLOCK;
+            continue;
+        }
         entries.push(TarEntry {
             path: image_path(&full),
             typeflag,
@@ -438,6 +482,7 @@ fn parse_entries(tar: &[u8]) -> Result<Vec<TarEntry>> {
                 parse_octal(&header[337..345])? as u32,
             ),
             data: tar[data_start..data_end].to_vec(),
+            sock: std::mem::take(&mut pending_sock),
         });
         pos = data_end + (BLOCK - size % BLOCK) % BLOCK;
     }
@@ -498,7 +543,14 @@ pub fn apply_tar(fs: &mut Fs, tar: &[u8]) -> Result<()> {
                 b'2' => fs.symlink(&e.linkname, &e.path, &root)?,
                 b'3' => fs.mknod(&e.path, FileKind::CharDev(e.dev), 0o644, &root)?,
                 b'4' => fs.mknod(&e.path, FileKind::BlockDev(e.dev), 0o644, &root)?,
-                b'6' => fs.mknod(&e.path, FileKind::Fifo, 0o644, &root)?,
+                b'6' => {
+                    let kind = if e.sock {
+                        FileKind::Socket
+                    } else {
+                        FileKind::Fifo
+                    };
+                    fs.mknod(&e.path, kind, 0o644, &root)?
+                }
                 _ => return Err(zr_syscalls::Errno::EINVAL),
             };
             fs.set_owner(ino, e.uid, e.gid)?;
@@ -698,10 +750,25 @@ mod tests {
     }
 
     #[test]
-    fn sockets_are_reported_not_mangled() {
+    fn sockets_round_trip_via_pax_records() {
         let root = Access::root();
         let mut fs = Fs::new();
         fs.mknod("/sock", FileKind::Socket, 0o755, &root).unwrap();
-        assert!(matches!(tree_to_tar(&fs), Err(StoreError::Corrupt(_))));
+        let ino = fs.resolve("/sock", &root, FollowMode::NoFollow).unwrap();
+        fs.set_owner(ino, 3, 4).unwrap();
+        let tar = tree_to_tar(&fs).unwrap();
+        assert_eq!(tar, tree_to_tar(&fs).unwrap(), "canonical bytes");
+        let mut rebuilt = Fs::new();
+        apply_tar(&mut rebuilt, &tar).unwrap();
+        assert_eq!(rebuilt.tree_digest(), fs.tree_digest());
+        let st = rebuilt.stat("/sock", &root, FollowMode::NoFollow).unwrap();
+        assert_eq!(st.mode & S_IFMT, S_IFSOCK, "socket, not fifo");
+        assert_eq!((st.uid, st.gid), (3, 4));
+        // The PAX marker must not leak onto genuine fifos.
+        let mut plain = Fs::new();
+        plain.mknod("/pipe", FileKind::Fifo, 0o600, &root).unwrap();
+        let mut rt = Fs::new();
+        apply_tar(&mut rt, &tree_to_tar(&plain).unwrap()).unwrap();
+        assert_eq!(rt.tree_digest(), plain.tree_digest());
     }
 }

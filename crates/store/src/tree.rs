@@ -36,31 +36,59 @@ const KIND_SOCKET: u8 = 6;
 /// directories cannot be hard-linked).
 const KIND_HARDLINK: u8 = 7;
 
-/// Encode `fs` as a tree record. `store_blob` is called once per
+/// One entry of a tree record, as exact bytes.
+///
+/// `bytes` is the entry's full encoding *including* its leading path
+/// string — concatenating entries (with the record header) reproduces
+/// the canonical record byte-for-byte, which is what lets delta
+/// records diff and patch at entry granularity without re-deriving
+/// anything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeEntry {
+    /// The entry's absolute path.
+    pub path: String,
+    /// The entry's exact record bytes (path included).
+    pub bytes: Vec<u8>,
+    /// For regular-file entries, the payload blob digest recorded in
+    /// `bytes` (hard links carry `None`; their payload digest lives on
+    /// the first path).
+    pub file_digest: Option<String>,
+}
+
+/// Encode `fs` as tree-record entries. `store_blob` is called once per
 /// distinct file inode to persist its payload and return the digest
 /// recorded in its entry (hard links reference the first path).
-pub fn encode_tree(
+pub fn encode_tree_entries(
     fs: &Fs,
     mut store_blob: impl FnMut(&Arc<Blob>) -> Result<String>,
-) -> Result<Vec<u8>> {
+) -> Result<Vec<TreeEntry>> {
     let root = Access::root();
     let paths = fs.walk_paths(&root);
-    let mut enc = Enc::new(TREE_MAGIC);
-    enc.u64(paths.len() as u64);
-    // First path seen for each non-directory inode: later occurrences
-    // are hard links to it.
-    let mut first_path: HashMap<u64, String> = HashMap::new();
+    let mut entries: Vec<TreeEntry> = Vec::with_capacity(paths.len());
+    // Entry index of the first path seen for each non-directory inode:
+    // later occurrences are hard links to it.
+    let mut first_entry: HashMap<u64, usize> = HashMap::new();
     for (path, st) in paths {
+        // Sized for the common shapes (a file entry is its path, a hex
+        // digest and ~45 fixed bytes) so the hot walk never reallocs.
+        let mut enc = Enc::raw_with_capacity(path.len() + 128);
+        let mut file_digest = None;
         enc.str(&path);
         let kind_bits = st.mode & S_IFMT;
         let is_dir = kind_bits == S_IFDIR;
         if !is_dir {
-            if let Some(earlier) = first_path.get(&st.ino) {
+            if let Some(&earlier) = first_entry.get(&st.ino) {
                 enc.u8(KIND_HARDLINK);
-                enc.str(earlier);
-                continue; // metadata lives on the first entry
+                enc.str(&entries[earlier].path);
+                // Metadata lives on the first entry.
+                entries.push(TreeEntry {
+                    path,
+                    bytes: enc.finish(),
+                    file_digest: None,
+                });
+                continue;
             }
-            first_path.insert(st.ino, path.clone());
+            first_entry.insert(st.ino, entries.len());
         }
         match kind_bits {
             S_IFDIR => {
@@ -68,16 +96,17 @@ pub fn encode_tree(
             }
             S_IFREG => {
                 let blob = fs
-                    .read_file_blob(&path, &root)
+                    .file_blob(st.ino)
                     .map_err(|e| StoreError::corrupt(format!("read {path}: {e}")))?;
                 let digest = store_blob(&blob)?;
                 enc.u8(KIND_FILE);
                 enc.str(&digest);
                 enc.u64(blob.len() as u64);
+                file_digest = Some(digest);
             }
             S_IFLNK => {
                 let target = fs
-                    .readlink(&path, &root)
+                    .symlink_target(st.ino)
                     .map_err(|e| StoreError::corrupt(format!("readlink {path}: {e}")))?;
                 enc.u8(KIND_SYMLINK);
                 enc.str(&target);
@@ -115,8 +144,117 @@ pub fn encode_tree(
             enc.str(&name);
             enc.bytes(&value);
         }
+        entries.push(TreeEntry {
+            path,
+            bytes: enc.finish(),
+            file_digest,
+        });
     }
-    Ok(enc.finish())
+    Ok(entries)
+}
+
+/// Frame entries as a complete canonical tree record — byte-identical
+/// to what [`encode_tree`] produces from the live filesystem.
+pub fn assemble_tree_record(entries: &[TreeEntry]) -> Vec<u8> {
+    let mut enc = Enc::new(TREE_MAGIC);
+    enc.u64(entries.len() as u64);
+    let mut out = enc.finish();
+    for entry in entries {
+        out.extend_from_slice(&entry.bytes);
+    }
+    out
+}
+
+/// Hex digest of the canonical tree record for `entries`, streamed —
+/// hashes exactly the bytes [`assemble_tree_record`] would produce
+/// without materializing the record.
+pub fn hash_tree_record(entries: &[TreeEntry]) -> String {
+    let mut enc = Enc::new(TREE_MAGIC);
+    enc.u64(entries.len() as u64);
+    let mut sha = zr_digest::Sha256::new();
+    sha.update(&enc.finish());
+    for entry in entries {
+        sha.update(&entry.bytes);
+    }
+    zr_digest::hex(&sha.finalize())
+}
+
+/// Split a tree record back into its exact per-entry byte slices (the
+/// inverse of [`assemble_tree_record`]). Validates structure only —
+/// payload digests are not fetched.
+pub fn split_tree_record(bytes: &[u8]) -> Result<Vec<TreeEntry>> {
+    let mut dec = Dec::new(bytes, TREE_MAGIC)?;
+    let count = dec.u64()?;
+    let mut entries = Vec::new();
+    for _ in 0..count {
+        let start = dec.pos();
+        let path = dec.str()?;
+        let kind = dec.u8()?;
+        let mut file_digest = None;
+        let has_metadata = match kind {
+            KIND_HARDLINK => {
+                dec.str()?;
+                false
+            }
+            KIND_DIR | KIND_FIFO | KIND_SOCKET => true,
+            KIND_FILE => {
+                file_digest = Some(dec.str()?);
+                dec.u64()?;
+                true
+            }
+            KIND_SYMLINK => {
+                dec.str()?;
+                true
+            }
+            KIND_CHARDEV | KIND_BLOCKDEV => {
+                dec.u64()?;
+                true
+            }
+            other => {
+                return Err(StoreError::corrupt(format!(
+                    "{path}: unknown entry kind {other}"
+                )));
+            }
+        };
+        if has_metadata {
+            dec.u32()?;
+            dec.u32()?;
+            dec.u32()?;
+            dec.u64()?;
+            let xattr_count = dec.u64()?;
+            for _ in 0..xattr_count {
+                dec.str()?;
+                dec.bytes()?;
+            }
+        }
+        entries.push(TreeEntry {
+            path,
+            bytes: bytes[start..dec.pos()].to_vec(),
+            file_digest,
+        });
+    }
+    dec.done()?;
+    Ok(entries)
+}
+
+/// Order paths the way `Fs::walk_paths` emits them: depth-first
+/// pre-order with sorted children. That is component-wise comparison,
+/// *not* whole-string order — `/d/y` walks before `/d.x` even though
+/// `'.' < '/'` byte-wise, because the walk descends into `/d` first.
+/// Delta reconstruction re-sorts patched entries with this comparator
+/// so the reassembled record is byte-identical to a fresh encoding.
+pub(crate) fn walk_order(a: &str, b: &str) -> std::cmp::Ordering {
+    a.split('/')
+        .filter(|c| !c.is_empty())
+        .cmp(b.split('/').filter(|c| !c.is_empty()))
+}
+
+/// Encode `fs` as a complete tree record (see [`encode_tree_entries`]).
+pub fn encode_tree(
+    fs: &Fs,
+    store_blob: impl FnMut(&Arc<Blob>) -> Result<String>,
+) -> Result<Vec<u8>> {
+    Ok(assemble_tree_record(&encode_tree_entries(fs, store_blob)?))
 }
 
 /// One deferred metadata fix-up (applied after the whole structure
@@ -330,6 +468,41 @@ mod tests {
         let fs = sample_fs();
         let enc = |fs: &Fs| encode_tree(fs, |blob| Ok(blob.sha_hex())).unwrap();
         assert_eq!(enc(&fs), enc(&fs.clone()));
+    }
+
+    #[test]
+    fn split_and_assemble_invert_each_other() {
+        let fs = sample_fs();
+        let entries = encode_tree_entries(&fs, |blob| Ok(blob.sha_hex())).unwrap();
+        let record = assemble_tree_record(&entries);
+        assert_eq!(record, encode_tree(&fs, |blob| Ok(blob.sha_hex())).unwrap());
+        let split = split_tree_record(&record).unwrap();
+        assert_eq!(split, entries);
+        assert_eq!(assemble_tree_record(&split), record);
+        // The hardlink entry carries no digest; its first path does.
+        let bak = split.iter().find(|e| e.path == "/etc/passwd.bak").unwrap();
+        assert!(bak.file_digest.is_none());
+        let first = split.iter().find(|e| e.path == "/etc/passwd").unwrap();
+        assert!(first.file_digest.is_some());
+    }
+
+    #[test]
+    fn walk_order_matches_walk_paths() {
+        let root = Access::root();
+        let mut fs = sample_fs();
+        // The classic trap: '.' < '/' byte-wise, so plain string sort
+        // would put "/etc.x" before "/etc/..." — the walk does not.
+        fs.write_file("/etc.x", 0o644, b"x".to_vec(), &root)
+            .unwrap();
+        let walked: Vec<String> = fs.walk_paths(&root).into_iter().map(|(p, _)| p).collect();
+        let mut sorted = walked.clone();
+        sorted.sort_by(|a, b| walk_order(a, b));
+        assert_eq!(sorted, walked);
+        assert_ne!(sorted, {
+            let mut s = walked.clone();
+            s.sort();
+            s
+        });
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! Content-defined chunking through the store's public surface: large
+//! blobs round-trip invisibly, appends rewrite only the tail, gc
+//! collects dead chunks, and property tests pin the chunker's
+//! determinism and the batched/unbatched layout identity.
+
+mod common;
+
+use common::Scratch;
+use proptest::prelude::*;
+
+use zr_store::{chunk_spans, Cas, CHUNK_THRESHOLD, MAX_CHUNK, MIN_CHUNK};
+
+/// Deterministic pseudo-random bytes (xorshift64) — incompressible
+/// enough that the gear hash cuts at its average rate.
+fn patterned(len: usize, seed: u64) -> Vec<u8> {
+    let mut x = seed | 1;
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out.truncate(len);
+    out
+}
+
+#[test]
+fn large_blobs_round_trip_through_chunks() {
+    let dir = Scratch::new("chunk-rt");
+    let cas = Cas::open(dir.path()).unwrap();
+    let data = patterned(3 * CHUNK_THRESHOLD + 12_345, 7);
+    let digest = cas.put(&data).unwrap();
+
+    let stats = cas.stats();
+    assert_eq!(stats.chunk_indexes, 1, "stored as index + chunks");
+    assert!(stats.writes > 1, "several chunk objects written");
+    assert!(
+        !dir.join(&format!("blobs/sha256/{digest}")).exists(),
+        "no whole-file copy alongside the chunks"
+    );
+    assert!(dir.join(&format!("chunks/{digest}")).exists());
+
+    // Chunking is invisible to readers: same digest, same bytes, and
+    // the logical digest is verified end to end.
+    assert!(cas.contains(&digest));
+    assert_eq!(cas.get(&digest).unwrap(), data);
+    let blob = cas.get_blob(&digest).unwrap();
+    assert_eq!(blob.sha_hex(), digest);
+
+    // A re-put of the same logical content is a pure dedup skip.
+    let writes_before = cas.stats().writes;
+    assert_eq!(cas.put(&data).unwrap(), digest);
+    assert_eq!(cas.stats().writes, writes_before);
+    assert!(cas.stats().dedup_skips >= 1);
+
+    // Corrupting one chunk is caught by the logical-digest check.
+    let chunk_name = std::fs::read_dir(dir.join("blobs/sha256"))
+        .unwrap()
+        .next()
+        .unwrap()
+        .unwrap()
+        .path();
+    std::fs::write(&chunk_name, b"tampered chunk").unwrap();
+    assert!(cas.get(&digest).is_err());
+}
+
+#[test]
+fn appending_rewrites_only_the_tail_chunks() {
+    let dir = Scratch::new("chunk-append");
+    let cas = Cas::open(dir.path()).unwrap();
+    let base = patterned(1024 * 1024, 11);
+    cas.put(&base).unwrap();
+    let writes_before = cas.stats().writes;
+
+    let mut extended = base.clone();
+    extended.extend_from_slice(&patterned(64 * 1024, 13));
+    let digest = cas.put(&extended).unwrap();
+
+    let stats = cas.stats();
+    assert!(
+        stats.chunk_dedup_saved >= base.len() as u64 / 2,
+        "most of the unchanged prefix deduplicated ({} of {} bytes saved)",
+        stats.chunk_dedup_saved,
+        base.len()
+    );
+    assert!(
+        stats.writes - writes_before <= 3,
+        "only boundary-adjacent and new tail chunks written ({} writes)",
+        stats.writes - writes_before
+    );
+    assert_eq!(cas.get(&digest).unwrap(), extended);
+}
+
+#[test]
+fn gc_collects_dead_chunked_blobs_but_keeps_pinned_ones() {
+    let dir = Scratch::new("chunk-gc");
+    let cas = Cas::open(dir.path()).unwrap();
+    let keep = patterned(2 * CHUNK_THRESHOLD, 17);
+    let drop_ = patterned(2 * CHUNK_THRESHOLD, 19);
+    let keep_digest = cas.put(&keep).unwrap();
+    let drop_digest = cas.put(&drop_).unwrap();
+    cas.pin("keeper", std::slice::from_ref(&keep_digest))
+        .unwrap();
+
+    let report = cas.gc().unwrap();
+    assert!(report.removed > 1, "dead index and its chunks collected");
+    assert!(!cas.contains(&drop_digest));
+    assert!(cas.contains(&keep_digest));
+    assert_eq!(cas.get(&keep_digest).unwrap(), keep, "pinned chunks live");
+
+    // The survivor is still whole after a reopen (census includes
+    // chunk indexes).
+    drop(cas);
+    let cas = Cas::open(dir.path()).unwrap();
+    assert_eq!(cas.stats().chunk_indexes, 1);
+    assert_eq!(cas.get(&keep_digest).unwrap(), keep);
+}
+
+proptest! {
+    /// The chunker is a pure function of the bytes: spans tile the
+    /// input exactly, respect the size bounds, and never depend on
+    /// anything but content.
+    #[test]
+    fn prop_spans_tile_input_and_respect_bounds(
+        len in 0usize..400_000,
+        seed in any::<u64>(),
+    ) {
+        let data = patterned(len, seed);
+        let spans = chunk_spans(&data);
+        prop_assert_eq!(chunk_spans(&data), spans.clone(), "deterministic");
+        let mut expect = 0usize;
+        for (i, &(start, end)) in spans.iter().enumerate() {
+            prop_assert_eq!(start, expect, "contiguous tiling");
+            let chunk_len = end - start;
+            prop_assert!(chunk_len <= MAX_CHUNK);
+            if i + 1 != spans.len() {
+                prop_assert!(chunk_len >= MIN_CHUNK, "only the tail may be short");
+            }
+            expect = end;
+        }
+        prop_assert_eq!(expect, data.len(), "spans cover every byte");
+    }
+
+    /// Content-defined means edit-local: every complete chunk of a
+    /// prefix survives appending to it — the property the append
+    /// dedup win rests on.
+    #[test]
+    fn prop_appending_preserves_complete_prefix_chunks(
+        len_a in 1usize..250_000,
+        len_b in 1usize..100_000,
+        seed in any::<u64>(),
+    ) {
+        let a = patterned(len_a, seed);
+        let mut full = a.clone();
+        full.extend_from_slice(&patterned(len_b, seed.wrapping_add(1)));
+        let before = chunk_spans(&a);
+        let after = chunk_spans(&full);
+        // Every span of `a` except the final (end-of-input-forced) one
+        // must reappear verbatim.
+        for span in &before[..before.len() - 1] {
+            prop_assert!(after.contains(span), "boundary {:?} lost", span);
+        }
+    }
+
+    /// How a write reaches the store — one-shot put or staged in a
+    /// batch — must not change a single on-disk object name: chunk
+    /// digests are part of the dedup contract between processes.
+    #[test]
+    fn prop_batched_and_direct_puts_lay_out_identically(
+        len in 1usize..300_000,
+        seed in any::<u64>(),
+    ) {
+        let data = patterned(len, seed);
+
+        let dir_a = Scratch::new("layout-direct");
+        let cas_a = Cas::open(dir_a.path()).unwrap();
+        let digest_a = cas_a.put(&data).unwrap();
+
+        let dir_b = Scratch::new("layout-batch");
+        let cas_b = Cas::open(dir_b.path()).unwrap();
+        let mut batch = cas_b.batch();
+        let digest_b = batch.put(&data).unwrap();
+        batch.commit().unwrap();
+
+        prop_assert_eq!(&digest_a, &digest_b);
+        for sub in ["blobs/sha256", "chunks"] {
+            let list = |dir: &Scratch| -> Vec<String> {
+                let mut names: Vec<String> = std::fs::read_dir(dir.join(sub))
+                    .unwrap()
+                    .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+                    .collect();
+                names.sort();
+                names
+            };
+            prop_assert_eq!(list(&dir_a), list(&dir_b), "{} differs", sub);
+        }
+        prop_assert_eq!(cas_a.get(&digest_a).unwrap(), data.clone());
+        prop_assert_eq!(cas_b.get(&digest_b).unwrap(), data);
+    }
+}

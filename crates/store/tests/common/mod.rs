@@ -30,7 +30,9 @@ impl Scratch {
         &self.path
     }
 
-    /// A sub-path inside the scratch directory.
+    /// A sub-path inside the scratch directory. (Not every test binary
+    /// that compiles this shared module uses it.)
+    #[allow(dead_code)]
     pub fn join(&self, rel: &str) -> PathBuf {
         self.path.join(rel)
     }

@@ -1,0 +1,270 @@
+//! The delta layer-record path end to end: chains reload through a
+//! fresh handle, the depth bound falls back to full records, a broken
+//! chain reads as a healable miss, and a property test pins that the
+//! delta and full routes persist byte-for-byte the same tree.
+
+mod common;
+
+use common::Scratch;
+use proptest::prelude::*;
+
+use zr_image::{CacheKey, Layer, LayerPersistence, LayerState};
+use zr_store::{open_layer_store, MAX_DELTA_DEPTH};
+use zr_vfs::fs::{FollowMode, Fs};
+use zr_vfs::Access;
+
+fn state(stamp: &str) -> LayerState {
+    LayerState {
+        args: vec![("STAMP".into(), stamp.into())],
+        stage: None,
+    }
+}
+
+fn base_fs() -> Fs {
+    let acc = Access::root();
+    let mut fs = Fs::new();
+    fs.mkdir_p("/etc", 0o755).unwrap();
+    fs.mkdir_p("/data", 0o755).unwrap();
+    for i in 0..16 {
+        fs.write_file(
+            &format!("/data/f{i}"),
+            0o644,
+            format!("seed-{i}").into_bytes(),
+            &acc,
+        )
+        .unwrap();
+    }
+    fs
+}
+
+/// A chain of `n` layers, each editing one file on top of its parent.
+fn build_chain(n: usize) -> Vec<Layer> {
+    let acc = Access::root();
+    let mut layers: Vec<Layer> = Vec::new();
+    for i in 0..n {
+        let (parent_key, mut fs) = match layers.last() {
+            Some(prev) => (Some(prev.id.clone()), prev.fs.clone()),
+            None => (None, base_fs()),
+        };
+        fs.write_file("/etc/stamp", 0o644, format!("layer-{i}").into_bytes(), &acc)
+            .unwrap();
+        fs.write_file(&format!("/data/new-{i}"), 0o600, vec![i as u8; 64], &acc)
+            .unwrap();
+        layers.push(Layer {
+            id: CacheKey::compute(parent_key.as_ref(), &format!("RUN edit {i}"), "", "seccomp"),
+            parent: parent_key,
+            fs,
+            state: state(&format!("s{i}")),
+        });
+    }
+    layers
+}
+
+#[test]
+fn delta_chain_reloads_exactly_through_a_fresh_handle() {
+    let dir = Scratch::new("delta-chain");
+    let (_, disk) = open_layer_store(dir.path()).unwrap();
+    let layers = build_chain(4);
+    disk.persist(&layers[0]);
+    for i in 1..layers.len() {
+        disk.persist_with_parent(&layers[i], Some(&layers[i - 1]));
+    }
+    let stats = disk.stats();
+    assert_eq!(stats.persisted, 4);
+    assert_eq!(stats.delta_persisted, 3, "every child rode the delta path");
+    assert_eq!(stats.errors, 0);
+
+    // A fresh handle — no shared memory, no warm tree cache — must
+    // reconstruct every chain link from the records alone.
+    let (_, disk2) = open_layer_store(dir.path()).unwrap();
+    let acc = Access::root();
+    for layer in &layers {
+        let loaded = disk2.load(&layer.id).expect("persisted layer loads");
+        assert_eq!(loaded.fs.tree_digest(), layer.fs.tree_digest());
+        assert_eq!(loaded.state.args, layer.state.args);
+        assert_eq!(
+            loaded.fs.read_file("/etc/stamp", &acc).unwrap(),
+            layer.fs.read_file("/etc/stamp", &acc).unwrap()
+        );
+    }
+    assert_eq!(disk2.stats().loaded, 4);
+    assert_eq!(disk2.stats().errors, 0);
+}
+
+#[test]
+fn chains_past_the_depth_bound_fall_back_to_full_records() {
+    let dir = Scratch::new("delta-depth");
+    let (_, disk) = open_layer_store(dir.path()).unwrap();
+    // One more layer than a maximal chain: layer 0 is full, layers
+    // 1..=MAX ride deltas at depths 1..=MAX, and the next one must
+    // reset the chain with a fresh full record.
+    let n = MAX_DELTA_DEPTH as usize + 2;
+    let layers = build_chain(n);
+    disk.persist(&layers[0]);
+    for i in 1..n {
+        disk.persist_with_parent(&layers[i], Some(&layers[i - 1]));
+    }
+    let stats = disk.stats();
+    assert_eq!(stats.persisted, n as u64);
+    assert_eq!(
+        stats.delta_persisted, MAX_DELTA_DEPTH,
+        "exactly the bounded chain is deltas; the overflow layer is full"
+    );
+    assert_eq!(stats.errors, 0);
+
+    // Both the deepest delta and the post-reset full layer reload.
+    let (_, disk2) = open_layer_store(dir.path()).unwrap();
+    for i in [MAX_DELTA_DEPTH as usize, n - 1] {
+        let loaded = disk2.load(&layers[i].id).expect("layer loads");
+        assert_eq!(loaded.fs.tree_digest(), layers[i].fs.tree_digest());
+    }
+}
+
+#[test]
+fn a_broken_chain_is_a_miss_and_repersisting_heals_it() {
+    let dir = Scratch::new("delta-heal");
+    let layers = build_chain(2);
+    {
+        let (_, disk) = open_layer_store(dir.path()).unwrap();
+        disk.persist(&layers[0]);
+        disk.persist_with_parent(&layers[1], Some(&layers[0]));
+        assert_eq!(disk.stats().delta_persisted, 1);
+        // Lose the parent (the moral equivalent of eviction): the
+        // child's delta can no longer be reconstructed.
+        assert!(disk.remove(&layers[0].id).unwrap());
+        disk.cas().gc().unwrap();
+    }
+    let (_, disk) = open_layer_store(dir.path()).unwrap();
+    assert!(
+        disk.load(&layers[1].id).is_none(),
+        "a dangling delta reads as a cache miss, not a panic"
+    );
+    assert_eq!(disk.stats().errors, 1, "the broken chain was noted");
+
+    // The build re-executes the layer and persists it again; with the
+    // parent gone the record comes back full, and the store is healed.
+    disk.persist_with_parent(&layers[1], None);
+    assert_eq!(disk.stats().delta_persisted, 0);
+    let (_, disk2) = open_layer_store(dir.path()).unwrap();
+    let loaded = disk2.load(&layers[1].id).expect("healed layer loads");
+    assert_eq!(loaded.fs.tree_digest(), layers[1].fs.tree_digest());
+}
+
+/// One arbitrary filesystem mutation (same op vocabulary as the OCI
+/// round-trip property test, sockets and device nodes included).
+fn apply_op(fs: &mut Fs, op: (u8, u8, u8)) {
+    let (kind, target, payload) = op;
+    let name = format!("/f{}", target % 8);
+    let other = format!("/f{}", payload % 8);
+    let nested = format!("/d{}/g{}", target % 3, payload % 4);
+    let acc = Access::root();
+    match kind % 13 {
+        0 | 1 => {
+            let _ = fs.write_file(&name, 0o644, vec![payload; payload as usize % 64 + 1], &acc);
+        }
+        2 => {
+            let _ = fs.mkdir_p(&format!("/d{}", target % 3), 0o755);
+            let _ = fs.write_file(&nested, 0o640, vec![payload; 8], &acc);
+        }
+        3 => {
+            let _ = fs.append_file(&name, &[payload], &acc);
+        }
+        4 => {
+            if let Ok(ino) = fs.resolve(&name, &acc, FollowMode::NoFollow) {
+                let _ = fs.set_perm(ino, 0o600 | u32::from(payload % 0o200));
+            }
+        }
+        5 => {
+            if let Ok(ino) = fs.resolve(&name, &acc, FollowMode::NoFollow) {
+                let _ = fs.set_owner(ino, u32::from(payload), u32::from(target));
+            }
+        }
+        6 => {
+            let _ = fs.unlink(&name, &acc);
+        }
+        7 => {
+            let _ = fs.link(&name, &other, &acc);
+        }
+        8 => {
+            let _ = fs.rename(&name, &other, &acc);
+        }
+        9 => {
+            let _ = fs.symlink(&other, &name, &acc);
+        }
+        10 => {
+            use zr_syscalls::mode::makedev;
+            let _ = fs.mknod(
+                &name,
+                zr_vfs::FileKind::CharDev(makedev(u32::from(target), u32::from(payload))),
+                0o660,
+                &acc,
+            );
+        }
+        11 => {
+            let _ = fs.mknod(&name, zr_vfs::FileKind::Socket, 0o700, &acc);
+        }
+        _ => {
+            if let Ok(ino) = fs.resolve(&name, &acc, FollowMode::NoFollow) {
+                let _ = fs.set_xattr(ino, "user.p", &[payload]);
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Whatever a layer does to its filesystem, persisting it as a
+    /// delta against its parent and persisting it standalone as a full
+    /// record must load back the *same* tree — delta encoding is an
+    /// optimization, never a semantic.
+    #[test]
+    fn prop_delta_and_full_routes_load_identically(
+        setup in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 0..16),
+        edits in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..24),
+    ) {
+        let mut parent_fs = Fs::new();
+        for op in setup {
+            apply_op(&mut parent_fs, op);
+        }
+        let mut child_fs = parent_fs.clone();
+        for op in edits {
+            apply_op(&mut child_fs, op);
+        }
+        let parent_key = CacheKey::compute(None, "FROM prop", "", "seccomp");
+        let parent = Layer {
+            id: parent_key.clone(),
+            parent: None,
+            fs: parent_fs,
+            state: state("parent"),
+        };
+        let child = Layer {
+            id: CacheKey::compute(Some(&parent_key), "RUN prop", "", "seccomp"),
+            parent: Some(parent_key),
+            fs: child_fs.clone(),
+            state: state("child"),
+        };
+
+        // Route A: delta against the persisted parent.
+        let dir_a = Scratch::new("prop-delta");
+        let (_, disk_a) = open_layer_store(dir_a.path()).unwrap();
+        disk_a.persist(&parent);
+        disk_a.persist_with_parent(&child, Some(&parent));
+        prop_assert_eq!(disk_a.stats().errors, 0);
+        prop_assert_eq!(disk_a.stats().delta_persisted, 1, "delta route taken");
+
+        // Route B: the same layer, parentless, as a full record.
+        let full_only = Layer { parent: None, ..child.clone() };
+        let dir_b = Scratch::new("prop-full");
+        let (_, disk_b) = open_layer_store(dir_b.path()).unwrap();
+        disk_b.persist(&full_only);
+        prop_assert_eq!(disk_b.stats().errors, 0);
+
+        let (_, fresh_a) = open_layer_store(dir_a.path()).unwrap();
+        let (_, fresh_b) = open_layer_store(dir_b.path()).unwrap();
+        let via_delta = fresh_a.load(&child.id).expect("delta route loads");
+        let via_full = fresh_b.load(&full_only.id).expect("full route loads");
+        let want = child_fs.tree_digest();
+        prop_assert_eq!(via_delta.fs.tree_digest(), want.clone());
+        prop_assert_eq!(via_full.fs.tree_digest(), want);
+        prop_assert_eq!(via_delta.state.args, via_full.state.args);
+    }
+}

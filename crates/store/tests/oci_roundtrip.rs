@@ -218,15 +218,15 @@ fn tampered_layer_blobs_are_rejected() {
     assert!(import(dir.path()).is_err(), "verification catches the flip");
 }
 
-/// Interpret one encoded op against `fs` (the cow_props universe,
-/// minus sockets — ustar cannot carry them).
+/// Interpret one encoded op against `fs` (the cow_props universe —
+/// sockets included, carried through the tar as PAX extension records).
 fn apply_op(fs: &mut Fs, op: (u8, u8, u8)) {
     let (kind, target, payload) = op;
     let name = format!("/f{}", target % 8);
     let other = format!("/f{}", payload % 8);
     let nested = format!("/d{}/g{}", target % 3, payload % 4);
     let acc = Access::root();
-    match kind % 12 {
+    match kind % 13 {
         0 | 1 => {
             let _ = fs.write_file(&name, 0o644, vec![payload; payload as usize % 64 + 1], &acc);
         }
@@ -267,6 +267,9 @@ fn apply_op(fs: &mut Fs, op: (u8, u8, u8)) {
                 0o660,
                 &acc,
             );
+        }
+        11 => {
+            let _ = fs.mknod(&name, zr_vfs::FileKind::Socket, 0o700, &acc);
         }
         _ => {
             if let Ok(ino) = fs.resolve(&name, &acc, FollowMode::NoFollow) {

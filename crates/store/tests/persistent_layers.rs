@@ -100,10 +100,18 @@ fn shared_payloads_dedup_on_disk_and_gc_keeps_pinned_layers() {
     store.insert(sample_layer(&k1, None, "one"));
     store.insert(sample_layer(&k2, Some(&k1), "two"));
     let stats = disk.cas().stats();
-    assert!(
-        stats.dedup_skips >= 1,
-        "the shared payload must be written once: {stats}"
+    assert_eq!(
+        disk.stats().delta_persisted,
+        1,
+        "k2 persists as a delta against k1"
     );
+    // k1 writes its stamp, the shared payload and its tree record; k2's
+    // delta adds only its changed stamp and the delta blob — the shared
+    // payload is never even re-offered to the store.
+    assert_eq!(stats.blobs, 5, "shared payload stored once: {stats}");
+    // Offering it again dedups against the existing blob.
+    disk.cas().put(&vec![7u8; 4096]).unwrap();
+    assert!(disk.cas().stats().dedup_skips >= 1);
 
     // gc with both layers pinned removes nothing.
     let report = disk.cas().gc().unwrap();

@@ -688,6 +688,27 @@ impl Fs {
         }
     }
 
+    /// The shared payload blob of a regular-file inode — the by-inode
+    /// twin of [`read_file_blob`](Self::read_file_blob), with no path
+    /// resolution and no permission regime (serializer use: a tree walk
+    /// already holds the inode numbers, re-resolving every path would
+    /// make the walk O(paths·depth)).
+    pub fn file_blob(&self, ino: Ino) -> Result<Arc<Blob>, Errno> {
+        match &self.inode(ino)?.kind {
+            FileKind::File(blob) => Ok(Arc::clone(blob)),
+            FileKind::Dir { .. } => Err(Errno::EISDIR),
+            _ => Err(Errno::EINVAL),
+        }
+    }
+
+    /// The target of a symlink inode (by-inode `readlink`).
+    pub fn symlink_target(&self, ino: Ino) -> Result<String, Errno> {
+        match &self.inode(ino)?.kind {
+            FileKind::Symlink(t) => Ok(t.clone()),
+            _ => Err(Errno::EINVAL),
+        }
+    }
+
     /// Directory listing (requires read permission on the directory).
     pub fn read_dir(&self, path: &str, access: &Access) -> Result<Vec<(String, Ino)>, Errno> {
         let ino = self.resolve(path, access, FollowMode::Follow)?;
