@@ -6,7 +6,7 @@
 //! ```
 //!
 //! With `--json`, the gate verdicts and the numeric bench metrics are
-//! additionally written to `BENCH_6.json` (or `PATH`) so CI can upload
+//! additionally written to `BENCH_7.json` (or `PATH`) so CI can upload
 //! them and the perf trajectory is tracked across PRs.
 
 use zeroroot_core::Mode;
@@ -93,7 +93,7 @@ fn best_of<T>(n: u32, mut f: impl FnMut() -> (std::time::Duration, T)) -> (std::
 fn main() {
     let json_path = std::env::args().skip(1).find_map(|a| {
         if a == "--json" {
-            Some("BENCH_6.json".to_string())
+            Some("BENCH_7.json".to_string())
         } else {
             a.strip_prefix("--json=").map(str::to_string)
         }
@@ -713,6 +713,126 @@ fn main() {
             && delta_chain_ok
             && depth_bound_respected
             && chunk_dedup_ratio >= 0.5,
+    });
+
+    // ---- W-wire ------------------------------------------------------------------
+    // The remote-registry gate, in three parts.
+    //
+    // (a) Wire round-trip: a built image exported to an OCI layout,
+    //     pushed to a live loopback `zr serve` endpoint, and pulled
+    //     back must reproduce a byte-identical `Image::digest` (every
+    //     blob digest-verified on both sides of the socket).
+    //
+    // (b) FROM over the wire: a *cold* builder whose registry misses
+    //     to the endpoint (a `WireBackend` instead of the built-in
+    //     catalog) resolves `centos:7` over HTTP and builds to the
+    //     same digest; a fresh builder on the warm --cache-dir with
+    //     the same wire registry then replays the whole build without
+    //     executing anything or touching the socket again.
+    //
+    // (c) Loopback throughput: push/pull bandwidth over the wire,
+    //     logged to BENCH_7.json for the cross-PR trajectory.
+    use std::sync::Arc;
+    use zr_image::{CatalogBackend, ImageRef, PullCost, RegistryBackend, ShardedRegistry};
+    let scratch = std::env::temp_dir().join(format!("zr-paper-wire-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let endpoint_cas = zr_store::Cas::open(scratch.join("endpoint")).expect("open endpoint store");
+    let server = zr_registry::serve(endpoint_cas, "127.0.0.1:0").expect("serve loopback");
+    let client = zr_registry::RemoteRegistry::new(server.addr().to_string());
+
+    // (a) Build, export, push, pull back.
+    let wire_cache = scratch.join("cache");
+    let (mut wire_builder, _wire_disk) =
+        zr_build::Builder::with_cache_dir(&wire_cache).expect("open wire cache dir");
+    let mut wire_kernel = Kernel::default_kernel();
+    let wire_opts = BuildOptions::new("w-wire", Mode::Seccomp);
+    let wired = wire_builder.build(&mut wire_kernel, FIG1B, &wire_opts);
+    let wired_image = wired.image.as_ref().expect("wire build image");
+    let layout = scratch.join("layout");
+    zr_store::export(wired_image, &layout).expect("export for push");
+    let layout_bytes: f64 = std::fs::read_dir(layout.join("blobs/sha256"))
+        .expect("layout blobs")
+        .filter_map(|entry| entry.ok()?.metadata().ok())
+        .map(|meta| meta.len() as f64)
+        .sum();
+
+    let (t_push, push_ok) = timed(|| client.push_layout(&layout, "w-wire", "latest").is_ok());
+    let (t_pull, pulled) = timed(|| client.pull_image("w-wire", "latest"));
+    let wire_roundtrip = pulled
+        .as_ref()
+        .map(|img| img.digest() == wired_image.digest())
+        .unwrap_or(false);
+    let push_mbps = layout_bytes / 1e6 / t_push.as_secs_f64().max(1e-9);
+    let pull_mbps = layout_bytes / 1e6 / t_pull.as_secs_f64().max(1e-9);
+    metrics.push(("w_wire.push_mbps".into(), push_mbps));
+    metrics.push(("w_wire.pull_mbps".into(), pull_mbps));
+
+    // (b) Push the base image, then point a cold builder's registry at
+    // the endpoint: FROM resolves over HTTP instead of the catalog.
+    let base = CatalogBackend
+        .fetch(&ImageRef::parse("centos:7").expect("base reference"))
+        .expect("materialize base image");
+    let base_layout = scratch.join("base-layout");
+    zr_store::export(&base, &base_layout).expect("export base");
+    client
+        .push_layout(&base_layout, "centos", "7")
+        .expect("push base image");
+
+    let wire_registry = Arc::new(ShardedRegistry::with_backend(
+        ShardedRegistry::DEFAULT_SHARDS,
+        PullCost::default(),
+        Arc::new(zr_registry::WireBackend::new(server.addr().to_string())),
+    ));
+    let mut cold_wire = zr_build::Builder::new();
+    cold_wire.registry = Arc::clone(&wire_registry);
+    let mut cold_wire_kernel = Kernel::default_kernel();
+    let cold_over_wire = cold_wire.build(&mut cold_wire_kernel, FIG1B, &wire_opts);
+    let from_over_wire = cold_over_wire.success
+        && wire_registry.stats().fetches >= 1
+        && cold_over_wire
+            .image
+            .as_ref()
+            .map(|img| img.digest() == wired_image.digest())
+            .unwrap_or(false);
+
+    // Warm replay through the same wire registry: a fresh builder on
+    // the first build's --cache-dir must execute nothing and never
+    // touch the socket.
+    let (mut warm_wire, warm_wire_disk) =
+        zr_build::Builder::with_cache_dir(&wire_cache).expect("reopen wire cache dir");
+    warm_wire.registry = Arc::clone(&wire_registry);
+    let wire_fetches_before = wire_registry.stats().fetches;
+    let mut warm_wire_kernel = Kernel::default_kernel();
+    let warm_over_wire = warm_wire.build(&mut warm_wire_kernel, FIG1B, &wire_opts);
+    let warm_wire_silent = warm_over_wire.success
+        && warm_wire_kernel.counters.spawns == 0
+        && warm_over_wire.cache.misses == 0
+        && wire_registry.stats().fetches == wire_fetches_before
+        && warm_over_wire
+            .image
+            .as_ref()
+            .map(|img| img.digest() == wired_image.digest())
+            .unwrap_or(false)
+        && warm_wire_disk.error_count() == 0;
+
+    drop(server); // stop the acceptor before the scratch dir goes
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    checks.push(Check {
+        id: "W-wire",
+        paper: "push → serve → pull round-trips Image::digest byte-identically; a cold \
+                builder resolves FROM over the wire to the same digest; a fresh builder \
+                on the warm --cache-dir replays without executing or re-fetching",
+        measured: format!(
+            "roundtrip-digest-equal={wire_roundtrip} \
+             (push {t_push:.2?} @ {push_mbps:.0} MB/s, pull {t_pull:.2?} @ {pull_mbps:.0} MB/s); \
+             cold-FROM-over-wire={from_over_wire} ({} wire fetches); \
+             warm: {} executed-anything={}",
+            wire_registry.stats().fetches,
+            warm_over_wire.cache,
+            !warm_wire_silent,
+        ),
+        pass: wired.success && push_ok && wire_roundtrip && from_over_wire && warm_wire_silent,
     });
 
     // ---- report ------------------------------------------------------------------

@@ -12,11 +12,17 @@
 //! zr-image export --output DIR [build flags…]   # build, then OCI layout
 //! zr-image import DIR           # OCI layout -> image, prints the digest
 //! zr-image inspect DIR          # layout summary + image digest
+//! zr-image serve --cache-dir DIR [--addr HOST:PORT]   # OCI endpoint
+//! zr-image push --registry ADDR DIR [NAME[:TAG]]      # layout -> wire
+//! zr-image pull --registry ADDR NAME[:TAG] DIR        # wire -> layout
 //! zr-image store (gc|stats) --cache-dir DIR
 //! zr-image filter [ARCH…]       # compiled seccomp filter, disassembled
 //! zr-image table                # the 29 filtered syscalls × 6 arches
 //! zr-image list                 # known base images
 //! ```
+//!
+//! `build --registry ADDR` resolves `FROM` over the wire instead of
+//! the built-in catalog (the pull-through cache still applies).
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -33,7 +39,8 @@ use zr_syscalls::Arch;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: zr-image build -t TAG [--force=MODE] [--no-cache] [--cache-stats] \
-         [--cache-limit BYTES] [--cache-dir DIR] [-f DOCKERFILE] [CONTEXT_DIR]"
+         [--cache-limit BYTES] [--cache-dir DIR] [--store-limit BYTES] \
+         [--registry ADDR] [-f DOCKERFILE] [CONTEXT_DIR]"
     );
     eprintln!(
         "       zr-image build-many [--jobs N] [--force=MODE] [--no-cache] [--cache-stats] \
@@ -43,6 +50,9 @@ fn usage() -> ExitCode {
     eprintln!("       zr-image export --output DIR [build flags…]");
     eprintln!("       zr-image import DIR");
     eprintln!("       zr-image inspect DIR");
+    eprintln!("       zr-image serve --cache-dir DIR [--addr HOST:PORT]");
+    eprintln!("       zr-image push --registry ADDR DIR [NAME[:TAG]]");
+    eprintln!("       zr-image pull --registry ADDR NAME[:TAG] DIR");
     eprintln!("       zr-image store (gc|stats) --cache-dir DIR");
     eprintln!("       zr-image filter [ARCH…]");
     eprintln!("       zr-image table");
@@ -62,6 +72,9 @@ fn main() -> ExitCode {
         Some("export") => cmd_export(&args[1..]),
         Some("import") => cmd_import(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("push") => cmd_push(&args[1..]),
+        Some("pull") => cmd_pull(&args[1..]),
         Some("store") => cmd_store(&args[1..]),
         Some("filter") => cmd_filter(&args[1..]),
         Some("table") => cmd_table(),
@@ -82,7 +95,9 @@ fn cmd_build(args: &[String], export_to: Option<&str>) -> ExitCode {
     let mut cache = CacheMode::Enabled;
     let mut cache_stats = false;
     let mut cache_limit = 0u64;
+    let mut store_limit: Option<u64> = None;
     let mut cache_dir: Option<String> = None;
+    let mut registry: Option<String> = None;
     let mut file: Option<String> = None;
     let mut context_dir: Option<String> = None;
 
@@ -105,6 +120,14 @@ fn cmd_build(args: &[String], export_to: Option<&str>) -> ExitCode {
             },
             "--cache-dir" => match it.next() {
                 Some(dir) => cache_dir = Some(dir.clone()),
+                None => return usage(),
+            },
+            "--store-limit" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(bytes) => store_limit = Some(bytes),
+                None => return usage(),
+            },
+            "--registry" => match it.next() {
+                Some(addr) => registry = Some(addr.clone()),
                 None => return usage(),
             },
             _ if a.starts_with("--force=") => {
@@ -168,6 +191,21 @@ fn cmd_build(args: &[String], export_to: Option<&str>) -> ExitCode {
         None => (Builder::new(), None),
     };
     builder.layers.set_budget(cache_limit);
+    if let (Some(limit), Some(disk)) = (store_limit, &disk) {
+        if let Err(e) = disk.cas().set_budget(limit) {
+            eprintln!("error: --store-limit: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(addr) = &registry {
+        // FROM resolves over the wire: the pull-through cache stays,
+        // only the miss path changes from the catalog to HTTP.
+        builder.registry = std::sync::Arc::new(ShardedRegistry::with_backend(
+            ShardedRegistry::DEFAULT_SHARDS,
+            PullCost::default(),
+            std::sync::Arc::new(zr_registry::WireBackend::new(addr)),
+        ));
+    }
     let opts = BuildOptions {
         tag,
         force,
@@ -303,6 +341,162 @@ fn cmd_inspect(args: &[String]) -> ExitCode {
     }
 }
 
+/// `serve --cache-dir DIR [--addr HOST:PORT]`: run the OCI
+/// distribution endpoint over the store at DIR until killed. The bound
+/// address is printed on stdout (one line) so scripts can pick up an
+/// OS-assigned port from `--addr 127.0.0.1:0`.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut cache_dir: Option<String> = None;
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cache-dir" => match it.next() {
+                Some(dir) => cache_dir = Some(dir.clone()),
+                None => return usage(),
+            },
+            "--addr" => match it.next() {
+                Some(a) => addr = a.clone(),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(dir) = cache_dir else {
+        eprintln!("error: serve needs --cache-dir DIR");
+        return usage();
+    };
+    let cas = match zr_store::Cas::open(&dir) {
+        Ok(cas) => cas,
+        Err(e) => {
+            eprintln!("error: --cache-dir {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match zr_registry::serve(cas, &addr) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: serve on {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", server.addr());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "serving OCI distribution API for {dir} on {}",
+        server.addr()
+    );
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Split `NAME[:TAG]` for the wire verbs (default tag `latest`).
+fn split_reference(reference: &str) -> (String, String) {
+    match reference.rsplit_once(':') {
+        Some((name, tag)) if !tag.is_empty() => (name.to_string(), tag.to_string()),
+        _ => (reference.to_string(), "latest".to_string()),
+    }
+}
+
+/// `push --registry ADDR DIR [NAME[:TAG]]`: upload an OCI layout.
+/// Without an explicit reference the layout's own ref annotation is
+/// used, so `export` → `push` needs no retyping.
+fn cmd_push(args: &[String]) -> ExitCode {
+    let mut registry: Option<String> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--registry" => match it.next() {
+                Some(addr) => registry = Some(addr.clone()),
+                None => return usage(),
+            },
+            _ if !a.starts_with('-') => positional.push(a.clone()),
+            _ => return usage(),
+        }
+    }
+    let Some(addr) = registry else {
+        eprintln!("error: push needs --registry ADDR");
+        return usage();
+    };
+    let (dir, reference) = match positional.as_slice() {
+        [dir] => {
+            let ref_name = match zr_store::inspect(dir) {
+                Ok(summary) => summary.ref_name,
+                Err(e) => {
+                    eprintln!("error: push {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            (dir.clone(), ref_name)
+        }
+        [dir, reference] => (dir.clone(), reference.clone()),
+        _ => return usage(),
+    };
+    let (name, tag) = split_reference(&reference);
+    let client = zr_registry::RemoteRegistry::new(addr.clone());
+    match client.push_layout(&dir, &name, &tag) {
+        Ok(summary) => {
+            println!("pushed {name}:{tag} to {addr}");
+            println!("manifest digest: sha256:{}", summary.manifest_digest);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: push {dir} to {addr}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `pull --registry ADDR NAME[:TAG] DIR`: fetch into an OCI layout and
+/// report the materialized image digest.
+fn cmd_pull(args: &[String]) -> ExitCode {
+    let mut registry: Option<String> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--registry" => match it.next() {
+                Some(addr) => registry = Some(addr.clone()),
+                None => return usage(),
+            },
+            _ if !a.starts_with('-') => positional.push(a.clone()),
+            _ => return usage(),
+        }
+    }
+    let Some(addr) = registry else {
+        eprintln!("error: pull needs --registry ADDR");
+        return usage();
+    };
+    let [reference, dir] = positional.as_slice() else {
+        return usage();
+    };
+    let (name, tag) = split_reference(reference);
+    let client = zr_registry::RemoteRegistry::new(addr.clone());
+    match client.pull_layout(&name, &tag, dir) {
+        Ok(summary) => {
+            print!("{summary}");
+            match zr_store::import(dir) {
+                Ok(image) => {
+                    println!("image digest: {}", image.digest());
+                    println!("pulled {name}:{tag} from {addr} into {dir}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: pulled layout fails import: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("error: pull {name}:{tag} from {addr}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// `store gc|stats --cache-dir DIR`.
 fn cmd_store(args: &[String]) -> ExitCode {
     let (action, rest) = match args.split_first() {
@@ -403,7 +597,7 @@ fn cmd_build_many(args: &[String]) -> ExitCode {
     let mut cache = CacheMode::Enabled;
     let mut cache_stats = false;
     let mut cache_limit = 0u64;
-    let mut store_limit = 0u64;
+    let mut store_limit: Option<u64> = None;
     let mut cache_dir: Option<String> = None;
     let mut blob_limit = 0u64;
     let mut shards = ShardedRegistry::DEFAULT_SHARDS;
@@ -436,7 +630,7 @@ fn cmd_build_many(args: &[String]) -> ExitCode {
                 None => return usage(),
             },
             "--store-limit" => match it.next().and_then(|v| v.parse().ok()) {
-                Some(bytes) => store_limit = bytes,
+                Some(bytes) => store_limit = Some(bytes),
                 None => return usage(),
             },
             "--cache-dir" => match it.next() {
@@ -517,6 +711,7 @@ fn cmd_build_many(args: &[String]) -> ExitCode {
         blob_budget: blob_limit,
         cache_dir: cache_dir.map(std::path::PathBuf::from),
         store_limit,
+        ..SchedulerConfig::default()
     }) {
         Ok(sched) => sched,
         Err(e) => {

@@ -30,5 +30,7 @@ pub use image::{BinKind, BinarySpec, Distro, Image, ImageMeta, ImageRef, Linkage
 pub use layer::{
     CacheKey, Layer, LayerPersistence, LayerState, LayerStore, StageSnapshot, StoreStats,
 };
-pub use registry::{PullCost, Registry, RegistryStats, ShardedRegistry};
+pub use registry::{
+    CatalogBackend, PullCost, Registry, RegistryBackend, RegistryStats, ShardedRegistry,
+};
 pub use store::ImageStore;

@@ -273,6 +273,32 @@ fn materialize(reference: &ImageRef) -> Result<Image, Errno> {
     }
 }
 
+/// Where a [`ShardedRegistry`] gets the images its pull-through cache
+/// does not hold.
+///
+/// The default [`CatalogBackend`] fabricates the paper's catalog
+/// in-process (the simulator); `zr-registry` provides a backend that
+/// resolves references against a live OCI distribution endpoint over
+/// HTTP. Everything above the backend — sharding, the blob cache, the
+/// per-reference fetch locks, the modeled [`PullCost`] — is identical
+/// either way, so `FROM` works the same against both.
+pub trait RegistryBackend: Send + Sync + std::fmt::Debug {
+    /// Fetch one image: the expensive "network" step the pull-through
+    /// cache elides. Called under the per-reference fetch lock, so
+    /// concurrent pulls of the same reference fetch exactly once.
+    fn fetch(&self, reference: &ImageRef) -> Result<Image, Errno>;
+}
+
+/// The simulator backend: materializes the built-in catalog.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CatalogBackend;
+
+impl RegistryBackend for CatalogBackend {
+    fn fetch(&self, reference: &ImageRef) -> Result<Image, Errno> {
+        materialize(reference)
+    }
+}
+
 /// Modeled network cost of talking to the registry, so the bench harness
 /// can measure how well concurrent builders overlap their pulls.
 ///
@@ -371,6 +397,8 @@ impl Shard {
 pub struct ShardedRegistry {
     shards: Vec<Shard>,
     cost: PullCost,
+    /// Where cache misses are fetched from (simulator or live wire).
+    backend: Arc<dyn RegistryBackend>,
     /// Registry-wide LRU clock (bumped on every blob hit and fetch).
     clock: AtomicU64,
     /// Blob-cache byte budget; 0 means unlimited.
@@ -407,12 +435,26 @@ impl ShardedRegistry {
         ShardedRegistry::with_cost(shards, PullCost::default())
     }
 
-    /// A registry with `shards` shards and a modeled [`PullCost`].
+    /// A registry with `shards` shards and a modeled [`PullCost`],
+    /// fetching misses from the built-in catalog.
     pub fn with_cost(shards: usize, cost: PullCost) -> ShardedRegistry {
+        ShardedRegistry::with_backend(shards, cost, Arc::new(CatalogBackend))
+    }
+
+    /// A registry whose cache misses are fetched from `backend` — the
+    /// seam `zr-registry` plugs a live OCI distribution endpoint into.
+    /// The pull-through blob cache, sharding, and per-reference fetch
+    /// locks sit *above* the backend and apply to both.
+    pub fn with_backend(
+        shards: usize,
+        cost: PullCost,
+        backend: Arc<dyn RegistryBackend>,
+    ) -> ShardedRegistry {
         let shards = shards.max(1);
         ShardedRegistry {
             shards: (0..shards).map(|_| Shard::default()).collect(),
             cost,
+            backend,
             clock: AtomicU64::new(0),
             blob_budget: AtomicU64::new(0),
             blob_bytes: AtomicU64::new(0),
@@ -541,7 +583,7 @@ impl ShardedRegistry {
             shard.blob_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(blob.image.clone());
         }
-        let image = match materialize(reference) {
+        let image = match self.backend.fetch(reference) {
             Ok(image) => image,
             Err(errno) => {
                 shard.release_fetch_lock(&key);

@@ -1,0 +1,67 @@
+//! Error type shared by the server, the client, and the wire backend.
+
+use std::fmt;
+
+/// Everything that can go wrong on the wire.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// A socket or filesystem operation failed.
+    Io(std::io::Error),
+    /// The underlying content-addressed store refused an operation.
+    Store(zr_store::StoreError),
+    /// The peer spoke malformed HTTP.
+    Protocol(String),
+    /// The other end answered with a non-success status. On the
+    /// server, raising this status while reading a request makes the
+    /// connection handler answer with it and drop the connection.
+    Status {
+        /// The HTTP status code.
+        status: u16,
+        /// Human-readable explanation (the response body).
+        message: String,
+    },
+}
+
+impl RegistryError {
+    pub(crate) fn protocol(message: impl Into<String>) -> RegistryError {
+        RegistryError::Protocol(message.into())
+    }
+
+    /// The HTTP status this error maps to, when it came off the wire.
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            RegistryError::Status { status, .. } => Some(*status),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Io(e) => write!(f, "i/o: {e}"),
+            RegistryError::Store(e) => write!(f, "store: {e}"),
+            RegistryError::Protocol(m) => write!(f, "protocol: {m}"),
+            RegistryError::Status { status, message } => {
+                write!(f, "http {status}: {}", message.trim_end())
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<std::io::Error> for RegistryError {
+    fn from(e: std::io::Error) -> RegistryError {
+        RegistryError::Io(e)
+    }
+}
+
+impl From<zr_store::StoreError> for RegistryError {
+    fn from(e: zr_store::StoreError) -> RegistryError {
+        RegistryError::Store(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, RegistryError>;

@@ -1,0 +1,304 @@
+//! A deliberately small HTTP/1.1 layer over `std::net`.
+//!
+//! Written the same dependency-free way as the store's JSON codec:
+//! exactly the subset the OCI distribution API needs, and nothing
+//! else. Bodies are `Content-Length`-framed only — transfer encodings
+//! are answered with `501` ("chunked upload" in the distribution spec
+//! means the `PATCH` session protocol, not HTTP chunked framing) —
+//! and request targets are matched byte-for-byte, since every name,
+//! tag, and digest this protocol carries is plain ASCII that needs no
+//! percent-decoding.
+
+use std::io::{BufRead, Write};
+
+use crate::error::{RegistryError, Result};
+
+/// Hard cap on a single request/response body (and on an accumulated
+/// upload session): big enough for any test-fleet layer, small enough
+/// that a hostile `Content-Length` cannot balloon the process.
+pub const MAX_BODY: usize = 256 * 1024 * 1024;
+const MAX_LINE: usize = 8 * 1024;
+const MAX_HEADERS: usize = 64;
+
+/// One parsed request (header names lowercased, body fully read).
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `HEAD`, `POST`, `PUT`, `PATCH`, ...
+    pub method: String,
+    /// The request target as received: path plus optional `?query`.
+    pub target: String,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The `Content-Length`-framed body (empty when absent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value under `name` (lowercase).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The target with any query string stripped.
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// The value of query parameter `key`, if present.
+    pub fn query(&self, key: &str) -> Option<&str> {
+        let (_, query) = self.target.split_once('?')?;
+        query
+            .split('&')
+            .filter_map(|kv| kv.split_once('='))
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Whether the peer asked to drop the connection after this
+    /// exchange.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// One response: status, headers in write order, body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers, written in order (`Content-Length` is appended
+    /// automatically).
+    pub headers: Vec<(String, String)>,
+    /// Response body (suppressed on the wire for `HEAD`, but still
+    /// sized by `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty response with `status`.
+    pub fn new(status: u16) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A response carrying `body` under `content_type`.
+    pub fn with_body(status: u16, content_type: &str, body: Vec<u8>) -> Response {
+        Response::new(status)
+            .header("Content-Type", content_type)
+            .tap_body(body)
+    }
+
+    /// An error response with a plain-text explanation.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::with_body(status, "text/plain", format!("{message}\n").into_bytes())
+    }
+
+    /// Append one header (builder style).
+    pub fn header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// First header value under `name` (case-insensitive).
+    pub fn get_header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn tap_body(mut self, body: Vec<u8>) -> Response {
+        self.body = body;
+        self
+    }
+}
+
+/// The canonical reason phrase for `status`.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        416 => "Range Not Satisfiable",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        _ => "Unknown",
+    }
+}
+
+fn read_line(reader: &mut impl BufRead) -> Result<Option<String>> {
+    let mut line = String::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte)? {
+            0 => {
+                if line.is_empty() {
+                    return Ok(None); // clean EOF between requests
+                }
+                return Err(RegistryError::protocol("unexpected EOF in header"));
+            }
+            _ => match byte[0] {
+                b'\n' => {
+                    if line.ends_with('\r') {
+                        line.pop();
+                    }
+                    return Ok(Some(line));
+                }
+                b => {
+                    if line.len() >= MAX_LINE {
+                        return Err(RegistryError::protocol("header line too long"));
+                    }
+                    line.push(b as char);
+                }
+            },
+        }
+    }
+}
+
+fn read_headers(reader: &mut impl BufRead) -> Result<Vec<(String, String)>> {
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?
+            .ok_or_else(|| RegistryError::protocol("unexpected EOF in header"))?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(RegistryError::protocol("too many headers"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| RegistryError::protocol("malformed header line"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+}
+
+fn read_body(reader: &mut impl BufRead, headers: &[(String, String)]) -> Result<Vec<u8>> {
+    if headers.iter().any(|(n, _)| n == "transfer-encoding") {
+        return Err(RegistryError::Status {
+            status: 501,
+            message: "transfer encodings are not supported (use Content-Length)".into(),
+        });
+    }
+    let length = match headers.iter().find(|(n, _)| n == "content-length") {
+        None => return Ok(Vec::new()),
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| RegistryError::protocol("bad Content-Length"))?,
+    };
+    if length > MAX_BODY {
+        return Err(RegistryError::Status {
+            status: 413,
+            message: format!("body exceeds the {MAX_BODY}-byte limit"),
+        });
+    }
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Read one request. `Ok(None)` means the peer closed cleanly between
+/// requests; a [`RegistryError::Status`] carries the status the server
+/// should answer with before dropping the connection.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>> {
+    let Some(line) = read_line(reader)? else {
+        return Ok(None);
+    };
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && t.starts_with('/') => (m, t, v),
+        _ => return Err(RegistryError::protocol("malformed request line")),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(RegistryError::protocol("unsupported HTTP version"));
+    }
+    let headers = read_headers(reader)?;
+    let body = read_body(reader, &headers)?;
+    Ok(Some(Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        headers,
+        body,
+    }))
+}
+
+/// Read one response (the client half). `head` marks a `HEAD`
+/// exchange, whose `Content-Length` sizes a body that is never sent.
+pub fn read_response(reader: &mut impl BufRead, head: bool) -> Result<Response> {
+    let line = read_line(reader)?
+        .ok_or_else(|| RegistryError::protocol("connection closed before response"))?;
+    let status = line
+        .strip_prefix("HTTP/1.1 ")
+        .or_else(|| line.strip_prefix("HTTP/1.0 "))
+        .and_then(|rest| rest.split(' ').next())
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| RegistryError::protocol("malformed status line"))?;
+    let headers = read_headers(reader)?;
+    let body = if head {
+        Vec::new()
+    } else {
+        read_body(reader, &headers)?
+    };
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Write `response`; `include_body` is false for `HEAD` answers (the
+/// `Content-Length` still describes the body that a `GET` would carry).
+pub fn write_response(
+    writer: &mut impl Write,
+    response: &Response,
+    include_body: bool,
+) -> std::io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {} {}\r\n",
+        response.status,
+        reason(response.status)
+    )?;
+    for (name, value) in &response.headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    write!(writer, "Content-Length: {}\r\n\r\n", response.body.len())?;
+    if include_body {
+        writer.write_all(&response.body)?;
+    }
+    writer.flush()
+}
+
+/// Write one request (the client half). A `Connection: close` header
+/// is always sent: the client uses one connection per exchange.
+pub fn write_request(
+    writer: &mut impl Write,
+    method: &str,
+    target: &str,
+    content_type: Option<&str>,
+    body: &[u8],
+) -> std::io::Result<()> {
+    write!(writer, "{method} {target} HTTP/1.1\r\nHost: zr\r\n")?;
+    if let Some(ct) = content_type {
+        write!(writer, "Content-Type: {ct}\r\n")?;
+    }
+    write!(
+        writer,
+        "Connection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )?;
+    writer.write_all(body)?;
+    writer.flush()
+}

@@ -1,0 +1,40 @@
+//! # zr-registry — a real OCI distribution endpoint over the CAS
+//!
+//! The crates below this one make images durable ([`zr_store`]) and
+//! buildable (`zr-build`); this crate makes them *distributable*: a
+//! hand-rolled, hermetic HTTP/1.1 implementation of the OCI
+//! distribution API, written the same dependency-free way as the
+//! store's JSON codec.
+//!
+//! * [`serve`] — the server: manifest and blob routes, monolithic and
+//!   PATCH-session uploads, digest verification on every transfer, and
+//!   tags stored as CAS root pins (so a pushed reference is gc-safe
+//!   and a re-push replaces it atomically).
+//! * [`RemoteRegistry`] — the client: `push_layout`/`pull_layout` move
+//!   `zr export` layouts over the wire byte-identically, and
+//!   `pull_image` materializes a manifest straight into an `Image`.
+//! * [`WireBackend`] — plugs an endpoint into `ShardedRegistry` as its
+//!   [`zr_image::RegistryBackend`], so `FROM` resolves over HTTP with
+//!   the existing pull-through blob cache and per-reference fetch
+//!   locks unchanged.
+//!
+//! ```no_run
+//! let cas = zr_store::Cas::open("/tmp/reg")?;
+//! let server = zr_registry::serve(cas, "127.0.0.1:0")?;
+//! let client = zr_registry::RemoteRegistry::new(server.addr().to_string());
+//! client.push_layout("./layout", "demo", "latest")?;
+//! let image = client.pull_image("demo", "latest")?;
+//! # Ok::<(), zr_registry::RegistryError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod error;
+pub mod http;
+mod server;
+
+pub use client::{RemoteRegistry, WireBackend, CHUNK_SIZE};
+pub use error::{RegistryError, Result};
+pub use server::{serve, RegistryServer};

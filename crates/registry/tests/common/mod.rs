@@ -1,0 +1,66 @@
+//! Shared scratch-directory plumbing for the registry integration
+//! tests (no tempfile crate offline: unique directories under the
+//! system temp dir, cleaned up by a drop guard).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A scratch directory removed on drop.
+pub struct Scratch {
+    path: PathBuf,
+}
+
+impl Scratch {
+    /// A fresh, empty scratch directory tagged `name`.
+    pub fn new(name: &str) -> Scratch {
+        let path = std::env::temp_dir().join(format!(
+            "zr-registry-test-{name}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create scratch dir");
+        Scratch { path }
+    }
+
+    /// The directory. (Not every test binary that compiles this
+    /// shared module uses every helper.)
+    #[allow(dead_code)]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A sub-path inside the scratch directory.
+    #[allow(dead_code)]
+    pub fn join(&self, rel: &str) -> PathBuf {
+        self.path.join(rel)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// A loopback registry server over a fresh CAS in `scratch`.
+#[allow(dead_code)]
+pub fn loopback(scratch: &Scratch) -> zr_registry::RegistryServer {
+    let cas = zr_store::Cas::open(scratch.join("registry-store")).expect("open registry store");
+    zr_registry::serve(cas, "127.0.0.1:0").expect("bind loopback registry")
+}
+
+/// A small catalog image exported as an OCI layout, for pushing.
+#[allow(dead_code)]
+pub fn exported_alpine(scratch: &Scratch) -> PathBuf {
+    use zr_image::RegistryBackend;
+    let reference = zr_image::ImageRef::parse("alpine:3.19").expect("parse reference");
+    let image = zr_image::CatalogBackend
+        .fetch(&reference)
+        .expect("materialize alpine");
+    let dir = scratch.join("layout");
+    zr_store::export(&image, &dir).expect("export layout");
+    dir
+}

@@ -1,0 +1,388 @@
+//! Golden request/response conformance transcripts for every
+//! distribution route, including the malformed ones: the exact bytes
+//! on the wire are asserted, so an accidental header or status change
+//! shows up as a diff, not a vibe.
+
+mod common;
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use common::{loopback, Scratch};
+use zr_digest::{hex, Sha256};
+
+/// One raw exchange: send `request` verbatim, read to EOF (every
+/// transcript request carries `Connection: close`).
+fn exchange(addr: &std::net::SocketAddr, request: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request.as_bytes()).expect("send");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("receive");
+    String::from_utf8_lossy(&response).into_owned()
+}
+
+/// Send raw bytes that stop mid-body, then read whatever the server
+/// answers before dropping the connection.
+fn exchange_truncated(addr: &std::net::SocketAddr, request: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request.as_bytes()).expect("send");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("shutdown write half");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("receive");
+    String::from_utf8_lossy(&response).into_owned()
+}
+
+fn get(addr: &std::net::SocketAddr, target: &str) -> String {
+    exchange(
+        addr,
+        &format!("GET {target} HTTP/1.1\r\nHost: zr\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+fn sha(data: &[u8]) -> String {
+    hex(&Sha256::digest(data))
+}
+
+#[test]
+fn api_version_check() {
+    let scratch = Scratch::new("v2root");
+    let server = loopback(&scratch);
+    let addr = server.addr();
+    assert_eq!(
+        get(&addr, "/v2/"),
+        "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\n{}"
+    );
+    // HEAD sizes the body without sending it.
+    assert_eq!(
+        exchange(
+            &addr,
+            "HEAD /v2/ HTTP/1.1\r\nHost: zr\r\nConnection: close\r\n\r\n"
+        ),
+        "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\n"
+    );
+}
+
+#[test]
+fn monolithic_blob_upload_and_fetch() {
+    let scratch = Scratch::new("mono");
+    let server = loopback(&scratch);
+    let addr = server.addr();
+    let blob = b"zero consistency is full consistency";
+    let digest = sha(blob);
+
+    let push = exchange(
+        &addr,
+        &format!(
+            "POST /v2/demo/blobs/uploads/?digest=sha256:{digest} HTTP/1.1\r\nHost: zr\r\n\
+             Connection: close\r\nContent-Length: {}\r\n\r\n{}",
+            blob.len(),
+            std::str::from_utf8(blob).unwrap()
+        ),
+    );
+    assert_eq!(
+        push,
+        format!(
+            "HTTP/1.1 201 Created\r\nLocation: /v2/demo/blobs/sha256:{digest}\r\n\
+             Docker-Content-Digest: sha256:{digest}\r\nContent-Length: 0\r\n\r\n"
+        )
+    );
+
+    assert_eq!(
+        exchange(
+            &addr,
+            &format!(
+                "HEAD /v2/demo/blobs/sha256:{digest} HTTP/1.1\r\nHost: zr\r\n\
+                 Connection: close\r\n\r\n"
+            ),
+        ),
+        format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: application/octet-stream\r\n\
+             Docker-Content-Digest: sha256:{digest}\r\nContent-Length: {}\r\n\r\n",
+            blob.len()
+        )
+    );
+    assert_eq!(
+        get(&addr, &format!("/v2/demo/blobs/sha256:{digest}")),
+        format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: application/octet-stream\r\n\
+             Docker-Content-Digest: sha256:{digest}\r\nContent-Length: {}\r\n\r\n{}",
+            blob.len(),
+            std::str::from_utf8(blob).unwrap()
+        )
+    );
+}
+
+#[test]
+fn chunked_upload_session() {
+    let scratch = Scratch::new("chunked");
+    let server = loopback(&scratch);
+    let addr = server.addr();
+    let blob = b"first half + second half";
+    let digest = sha(blob);
+
+    // POST opens a session; this server numbers them from 1.
+    let start = exchange(
+        &addr,
+        "POST /v2/demo/blobs/uploads/ HTTP/1.1\r\nHost: zr\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(
+        start,
+        "HTTP/1.1 202 Accepted\r\nLocation: /v2/demo/blobs/uploads/1\r\n\
+         Docker-Upload-UUID: 1\r\nRange: 0-0\r\nContent-Length: 0\r\n\r\n"
+    );
+
+    let patch1 = exchange(
+        &addr,
+        "PATCH /v2/demo/blobs/uploads/1 HTTP/1.1\r\nHost: zr\r\nConnection: close\r\n\
+         Content-Length: 13\r\n\r\nfirst half + ",
+    );
+    assert_eq!(
+        patch1,
+        "HTTP/1.1 202 Accepted\r\nDocker-Upload-UUID: 1\r\nRange: 0-12\r\n\
+         Content-Length: 0\r\n\r\n"
+    );
+    let patch2 = exchange(
+        &addr,
+        "PATCH /v2/demo/blobs/uploads/1 HTTP/1.1\r\nHost: zr\r\nConnection: close\r\n\
+         Content-Length: 11\r\n\r\nsecond half",
+    );
+    assert_eq!(
+        patch2,
+        "HTTP/1.1 202 Accepted\r\nDocker-Upload-UUID: 1\r\nRange: 0-23\r\n\
+         Content-Length: 0\r\n\r\n"
+    );
+
+    // Status probe between chunks.
+    assert_eq!(
+        get(&addr, "/v2/demo/blobs/uploads/1"),
+        "HTTP/1.1 204 No Content\r\nDocker-Upload-UUID: 1\r\nRange: 0-23\r\n\
+         Content-Length: 0\r\n\r\n"
+    );
+
+    let put = exchange(
+        &addr,
+        &format!(
+            "PUT /v2/demo/blobs/uploads/1?digest=sha256:{digest} HTTP/1.1\r\nHost: zr\r\n\
+             Connection: close\r\nContent-Length: 0\r\n\r\n"
+        ),
+    );
+    assert_eq!(
+        put,
+        format!(
+            "HTTP/1.1 201 Created\r\nLocation: /v2/demo/blobs/sha256:{digest}\r\n\
+             Docker-Content-Digest: sha256:{digest}\r\nContent-Length: 0\r\n\r\n"
+        )
+    );
+    // And the blob is served back verified.
+    assert!(get(&addr, &format!("/v2/demo/blobs/sha256:{digest}"))
+        .ends_with(std::str::from_utf8(blob).unwrap()));
+}
+
+#[test]
+fn manifest_push_resolve_and_head() {
+    let scratch = Scratch::new("manifests");
+    let server = loopback(&scratch);
+    let addr = server.addr();
+
+    let config = br#"{"architecture":"amd64"}"#;
+    let layer = b"not really a tar, the server only stores it";
+    for blob in [config.as_slice(), layer.as_slice()] {
+        let digest = sha(blob);
+        exchange(
+            &addr,
+            &format!(
+                "POST /v2/lib/demo/blobs/uploads/?digest=sha256:{digest} HTTP/1.1\r\n\
+                 Host: zr\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{}",
+                blob.len(),
+                std::str::from_utf8(blob).unwrap()
+            ),
+        );
+    }
+    let manifest = format!(
+        "{{\"schemaVersion\":2,\"config\":{{\"digest\":\"sha256:{}\",\"size\":{}}},\
+         \"layers\":[{{\"digest\":\"sha256:{}\",\"size\":{}}}]}}",
+        sha(config),
+        config.len(),
+        sha(layer),
+        layer.len()
+    );
+    let digest = sha(manifest.as_bytes());
+
+    let put = exchange(
+        &addr,
+        &format!(
+            "PUT /v2/lib/demo/manifests/latest HTTP/1.1\r\nHost: zr\r\nConnection: close\r\n\
+             Content-Length: {}\r\n\r\n{manifest}",
+            manifest.len()
+        ),
+    );
+    assert_eq!(
+        put,
+        format!(
+            "HTTP/1.1 201 Created\r\nLocation: /v2/lib/demo/manifests/sha256:{digest}\r\n\
+             Docker-Content-Digest: sha256:{digest}\r\nContent-Length: 0\r\n\r\n"
+        )
+    );
+
+    // Resolve by tag and by digest; HEAD sizes without the body.
+    let by_tag = get(&addr, "/v2/lib/demo/manifests/latest");
+    assert_eq!(
+        by_tag,
+        format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: application/vnd.oci.image.manifest.v1+json\r\n\
+             Docker-Content-Digest: sha256:{digest}\r\nContent-Length: {}\r\n\r\n{manifest}",
+            manifest.len()
+        )
+    );
+    assert_eq!(
+        get(&addr, &format!("/v2/lib/demo/manifests/sha256:{digest}")),
+        by_tag
+    );
+    assert_eq!(
+        exchange(
+            &addr,
+            "HEAD /v2/lib/demo/manifests/latest HTTP/1.1\r\nHost: zr\r\nConnection: close\r\n\r\n",
+        ),
+        format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: application/vnd.oci.image.manifest.v1+json\r\n\
+             Docker-Content-Digest: sha256:{digest}\r\nContent-Length: {}\r\n\r\n",
+            manifest.len()
+        )
+    );
+}
+
+#[test]
+fn malformed_requests() {
+    let scratch = Scratch::new("malformed");
+    let server = loopback(&scratch);
+    let addr = server.addr();
+
+    // Bad digest shapes: wrong algorithm, wrong length, non-hex.
+    for bad in ["sha512:abcd", "sha256:deadbeef", "sha256:zz"] {
+        assert!(
+            get(&addr, &format!("/v2/demo/blobs/{bad}")).starts_with("HTTP/1.1 400 "),
+            "digest {bad:?} must be rejected"
+        );
+    }
+    // Unknown blob/manifest/session → 404.
+    let absent = sha(b"never uploaded");
+    assert!(get(&addr, &format!("/v2/demo/blobs/sha256:{absent}")).starts_with("HTTP/1.1 404 "));
+    assert!(get(&addr, "/v2/demo/manifests/latest").starts_with("HTTP/1.1 404 "));
+    assert!(exchange(
+        &addr,
+        "PATCH /v2/demo/blobs/uploads/99 HTTP/1.1\r\nHost: zr\r\nConnection: close\r\n\
+         Content-Length: 1\r\n\r\nx"
+    )
+    .starts_with("HTTP/1.1 404 "));
+
+    // Path traversal in repository names never reaches the store.
+    for evil in [
+        "/v2/../roots/manifests/latest",
+        "/v2/..%2F..%2Froots/manifests/latest",
+        "/v2/.hidden/manifests/latest",
+        "/v2//manifests/latest",
+    ] {
+        assert!(
+            get(&addr, evil).starts_with("HTTP/1.1 404 "),
+            "{evil:?} must not resolve"
+        );
+    }
+
+    // Uploading under a digest the bytes do not hash to is refused.
+    let claimed = sha(b"the bytes I promised");
+    let push = exchange(
+        &addr,
+        &format!(
+            "POST /v2/demo/blobs/uploads/?digest=sha256:{claimed} HTTP/1.1\r\nHost: zr\r\n\
+             Connection: close\r\nContent-Length: 15\r\n\r\ndifferent bytes"
+        ),
+    );
+    assert!(push.starts_with("HTTP/1.1 400 "), "{push}");
+    assert!(get(&addr, &format!("/v2/demo/blobs/sha256:{claimed}")).starts_with("HTTP/1.1 404 "));
+
+    // A manifest referencing blobs the store has never seen is refused.
+    let manifest = format!(
+        "{{\"schemaVersion\":2,\"config\":{{\"digest\":\"sha256:{}\",\"size\":4}},\
+         \"layers\":[]}}",
+        sha(b"ghost config")
+    );
+    assert!(exchange(
+        &addr,
+        &format!(
+            "PUT /v2/demo/manifests/latest HTTP/1.1\r\nHost: zr\r\nConnection: close\r\n\
+             Content-Length: {}\r\n\r\n{manifest}",
+            manifest.len()
+        )
+    )
+    .starts_with("HTTP/1.1 400 "));
+
+    // Wrong method on a known route.
+    assert!(exchange(
+        &addr,
+        "DELETE /v2/demo/manifests/latest HTTP/1.1\r\nHost: zr\r\nConnection: close\r\n\r\n"
+    )
+    .starts_with("HTTP/1.1 405 "));
+    // Routes outside /v2 don't exist.
+    assert!(get(&addr, "/").starts_with("HTTP/1.1 404 "));
+    // HTTP chunked framing is out of scope (the distribution API's
+    // "chunked upload" is the PATCH session protocol).
+    assert!(exchange(
+        &addr,
+        "POST /v2/demo/blobs/uploads/ HTTP/1.1\r\nHost: zr\r\nTransfer-Encoding: chunked\r\n\r\n"
+    )
+    .starts_with("HTTP/1.1 501 "));
+}
+
+#[test]
+fn truncated_chunked_upload_cannot_finalize() {
+    let scratch = Scratch::new("truncated");
+    let server = loopback(&scratch);
+    let addr = server.addr();
+
+    exchange(
+        &addr,
+        "POST /v2/demo/blobs/uploads/ HTTP/1.1\r\nHost: zr\r\nConnection: close\r\n\r\n",
+    );
+    // The chunk promises 100 bytes but delivers 7: the server answers
+    // 400 and drops the connection without advancing the session.
+    let truncated = exchange_truncated(
+        &addr,
+        "PATCH /v2/demo/blobs/uploads/1 HTTP/1.1\r\nHost: zr\r\nContent-Length: 100\r\n\r\npartial",
+    );
+    assert!(truncated.starts_with("HTTP/1.1 400 "), "{truncated}");
+
+    // Finalizing under the full blob's digest now fails verification:
+    // the truncated bytes never made it in, and the failed finalize
+    // throws the session away.
+    let digest = sha(b"the full intended blob");
+    let put = exchange(
+        &addr,
+        &format!(
+            "PUT /v2/demo/blobs/uploads/1?digest=sha256:{digest} HTTP/1.1\r\nHost: zr\r\n\
+             Connection: close\r\nContent-Length: 0\r\n\r\n"
+        ),
+    );
+    assert!(put.starts_with("HTTP/1.1 400 "), "{put}");
+    assert!(get(&addr, &format!("/v2/demo/blobs/sha256:{digest}")).starts_with("HTTP/1.1 404 "));
+    // The session is gone: a retry must start over.
+    assert!(get(&addr, "/v2/demo/blobs/uploads/1").starts_with("HTTP/1.1 404 "));
+}
+
+#[test]
+fn keep_alive_serves_sequential_requests() {
+    let scratch = Scratch::new("keepalive");
+    let server = loopback(&scratch);
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    for _ in 0..3 {
+        stream
+            .write_all(b"GET /v2/ HTTP/1.1\r\nHost: zr\r\n\r\n")
+            .expect("send");
+        let mut buf = [0u8; 512];
+        let n = stream.read(&mut buf).expect("receive");
+        let text = String::from_utf8_lossy(&buf[..n]);
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.ends_with("{}"), "{text}");
+    }
+}

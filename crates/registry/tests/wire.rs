@@ -1,0 +1,156 @@
+//! End-to-end wire tests: layouts and images pushed and pulled through
+//! a live loopback endpoint, alone and under concurrency.
+
+mod common;
+
+use std::sync::Arc;
+
+use common::{exported_alpine, loopback, Scratch};
+use zr_image::RegistryBackend;
+use zr_registry::{RemoteRegistry, WireBackend};
+
+fn catalog_image(reference: &str) -> zr_image::Image {
+    let reference = zr_image::ImageRef::parse(reference).expect("parse reference");
+    zr_image::CatalogBackend
+        .fetch(&reference)
+        .expect("materialize catalog image")
+}
+
+#[test]
+fn push_pull_roundtrip_is_byte_identical() {
+    let scratch = Scratch::new("roundtrip");
+    let server = loopback(&scratch);
+    let layout = exported_alpine(&scratch);
+    let original = zr_store::import(&layout).expect("import exported layout");
+
+    let client = RemoteRegistry::new(server.addr().to_string());
+    client.ping().expect("api version check");
+    client
+        .push_layout(&layout, "alpine", "3.19")
+        .expect("push layout");
+
+    // Wire image == exported image, digest for digest.
+    let pulled = client.pull_image("alpine", "3.19").expect("pull image");
+    assert_eq!(pulled.digest(), original.digest());
+
+    // Pulled layout == pushed layout, file for file.
+    let pulled_dir = scratch.join("pulled");
+    let summary = client
+        .pull_layout("alpine", "3.19", &pulled_dir)
+        .expect("pull layout");
+    let pushed_summary = zr_store::inspect(&layout).expect("inspect source");
+    assert_eq!(summary, pushed_summary);
+    for file in ["index.json", "oci-layout"] {
+        assert_eq!(
+            std::fs::read(layout.join(file)).expect("source file"),
+            std::fs::read(pulled_dir.join(file)).expect("pulled file"),
+            "{file} must round-trip byte-identically"
+        );
+    }
+    assert_eq!(
+        zr_store::import(&pulled_dir)
+            .expect("import pulled")
+            .digest(),
+        original.digest()
+    );
+}
+
+#[test]
+fn a_second_push_is_idempotent_and_a_repush_replaces_the_tag() {
+    let scratch = Scratch::new("repush");
+    let server = loopback(&scratch);
+    let layout = exported_alpine(&scratch);
+    let client = RemoteRegistry::new(server.addr().to_string());
+
+    client.push_layout(&layout, "demo", "v1").expect("push");
+    client.push_layout(&layout, "demo", "v1").expect("re-push");
+    // The same content under a second tag resolves identically.
+    client
+        .push_layout(&layout, "demo", "v2")
+        .expect("tag again");
+    let (m1, d1) = client.manifest("demo", "v1").expect("manifest v1");
+    let (m2, d2) = client.manifest("demo", "v2").expect("manifest v2");
+    assert_eq!(m1, m2);
+    assert_eq!(d1, d2);
+}
+
+#[test]
+fn unknown_references_are_not_found() {
+    let scratch = Scratch::new("missing");
+    let server = loopback(&scratch);
+    let client = RemoteRegistry::new(server.addr().to_string());
+    let err = client.manifest("ghost", "latest").expect_err("must 404");
+    assert_eq!(err.status(), Some(404));
+    assert!(!client
+        .has_blob("ghost", &"0".repeat(64))
+        .expect("probe must not error"));
+}
+
+#[test]
+fn concurrent_clients_agree_on_digests() {
+    const CLIENTS: usize = 8;
+    let scratch = Scratch::new("concurrent");
+    let server = loopback(&scratch);
+    let layout = Arc::new(exported_alpine(&scratch));
+    let expected = zr_store::import(layout.as_path()).expect("import").digest();
+    let addr = server.addr().to_string();
+
+    // N clients push and pull the same reference at once; every pull —
+    // interleaved with re-pushes however the scheduler likes — must
+    // come back byte-identical.
+    let digests: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let addr = addr.clone();
+                let layout = Arc::clone(&layout);
+                scope.spawn(move || {
+                    let client = RemoteRegistry::new(addr);
+                    client
+                        .push_layout(layout.as_path(), "shared", "latest")
+                        .expect("concurrent push");
+                    client
+                        .pull_image("shared", "latest")
+                        .expect("concurrent pull")
+                        .digest()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    for digest in &digests {
+        assert_eq!(digest, &expected);
+    }
+}
+
+#[test]
+fn wire_backend_feeds_the_sharded_registry() {
+    let scratch = Scratch::new("backend");
+    let server = loopback(&scratch);
+    let layout = exported_alpine(&scratch);
+    let client = RemoteRegistry::new(server.addr().to_string());
+    client
+        .push_layout(&layout, "alpine", "3.19")
+        .expect("push base image");
+
+    let registry = zr_image::ShardedRegistry::with_backend(
+        4,
+        zr_image::PullCost::default(),
+        Arc::new(WireBackend::new(server.addr().to_string())),
+    );
+    let reference = zr_image::ImageRef::parse("alpine:3.19").expect("reference");
+    let first = registry.pull(&reference).expect("wire pull");
+    assert_eq!(first.digest(), catalog_image("alpine:3.19").digest());
+    // The second pull is a blob-cache hit: no second wire fetch.
+    let before = registry.stats().fetches;
+    let second = registry.pull(&reference).expect("cached pull");
+    assert_eq!(second.digest(), first.digest());
+    assert_eq!(registry.stats().fetches, before);
+
+    // A reference the endpoint has never seen surfaces as ENOENT, the
+    // same error shape the catalog gives.
+    let missing = zr_image::ImageRef::parse("ghost:1.0").expect("reference");
+    assert!(registry.pull(&missing).is_err());
+}

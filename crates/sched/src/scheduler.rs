@@ -9,7 +9,7 @@ use std::thread::JoinHandle;
 use zeroroot_core::sync::lock_or_poisoned;
 
 use zr_build::{BuildError, BuildOptions, BuildResult, Builder};
-use zr_image::{LayerStore, PullCost, ShardedRegistry};
+use zr_image::{LayerStore, PullCost, RegistryBackend, ShardedRegistry};
 use zr_kernel::Kernel;
 
 /// Queue class for one request. High-priority requests drain before any
@@ -125,7 +125,14 @@ pub struct SchedulerConfig {
     /// unlimited): the persistent CAS under `cache_dir` evicts whole
     /// least-recently-pinned layer roots (and their dependents) until
     /// physical bytes fit. The disk-side mirror of `cache_limit`.
-    pub store_limit: u64,
+    /// `None` leaves whatever budget the store itself has persisted;
+    /// `Some` overrides it (and the override is persisted in turn).
+    pub store_limit: Option<u64>,
+    /// Where the scheduler-owned registry fetches cache misses. `None`
+    /// uses the built-in catalog (the simulator); `Some` plugs in a
+    /// live backend such as `zr-registry`'s wire client, so `FROM`
+    /// resolves against a real OCI distribution endpoint.
+    pub backend: Option<Arc<dyn RegistryBackend>>,
 }
 
 impl Default for SchedulerConfig {
@@ -140,7 +147,8 @@ impl Default for SchedulerConfig {
             cache_limit: 0,
             blob_budget: 0,
             cache_dir: None,
-            store_limit: 0,
+            store_limit: None,
+            backend: None,
         }
     }
 }
@@ -371,16 +379,25 @@ impl Scheduler {
     /// [`new`](Self::new), with persistent-store failures returned
     /// instead of panicking.
     pub fn try_new(config: SchedulerConfig) -> zr_store::Result<Scheduler> {
-        let registry = Arc::new(ShardedRegistry::with_cost(
-            config.registry_shards,
-            config.pull_cost,
-        ));
+        let registry = Arc::new(match &config.backend {
+            Some(backend) => ShardedRegistry::with_backend(
+                config.registry_shards,
+                config.pull_cost,
+                backend.clone(),
+            ),
+            None => ShardedRegistry::with_cost(config.registry_shards, config.pull_cost),
+        });
         registry.set_blob_budget(config.blob_budget);
         let (layers, disk) = match &config.cache_dir {
             Some(dir) => {
                 let (layers, disk) = zr_store::open_layer_store(dir)?;
                 layers.set_budget(config.cache_limit);
-                disk.cas().set_budget(config.store_limit)?;
+                // No flag given → keep the budget the store persisted
+                // at its last `--store-limit`; an explicit flag wins
+                // and is re-persisted by `set_budget`.
+                if let Some(limit) = config.store_limit {
+                    disk.cas().set_budget(limit)?;
+                }
                 (layers, Some(disk))
             }
             None => (LayerStore::with_budget(config.cache_limit), None),

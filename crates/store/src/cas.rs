@@ -5,6 +5,7 @@
 //! ```text
 //! <root>/
 //!   format                  # "zr-store-v1\n"
+//!   config                  # versioned store config (the byte budget)
 //!   blobs/sha256/<64 hex>   # content, named by its SHA-256
 //!   chunks/<64 hex>         # chunk-index records for large blobs,
 //!                           #   named by the *logical* digest
@@ -75,6 +76,13 @@ const ROOTS_MAGIC_V2: &str = "zr-roots-v2";
 /// Chunk-index record: logical length plus (chunk digest, length) pairs.
 const CHUNKS_MAGIC: &str = "zr-chunks-v1";
 
+/// Store config record (`<root>/config`): the persistent settings the
+/// `format` version file is too coarse for — today just the physical
+/// byte budget. Written by [`Cas::set_budget`], restored at
+/// [`Cas::open`], so a store limited once stays limited across opens
+/// that never pass the flag.
+const CONFIG_MAGIC: &str = "zr-config-v1";
+
 /// Write-ahead pack a batch commit stages under `tmp/`: every staged
 /// destination and its bytes, made durable with a single fsync.
 const PACK_MAGIC: &str = "zr-pack-v1";
@@ -116,9 +124,11 @@ pub struct CasStats {
     pub dir_fsync_failures: u64,
     /// Stray staging files deleted at open (crash leftovers).
     pub recovered_tmp: u64,
-    /// Unparseable root pin records quarantined at open. Their layers
-    /// read as cache misses and re-persist on the next build — the
-    /// same self-healing path a corrupt layer record takes.
+    /// Unparseable records quarantined at open: root pins (their
+    /// layers read as cache misses and re-persist on the next build —
+    /// the same self-healing path a corrupt layer record takes) and
+    /// the store config record (the store reopens unbounded; the next
+    /// `set_budget` rewrites it).
     pub corrupt_roots: u64,
 }
 
@@ -313,6 +323,23 @@ impl Cas {
         }
 
         let mut state = cas.lock();
+        // Restore the persisted config (the byte budget) so a store
+        // limited by one open stays limited for every later open that
+        // never passes the flag. A config that does not parse is
+        // quarantined like a corrupt pin — the store reopens unbounded
+        // rather than bricked, and the next set_budget rewrites it.
+        let config_path = cas.inner.root.join("config");
+        match fs::read(&config_path) {
+            Ok(bytes) => match decode_config(&bytes) {
+                Ok(budget) => state.budget = budget,
+                Err(_) => {
+                    let _ = fs::remove_file(&config_path);
+                    state.stats.corrupt_roots += 1;
+                }
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
         // Crash recovery: a staging file that never got renamed is
         // garbage *if its writer is gone*. Staging names carry the
         // writer's pid; a pid still alive (same process opening a
@@ -399,6 +426,11 @@ impl Cas {
             }
         }
         drop(state);
+        // A restored budget binds immediately: a store that grew past
+        // its recorded ceiling while no handle was open (a sibling
+        // process without the limit never existed — but crash timing
+        // can leave one) is trimmed here, not on the next pin.
+        cas.enforce_budget()?;
         Ok(cas)
     }
 
@@ -708,13 +740,28 @@ impl Cas {
         self.lock().refs.get(digest).copied().unwrap_or(0)
     }
 
+    /// The digests a named root pins, in the order they were pinned
+    /// (`None` if no such root). The registry's tag records lean on
+    /// the ordering: a tag pin lists the manifest digest first.
+    pub fn pinned(&self, name: &str) -> Option<Vec<String>> {
+        self.lock().roots.get(name).map(|m| m.digests.clone())
+    }
+
     /// Bound the store's physical footprint (blob payloads plus chunk
     /// indexes). 0 = unlimited. Enforcement runs immediately and after
     /// every pin/batch commit: while over budget, the least-recently-
     /// pinned root — together with every root depending on it — is
     /// evicted and the orphaned objects collected. Still-pinned roots
     /// always stay fully readable.
+    ///
+    /// The budget is *persistent*: it is recorded in the store's
+    /// versioned config record and restored by every later
+    /// [`open`](Self::open), so a store limited once stays limited
+    /// even for opens that never pass the flag. Calling `set_budget`
+    /// again (an explicit flag) overwrites the record — including
+    /// `set_budget(0)`, which records "explicitly unlimited".
     pub fn set_budget(&self, bytes: u64) -> Result<()> {
+        self.write_record(&self.inner.root.join("config"), &encode_config(bytes))?;
         self.lock().budget = bytes;
         self.enforce_budget()
     }
@@ -1397,6 +1444,21 @@ fn decode_root(bytes: &[u8]) -> Result<RootMeta> {
         deps: Vec::new(),
         digests,
     })
+}
+
+/// Encode the store config record: just the byte budget today; the
+/// magic gives future fields a versioned home.
+fn encode_config(budget: u64) -> Vec<u8> {
+    let mut enc = Enc::new(CONFIG_MAGIC);
+    enc.u64(budget);
+    enc.finish()
+}
+
+fn decode_config(bytes: &[u8]) -> Result<u64> {
+    let mut dec = Dec::new(bytes, CONFIG_MAGIC)?;
+    let budget = dec.u64()?;
+    dec.done()?;
+    Ok(budget)
 }
 
 fn encode_chunk_index(total: u64, chunks: &[(String, u64)]) -> Vec<u8> {

@@ -222,23 +222,7 @@ impl<'a> Parser<'a> {
                         b'n' => out.push('\n'),
                         b'r' => out.push('\r'),
                         b't' => out.push('\t'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or_else(|| {
-                                    StoreError::corrupt("json: bad \\u escape".to_string())
-                                })?;
-                            self.pos += 4;
-                            // Surrogate pairs are out of scope (our own
-                            // writer never emits them); reject cleanly.
-                            let c = char::from_u32(hex).ok_or_else(|| {
-                                StoreError::corrupt("json: unsupported \\u codepoint".to_string())
-                            })?;
-                            out.push(c);
-                        }
+                        b'u' => out.push(self.unicode_escape()?),
                         other => {
                             return Err(StoreError::corrupt(format!(
                                 "json: bad escape \\{}",
@@ -258,6 +242,55 @@ impl<'a> Parser<'a> {
                 None => return Err(StoreError::corrupt("json: unterminated string".to_string())),
             }
         }
+    }
+
+    /// One `\uXXXX` unit (the leading `\u` already consumed). BMP
+    /// scalars stand alone; a high surrogate must be chased by a
+    /// `\uXXXX` low surrogate and the pair combines into one non-BMP
+    /// scalar — the form Docker/containerd manifest canonicalizers
+    /// legally emit for emoji/CJK-beyond-BMP annotation values. A lone
+    /// or mismatched surrogate encodes no character and is rejected.
+    fn unicode_escape(&mut self) -> Result<char> {
+        let first = self.hex4()?;
+        match first {
+            0xD800..=0xDBFF => {
+                if self.bytes.get(self.pos) != Some(&b'\\')
+                    || self.bytes.get(self.pos + 1) != Some(&b'u')
+                {
+                    return Err(StoreError::corrupt(
+                        "json: lone high surrogate in \\u escape".to_string(),
+                    ));
+                }
+                self.pos += 2;
+                let second = self.hex4()?;
+                if !(0xDC00..=0xDFFF).contains(&second) {
+                    return Err(StoreError::corrupt(
+                        "json: high surrogate not followed by low surrogate".to_string(),
+                    ));
+                }
+                let scalar = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                char::from_u32(scalar).ok_or_else(|| {
+                    StoreError::corrupt("json: unsupported \\u codepoint".to_string())
+                })
+            }
+            0xDC00..=0xDFFF => Err(StoreError::corrupt(
+                "json: lone low surrogate in \\u escape".to_string(),
+            )),
+            scalar => char::from_u32(scalar)
+                .ok_or_else(|| StoreError::corrupt("json: unsupported \\u codepoint".to_string())),
+        }
+    }
+
+    /// Four hex digits of a `\u` escape.
+    fn hex4(&mut self) -> Result<u32> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| StoreError::corrupt("json: bad \\u escape".to_string()))?;
+        self.pos += 4;
+        Ok(hex)
     }
 
     fn number(&mut self) -> Result<Json> {
@@ -332,5 +365,39 @@ mod tests {
         assert!(Json::parse("{\"a\" 1}").is_err());
         assert!(Json::parse("[1,]").is_err());
         assert!(Json::parse("\"\\q\"").is_err());
+    }
+
+    #[test]
+    fn decodes_bmp_unicode_escapes() {
+        let v = Json::parse("\"\\u0041\\u00e9\\u4e2d\"").unwrap();
+        assert_eq!(v.as_str(), Some("Aé中"));
+    }
+
+    #[test]
+    fn decodes_surrogate_pairs() {
+        // 😀 U+1F600 as a UTF-16 surrogate pair, the form foreign
+        // canonicalizers emit.
+        let v = Json::parse("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+        // Uppercase hex and a pair mid-string.
+        let v = Json::parse("\"x\\uD83D\\uDE00y\"").unwrap();
+        assert_eq!(v.as_str(), Some("x😀y"));
+        // The largest scalar: U+10FFFF.
+        let v = Json::parse("\"\\udbff\\udfff\"").unwrap();
+        assert_eq!(v.as_str(), Some("\u{10FFFF}"));
+    }
+
+    #[test]
+    fn rejects_lone_and_mismatched_surrogates() {
+        // Lone high surrogate (end of string).
+        assert!(Json::parse("\"\\ud83d\"").is_err());
+        // High surrogate followed by a non-escape.
+        assert!(Json::parse("\"\\ud83dx\"").is_err());
+        // High surrogate followed by a non-surrogate escape.
+        assert!(Json::parse("\"\\ud83d\\u0041\"").is_err());
+        // High surrogate followed by another high surrogate.
+        assert!(Json::parse("\"\\ud83d\\ud83d\"").is_err());
+        // Lone low surrogate.
+        assert!(Json::parse("\"\\ude00\"").is_err());
     }
 }

@@ -41,4 +41,6 @@ pub use cas::{Cas, CasBatch, CasStats, GcReport, FORMAT};
 pub use chunk::{chunk_spans, CHUNK_THRESHOLD, MAX_CHUNK, MIN_CHUNK};
 pub use error::{Result, StoreError};
 pub use layers::{open_layer_store, DiskLayerStats, DiskLayers, MAX_DELTA_DEPTH};
-pub use oci::{export, export_diff, import, inspect, OciSummary};
+pub use oci::{
+    assemble, export, export_diff, import, inspect, parse_manifest, write_layout, OciSummary,
+};

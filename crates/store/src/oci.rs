@@ -151,6 +151,18 @@ fn descriptor(media: &str, digest: &str, size: usize) -> String {
     format!("{{\"mediaType\":\"{media}\",\"digest\":\"sha256:{digest}\",\"size\":{size}}}")
 }
 
+/// The canonical single-entry `index.json`. Shared by [`export`] and
+/// [`write_layout`] so a pulled layout is byte-identical to the layout
+/// the pushing side exported.
+fn index_json(manifest_digest: &str, manifest_size: usize, ref_name: &str) -> String {
+    format!(
+        "{{\"schemaVersion\":2,\"manifests\":[{{\"mediaType\":\"{MEDIA_MANIFEST}\",\
+         \"digest\":\"sha256:{manifest_digest}\",\"size\":{manifest_size},\
+         \"annotations\":{{\"{REF_ANNOTATION}\":\"{}\"}}}}]}}",
+        escape(ref_name),
+    )
+}
+
 fn export_impl(meta: &ImageMeta, layers: Vec<Vec<u8>>, dir: &Path) -> Result<OciSummary> {
     let writer = LayoutWriter::new(dir)?;
     let mut layer_digests = Vec::new();
@@ -174,13 +186,7 @@ fn export_impl(meta: &ImageMeta, layers: Vec<Vec<u8>>, dir: &Path) -> Result<Oci
     let manifest_digest = writer.put_blob(manifest.as_bytes())?;
 
     let ref_name = meta.reference();
-    let index = format!(
-        "{{\"schemaVersion\":2,\"manifests\":[{{\"mediaType\":\"{MEDIA_MANIFEST}\",\
-         \"digest\":\"sha256:{manifest_digest}\",\"size\":{},\
-         \"annotations\":{{\"{REF_ANNOTATION}\":\"{}\"}}}}]}}",
-        manifest.len(),
-        escape(&ref_name),
-    );
+    let index = index_json(&manifest_digest, manifest.len(), &ref_name);
     writer.write(&dir.join("index.json"), index.as_bytes())?;
     writer.write(
         &dir.join("oci-layout"),
@@ -264,6 +270,16 @@ fn read_manifest(dir: &Path) -> Result<(OciSummary, Json)> {
         std::str::from_utf8(&manifest_bytes)
             .map_err(|_| StoreError::corrupt("manifest is not UTF-8"))?,
     )?;
+    let summary = summary_from_manifest(ref_name, manifest_digest, &manifest)?;
+    Ok((summary, manifest))
+}
+
+/// Walk an already-parsed manifest into an [`OciSummary`].
+fn summary_from_manifest(
+    ref_name: String,
+    manifest_digest: String,
+    manifest: &Json,
+) -> Result<OciSummary> {
     let config_digest = bare_digest(
         manifest
             .get("config")
@@ -280,16 +296,88 @@ fn read_manifest(dir: &Path) -> Result<(OciSummary, Json)> {
         layer_digests.push(bare_digest(layer, "layer")?);
         layer_sizes.push(layer.get("size").and_then(Json::as_u64).unwrap_or(0));
     }
-    Ok((
-        OciSummary {
-            ref_name,
-            manifest_digest,
-            config_digest,
-            layer_digests,
-            layer_sizes,
-        },
-        manifest,
-    ))
+    Ok(OciSummary {
+        ref_name,
+        manifest_digest,
+        config_digest,
+        layer_digests,
+        layer_sizes,
+    })
+}
+
+/// Parse manifest bytes — as fetched off the wire, no layout directory
+/// involved — into an [`OciSummary`]. The manifest digest is computed
+/// from the bytes, so the summary is self-authenticating.
+pub fn parse_manifest(ref_name: &str, manifest_bytes: &[u8]) -> Result<OciSummary> {
+    let manifest_digest = hex(&Sha256::digest(manifest_bytes));
+    let manifest = Json::parse(
+        std::str::from_utf8(manifest_bytes)
+            .map_err(|_| StoreError::corrupt("manifest is not UTF-8"))?,
+    )?;
+    summary_from_manifest(ref_name.to_string(), manifest_digest, &manifest)
+}
+
+/// Fetch one blob through `fetch` and verify it against `digest` —
+/// every wire transfer is checked, exactly like on-disk layout blobs.
+fn fetch_verified(digest: &str, fetch: &mut dyn FnMut(&str) -> Result<Vec<u8>>) -> Result<Vec<u8>> {
+    let data = fetch(digest)?;
+    if hex(&Sha256::digest(&data)) != digest {
+        return Err(StoreError::corrupt(format!(
+            "fetched blob {digest} fails verification"
+        )));
+    }
+    Ok(data)
+}
+
+/// Materialize an [`Image`] from a manifest plus a blob fetcher (the
+/// registry client's pull path; [`import`] is the same assembly with
+/// the fetcher reading layout files). Every fetched blob is verified
+/// against its digest before use.
+pub fn assemble(
+    ref_name: &str,
+    manifest_bytes: &[u8],
+    fetch: &mut dyn FnMut(&str) -> Result<Vec<u8>>,
+) -> Result<Image> {
+    let summary = parse_manifest(ref_name, manifest_bytes)?;
+    let config_bytes = fetch_verified(&summary.config_digest, fetch)?;
+    let config = Json::parse(
+        std::str::from_utf8(&config_bytes)
+            .map_err(|_| StoreError::corrupt("config is not UTF-8"))?,
+    )?;
+    let meta = meta_from_config(&config, &summary.ref_name)?;
+    let mut fs = Fs::new();
+    for digest in &summary.layer_digests {
+        let tar = fetch_verified(digest, fetch)?;
+        apply_tar(&mut fs, &tar)?;
+    }
+    Ok(Image { meta, fs })
+}
+
+/// Write a full OCI layout at `dir` from a manifest plus a blob
+/// fetcher — the `pull` path's mirror of [`export`]. The index is
+/// generated by the same canonical writer as export, so pulling a
+/// zeroroot-pushed image reproduces the exported layout byte for byte.
+pub fn write_layout(
+    dir: impl AsRef<Path>,
+    ref_name: &str,
+    manifest_bytes: &[u8],
+    fetch: &mut dyn FnMut(&str) -> Result<Vec<u8>>,
+) -> Result<OciSummary> {
+    let dir = dir.as_ref();
+    let summary = parse_manifest(ref_name, manifest_bytes)?;
+    let writer = LayoutWriter::new(dir)?;
+    writer.put_blob(manifest_bytes)?;
+    for digest in std::iter::once(&summary.config_digest).chain(&summary.layer_digests) {
+        writer.put_blob(&fetch_verified(digest, fetch)?)?;
+    }
+    let index = index_json(&summary.manifest_digest, manifest_bytes.len(), ref_name);
+    writer.write(&dir.join("index.json"), index.as_bytes())?;
+    writer.write(
+        &dir.join("oci-layout"),
+        b"{\"imageLayoutVersion\":\"1.0.0\"}",
+    )?;
+    writer.finish();
+    Ok(summary)
 }
 
 fn meta_from_config(config: &Json, ref_name: &str) -> Result<ImageMeta> {
@@ -361,18 +449,10 @@ fn meta_from_config(config: &Json, ref_name: &str) -> Result<ImageMeta> {
 pub fn import(dir: impl AsRef<Path>) -> Result<Image> {
     let dir = dir.as_ref();
     let (summary, _manifest) = read_manifest(dir)?;
-    let config_bytes = read_blob(dir, &summary.config_digest)?;
-    let config = Json::parse(
-        std::str::from_utf8(&config_bytes)
-            .map_err(|_| StoreError::corrupt("config is not UTF-8"))?,
-    )?;
-    let meta = meta_from_config(&config, &summary.ref_name)?;
-    let mut fs = Fs::new();
-    for digest in &summary.layer_digests {
-        let tar = read_blob(dir, digest)?;
-        apply_tar(&mut fs, &tar)?;
-    }
-    Ok(Image { meta, fs })
+    let manifest_bytes = read_blob(dir, &summary.manifest_digest)?;
+    assemble(&summary.ref_name, &manifest_bytes, &mut |digest| {
+        read_blob(dir, digest)
+    })
 }
 
 /// Summarize a layout without materializing its filesystem (manifest +

@@ -1,0 +1,119 @@
+//! Unicode interop for the hermetic JSON codec: arbitrary scalars
+//! (including non-BMP) survive `escape` → `parse`, UTF-16
+//! surrogate-pair `\u` escapes — the shape Docker/containerd
+//! canonicalizers emit — decode correctly, and a fixture manifest with
+//! escaped emoji/CJK annotations imports end to end.
+
+mod common;
+
+use common::Scratch;
+use proptest::prelude::*;
+use zr_digest::{hex, Sha256};
+use zr_store::json::{escape, Json};
+
+/// Arbitrary codepoint candidates → a string (surrogates skipped:
+/// they are not scalar values and cannot appear in a Rust string).
+fn scalars_to_string(points: &[u32]) -> String {
+    points.iter().filter_map(|&p| char::from_u32(p)).collect()
+}
+
+/// Encode every char the way UTF-16-minded writers do: one `\uXXXX`
+/// per code unit, non-BMP chars as surrogate pairs.
+fn utf16_escape(s: &str) -> String {
+    s.encode_utf16()
+        .map(|unit| format!("\\u{unit:04x}"))
+        .collect()
+}
+
+proptest! {
+    /// Our own writer round-trips any scalar, BMP or not.
+    #[test]
+    fn prop_escape_parse_roundtrips_unicode(
+        points in prop::collection::vec(0u32..0x110000, 0..64),
+    ) {
+        let s = scalars_to_string(&points);
+        let doc = format!("\"{}\"", escape(&s));
+        let parsed = Json::parse(&doc).expect("escaped string must parse");
+        prop_assert_eq!(parsed.as_str(), Some(s.as_str()));
+    }
+
+    /// A foreign writer that `\u`-escapes every UTF-16 code unit —
+    /// surrogate pairs included — parses back to the same string.
+    #[test]
+    fn prop_utf16_surrogate_escapes_decode(
+        points in prop::collection::vec(0u32..0x110000, 0..64),
+    ) {
+        let s = scalars_to_string(&points);
+        let doc = format!("\"{}\"", utf16_escape(&s));
+        let parsed = Json::parse(&doc).expect("surrogate-escaped string must parse");
+        prop_assert_eq!(parsed.as_str(), Some(s.as_str()));
+    }
+}
+
+/// Write one blob file into a hand-rolled layout, returning its digest.
+fn put_fixture_blob(dir: &std::path::Path, data: &[u8]) -> String {
+    let digest = hex(&Sha256::digest(data));
+    std::fs::write(dir.join("blobs/sha256").join(&digest), data).expect("write fixture blob");
+    digest
+}
+
+/// A fixture the importer must accept: a foreign-toolchain layout
+/// whose config and annotations carry emoji and CJK exclusively as
+/// UTF-16 surrogate-pair / BMP `\u` escapes.
+#[test]
+fn escaped_emoji_and_cjk_manifest_imports() {
+    let scratch = Scratch::new("unicode-fixture");
+    let dir = scratch.path();
+    std::fs::create_dir_all(dir.join("blobs/sha256")).expect("layout skeleton");
+
+    // "MOTD=😀 中文 🎉" with every non-ASCII char escaped the UTF-16 way
+    // (surrogate pairs for the emoji, BMP escapes for the CJK).
+    let config = "{\"architecture\":\"amd64\",\
+         \"config\":{\"Env\":[\"MOTD=\\ud83d\\ude00 \\u4e2d\\u6587 \\ud83c\\udf89\"]},\
+         \"os\":\"linux\",\"rootfs\":{\"diff_ids\":[],\"type\":\"layers\"}}"
+        .as_bytes();
+    let config_digest = put_fixture_blob(dir, config);
+
+    let manifest = format!(
+        "{{\"schemaVersion\":2,\"config\":{{\"digest\":\"sha256:{config_digest}\",\
+         \"size\":{}}},\"layers\":[]}}",
+        config.len()
+    );
+    let manifest_digest = put_fixture_blob(dir, manifest.as_bytes());
+
+    let index = format!(
+        "{{\"schemaVersion\":2,\"manifests\":[{{\"digest\":\"sha256:{manifest_digest}\",\
+         \"size\":{},\"annotations\":{{\"org.opencontainers.image.ref.name\":\
+         \"greetings\\ud83d\\ude00:\\u4e2d\\u6587\"}}}}]}}",
+        manifest.len()
+    );
+    std::fs::write(dir.join("index.json"), index).expect("write index");
+    std::fs::write(
+        dir.join("oci-layout"),
+        b"{\"imageLayoutVersion\":\"1.0.0\"}",
+    )
+    .expect("write oci-layout");
+
+    let image = zr_store::import(dir).expect("escaped fixture must import");
+    assert_eq!(image.meta.name, "greetings😀");
+    assert_eq!(image.meta.tag, "中文");
+    assert_eq!(
+        image.meta.env,
+        vec![("MOTD".to_string(), "😀 中文 🎉".to_string())]
+    );
+}
+
+/// Lone or mismatched surrogates are *still* rejected — decoding pairs
+/// must not open the door to unpaired halves.
+#[test]
+fn lone_surrogate_escapes_still_fail_import() {
+    for bad in [
+        r#""\ud83d""#,        // lone high at end of string
+        r#""\ud83d rest""#,   // high followed by a plain char
+        "\"\\ud83d\\u0041\"", // high followed by a BMP escape
+        r#""\ud800\ud800""#,  // high followed by another high
+        r#""\udc00""#,        // lone low
+    ] {
+        assert!(Json::parse(bad).is_err(), "{bad} must not parse");
+    }
+}
