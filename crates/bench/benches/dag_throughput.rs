@@ -1,0 +1,49 @@
+//! Bench: stage-parallel throughput of one multi-stage build.
+//!
+//! Three DAG shapes × worker counts, all single-request batches (the
+//! parallelism under test is *within* one build):
+//!
+//! * **linear** — an 8-stage chain: every stage depends on the last,
+//!   so extra workers must buy nothing. The overhead floor.
+//! * **diamond** — base → left + right → final: one overlap pair.
+//! * **wide** — 8 independent middle stages on distinct bases joined
+//!   by a final `COPY --from=` fan-in: maximum overlap, where workers
+//!   hide the modeled pull latency of each base.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use zr_bench::{linear_stages, timed_dag, wide_stages, DIAMOND};
+use zr_build::CacheMode;
+
+const JOBS: [usize; 3] = [1, 2, 8];
+const STAGES: usize = 8;
+
+fn bench_shape(c: &mut Criterion, name: &str, dockerfile: &str) {
+    let mut g = c.benchmark_group(format!("dag_throughput_{name}"));
+    g.sample_size(3);
+    for jobs in JOBS {
+        g.bench_function(format!("jobs-{jobs}"), |b| {
+            b.iter(|| {
+                let (elapsed, digest) = timed_dag(jobs, black_box(dockerfile), CacheMode::Disabled);
+                assert!(!digest.is_empty());
+                elapsed
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_linear(c: &mut Criterion) {
+    bench_shape(c, "linear", &linear_stages(STAGES));
+}
+
+fn bench_diamond(c: &mut Criterion) {
+    bench_shape(c, "diamond", DIAMOND);
+}
+
+fn bench_wide(c: &mut Criterion) {
+    bench_shape(c, "wide", &wide_stages(STAGES));
+}
+
+criterion_group!(benches, bench_linear, bench_diamond, bench_wide);
+criterion_main!(benches);

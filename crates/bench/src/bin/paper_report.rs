@@ -6,15 +6,16 @@
 //! ```
 //!
 //! With `--json`, the gate verdicts and the numeric bench metrics are
-//! additionally written to `BENCH_7.json` (or `PATH`) so CI can upload
+//! additionally written to `BENCH_8.json` (or `PATH`) so CI can upload
 //! them and the perf trajectory is tracked across PRs.
 
 use zeroroot_core::Mode;
 use zr_bench::{
-    bench_scheduler, build_once, distinct_dockerfiles, sched_requests, snapshot_one_change,
-    synthetic_image, timed_batch, APT, FIG1A, FIG1B,
+    bench_pull_cost, bench_scheduler, build_once, distinct_dockerfiles, sched_requests,
+    snapshot_one_change, synthetic_image, timed_batch, APT, DIAMOND, FIG1A, FIG1B,
 };
 use zr_build::CacheMode;
+use zr_sched::{BuildStatus, Scheduler, SchedulerConfig};
 use zr_syscalls::filtered::{filtered_on, FILTERED};
 use zr_syscalls::Arch;
 
@@ -93,7 +94,7 @@ fn best_of<T>(n: u32, mut f: impl FnMut() -> (std::time::Duration, T)) -> (std::
 fn main() {
     let json_path = std::env::args().skip(1).find_map(|a| {
         if a == "--json" {
-            Some("BENCH_7.json".to_string())
+            Some("BENCH_8.json".to_string())
         } else {
             a.strip_prefix("--json=").map(str::to_string)
         }
@@ -347,6 +348,121 @@ fn main() {
             && cold.hits == 0
             && warm.hits > 0
             && warm.misses == 0,
+    });
+
+    // ---- M-dag -------------------------------------------------------------------
+    // The multi-stage DAG gate, in four parts.
+    //
+    // (a) Determinism: the diamond Dockerfile builds to the same
+    //     `Image::digest` serially and at 8 workers, with >= 2 stage
+    //     tasks observed running at once in the parallel build (the
+    //     overlap can lose a coin flip to scheduling, so the cold
+    //     attempt retries on a fresh cache dir, like any timing gate).
+    //
+    // (b) Pruning: the stage nothing references is the diamond's only
+    //     centos user; the registry fetch counter staying at 1 (the
+    //     alpine base) proves it never executed.
+    //
+    // (c) Warm replay: a *fresh* scheduler over the same --cache-dir
+    //     replays every stage from disk — zero misses, zero fetches,
+    //     same digest.
+    //
+    // (d) Shared blobs: cross-stage COPY hands blobs over Arc-shared,
+    //     so the layer store's dedup ledger must charge shared payload
+    //     bytes once (logical > deduplicated).
+    let scratch = std::env::temp_dir().join(format!("zr-paper-dag-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let diamond = vec![DIAMOND.to_string()];
+    let (t_dag_serial, dag_serial) = timed_batch(1, &diamond, CacheMode::Enabled);
+    let dag_terminal = |s: &BuildStatus| {
+        matches!(
+            s,
+            BuildStatus::Done | BuildStatus::Failed | BuildStatus::Cancelled
+        )
+    };
+    let mut dag_peak = 0usize;
+    let mut dag_cache = std::path::PathBuf::new();
+    let mut t_dag_parallel = std::time::Duration::ZERO;
+    let mut dag_parallel = Vec::new();
+    let mut dag_fetches = 0u64;
+    let mut dag_dedups = false;
+    for attempt in 0..5 {
+        dag_cache = scratch.join(format!("cache-{attempt}"));
+        let sched = Scheduler::try_new(SchedulerConfig {
+            jobs: 8,
+            pull_cost: bench_pull_cost(),
+            cache_dir: Some(dag_cache.clone()),
+            ..SchedulerConfig::default()
+        })
+        .expect("open dag cache dir");
+        let t0 = std::time::Instant::now();
+        let handle = sched.submit(sched_requests(&diamond, CacheMode::Enabled));
+        dag_peak = 0;
+        while !handle.statuses().iter().all(dag_terminal) {
+            dag_peak = dag_peak.max(handle.peak_concurrency());
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        dag_peak = dag_peak.max(handle.peak_concurrency());
+        let reports = handle.wait();
+        t_dag_parallel = t0.elapsed();
+        let store_stats = sched.layers().stats();
+        dag_dedups = store_stats.logical_bytes > store_stats.bytes;
+        dag_fetches = sched.registry().stats().fetches;
+        dag_parallel = reports
+            .into_iter()
+            .map(|r| {
+                assert!(r.result.success, "{}", r.result.log_text());
+                r.result.image.as_ref().expect("dag build image").digest()
+            })
+            .collect();
+        if dag_peak >= 2 {
+            break;
+        }
+    }
+    let dag_deterministic = dag_serial == dag_parallel;
+    let dag_pruned = dag_fetches == 1;
+
+    // (c) Fresh scheduler, same --cache-dir: all stages replay from disk.
+    let warm_sched = Scheduler::try_new(SchedulerConfig {
+        jobs: 8,
+        pull_cost: bench_pull_cost(),
+        cache_dir: Some(dag_cache.clone()),
+        ..SchedulerConfig::default()
+    })
+    .expect("reopen dag cache dir");
+    let warm_reports = warm_sched.build_many(sched_requests(&diamond, CacheMode::Enabled));
+    let warm_dag = &warm_reports[0];
+    let warm_dag_silent = warm_dag.result.success
+        && warm_dag.result.cache.misses == 0
+        && warm_dag.result.cache.hits > 0
+        && warm_sched.registry().stats().fetches == 0
+        && warm_sched.layers().stats().disk_hits > 0
+        && warm_dag
+            .result
+            .image
+            .as_ref()
+            .map(|img| dag_serial.first() == Some(&img.digest()))
+            .unwrap_or(false);
+    let _ = std::fs::remove_dir_all(&scratch);
+    metrics.push(("m_dag.serial_ms".into(), t_dag_serial.as_secs_f64() * 1e3));
+    metrics.push((
+        "m_dag.parallel_ms".into(),
+        t_dag_parallel.as_secs_f64() * 1e3,
+    ));
+    metrics.push(("m_dag.peak_concurrency".into(), dag_peak as f64));
+    checks.push(Check {
+        id: "M-dag",
+        paper: "diamond multi-stage build: serial == 8-worker digest with >= 2 stages \
+                overlapping, unreachable stage pruned (never fetched), warm --cache-dir \
+                replay executes nothing, COPY --from= blobs dedup-shared",
+        measured: format!(
+            "digests-identical={dag_deterministic} (serial {t_dag_serial:.2?}, \
+             8 workers {t_dag_parallel:.2?}, peak {dag_peak}); fetches={dag_fetches} \
+             (pruned={dag_pruned}); warm: {} executed-nothing={warm_dag_silent}; \
+             dedup-active={dag_dedups}",
+            warm_dag.result.cache
+        ),
+        pass: dag_deterministic && dag_peak >= 2 && dag_pruned && warm_dag_silent && dag_dedups,
     });
 
     // ---- P-snap ------------------------------------------------------------------

@@ -71,6 +71,66 @@ pub fn distinct_dockerfiles(n: usize) -> Vec<String> {
         .collect()
 }
 
+/// A diamond multi-stage Dockerfile: base → left + right (independent,
+/// heavy enough to measurably overlap) → final joined by
+/// `COPY --from=`, plus one stage nothing references. The unreachable
+/// stage is the pruning probe: it is the only `centos:7` user, so the
+/// registry's fetch counter stays at one (alpine) unless it runs.
+pub const DIAMOND: &str = "FROM alpine:3.19 AS base\nRUN echo shared > /shared\n\
+                           FROM base AS left\nRUN apk add sl && echo l > /left\n\
+                           FROM base AS right\nRUN apk add fakeroot && echo r > /right\n\
+                           FROM centos:7 AS unused\nRUN yum install -y openssh\n\
+                           FROM base AS final\n\
+                           COPY --from=left /left /left\n\
+                           COPY --from=right /right /right\n";
+
+/// An `n`-stage linear chain (each stage `FROM` the previous): no two
+/// stages can ever overlap — the DAG scheduler's floor, where extra
+/// workers must buy nothing.
+pub fn linear_stages(n: usize) -> String {
+    let mut df = String::from("FROM alpine:3.19 AS s0\nRUN echo 0 > /s0\n");
+    for i in 1..n {
+        df.push_str(&format!("FROM s{} AS s{i}\nRUN echo {i} > /s{i}\n", i - 1));
+    }
+    df
+}
+
+/// `k` independent middle stages cycling all four catalog bases (each
+/// pays its own pull, so workers overlap the modeled latency), joined
+/// by a final stage copying one file from every middle — maximum
+/// stage-level fan-out from a single request.
+pub fn wide_stages(k: usize) -> String {
+    let bases = ["alpine:3.19", "centos:7", "debian:12", "fedora:40"];
+    let mut df = String::new();
+    for i in 0..k {
+        df.push_str(&format!(
+            "FROM {} AS w{i}\nRUN echo {i} > /w{i}\n",
+            bases[i % bases.len()]
+        ));
+    }
+    df.push_str("FROM alpine:3.19\n");
+    for i in 0..k {
+        df.push_str(&format!("COPY --from=w{i} /w{i} /w{i}\n"));
+    }
+    df
+}
+
+/// Wall-clock one multi-stage build on a fresh scheduler with `jobs`
+/// workers; returns the elapsed time and the target image digest. The
+/// DAG layer splits the request into per-stage tasks, so worker counts
+/// above one overlap independent stages of this single build.
+pub fn timed_dag(jobs: usize, dockerfile: &str, cache: CacheMode) -> (Duration, String) {
+    let sched = bench_scheduler(jobs);
+    let requests = sched_requests(&[dockerfile.to_string()], cache);
+    let t0 = std::time::Instant::now();
+    let reports = sched.build_many(requests);
+    let elapsed = t0.elapsed();
+    let report = &reports[0];
+    assert!(report.result.success, "{}", report.result.log_text());
+    let digest = report.result.image.as_ref().expect("built image").digest();
+    (elapsed, digest)
+}
+
 /// Scheduler requests over `dockerfiles` under `--force=seccomp` with
 /// the given cache policy, ids/tags `b0..bN` in input order.
 pub fn sched_requests(dockerfiles: &[String], cache: CacheMode) -> Vec<BuildRequest> {

@@ -17,9 +17,11 @@
 use crate::cache::{self, CacheStats};
 use crate::options::BuildOptions;
 use crate::result::{BuildError, BuildResult};
+use std::collections::HashMap;
 use std::sync::Arc;
 use zeroroot_core::{make, Mode, PrepareEnv};
 use zr_dockerfile::{parse, substitute, CopySpec, Dockerfile, Instruction};
+use zr_plan::{BaseRef, BuildPlan};
 
 use zr_image::{
     CacheKey, Image, ImageMeta, ImageRef, ImageStore, Layer, LayerState, LayerStore,
@@ -32,6 +34,7 @@ use zr_pkg::register::{register_image_binaries, repo_for};
 use zr_shell::inject_apt_workaround;
 use zr_vfs::access::Access;
 use zr_vfs::fs::{FollowMode, Fs};
+use zr_vfs::inode::FileKind;
 use zr_vfs::path::{join, split_parent};
 
 /// The current build stage: one container plus its evolving metadata.
@@ -163,6 +166,73 @@ impl Builder {
                 keyword: "build".into(),
             });
         }
+        let plan = BuildPlan::compile(&df, opts.target.as_deref()).map_err(BuildError::Plan)?;
+
+        // Multi-stage files get stage banners and pruning notes; a
+        // single-stage file logs exactly what it always did.
+        let multi = plan.stages().len() > 1;
+        if multi {
+            for &p in plan.pruned() {
+                log.push(format!("skipping unused stage: {}", plan.stage_name(p)));
+            }
+        }
+        let mut images: HashMap<usize, Image> = HashMap::new();
+        let mut walked = 0usize;
+        for (pos, &idx) in plan.order().iter().enumerate() {
+            if multi {
+                log.push(format!(
+                    "=== stage {} ({}/{}) ===",
+                    plan.stage_name(idx),
+                    pos + 1,
+                    plan.order().len()
+                ));
+            }
+            let image =
+                self.build_stage(kernel, &plan, idx, opts, &images, log, modified, stats)?;
+            walked += plan.stage_instructions(idx).len();
+            images.insert(idx, image);
+        }
+
+        let image = images.remove(&plan.target()).expect("target stage built");
+        finish_log(log, opts, *modified, walked);
+        let mut meta = image.meta;
+        meta.tag = opts.tag.clone();
+        Ok(Image { meta, fs: image.fs })
+    }
+
+    /// Build one stage of a compiled [`BuildPlan`]: walk its cached
+    /// prefix, execute the remainder, snapshot each instruction, and
+    /// return the stage's result image (tag not yet applied — the
+    /// caller tags the *target* stage only, so intermediate results
+    /// digest independently of the destination tag).
+    ///
+    /// `images` must hold the result of every stage in the node's
+    /// `deps` — the serial driver ([`build`](Self::build)) guarantees
+    /// this by walking `plan.order()`; the DAG scheduler guarantees it
+    /// by releasing a stage task only when its dependencies complete.
+    /// This is the unit of work a scheduler worker runs, which is why
+    /// it is public.
+    #[allow(clippy::too_many_arguments)] // internal seam; bundling hurts call sites
+    pub fn build_stage(
+        &mut self,
+        kernel: &mut Kernel,
+        plan: &BuildPlan,
+        stage_idx: usize,
+        opts: &BuildOptions,
+        images: &HashMap<usize, Image>,
+        log: &mut Vec<String>,
+        modified: &mut u32,
+        stats: &mut CacheStats,
+    ) -> Result<Image, BuildError> {
+        let insns = plan.stage_instructions(stage_idx);
+        // Cross-stage references (FROM <alias>, COPY --from=) key on
+        // the source stage's image digest: a stage's cache lineage is
+        // invalidated exactly when something it consumes changed.
+        let resolve = |from: &str| {
+            plan.resolve_from(from, stage_idx)
+                .and_then(|i| images.get(&i))
+                .map(|img| img.digest())
+        };
 
         let config = cache::config_fingerprint(opts);
         let run_marker = make(opts.force).run_marker();
@@ -187,9 +257,16 @@ impl Builder {
                 let mut hit_log: Vec<String> = Vec::new();
                 let mut env: Vec<(String, String)> = Vec::new();
                 let mut rargs: Vec<(String, String)> = Vec::new();
-                for (idx, (_, instruction)) in df.instructions.iter().enumerate() {
-                    let key =
-                        cache::layer_key(parent.as_ref(), instruction, &env, &rargs, opts, &config);
+                for (idx, (_, instruction)) in insns.iter().enumerate() {
+                    let key = cache::layer_key(
+                        parent.as_ref(),
+                        instruction,
+                        &env,
+                        &rargs,
+                        opts,
+                        &config,
+                        &resolve,
+                    );
                     let Some(state) = self.layers.peek_state(&key) else {
                         break;
                     };
@@ -237,20 +314,17 @@ impl Builder {
             }
         }
 
-        // Fully cached: the image is the deepest snapshot; no container
-        // is ever set up (the warm-build fast path).
-        if start == df.len() {
+        // Fully cached: the stage image is the deepest snapshot; no
+        // container is ever set up (the warm-build fast path).
+        if start == insns.len() {
             let layer = restored.expect("all-hit replay has a last layer");
             let snap = layer
                 .state
                 .stage
                 .as_ref()
                 .ok_or_else(|| missing_from("build"))?;
-            finish_log(log, opts, *modified, df.len());
-            let mut meta = snap.meta.clone();
-            meta.tag = opts.tag.clone();
             return Ok(Image {
-                meta,
+                meta: snap.meta.clone(),
                 fs: layer.fs.clone(),
             });
         }
@@ -297,7 +371,7 @@ impl Builder {
         }
 
         // ---- execute the remainder, snapshotting each instruction ----
-        for (idx, (_, instruction)) in df.instructions.iter().enumerate().skip(start) {
+        for (idx, (_, instruction)) in insns.iter().enumerate().skip(start) {
             let n = idx + 1;
             // Key first: it is defined over the state *before* the
             // instruction runs.
@@ -311,6 +385,7 @@ impl Builder {
                     &args,
                     opts,
                     &config,
+                    &resolve,
                 ))
             } else {
                 None
@@ -334,7 +409,16 @@ impl Builder {
                     if self.store.contains(&opts.tag) {
                         log.push(format!("updating existing image: {}", opts.tag));
                     }
-                    stage = Some(self.start_stage(kernel, &reference, opts)?);
+                    stage = Some(match &plan.stages()[stage_idx].base {
+                        BaseRef::Stage(i) => {
+                            let src = images.get(i).ok_or_else(|| BuildError::Instruction {
+                                instruction: n as u32,
+                                message: format!("FROM {reference}: stage {i} result unavailable"),
+                            })?;
+                            start_stage_from(kernel, src, opts)?
+                        }
+                        BaseRef::Image(_) => self.start_stage(kernel, &reference, opts)?,
+                    });
                 }
                 Instruction::Env(pairs) => {
                     let stage_ref = stage.as_mut().ok_or_else(|| missing_from("ENV"))?;
@@ -393,7 +477,27 @@ impl Builder {
                         spec.sources.join(" "),
                         spec.dest
                     ));
-                    copy_into_stage(kernel, stage_ref, opts, spec, n as u32, &args)?;
+                    match &spec.from {
+                        Some(from) => {
+                            let src_idx = plan.resolve_from(from, stage_idx).ok_or_else(|| {
+                                BuildError::Instruction {
+                                    instruction: n as u32,
+                                    message: format!("COPY --from={from}: unknown stage"),
+                                }
+                            })?;
+                            let src =
+                                images
+                                    .get(&src_idx)
+                                    .ok_or_else(|| BuildError::Instruction {
+                                        instruction: n as u32,
+                                        message: format!(
+                                        "COPY --from={from}: stage {src_idx} result unavailable"
+                                    ),
+                                    })?;
+                            copy_from_stage(kernel, stage_ref, &src.fs, spec, n as u32, &args)?;
+                        }
+                        None => copy_into_stage(kernel, stage_ref, opts, spec, n as u32, &args)?,
+                    }
                 }
                 Instruction::Entrypoint(argv) => {
                     log.push(format!("{n}. ENTRYPOINT {argv:?}"));
@@ -456,12 +560,11 @@ impl Builder {
         }
 
         let stage = stage.ok_or_else(|| missing_from("build"))?;
-        finish_log(log, opts, *modified, df.len());
-
-        let mut meta = stage.meta;
-        meta.tag = opts.tag.clone();
         let fs = kernel.fs(stage.container.fs).clone();
-        Ok(Image { meta, fs })
+        Ok(Image {
+            meta: stage.meta,
+            fs,
+        })
     }
 
     /// FROM: pull, re-own as the unprivileged unpacking user, register
@@ -600,8 +703,11 @@ impl Builder {
     }
 }
 
-/// The closing log lines every successful build prints.
-fn finish_log(log: &mut Vec<String>, opts: &BuildOptions, modified: u32, instructions: usize) {
+/// The closing log lines every successful build prints (the `--force=`
+/// modification count and the `grown in N instructions` line). Public
+/// so the DAG scheduler, which assembles a build's log from per-stage
+/// chunks, closes it byte-identically to a serial [`Builder::build`].
+pub fn finish_log(log: &mut Vec<String>, opts: &BuildOptions, modified: u32, instructions: usize) {
     if matches!(opts.force, Mode::Seccomp | Mode::SeccompXattr) {
         let flag = make(opts.force).flag();
         log.push(format!(
@@ -673,6 +779,190 @@ fn hit_line(
     }
 }
 
+/// FROM an earlier stage: the source image is consumed in place — its
+/// filesystem handle becomes the new container's CoW base (O(pages)
+/// pointer clones, payload blobs shared), with no pull, no re-chown
+/// (the source build already owns every inode as the builder), and its
+/// metadata (env, registered binaries) carried forward.
+fn start_stage_from(
+    kernel: &mut Kernel,
+    source: &Image,
+    opts: &BuildOptions,
+) -> Result<Stage, BuildError> {
+    register_image_binaries(kernel, &source.meta);
+    let container = kernel
+        .container_create(
+            Kernel::HOST_USER_PID,
+            ContainerConfig {
+                ctype: opts.container_type,
+                image: source.fs.clone(),
+            },
+        )
+        .map_err(|errno| BuildError::ContainerSetup {
+            ctype: opts.container_type,
+            errno,
+        })?;
+    let env = source.meta.env.clone();
+    Ok(Stage {
+        container,
+        meta: source.meta.clone(),
+        env,
+        shell: vec!["/bin/sh".into(), "-c".into()],
+    })
+}
+
+/// COPY --from=stage: read paths out of the source stage's result
+/// filesystem and write them into this stage **blob-shared** — every
+/// regular file lands as an `Arc` clone of the source blob (with its
+/// digest memo riding along), so a cross-stage copy moves zero content
+/// bytes and the store's dedup ledger records the sharing.
+fn copy_from_stage(
+    kernel: &mut Kernel,
+    stage: &mut Stage,
+    source: &Fs,
+    spec: &CopySpec,
+    n: u32,
+    args: &[(String, String)],
+) -> Result<(), BuildError> {
+    let pid = stage.container.init_pid;
+    let dest = substitute(&spec.dest, &cache::lookup(&stage.env, args));
+    let dir_like = dest.ends_with('/') || spec.sources.len() > 1;
+
+    let mut written = Vec::new();
+    for src in &spec.sources {
+        let src = substitute(src, &cache::lookup(&stage.env, args));
+        // Stage-source paths are image paths, absolute by convention.
+        let abs_src = if src.starts_with('/') {
+            src.clone()
+        } else {
+            format!("/{src}")
+        };
+        let ino = source
+            .resolve(&abs_src, &Access::root(), FollowMode::Follow)
+            .map_err(|e| BuildError::Instruction {
+                instruction: n,
+                message: format!("COPY --from: {abs_src}: {e}"),
+            })?;
+        let is_dir = matches!(source.inode(ino).map(|i| &i.kind), Ok(FileKind::Dir { .. }));
+        if is_dir {
+            // Docker semantics: a directory source copies its
+            // *contents* into dest (dest becomes/extends a directory).
+            let target = match dest.trim_end_matches('/') {
+                "" => "/".to_string(),
+                d => d.to_string(),
+            };
+            copy_tree(kernel, pid, source, &abs_src, &target, n, &mut written)?;
+        } else {
+            let base = abs_src.rsplit('/').next().unwrap_or(abs_src.as_str());
+            let target = if dir_like {
+                format!("{}/{}", dest.trim_end_matches('/'), base)
+            } else {
+                dest.clone()
+            };
+            copy_node(kernel, pid, source, ino, &target, n, &mut written)?;
+        }
+    }
+    apply_chown(kernel, stage, spec, n, &written)
+}
+
+/// Recursively copy the contents of `src_dir` (in `source`) under
+/// `dest_dir` (in the stage), sharing file blobs.
+fn copy_tree(
+    kernel: &mut Kernel,
+    pid: zr_kernel::Pid,
+    source: &Fs,
+    src_dir: &str,
+    dest_dir: &str,
+    n: u32,
+    written: &mut Vec<String>,
+) -> Result<(), BuildError> {
+    let mut ctx = kernel.ctx(pid);
+    let dest_abs = join(&ctx.getcwd(), dest_dir);
+    ctx.mkdir_p(&dest_abs, 0o755)
+        .map_err(|e| BuildError::Instruction {
+            instruction: n,
+            message: format!("COPY --from: {dest_abs}: {e}"),
+        })?;
+    let entries =
+        source
+            .read_dir(src_dir, &Access::root())
+            .map_err(|e| BuildError::Instruction {
+                instruction: n,
+                message: format!("COPY --from: {src_dir}: {e}"),
+            })?;
+    for (name, ino) in entries {
+        let child_src = format!("{}/{name}", src_dir.trim_end_matches('/'));
+        let child_dest = format!("{}/{name}", dest_abs.trim_end_matches('/'));
+        let is_dir = matches!(source.inode(ino).map(|i| &i.kind), Ok(FileKind::Dir { .. }));
+        if is_dir {
+            copy_tree(kernel, pid, source, &child_src, &child_dest, n, written)?;
+        } else {
+            copy_node(kernel, pid, source, ino, &child_dest, n, written)?;
+        }
+    }
+    Ok(())
+}
+
+/// Copy one non-directory inode from the source stage to `target` in
+/// the current stage: files land Arc-shared, symlinks are recreated.
+fn copy_node(
+    kernel: &mut Kernel,
+    pid: zr_kernel::Pid,
+    source: &Fs,
+    ino: zr_vfs::Ino,
+    target: &str,
+    n: u32,
+    written: &mut Vec<String>,
+) -> Result<(), BuildError> {
+    let mut ctx = kernel.ctx(pid);
+    let absolute = join(&ctx.getcwd(), target);
+    if let Some((parent, _)) = split_parent(&absolute) {
+        ctx.mkdir_p(&parent, 0o755)
+            .map_err(|e| BuildError::Instruction {
+                instruction: n,
+                message: format!("COPY --from: {parent}: {e}"),
+            })?;
+    }
+    let kind = source
+        .inode(ino)
+        .map(|i| i.kind.clone())
+        .map_err(|e| BuildError::Instruction {
+            instruction: n,
+            message: format!("COPY --from: {target}: {e}"),
+        })?;
+    match kind {
+        FileKind::File(blob) => {
+            let perm = source.stat_ino(ino).mode & 0o7777;
+            // The Arc clone is the whole transfer: no bytes move, and
+            // the blob's memoized digest keeps image digesting warm.
+            kernel
+                .write_file_blob(pid, &absolute, perm, blob)
+                .map_err(|e| BuildError::Instruction {
+                    instruction: n,
+                    message: format!("COPY --from: {absolute}: {e}"),
+                })?;
+        }
+        FileKind::Symlink(link_target) => {
+            let fsid = kernel.process(pid).fs;
+            kernel
+                .fs_mut(fsid)
+                .symlink(&link_target, &absolute, &Access::root())
+                .map_err(|e| BuildError::Instruction {
+                    instruction: n,
+                    message: format!("COPY --from: {absolute}: {e}"),
+                })?;
+        }
+        other => {
+            return Err(BuildError::Instruction {
+                instruction: n,
+                message: format!("COPY --from: {absolute}: unsupported file kind {other:?}"),
+            });
+        }
+    }
+    written.push(absolute);
+    Ok(())
+}
+
 /// COPY/ADD: write context files into the stage filesystem.
 fn copy_into_stage(
     kernel: &mut Kernel,
@@ -682,12 +972,6 @@ fn copy_into_stage(
     n: u32,
     args: &[(String, String)],
 ) -> Result<(), BuildError> {
-    if let Some(from) = &spec.from {
-        return Err(BuildError::MultiStageUnsupported {
-            instruction: n,
-            stage: from.clone(),
-        });
-    }
     let pid = stage.container.init_pid;
     let dest = substitute(&spec.dest, &cache::lookup(&stage.env, args));
     let dir_like = dest.ends_with('/') || spec.sources.len() > 1;
@@ -731,30 +1015,41 @@ fn copy_into_stage(
         written.push(absolute);
     }
 
-    // --chown: builder-side layer metadata, applied directly to storage
-    // (numeric ids; an unprivileged builder has no passwd to consult).
-    if let Some(owner) = &spec.chown {
-        let (uid, gid) = parse_numeric_owner(owner).ok_or_else(|| BuildError::Instruction {
-            instruction: n,
-            message: format!("COPY --chown={owner}: numeric uid[:gid] required"),
-        })?;
-        let fsid = stage.container.fs;
-        for path in &written {
-            let ino = kernel
-                .fs(fsid)
-                .resolve(path, &Access::root(), FollowMode::Follow)
-                .map_err(|e| BuildError::Instruction {
-                    instruction: n,
-                    message: format!("COPY --chown: {path}: {e}"),
-                })?;
-            kernel
-                .fs_mut(fsid)
-                .set_owner(ino, uid, gid)
-                .map_err(|e| BuildError::Instruction {
-                    instruction: n,
-                    message: format!("COPY --chown: {path}: {e}"),
-                })?;
-        }
+    apply_chown(kernel, stage, spec, n, &written)
+}
+
+/// --chown: builder-side layer metadata, applied directly to storage
+/// (numeric ids; an unprivileged builder has no passwd to consult).
+fn apply_chown(
+    kernel: &mut Kernel,
+    stage: &Stage,
+    spec: &CopySpec,
+    n: u32,
+    written: &[String],
+) -> Result<(), BuildError> {
+    let Some(owner) = &spec.chown else {
+        return Ok(());
+    };
+    let (uid, gid) = parse_numeric_owner(owner).ok_or_else(|| BuildError::Instruction {
+        instruction: n,
+        message: format!("COPY --chown={owner}: numeric uid[:gid] required"),
+    })?;
+    let fsid = stage.container.fs;
+    for path in written {
+        let ino = kernel
+            .fs(fsid)
+            .resolve(path, &Access::root(), FollowMode::Follow)
+            .map_err(|e| BuildError::Instruction {
+                instruction: n,
+                message: format!("COPY --chown: {path}: {e}"),
+            })?;
+        kernel
+            .fs_mut(fsid)
+            .set_owner(ino, uid, gid)
+            .map_err(|e| BuildError::Instruction {
+                instruction: n,
+                message: format!("COPY --chown: {path}: {e}"),
+            })?;
     }
     Ok(())
 }
@@ -890,27 +1185,167 @@ mod tests {
     }
 
     #[test]
-    fn copy_from_reports_multi_stage_unsupported() {
+    fn copy_from_self_stage_is_a_parse_error() {
         let (r, _) = build(
             "FROM alpine:3.19 AS base\nCOPY --from=base /x /y\n",
             Mode::None,
         );
         assert!(!r.success);
         assert!(
-            matches!(
-                r.error,
-                Some(BuildError::MultiStageUnsupported { instruction: 2, ref stage })
-                    if stage == "base"
-            ),
+            matches!(r.error, Some(BuildError::Parse(_))),
             "{:?}",
             r.error
         );
         assert!(
-            r.log_text()
-                .contains("COPY --from=base: multi-stage builds are not supported yet"),
+            r.log_text().contains("refers to its own stage"),
             "{}",
             r.log_text()
         );
+    }
+
+    #[test]
+    fn multi_stage_copy_shares_blobs_without_byte_copies() {
+        let mut kernel = Kernel::default_kernel();
+        let mut builder = Builder::new();
+        let mut opts = BuildOptions::new("t", Mode::None);
+        opts.context = vec![crate::options::context_file(
+            "app.bin",
+            b"payload-bytes".to_vec(),
+        )];
+        let context_blob = Arc::clone(&opts.context[0].1);
+        let r = builder.build(
+            &mut kernel,
+            "FROM alpine:3.19 AS build\nCOPY app.bin /app.bin\n\
+             FROM alpine:3.19\nCOPY --from=build /app.bin /opt/app.bin\n",
+            &opts,
+        );
+        assert!(r.success, "{}", r.log_text());
+        let image = r.image.unwrap();
+        let blob = image
+            .fs
+            .read_file_blob("/opt/app.bin", &Access::root())
+            .unwrap();
+        // The context blob crossed two stages as the SAME allocation:
+        // context → stage `build` → final image, zero content copies.
+        assert!(
+            Arc::ptr_eq(&blob, &context_blob),
+            "cross-stage COPY must share the blob Arc"
+        );
+    }
+
+    #[test]
+    fn multi_stage_copy_of_directory_copies_contents() {
+        let (r, _) = build(
+            "FROM alpine:3.19 AS build\n\
+             RUN mkdir -p /out && echo one > /out/a && echo two > /out/b\n\
+             FROM alpine:3.19\nCOPY --from=build /out /dist\n",
+            Mode::None,
+        );
+        assert!(r.success, "{}", r.log_text());
+        let image = r.image.unwrap();
+        let a = image.fs.read_file("/dist/a", &Access::root()).unwrap();
+        let b = image.fs.read_file("/dist/b", &Access::root()).unwrap();
+        assert_eq!(a, b"one\n");
+        assert_eq!(b, b"two\n");
+    }
+
+    const DIAMOND: &str = "FROM alpine:3.19 AS base\nRUN echo shared > /shared\n\
+                           FROM base AS left\nRUN echo l > /left\n\
+                           FROM base AS right\nRUN echo r > /right\n\
+                           FROM alpine:3.19\n\
+                           COPY --from=left /left /left\n\
+                           COPY --from=right /right /right\n\
+                           COPY --from=base /shared /shared\n";
+
+    #[test]
+    fn diamond_builds_serially_and_deterministically() {
+        let build_once = || {
+            let mut kernel = Kernel::default_kernel();
+            let mut builder = Builder::new();
+            let r = builder.build(&mut kernel, DIAMOND, &BuildOptions::new("d", Mode::None));
+            assert!(r.success, "{}", r.log_text());
+            r.image.unwrap().digest()
+        };
+        assert_eq!(build_once(), build_once());
+    }
+
+    #[test]
+    fn pruned_stage_never_executes() {
+        // The unused stage's base does not exist in the registry: if
+        // pruning failed the build would fail trying to pull it.
+        let (r, _) = build(
+            "FROM nosuch:1 AS unused\nRUN exit 1\n\
+             FROM alpine:3.19 AS used\nRUN echo u > /u\n\
+             FROM alpine:3.19\nCOPY --from=used /u /u\n",
+            Mode::None,
+        );
+        assert!(r.success, "{}", r.log_text());
+        assert!(
+            r.log_text().contains("skipping unused stage: unused"),
+            "{}",
+            r.log_text()
+        );
+    }
+
+    #[test]
+    fn target_selects_an_intermediate_stage() {
+        let mut kernel = Kernel::default_kernel();
+        let mut builder = Builder::new();
+        let mut opts = BuildOptions::new("t", Mode::None);
+        opts.target = Some("base".into());
+        let r = builder.build(&mut kernel, DIAMOND, &opts);
+        assert!(r.success, "{}", r.log_text());
+        let image = r.image.unwrap();
+        assert!(image.fs.read_file("/shared", &Access::root()).is_ok());
+        assert!(
+            image.fs.read_file("/left", &Access::root()).is_err(),
+            "later stages must not have run"
+        );
+        let mut bad = BuildOptions::new("t", Mode::None);
+        bad.target = Some("ghost".into());
+        let r = builder.build(&mut kernel, DIAMOND, &bad);
+        assert!(!r.success);
+        assert!(
+            matches!(r.error, Some(BuildError::Plan(_))),
+            "{:?}",
+            r.error
+        );
+    }
+
+    #[test]
+    fn multi_stage_warm_rebuild_executes_nothing() {
+        let mut kernel = Kernel::default_kernel();
+        let mut builder = Builder::new();
+        let opts = BuildOptions::new("d", Mode::None);
+        let cold = builder.build(&mut kernel, DIAMOND, &opts);
+        assert!(cold.success, "{}", cold.log_text());
+        assert_eq!(cold.cache.hits, 0);
+        let warm = builder.build(&mut kernel, DIAMOND, &opts);
+        assert!(warm.success, "{}", warm.log_text());
+        assert_eq!(warm.cache.misses, 0, "{}", warm.log_text());
+        assert_eq!(
+            cold.image.unwrap().digest(),
+            warm.image.unwrap().digest(),
+            "replayed image must digest identically"
+        );
+    }
+
+    #[test]
+    fn upstream_edit_invalidates_downstream_stage() {
+        let mut kernel = Kernel::default_kernel();
+        let mut builder = Builder::new();
+        let opts = BuildOptions::new("t", Mode::None);
+        let df1 = "FROM alpine:3.19 AS build\nRUN echo v1 > /artifact\n\
+                   FROM alpine:3.19\nCOPY --from=build /artifact /artifact\n";
+        let r1 = builder.build(&mut kernel, df1, &opts);
+        assert!(r1.success, "{}", r1.log_text());
+        let df2 = df1.replace("echo v1", "echo v2");
+        let r2 = builder.build(&mut kernel, &df2, &opts);
+        assert!(r2.success, "{}", r2.log_text());
+        let image = r2.image.unwrap();
+        let data = image.fs.read_file("/artifact", &Access::root()).unwrap();
+        assert_eq!(data, b"v2\n", "stale cross-stage copy was replayed");
+        assert!(r2.cache.misses >= 2, "RUN and the COPY --from must re-run");
     }
 
     #[test]

@@ -161,6 +161,18 @@ pub(crate) fn normalize(
     }
 }
 
+/// Resolves a cross-stage reference (a `--from=` name/index, or a FROM
+/// reference that is an earlier stage's alias) to that stage's result
+/// **image digest** — `None` when the text names no stage (plain
+/// context COPYs, registry FROMs).
+pub(crate) type SourceResolver<'a> = &'a dyn Fn(&str) -> Option<String>;
+
+/// The resolver for builds with no cross-stage references in scope.
+#[cfg(test)]
+pub(crate) fn no_sources(_: &str) -> Option<String> {
+    None
+}
+
 /// Digest of the build-context content a COPY/ADD reads: substituted
 /// source names paired with their contents' digests (or a missing
 /// marker). Editing a context file invalidates the COPY layer even
@@ -171,16 +183,42 @@ pub(crate) fn normalize(
 /// file is hashed once per blob — every later instruction key, warm
 /// rebuild, and sibling build sharing the context reuses the memo
 /// instead of re-hashing the bytes.
+///
+/// Cross-stage references digest the **source stage's image digest**
+/// instead: a `COPY --from=stage` layer (and a `FROM stage` base) is
+/// invalidated exactly when the upstream stage's result changes, which
+/// is what chains per-stage cache lineages together across the DAG.
 pub(crate) fn context_digest(
     instruction: &Instruction,
     env: &[(String, String)],
     args: &[(String, String)],
     context: &[crate::options::ContextFile],
+    sources: SourceResolver<'_>,
 ) -> String {
     let spec = match instruction {
+        Instruction::From { image, .. } => {
+            let reference = substitute(image, &lookup(env, args));
+            let Some(digest) = sources(&reference) else {
+                return String::new();
+            };
+            let mut d = FieldDigest::new("zr-stage-from-v1");
+            d.field(reference.as_bytes()).field(digest.as_bytes());
+            return d.finish();
+        }
         Instruction::Copy(spec) | Instruction::Add(spec) => spec,
         _ => return String::new(),
     };
+    if let Some(from) = &spec.from {
+        // Source paths and the dest are keyed through the normalized
+        // instruction text; content enters through the stage digest.
+        let mut d = FieldDigest::new("zr-stage-copy-v1");
+        d.field(from.as_bytes());
+        match sources(from) {
+            Some(digest) => d.field(digest.as_bytes()),
+            None => d.field(b"\x00unresolved"),
+        };
+        return d.finish();
+    }
     let lookup = lookup(env, args);
     let mut d = FieldDigest::new("zr-context-v2");
     for source in &spec.sources {
@@ -202,9 +240,10 @@ pub(crate) fn layer_key(
     args: &[(String, String)],
     opts: &BuildOptions,
     config: &str,
+    sources: SourceResolver<'_>,
 ) -> CacheKey {
     let normalized = normalize(instruction, env, args, &opts.build_args);
-    let context = context_digest(instruction, env, args, &opts.context);
+    let context = context_digest(instruction, env, args, &opts.context, sources);
     CacheKey::compute(parent, &normalized, &context, config)
 }
 
@@ -270,17 +309,46 @@ mod tests {
             &[],
             &[],
             &[context_file("app.conf", b"a=1".to_vec())],
+            &no_sources,
         );
         let two = context_digest(
             &copy,
             &[],
             &[],
             &[context_file("app.conf", b"a=2".to_vec())],
+            &no_sources,
         );
-        let missing = context_digest(&copy, &[], &[], &[]);
+        let missing = context_digest(&copy, &[], &[], &[], &no_sources);
         assert_ne!(one, two);
         assert_ne!(one, missing);
         let run = Instruction::RunShell("true".into());
-        assert_eq!(context_digest(&run, &[], &[], &[]), "");
+        assert_eq!(context_digest(&run, &[], &[], &[], &no_sources), "");
+    }
+
+    #[test]
+    fn cross_stage_references_key_on_the_source_digest() {
+        let copy = Instruction::Copy(zr_dockerfile::CopySpec {
+            sources: vec!["/artifact".into()],
+            dest: "/artifact".into(),
+            chown: None,
+            from: Some("build".into()),
+        });
+        let a = |from: &str| (from == "build").then(|| "digest-a".to_string());
+        let b = |from: &str| (from == "build").then(|| "digest-b".to_string());
+        let da = context_digest(&copy, &[], &[], &[], &a);
+        let db = context_digest(&copy, &[], &[], &[], &b);
+        assert_ne!(da, db, "upstream change must invalidate the copy");
+        assert_eq!(da, context_digest(&copy, &[], &[], &[], &a));
+
+        let from = Instruction::From {
+            image: "build".into(),
+            alias: None,
+        };
+        let fa = context_digest(&from, &[], &[], &[], &a);
+        let fb = context_digest(&from, &[], &[], &[], &b);
+        assert_ne!(fa, fb);
+        assert!(!fa.is_empty());
+        // A registry FROM (no stage in scope) keeps the empty context.
+        assert_eq!(context_digest(&from, &[], &[], &[], &no_sources), "");
     }
 }

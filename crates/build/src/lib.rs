@@ -38,7 +38,7 @@ mod cache;
 mod options;
 mod result;
 
-pub use builder::Builder;
+pub use builder::{finish_log, Builder};
 pub use cache::{CacheMode, CacheStats};
 pub use options::{context_file, BuildOptions, ContextFile};
 pub use result::{BuildError, BuildResult};

@@ -41,6 +41,10 @@ pub struct BuildOptions {
     /// Host libc identity, checked by bind-mounted emulators
     /// (`--force=fakeroot-bind`).
     pub host_libc: String,
+    /// `--target STAGE`: stop at this stage (alias or 0-based index)
+    /// instead of the last one; stages the target does not consume are
+    /// pruned. `None` builds the final stage.
+    pub target: Option<String>,
 }
 
 impl Default for BuildOptions {
@@ -53,6 +57,7 @@ impl Default for BuildOptions {
             container_type: ContainerType::TypeIII,
             build_args: Vec::new(),
             host_libc: "glibc-2.36".into(),
+            target: None,
         }
     }
 }
@@ -80,5 +85,6 @@ mod tests {
         assert_eq!(o.cache, CacheMode::Enabled);
         assert_eq!(o.container_type, ContainerType::TypeIII);
         assert!(o.context.is_empty());
+        assert_eq!(o.target, None);
     }
 }

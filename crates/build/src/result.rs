@@ -46,14 +46,9 @@ pub enum BuildError {
         /// Exit status.
         status: i32,
     },
-    /// `COPY --from=` names another stage; cross-stage copies are a
-    /// ROADMAP item the builder does not implement yet.
-    MultiStageUnsupported {
-        /// 1-based instruction number.
-        instruction: u32,
-        /// The `--from=` stage name or index.
-        stage: String,
-    },
+    /// The stage DAG could not be compiled (unknown `--target`, a
+    /// reference to no stage, a dependency cycle).
+    Plan(zr_plan::PlanError),
     /// A non-RUN instruction failed (COPY source missing, WORKDIR on a
     /// file, exec of a missing binary, ...).
     Instruction {
@@ -86,12 +81,7 @@ impl std::fmt::Display for BuildError {
             BuildError::RunFailed { status, .. } => {
                 write!(f, "RUN command exited with {status}")
             }
-            BuildError::MultiStageUnsupported { stage, .. } => {
-                write!(
-                    f,
-                    "COPY --from={stage}: multi-stage builds are not supported yet"
-                )
-            }
+            BuildError::Plan(e) => write!(f, "{e}"),
             BuildError::Instruction { message, .. } => write!(f, "{message}"),
             BuildError::Cancelled => write!(f, "build cancelled"),
         }
@@ -163,14 +153,8 @@ mod tests {
     }
 
     #[test]
-    fn display_multi_stage_names_the_stage() {
-        let e = BuildError::MultiStageUnsupported {
-            instruction: 3,
-            stage: "builder".into(),
-        };
-        assert_eq!(
-            e.to_string(),
-            "COPY --from=builder: multi-stage builds are not supported yet"
-        );
+    fn display_plan_errors_pass_through() {
+        let e = BuildError::Plan(zr_plan::PlanError::UnknownTarget("ghost".into()));
+        assert_eq!(e.to_string(), "unknown build target 'ghost'");
     }
 }

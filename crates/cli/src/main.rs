@@ -1,14 +1,14 @@
 //! `zr-image` — a ch-image-flavoured CLI over the simulated build stack.
 //!
 //! ```text
-//! zr-image build -t TAG [--force=MODE] [--no-cache] [--cache-stats]
-//!                [--cache-limit BYTES] [--cache-dir DIR]
-//!                [-f DOCKERFILE] [CONTEXT_DIR]
-//! zr-image build-many [--jobs N] [--force=MODE] [--no-cache]
+//! zr-image build -t TAG [--force=MODE] [--target STAGE] [--no-cache]
 //!                [--cache-stats] [--cache-limit BYTES] [--cache-dir DIR]
-//!                [--store-limit BYTES] [--blob-limit BYTES] [--shards N]
-//!                [--pull-latency-ms N] [--fail-fast] [--context DIR]
-//!                DOCKERFILE…
+//!                [-f DOCKERFILE] [CONTEXT_DIR]
+//! zr-image build-many [--jobs N] [--force=MODE] [--target STAGE]
+//!                [--no-cache] [--cache-stats] [--cache-limit BYTES]
+//!                [--cache-dir DIR] [--store-limit BYTES] [--blob-limit BYTES]
+//!                [--shards N] [--pull-latency-ms N] [--fail-fast]
+//!                [--daemon] [--follow ID] [--context DIR] DOCKERFILE…
 //! zr-image export --output DIR [build flags…]   # build, then OCI layout
 //! zr-image import DIR           # OCI layout -> image, prints the digest
 //! zr-image inspect DIR          # layout summary + image digest
@@ -32,20 +32,23 @@ use zeroroot_core::Mode;
 use zr_build::{BuildOptions, Builder, CacheMode};
 use zr_image::{PullCost, ShardedRegistry};
 use zr_kernel::Kernel;
-use zr_sched::{BuildRequest, BuildStatus, Scheduler, SchedulerConfig};
+use zr_sched::{
+    BatchHandle, BuildRequest, BuildStatus, Daemon, LogEvent, Scheduler, SchedulerConfig,
+};
 use zr_syscalls::filtered::{filtered_on, FILTERED};
 use zr_syscalls::Arch;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: zr-image build -t TAG [--force=MODE] [--no-cache] [--cache-stats] \
-         [--cache-limit BYTES] [--cache-dir DIR] [--store-limit BYTES] \
+        "usage: zr-image build -t TAG [--force=MODE] [--target STAGE] [--no-cache] \
+         [--cache-stats] [--cache-limit BYTES] [--cache-dir DIR] [--store-limit BYTES] \
          [--registry ADDR] [-f DOCKERFILE] [CONTEXT_DIR]"
     );
     eprintln!(
-        "       zr-image build-many [--jobs N] [--force=MODE] [--no-cache] [--cache-stats] \
-         [--cache-limit BYTES] [--cache-dir DIR] [--store-limit BYTES] [--blob-limit BYTES] \
-         [--shards N] [--pull-latency-ms N] [--fail-fast] [--context DIR] DOCKERFILE…"
+        "       zr-image build-many [--jobs N] [--force=MODE] [--target STAGE] [--no-cache] \
+         [--cache-stats] [--cache-limit BYTES] [--cache-dir DIR] [--store-limit BYTES] \
+         [--blob-limit BYTES] [--shards N] [--pull-latency-ms N] [--fail-fast] \
+         [--daemon] [--follow ID] [--context DIR] DOCKERFILE…"
     );
     eprintln!("       zr-image export --output DIR [build flags…]");
     eprintln!("       zr-image import DIR");
@@ -98,6 +101,7 @@ fn cmd_build(args: &[String], export_to: Option<&str>) -> ExitCode {
     let mut store_limit: Option<u64> = None;
     let mut cache_dir: Option<String> = None;
     let mut registry: Option<String> = None;
+    let mut target: Option<String> = None;
     let mut file: Option<String> = None;
     let mut context_dir: Option<String> = None;
 
@@ -106,6 +110,10 @@ fn cmd_build(args: &[String], export_to: Option<&str>) -> ExitCode {
         match a.as_str() {
             "-t" => match it.next() {
                 Some(t) => tag = t.clone(),
+                None => return usage(),
+            },
+            "--target" => match it.next() {
+                Some(stage) => target = Some(stage.clone()),
                 None => return usage(),
             },
             "-f" => match it.next() {
@@ -211,6 +219,7 @@ fn cmd_build(args: &[String], export_to: Option<&str>) -> ExitCode {
         force,
         cache,
         context,
+        target,
         ..BuildOptions::default()
     };
     let result = builder.build(&mut kernel, &dockerfile, &opts);
@@ -240,6 +249,7 @@ fn cmd_build(args: &[String], export_to: Option<&str>) -> ExitCode {
                 disk.cas().stats(),
                 disk.cas().root_dir().display()
             );
+            eprintln!("[store] {}", disk.stats());
         }
     }
     if let Some(disk) = &disk {
@@ -558,8 +568,16 @@ fn cmd_store(args: &[String]) -> ExitCode {
                 stats.physical_bytes, stats.chunk_indexes, stats.chunk_dedup_saved
             );
             println!(
+                "io:       {} writes ({} bytes), {} reads ({} bytes), {} dedup skips",
+                stats.writes, stats.written_bytes, stats.reads, stats.read_bytes, stats.dedup_skips
+            );
+            println!(
                 "evicted:  {} roots ({} dir-fsync failures)",
                 stats.evicted_roots, stats.dir_fsync_failures
+            );
+            println!(
+                "repair:   {} tmp files recovered, {} corrupt roots quarantined",
+                stats.recovered_tmp, stats.corrupt_roots
             );
             println!("roots:    {}", disk.cas().roots().len());
             ExitCode::SUCCESS
@@ -603,6 +621,9 @@ fn cmd_build_many(args: &[String]) -> ExitCode {
     let mut shards = ShardedRegistry::DEFAULT_SHARDS;
     let mut pull_latency_ms = 0u64;
     let mut fail_fast = false;
+    let mut daemon_mode = false;
+    let mut follow: Option<String> = None;
+    let mut target: Option<String> = None;
     let mut context_dir: Option<String> = None;
     let mut files: Vec<String> = Vec::new();
 
@@ -611,6 +632,15 @@ fn cmd_build_many(args: &[String]) -> ExitCode {
         match a.as_str() {
             "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) => jobs = n,
+                None => return usage(),
+            },
+            "--target" => match it.next() {
+                Some(stage) => target = Some(stage.clone()),
+                None => return usage(),
+            },
+            "--daemon" => daemon_mode = true,
+            "--follow" => match it.next() {
+                Some(id) => follow = Some(id.clone()),
                 None => return usage(),
             },
             "--context" => match it.next() {
@@ -693,13 +723,14 @@ fn cmd_build_many(args: &[String]) -> ExitCode {
             force,
             cache,
             context: context.clone(),
+            target: target.clone(),
             ..BuildOptions::default()
         };
         requests.push(BuildRequest::with_options(&id, &dockerfile, options));
     }
 
     let latency = Duration::from_millis(pull_latency_ms);
-    let sched = match Scheduler::try_new(SchedulerConfig {
+    let config = SchedulerConfig {
         jobs,
         fail_fast,
         registry_shards: shards,
@@ -712,16 +743,59 @@ fn cmd_build_many(args: &[String]) -> ExitCode {
         cache_dir: cache_dir.map(std::path::PathBuf::from),
         store_limit,
         ..SchedulerConfig::default()
-    }) {
-        Ok(sched) => sched,
-        Err(e) => {
-            eprintln!("error: --cache-dir: {e}");
-            return ExitCode::FAILURE;
-        }
+    };
+
+    // Resolve --follow to a batch index before the requests move.
+    let follow_idx = match &follow {
+        Some(fid) => match requests.iter().position(|r| r.id == *fid) {
+            Some(idx) => Some(idx),
+            None => {
+                eprintln!("error: --follow {fid}: no such build id in this batch");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
     };
 
     let t0 = std::time::Instant::now();
-    let reports = sched.build_many(requests);
+    // Both paths end holding the batch reports plus the shared stat
+    // handles, so the summary below is branch-agnostic.
+    let (reports, registry, layers, disk) = if daemon_mode {
+        let daemon = match Daemon::try_new(config) {
+            Ok(daemon) => daemon,
+            Err(e) => {
+                eprintln!("error: --cache-dir: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let handle = daemon.submit(requests);
+        follow_stream(&handle, follow_idx, &follow);
+        let reports = handle.wait();
+        let handles = (
+            daemon.registry().clone(),
+            daemon.layers().clone(),
+            daemon.disk().cloned(),
+        );
+        daemon.shutdown();
+        (reports, handles.0, handles.1, handles.2)
+    } else {
+        let sched = match Scheduler::try_new(config) {
+            Ok(sched) => sched,
+            Err(e) => {
+                eprintln!("error: --cache-dir: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let handle = sched.submit(requests);
+        follow_stream(&handle, follow_idx, &follow);
+        let reports = handle.wait();
+        (
+            reports,
+            sched.registry().clone(),
+            sched.layers().clone(),
+            sched.disk().cloned(),
+        )
+    };
     let elapsed = t0.elapsed();
 
     let mut failures = 0usize;
@@ -737,7 +811,7 @@ fn cmd_build_many(args: &[String]) -> ExitCode {
             failures += 1;
         }
     }
-    let rstats = sched.registry().stats();
+    let rstats = registry.stats();
     eprintln!(
         "[sched] {} builds with {jobs} workers in {elapsed:.2?}: {} ok, {failures} not ok",
         reports.len(),
@@ -748,19 +822,20 @@ fn cmd_build_many(args: &[String]) -> ExitCode {
         rstats.pulls,
         rstats.fetches,
         rstats.blob_hits,
-        sched.registry().shard_count()
+        registry.shard_count()
     );
     if cache_stats {
-        eprintln!("[cache] {}", sched.layers().stats());
+        eprintln!("[cache] {}", layers.stats());
         eprintln!(
             "[registry] blob cache: {} bytes (budget {}), {} evictions",
             rstats.blob_bytes, rstats.blob_budget, rstats.evictions
         );
-        if let Some(disk) = sched.disk() {
+        if let Some(disk) = &disk {
             eprintln!("[store] {}", disk.cas().stats());
+            eprintln!("[store] {}", disk.stats());
         }
     }
-    if let Some(disk) = sched.disk() {
+    if let Some(disk) = &disk {
         if disk.error_count() > 0 {
             eprintln!(
                 "warning: {} store operations failed (last: {})",
@@ -773,6 +848,28 @@ fn cmd_build_many(args: &[String]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+/// Stream one build's per-stage log lines live (`--follow ID`),
+/// blocking until that build reaches a terminal status. The full batch
+/// report still prints afterwards; this is the in-flight view.
+fn follow_stream(handle: &BatchHandle, follow_idx: Option<usize>, follow: &Option<String>) {
+    let (Some(idx), Some(fid)) = (follow_idx, follow) else {
+        return;
+    };
+    for event in handle.subscribe(idx) {
+        match event {
+            LogEvent::Stage { stage, lines, .. } => {
+                for line in lines {
+                    println!("[{fid}:{stage}] {line}");
+                }
+            }
+            LogEvent::Done { status, .. } => {
+                println!("[{fid}] {status}");
+                break;
+            }
+        }
     }
 }
 

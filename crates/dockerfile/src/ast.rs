@@ -107,6 +107,67 @@ impl Dockerfile {
             _ => None,
         })
     }
+
+    /// The instructions before the first FROM (global ARGs, by the
+    /// structural rule the parser enforces).
+    pub fn header(&self) -> &[(u32, Instruction)] {
+        let end = self
+            .instructions
+            .iter()
+            .position(|(_, i)| matches!(i, Instruction::From { .. }))
+            .unwrap_or(self.instructions.len());
+        &self.instructions[..end]
+    }
+
+    /// The stages in declaration order: each FROM opens a new stage
+    /// that runs to the next FROM (or the end). Empty when the file
+    /// has no FROM at all.
+    pub fn stages(&self) -> Vec<Stage<'_>> {
+        let mut starts: Vec<usize> = self
+            .instructions
+            .iter()
+            .enumerate()
+            .filter_map(|(pos, (_, i))| matches!(i, Instruction::From { .. }).then_some(pos))
+            .collect();
+        starts.push(self.instructions.len());
+        starts
+            .windows(2)
+            .enumerate()
+            .map(|(index, w)| {
+                let (line, from) = &self.instructions[w[0]];
+                let (image, alias) = match from {
+                    Instruction::From { image, alias } => (image.as_str(), alias.as_deref()),
+                    _ => unreachable!("starts only holds FROM positions"),
+                };
+                Stage {
+                    index,
+                    line: *line,
+                    image,
+                    alias,
+                    instructions: &self.instructions[w[0]..w[1]],
+                }
+            })
+            .collect()
+    }
+}
+
+/// One stage of a (possibly multi-stage) Dockerfile: a borrowed view
+/// over the instruction run starting at a `FROM` and ending just
+/// before the next one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stage<'a> {
+    /// 0-based stage index (what a numeric `--from=N` names).
+    pub index: usize,
+    /// Source line of the stage's FROM.
+    pub line: u32,
+    /// The FROM's image reference text (may itself be an earlier
+    /// stage's alias).
+    pub image: &'a str,
+    /// The stage's alias, already normalized to lowercase by the
+    /// parser.
+    pub alias: Option<&'a str>,
+    /// The stage's instructions, starting with its FROM.
+    pub instructions: &'a [(u32, Instruction)],
 }
 
 #[cfg(test)]
@@ -149,5 +210,29 @@ mod tests {
         };
         assert_eq!(df.base_image(), Some("alpine:3.19"));
         assert_eq!(df.len(), 2);
+    }
+
+    #[test]
+    fn stages_split_on_from() {
+        let df = crate::parse(
+            "ARG V=1\nFROM alpine:3.19 AS build\nRUN true\nFROM scratch\nCOPY --from=build /a /b\n",
+        )
+        .unwrap();
+        assert_eq!(df.header().len(), 1, "global ARG is the header");
+        let stages = df.stages();
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].index, 0);
+        assert_eq!(stages[0].alias, Some("build"));
+        assert_eq!(stages[0].image, "alpine:3.19");
+        assert_eq!(stages[0].instructions.len(), 2, "FROM + RUN");
+        assert_eq!(stages[1].alias, None);
+        assert_eq!(stages[1].instructions.len(), 2, "FROM + COPY");
+    }
+
+    #[test]
+    fn no_from_means_no_stages() {
+        let df = crate::parse("ARG ONLY=1\n").unwrap();
+        assert!(df.stages().is_empty());
+        assert_eq!(df.header().len(), 1);
     }
 }

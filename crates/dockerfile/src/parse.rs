@@ -189,10 +189,25 @@ pub fn parse(text: &str) -> Result<Dockerfile, ParseError> {
                     Some(i) => i.to_string(),
                     None => return err(line, "FROM needs an image"),
                 };
+                // Stage aliases are case-insensitive; normalize to
+                // lowercase here so every later comparison (`--from=`,
+                // `FROM alias`, `--target`) is a plain equality test.
                 let alias = match (parts.next(), parts.next()) {
                     (None, _) => None,
                     (Some(askw), Some(name)) if askw.eq_ignore_ascii_case("as") => {
-                        Some(name.to_string())
+                        let name = name.to_ascii_lowercase();
+                        if !valid_stage_name(&name) {
+                            return err(line, format!("invalid stage name '{name}'"));
+                        }
+                        if name.bytes().all(|b| b.is_ascii_digit()) {
+                            return err(
+                                line,
+                                format!(
+                                    "stage name '{name}' is numeric (reserved for stage indices)"
+                                ),
+                            );
+                        }
+                        Some(name)
                     }
                     _ => return err(line, "expected 'FROM image [AS name]'"),
                 };
@@ -290,7 +305,89 @@ pub fn parse(text: &str) -> Result<Dockerfile, ParseError> {
             _ => {}
         }
     }
+    validate_stages(&out)?;
     Ok(out)
+}
+
+/// A (lowercased) stage alias: `[a-z0-9][a-z0-9_.-]*`.
+fn valid_stage_name(name: &str) -> bool {
+    let mut bytes = name.bytes();
+    match bytes.next() {
+        Some(b) if b.is_ascii_lowercase() || b.is_ascii_digit() => {}
+        _ => return false,
+    }
+    bytes.all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || matches!(b, b'_' | b'.' | b'-'))
+}
+
+/// Stage-level structural rules, checked with the whole file in hand:
+/// aliases must be unique, and every `--from=` must name a *strictly
+/// earlier* stage — by alias or by 0-based index. Self and forward
+/// references are rejected here, precisely, instead of surfacing late
+/// (or never) inside the builder.
+fn validate_stages(df: &Dockerfile) -> Result<(), ParseError> {
+    // (line, alias) per stage, in declaration order.
+    let mut stages: Vec<(u32, Option<String>)> = Vec::new();
+    for (line, insn) in &df.instructions {
+        if let Instruction::From { alias, .. } = insn {
+            if let Some(a) = alias {
+                if stages.iter().any(|(_, b)| b.as_deref() == Some(a)) {
+                    return err(*line, format!("duplicate stage name '{a}'"));
+                }
+            }
+            stages.push((*line, alias.clone()));
+        }
+    }
+    let alias_index = |name: &str| -> Option<usize> {
+        stages.iter().position(|(_, a)| a.as_deref() == Some(name))
+    };
+    let mut current: Option<usize> = None;
+    for (line, insn) in &df.instructions {
+        let spec = match insn {
+            Instruction::From { .. } => {
+                current = Some(current.map_or(0, |c| c + 1));
+                continue;
+            }
+            Instruction::Copy(spec) | Instruction::Add(spec) => spec,
+            _ => continue,
+        };
+        let Some(from) = &spec.from else { continue };
+        let stage = current.expect("structural rule: COPY only after a FROM");
+        let referenced = if from.bytes().all(|b| b.is_ascii_digit()) && !from.is_empty() {
+            let idx: usize = from.parse().map_err(|_| ParseError {
+                line: *line,
+                message: format!("--from={from}: stage index out of range"),
+            })?;
+            if idx >= stages.len() {
+                return err(
+                    *line,
+                    format!(
+                        "--from={idx} names a nonexistent stage (the file has {})",
+                        stages.len()
+                    ),
+                );
+            }
+            idx
+        } else {
+            let name = from.to_ascii_lowercase();
+            match alias_index(&name) {
+                Some(idx) => idx,
+                None => return err(*line, format!("--from={from}: unknown stage '{name}'")),
+            }
+        };
+        if referenced == stage {
+            return err(*line, format!("--from={from} refers to its own stage"));
+        }
+        if referenced > stage {
+            return err(
+                *line,
+                format!(
+                    "--from={from} is a forward reference (stage {referenced} starts at line {})",
+                    stages[referenced].0
+                ),
+            );
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -446,6 +543,77 @@ mod tests {
     fn bad_exec_array_is_error() {
         assert!(parse("FROM scratch\nRUN [\"unterminated\n").is_err());
         assert!(parse("FROM scratch\nSHELL [bare]\n").is_err());
+    }
+
+    #[test]
+    fn stage_aliases_normalize_to_lowercase() {
+        let df = parse("FROM alpine:3.19 AS Builder\nFROM scratch\nCOPY --from=BUILDER /a /b\n")
+            .unwrap();
+        assert_eq!(
+            df.instructions[0].1,
+            Instruction::From {
+                image: "alpine:3.19".into(),
+                alias: Some("builder".into())
+            },
+            "alias is stored lowercased"
+        );
+        assert_eq!(df.stages()[0].alias, Some("builder"));
+    }
+
+    #[test]
+    fn duplicate_stage_alias_rejected() {
+        let e = parse("FROM alpine:3.19 AS a\nFROM debian:12 AS a\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("duplicate stage name 'a'"), "{e}");
+        // Case variants are the same name.
+        let e = parse("FROM alpine:3.19 AS A\nFROM debian:12 AS a\n").unwrap_err();
+        assert!(e.message.contains("duplicate"), "{e}");
+    }
+
+    #[test]
+    fn invalid_stage_names_rejected() {
+        assert!(parse("FROM x AS -bad\n").is_err());
+        assert!(parse("FROM x AS ha!lo\n").is_err());
+        let e = parse("FROM x AS 0\n").unwrap_err();
+        assert!(e.message.contains("numeric"), "{e}");
+    }
+
+    #[test]
+    fn copy_from_self_reference_rejected() {
+        let e = parse("FROM alpine:3.19 AS base\nCOPY --from=base /x /y\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("refers to its own stage"), "{e}");
+        let e = parse("FROM alpine:3.19\nCOPY --from=0 /x /y\n").unwrap_err();
+        assert!(e.message.contains("own stage"), "{e}");
+    }
+
+    #[test]
+    fn copy_from_forward_reference_rejected() {
+        let e = parse("FROM alpine:3.19\nCOPY --from=late /x /y\nFROM debian:12 AS late\n")
+            .unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("forward reference"), "{e}");
+        assert!(e.message.contains("line 3"), "{e}");
+        let e = parse("FROM alpine:3.19\nCOPY --from=1 /x /y\nFROM debian:12\n").unwrap_err();
+        assert!(e.message.contains("forward reference"), "{e}");
+    }
+
+    #[test]
+    fn copy_from_unknown_stage_rejected() {
+        let e = parse("FROM alpine:3.19\nFROM scratch\nCOPY --from=ghost /x /y\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("unknown stage 'ghost'"), "{e}");
+        let e = parse("FROM alpine:3.19\nFROM scratch\nCOPY --from=7 /x /y\n").unwrap_err();
+        assert!(e.message.contains("nonexistent stage"), "{e}");
+    }
+
+    #[test]
+    fn numeric_from_index_resolves_backward() {
+        let df = parse("FROM alpine:3.19\nFROM scratch\nCOPY --from=0 /x /y\n").unwrap();
+        match &df.instructions[2].1 {
+            Instruction::Copy(c) => assert_eq!(c.from.as_deref(), Some("0")),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -20,6 +20,25 @@ use crate::server::MEDIA_MANIFEST;
 /// up in one monolithic `POST`.
 pub const CHUNK_SIZE: usize = 1024 * 1024;
 
+/// How many transport failures one chunked upload absorbs before the
+/// client gives up. Each failure costs one probe round trip; a server
+/// that keeps dropping connections is not worth hammering.
+pub const MAX_RESUMES: usize = 3;
+
+/// The committed byte count a `Range: 0-<last>` header reports. The
+/// server omits the header while the session is empty, so `0-0` is
+/// unambiguously one byte.
+fn committed_bytes(response: &Response) -> Result<usize> {
+    let Some(range) = response.get_header("Range") else {
+        return Ok(0);
+    };
+    range
+        .strip_prefix("0-")
+        .and_then(|last| last.parse::<usize>().ok())
+        .map(|last| last + 1)
+        .ok_or_else(|| RegistryError::protocol(format!("unparseable Range {range:?}")))
+}
+
 /// A client for one OCI distribution endpoint (`host:port`). One TCP
 /// connection per exchange — plenty for loopback, and it keeps the
 /// failure model trivial.
@@ -120,7 +139,10 @@ impl RemoteRegistry {
 
     /// Upload one blob (idempotent: already-present blobs are skipped
     /// after a `HEAD` probe). Small blobs go monolithic; larger ones
-    /// through an upload session in [`CHUNK_SIZE`] pieces.
+    /// through an upload session in [`CHUNK_SIZE`] pieces. A chunk
+    /// whose connection dies does not restart the blob: the client
+    /// probes the session for the server's committed offset and
+    /// resumes from there, up to [`MAX_RESUMES`] times.
     pub fn push_blob(&self, name: &str, data: &[u8]) -> Result<String> {
         let digest = hex(&Sha256::digest(data));
         if self.has_blob(name, &digest)? {
@@ -140,8 +162,26 @@ impl RemoteRegistry {
             .get_header("Location")
             .ok_or_else(|| RegistryError::protocol("upload start without Location"))?
             .to_string();
-        for chunk in data.chunks(CHUNK_SIZE) {
-            self.expect("PATCH", &location, Some("application/octet-stream"), chunk)?;
+        let mut offset = 0;
+        let mut resumes = 0;
+        while offset < data.len() {
+            let end = data.len().min(offset + CHUNK_SIZE);
+            let chunk = &data[offset..end];
+            match self.expect("PATCH", &location, Some("application/octet-stream"), chunk) {
+                // The server's committed total is authoritative — a
+                // mid-write offset never drifts out of sync with it.
+                Ok(response) => offset = committed_bytes(&response)?,
+                // The server answered and refused; retrying the same
+                // bytes cannot change its mind.
+                Err(refusal @ RegistryError::Status { .. }) => return Err(refusal),
+                Err(transport) => {
+                    resumes += 1;
+                    if resumes > MAX_RESUMES {
+                        return Err(transport);
+                    }
+                    offset = self.upload_offset(&location)?;
+                }
+            }
         }
         self.expect(
             "PUT",
@@ -150,6 +190,13 @@ impl RemoteRegistry {
             &[],
         )?;
         Ok(digest)
+    }
+
+    /// How many bytes of upload session `location` the server has
+    /// committed — the offset an interrupted [`push_blob`]
+    /// (or any out-of-band uploader) resumes from.
+    pub fn upload_offset(&self, location: &str) -> Result<usize> {
+        committed_bytes(&self.expect("GET", location, None, &[])?)
     }
 
     /// Push a manifest under `reference` (tag or `sha256:` digest);

@@ -8,6 +8,7 @@
 //! POST     /v2/<name>/blobs/uploads/?digest=…    monolithic upload
 //! POST     /v2/<name>/blobs/uploads/             open an upload session
 //! PATCH    /v2/<name>/blobs/uploads/<id>         append a chunk
+//! GET      /v2/<name>/blobs/uploads/<id>         progress probe (resume)
 //! PUT      /v2/<name>/blobs/uploads/<id>?digest=…  finalize (verify + store)
 //! ```
 //!
@@ -422,6 +423,17 @@ fn with_upload<T>(state: &State, id: u64, f: impl FnOnce(&mut Upload) -> Result<
     f(upload)
 }
 
+/// The committed-bytes `Range` header (inclusive last byte index),
+/// omitted while the session is empty so `0-0` always means exactly
+/// one byte — a resuming client can trust `end + 1` as the offset.
+fn with_range(response: Response, id: u64, total: usize) -> Response {
+    let response = response.header("Docker-Upload-UUID", &id.to_string());
+    if total == 0 {
+        return response;
+    }
+    response.header("Range", &format!("0-{}", total - 1))
+}
+
 fn patch_upload(state: &State, _name: &str, id: u64, chunk: &[u8]) -> Result<Response> {
     let total = with_upload(state, id, |upload| {
         if upload.data.len() + chunk.len() > MAX_BODY {
@@ -430,16 +442,14 @@ fn patch_upload(state: &State, _name: &str, id: u64, chunk: &[u8]) -> Result<Res
         upload.data.extend_from_slice(chunk);
         Ok(upload.data.len())
     })?;
-    Ok(Response::new(202)
-        .header("Docker-Upload-UUID", &id.to_string())
-        .header("Range", &format!("0-{}", total.saturating_sub(1))))
+    Ok(with_range(Response::new(202), id, total))
 }
 
+/// Session progress (`GET`): how much the server has committed, for a
+/// client resuming after an interrupted chunk.
 fn upload_status(state: &State, id: u64) -> Result<Response> {
     let total = with_upload(state, id, |upload| Ok(upload.data.len()))?;
-    Ok(Response::new(204)
-        .header("Docker-Upload-UUID", &id.to_string())
-        .header("Range", &format!("0-{}", total.saturating_sub(1))))
+    Ok(with_range(Response::new(204), id, total))
 }
 
 fn finish_upload(state: &State, name: &str, id: u64, request: &Request) -> Result<Response> {

@@ -1,13 +1,17 @@
 //! End-to-end wire tests: layouts and images pushed and pulled through
-//! a live loopback endpoint, alone and under concurrency.
+//! a live loopback endpoint, alone and under concurrency — including
+//! uploads whose connection dies mid-chunk.
 
 mod common;
 
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 
 use common::{exported_alpine, loopback, Scratch};
+use zr_digest::{hex, Sha256};
 use zr_image::RegistryBackend;
-use zr_registry::{RemoteRegistry, WireBackend};
+use zr_registry::{RemoteRegistry, WireBackend, CHUNK_SIZE};
 
 fn catalog_image(reference: &str) -> zr_image::Image {
     let reference = zr_image::ImageRef::parse(reference).expect("parse reference");
@@ -123,6 +127,140 @@ fn concurrent_clients_agree_on_digests() {
     for digest in &digests {
         assert_eq!(digest, &expected);
     }
+}
+
+/// One raw exchange: send `request` verbatim, read to EOF.
+fn raw(addr: &SocketAddr, request: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request).expect("send");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("receive");
+    String::from_utf8_lossy(&response).into_owned()
+}
+
+fn raw_patch(addr: &SocketAddr, location: &str, chunk: &[u8]) -> String {
+    let mut request = format!(
+        "PATCH {location} HTTP/1.1\r\nHost: zr\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n",
+        chunk.len()
+    )
+    .into_bytes();
+    request.extend_from_slice(chunk);
+    raw(addr, &request)
+}
+
+#[test]
+fn a_killed_chunk_is_discarded_and_the_session_resumes() {
+    let scratch = Scratch::new("resume-raw");
+    let server = loopback(&scratch);
+    let addr = server.addr();
+    let client = RemoteRegistry::new(addr.to_string());
+
+    let start = raw(
+        &addr,
+        b"POST /v2/demo/blobs/uploads/ HTTP/1.1\r\nHost: zr\r\nConnection: close\r\n\r\n",
+    );
+    let location = start
+        .lines()
+        .find_map(|line| line.strip_prefix("Location: "))
+        .expect("upload Location")
+        .to_string();
+    // A fresh session has committed nothing.
+    assert_eq!(client.upload_offset(&location).expect("probe"), 0);
+
+    let first = b"the first chunk, fully delivered";
+    assert!(raw_patch(&addr, &location, first).starts_with("HTTP/1.1 202"));
+
+    // The uploader dies mid-chunk: the request promises 64 bytes,
+    // delivers 13, and the connection drops.
+    let torn =
+        format!("PATCH {location} HTTP/1.1\r\nHost: zr\r\nContent-Length: 64\r\n\r\npartial bytes");
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(torn.as_bytes()).expect("send torn chunk");
+    stream.shutdown(Shutdown::Both).expect("kill connection");
+    drop(stream);
+
+    // The torn chunk left no trace — chunks land atomically — so the
+    // session still holds exactly the first chunk, and a resuming
+    // client picks up from the server's committed offset.
+    assert_eq!(client.upload_offset(&location).expect("probe"), first.len());
+    let second = b" + the rest, delivered after resuming";
+    assert!(raw_patch(&addr, &location, second).starts_with("HTTP/1.1 202"));
+
+    let blob: Vec<u8> = [first.as_slice(), second.as_slice()].concat();
+    let digest = hex(&Sha256::digest(&blob));
+    let put = raw(
+        &addr,
+        format!(
+            "PUT {location}?digest=sha256:{digest} HTTP/1.1\r\nHost: zr\r\n\
+             Connection: close\r\nContent-Length: 0\r\n\r\n"
+        )
+        .as_bytes(),
+    );
+    assert!(put.starts_with("HTTP/1.1 201"));
+    assert_eq!(client.blob("demo", &digest).expect("fetch"), blob);
+}
+
+/// A single-shot chaos proxy: relays whole connections verbatim,
+/// except connection `kill_conn` (0-based), which is cut after
+/// `kill_after` request bytes with nothing relayed back — the wire
+/// picture of the network dying under an in-flight chunk.
+fn chaos_proxy(upstream: SocketAddr, kill_conn: usize, kill_after: u64) -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind proxy");
+    let addr = listener.local_addr().expect("proxy addr");
+    std::thread::spawn(move || {
+        for (index, accepted) in listener.incoming().enumerate() {
+            let Ok(mut client) = accepted else { return };
+            let Ok(mut server) = TcpStream::connect(upstream) else {
+                return;
+            };
+            std::thread::spawn(move || {
+                if index == kill_conn {
+                    let _ =
+                        std::io::copy(&mut Read::by_ref(&mut client).take(kill_after), &mut server);
+                    let _ = server.shutdown(Shutdown::Both);
+                    let _ = client.shutdown(Shutdown::Both);
+                    return;
+                }
+                let mut client_read = client.try_clone().expect("clone client half");
+                let mut server_write = server.try_clone().expect("clone server half");
+                let up = std::thread::spawn(move || {
+                    let _ = std::io::copy(&mut client_read, &mut server_write);
+                    let _ = server_write.shutdown(Shutdown::Write);
+                });
+                let _ = std::io::copy(&mut server, &mut client);
+                let _ = client.shutdown(Shutdown::Write);
+                let _ = up.join();
+            });
+        }
+    });
+    addr
+}
+
+#[test]
+fn push_blob_survives_a_connection_killed_mid_chunk() {
+    let scratch = Scratch::new("resume-push");
+    let server = loopback(&scratch);
+    // push_blob's wire schedule for a two-chunk blob: HEAD probe (0),
+    // POST open (1), PATCH chunk one (2), PATCH chunk two (3), PUT
+    // finalize. Cut connection 3 five hundred bytes in — mid way
+    // through the second chunk's request.
+    let proxy = chaos_proxy(server.addr(), 3, 500);
+    let client = RemoteRegistry::new(proxy.to_string());
+
+    let blob: Vec<u8> = (0..CHUNK_SIZE + 4321)
+        .map(|i| (i * 31 % 251) as u8)
+        .collect();
+    let digest = client
+        .push_blob("demo", &blob)
+        .expect("push survives the cut");
+    assert_eq!(digest, hex(&Sha256::digest(&blob)));
+
+    // Straight off the server (no proxy): the blob arrived whole, with
+    // no bytes doubled or dropped around the resume point.
+    let direct = RemoteRegistry::new(server.addr().to_string());
+    assert!(direct.has_blob("demo", &digest).expect("probe"));
+    assert_eq!(direct.blob("demo", &digest).expect("fetch"), blob);
 }
 
 #[test]

@@ -1,0 +1,190 @@
+//! Daemon mode: a long-lived build service whose worker pool persists
+//! across batches.
+//!
+//! A per-batch [`Scheduler`](crate::Scheduler) spawns and joins its
+//! threads on every `build_many`; a [`Daemon`] spawns its pool once
+//! and keeps it parked on a shared signal between submissions — the
+//! shape a `zr build --daemon` service wants. Batches submitted to a
+//! daemon return the same [`BatchHandle`] the scheduler does (status
+//! polling, cancellation, per-stage log subscription), but `wait`
+//! only blocks for completion; the threads live on for the next batch.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use zeroroot_core::sync::lock_or_poisoned;
+use zr_image::{LayerStore, ShardedRegistry};
+
+use crate::scheduler::{
+    make_batch, run_task, Affinity, BatchHandle, BatchShared, BuildReport, BuildRequest, Scheduler,
+    SchedulerConfig, WorkSignal,
+};
+
+/// Shared between the daemon handle and its resident workers.
+struct DaemonCore {
+    /// Live batches, submission order. Completed batches are pruned on
+    /// the next submit; handles keep their own `Arc` to the state.
+    batches: Mutex<Vec<Arc<BatchShared>>>,
+    signal: Arc<WorkSignal>,
+    shutdown: AtomicBool,
+}
+
+/// A resident worker pool over one shared registry and layer cache.
+///
+/// ```
+/// use zr_sched::{BuildRequest, Daemon, SchedulerConfig};
+///
+/// let daemon = Daemon::new(SchedulerConfig { jobs: 2, ..SchedulerConfig::default() });
+/// let first = daemon.build_many(vec![BuildRequest::new("a", "FROM alpine:3.19\n")]);
+/// let second = daemon.build_many(vec![BuildRequest::new("b", "FROM alpine:3.19\n")]);
+/// assert!(first[0].result.success && second[0].result.success);
+/// // Same pool, same caches: the second batch replayed the pull.
+/// daemon.shutdown();
+/// ```
+pub struct Daemon {
+    registry: Arc<ShardedRegistry>,
+    layers: LayerStore,
+    disk: Option<Arc<zr_store::DiskLayers>>,
+    fail_fast: bool,
+    core: Arc<DaemonCore>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// A daemon built from `config` (`jobs` resident workers). Panics
+    /// if `config.cache_dir` cannot be opened — use
+    /// [`try_new`](Self::try_new) to surface store errors.
+    pub fn new(config: SchedulerConfig) -> Daemon {
+        Daemon::try_new(config).expect("cannot open --cache-dir store")
+    }
+
+    /// [`new`](Self::new), with persistent-store failures returned
+    /// instead of panicking.
+    pub fn try_new(config: SchedulerConfig) -> zr_store::Result<Daemon> {
+        // Reuse the scheduler's store plumbing, then keep only the
+        // shared handles — the throwaway scheduler spawns no threads.
+        let sched = Scheduler::try_new(config.clone())?;
+        let registry = sched.registry().clone();
+        let layers = sched.layers().clone();
+        let disk = sched.disk().cloned();
+        let core = Arc::new(DaemonCore {
+            batches: Mutex::new(Vec::new()),
+            signal: Arc::new(WorkSignal::default()),
+            shutdown: AtomicBool::new(false),
+        });
+        let jobs = config.jobs.max(1);
+        let workers = (0..jobs)
+            .map(|i| {
+                let core = Arc::clone(&core);
+                // Alternate affinities so high-priority work always has
+                // a preferring worker once the pool has two threads.
+                let affinity = if i % 2 == 1 {
+                    Affinity::High
+                } else {
+                    Affinity::Normal
+                };
+                std::thread::spawn(move || daemon_worker(&core, affinity))
+            })
+            .collect();
+        Ok(Daemon {
+            registry,
+            layers,
+            disk,
+            fail_fast: config.fail_fast,
+            core,
+            workers,
+        })
+    }
+
+    /// The shared registry handle.
+    pub fn registry(&self) -> &Arc<ShardedRegistry> {
+        &self.registry
+    }
+
+    /// The shared layer-cache handle.
+    pub fn layers(&self) -> &LayerStore {
+        &self.layers
+    }
+
+    /// The persistent store tier, when built with a `cache_dir`.
+    pub fn disk(&self) -> Option<&Arc<zr_store::DiskLayers>> {
+        self.disk.as_ref()
+    }
+
+    /// Enqueue a batch on the resident pool and return immediately.
+    /// The handle supports everything a scheduler batch does —
+    /// statuses, cancellation, log subscription, `wait` — but the
+    /// workers are the daemon's and survive the batch.
+    pub fn submit(&self, requests: Vec<BuildRequest>) -> BatchHandle {
+        let shared = make_batch(
+            requests,
+            self.fail_fast,
+            self.registry.clone(),
+            self.layers.clone(),
+            self.core.signal.clone(),
+        );
+        {
+            let mut batches = lock_or_poisoned(&self.core.batches);
+            batches.retain(|b| !b.is_complete());
+            batches.push(shared.clone());
+        }
+        self.core.signal.notify();
+        BatchHandle::new(shared, Vec::new())
+    }
+
+    /// Build a whole batch and block for its reports, in input order.
+    pub fn build_many(&self, requests: Vec<BuildRequest>) -> Vec<BuildReport> {
+        self.submit(requests).wait()
+    }
+
+    /// Stop the pool: workers finish whatever is queued, then exit.
+    /// (Dropping the daemon does the same.)
+    pub fn shutdown(self) {}
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.core.shutdown.store(true, Ordering::SeqCst);
+        self.core.signal.notify();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// One resident worker: scan live batches for a task (earliest batch
+/// first, stealing across priority classes within each), park on the
+/// shared signal when everything is drained, exit on shutdown.
+fn daemon_worker(core: &Arc<DaemonCore>, affinity: Affinity) {
+    loop {
+        let grabbed = {
+            let batches = lock_or_poisoned(&core.batches);
+            let mut found = None;
+            for batch in batches.iter() {
+                if let Some((task, stolen)) = batch.try_pop(affinity) {
+                    found = Some((Arc::clone(batch), task, stolen));
+                    break;
+                }
+            }
+            found
+        };
+        match grabbed {
+            Some((batch, task, stolen)) => {
+                if stolen {
+                    batch.note_steal();
+                }
+                run_task(&batch, task);
+            }
+            None => {
+                if core.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                core.signal.wait_until(|| {
+                    core.shutdown.load(Ordering::SeqCst)
+                        || lock_or_poisoned(&core.batches).iter().any(|b| b.has_work())
+                });
+            }
+        }
+    }
+}

@@ -40,8 +40,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod daemon;
 mod scheduler;
 
+pub use daemon::Daemon;
 pub use scheduler::{
-    BatchHandle, BuildReport, BuildRequest, BuildStatus, Priority, Scheduler, SchedulerConfig,
+    BatchHandle, BuildReport, BuildRequest, BuildStatus, LogEvent, Priority, Scheduler,
+    SchedulerConfig,
 };

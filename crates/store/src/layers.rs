@@ -82,6 +82,16 @@ pub struct DiskLayerStats {
     pub errors: u64,
 }
 
+impl std::fmt::Display for DiskLayerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} layers persisted ({} as deltas), {} loaded, {} errors",
+            self.persisted, self.delta_persisted, self.loaded, self.errors
+        )
+    }
+}
+
 /// How a layer record references its filesystem tree.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum TreeRef {

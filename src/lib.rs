@@ -44,6 +44,7 @@ pub use zr_dockerfile as dockerfile;
 pub use zr_image as image;
 pub use zr_kernel as kernel;
 pub use zr_pkg as pkg;
+pub use zr_plan as plan;
 pub use zr_registry as registry;
 pub use zr_sched as sched;
 pub use zr_seccomp as seccomp;
