@@ -6,7 +6,7 @@
 //! ```
 //!
 //! With `--json`, the gate verdicts and the numeric bench metrics are
-//! additionally written to `BENCH_8.json` (or `PATH`) so CI can upload
+//! additionally written to `BENCH_9.json` (or `PATH`) so CI can upload
 //! them and the perf trajectory is tracked across PRs.
 
 use zeroroot_core::Mode;
@@ -94,7 +94,7 @@ fn best_of<T>(n: u32, mut f: impl FnMut() -> (std::time::Duration, T)) -> (std::
 fn main() {
     let json_path = std::env::args().skip(1).find_map(|a| {
         if a == "--json" {
-            Some("BENCH_8.json".to_string())
+            Some("BENCH_9.json".to_string())
         } else {
             a.strip_prefix("--json=").map(str::to_string)
         }
@@ -374,12 +374,7 @@ fn main() {
     let _ = std::fs::remove_dir_all(&scratch);
     let diamond = vec![DIAMOND.to_string()];
     let (t_dag_serial, dag_serial) = timed_batch(1, &diamond, CacheMode::Enabled);
-    let dag_terminal = |s: &BuildStatus| {
-        matches!(
-            s,
-            BuildStatus::Done | BuildStatus::Failed | BuildStatus::Cancelled
-        )
-    };
+    let dag_terminal = |s: &BuildStatus| s.terminal();
     let mut dag_peak = 0usize;
     let mut dag_cache = std::path::PathBuf::new();
     let mut t_dag_parallel = std::time::Duration::ZERO;
@@ -949,6 +944,152 @@ fn main() {
             !warm_wire_silent,
         ),
         pass: wired.success && push_ok && wire_roundtrip && from_over_wire && warm_wire_silent,
+    });
+
+    // ---- F-fault -----------------------------------------------------------------
+    // The fault-injection gate, in two parts.
+    //
+    // (a) CAS crash-point sweep: a batched commit is killed at every
+    //     crash checkpoint in turn (`store.commit.crash` with an
+    //     increasing skip count). After each kill the leftover staging
+    //     files are renamed to a dead writer's pid — the same-process
+    //     stand-in for a reboot, since recovery spares a live pid's
+    //     files — and the store must reopen clean: pack replay where
+    //     the pack survived, discard where it didn't, and every blob
+    //     retrievable after a fault-free re-put. One checkpoint past
+    //     the last, the same commit must run through unfaulted, which
+    //     pins the sweep as exhaustive.
+    //
+    // (b) Faulted diamond batch: the M-dag diamond, FROM resolved over
+    //     a live loopback registry, under a fixed seeded plan — 3 wire
+    //     resets + 2 store commit crashes + 1 worker panic. The wire
+    //     resets must be retried under the client's backoff policy,
+    //     the store errors absorbed by the persistence layer, and the
+    //     panicked stage retried once — the batch lands Degraded (not
+    //     Failed) with the serial, fault-free Image::digest.
+    let scratch = std::env::temp_dir().join(format!("zr-paper-fault-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    // (a) The sweep. Checkpoints are numbered 0..=5 inside
+    // CasBatch::commit; skip=6 proves there is no seventh.
+    let crash_payloads = &payloads[..8];
+    let mut crash_points = 0u32;
+    let mut sweep_ok = true;
+    for k in 0..=6u64 {
+        let dir = scratch.join(format!("crash-{k}"));
+        let cas = zr_store::Cas::open(&dir).expect("open crash cas");
+        let plan =
+            zr_fault::FaultPlan::new().counted(zr_fault::points::STORE_COMMIT_CRASH, 1, k, 0);
+        let guard = zr_fault::install(&plan);
+        let mut batch = cas.batch();
+        for p in crash_payloads {
+            batch.put(p).expect("stage");
+        }
+        let crashed = batch.commit().is_err();
+        drop(guard);
+        drop(cas);
+        if k == 6 {
+            sweep_ok &= !crashed;
+            break;
+        }
+        sweep_ok &= crashed;
+        crash_points += u32::from(crashed);
+        // Fake the writer's death: recovery keeps a live pid's staging
+        // files, so hand them to a pid that cannot exist.
+        let tmp = dir.join("tmp");
+        if let Ok(entries) = std::fs::read_dir(&tmp) {
+            for entry in entries.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if let Some(rest) = name.strip_prefix(&format!("w{}-", std::process::id())) {
+                    let _ = std::fs::rename(entry.path(), tmp.join(format!("w4999999-{rest}")));
+                }
+            }
+        }
+        let reopened = zr_store::Cas::open(&dir).expect("reopen after injected crash");
+        sweep_ok &= crash_payloads.iter().all(|p| {
+            reopened
+                .put(p)
+                .ok()
+                .and_then(|d| reopened.get(&d).ok())
+                .map(|data| data == *p)
+                .unwrap_or(false)
+        });
+    }
+
+    // (b) The faulted batch. The serial fault-free baseline is M-dag's
+    // `dag_serial` (same Dockerfile, same id/tag, so the digests are
+    // directly comparable).
+    let fault_endpoint =
+        zr_store::Cas::open(scratch.join("endpoint")).expect("open fault endpoint");
+    let fault_server = zr_registry::serve(fault_endpoint, "127.0.0.1:0").expect("serve loopback");
+    let fault_client = zr_registry::RemoteRegistry::new(fault_server.addr().to_string());
+    let alpine = CatalogBackend
+        .fetch(&ImageRef::parse("alpine:3.19").expect("base reference"))
+        .expect("materialize alpine");
+    let alpine_layout = scratch.join("alpine-layout");
+    zr_store::export(&alpine, &alpine_layout).expect("export alpine");
+    fault_client
+        .push_layout(&alpine_layout, "alpine", "3.19")
+        .expect("push alpine");
+
+    let fault_sched = Scheduler::try_new(SchedulerConfig {
+        jobs: 4,
+        pull_cost: bench_pull_cost(),
+        cache_dir: Some(scratch.join("cache")),
+        backend: Some(Arc::new(zr_registry::WireBackend::new(
+            fault_server.addr().to_string(),
+        ))),
+        ..SchedulerConfig::default()
+    })
+    .expect("open fault cache dir");
+    let fault_plan = zr_fault::FaultPlan::new()
+        .seeded(0xF417)
+        .counted(zr_fault::points::WIRE_CLIENT_RESET, 3, 0, 0)
+        .counted(zr_fault::points::STORE_COMMIT_CRASH, 2, 0, 0)
+        .counted(zr_fault::points::SCHED_STAGE_PANIC, 1, 0, 0);
+    let fault_guard = zr_fault::install(&fault_plan);
+    let t0 = std::time::Instant::now();
+    let fault_reports = fault_sched.build_many(sched_requests(&diamond, CacheMode::Enabled));
+    let t_fault_batch = t0.elapsed();
+    let fc = zr_fault::counters();
+    drop(fault_guard);
+    drop(fault_server);
+
+    let faulted = &fault_reports[0];
+    let fault_degraded = faulted.status == BuildStatus::Degraded && faulted.status.succeeded();
+    let fault_digest_ok = faulted
+        .result
+        .image
+        .as_ref()
+        .map(|img| dag_serial.first() == Some(&img.digest()))
+        .unwrap_or(false);
+    let all_injected = fc.injected == 6 && fc.retries >= 3 && fc.panics_retried == 1;
+    let store_absorbed = fault_sched
+        .disk()
+        .map(|d| d.error_count() >= 1)
+        .unwrap_or(false);
+    let _ = std::fs::remove_dir_all(&scratch);
+    metrics.push(("f_fault.crash_points".into(), f64::from(crash_points)));
+    metrics.push(("f_fault.injected".into(), fc.injected as f64));
+    metrics.push(("f_fault.retries".into(), fc.retries as f64));
+    metrics.push(("f_fault.batch_ms".into(), t_fault_batch.as_secs_f64() * 1e3));
+    checks.push(Check {
+        id: "F-fault",
+        paper: "CAS reopens clean from a crash at every commit checkpoint; the diamond batch \
+                under 3 wire resets + 2 store errors + 1 worker panic lands Degraded with \
+                the serial fault-free digest (resets retried, store errors absorbed)",
+        measured: format!(
+            "sweep ok={sweep_ok} ({crash_points} crash points); faulted batch: status={} \
+             digest-equal={fault_digest_ok} in {t_fault_batch:.2?}; counters: {fc}; \
+             store-errors-absorbed={store_absorbed}",
+            faulted.status
+        ),
+        pass: sweep_ok
+            && crash_points == 6
+            && fault_degraded
+            && fault_digest_ok
+            && all_injected
+            && store_absorbed,
     });
 
     // ---- report ------------------------------------------------------------------

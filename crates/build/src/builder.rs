@@ -132,6 +132,7 @@ impl Builder {
                     image: Some(image),
                     modified_run_instructions: modified,
                     tag: opts.tag.clone(),
+                    degraded: stats.base_fallbacks > 0,
                     cache: stats,
                     error: None,
                 }
@@ -144,6 +145,7 @@ impl Builder {
                     image: None,
                     modified_run_instructions: modified,
                     tag: opts.tag.clone(),
+                    degraded: false,
                     cache: stats,
                     error: Some(error),
                 }
@@ -417,7 +419,9 @@ impl Builder {
                             })?;
                             start_stage_from(kernel, src, opts)?
                         }
-                        BaseRef::Image(_) => self.start_stage(kernel, &reference, opts)?,
+                        BaseRef::Image(_) => {
+                            self.start_stage(kernel, &reference, opts, log, stats)?
+                        }
                     });
                 }
                 Instruction::Env(pairs) => {
@@ -569,23 +573,56 @@ impl Builder {
 
     /// FROM: pull, re-own as the unprivileged unpacking user, register
     /// program behaviours, and set up the container.
+    ///
+    /// Degraded mode: when the pull dies with a *transport* error (not
+    /// "no such image" / "bad reference") and a pull of the same
+    /// reference previously succeeded against this layer store, the
+    /// locally cached base is used instead — the build completes with
+    /// `CacheStats::base_fallbacks` bumped rather than failing.
     fn start_stage(
         &mut self,
         kernel: &mut Kernel,
         reference: &str,
         opts: &BuildOptions,
+        log: &mut Vec<String>,
+        stats: &mut CacheStats,
     ) -> Result<Stage, BuildError> {
         let image_ref = ImageRef::parse(reference).ok_or_else(|| BuildError::Pull {
             reference: reference.into(),
             errno: zr_syscalls::Errno::EINVAL,
         })?;
-        let mut image = self
-            .registry
-            .pull(&image_ref)
-            .map_err(|errno| BuildError::Pull {
-                reference: reference.into(),
-                errno,
-            })?;
+        let mut image = match self.registry.pull(&image_ref) {
+            Ok(image) => {
+                self.layers.record_base(reference, &image);
+                image
+            }
+            Err(errno) => {
+                // ENOENT/EINVAL are answers, not outages: the registry
+                // looked and said no. Everything else is a transfer
+                // failure worth degrading around.
+                let transport =
+                    errno != zr_syscalls::Errno::ENOENT && errno != zr_syscalls::Errno::EINVAL;
+                match transport
+                    .then(|| self.layers.cached_base(reference))
+                    .flatten()
+                {
+                    Some(local) => {
+                        log.push(format!(
+                            "warning: pull {reference} failed ({errno}); using local copy"
+                        ));
+                        stats.base_fallbacks += 1;
+                        zr_fault::count_base_fallback();
+                        local
+                    }
+                    None => {
+                        return Err(BuildError::Pull {
+                            reference: reference.into(),
+                            errno,
+                        })
+                    }
+                }
+            }
+        };
 
         // Unprivileged unpack: every inode becomes the builder's
         // (Charliecloud storage model; the single-id map then shows the

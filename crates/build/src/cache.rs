@@ -48,6 +48,9 @@ pub struct CacheStats {
     pub hits: u32,
     /// Instructions that executed (everything, under `--no-cache`).
     pub misses: u32,
+    /// `FROM` pulls that failed after retries and fell back to a
+    /// locally cached base image — the build completed *degraded*.
+    pub base_fallbacks: u32,
 }
 
 impl CacheStats {
@@ -59,7 +62,11 @@ impl CacheStats {
 
 impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} hits, {} misses", self.hits, self.misses)
+        write!(f, "{} hits, {} misses", self.hits, self.misses)?;
+        if self.base_fallbacks > 0 {
+            write!(f, ", {} base fallbacks", self.base_fallbacks)?;
+        }
+        Ok(())
     }
 }
 
@@ -262,7 +269,11 @@ mod tests {
 
     #[test]
     fn stats_display() {
-        let s = CacheStats { hits: 2, misses: 1 };
+        let s = CacheStats {
+            hits: 2,
+            misses: 1,
+            base_fallbacks: 0,
+        };
         assert_eq!(s.to_string(), "2 hits, 1 misses");
         assert_eq!(s.total(), 3);
     }

@@ -3,12 +3,14 @@
 //! ```text
 //! zr-image build -t TAG [--force=MODE] [--target STAGE] [--no-cache]
 //!                [--cache-stats] [--cache-limit BYTES] [--cache-dir DIR]
+//!                [--retry N] [--timeout SECS] [--fault-plan PLAN]
 //!                [-f DOCKERFILE] [CONTEXT_DIR]
 //! zr-image build-many [--jobs N] [--force=MODE] [--target STAGE]
 //!                [--no-cache] [--cache-stats] [--cache-limit BYTES]
 //!                [--cache-dir DIR] [--store-limit BYTES] [--blob-limit BYTES]
 //!                [--shards N] [--pull-latency-ms N] [--fail-fast]
-//!                [--daemon] [--follow ID] [--context DIR] DOCKERFILE…
+//!                [--daemon] [--follow ID] [--context DIR]
+//!                [--fault-plan PLAN] DOCKERFILE…
 //! zr-image export --output DIR [build flags…]   # build, then OCI layout
 //! zr-image import DIR           # OCI layout -> image, prints the digest
 //! zr-image inspect DIR          # layout summary + image digest
@@ -23,6 +25,12 @@
 //!
 //! `build --registry ADDR` resolves `FROM` over the wire instead of
 //! the built-in catalog (the pull-through cache still applies).
+//!
+//! Fault injection: `--fault-plan PLAN` (or the `ZR_FAULT` environment
+//! variable) installs a deterministic [`zr_fault::FaultPlan`] for the
+//! whole process — e.g. `seed=7;wire.client.reset=2;store.write.err=1`.
+//! `--retry N` and `--timeout SECS` tune the wire client's retry
+//! policy and per-request deadline (`--timeout 0` = block forever).
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -32,6 +40,7 @@ use zeroroot_core::Mode;
 use zr_build::{BuildOptions, Builder, CacheMode};
 use zr_image::{PullCost, ShardedRegistry};
 use zr_kernel::Kernel;
+use zr_registry::RemoteRegistry;
 use zr_sched::{
     BatchHandle, BuildRequest, BuildStatus, Daemon, LogEvent, Scheduler, SchedulerConfig,
 };
@@ -42,20 +51,21 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: zr-image build -t TAG [--force=MODE] [--target STAGE] [--no-cache] \
          [--cache-stats] [--cache-limit BYTES] [--cache-dir DIR] [--store-limit BYTES] \
-         [--registry ADDR] [-f DOCKERFILE] [CONTEXT_DIR]"
+         [--registry ADDR] [--retry N] [--timeout SECS] [--fault-plan PLAN] \
+         [-f DOCKERFILE] [CONTEXT_DIR]"
     );
     eprintln!(
         "       zr-image build-many [--jobs N] [--force=MODE] [--target STAGE] [--no-cache] \
          [--cache-stats] [--cache-limit BYTES] [--cache-dir DIR] [--store-limit BYTES] \
          [--blob-limit BYTES] [--shards N] [--pull-latency-ms N] [--fail-fast] \
-         [--daemon] [--follow ID] [--context DIR] DOCKERFILE…"
+         [--daemon] [--follow ID] [--context DIR] [--fault-plan PLAN] DOCKERFILE…"
     );
     eprintln!("       zr-image export --output DIR [build flags…]");
     eprintln!("       zr-image import DIR");
     eprintln!("       zr-image inspect DIR");
     eprintln!("       zr-image serve --cache-dir DIR [--addr HOST:PORT]");
-    eprintln!("       zr-image push --registry ADDR DIR [NAME[:TAG]]");
-    eprintln!("       zr-image pull --registry ADDR NAME[:TAG] DIR");
+    eprintln!("       zr-image push --registry ADDR [--retry N] [--timeout SECS] DIR [NAME[:TAG]]");
+    eprintln!("       zr-image pull --registry ADDR [--retry N] [--timeout SECS] NAME[:TAG] DIR");
     eprintln!("       zr-image store (gc|stats) --cache-dir DIR");
     eprintln!("       zr-image filter [ARCH…]");
     eprintln!("       zr-image table");
@@ -68,6 +78,12 @@ fn usage() -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    // A `ZR_FAULT` plan applies to every verb; `--fault-plan` (below)
+    // overrides it for the commands that take one.
+    if let Err(e) = zr_fault::install_from_env() {
+        eprintln!("error: ZR_FAULT: {e}");
+        return ExitCode::from(2);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("build") => cmd_build(&args[1..], None),
@@ -91,6 +107,34 @@ fn main() -> ExitCode {
     }
 }
 
+/// Parse and install a `--fault-plan` for the rest of the process.
+/// Overrides any plan already installed from `ZR_FAULT`.
+fn install_fault_plan(text: &str) -> bool {
+    match zr_fault::FaultPlan::parse(text) {
+        Ok(plan) => {
+            zr_fault::install_global(&plan);
+            true
+        }
+        Err(e) => {
+            eprintln!("error: --fault-plan: {e}");
+            false
+        }
+    }
+}
+
+/// A wire client with the CLI's `--retry` / `--timeout` knobs applied
+/// (`--timeout 0` disables the per-request deadline entirely).
+fn wire_client(addr: &str, retry: Option<u32>, timeout_secs: Option<u64>) -> RemoteRegistry {
+    let mut client = RemoteRegistry::new(addr.to_string());
+    if let Some(attempts) = retry {
+        client = client.with_retry(zr_fault::RetryPolicy::with_attempts(attempts));
+    }
+    if let Some(secs) = timeout_secs {
+        client = client.with_timeout((secs > 0).then(|| std::time::Duration::from_secs(secs)));
+    }
+    client
+}
+
 /// `build` (and, with `export_to`, the build half of `export`).
 fn cmd_build(args: &[String], export_to: Option<&str>) -> ExitCode {
     let mut tag = "img".to_string();
@@ -104,6 +148,8 @@ fn cmd_build(args: &[String], export_to: Option<&str>) -> ExitCode {
     let mut target: Option<String> = None;
     let mut file: Option<String> = None;
     let mut context_dir: Option<String> = None;
+    let mut retry: Option<u32> = None;
+    let mut timeout_secs: Option<u64> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -111,6 +157,18 @@ fn cmd_build(args: &[String], export_to: Option<&str>) -> ExitCode {
             "-t" => match it.next() {
                 Some(t) => tag = t.clone(),
                 None => return usage(),
+            },
+            "--retry" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => retry = Some(n),
+                None => return usage(),
+            },
+            "--timeout" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(secs) => timeout_secs = Some(secs),
+                None => return usage(),
+            },
+            "--fault-plan" => match it.next() {
+                Some(plan) if install_fault_plan(plan) => {}
+                _ => return ExitCode::from(2),
             },
             "--target" => match it.next() {
                 Some(stage) => target = Some(stage.clone()),
@@ -211,7 +269,11 @@ fn cmd_build(args: &[String], export_to: Option<&str>) -> ExitCode {
         builder.registry = std::sync::Arc::new(ShardedRegistry::with_backend(
             ShardedRegistry::DEFAULT_SHARDS,
             PullCost::default(),
-            std::sync::Arc::new(zr_registry::WireBackend::new(addr)),
+            std::sync::Arc::new(zr_registry::WireBackend::with_client(wire_client(
+                addr,
+                retry,
+                timeout_secs,
+            ))),
         ));
     }
     let opts = BuildOptions {
@@ -231,6 +293,9 @@ fn cmd_build(args: &[String], export_to: Option<&str>) -> ExitCode {
         "[trace] syscalls={} privileged={} faked={} failed={} bpf-instructions={}",
         stats.total, stats.privileged, stats.faked, stats.failed, stats.filter_steps
     );
+    if zr_fault::active() {
+        eprintln!("[fault] {}", zr_fault::counters());
+    }
     if cache_stats {
         let stats = builder.layers.stats();
         eprintln!("[cache] {} ({} layers stored)", result.cache, stats.layers);
@@ -415,12 +480,22 @@ fn split_reference(reference: &str) -> (String, String) {
 /// used, so `export` → `push` needs no retyping.
 fn cmd_push(args: &[String]) -> ExitCode {
     let mut registry: Option<String> = None;
+    let mut retry: Option<u32> = None;
+    let mut timeout_secs: Option<u64> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--registry" => match it.next() {
                 Some(addr) => registry = Some(addr.clone()),
+                None => return usage(),
+            },
+            "--retry" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => retry = Some(n),
+                None => return usage(),
+            },
+            "--timeout" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(secs) => timeout_secs = Some(secs),
                 None => return usage(),
             },
             _ if !a.starts_with('-') => positional.push(a.clone()),
@@ -446,7 +521,7 @@ fn cmd_push(args: &[String]) -> ExitCode {
         _ => return usage(),
     };
     let (name, tag) = split_reference(&reference);
-    let client = zr_registry::RemoteRegistry::new(addr.clone());
+    let client = wire_client(&addr, retry, timeout_secs);
     match client.push_layout(&dir, &name, &tag) {
         Ok(summary) => {
             println!("pushed {name}:{tag} to {addr}");
@@ -464,12 +539,22 @@ fn cmd_push(args: &[String]) -> ExitCode {
 /// report the materialized image digest.
 fn cmd_pull(args: &[String]) -> ExitCode {
     let mut registry: Option<String> = None;
+    let mut retry: Option<u32> = None;
+    let mut timeout_secs: Option<u64> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--registry" => match it.next() {
                 Some(addr) => registry = Some(addr.clone()),
+                None => return usage(),
+            },
+            "--retry" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => retry = Some(n),
+                None => return usage(),
+            },
+            "--timeout" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(secs) => timeout_secs = Some(secs),
                 None => return usage(),
             },
             _ if !a.starts_with('-') => positional.push(a.clone()),
@@ -484,7 +569,7 @@ fn cmd_pull(args: &[String]) -> ExitCode {
         return usage();
     };
     let (name, tag) = split_reference(reference);
-    let client = zr_registry::RemoteRegistry::new(addr.clone());
+    let client = wire_client(&addr, retry, timeout_secs);
     match client.pull_layout(&name, &tag, dir) {
         Ok(summary) => {
             print!("{summary}");
@@ -580,6 +665,7 @@ fn cmd_store(args: &[String]) -> ExitCode {
                 stats.recovered_tmp, stats.corrupt_roots
             );
             println!("roots:    {}", disk.cas().roots().len());
+            println!("fault:    {}", zr_fault::counters());
             ExitCode::SUCCESS
         }
         _ => usage(),
@@ -674,6 +760,10 @@ fn cmd_build_many(args: &[String]) -> ExitCode {
             "--no-cache" => cache = CacheMode::Disabled,
             "--cache-stats" => cache_stats = true,
             "--fail-fast" => fail_fast = true,
+            "--fault-plan" => match it.next() {
+                Some(plan) if install_fault_plan(plan) => {}
+                _ => return ExitCode::from(2),
+            },
             _ if a.starts_with("--force=") => {
                 let value = &a["--force=".len()..];
                 match Mode::from_flag(value) {
@@ -799,6 +889,7 @@ fn cmd_build_many(args: &[String]) -> ExitCode {
     let elapsed = t0.elapsed();
 
     let mut failures = 0usize;
+    let mut degraded = 0usize;
     for r in &reports {
         for line in &r.result.log {
             println!("[{}] {line}", r.id);
@@ -807,16 +898,23 @@ fn cmd_build_many(args: &[String]) -> ExitCode {
             "[{}] status: {} (faked syscalls: {})",
             r.id, r.status, r.trace.faked
         );
-        if r.status != BuildStatus::Done {
+        if !r.status.succeeded() {
             failures += 1;
+        } else if r.status == BuildStatus::Degraded {
+            degraded += 1;
         }
     }
     let rstats = registry.stats();
     eprintln!(
-        "[sched] {} builds with {jobs} workers in {elapsed:.2?}: {} ok, {failures} not ok",
+        "[sched] {} builds with {jobs} workers in {elapsed:.2?}: {} ok ({degraded} degraded), \
+         {failures} not ok",
         reports.len(),
         reports.len() - failures,
     );
+    let fc = zr_fault::counters();
+    if zr_fault::active() || fc.injected > 0 || fc.retries > 0 {
+        eprintln!("[fault] {fc}");
+    }
     eprintln!(
         "[registry] {} pulls, {} fetches, {} blob hits across {} shards",
         rstats.pulls,

@@ -1,0 +1,215 @@
+//! A reusable single-purpose TCP chaos proxy for wire tests.
+//!
+//! The proxy relays whole connections verbatim to an upstream address,
+//! except for one targeted connection (0-based accept order), which it
+//! sabotages according to a [`ChaosMode`]: cut after N request bytes,
+//! stall the response, or flip a bit in the response stream. One
+//! sabotaged connection against an otherwise clean wire is the
+//! sharpest reproduction of real network failure — the retry either
+//! recovers on the next connection or the bug is real.
+//!
+//! Promoted out of `crates/registry/tests/wire.rs` so every crate's
+//! wire tests share one implementation.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+/// What the proxy does to the targeted connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosMode {
+    /// Cut connection `conn` after relaying `bytes` request bytes
+    /// upstream, relaying nothing back — the wire picture of the
+    /// network dying under an in-flight request.
+    KillAfter {
+        /// 0-based index of the connection to kill.
+        conn: usize,
+        /// Request bytes to relay before the cut.
+        bytes: u64,
+    },
+    /// Relay connection `conn`'s request, then sit on the response for
+    /// `delay` before relaying it — long enough to trip a client read
+    /// deadline.
+    StallResponse {
+        /// 0-based index of the connection to stall.
+        conn: usize,
+        /// How long to hold the response back.
+        delay: Duration,
+    },
+    /// Relay connection `conn` both ways but flip one bit of the
+    /// response stream at byte `offset` — corruption a digest check
+    /// must catch.
+    BitFlip {
+        /// 0-based index of the connection to corrupt.
+        conn: usize,
+        /// Byte offset into the response stream whose top bit flips.
+        offset: u64,
+    },
+}
+
+impl ChaosMode {
+    fn target(&self) -> usize {
+        match *self {
+            ChaosMode::KillAfter { conn, .. }
+            | ChaosMode::StallResponse { conn, .. }
+            | ChaosMode::BitFlip { conn, .. } => conn,
+        }
+    }
+}
+
+/// Copy `from` into `to`, XOR-ing byte `flip_at` (stream offset) with
+/// 0x80 when given. Returns bytes copied.
+fn relay(mut from: TcpStream, mut to: TcpStream, flip_at: Option<u64>) -> u64 {
+    let mut buffer = [0u8; 16 * 1024];
+    let mut position: u64 = 0;
+    loop {
+        let n = match from.read(&mut buffer) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        if let Some(offset) = flip_at {
+            if offset >= position && offset < position + n as u64 {
+                buffer[(offset - position) as usize] ^= 0x80;
+            }
+        }
+        if to.write_all(&buffer[..n]).is_err() {
+            break;
+        }
+        position += n as u64;
+    }
+    let _ = to.shutdown(Shutdown::Write);
+    position
+}
+
+/// Relay one connection verbatim in both directions, with an optional
+/// response stall and an optional response bit flip.
+fn relay_connection(
+    client: TcpStream,
+    server: TcpStream,
+    stall: Option<Duration>,
+    flip_at: Option<u64>,
+) {
+    let client_read = match client.try_clone() {
+        Ok(half) => half,
+        Err(_) => return,
+    };
+    let server_write = match server.try_clone() {
+        Ok(half) => half,
+        Err(_) => return,
+    };
+    let up = std::thread::spawn(move || relay(client_read, server_write, None));
+    if let Some(delay) = stall {
+        std::thread::sleep(delay);
+    }
+    relay(server, client, flip_at);
+    let _ = up.join();
+}
+
+/// Start a chaos proxy in front of `upstream` and return its address.
+/// Every connection is relayed verbatim except the one `mode` targets.
+/// The proxy thread lives until its listener errors (process exit) —
+/// the same lifecycle as the test servers it fronts.
+pub fn chaos_proxy(upstream: SocketAddr, mode: ChaosMode) -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind chaos proxy");
+    let addr = listener.local_addr().expect("chaos proxy addr");
+    std::thread::spawn(move || {
+        for (index, accepted) in listener.incoming().enumerate() {
+            let Ok(mut client) = accepted else { return };
+            let Ok(server) = TcpStream::connect(upstream) else {
+                return;
+            };
+            let targeted = index == mode.target();
+            std::thread::spawn(move || match mode {
+                ChaosMode::KillAfter { bytes, .. } if targeted => {
+                    let mut server = server;
+                    let _ = std::io::copy(&mut Read::by_ref(&mut client).take(bytes), &mut server);
+                    let _ = server.shutdown(Shutdown::Both);
+                    let _ = client.shutdown(Shutdown::Both);
+                }
+                ChaosMode::StallResponse { delay, .. } if targeted => {
+                    relay_connection(client, server, Some(delay), None);
+                }
+                ChaosMode::BitFlip { offset, .. } if targeted => {
+                    relay_connection(client, server, None, Some(offset));
+                }
+                _ => relay_connection(client, server, None, None),
+            });
+        }
+    });
+    addr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A one-line echo upstream: reads to EOF (write half), answers
+    /// with the same bytes.
+    fn echo_upstream() -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind echo");
+        let addr = listener.local_addr().expect("echo addr");
+        std::thread::spawn(move || {
+            for accepted in listener.incoming() {
+                let Ok(mut stream) = accepted else { return };
+                std::thread::spawn(move || {
+                    let mut request = Vec::new();
+                    let _ = Read::by_ref(&mut stream).read_to_end(&mut request);
+                    let _ = stream.write_all(&request);
+                    let _ = stream.shutdown(Shutdown::Both);
+                });
+            }
+        });
+        addr
+    }
+
+    fn exchange(addr: SocketAddr, payload: &[u8]) -> std::io::Result<Vec<u8>> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.write_all(payload)?;
+        stream.shutdown(Shutdown::Write)?;
+        let mut response = Vec::new();
+        stream.read_to_end(&mut response)?;
+        Ok(response)
+    }
+
+    #[test]
+    fn untargeted_connections_relay_verbatim() {
+        let proxy = chaos_proxy(echo_upstream(), ChaosMode::KillAfter { conn: 99, bytes: 0 });
+        assert_eq!(
+            exchange(proxy, b"hello wire").expect("clean exchange"),
+            b"hello wire"
+        );
+    }
+
+    #[test]
+    fn kill_after_cuts_the_targeted_connection() {
+        let proxy = chaos_proxy(echo_upstream(), ChaosMode::KillAfter { conn: 1, bytes: 4 });
+        assert_eq!(exchange(proxy, b"first").expect("conn 0 clean"), b"first");
+        let cut = exchange(proxy, b"second-connection-payload").unwrap_or_default();
+        assert!(
+            cut.len() < b"second-connection-payload".len(),
+            "the targeted connection must not round-trip: got {cut:?}"
+        );
+        assert_eq!(exchange(proxy, b"third").expect("conn 2 clean"), b"third");
+    }
+
+    #[test]
+    fn stall_delays_but_preserves_the_response() {
+        let delay = Duration::from_millis(120);
+        let proxy = chaos_proxy(echo_upstream(), ChaosMode::StallResponse { conn: 0, delay });
+        let start = std::time::Instant::now();
+        assert_eq!(exchange(proxy, b"slow").expect("stalled"), b"slow");
+        assert!(start.elapsed() >= delay, "the response must be held back");
+    }
+
+    #[test]
+    fn bit_flip_corrupts_exactly_one_byte() {
+        let proxy = chaos_proxy(echo_upstream(), ChaosMode::BitFlip { conn: 0, offset: 2 });
+        let corrupted = exchange(proxy, b"abcdef").expect("flipped exchange");
+        assert_eq!(corrupted.len(), 6);
+        assert_eq!(corrupted[2], b'c' ^ 0x80);
+        let mut repaired = corrupted.clone();
+        repaired[2] = b'c';
+        assert_eq!(repaired, b"abcdef");
+        assert_eq!(exchange(proxy, b"abcdef").expect("clean"), b"abcdef");
+    }
+}

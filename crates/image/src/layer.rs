@@ -24,7 +24,7 @@ use zeroroot_core::sync::{lock_or_poisoned, shard_index};
 use zr_vfs::fs::Fs;
 use zr_vfs::FileKind;
 
-use crate::image::ImageMeta;
+use crate::image::{Image, ImageMeta};
 
 /// A layer cache key: 64 hex characters of a field-delimited SHA-256
 /// over everything that decides an instruction's outcome.
@@ -298,6 +298,12 @@ struct StoreInner {
     /// fallthrough). Taken briefly to clone the handle; never held
     /// across I/O or another lock.
     disk: Mutex<Option<Arc<dyn LayerPersistence>>>,
+    /// Base images recorded by successful `FROM` pulls, keyed by the
+    /// reference string. A degraded build whose pull fails after
+    /// retries falls back here instead of dying — the image content is
+    /// already local. Not budgeted: a handful of base references per
+    /// fleet, and the underlying `Fs` is shared-by-`Arc` anyway.
+    bases: Mutex<HashMap<String, Image>>,
 }
 
 impl Default for StoreInner {
@@ -314,6 +320,7 @@ impl Default for StoreInner {
             evictions: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
             disk: Mutex::new(None),
+            bases: Mutex::default(),
         }
     }
 }
@@ -359,6 +366,19 @@ impl LayerStore {
     /// The configured size budget (0 = unlimited).
     pub fn budget(&self) -> u64 {
         self.inner.budget.load(Ordering::Relaxed)
+    }
+
+    /// Record a successfully pulled base image under its reference so a
+    /// later pull of the same reference that fails after retries can
+    /// degrade to local content instead of failing the build.
+    pub fn record_base(&self, reference: &str, image: &Image) {
+        lock_or_poisoned(&self.inner.bases).insert(reference.to_string(), image.clone());
+    }
+
+    /// The locally cached base image for `reference`, if a pull of it
+    /// ever succeeded against this store.
+    pub fn cached_base(&self, reference: &str) -> Option<Image> {
+        lock_or_poisoned(&self.inner.bases).get(reference).cloned()
     }
 
     fn shard(&self, key: &CacheKey) -> &Mutex<BTreeMap<CacheKey, Entry>> {

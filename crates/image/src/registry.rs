@@ -583,6 +583,13 @@ impl ShardedRegistry {
             shard.blob_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(blob.image.clone());
         }
+        // Fault point: `registry.pull.err` fails the fetch itself, as
+        // if the transfer died after the manifest round trip. Cached
+        // pulls above are unaffected — only real fetches can fail.
+        if zr_fault::fires(zr_fault::points::REGISTRY_PULL_ERR) {
+            shard.release_fetch_lock(&key);
+            return Err(Errno::EIO);
+        }
         let image = match self.backend.fetch(reference) {
             Ok(image) => image,
             Err(errno) => {

@@ -6,8 +6,10 @@
 use std::io::BufReader;
 use std::net::TcpStream;
 use std::path::Path;
+use std::time::Duration;
 
 use zr_digest::{hex, Sha256};
+use zr_fault::RetryPolicy;
 use zr_image::{Image, ImageRef, RegistryBackend};
 use zr_store::{OciSummary, StoreError};
 use zr_syscalls::Errno;
@@ -25,6 +27,20 @@ pub const CHUNK_SIZE: usize = 1024 * 1024;
 /// that keeps dropping connections is not worth hammering.
 pub const MAX_RESUMES: usize = 3;
 
+/// Default per-request wire deadline: every read and write on a client
+/// connection must make progress within this window, so a stalled
+/// server surfaces as a (transient, retryable) timeout instead of a
+/// hung build.
+pub const WIRE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Did this error come from a read/write deadline?
+fn is_timeout(e: &RegistryError) -> bool {
+    matches!(e, RegistryError::Io(io) if matches!(
+        io.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    ))
+}
+
 /// The committed byte count a `Range: 0-<last>` header reports. The
 /// server omits the header while the session is empty, so `0-0` is
 /// unambiguously one byte.
@@ -41,16 +57,40 @@ fn committed_bytes(response: &Response) -> Result<usize> {
 
 /// A client for one OCI distribution endpoint (`host:port`). One TCP
 /// connection per exchange — plenty for loopback, and it keeps the
-/// failure model trivial.
+/// failure model trivial. Transient transport failures on the *pull*
+/// side (manifest and blob fetches) are retried under the client's
+/// [`RetryPolicy`], mirroring push's session resume; every connection
+/// carries a read/write deadline so a stalled peer times out instead
+/// of hanging the build.
 #[derive(Debug, Clone)]
 pub struct RemoteRegistry {
     addr: String,
+    retry: RetryPolicy,
+    timeout: Option<Duration>,
 }
 
 impl RemoteRegistry {
-    /// A client for the endpoint at `addr` (e.g. `127.0.0.1:7707`).
+    /// A client for the endpoint at `addr` (e.g. `127.0.0.1:7707`),
+    /// with the default retry policy and [`WIRE_TIMEOUT`] deadline.
     pub fn new(addr: impl Into<String>) -> RemoteRegistry {
-        RemoteRegistry { addr: addr.into() }
+        RemoteRegistry {
+            addr: addr.into(),
+            retry: RetryPolicy::default(),
+            timeout: Some(WIRE_TIMEOUT),
+        }
+    }
+
+    /// Replace the retry policy (builder style). `RetryPolicy::none()`
+    /// restores the old fail-on-first-error pull behavior.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> RemoteRegistry {
+        self.retry = retry;
+        self
+    }
+
+    /// Replace the per-request wire deadline (`None` = block forever).
+    pub fn with_timeout(mut self, timeout: Option<Duration>) -> RemoteRegistry {
+        self.timeout = timeout;
+        self
     }
 
     fn exchange(
@@ -60,10 +100,24 @@ impl RemoteRegistry {
         content_type: Option<&str>,
         body: &[u8],
     ) -> Result<Response> {
+        if zr_fault::fires(zr_fault::points::WIRE_CLIENT_RESET) {
+            return Err(RegistryError::Io(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "injected connection reset",
+            )));
+        }
         let stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(self.timeout)?;
+        stream.set_write_timeout(self.timeout)?;
         let mut writer = stream.try_clone()?;
         write_request(&mut writer, method, target, content_type, body)?;
-        read_response(&mut BufReader::new(stream), method == "HEAD")
+        let response = read_response(&mut BufReader::new(stream), method == "HEAD");
+        if let Err(e) = &response {
+            if is_timeout(e) {
+                zr_fault::count_timeout();
+            }
+        }
+        response
     }
 
     /// Like [`exchange`](Self::exchange), but a non-2xx status becomes
@@ -91,8 +145,15 @@ impl RemoteRegistry {
     }
 
     /// Fetch a manifest by tag or digest; returns the bytes and their
-    /// verified bare-hex digest.
+    /// verified bare-hex digest. Transient transport errors are
+    /// retried under the client's policy; refusals (4xx) stay fatal.
     pub fn manifest(&self, name: &str, reference: &str) -> Result<(Vec<u8>, String)> {
+        self.retry.run(RegistryError::transient, |_| {
+            self.manifest_once(name, reference)
+        })
+    }
+
+    fn manifest_once(&self, name: &str, reference: &str) -> Result<(Vec<u8>, String)> {
         let response = self.expect(
             "GET",
             &format!("/v2/{name}/manifests/{reference}"),
@@ -121,8 +182,16 @@ impl RemoteRegistry {
         Ok(response.status == 200)
     }
 
-    /// Fetch and digest-verify blob `digest` (bare hex).
+    /// Fetch and digest-verify blob `digest` (bare hex). Transient
+    /// transport errors — including a fetched body that fails digest
+    /// verification, the wire picture of in-flight corruption — are
+    /// retried under the client's policy.
     pub fn blob(&self, name: &str, digest: &str) -> Result<Vec<u8>> {
+        self.retry
+            .run(RegistryError::transient, |_| self.blob_once(name, digest))
+    }
+
+    fn blob_once(&self, name: &str, digest: &str) -> Result<Vec<u8>> {
         let response = self.expect(
             "GET",
             &format!("/v2/{name}/blobs/sha256:{digest}"),
@@ -171,14 +240,16 @@ impl RemoteRegistry {
                 // The server's committed total is authoritative — a
                 // mid-write offset never drifts out of sync with it.
                 Ok(response) => offset = committed_bytes(&response)?,
-                // The server answered and refused; retrying the same
-                // bytes cannot change its mind.
-                Err(refusal @ RegistryError::Status { .. }) => return Err(refusal),
+                // The server answered and refused (4xx); retrying the
+                // same bytes cannot change its mind. Transport errors
+                // *and* 5xx answers resume from the committed offset.
+                Err(refusal) if !refusal.transient() => return Err(refusal),
                 Err(transport) => {
                     resumes += 1;
                     if resumes > MAX_RESUMES {
                         return Err(transport);
                     }
+                    zr_fault::count_retry();
                     offset = self.upload_offset(&location)?;
                 }
             }
@@ -291,6 +362,12 @@ impl WireBackend {
         WireBackend {
             remote: RemoteRegistry::new(addr),
         }
+    }
+
+    /// A backend over a pre-configured client (custom retry policy or
+    /// wire deadline — the CLI's `--retry`/`--timeout` knobs).
+    pub fn with_client(remote: RemoteRegistry) -> WireBackend {
+        WireBackend { remote }
     }
 }
 

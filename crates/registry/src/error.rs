@@ -34,6 +34,20 @@ impl RegistryError {
             _ => None,
         }
     }
+
+    /// Is this error worth retrying? Transport failures — I/O errors
+    /// (resets, timeouts) and malformed or truncated responses — and
+    /// server-side 5xx answers are transient: the next attempt may see
+    /// a healthy wire. 4xx refusals and store-level corruption are
+    /// deterministic; retrying the same bytes cannot change the
+    /// answer.
+    pub fn transient(&self) -> bool {
+        match self {
+            RegistryError::Io(_) | RegistryError::Protocol(_) => true,
+            RegistryError::Status { status, .. } => *status >= 500,
+            RegistryError::Store(_) => false,
+        }
+    }
 }
 
 impl fmt::Display for RegistryError {

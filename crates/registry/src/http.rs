@@ -281,6 +281,30 @@ pub fn write_response(
     writer.flush()
 }
 
+/// Write `response`'s status line and headers with the *full*
+/// `Content-Length`, but only the first `keep` body bytes — the wire
+/// picture of a response cut off mid-body. Fault-plane support for the
+/// server's `wire.server.truncate` point; the caller drops the
+/// connection afterwards so the missing bytes never arrive.
+pub fn write_response_truncated(
+    writer: &mut impl Write,
+    response: &Response,
+    keep: usize,
+) -> std::io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {} {}\r\n",
+        response.status,
+        reason(response.status)
+    )?;
+    for (name, value) in &response.headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    write!(writer, "Content-Length: {}\r\n\r\n", response.body.len())?;
+    writer.write_all(&response.body[..keep.min(response.body.len())])?;
+    writer.flush()
+}
+
 /// Write one request (the client half). A `Connection: close` header
 /// is always sent: the client uses one connection per exchange.
 pub fn write_request(

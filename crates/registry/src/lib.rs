@@ -35,6 +35,6 @@ mod error;
 pub mod http;
 mod server;
 
-pub use client::{RemoteRegistry, WireBackend, CHUNK_SIZE, MAX_RESUMES};
+pub use client::{RemoteRegistry, WireBackend, CHUNK_SIZE, MAX_RESUMES, WIRE_TIMEOUT};
 pub use error::{RegistryError, Result};
 pub use server::{serve, RegistryServer};

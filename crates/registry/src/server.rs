@@ -25,16 +25,25 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use zr_digest::{hex, Sha256};
 use zr_store::cas::valid_digest;
 use zr_store::Cas;
 
 use crate::error::{RegistryError, Result};
-use crate::http::{read_request, write_response, Request, Response, MAX_BODY};
+use crate::http::{
+    read_request, write_response, write_response_truncated, Request, Response, MAX_BODY,
+};
 
 pub(crate) const MEDIA_MANIFEST: &str = "application/vnd.oci.image.manifest.v1+json";
 const MEDIA_OCTETS: &str = "application/octet-stream";
+
+/// Per-connection socket deadline: a peer that stops making progress
+/// (a half-open connection, a stalled uploader) is dropped instead of
+/// pinning its handler thread forever. Generous — client deadlines are
+/// the tight ones.
+const SERVER_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// One in-flight (PATCH-session) upload.
 struct Upload {
@@ -129,6 +138,14 @@ impl std::fmt::Debug for RegistryServer {
 }
 
 fn handle_connection(state: &State, stream: TcpStream) {
+    // Fault plane: `wire.server.reset` drops the connection before a
+    // byte is read — the peer sees a reset/EOF where an answer should
+    // have been.
+    if zr_fault::fires(zr_fault::points::WIRE_SERVER_RESET) {
+        return;
+    }
+    let _ = stream.set_read_timeout(Some(SERVER_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SERVER_TIMEOUT));
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
@@ -147,9 +164,32 @@ fn handle_connection(state: &State, stream: TcpStream) {
                 return;
             }
         };
+        // `wire.server.stall`: sit on the answer (arg = milliseconds,
+        // default 100) — long enough to trip a client read deadline
+        // when the plan's arg exceeds it.
+        if let Some(ms) = zr_fault::hit(zr_fault::points::WIRE_SERVER_STALL) {
+            std::thread::sleep(Duration::from_millis(if ms == 0 { 100 } else { ms }));
+        }
         let head = request.method == "HEAD";
         let close = request.wants_close();
-        let response = dispatch(state, &request);
+        // `wire.server.http500`: answer 500 instead of dispatching.
+        let response = if zr_fault::fires(zr_fault::points::WIRE_SERVER_HTTP500) {
+            Response::error(500, "injected internal error")
+        } else {
+            dispatch(state, &request)
+        };
+        // `wire.server.truncate`: send the full headers but cut the
+        // body short (arg = bytes kept, default half) and drop the
+        // connection — a response dying mid-body.
+        if let Some(keep) = zr_fault::hit(zr_fault::points::WIRE_SERVER_TRUNCATE) {
+            let keep = if keep == 0 {
+                response.body.len() / 2
+            } else {
+                (keep as usize).min(response.body.len())
+            };
+            let _ = write_response_truncated(&mut writer, &response, keep);
+            return;
+        }
         if write_response(&mut writer, &response, !head).is_err() {
             return;
         }

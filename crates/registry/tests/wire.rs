@@ -1,15 +1,19 @@
 //! End-to-end wire tests: layouts and images pushed and pulled through
 //! a live loopback endpoint, alone and under concurrency — including
-//! uploads whose connection dies mid-chunk.
+//! uploads whose connection dies mid-chunk, responses cut or stalled
+//! mid-body, and bit flips the digest checks must catch (all via the
+//! shared [`zr_fault::chaos`] proxy).
 
 mod common;
 
 use std::io::{Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::sync::Arc;
+use std::time::Duration;
 
 use common::{exported_alpine, loopback, Scratch};
 use zr_digest::{hex, Sha256};
+use zr_fault::chaos::{chaos_proxy, ChaosMode};
 use zr_image::RegistryBackend;
 use zr_registry::{RemoteRegistry, WireBackend, CHUNK_SIZE};
 
@@ -201,42 +205,6 @@ fn a_killed_chunk_is_discarded_and_the_session_resumes() {
     assert_eq!(client.blob("demo", &digest).expect("fetch"), blob);
 }
 
-/// A single-shot chaos proxy: relays whole connections verbatim,
-/// except connection `kill_conn` (0-based), which is cut after
-/// `kill_after` request bytes with nothing relayed back — the wire
-/// picture of the network dying under an in-flight chunk.
-fn chaos_proxy(upstream: SocketAddr, kill_conn: usize, kill_after: u64) -> SocketAddr {
-    let listener = TcpListener::bind("127.0.0.1:0").expect("bind proxy");
-    let addr = listener.local_addr().expect("proxy addr");
-    std::thread::spawn(move || {
-        for (index, accepted) in listener.incoming().enumerate() {
-            let Ok(mut client) = accepted else { return };
-            let Ok(mut server) = TcpStream::connect(upstream) else {
-                return;
-            };
-            std::thread::spawn(move || {
-                if index == kill_conn {
-                    let _ =
-                        std::io::copy(&mut Read::by_ref(&mut client).take(kill_after), &mut server);
-                    let _ = server.shutdown(Shutdown::Both);
-                    let _ = client.shutdown(Shutdown::Both);
-                    return;
-                }
-                let mut client_read = client.try_clone().expect("clone client half");
-                let mut server_write = server.try_clone().expect("clone server half");
-                let up = std::thread::spawn(move || {
-                    let _ = std::io::copy(&mut client_read, &mut server_write);
-                    let _ = server_write.shutdown(Shutdown::Write);
-                });
-                let _ = std::io::copy(&mut server, &mut client);
-                let _ = client.shutdown(Shutdown::Write);
-                let _ = up.join();
-            });
-        }
-    });
-    addr
-}
-
 #[test]
 fn push_blob_survives_a_connection_killed_mid_chunk() {
     let scratch = Scratch::new("resume-push");
@@ -245,7 +213,13 @@ fn push_blob_survives_a_connection_killed_mid_chunk() {
     // POST open (1), PATCH chunk one (2), PATCH chunk two (3), PUT
     // finalize. Cut connection 3 five hundred bytes in — mid way
     // through the second chunk's request.
-    let proxy = chaos_proxy(server.addr(), 3, 500);
+    let proxy = chaos_proxy(
+        server.addr(),
+        ChaosMode::KillAfter {
+            conn: 3,
+            bytes: 500,
+        },
+    );
     let client = RemoteRegistry::new(proxy.to_string());
 
     let blob: Vec<u8> = (0..CHUNK_SIZE + 4321)
@@ -291,4 +265,78 @@ fn wire_backend_feeds_the_sharded_registry() {
     // same error shape the catalog gives.
     let missing = zr_image::ImageRef::parse("ghost:1.0").expect("reference");
     assert!(registry.pull(&missing).is_err());
+}
+
+#[test]
+fn blob_pull_retries_past_a_bit_flipped_response() {
+    let scratch = Scratch::new("bit-flip");
+    let server = loopback(&scratch);
+    let blob: Vec<u8> = (0..100_000).map(|i| (i * 7 % 253) as u8).collect();
+    let digest = RemoteRegistry::new(server.addr().to_string())
+        .push_blob("demo", &blob)
+        .expect("seed blob");
+
+    // The flip lands well inside the response body (headers are well
+    // under a kilobyte): the first GET comes back corrupted, fails
+    // digest verification, and the retry's clean connection succeeds.
+    let proxy = chaos_proxy(
+        server.addr(),
+        ChaosMode::BitFlip {
+            conn: 0,
+            offset: 50_000,
+        },
+    );
+    let client = RemoteRegistry::new(proxy.to_string());
+    assert_eq!(
+        client.blob("demo", &digest).expect("retried fetch"),
+        blob,
+        "the corrupted attempt must never be returned"
+    );
+
+    // Without retries, the same corruption is fatal — proving the
+    // first fetch really was flipped, not silently clean.
+    let proxy = chaos_proxy(
+        server.addr(),
+        ChaosMode::BitFlip {
+            conn: 0,
+            offset: 50_000,
+        },
+    );
+    let once = RemoteRegistry::new(proxy.to_string()).with_retry(zr_fault::RetryPolicy::none());
+    let err = once
+        .blob("demo", &digest)
+        .expect_err("must fail verification");
+    assert!(
+        err.to_string().contains("digest verification"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn manifest_fetch_retries_past_a_stalled_response() {
+    let scratch = Scratch::new("stall");
+    let server = loopback(&scratch);
+    let layout = exported_alpine(&scratch);
+    RemoteRegistry::new(server.addr().to_string())
+        .push_layout(&layout, "alpine", "3.19")
+        .expect("seed manifest");
+
+    // The proxy sits on connection 0's response for longer than the
+    // client's deadline: the first attempt times out (a transient
+    // error), the retry's clean connection answers immediately.
+    let proxy = chaos_proxy(
+        server.addr(),
+        ChaosMode::StallResponse {
+            conn: 0,
+            delay: Duration::from_millis(500),
+        },
+    );
+    let client =
+        RemoteRegistry::new(proxy.to_string()).with_timeout(Some(Duration::from_millis(100)));
+    let (manifest, digest) = client.manifest("alpine", "3.19").expect("retried fetch");
+    let (direct, want) = RemoteRegistry::new(server.addr().to_string())
+        .manifest("alpine", "3.19")
+        .expect("direct fetch");
+    assert_eq!(manifest, direct);
+    assert_eq!(digest, want);
 }

@@ -98,6 +98,11 @@ pub enum BuildStatus {
     Running,
     /// Finished successfully.
     Done,
+    /// Finished successfully, but only by degrading: a `FROM` pull
+    /// fell back to a locally cached base, or a stage succeeded on a
+    /// retry after a worker panic. The result's image is real; the
+    /// status flags that the batch was not fault-free.
+    Degraded,
     /// Finished with a failure (the report's result says why).
     Failed,
     /// Never ran to completion: the batch (or this build) was cancelled
@@ -106,11 +111,20 @@ pub enum BuildStatus {
 }
 
 impl BuildStatus {
-    fn terminal(self) -> bool {
+    /// Has this build reached a final state (no further transitions)?
+    pub fn terminal(self) -> bool {
         matches!(
             self,
-            BuildStatus::Done | BuildStatus::Failed | BuildStatus::Cancelled
+            BuildStatus::Done
+                | BuildStatus::Degraded
+                | BuildStatus::Failed
+                | BuildStatus::Cancelled
         )
+    }
+
+    /// Did the build produce its image (fault-free or degraded)?
+    pub fn succeeded(self) -> bool {
+        matches!(self, BuildStatus::Done | BuildStatus::Degraded)
     }
 }
 
@@ -120,6 +134,7 @@ impl std::fmt::Display for BuildStatus {
             BuildStatus::Queued => "queued",
             BuildStatus::Running => "running",
             BuildStatus::Done => "done",
+            BuildStatus::Degraded => "degraded",
             BuildStatus::Failed => "failed",
             BuildStatus::Cancelled => "cancelled",
         };
@@ -352,6 +367,9 @@ struct DagState {
     trace: zr_trace::Stats,
     /// Unreleased stages → number of incomplete dependencies.
     pending: HashMap<usize, usize>,
+    /// Stages whose worker panicked once and were requeued. A second
+    /// panic of the same stage fails the build like any stage error.
+    panicked: BTreeSet<usize>,
     /// Stage tasks currently executing on workers.
     inflight: usize,
     /// Retained stages not yet completed successfully.
@@ -418,6 +436,7 @@ fn synthesized_failure(tag: &str, error: BuildError) -> BuildResult {
         modified_run_instructions: 0,
         tag: tag.to_string(),
         cache: zr_build::CacheStats::default(),
+        degraded: false,
         error: Some(error),
     }
 }
@@ -641,10 +660,12 @@ fn assemble_dag_log(plan: &BuildPlan, logs: &HashMap<usize, Vec<String>>) -> Vec
 }
 
 /// Finalize a fully built DAG: tag the target stage's image and close
-/// the assembled log exactly like the serial builder.
+/// the assembled log exactly like the serial builder. The status is
+/// [`BuildStatus::Degraded`] when any stage used a base-image fallback
+/// or succeeded only on a post-panic retry.
 fn dag_success(shared: &BatchShared, build: usize, dag: &DagBuild) {
     let request = &shared.requests[build];
-    let (result, trace) = {
+    let (status, result, trace) = {
         let state = lock(&dag.state);
         let image = state
             .images
@@ -662,7 +683,13 @@ fn dag_success(shared: &BatchShared, build: usize, dag: &DagBuild) {
             .map(|&i| dag.plan.stage_instructions(i).len())
             .sum();
         finish_log(&mut log, &request.options, state.modified, walked);
+        let degraded = state.stats.base_fallbacks > 0 || !state.panicked.is_empty();
         (
+            if degraded {
+                BuildStatus::Degraded
+            } else {
+                BuildStatus::Done
+            },
             BuildResult {
                 success: true,
                 log,
@@ -670,12 +697,13 @@ fn dag_success(shared: &BatchShared, build: usize, dag: &DagBuild) {
                 modified_run_instructions: state.modified,
                 tag: request.options.tag.clone(),
                 cache: state.stats,
+                degraded,
                 error: None,
             },
             state.trace.clone(),
         )
     };
-    finalize(shared, build, BuildStatus::Done, result, trace);
+    finalize(shared, build, status, result, trace);
 }
 
 /// Finalize a halted DAG (`Failed` after a stage error, `Cancelled`
@@ -698,6 +726,7 @@ fn dag_halted(shared: &BatchShared, build: usize, dag: &DagBuild, status: BuildS
                 modified_run_instructions: state.modified,
                 tag: request.options.tag.clone(),
                 cache: state.stats,
+                degraded: false,
                 error: Some(error),
             },
             state.trace.clone(),
@@ -738,6 +767,7 @@ fn cancel_task(shared: &BatchShared, task: Task) {
 /// build id so interleaved trace output from concurrent builds stays
 /// attributable.
 fn run_one(shared: &BatchShared, idx: usize) -> (BuildResult, zr_trace::Stats) {
+    worker_fault_hooks();
     let request = &shared.requests[idx];
     let mut kernel = Kernel::default_kernel();
     kernel.trace.set_label(&request.id);
@@ -763,12 +793,27 @@ fn execute_opaque(shared: &BatchShared, build: usize) {
             zr_trace::Stats::default(),
         )
     });
-    let status = if result.success {
-        BuildStatus::Done
-    } else {
+    let status = if !result.success {
         BuildStatus::Failed
+    } else if result.degraded {
+        BuildStatus::Degraded
+    } else {
+        BuildStatus::Done
     };
     finalize(shared, build, status, result, trace);
+}
+
+/// The worker-side fault hooks, evaluated at the top of every task
+/// body (inside the panic guard): `sched.stage.stall` parks the worker
+/// for its argument in milliseconds, `sched.stage.panic` panics like a
+/// builder bug would.
+fn worker_fault_hooks() {
+    if let Some(ms) = zr_fault::hit(zr_fault::points::SCHED_STAGE_STALL) {
+        std::thread::sleep(Duration::from_millis(if ms == 0 { 50 } else { ms }));
+    }
+    if zr_fault::fires(zr_fault::points::SCHED_STAGE_PANIC) {
+        panic!("injected worker panic");
+    }
 }
 
 /// Execute one released stage on a private kernel, then advance the
@@ -807,6 +852,7 @@ fn execute_stage(shared: &BatchShared, build: usize, stage: usize) {
     }
     let request = &shared.requests[build];
     let outcome = catch_unwind(AssertUnwindSafe(|| {
+        worker_fault_hooks();
         let mut kernel = Kernel::default_kernel();
         kernel
             .trace
@@ -827,6 +873,7 @@ fn execute_stage(shared: &BatchShared, build: usize, stage: usize) {
         );
         (result, log, modified, stats, kernel.trace.stats())
     }));
+    let panicked = outcome.is_err();
     let (result, log, modified, stats, trace) = outcome.unwrap_or_else(|_| {
         (
             Err(BuildError::Instruction {
@@ -845,9 +892,31 @@ fn execute_stage(shared: &BatchShared, build: usize, stage: usize) {
     {
         let mut state = lock(&dag.state);
         state.inflight -= 1;
+        // A panicked stage gets exactly one retry: the worker survived
+        // (the panic was caught), the stage never recorded a result,
+        // and the build's other stages are untouched — so requeue it
+        // and let the batch proceed, marking the build degraded if it
+        // ultimately succeeds. A second panic of the same stage fails
+        // the build like any stage error.
+        let halted = shared.cancelled.load(Ordering::SeqCst)
+            || shared.build_cancelled[build].load(Ordering::SeqCst);
+        if panicked && !halted && state.error.is_none() && state.panicked.insert(stage) {
+            drop(state);
+            zr_fault::count_panic_retried();
+            lock(&shared.queue).push(
+                request.priority,
+                Task {
+                    build,
+                    stage: Some(stage),
+                },
+            );
+            shared.signal.notify();
+            return;
+        }
         state.logs.insert(stage, log);
         state.stats.hits += stats.hits;
         state.stats.misses += stats.misses;
+        state.stats.base_fallbacks += stats.base_fallbacks;
         state.modified += modified;
         merge_trace(&mut state.trace, &trace);
         match result {

@@ -259,18 +259,62 @@ fn sync_parent_dir(path: &Path) -> bool {
     }
 }
 
+/// The error shape an injected store fault surfaces as: an ordinary
+/// I/O error, so no caller can tell injected from real.
+fn injected(message: &str) -> StoreError {
+    StoreError::Io(std::io::Error::other(message.to_string()))
+}
+
+/// One crash checkpoint inside the batched commit: when the installed
+/// fault plan fires `store.commit.crash` here, the commit stops dead —
+/// no cleanup, no further renames — leaving the on-disk state exactly
+/// as a power cut at that instant would. The crash-point sweep in
+/// paper-report drives every checkpoint in turn and reopens the store
+/// after each.
+fn commit_crash_point() -> Result<()> {
+    if zr_fault::fires(zr_fault::points::STORE_COMMIT_CRASH) {
+        return Err(injected("injected crash inside batch commit"));
+    }
+    Ok(())
+}
+
 /// Write `data` to `path` atomically: staging file in `tmp`, fsync,
 /// rename. Shared by blobs, pins, layer records and the OCI exporter.
 /// Staging names are unique per process (pid) *and* per write (a
 /// process-global counter), so any number of handles and threads can
 /// stage into one directory without collisions. Returns whether the
 /// directory fsync that makes the *name* durable succeeded.
+///
+/// Fault plane: `store.write.err` fails before any byte lands;
+/// `store.write.torn` leaves a prefix in staging (arg = bytes kept,
+/// default half) and errors; `store.fsync.err` and `store.rename.err`
+/// fail those steps with the same on-disk residue the real failure
+/// would leave.
 pub(crate) fn atomic_write(tmp_dir: &Path, path: &Path, data: &[u8]) -> Result<bool> {
+    if zr_fault::fires(zr_fault::points::STORE_WRITE_ERR) {
+        return Err(injected("injected store write error"));
+    }
     let staging = staging_path(tmp_dir);
+    if let Some(keep) = zr_fault::hit(zr_fault::points::STORE_WRITE_TORN) {
+        let keep = if keep == 0 {
+            data.len() / 2
+        } else {
+            keep as usize
+        };
+        let _ = fs::write(&staging, &data[..keep.min(data.len())]);
+        return Err(injected("injected torn store write"));
+    }
     {
         let mut f = fs::File::create(&staging)?;
         f.write_all(data)?;
+        if zr_fault::fires(zr_fault::points::STORE_FSYNC_ERR) {
+            return Err(injected("injected store fsync error"));
+        }
         f.sync_all()?;
+    }
+    if zr_fault::fires(zr_fault::points::STORE_RENAME_ERR) {
+        let _ = fs::remove_file(&staging);
+        return Err(injected("injected store rename error"));
     }
     match fs::rename(&staging, path) {
         Ok(()) => {}
@@ -1110,6 +1154,8 @@ impl CasBatch {
         let files = std::mem::take(&mut self.staged);
         let pins = std::mem::take(&mut self.pins);
         let mut dir_failures = 0u64;
+        // Crash checkpoint 0: nothing staged, nothing durable.
+        commit_crash_point()?;
 
         // Write-ahead pack (skipped for 0–1 files, where a plain
         // synced write costs the same). The pack fsync — the one real
@@ -1159,6 +1205,8 @@ impl CasBatch {
                 }
                 return Err(e.into());
             }
+            // Crash checkpoint 1: the pack is durable, nothing renamed.
+            commit_crash_point()?;
             Some(path)
         } else {
             None
@@ -1186,7 +1234,14 @@ impl CasBatch {
                 // exactly that.
                 return Err(e.into());
             }
+            // Crash checkpoint 2: the first rename landed (unsynced),
+            // the rest are still staging files.
+            if i == 0 {
+                commit_crash_point()?;
+            }
         }
+        // Crash checkpoint 3: every rename landed, no name durable yet.
+        commit_crash_point()?;
 
         // One directory fsync per touched directory.
         let dirs: BTreeSet<&Path> = files.iter().filter_map(|f| f.dest.parent()).collect();
@@ -1196,6 +1251,8 @@ impl CasBatch {
                 dir_failures += 1;
             }
         }
+        // Crash checkpoint 4: names durable, the pack still present.
+        commit_crash_point()?;
 
         // Every object is durable and named; the write-ahead pack has
         // done its job. (A leftover pack is harmless — replay is
@@ -1203,6 +1260,9 @@ impl CasBatch {
         if let Some(pack) = pack {
             let _ = fs::remove_file(pack);
         }
+        // Crash checkpoint 5: fully committed on disk; only this
+        // handle's in-memory bookkeeping is lost.
+        commit_crash_point()?;
 
         let mut state = self.cas.lock();
         state.stats.dir_fsync_failures += dir_failures;

@@ -41,6 +41,7 @@ pub use zeroroot_core as core;
 pub use zr_bpf as bpf;
 pub use zr_build as build;
 pub use zr_dockerfile as dockerfile;
+pub use zr_fault as fault;
 pub use zr_image as image;
 pub use zr_kernel as kernel;
 pub use zr_pkg as pkg;
