@@ -1,0 +1,38 @@
+//! Scratch-directory plumbing for the audit integration tests (no
+//! tempfile crate offline: unique directories under the system temp
+//! dir, cleaned up by a drop guard).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A scratch directory removed on drop.
+pub struct Scratch {
+    path: PathBuf,
+}
+
+impl Scratch {
+    /// A fresh, empty scratch directory tagged `name`.
+    pub fn new(name: &str) -> Scratch {
+        let path = std::env::temp_dir().join(format!(
+            "zr-audit-test-{name}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create scratch dir");
+        Scratch { path }
+    }
+
+    /// The directory.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}

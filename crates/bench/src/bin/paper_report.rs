@@ -6,7 +6,7 @@
 //! ```
 //!
 //! With `--json`, the gate verdicts and the numeric bench metrics are
-//! additionally written to `BENCH_9.json` (or `PATH`) so CI can upload
+//! additionally written to `BENCH_10.json` (or `PATH`) so CI can upload
 //! them and the perf trajectory is tracked across PRs.
 
 use zeroroot_core::Mode;
@@ -94,7 +94,7 @@ fn best_of<T>(n: u32, mut f: impl FnMut() -> (std::time::Duration, T)) -> (std::
 fn main() {
     let json_path = std::env::args().skip(1).find_map(|a| {
         if a == "--json" {
-            Some("BENCH_9.json".to_string())
+            Some("BENCH_10.json".to_string())
         } else {
             a.strip_prefix("--json=").map(str::to_string)
         }
@@ -1091,6 +1091,165 @@ fn main() {
             && all_injected
             && store_absorbed,
     });
+
+    // ---- R-repro -----------------------------------------------------------------
+    // The reproducibility-audit gate, in two parts.
+    //
+    // (a) Bit-for-bit: two *independently constructed* builders (own
+    //     kernel, own layer cache, own registry — agreement must come
+    //     from determinism, not memoization) must export byte-identical
+    //     OCI layouts for the Figure 2 build, and the diamond
+    //     multi-stage build must agree serial-vs-8-workers.
+    //
+    // (b) Taxonomy: each injected nondeterminism source must be *named*
+    //     by the auditor with its divergence class — tar-mtime,
+    //     tar-ordering, owner-mode, payload-content (with the diverging
+    //     path), json-key-order — never reported only as an opaque
+    //     content difference.
+    {
+        use zr_audit::{audit_build, ArmSpec, DivergenceClass};
+        use zr_store::{ExportOpts, TarOpts};
+        use zr_vfs::Nondeterminism;
+        let scratch = std::env::temp_dir().join(format!("zr-paper-repro-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&scratch);
+        let serial = ArmSpec::default();
+
+        let (t_fig2, fig2) = timed(|| {
+            audit_build(FIG1B, &serial, &serial, &scratch.join("fig2")).expect("fig2 audit")
+        });
+        let eight = ArmSpec {
+            jobs: 8,
+            ..ArmSpec::default()
+        };
+        let (t_dag, dag) = timed(|| {
+            audit_build(DIAMOND, &serial, &eight, &scratch.join("dag")).expect("dag audit")
+        });
+        let clean = fig2.clean() && dag.clean();
+
+        // Forced divergences: a generated-file Dockerfile (uuidgen
+        // draws from the kernel's seeded entropy stream) plus the
+        // naive-packer switches that the canonical exporter normally
+        // suppresses.
+        let gen_df = "FROM alpine:3.19\nRUN echo hello > /greeting\nRUN uuidgen > /uuid\n";
+        let raw = ExportOpts {
+            tar: TarOpts {
+                preserve_mtimes: true,
+                readdir_order: true,
+            },
+            json_key_seed: None,
+        };
+        let named = |tag: &str, a: ArmSpec, b: ArmSpec, want: DivergenceClass| -> bool {
+            let outcome =
+                audit_build(gen_df, &a, &b, &scratch.join(tag)).expect("forced audit runs");
+            outcome.divergences.iter().any(|d| d.class == want)
+        };
+        let forced = [
+            named(
+                "mtime",
+                ArmSpec {
+                    export: raw,
+                    ..ArmSpec::default()
+                },
+                ArmSpec {
+                    nondet: Nondeterminism {
+                        clock_skew: 100_000,
+                        ..Nondeterminism::default()
+                    },
+                    export: raw,
+                    ..ArmSpec::default()
+                },
+                DivergenceClass::TarMtime,
+            ),
+            named(
+                "order",
+                ArmSpec {
+                    export: ExportOpts {
+                        tar: TarOpts {
+                            preserve_mtimes: false,
+                            readdir_order: true,
+                        },
+                        json_key_seed: None,
+                    },
+                    ..ArmSpec::default()
+                },
+                ArmSpec {
+                    nondet: Nondeterminism {
+                        shuffle_readdir: Some(7),
+                        ..Nondeterminism::default()
+                    },
+                    export: ExportOpts {
+                        tar: TarOpts {
+                            preserve_mtimes: false,
+                            readdir_order: true,
+                        },
+                        json_key_seed: None,
+                    },
+                    ..ArmSpec::default()
+                },
+                DivergenceClass::TarOrdering,
+            ),
+            named(
+                "ids",
+                ArmSpec::default(),
+                ArmSpec {
+                    nondet: Nondeterminism {
+                        default_ids: Some((4242, 4343)),
+                        ..Nondeterminism::default()
+                    },
+                    ..ArmSpec::default()
+                },
+                DivergenceClass::OwnerMode,
+            ),
+            named(
+                "entropy",
+                ArmSpec::default(),
+                ArmSpec {
+                    nondet: Nondeterminism {
+                        gen_seed: Some(5),
+                        ..Nondeterminism::default()
+                    },
+                    ..ArmSpec::default()
+                },
+                DivergenceClass::PayloadContent,
+            ),
+            named(
+                "json",
+                ArmSpec::default(),
+                ArmSpec {
+                    export: ExportOpts {
+                        tar: TarOpts::default(),
+                        json_key_seed: Some(3),
+                    },
+                    ..ArmSpec::default()
+                },
+                DivergenceClass::JsonKeyOrder,
+            ),
+        ];
+        let forced_named = forced.iter().filter(|ok| **ok).count();
+        let _ = std::fs::remove_dir_all(&scratch);
+        metrics.push(("r_repro.fig2_audit_ms".into(), t_fig2.as_secs_f64() * 1e3));
+        metrics.push(("r_repro.dag_audit_ms".into(), t_dag.as_secs_f64() * 1e3));
+        metrics.push(("r_repro.forced_classes_named".into(), forced_named as f64));
+        checks.push(Check {
+            id: "R-repro",
+            paper: "independent builders agree byte-for-byte (fig2, diamond serial-vs-8-workers); \
+                    every injected nondeterminism source is classified by name (tar-mtime, \
+                    tar-ordering, owner-mode, payload-content, json-key-order)",
+            measured: format!(
+                "fig2 clean={} ({t_fig2:.2?}), diamond serial-vs-8 clean={} ({t_dag:.2?}); \
+                 forced classes named {forced_named}/5 \
+                 [mtime={} order={} ids={} entropy={} json={}]",
+                fig2.clean(),
+                dag.clean(),
+                forced[0],
+                forced[1],
+                forced[2],
+                forced[3],
+                forced[4],
+            ),
+            pass: clean && forced_named == 5,
+        });
+    }
 
     // ---- report ------------------------------------------------------------------
     println!("zeroroot paper-vs-measured report");

@@ -13,7 +13,12 @@
 //!                [--fault-plan PLAN] DOCKERFILE…
 //! zr-image export --output DIR [build flags…]   # build, then OCI layout
 //! zr-image import DIR           # OCI layout -> image, prints the digest
-//! zr-image inspect DIR          # layout summary + image digest
+//! zr-image inspect [--json] DIR # layout summary + image digest
+//! zr-image audit [-f DOCKERFILE] [--jobs A,B] [--json] [--expect-clean]
+//!                [--output DIR] [--skew NS] [--shuffle-readdir SEED]
+//!                [--gen-seed SEED] [--ids UID:GID] [--raw-tar]
+//!                [--json-key-seed SEED]       # build twice, diff layouts
+//! zr-image audit --layouts DIR_A DIR_B [--json] [--expect-clean]
 //! zr-image serve --cache-dir DIR [--addr HOST:PORT]   # OCI endpoint
 //! zr-image push --registry ADDR DIR [NAME[:TAG]]      # layout -> wire
 //! zr-image pull --registry ADDR NAME[:TAG] DIR        # wire -> layout
@@ -25,6 +30,17 @@
 //!
 //! `build --registry ADDR` resolves `FROM` over the wire instead of
 //! the built-in catalog (the pull-through cache still applies).
+//!
+//! `audit` builds the same Dockerfile twice under independently
+//! constructed builders (optionally at different `--jobs` levels) and
+//! diffs the two OCI layouts blob-by-blob, classifying every divergence
+//! (tar-mtime, tar-ordering, owner-mode, json-key-order, layer-count,
+//! payload-content, entry-presence). The `--skew`/`--shuffle-readdir`/
+//! `--gen-seed`/`--ids` flags inject nondeterminism into arm B's kernel
+//! and `--raw-tar`/`--json-key-seed` disable pieces of the canonical
+//! exporter, so each class can be forced on demand. With
+//! `--expect-clean` a divergent audit exits 2 (clean exits 0, errors
+//! exit 1) — the reproducibility gate for CI.
 //!
 //! Fault injection: `--fault-plan PLAN` (or the `ZR_FAULT` environment
 //! variable) installs a deterministic [`zr_fault::FaultPlan`] for the
@@ -62,7 +78,13 @@ fn usage() -> ExitCode {
     );
     eprintln!("       zr-image export --output DIR [build flags…]");
     eprintln!("       zr-image import DIR");
-    eprintln!("       zr-image inspect DIR");
+    eprintln!("       zr-image inspect [--json] DIR");
+    eprintln!(
+        "       zr-image audit [-f DOCKERFILE] [--jobs A,B] [--json] [--expect-clean] \
+         [--output DIR] [--skew NS] [--shuffle-readdir SEED] [--gen-seed SEED] \
+         [--ids UID:GID] [--raw-tar] [--json-key-seed SEED]"
+    );
+    eprintln!("       zr-image audit --layouts DIR_A DIR_B [--json] [--expect-clean]");
     eprintln!("       zr-image serve --cache-dir DIR [--addr HOST:PORT]");
     eprintln!("       zr-image push --registry ADDR [--retry N] [--timeout SECS] DIR [NAME[:TAG]]");
     eprintln!("       zr-image pull --registry ADDR [--retry N] [--timeout SECS] NAME[:TAG] DIR");
@@ -91,6 +113,7 @@ fn main() -> ExitCode {
         Some("export") => cmd_export(&args[1..]),
         Some("import") => cmd_import(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
+        Some("audit") => cmd_audit(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("push") => cmd_push(&args[1..]),
         Some("pull") => cmd_pull(&args[1..]),
@@ -211,36 +234,9 @@ fn cmd_build(args: &[String], export_to: Option<&str>) -> ExitCode {
         }
     }
 
-    let dockerfile = match file.as_deref() {
-        Some("-") => {
-            let mut buf = String::new();
-            if std::io::stdin().read_to_string(&mut buf).is_err() || buf.is_empty() {
-                eprintln!("error: no Dockerfile on stdin");
-                return ExitCode::FAILURE;
-            }
-            buf
-        }
-        Some(path) => match std::fs::read_to_string(path) {
-            Ok(text) => text,
-            Err(e) => {
-                eprintln!("error: {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
-        None => {
-            // Like ch-image: default ./Dockerfile, else read stdin.
-            match std::fs::read_to_string("Dockerfile") {
-                Ok(text) => text,
-                Err(_) => {
-                    let mut buf = String::new();
-                    if std::io::stdin().read_to_string(&mut buf).is_err() || buf.is_empty() {
-                        eprintln!("error: no Dockerfile (use -f PATH or pipe one in)");
-                        return ExitCode::FAILURE;
-                    }
-                    buf
-                }
-            }
-        }
+    let dockerfile = match read_dockerfile(file.as_deref()) {
+        Ok(text) => text,
+        Err(code) => return code,
     };
 
     let context = context_dir.as_deref().map(load_context).unwrap_or_default();
@@ -393,9 +389,19 @@ fn cmd_import(args: &[String]) -> ExitCode {
     }
 }
 
-/// `inspect DIR`: layout summary plus the materialized image digest.
+/// `inspect [--json] DIR`: layout summary plus the materialized image
+/// digest — human-readable by default, one JSON document with `--json`.
 fn cmd_inspect(args: &[String]) -> ExitCode {
-    let [dir] = args else { return usage() };
+    let mut json = false;
+    let mut dir: Option<&String> = None;
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            _ if !a.starts_with('-') && dir.is_none() => dir = Some(a),
+            _ => return usage(),
+        }
+    }
+    let Some(dir) = dir else { return usage() };
     let summary = match zr_store::inspect(dir) {
         Ok(summary) => summary,
         Err(e) => {
@@ -403,16 +409,257 @@ fn cmd_inspect(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    print!("{summary}");
+    if !json {
+        print!("{summary}");
+    }
     match zr_store::import(dir) {
         Ok(image) => {
-            println!("image digest: {}", image.digest());
+            if json {
+                println!("{}", summary_json(&summary, &image.digest()));
+            } else {
+                println!("image digest: {}", image.digest());
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("error: inspect {dir}: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// An [`zr_store::OciSummary`] (plus the materialized image digest) as
+/// a JSON document with fixed member order, for `inspect --json`.
+fn summary_json(summary: &zr_store::OciSummary, image_digest: &str) -> String {
+    use zr_store::json::escape;
+    let layers: Vec<String> = summary
+        .layer_digests
+        .iter()
+        .zip(&summary.layer_sizes)
+        .map(|(digest, size)| {
+            format!(
+                "{{\"digest\":\"sha256:{}\",\"size\":{size}}}",
+                escape(digest)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"config\":\"sha256:{}\",\"image\":\"{}\",\"layers\":[{}],\
+         \"manifest\":\"sha256:{}\",\"ref\":\"{}\"}}",
+        escape(&summary.config_digest),
+        escape(image_digest),
+        layers.join(","),
+        escape(&summary.manifest_digest),
+        escape(&summary.ref_name),
+    )
+}
+
+/// Resolve the Dockerfile text the way `build` does: `-f PATH`, `-f -`
+/// (stdin), or the ch-image default (`./Dockerfile`, else stdin).
+fn read_dockerfile(file: Option<&str>) -> Result<String, ExitCode> {
+    match file {
+        Some("-") => {
+            let mut buf = String::new();
+            if std::io::stdin().read_to_string(&mut buf).is_err() || buf.is_empty() {
+                eprintln!("error: no Dockerfile on stdin");
+                return Err(ExitCode::FAILURE);
+            }
+            Ok(buf)
+        }
+        Some(path) => std::fs::read_to_string(path).map_err(|e| {
+            eprintln!("error: {path}: {e}");
+            ExitCode::FAILURE
+        }),
+        None => match std::fs::read_to_string("Dockerfile") {
+            Ok(text) => Ok(text),
+            Err(_) => {
+                let mut buf = String::new();
+                if std::io::stdin().read_to_string(&mut buf).is_err() || buf.is_empty() {
+                    eprintln!("error: no Dockerfile (use -f PATH or pipe one in)");
+                    return Err(ExitCode::FAILURE);
+                }
+                Ok(buf)
+            }
+        },
+    }
+}
+
+/// `audit`: build the Dockerfile twice under independently constructed
+/// builders (arm A and arm B) and diff the two OCI layouts blob-by-blob,
+/// or — with `--layouts DIR_A DIR_B` — diff two existing layouts.
+///
+/// The injection flags (`--skew`, `--shuffle-readdir`, `--gen-seed`,
+/// `--ids`) apply to arm B's kernel; `--raw-tar` switches *both* arms
+/// to the naive packer (preserved mtimes, readdir order) and
+/// `--json-key-seed` shuffles arm B's config key order, so every
+/// divergence class in the taxonomy can be forced — or shown suppressed
+/// — from the command line.
+///
+/// Exit codes: 0 for a clean audit (and for a divergent one without
+/// `--expect-clean`: the audit itself succeeded and the report is the
+/// product), 2 for a divergent audit under `--expect-clean`, 1 on error.
+fn cmd_audit(args: &[String]) -> ExitCode {
+    use zr_audit::{audit_build, diff_layouts, ArmSpec, AuditOutcome};
+    use zr_store::{ExportOpts, TarOpts};
+    use zr_vfs::Nondeterminism;
+
+    let mut file: Option<String> = None;
+    let mut jobs = (1usize, 1usize);
+    let mut json = false;
+    let mut expect_clean = false;
+    let mut output: Option<String> = None;
+    let mut layouts: Option<(String, String)> = None;
+    let mut nondet = Nondeterminism::default();
+    let mut raw_tar = false;
+    let mut json_key_seed: Option<u64> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-f" => match it.next() {
+                Some(f) => file = Some(f.clone()),
+                None => return usage(),
+            },
+            "--jobs" => match it.next() {
+                Some(spec) => {
+                    let parsed: Option<Vec<usize>> =
+                        spec.split(',').map(|v| v.parse().ok()).collect();
+                    match parsed.as_deref() {
+                        Some([both]) => jobs = (*both, *both),
+                        Some([a, b]) => jobs = (*a, *b),
+                        _ => {
+                            eprintln!("error: --jobs wants A,B (or one count for both arms)");
+                            return ExitCode::from(2);
+                        }
+                    }
+                }
+                None => return usage(),
+            },
+            "--json" => json = true,
+            "--expect-clean" => expect_clean = true,
+            "--output" => match it.next() {
+                Some(dir) => output = Some(dir.clone()),
+                None => return usage(),
+            },
+            "--layouts" => match (it.next(), it.next()) {
+                (Some(a), Some(b)) => layouts = Some((a.clone(), b.clone())),
+                _ => return usage(),
+            },
+            "--skew" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(ns) => nondet.clock_skew = ns,
+                None => return usage(),
+            },
+            "--shuffle-readdir" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(seed) => nondet.shuffle_readdir = Some(seed),
+                None => return usage(),
+            },
+            "--gen-seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(seed) => nondet.gen_seed = Some(seed),
+                None => return usage(),
+            },
+            "--ids" => match it.next().and_then(|v| {
+                let (uid, gid) = v.split_once(':')?;
+                Some((uid.parse().ok()?, gid.parse().ok()?))
+            }) {
+                Some(ids) => nondet.default_ids = Some(ids),
+                None => {
+                    eprintln!("error: --ids wants UID:GID");
+                    return ExitCode::from(2);
+                }
+            },
+            "--raw-tar" => raw_tar = true,
+            "--json-key-seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(seed) => json_key_seed = Some(seed),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    // Diff-only mode: two layouts already on disk, no builds.
+    let outcome = if let Some((dir_a, dir_b)) = layouts {
+        let summarize = |dir: &str| {
+            zr_store::inspect(dir).map_err(|e| {
+                eprintln!("error: audit {dir}: {e}");
+                ExitCode::FAILURE
+            })
+        };
+        let summary_a = match summarize(&dir_a) {
+            Ok(s) => s,
+            Err(code) => return code,
+        };
+        let summary_b = match summarize(&dir_b) {
+            Ok(s) => s,
+            Err(code) => return code,
+        };
+        let dir_a = std::path::PathBuf::from(dir_a);
+        let dir_b = std::path::PathBuf::from(dir_b);
+        match diff_layouts(&dir_a, &dir_b) {
+            Ok(divergences) => AuditOutcome {
+                summary_a,
+                summary_b,
+                dir_a,
+                dir_b,
+                divergences,
+            },
+            Err(e) => {
+                eprintln!("error: audit: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let dockerfile = match read_dockerfile(file.as_deref()) {
+            Ok(text) => text,
+            Err(code) => return code,
+        };
+        let tar = TarOpts {
+            preserve_mtimes: raw_tar,
+            readdir_order: raw_tar,
+        };
+        let arm_a = ArmSpec {
+            jobs: jobs.0,
+            nondet: Nondeterminism::default(),
+            export: ExportOpts {
+                tar,
+                json_key_seed: None,
+            },
+        };
+        let arm_b = ArmSpec {
+            jobs: jobs.1,
+            nondet,
+            export: ExportOpts { tar, json_key_seed },
+        };
+        // Layouts land under --output (kept), or a scratch directory
+        // removed once the verdict is in.
+        let (out_dir, scratch) = match &output {
+            Some(dir) => (std::path::PathBuf::from(dir), false),
+            None => (
+                std::env::temp_dir().join(format!("zr-audit-{}", std::process::id())),
+                true,
+            ),
+        };
+        let result = audit_build(&dockerfile, &arm_a, &arm_b, &out_dir);
+        if scratch {
+            let _ = std::fs::remove_dir_all(&out_dir);
+        }
+        match result {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                eprintln!("error: audit: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    if json {
+        println!("{}", zr_audit::render_json(&outcome));
+    } else {
+        print!("{}", zr_audit::render_human(&outcome));
+    }
+    if outcome.clean() || !expect_clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
     }
 }
 

@@ -1,0 +1,178 @@
+//! The reproducibility audit through the real `zr-image` binary — the
+//! cross-*process* leg of the bit-for-bit claim. Two separate OS
+//! processes (fresh address spaces, fresh builders, nothing shared but
+//! the Dockerfile text) must produce byte-identical OCI layouts; a
+//! forced nondeterminism source must be flagged with its taxonomy
+//! class, not a generic "content differs".
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const BIN: &str = env!("CARGO_BIN_EXE_zr-image");
+
+/// Echo-only diamond build: multi-stage (so the parallel arm really
+/// schedules), no entropy consumers (so per-stage kernels agree with a
+/// single serial kernel).
+const DIAMOND: &str = "FROM alpine:3.19 AS base\nRUN echo shared > /shared\n\
+                       FROM base AS left\nRUN echo l > /left\n\
+                       FROM base AS right\nRUN echo r > /right\n\
+                       FROM base AS final\n\
+                       COPY --from=left /left /left\n\
+                       COPY --from=right /right /right\n";
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Scratch {
+        let path = std::env::temp_dir().join(format!("zr-audit-cli-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("scratch dir");
+        Scratch(path)
+    }
+
+    fn join(&self, rel: &str) -> String {
+        self.0.join(rel).display().to_string()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(BIN)
+        .args(args)
+        .output()
+        .expect("spawn zr-image")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn write_dockerfile(scratch: &Scratch, text: &str) -> String {
+    let path = scratch.join("Dockerfile");
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+#[test]
+fn two_processes_export_identical_layouts() {
+    let scratch = Scratch::new("two-proc");
+    let df = write_dockerfile(&scratch, DIAMOND);
+    let (dir_a, dir_b) = (scratch.join("arm-a"), scratch.join("arm-b"));
+    // Two independent OS processes, each building and exporting.
+    for dir in [&dir_a, &dir_b] {
+        let out = run(&["export", "--output", dir, "-t", "repro", "-f", &df]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    // A third process renders the verdict.
+    let out = run(&[
+        "audit",
+        "--layouts",
+        &dir_a,
+        &dir_b,
+        "--expect-clean",
+        "--json",
+    ]);
+    let text = stdout(&out);
+    assert!(out.status.success(), "{text}");
+    let parsed = zr_store::json::Json::parse(text.trim()).expect("valid JSON report");
+    assert_eq!(
+        parsed.get("clean"),
+        Some(&zr_store::json::Json::Bool(true)),
+        "{text}"
+    );
+    assert_eq!(parsed.get("manifest_a"), parsed.get("manifest_b"), "{text}");
+}
+
+#[test]
+fn serial_and_eight_worker_arms_diff_clean() {
+    let scratch = Scratch::new("jobs");
+    let df = write_dockerfile(&scratch, DIAMOND);
+    let out = run(&["audit", "-f", &df, "--jobs", "1,8", "--expect-clean"]);
+    let text = stdout(&out);
+    assert!(
+        out.status.success(),
+        "worker count leaked into the layout:\n{text}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(text.contains("CLEAN"), "{text}");
+}
+
+#[test]
+fn forced_clock_skew_is_flagged_as_tar_mtime() {
+    let scratch = Scratch::new("skew");
+    let df = write_dockerfile(&scratch, "FROM alpine:3.19\nRUN echo hello > /greeting\n");
+    let out = run(&[
+        "audit",
+        "-f",
+        &df,
+        "--skew",
+        "100000",
+        "--raw-tar",
+        "--expect-clean",
+        "--json",
+    ]);
+    let text = stdout(&out);
+    // --expect-clean on a divergent audit: exit code 2, not success.
+    assert_eq!(out.status.code(), Some(2), "{text}");
+    let parsed = zr_store::json::Json::parse(text.trim()).expect("valid JSON report");
+    assert_eq!(
+        parsed.get("clean"),
+        Some(&zr_store::json::Json::Bool(false)),
+        "{text}"
+    );
+    assert!(
+        text.contains("\"class\":\"tar-mtime\""),
+        "the skew must be classified, not reported as generic content: {text}"
+    );
+    // Without --expect-clean the report is the product: exit 0.
+    let report_only = run(&["audit", "-f", &df, "--skew", "100000", "--raw-tar"]);
+    assert!(report_only.status.success(), "{}", stdout(&report_only));
+    assert!(stdout(&report_only).contains("DIVERGENT"));
+}
+
+#[test]
+fn inspect_json_is_machine_readable() {
+    let scratch = Scratch::new("inspect");
+    let df = write_dockerfile(&scratch, "FROM alpine:3.19\nRUN echo hello > /greeting\n");
+    let dir = scratch.join("layout");
+    let out = run(&["export", "--output", &dir, "-t", "inspectme", "-f", &df]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = run(&["inspect", "--json", &dir]);
+    let text = stdout(&out);
+    assert!(out.status.success(), "{text}");
+    let parsed = zr_store::json::Json::parse(text.trim()).expect("valid JSON");
+    // The layout ref is "{base}:{tag}" (here alpine:inspectme).
+    let ref_name = parsed.get("ref").and_then(|j| j.as_str()).unwrap();
+    assert!(ref_name.ends_with(":inspectme"), "{text}");
+    let layers = parsed.get("layers").and_then(|j| j.as_arr()).unwrap();
+    assert!(!layers.is_empty(), "{text}");
+    for layer in layers {
+        let digest = layer.get("digest").and_then(|j| j.as_str()).unwrap();
+        assert!(digest.starts_with("sha256:"), "{text}");
+        assert!(
+            layer.get("size").and_then(|j| j.as_u64()).unwrap() > 0,
+            "{text}"
+        );
+    }
+    assert!(
+        parsed
+            .get("manifest")
+            .and_then(|j| j.as_str())
+            .unwrap()
+            .starts_with("sha256:"),
+        "{text}"
+    );
+}

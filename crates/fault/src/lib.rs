@@ -78,6 +78,14 @@ pub mod points {
     /// A scheduler worker stalls (arg = milliseconds) before a stage —
     /// for cancellation-race and deadline tests.
     pub const SCHED_STAGE_STALL: &str = "sched.stage.stall";
+    /// The daemon's submit path stalls (arg = milliseconds) before
+    /// enqueuing the batch — widens the admission/shutdown race window.
+    pub const SCHED_DAEMON_SUBMIT_STALL: &str = "sched.daemon.submit.stall";
+    /// The daemon's submit path panics *inside* the batch-queue
+    /// critical section, poisoning the queue mutex. The daemon absorbs
+    /// the poison and retries the enqueue; resident workers (which
+    /// recover poisoned guards) must survive.
+    pub const SCHED_DAEMON_SUBMIT_POISON: &str = "sched.daemon.submit.poison";
 }
 
 // ---------------------------------------------------------------------

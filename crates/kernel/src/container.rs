@@ -74,8 +74,14 @@ impl Kernel {
     pub fn container_create(
         &mut self,
         builder: Pid,
-        cfg: ContainerConfig,
+        mut cfg: ContainerConfig,
     ) -> Result<Container, Errno> {
+        // Audit mode: every container filesystem this kernel creates
+        // inherits the injected nondeterminism sources, so a skewed
+        // clock or shuffled readdir reaches the build's file operations.
+        if !self.config.nondet.is_clean() {
+            cfg.image.set_nondeterminism(self.config.nondet.clone());
+        }
         let bcred = self.process(builder).cred.clone();
         match cfg.ctype {
             ContainerType::TypeI => {
@@ -211,6 +217,7 @@ impl Kernel {
 mod tests {
     use super::*;
     use crate::sys::{SysError, SysExt};
+    use crate::KernelConfig;
 
     fn image() -> Fs {
         let mut fs = Fs::new();
@@ -249,6 +256,30 @@ mod tests {
         // ... and image files as root-owned (kuid 1000 maps to 0).
         let st = ctx.stat("/etc/os-release").unwrap();
         assert_eq!((st.uid, st.gid), (0, 0));
+    }
+
+    #[test]
+    fn container_inherits_kernel_nondeterminism() {
+        let mut cfg = KernelConfig::default();
+        cfg.nondet.clock_skew = 500;
+        let mut k = Kernel::new(cfg);
+        let c = k
+            .container_create(
+                Kernel::HOST_USER_PID,
+                ContainerConfig {
+                    ctype: ContainerType::TypeIII,
+                    image: image(),
+                },
+            )
+            .unwrap();
+        assert_eq!(k.fs(c.fs).nondeterminism().clock_skew, 500);
+        // A file created inside the container observes the skewed clock.
+        let before = k.ctx(c.init_pid).stat("/etc/os-release").unwrap().mtime;
+        k.ctx(c.init_pid)
+            .write_file("/etc/fresh", 0o644, b"x".to_vec())
+            .unwrap();
+        let st = k.ctx(c.init_pid).stat("/etc/fresh").unwrap();
+        assert!(st.mtime > before + 500, "skew shifts fresh mtimes");
     }
 
     #[test]

@@ -76,6 +76,10 @@ pub struct KernelConfig {
     pub setuid_helpers: bool,
     /// Default architecture for new processes.
     pub arch: Arch,
+    /// Injected nondeterminism sources (audit mode): applied to every
+    /// container filesystem this kernel creates, and to the kernel's
+    /// own `getrandom` stream. Default = fully deterministic.
+    pub nondet: zr_vfs::fs::Nondeterminism,
 }
 
 impl Default for KernelConfig {
@@ -85,6 +89,7 @@ impl Default for KernelConfig {
             host_gid: 1000,
             setuid_helpers: false,
             arch: Arch::X8664,
+            nondet: zr_vfs::fs::Nondeterminism::default(),
         }
     }
 }
@@ -112,6 +117,8 @@ pub struct Kernel {
     tracer_hook: Option<Box<dyn SyscallHook>>,
     shadow: HashMap<Pid, ShadowIds>,
     id_consistency: HashMap<Pid, bool>,
+    /// `getrandom` stream position (blocks already handed out).
+    rng_counter: u64,
 }
 
 impl Kernel {
@@ -140,6 +147,7 @@ impl Kernel {
             tracer_hook: None,
             shadow: HashMap::new(),
             id_consistency: HashMap::new(),
+            rng_counter: 0,
         };
 
         let init = Process {
@@ -865,6 +873,29 @@ impl Kernel {
                 self.console.push(line);
                 Ok(SysRet::Unit)
             }
+            SysCall::GetRandom { len } => {
+                // Deterministic entropy: a splitmix64 stream keyed on the
+                // injected seed (audit mode) or 0 (default). Two kernels
+                // with equal configs replay identical bytes; differing
+                // `gen_seed`s force "generated file" payload divergence.
+                let seed = self.config.nondet.gen_seed.unwrap_or(0);
+                let mut out = Vec::with_capacity(len as usize);
+                while (out.len() as u64) < len {
+                    let mut z = seed
+                        .wrapping_add(self.rng_counter.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+                    self.rng_counter += 1;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                    z ^= z >> 31;
+                    for b in z.to_le_bytes() {
+                        if (out.len() as u64) < len {
+                            out.push(b);
+                        }
+                    }
+                }
+                Ok(SysRet::Bytes(out))
+            }
         }
     }
 
@@ -1408,6 +1439,7 @@ fn encode(arch: Arch, call: &SysCall) -> (Sysno, [u64; 6]) {
         SysCall::SeccompInstall { .. } => (Sysno::Seccomp, [1, 0, FAKE_PTR, 0, 0, 0]),
         SysCall::KexecLoad => (Sysno::KexecLoad, [0; 6]),
         SysCall::Spawn { .. } => (Sysno::Execve, [FAKE_PTR, FAKE_PTR, FAKE_PTR, 0, 0, 0]),
+        SysCall::GetRandom { len } => (Sysno::Getrandom, [FAKE_PTR, *len, 0, 0, 0, 0]),
     }
 }
 
@@ -1443,6 +1475,7 @@ fn fake_success_ret(call: &SysCall) -> SysRet {
             mtime: 0,
         }),
         SysCall::Spawn { .. } => SysRet::Exit(0),
+        SysCall::GetRandom { .. } => SysRet::Bytes(Vec::new()),
         _ => SysRet::Unit,
     }
 }
@@ -1499,6 +1532,30 @@ mod tests {
         assert!(k.has_process(Kernel::INIT_PID));
         assert!(k.has_process(Kernel::HOST_USER_PID));
         assert_eq!(k.process(Kernel::HOST_USER_PID).cred.euid, 1000);
+    }
+
+    #[test]
+    fn getrandom_is_deterministic_per_config() {
+        let mut a = kernel();
+        let mut b = kernel();
+        let bytes_a = a.ctx(Kernel::HOST_USER_PID).getrandom(20).unwrap();
+        let bytes_b = b.ctx(Kernel::HOST_USER_PID).getrandom(20).unwrap();
+        assert_eq!(bytes_a.len(), 20);
+        assert_eq!(bytes_a, bytes_b, "equal configs replay the same stream");
+        // The stream advances: a second draw differs from the first.
+        let again = a.ctx(Kernel::HOST_USER_PID).getrandom(20).unwrap();
+        assert_ne!(bytes_a, again);
+    }
+
+    #[test]
+    fn getrandom_diverges_under_injected_seed() {
+        let mut cfg = KernelConfig::default();
+        cfg.nondet.gen_seed = Some(7);
+        let mut skewed = Kernel::new(cfg);
+        let mut clean = kernel();
+        let sk = skewed.ctx(Kernel::HOST_USER_PID).getrandom(16).unwrap();
+        let cl = clean.ctx(Kernel::HOST_USER_PID).getrandom(16).unwrap();
+        assert_ne!(sk, cl, "an injected gen_seed forces payload divergence");
     }
 
     #[test]

@@ -200,6 +200,13 @@ pub enum SysCall {
     ConsoleWrite {
         line: String,
     },
+    /// `getrandom(2)`: `len` bytes of kernel entropy. The simulated
+    /// stream is deterministic (seeded per kernel) so independent
+    /// builds agree byte-for-byte — unless an audit-mode nondeterminism
+    /// seed is injected to model a machine-local RNG.
+    GetRandom {
+        len: u64,
+    },
 }
 
 impl SysCall {
@@ -259,6 +266,7 @@ impl SysCall {
             SysCall::KexecLoad => "kexec_load",
             SysCall::Spawn { .. } => "execve",
             SysCall::ConsoleWrite { .. } => "write",
+            SysCall::GetRandom { .. } => "getrandom",
         }
     }
 }
@@ -560,6 +568,9 @@ pub trait SysExt: Sys {
     fn println(&mut self, line: impl Into<String>) {
         // Best effort, like ignoring a write error on stdout.
         let _ = self.call(SysCall::ConsoleWrite { line: line.into() });
+    }
+    fn getrandom(&mut self, len: u64) -> SysResult<Vec<u8>> {
+        expect_ret!(self.call(SysCall::GetRandom { len })?, SysRet::Bytes(b) => b, "getrandom")
     }
 }
 

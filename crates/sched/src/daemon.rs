@@ -117,6 +117,16 @@ impl Daemon {
     /// statuses, cancellation, log subscription, `wait` — but the
     /// workers are the daemon's and survive the batch.
     pub fn submit(&self, requests: Vec<BuildRequest>) -> BatchHandle {
+        // Admission-path fault hooks (`sched.daemon.submit.*`): a
+        // stall delays the enqueue (arg = milliseconds), widening the
+        // submit/shutdown race window for soak runs.
+        if let Some(ms) = zr_fault::hit(zr_fault::points::SCHED_DAEMON_SUBMIT_STALL) {
+            std::thread::sleep(std::time::Duration::from_millis(if ms == 0 {
+                50
+            } else {
+                ms
+            }));
+        }
         let shared = make_batch(
             requests,
             self.fail_fast,
@@ -124,7 +134,20 @@ impl Daemon {
             self.layers.clone(),
             self.core.signal.clone(),
         );
-        {
+        // A poisoned submit panics inside the queue's critical section
+        // (poisoning the mutex exactly as a crashed submitter would).
+        // The panic is absorbed here and the enqueue retried: resident
+        // workers recover poisoned guards, so the pool must ride it out.
+        let enqueue = || {
+            let mut batches = lock_or_poisoned(&self.core.batches);
+            if zr_fault::fires(zr_fault::points::SCHED_DAEMON_SUBMIT_POISON) {
+                panic!("injected daemon submit poison");
+            }
+            batches.retain(|b| !b.is_complete());
+            batches.push(shared.clone());
+        };
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(enqueue)).is_err() {
+            zr_fault::count_retry();
             let mut batches = lock_or_poisoned(&self.core.batches);
             batches.retain(|b| !b.is_complete());
             batches.push(shared.clone());

@@ -158,3 +158,56 @@ fn cancellation_during_a_panic_retry_is_deterministic() {
         reports[0].status
     );
 }
+
+#[test]
+fn a_poisoned_submit_is_absorbed_without_killing_resident_workers() {
+    let want = clean_digest("after-poison");
+    let _guard =
+        zr_fault::install(&FaultPlan::new().counted(points::SCHED_DAEMON_SUBMIT_POISON, 1, 0, 0));
+    let daemon = Daemon::new(SchedulerConfig {
+        jobs: 2,
+        ..SchedulerConfig::default()
+    });
+    // The first submit panics inside the batch-queue critical section,
+    // poisoning the queue mutex. The daemon absorbs the panic, retries
+    // the enqueue, and the batch still runs to completion.
+    let first = daemon.build_many(vec![diamond_request("poisoned-submit")]);
+    assert_eq!(
+        first[0].status,
+        BuildStatus::Done,
+        "{}",
+        first[0].result.log_text()
+    );
+    // The resident pool outlives the poisoned mutex: a second batch on
+    // the same workers builds clean and digests like a fault-free run.
+    let second = daemon.build_many(vec![diamond_request("after-poison")]);
+    assert_eq!(second[0].status, BuildStatus::Done);
+    assert_eq!(second[0].result.image.as_ref().unwrap().digest(), want);
+    let c = zr_fault::counters();
+    assert_eq!(c.injected, 1);
+    assert!(c.retries >= 1, "the absorbed submit counts as a retry: {c}");
+    daemon.shutdown();
+}
+
+#[test]
+fn a_stalled_submit_delays_admission_but_loses_nothing() {
+    let _guard =
+        zr_fault::install(&FaultPlan::new().counted(points::SCHED_DAEMON_SUBMIT_STALL, 1, 0, 30));
+    let daemon = Daemon::new(SchedulerConfig {
+        jobs: 2,
+        ..SchedulerConfig::default()
+    });
+    let start = std::time::Instant::now();
+    let reports = daemon.build_many(vec![diamond_request("slow-submit")]);
+    assert_eq!(
+        reports[0].status,
+        BuildStatus::Done,
+        "{}",
+        reports[0].result.log_text()
+    );
+    assert!(
+        start.elapsed() >= std::time::Duration::from_millis(30),
+        "the injected stall must actually delay admission"
+    );
+    daemon.shutdown();
+}

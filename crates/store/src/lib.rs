@@ -42,5 +42,7 @@ pub use chunk::{chunk_spans, CHUNK_THRESHOLD, MAX_CHUNK, MIN_CHUNK};
 pub use error::{Result, StoreError};
 pub use layers::{open_layer_store, DiskLayerStats, DiskLayers, MAX_DELTA_DEPTH};
 pub use oci::{
-    assemble, export, export_diff, import, inspect, parse_manifest, write_layout, OciSummary,
+    assemble, export, export_diff, export_with, import, inspect, parse_manifest, write_layout,
+    ExportOpts, OciSummary,
 };
+pub use tar::{list_entries, TarEntryView, TarOpts};

@@ -33,12 +33,26 @@ use crate::json::{escape, Json};
 use crate::meta::{
     binkind_tag, distro_tag, linkage_tag, parse_binkind, parse_distro, parse_linkage,
 };
-use crate::tar::{apply_tar, diff_to_tar, tree_to_tar};
+use crate::tar::{apply_tar, diff_to_tar, tree_to_tar, tree_to_tar_with, TarOpts};
 
 const MEDIA_MANIFEST: &str = "application/vnd.oci.image.manifest.v1+json";
 const MEDIA_CONFIG: &str = "application/vnd.oci.image.config.v1+json";
 const MEDIA_LAYER: &str = "application/vnd.oci.image.layer.v1.tar";
 const REF_ANNOTATION: &str = "org.opencontainers.image.ref.name";
+
+/// Export behavior: the canonical exporter plus "naive packer"
+/// switches. Non-default values model the packers the paper blames for
+/// irreproducibility ("It's Not Just Timestamps") so the audit
+/// subsystem can *force* each divergence class and prove the
+/// classifier names it; the default is byte-reproducible.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExportOpts {
+    /// Layer-packer behavior (mtimes, entry order).
+    pub tar: TarOpts,
+    /// Shuffle top-level config-JSON key order with this seed instead
+    /// of writing the canonical order.
+    pub json_key_seed: Option<u64>,
+}
 
 /// What an export produced / an inspect found.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,7 +115,7 @@ impl<'a> LayoutWriter<'a> {
 
 /// The canonical config JSON (fixed field order; the `zeroroot` object
 /// carries the metadata OCI's schema has no home for).
-fn config_json(meta: &ImageMeta, diff_ids: &[String]) -> String {
+fn config_json(meta: &ImageMeta, diff_ids: &[String], key_seed: Option<u64>) -> String {
     let env_strings: Vec<String> = meta
         .env
         .iter()
@@ -125,26 +139,58 @@ fn config_json(meta: &ImageMeta, diff_ids: &[String]) -> String {
             )
         })
         .collect();
-    format!(
-        concat!(
-            "{{\"architecture\":\"amd64\",",
-            "\"config\":{{\"Env\":[{env}]}},",
-            "\"created\":\"1970-01-01T00:00:00Z\",",
-            "\"history\":[{{\"created\":\"1970-01-01T00:00:00Z\",\"created_by\":\"zr export\"}}],",
-            "\"os\":\"linux\",",
-            "\"rootfs\":{{\"diff_ids\":[{diffs}],\"type\":\"layers\"}},",
-            "\"zeroroot\":{{\"binaries\":[{bins}],\"distro\":\"{distro}\",",
-            "\"env\":[{pairs}],\"libc\":\"{libc}\",\"name\":\"{name}\",\"tag\":\"{tag}\"}}}}"
+    // Top-level members as (key, rendered value) pairs, listed in the
+    // canonical (sorted) order the reproducible writer emits.
+    let mut members: Vec<(&str, String)> = vec![
+        ("architecture", "\"amd64\"".to_string()),
+        (
+            "config",
+            format!("{{\"Env\":[{}]}}", env_strings.join(",")),
         ),
-        env = env_strings.join(","),
-        diffs = diff_list.join(","),
-        bins = binaries.join(","),
-        distro = distro_tag(meta.distro),
-        pairs = env_pairs.join(","),
-        libc = escape(&meta.libc),
-        name = escape(&meta.name),
-        tag = escape(&meta.tag),
-    )
+        ("created", "\"1970-01-01T00:00:00Z\"".to_string()),
+        (
+            "history",
+            "[{\"created\":\"1970-01-01T00:00:00Z\",\"created_by\":\"zr export\"}]".to_string(),
+        ),
+        ("os", "\"linux\"".to_string()),
+        (
+            "rootfs",
+            format!(
+                "{{\"diff_ids\":[{}],\"type\":\"layers\"}}",
+                diff_list.join(",")
+            ),
+        ),
+        (
+            "zeroroot",
+            format!(
+                "{{\"binaries\":[{}],\"distro\":\"{}\",\"env\":[{}],\"libc\":\"{}\",\"name\":\"{}\",\"tag\":\"{}\"}}",
+                binaries.join(","),
+                distro_tag(meta.distro),
+                env_pairs.join(","),
+                escape(&meta.libc),
+                escape(&meta.name),
+                escape(&meta.tag),
+            ),
+        ),
+    ];
+    if let Some(seed) = key_seed {
+        // The "hash-map serializer" failure mode: semantically equal
+        // JSON, different bytes. Deterministic per seed so audits are
+        // replayable.
+        members.sort_by_key(|(key, _)| {
+            let mut h = seed ^ 0x9e37_79b9_7f4a_7c15;
+            for &b in key.as_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+                h ^= h >> 29;
+            }
+            h
+        });
+    }
+    let body: Vec<String> = members
+        .iter()
+        .map(|(k, v)| format!("\"{k}\":{v}"))
+        .collect();
+    format!("{{{}}}", body.join(","))
 }
 
 fn descriptor(media: &str, digest: &str, size: usize) -> String {
@@ -163,7 +209,12 @@ fn index_json(manifest_digest: &str, manifest_size: usize, ref_name: &str) -> St
     )
 }
 
-fn export_impl(meta: &ImageMeta, layers: Vec<Vec<u8>>, dir: &Path) -> Result<OciSummary> {
+fn export_impl(
+    meta: &ImageMeta,
+    layers: Vec<Vec<u8>>,
+    dir: &Path,
+    key_seed: Option<u64>,
+) -> Result<OciSummary> {
     let writer = LayoutWriter::new(dir)?;
     let mut layer_digests = Vec::new();
     let mut layer_sizes = Vec::new();
@@ -175,7 +226,7 @@ fn export_impl(meta: &ImageMeta, layers: Vec<Vec<u8>>, dir: &Path) -> Result<Oci
         layer_digests.push(digest);
     }
     // Layers are uncompressed, so diff_ids coincide with layer digests.
-    let config = config_json(meta, &layer_digests);
+    let config = config_json(meta, &layer_digests, key_seed);
     let config_digest = writer.put_blob(config.as_bytes())?;
 
     let manifest = format!(
@@ -204,7 +255,25 @@ fn export_impl(meta: &ImageMeta, layers: Vec<Vec<u8>>, dir: &Path) -> Result<Oci
 
 /// Export `image` as a single-layer OCI image layout at `dir`.
 pub fn export(image: &Image, dir: impl AsRef<Path>) -> Result<OciSummary> {
-    export_impl(&image.meta, vec![tree_to_tar(&image.fs)?], dir.as_ref())
+    export_impl(
+        &image.meta,
+        vec![tree_to_tar(&image.fs)?],
+        dir.as_ref(),
+        None,
+    )
+}
+
+/// [`export`] with explicit packer/serializer behavior. The audit
+/// subsystem uses the non-default switches to produce the *naive*
+/// layout a non-reproducible toolchain would, and then proves the
+/// differ attributes every resulting divergence to the right class.
+pub fn export_with(image: &Image, dir: impl AsRef<Path>, opts: ExportOpts) -> Result<OciSummary> {
+    export_impl(
+        &image.meta,
+        vec![tree_to_tar_with(&image.fs, opts.tar)?],
+        dir.as_ref(),
+        opts.json_key_seed,
+    )
 }
 
 /// Export `image` as *two* layers: `base`'s full tree plus the
@@ -216,6 +285,7 @@ pub fn export_diff(image: &Image, base: &Fs, dir: impl AsRef<Path>) -> Result<Oc
         &image.meta,
         vec![tree_to_tar(base)?, diff_to_tar(base, &image.fs)?],
         dir.as_ref(),
+        None,
     )
 }
 

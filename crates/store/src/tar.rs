@@ -34,6 +34,19 @@ const BLOCK: usize = 512;
 /// the whole record including itself — here exactly 16 bytes.
 const PAX_SOCK_RECORD: &[u8] = b"16 ZR.type=sock\n";
 
+/// Packer behavior knobs. The default is the canonical packer the
+/// reproducibility claim rests on; the non-default switches model a
+/// *naive* packer (mtimes preserved, readdir ordering) so the audit
+/// subsystem can force — and then classify — each divergence class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TarOpts {
+    /// Preserve inode mtimes in entry headers instead of zeroing them.
+    pub preserve_mtimes: bool,
+    /// Emit entries in raw `read_dir` order (which honors an injected
+    /// readdir shuffle) instead of sorted pre-order.
+    pub readdir_order: bool,
+}
+
 /// One parsed tar entry (reader side).
 #[derive(Debug)]
 struct TarEntry {
@@ -144,6 +157,7 @@ struct RawEntry<'a> {
     mode: u32,
     uid: u32,
     gid: u32,
+    mtime: u64,
     linkname: &'a str,
     dev: Option<(u32, u32)>,
     data: &'a [u8],
@@ -163,7 +177,7 @@ fn write_entry(out: &mut Vec<u8>, e: RawEntry<'_>) -> Result<()> {
     octal(&mut header[108..116], u64::from(e.uid))?;
     octal(&mut header[116..124], u64::from(e.gid))?;
     octal(&mut header[124..136], e.data.len() as u64)?;
-    octal(&mut header[136..148], 0)?; // zeroed timestamps, by design
+    octal(&mut header[136..148], e.mtime)?; // zero unless a naive packer
     header[156] = e.typeflag;
     header[157..157 + e.linkname.len()].copy_from_slice(e.linkname.as_bytes());
     header[257..263].copy_from_slice(b"ustar\0");
@@ -196,6 +210,7 @@ fn write_path(
     path: &str,
     st: &Stat,
     first_path: Option<&mut HashMap<u64, String>>,
+    opts: TarOpts,
 ) -> Result<()> {
     let root = Access::root();
     if has_reserved_whiteout_name(path) {
@@ -206,6 +221,7 @@ fn write_path(
     }
     let perm = st.mode & 0o7777;
     let kind = st.mode & S_IFMT;
+    let mtime = if opts.preserve_mtimes { st.mtime } else { 0 };
     if kind != S_IFDIR {
         if let Some(first) = first_path {
             if let Some(earlier) = first.get(&st.ino) {
@@ -217,6 +233,7 @@ fn write_path(
                         mode: perm,
                         uid: st.uid,
                         gid: st.gid,
+                        mtime,
                         linkname: &tar_name(earlier, false),
                         dev: None,
                         data: &[],
@@ -268,6 +285,7 @@ fn write_path(
                     mode: perm,
                     uid: st.uid,
                     gid: st.gid,
+                    mtime,
                     linkname: "",
                     dev: None,
                     data: PAX_SOCK_RECORD,
@@ -289,6 +307,7 @@ fn write_path(
             mode: perm,
             uid: st.uid,
             gid: st.gid,
+            mtime,
             linkname: &linkname,
             dev,
             data: blob.as_deref().map(Blob::data).unwrap_or(&[]),
@@ -298,11 +317,23 @@ fn write_path(
 
 /// Serialize a whole tree as one deterministic layer tar.
 pub fn tree_to_tar(fs: &Fs) -> Result<Vec<u8>> {
+    tree_to_tar_with(fs, TarOpts::default())
+}
+
+/// [`tree_to_tar`] with explicit packer behavior — `opts` other than
+/// the default produce a *naive* (non-canonical) layer for the audit
+/// subsystem's forcing tests.
+pub fn tree_to_tar_with(fs: &Fs, opts: TarOpts) -> Result<Vec<u8>> {
     let root = Access::root();
     let mut out = Vec::new();
     let mut first_path: HashMap<u64, String> = HashMap::new();
-    for (path, st) in fs.walk_paths(&root) {
-        write_path(&mut out, fs, &path, &st, Some(&mut first_path))?;
+    let walk = if opts.readdir_order {
+        fs.walk_paths_readdir(&root)
+    } else {
+        fs.walk_paths(&root)
+    };
+    for (path, st) in walk {
+        write_path(&mut out, fs, &path, &st, Some(&mut first_path), opts)?;
     }
     out.extend(std::iter::repeat_n(0u8, 2 * BLOCK));
     Ok(out)
@@ -382,7 +413,7 @@ pub fn diff_to_tar(base: &Fs, top: &Fs) -> Result<Vec<u8>> {
     let mut out = Vec::new();
     for (path, st) in &events {
         match st {
-            Some(st) => write_path(&mut out, top, path, st, None)?,
+            Some(st) => write_path(&mut out, top, path, st, None, TarOpts::default())?,
             None => write_entry(
                 &mut out,
                 RawEntry {
@@ -391,6 +422,7 @@ pub fn diff_to_tar(base: &Fs, top: &Fs) -> Result<Vec<u8>> {
                     mode: 0,
                     uid: 0,
                     gid: 0,
+                    mtime: 0,
                     linkname: "",
                     dev: None,
                     data: &[],
@@ -400,6 +432,47 @@ pub fn diff_to_tar(base: &Fs, top: &Fs) -> Result<Vec<u8>> {
     }
     out.extend(std::iter::repeat_n(0u8, 2 * BLOCK));
     Ok(out)
+}
+
+/// One tar entry as seen by a layout differ: the parser's record with
+/// the payload attached, so divergences can be attributed to a path
+/// and a field (mtime vs owner vs bytes) instead of "blob differs".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TarEntryView {
+    /// Absolute path inside the image ("/" for the root entry).
+    pub path: String,
+    /// The ustar typeflag byte (`b'0'` file, `b'5'` dir, ...).
+    pub typeflag: u8,
+    /// Permission bits (no file type).
+    pub mode: u32,
+    /// Owner uid as stored in the header.
+    pub uid: u32,
+    /// Owner gid as stored in the header.
+    pub gid: u32,
+    /// Modification time (0 in canonical layers).
+    pub mtime: u64,
+    /// Hard/symlink target ("" otherwise).
+    pub linkname: String,
+    /// File payload (empty for non-regular entries).
+    pub data: Vec<u8>,
+}
+
+/// Parse a layer tar into differ-facing entry views (PAX headers are
+/// folded into the entries they qualify, as in [`apply_tar`]).
+pub fn list_entries(tar: &[u8]) -> Result<Vec<TarEntryView>> {
+    Ok(parse_entries(tar)?
+        .into_iter()
+        .map(|e| TarEntryView {
+            path: e.path,
+            typeflag: e.typeflag,
+            mode: e.mode,
+            uid: e.uid,
+            gid: e.gid,
+            mtime: e.mtime,
+            linkname: e.linkname,
+            data: e.data,
+        })
+        .collect())
 }
 
 /// Does this PAX extended-header payload contain `key=value`?
@@ -609,6 +682,35 @@ mod tests {
     }
 
     #[test]
+    fn naive_packer_changes_bytes_but_not_content() {
+        let fs = sample();
+        let canonical = tree_to_tar(&fs).unwrap();
+        let raw = tree_to_tar_with(
+            &fs,
+            TarOpts {
+                preserve_mtimes: true,
+                readdir_order: false,
+            },
+        )
+        .unwrap();
+        assert_ne!(canonical, raw, "preserved mtimes change the bytes");
+        assert!(
+            list_entries(&raw).unwrap().iter().any(|e| e.mtime > 0),
+            "raw layer carries real mtimes"
+        );
+        assert!(
+            list_entries(&canonical)
+                .unwrap()
+                .iter()
+                .all(|e| e.mtime == 0),
+            "canonical layer zeroes them"
+        );
+        let mut rebuilt = Fs::new();
+        apply_tar(&mut rebuilt, &raw).unwrap();
+        assert_eq!(rebuilt.tree_digest(), fs.tree_digest(), "same content");
+    }
+
+    #[test]
     fn diff_layers_carry_whiteouts() {
         let root = Access::root();
         let base = sample();
@@ -673,6 +775,7 @@ mod tests {
                 mode: 0,
                 uid: 0,
                 gid: 0,
+                mtime: 0,
                 linkname: "",
                 dev: None,
                 data: &[],
@@ -687,6 +790,7 @@ mod tests {
                 mode: 0o644,
                 uid: 0,
                 gid: 0,
+                mtime: 0,
                 linkname: "",
                 dev: None,
                 data: b"y",

@@ -134,6 +134,8 @@ pub enum Sysno {
     // -- network (just enough for download simulation) ----------------------
     Socket,
     Connect,
+    // -- entropy -------------------------------------------------------------
+    Getrandom,
 }
 
 /// One row of the syscall-number table: columns follow [`Arch::index`]
@@ -276,6 +278,8 @@ pub const TABLE: &[Row] = &[
 
     (Sysno::Socket,       [s(41),   s(359),  s(281),  s(198),  s(326),  s(359)]),
     (Sysno::Connect,      [s(42),   s(362),  s(283),  s(203),  s(328),  s(362)]),
+
+    (Sysno::Getrandom,    [s(318),  s(355),  s(384),  s(278),  s(359),  s(349)]),
 ];
 
 impl Sysno {
@@ -399,6 +403,7 @@ impl Sysno {
             Sysno::Fremovexattr => "fremovexattr",
             Sysno::Socket => "socket",
             Sysno::Connect => "connect",
+            Sysno::Getrandom => "getrandom",
         }
     }
 

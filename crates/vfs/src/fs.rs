@@ -29,6 +29,46 @@ const PAGE_SLOTS: usize = 64;
 /// One copy-on-write page of the inode arena.
 type Page = Vec<Option<Inode>>;
 
+/// Injectable nondeterminism sources — the audit mode's forcing
+/// functions.
+///
+/// A real kernel leaks wall-clock time, RNG output, on-disk directory
+/// order and default ownership into build outputs; the simulated kernel
+/// is deterministic by construction, which would make a reproducibility
+/// auditor vacuously green. This config re-introduces each leak *on
+/// purpose*, one knob per divergence class from the Docker
+/// reproducibility literature, so tests can force a class and assert
+/// the auditor names it — and, with the default (all-off) config,
+/// assert the normalizing exporter suppresses it.
+///
+/// All sources are seeded/deterministic themselves: two builds under the
+/// *same* `Nondeterminism` agree, two builds under different ones
+/// diverge. That keeps every forced-divergence test replayable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Nondeterminism {
+    /// Added to every fresh mtime the logical clock hands out — a
+    /// skewed build clock (class: tar mtime).
+    pub clock_skew: u64,
+    /// Seed for the kernel's `getrandom` stream. `None` = the fixed
+    /// default stream every builder agrees on; `Some(seed)` = a
+    /// machine-local RNG (class: payload content via generated files).
+    pub gen_seed: Option<u64>,
+    /// Seed for shuffling `read_dir` results — on-disk directory order
+    /// instead of the sorted canonical order (class: tar ordering, for
+    /// exporters that pack in readdir order).
+    pub shuffle_readdir: Option<u64>,
+    /// Override the uid/gid newly created files receive, modelling a
+    /// builder whose default identity mapping differs (class: owner).
+    pub default_ids: Option<(u32, u32)>,
+}
+
+impl Nondeterminism {
+    /// Is every source disabled (the deterministic default)?
+    pub fn is_clean(&self) -> bool {
+        *self == Nondeterminism::default()
+    }
+}
+
 /// Whether the final path component follows symlinks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FollowMode {
@@ -63,6 +103,8 @@ pub struct Fs {
     version: u64,
     /// Memoized `(version, tree_digest)` of the last digest computed.
     tree_memo: Mutex<Option<(u64, String)>>,
+    /// Injected nondeterminism sources (all off by default).
+    nondet: Nondeterminism,
 }
 
 impl Clone for Fs {
@@ -76,6 +118,7 @@ impl Clone for Fs {
             // Copy the memo value, not the cell: the clone keeps the
             // warm digest but diverges independently from here on.
             tree_memo: Mutex::new(self.memo_value()),
+            nondet: self.nondet.clone(),
         }
     }
 }
@@ -105,6 +148,7 @@ impl Fs {
             clock: 0,
             version: 0,
             tree_memo: Mutex::new(None),
+            nondet: Nondeterminism::default(),
         }
     }
 
@@ -113,10 +157,32 @@ impl Fs {
         1
     }
 
+    /// Install injected nondeterminism sources (audit mode). The
+    /// default-constructed value restores full determinism.
+    pub fn set_nondeterminism(&mut self, nondet: Nondeterminism) {
+        self.nondet = nondet;
+    }
+
+    /// The currently installed nondeterminism config.
+    pub fn nondeterminism(&self) -> &Nondeterminism {
+        &self.nondet
+    }
+
     /// Advance and return the logical clock (each mutation ticks it).
+    /// An injected `clock_skew` shifts the *observed* time — the
+    /// counter itself stays monotonic and un-skewed so two builds
+    /// under different skews still tick in lockstep.
     fn tick(&mut self) -> u64 {
         self.clock += 1;
-        self.clock
+        self.clock + self.nondet.clock_skew
+    }
+
+    /// The uid/gid a newly created inode receives: the caller's
+    /// fsuid/fsgid, unless an alternate default identity is injected.
+    fn create_ids(&self, access: &Access) -> (u32, u32) {
+        self.nondet
+            .default_ids
+            .unwrap_or((access.fsuid, access.fsgid))
     }
 
     /// Current logical time.
@@ -451,7 +517,8 @@ impl Fs {
             return Err(Errno::EEXIST);
         }
         let now = self.tick();
-        let meta = Metadata::new(access.fsuid, access.fsgid, perm, now);
+        let (uid, gid) = self.create_ids(access);
+        let meta = Metadata::new(uid, gid, perm, now);
         let ino = self.alloc(
             FileKind::Dir {
                 entries: Arc::new(BTreeMap::new()),
@@ -491,7 +558,8 @@ impl Fs {
             return Err(Errno::EEXIST);
         }
         let now = self.tick();
-        let meta = Metadata::new(access.fsuid, access.fsgid, perm, now);
+        let (uid, gid) = self.create_ids(access);
+        let meta = Metadata::new(uid, gid, perm, now);
         let ino = self.alloc(FileKind::File(blob), meta);
         self.dir_entries_mut(dir)?.insert(name, ino);
         Ok(ino)
@@ -589,7 +657,8 @@ impl Fs {
         }
         let now = self.tick();
         // Symlinks are created 0777 like Linux.
-        let meta = Metadata::new(access.fsuid, access.fsgid, 0o777, now);
+        let (uid, gid) = self.create_ids(access);
+        let meta = Metadata::new(uid, gid, 0o777, now);
         let ino = self.alloc(FileKind::Symlink(target.to_string()), meta);
         self.dir_entries_mut(dir)?.insert(name, ino);
         Ok(ino)
@@ -613,7 +682,8 @@ impl Fs {
             return Err(Errno::EEXIST);
         }
         let now = self.tick();
-        let meta = Metadata::new(access.fsuid, access.fsgid, perm, now);
+        let (uid, gid) = self.create_ids(access);
+        let meta = Metadata::new(uid, gid, perm, now);
         let ino = self.alloc(kind, meta);
         self.dir_entries_mut(dir)?.insert(name, ino);
         Ok(ino)
@@ -710,7 +780,28 @@ impl Fs {
     }
 
     /// Directory listing (requires read permission on the directory).
+    ///
+    /// Entries come back sorted — unless a `shuffle_readdir` seed is
+    /// injected, in which case they arrive in a deterministic but
+    /// non-sorted "on-disk" order, the way a real `getdents64` makes no
+    /// ordering promise. Canonical consumers (tree digests, normalized
+    /// exports) use [`read_dir_sorted`](Self::read_dir_sorted) and are
+    /// immune.
     pub fn read_dir(&self, path: &str, access: &Access) -> Result<Vec<(String, Ino)>, Errno> {
+        let mut entries = self.read_dir_sorted(path, access)?;
+        if let Some(seed) = self.nondet.shuffle_readdir {
+            shuffle_entries(&mut entries, seed);
+        }
+        Ok(entries)
+    }
+
+    /// Directory listing in canonical sorted order, bypassing any
+    /// injected readdir shuffle.
+    pub fn read_dir_sorted(
+        &self,
+        path: &str,
+        access: &Access,
+    ) -> Result<Vec<(String, Ino)>, Errno> {
         let ino = self.resolve(path, access, FollowMode::Follow)?;
         let node = self.inode(ino)?;
         if !permitted(
@@ -942,11 +1033,28 @@ impl Fs {
     // ---- bulk helpers (image materialization) ----------------------------------
 
     /// Depth-first pre-order walk of every path reachable from `/`,
-    /// symlinks not followed, as `access`. Directory entries are stored
-    /// sorted, so the visit order is deterministic — consumers build
+    /// symlinks not followed, as `access`. Directory entries are read
+    /// in canonical sorted order (immune to an injected readdir
+    /// shuffle), so the visit order is deterministic — consumers build
     /// reproducible digests and size accounting on top of this one
     /// walk instead of each hand-rolling their own.
     pub fn walk_paths(&self, access: &Access) -> Vec<(String, Stat)> {
+        self.walk_paths_with(access, Self::read_dir_sorted)
+    }
+
+    /// [`walk_paths`](Self::walk_paths), but honoring the *observed*
+    /// `read_dir` order — what a naive exporter that packs entries in
+    /// on-disk order would traverse. Identical to `walk_paths` unless a
+    /// readdir shuffle is injected.
+    pub fn walk_paths_readdir(&self, access: &Access) -> Vec<(String, Stat)> {
+        self.walk_paths_with(access, Self::read_dir)
+    }
+
+    fn walk_paths_with(
+        &self,
+        access: &Access,
+        read: impl Fn(&Self, &str, &Access) -> Result<Vec<(String, Ino)>, Errno>,
+    ) -> Vec<(String, Stat)> {
         let mut out = Vec::new();
         let mut stack = vec!["/".to_string()];
         while let Some(path) = stack.pop() {
@@ -954,8 +1062,9 @@ impl Fs {
                 continue;
             };
             if st.mode & zr_syscalls::mode::S_IFMT == zr_syscalls::mode::S_IFDIR {
-                if let Ok(entries) = self.read_dir(&path, access) {
-                    // Reverse push keeps the pop order sorted.
+                if let Ok(entries) = read(self, &path, access) {
+                    // Reverse push keeps the pop order equal to the
+                    // read order.
                     for (name, _) in entries.iter().rev() {
                         stack.push(join(&path, name));
                     }
@@ -987,6 +1096,20 @@ impl Fs {
         }
         Ok(last)
     }
+}
+
+/// Deterministic "on-disk order": sort entries by a seeded hash of the
+/// name. Different seeds give different permutations; the same seed
+/// always gives the same one, so shuffled-readdir tests replay exactly.
+fn shuffle_entries(entries: &mut [(String, Ino)], seed: u64) {
+    entries.sort_by_key(|(name, _)| {
+        let mut h = seed ^ 0x9e37_79b9_7f4a_7c15;
+        for &b in name.as_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+            h ^= h >> 29;
+        }
+        h
+    });
 }
 
 #[cfg(test)]
@@ -1265,6 +1388,82 @@ mod tests {
             .map(|(n, _)| n)
             .collect();
         assert_eq!(names, vec!["alpha".to_string(), "zeta".to_string()]);
+    }
+
+    #[test]
+    fn injected_clock_skew_shifts_fresh_mtimes() {
+        let mut a = Fs::new();
+        let mut b = Fs::new();
+        b.set_nondeterminism(Nondeterminism {
+            clock_skew: 1000,
+            ..Nondeterminism::default()
+        });
+        a.write_file("/f", 0o644, b"x".to_vec(), &root()).unwrap();
+        b.write_file("/f", 0o644, b"x".to_vec(), &root()).unwrap();
+        let ma = a.stat("/f", &root(), FollowMode::NoFollow).unwrap().mtime;
+        let mb = b.stat("/f", &root(), FollowMode::NoFollow).unwrap().mtime;
+        assert_eq!(mb, ma + 1000);
+        // The skew is invisible to the (timestamp-free) tree digest.
+        assert_eq!(a.tree_digest(), b.tree_digest());
+    }
+
+    #[test]
+    fn injected_default_ids_own_new_files_only() {
+        let mut fs = Fs::new();
+        fs.write_file("/before", 0o644, vec![], &root()).unwrap();
+        fs.set_nondeterminism(Nondeterminism {
+            default_ids: Some((4242, 4343)),
+            ..Nondeterminism::default()
+        });
+        fs.write_file("/after", 0o644, vec![], &root()).unwrap();
+        let before = fs.stat("/before", &root(), FollowMode::NoFollow).unwrap();
+        let after = fs.stat("/after", &root(), FollowMode::NoFollow).unwrap();
+        assert_eq!((before.uid, before.gid), (0, 0));
+        assert_eq!((after.uid, after.gid), (4242, 4343));
+    }
+
+    #[test]
+    fn injected_shuffle_perturbs_read_dir_not_walk_paths() {
+        let mut fs = Fs::new();
+        fs.mkdir_p("/d", 0o755).unwrap();
+        for name in ["alpha", "beta", "gamma", "delta", "epsilon"] {
+            fs.write_file(&format!("/d/{name}"), 0o644, vec![], &root())
+                .unwrap();
+        }
+        let sorted: Vec<String> = fs
+            .read_dir("/d", &root())
+            .unwrap()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        let canonical_walk = fs.walk_paths(&root());
+        let digest = fs.tree_digest();
+
+        fs.set_nondeterminism(Nondeterminism {
+            shuffle_readdir: Some(7),
+            ..Nondeterminism::default()
+        });
+        let shuffled: Vec<String> = fs
+            .read_dir("/d", &root())
+            .unwrap()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_ne!(shuffled, sorted, "seed 7 must perturb five entries");
+        let mut resorted = shuffled.clone();
+        resorted.sort();
+        assert_eq!(resorted, sorted, "same entries, different order");
+        // Canonical surfaces are immune.
+        assert_eq!(fs.walk_paths(&root()), canonical_walk);
+        assert_eq!(fs.tree_digest(), digest);
+        // The readdir-order walk is not.
+        let raw: Vec<String> = fs
+            .walk_paths_readdir(&root())
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect();
+        let canonical: Vec<String> = canonical_walk.into_iter().map(|(p, _)| p).collect();
+        assert_ne!(raw, canonical);
     }
 
     #[test]

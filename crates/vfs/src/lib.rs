@@ -26,6 +26,6 @@ pub mod path;
 
 pub use access::Access;
 pub use blob::Blob;
-pub use fs::{FollowMode, Fs};
+pub use fs::{FollowMode, Fs, Nondeterminism};
 pub use inode::{FileKind, Ino, Inode, Metadata};
 pub use path::{join, normalize, split_parent};

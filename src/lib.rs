@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub use zeroroot_core as core;
+pub use zr_audit as audit;
 pub use zr_bpf as bpf;
 pub use zr_build as build;
 pub use zr_dockerfile as dockerfile;
